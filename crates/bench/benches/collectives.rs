@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the simulated-rank collectives: the per-step
+//! communication cost that DDP and ZeRO pay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::thread;
+
+use matgnn::dist::{Communicator, CostModel};
+
+fn run_collective<F>(world: usize, payload: usize, f: F)
+where
+    F: Fn(&mut Communicator, &mut Vec<f32>) + Sync,
+{
+    let comms = Communicator::create(world, CostModel::default());
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for mut comm in comms {
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut data = vec![comm.rank() as f32; payload];
+                f(&mut comm, &mut data);
+                black_box(data.first().copied())
+            }));
+        }
+        for h in handles {
+            let _ = h.join().expect("rank");
+        }
+    });
+}
+
+fn bench_all_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_reduce_100k_floats");
+    group.sample_size(15);
+    for &world in &[2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(world), &world, |b, &w| {
+            b.iter(|| {
+                run_collective(w, 100_000, |comm, data| comm.all_reduce_sum(data));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_zero_pattern(c: &mut Criterion) {
+    // ZeRO's two collectives per step: reduce-scatter + all-gather.
+    let mut group = c.benchmark_group("zero_collective_pattern_100k");
+    group.sample_size(15);
+    for &world in &[2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(world), &world, |b, &w| {
+            b.iter(|| {
+                run_collective(w, 100_000, |comm, data| {
+                    let shard = comm.reduce_scatter_sum(data);
+                    let gathered = comm.all_gather(&shard, data.len());
+                    data.copy_from_slice(&gathered);
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_reduce, bench_zero_pattern);
+criterion_main!(benches);

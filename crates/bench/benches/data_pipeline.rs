@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the data substrate: source generation, shard
+//! encode/decode (the DDStore substitute), and batch collation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use matgnn::data::Shard;
+use matgnn::prelude::*;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("source_generation_per_graph");
+    group.sample_size(15);
+    let gen = GeneratorConfig::default();
+    for kind in SourceKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(k.generate(1, seed, &gen))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_shard_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard");
+    group.sample_size(20);
+    let gen = GeneratorConfig::default();
+    let ds = Dataset::generate_aggregate(64, 3, &gen);
+    let refs: Vec<&Sample> = ds.samples().iter().collect();
+    group.bench_function("encode_64_graphs", |b| b.iter(|| black_box(Shard::encode(&refs))));
+    let shard = Shard::encode(&refs);
+    group.bench_function("decode_64_graphs", |b| b.iter(|| black_box(shard.decode().unwrap())));
+    group.finish();
+}
+
+fn bench_collate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collate");
+    group.sample_size(20);
+    let gen = GeneratorConfig::default();
+    let ds = Dataset::generate_aggregate(64, 3, &gen);
+    let norm = Normalizer::fit(&ds);
+    for &batch_size in &[8usize, 32] {
+        let samples: Vec<&Sample> = ds.samples().iter().take(batch_size).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(batch_size),
+            &batch_size,
+            |b, _| b.iter(|| black_box(collate(&samples, &norm))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_shard_roundtrip, bench_collate);
+criterion_main!(benches);

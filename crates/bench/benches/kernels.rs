@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the numeric kernels underlying training:
+//! matmul, row gather/scatter, and neighbor-list construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use matgnn::graph::{AtomicStructure, Element, NeighborList};
+use matgnn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(1);
+    for &n in &[32usize, 64, 128] {
+        let a = Tensor::randn((n, n), 1.0, &mut rng);
+        let b = Tensor::randn((n, n), 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gather_scatter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather_scatter");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(2);
+    let nodes = 2_000usize;
+    let edges = 20_000usize;
+    let feats = Tensor::randn((nodes, 64), 1.0, &mut rng);
+    let idx: Vec<usize> = (0..edges).map(|_| rng.gen_range(0..nodes)).collect();
+    group.bench_function("gather_rows_20k_edges", |b| {
+        b.iter(|| black_box(feats.gather_rows(&idx)))
+    });
+    let msgs = Tensor::randn((edges, 64), 1.0, &mut rng);
+    group.bench_function("scatter_add_20k_edges", |b| {
+        b.iter(|| black_box(msgs.scatter_add_rows(&idx, nodes)))
+    });
+    group.finish();
+}
+
+fn bench_neighbor_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_list");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(3);
+    for &n in &[100usize, 500] {
+        let extent = (n as f64).cbrt() * 2.0;
+        let s = AtomicStructure::new(
+            vec![Element::C; n],
+            (0..n)
+                .map(|_| {
+                    [
+                        rng.gen_range(0.0..extent),
+                        rng.gen_range(0.0..extent),
+                        rng.gen_range(0.0..extent),
+                    ]
+                })
+                .collect(),
+        )
+        .expect("structure");
+        group.bench_with_input(BenchmarkId::new("cell_list", n), &s, |b, s| {
+            b.iter(|| black_box(NeighborList::build(s, 3.0)))
+        });
+        group.bench_with_input(BenchmarkId::new("brute_force", n), &s, |b, s| {
+            b.iter(|| black_box(NeighborList::build_brute_force(s, 3.0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_gather_scatter, bench_neighbor_list);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benchmarks of EGNN forward / backward throughput at several
+//! model widths — the per-step cost that determines every scaling sweep's
+//! wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use matgnn::prelude::*;
+use matgnn::train::vanilla_step;
+
+fn setup(n_graphs: usize) -> (GraphBatch, Targets, Normalizer) {
+    let gen = GeneratorConfig::default();
+    let ds = Dataset::generate_aggregate(n_graphs, 5, &gen);
+    let norm = Normalizer::fit(&ds);
+    let samples: Vec<&Sample> = ds.samples().iter().collect();
+    let (batch, targets) = collate(&samples, &norm);
+    (batch, targets, norm)
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("egnn_forward");
+    group.sample_size(15);
+    let (batch, _, _) = setup(8);
+    for &h in &[16usize, 32, 64] {
+        let model = Egnn::new(EgnnConfig::new(h, 3));
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, _| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let pvars = model.params().bind_frozen(&mut tape);
+                black_box(model.forward(&mut tape, &pvars, &batch))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("egnn_train_step");
+    group.sample_size(15);
+    let (batch, targets, _) = setup(8);
+    let loss_cfg = LossConfig::default();
+    for &h in &[16usize, 32] {
+        let model = Egnn::new(EgnnConfig::new(h, 3));
+        group.bench_with_input(BenchmarkId::new("fwd_bwd", h), &h, |b, _| {
+            b.iter(|| black_box(vanilla_step(&model, &batch, &targets, &loss_cfg, None)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gcn_vs_egnn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("architecture_step_cost");
+    group.sample_size(15);
+    let (batch, targets, _) = setup(8);
+    let loss_cfg = LossConfig::default();
+    let egnn = Egnn::new(EgnnConfig::new(32, 3));
+    let gcn = Gcn::new(GcnConfig::new(32, 3));
+    group.bench_function("egnn_h32", |b| {
+        b.iter(|| black_box(vanilla_step(&egnn, &batch, &targets, &loss_cfg, None)))
+    });
+    group.bench_function("gcn_h32", |b| {
+        b.iter(|| black_box(vanilla_step(&gcn, &batch, &targets, &loss_cfg, None)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_train_step, bench_gcn_vs_egnn);
+criterion_main!(benches);

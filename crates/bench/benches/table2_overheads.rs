@@ -1,0 +1,84 @@
+//! Criterion decomposition of the Table II overheads: what activation
+//! checkpointing (recompute) and ZeRO (extra collectives) each cost per
+//! step, measured in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::thread;
+
+use matgnn::dist::{Communicator, CostModel, ZeroAdam};
+use matgnn::prelude::*;
+use matgnn::train::{checkpointed_step, vanilla_step, AdamHyper};
+
+fn setup() -> (Egnn, GraphBatch, Targets) {
+    let gen = GeneratorConfig::default();
+    let ds = Dataset::generate_aggregate(8, 5, &gen);
+    let norm = Normalizer::fit(&ds);
+    let samples: Vec<&Sample> = ds.samples().iter().collect();
+    let (batch, targets) = collate(&samples, &norm);
+    (Egnn::new(EgnnConfig::new(32, 5)), batch, targets)
+}
+
+fn bench_step_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_step_variants");
+    group.sample_size(12);
+    let (model, batch, targets) = setup();
+    let loss_cfg = LossConfig::default();
+    group.bench_function("vanilla_fwd_bwd", |b| {
+        b.iter(|| black_box(vanilla_step(&model, &batch, &targets, &loss_cfg, None)))
+    });
+    group.bench_function("checkpointed_fwd_bwd", |b| {
+        b.iter(|| black_box(checkpointed_step(&model, &batch, &targets, &loss_cfg, None)))
+    });
+    group.finish();
+}
+
+fn bench_optimizer_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_optimizer_variants");
+    group.sample_size(12);
+    let (model, _, _) = setup();
+    let n = model.params().n_scalars();
+    let grads = vec![0.01f32; n];
+
+    // Replicated Adam update (per rank in vanilla DDP).
+    group.bench_function("replicated_adam", |b| {
+        use matgnn::train::{Adam, Optimizer};
+        let mut m = model.clone();
+        let mut opt = Adam::new(m.params(), AdamHyper::default(), None);
+        let gt = matgnn::dist::unflatten_like(
+            &grads,
+            &m.params().iter().map(|e| e.tensor.clone()).collect::<Vec<_>>(),
+        );
+        b.iter(|| {
+            opt.step(m.params_mut(), &gt, 1e-3);
+            black_box(m.params().tensor(0).data()[0])
+        })
+    });
+
+    // ZeRO-1: reduce-scatter + sharded update + all-gather across 4 ranks.
+    group.bench_function("zero_adam_world4", |b| {
+        b.iter(|| {
+            let comms = Communicator::create(4, CostModel::default());
+            thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for mut comm in comms {
+                    let grads = grads.clone();
+                    handles.push(scope.spawn(move || {
+                        let mut zero =
+                            ZeroAdam::new(n, comm.rank(), 4, AdamHyper::default(), None);
+                        let mut params = vec![0.5f32; n];
+                        zero.step(&mut comm, &mut params, &grads, 1e-3);
+                        black_box(params[0])
+                    }));
+                }
+                for h in handles {
+                    let _ = h.join().expect("rank");
+                }
+            });
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_variants, bench_optimizer_variants);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Figure 6 — peak-memory breakdown when training GNNs: (a) vanilla
+//! data-parallel training, (b) with activation checkpointing and the ZeRO
+//! optimizer.
+//!
+//! Byte-accurate per-category tracking on rank 0 of the simulated 4-rank
+//! node; the breakdown is captured at the instant of the global peak, as
+//! the paper measures.
+//!
+//! ```sh
+//! cargo run --release -p matgnn-bench --bin exp_fig6 -- [--quick|--full]
+//! ```
+
+use matgnn::dist::{run_memory_settings, DdpConfig, MemorySetting};
+use matgnn::model::{Egnn, EgnnConfig};
+use matgnn::prelude::*;
+use matgnn::tensor::{format_bytes, MemoryCategory};
+use matgnn_bench::{banner, csv_row, RunMode};
+
+fn main() {
+    let mode = RunMode::from_args();
+    let cfg = mode.experiment_config();
+    banner("Fig. 6: peak memory breakdown (vanilla vs +AC +ZeRO)", mode);
+
+    // The paper profiles a *weight-heavy* regime (billions of parameters,
+    // moderate per-GPU batch), where optimizer states are the second
+    // largest memory block. Mirror that ratio: a large model, a small
+    // per-rank batch, and just enough graphs for a few steps.
+    let world = 4usize;
+    let per_rank_batch = 2usize;
+    let steps = 4usize;
+    let mem_params = match mode {
+        RunMode::Quick => 150_000,
+        RunMode::Full => 600_000,
+    };
+    let n_graphs = world * per_rank_batch * steps;
+    println!("\npreparing {n_graphs} training graphs…");
+    let ds = Dataset::generate_aggregate(n_graphs, cfg.seed, &cfg.generator());
+    let norm = Normalizer::fit(&ds);
+    let model = Egnn::new(EgnnConfig::with_target_params(mem_params, 5).with_seed(cfg.seed));
+    println!("model: {} | simulated node: {world} ranks\n", model.describe());
+
+    let base = DdpConfig { world, epochs: 1, batch_size: per_rank_batch, ..Default::default() };
+    let profiles = run_memory_settings(&model, &ds, &norm, &base);
+    csv_row(&["setting,category,bytes,fraction".to_string()]);
+
+    for p in &profiles {
+        let label = match p.setting {
+            MemorySetting::Vanilla => "(a) vanilla PyTorch-style DDP",
+            MemorySetting::ActivationCheckpointing => "(+) activation checkpointing",
+            MemorySetting::ZeroOptimizer => "(b) + activation ckpt + ZeRO",
+        };
+        println!("{label}: peak {} on rank 0", format_bytes(p.peak_total));
+        for (cat, bytes) in p.peak.entries() {
+            let frac = p.peak.fraction(cat);
+            let bar = "#".repeat((frac * 40.0).round() as usize);
+            println!(
+                "    {:<18} {:>12}  {:>5.1}% {}",
+                cat.label(),
+                format_bytes(bytes),
+                100.0 * frac,
+                bar
+            );
+            csv_row(&[format!("{:?},{},{},{:.4}", p.setting, cat.label(), bytes, frac)]);
+        }
+        println!();
+    }
+
+    println!("shape checks vs paper (Sec. V-A/B/C):");
+    let vanilla = &profiles[0];
+    let act_frac = vanilla.peak.fraction(MemoryCategory::Activations);
+    println!(
+        "  vanilla: activations dominate the peak at {:.1}% (paper: 76.9%) {}",
+        100.0 * act_frac,
+        if act_frac > 0.5 { "✓" } else { "✗" }
+    );
+    let after_ac = &profiles[1];
+    let ac_reduction = 1.0 - after_ac.peak_total as f64 / vanilla.peak_total as f64;
+    println!(
+        "  +AC: peak reduced by {:.0}% (paper: 58%) — activations no longer dominant: {}",
+        100.0 * ac_reduction,
+        after_ac.peak.fraction(MemoryCategory::Activations) < act_frac
+    );
+    let after_zero = &profiles[2];
+    let zero_reduction = 1.0 - after_zero.peak_total as f64 / after_ac.peak_total as f64;
+    println!(
+        "  +ZeRO: further peak reduction {:.0}% (paper: 36%); optimizer state {} → {}",
+        100.0 * zero_reduction,
+        format_bytes(after_ac.peak.get(MemoryCategory::OptimizerState)),
+        format_bytes(after_zero.peak.get(MemoryCategory::OptimizerState)),
+    );
+}

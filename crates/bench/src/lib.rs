@@ -1,0 +1,96 @@
+//! Shared plumbing for the experiment binaries: run-mode parsing and
+//! aligned/CSV table printing.
+//!
+//! Every `exp_*` binary accepts `--quick` (default, CI-sized) or `--full`
+//! (the paper-shaped run, several CPU-minutes) and prints both a
+//! human-readable table and machine-readable CSV rows prefixed with
+//! `csv,`.
+
+#![warn(missing_docs)]
+
+use matgnn::scaling::ExperimentConfig;
+
+/// How much compute an experiment binary should spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// CI-sized run (tens of seconds).
+    Quick,
+    /// Paper-shaped run (minutes).
+    Full,
+}
+
+impl RunMode {
+    /// Parses `--quick` / `--full` from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown arguments.
+    pub fn from_args() -> RunMode {
+        let mut mode = RunMode::Quick;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => mode = RunMode::Quick,
+                "--full" => mode = RunMode::Full,
+                "--help" | "-h" => {
+                    println!("usage: <exp> [--quick|--full]  (default: --quick)");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other}; use --quick or --full"),
+            }
+        }
+        mode
+    }
+
+    /// The matching experiment configuration.
+    pub fn experiment_config(self) -> ExperimentConfig {
+        match self {
+            RunMode::Quick => ExperimentConfig::quick(),
+            RunMode::Full => ExperimentConfig::full(),
+        }
+    }
+
+    /// Label for banners.
+    pub fn label(self) -> &'static str {
+        match self {
+            RunMode::Quick => "quick",
+            RunMode::Full => "full",
+        }
+    }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(title: &str, mode: RunMode) {
+    println!("==============================================================");
+    println!("{title}");
+    println!("mode: {} (pass --full for the paper-shaped run)", mode.label());
+    println!("==============================================================");
+}
+
+/// Prints one machine-readable CSV row (prefixed so logs stay greppable).
+pub fn csv_row(fields: &[String]) {
+    println!("csv,{}", fields.join(","));
+}
+
+/// Formats a float with fixed width for aligned tables.
+pub fn f(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_map_to_configs() {
+        let q = RunMode::Quick.experiment_config();
+        let f = RunMode::Full.experiment_config();
+        assert!(q.units.graphs_per_tb < f.units.graphs_per_tb);
+        assert_eq!(RunMode::Quick.label(), "quick");
+    }
+
+    #[test]
+    fn csv_join() {
+        // Smoke: formatting helpers produce stable output.
+        assert_eq!(f(1.0), "1.0000");
+    }
+}

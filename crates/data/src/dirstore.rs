@@ -1,0 +1,344 @@
+//! Directory-backed shard storage: the on-disk organization of the
+//! ADIOS-style pipeline (one file per shard plus a manifest), so datasets
+//! larger than memory can be produced once and streamed by rank.
+//!
+//! Layout:
+//!
+//! ```text
+//! dataset/
+//!   MANIFEST            (text: version, shard count, per-shard records)
+//!   shard_00000.mgs     (the binary `Shard` format)
+//!   shard_00001.mgs
+//!   …
+//! ```
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::{Dataset, Sample, Shard};
+
+const MANIFEST_NAME: &str = "MANIFEST";
+const MANIFEST_VERSION: u32 = 1;
+
+/// Error while reading or writing a shard directory.
+#[derive(Debug)]
+pub enum DirStoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The manifest is missing, malformed, or has an unsupported version.
+    BadManifest(String),
+    /// A shard file failed to decode.
+    BadShard {
+        /// Index of the failing shard.
+        index: usize,
+        /// The decode failure.
+        source: crate::DecodeError,
+    },
+    /// A shard's sample count disagrees with the manifest.
+    CountMismatch {
+        /// Index of the failing shard.
+        index: usize,
+        /// Count declared by the manifest.
+        expected: usize,
+        /// Count actually decoded.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for DirStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DirStoreError::Io(e) => write!(f, "shard directory i/o error: {e}"),
+            DirStoreError::BadManifest(m) => write!(f, "bad manifest: {m}"),
+            DirStoreError::BadShard { index, source } => {
+                write!(f, "shard {index} failed to decode: {source}")
+            }
+            DirStoreError::CountMismatch { index, expected, actual } => {
+                write!(f, "shard {index} holds {actual} samples, manifest says {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DirStoreError {}
+
+impl From<std::io::Error> for DirStoreError {
+    fn from(e: std::io::Error) -> Self {
+        DirStoreError::Io(e)
+    }
+}
+
+/// One manifest record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ShardRecord {
+    file: String,
+    n_samples: usize,
+    n_bytes: u64,
+}
+
+/// A dataset stored as shard files in a directory.
+///
+/// # Examples
+///
+/// ```no_run
+/// use matgnn_data::{Dataset, DirStore, GeneratorConfig};
+///
+/// let ds = Dataset::generate_aggregate(100, 1, &GeneratorConfig::default());
+/// let store = DirStore::write(&ds, "dataset_dir", 16)?;
+/// assert_eq!(store.n_shards(), 7); // ceil(100 / 16)
+///
+/// // Later / elsewhere: stream shard by shard without loading everything.
+/// let store = DirStore::open("dataset_dir")?;
+/// let first_shard: Vec<_> = store.read_shard(0)?;
+/// assert_eq!(first_shard.len(), 16);
+/// # Ok::<(), matgnn_data::DirStoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirStore {
+    dir: PathBuf,
+    shards: Vec<ShardRecord>,
+}
+
+impl DirStore {
+    /// Writes `dataset` into `dir` as shards of `shard_size` samples,
+    /// creating the directory (and overwriting a previous manifest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DirStoreError::Io`] on filesystem failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_size` is zero.
+    pub fn write(
+        dataset: &Dataset,
+        dir: impl AsRef<Path>,
+        shard_size: usize,
+    ) -> Result<DirStore, DirStoreError> {
+        assert!(shard_size > 0, "shard_size must be positive");
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut shards = Vec::new();
+        for (i, chunk) in dataset.samples().chunks(shard_size).enumerate() {
+            let refs: Vec<&Sample> = chunk.iter().collect();
+            let shard = Shard::encode(&refs);
+            let file = format!("shard_{i:05}.mgs");
+            fs::write(dir.join(&file), shard.as_bytes())?;
+            shards.push(ShardRecord {
+                file,
+                n_samples: chunk.len(),
+                n_bytes: shard.len_bytes() as u64,
+            });
+        }
+        let mut manifest = format!("matgnn-shards v{MANIFEST_VERSION}\n{}\n", shards.len());
+        for r in &shards {
+            manifest.push_str(&format!("{} {} {}\n", r.file, r.n_samples, r.n_bytes));
+        }
+        fs::write(dir.join(MANIFEST_NAME), manifest)?;
+        Ok(DirStore { dir, shards })
+    }
+
+    /// Opens an existing shard directory by reading its manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DirStoreError::BadManifest`] on a missing/malformed
+    /// manifest and [`DirStoreError::Io`] on filesystem failures.
+    pub fn open(dir: impl AsRef<Path>) -> Result<DirStore, DirStoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        let text = fs::read_to_string(dir.join(MANIFEST_NAME))
+            .map_err(|e| DirStoreError::BadManifest(format!("cannot read manifest: {e}")))?;
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| DirStoreError::BadManifest("empty".into()))?;
+        let expected_header = format!("matgnn-shards v{MANIFEST_VERSION}");
+        if header != expected_header {
+            return Err(DirStoreError::BadManifest(format!("header `{header}`")));
+        }
+        let count: usize = lines
+            .next()
+            .and_then(|l| l.trim().parse().ok())
+            .ok_or_else(|| DirStoreError::BadManifest("missing shard count".into()))?;
+        let mut shards = Vec::with_capacity(count);
+        for (i, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (file, n_samples, n_bytes) = (
+                parts.next().map(str::to_string),
+                parts.next().and_then(|p| p.parse::<usize>().ok()),
+                parts.next().and_then(|p| p.parse::<u64>().ok()),
+            );
+            match (file, n_samples, n_bytes) {
+                (Some(file), Some(n_samples), Some(n_bytes)) => {
+                    shards.push(ShardRecord { file, n_samples, n_bytes });
+                }
+                _ => return Err(DirStoreError::BadManifest(format!("record {i}: `{line}`"))),
+            }
+        }
+        if shards.len() != count {
+            return Err(DirStoreError::BadManifest(format!(
+                "declared {count} shards, found {}",
+                shards.len()
+            )));
+        }
+        Ok(DirStore { dir, shards })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total samples across all shards (per the manifest).
+    pub fn n_samples(&self) -> usize {
+        self.shards.iter().map(|r| r.n_samples).sum()
+    }
+
+    /// Total serialized bytes across all shards (per the manifest).
+    pub fn total_bytes(&self) -> u64 {
+        self.shards.iter().map(|r| r.n_bytes).sum()
+    }
+
+    /// Reads and decodes one shard, verifying its sample count against
+    /// the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns decode or I/O errors; see [`DirStoreError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn read_shard(&self, index: usize) -> Result<Vec<Sample>, DirStoreError> {
+        let record = &self.shards[index];
+        let bytes = fs::read(self.dir.join(&record.file))?;
+        let samples = Shard::from_bytes(bytes)
+            .decode()
+            .map_err(|source| DirStoreError::BadShard { index, source })?;
+        if samples.len() != record.n_samples {
+            return Err(DirStoreError::CountMismatch {
+                index,
+                expected: record.n_samples,
+                actual: samples.len(),
+            });
+        }
+        Ok(samples)
+    }
+
+    /// Loads the whole directory back into memory as a [`Dataset`]
+    /// (convenience; prefer [`read_shard`](DirStore::read_shard) for
+    /// streaming).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure.
+    pub fn load_all(&self) -> Result<Dataset, DirStoreError> {
+        let mut samples = Vec::with_capacity(self.n_samples());
+        for i in 0..self.n_shards() {
+            samples.extend(self.read_shard(i)?);
+        }
+        Ok(Dataset::from_samples(samples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GeneratorConfig;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("matgnn_dirstore_{}_{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn write_open_roundtrip() {
+        let dir = tmp("roundtrip");
+        let ds = Dataset::generate_aggregate(37, 3, &GeneratorConfig::default());
+        let written = DirStore::write(&ds, &dir, 10).unwrap();
+        assert_eq!(written.n_shards(), 4);
+        assert_eq!(written.n_samples(), 37);
+
+        let opened = DirStore::open(&dir).unwrap();
+        assert_eq!(opened.n_shards(), 4);
+        assert_eq!(opened.n_samples(), 37);
+        assert_eq!(opened.total_bytes(), written.total_bytes());
+
+        let loaded = opened.load_all().unwrap();
+        assert_eq!(loaded.len(), ds.len());
+        for (a, b) in ds.samples().iter().zip(loaded.samples().iter()) {
+            assert_eq!(a.graph.species(), b.graph.species());
+            assert!((a.energy - b.energy).abs() < 1e-12);
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_streaming_matches_chunks() {
+        let dir = tmp("stream");
+        let ds = Dataset::generate_aggregate(25, 5, &GeneratorConfig::default());
+        let store = DirStore::write(&ds, &dir, 8).unwrap();
+        let mut offset = 0;
+        for i in 0..store.n_shards() {
+            let shard = store.read_shard(i).unwrap();
+            for (j, s) in shard.iter().enumerate() {
+                assert_eq!(s.source, ds.sample(offset + j).source);
+            }
+            offset += shard.len();
+        }
+        assert_eq!(offset, ds.len());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_errors() {
+        let dir = tmp("missing");
+        fs::create_dir_all(&dir).unwrap();
+        let err = DirStore::open(&dir).unwrap_err();
+        assert!(matches!(err, DirStoreError::BadManifest(_)), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_shard_detected() {
+        let dir = tmp("corrupt");
+        let ds = Dataset::generate_aggregate(12, 7, &GeneratorConfig::default());
+        let store = DirStore::write(&ds, &dir, 6).unwrap();
+        // Truncate the second shard file.
+        let path = dir.join("shard_00001.mgs");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = store.read_shard(1).unwrap_err();
+        assert!(matches!(err, DirStoreError::BadShard { index: 1, .. }), "{err}");
+        // Shard 0 still reads fine.
+        assert_eq!(store.read_shard(0).unwrap().len(), 6);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_manifest_record_errors() {
+        let dir = tmp("malformed");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(MANIFEST_NAME), "matgnn-shards v1\n1\nnot-enough-fields\n").unwrap();
+        let err = DirStore::open(&dir).unwrap_err();
+        assert!(matches!(err, DirStoreError::BadManifest(_)), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let dir = tmp("version");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(MANIFEST_NAME), "matgnn-shards v99\n0\n").unwrap();
+        assert!(DirStore::open(&dir).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,185 @@
+//! Mini-batch iteration: samples → `(GraphBatch, Targets)` pairs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use matgnn_graph::{GraphBatch, MolGraph};
+use matgnn_tensor::Tensor;
+
+use crate::{Dataset, Normalizer, Sample};
+
+/// Normalized training targets aligned with a [`GraphBatch`].
+#[derive(Debug, Clone)]
+pub struct Targets {
+    /// Normalized per-atom energies, `[n_graphs × 1]`.
+    pub energy: Tensor,
+    /// Normalized forces, `[n_nodes × 3]`.
+    pub forces: Tensor,
+}
+
+impl Targets {
+    /// Builds targets for `samples` under `normalizer`.
+    pub fn from_samples(samples: &[&Sample], normalizer: &Normalizer) -> Self {
+        let energy: Vec<f32> = samples
+            .iter()
+            .map(|s| normalizer.normalize_energy_for(s.energy, s.n_nodes(), s.source) as f32)
+            .collect();
+        let n_nodes: usize = samples.iter().map(|s| s.n_nodes()).sum();
+        let mut forces = Vec::with_capacity(n_nodes * 3);
+        for s in samples {
+            for f in &s.forces {
+                for &c in f.iter() {
+                    forces.push(normalizer.normalize_force(c) as f32);
+                }
+            }
+        }
+        Targets {
+            energy: Tensor::from_vec((samples.len(), 1), energy).expect("energy targets"),
+            forces: Tensor::from_vec((n_nodes, 3), forces).expect("force targets"),
+        }
+    }
+}
+
+/// Builds the `(GraphBatch, Targets)` pair for a set of samples.
+pub fn collate(samples: &[&Sample], normalizer: &Normalizer) -> (GraphBatch, Targets) {
+    let graphs: Vec<&MolGraph> = samples.iter().map(|s| &s.graph).collect();
+    let batch = GraphBatch::from_graphs(&graphs);
+    let targets = Targets::from_samples(samples, normalizer);
+    (batch, targets)
+}
+
+/// An iterator over shuffled mini-batches of a dataset.
+///
+/// # Examples
+///
+/// ```
+/// use matgnn_data::{BatchIterator, Dataset, GeneratorConfig, Normalizer};
+///
+/// let ds = Dataset::generate_aggregate(20, 3, &GeneratorConfig::default());
+/// let norm = Normalizer::fit(&ds);
+/// let batches: Vec<_> = BatchIterator::new(&ds, 8, Some(1), norm).collect();
+/// assert_eq!(batches.len(), 3); // 8 + 8 + 4
+/// ```
+#[derive(Debug)]
+pub struct BatchIterator<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    pos: usize,
+    normalizer: Normalizer,
+}
+
+impl<'a> BatchIterator<'a> {
+    /// Creates an iterator over `dataset` in batches of `batch_size`
+    /// graphs, shuffled by `shuffle_seed` (or in order if `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(
+        dataset: &'a Dataset,
+        batch_size: usize,
+        shuffle_seed: Option<u64>,
+        normalizer: Normalizer,
+    ) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        if let Some(seed) = shuffle_seed {
+            order.shuffle(&mut StdRng::seed_from_u64(seed));
+        }
+        BatchIterator { dataset, order, batch_size, pos: 0, normalizer }
+    }
+
+    /// Number of batches this iterator will yield.
+    pub fn n_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+}
+
+impl Iterator for BatchIterator<'_> {
+    type Item = (GraphBatch, Targets);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.order.len() {
+            return None;
+        }
+        let end = (self.pos + self.batch_size).min(self.order.len());
+        let samples: Vec<&Sample> =
+            self.order[self.pos..end].iter().map(|&i| self.dataset.sample(i)).collect();
+        self.pos = end;
+        Some(collate(&samples, &self.normalizer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GeneratorConfig;
+
+    fn dataset() -> Dataset {
+        Dataset::generate_aggregate(20, 5, &GeneratorConfig::default())
+    }
+
+    #[test]
+    fn covers_every_sample_once() {
+        let ds = dataset();
+        let norm = Normalizer::fit(&ds);
+        let total: usize = BatchIterator::new(&ds, 6, Some(3), norm)
+            .map(|(b, _)| b.n_graphs())
+            .sum();
+        assert_eq!(total, ds.len());
+    }
+
+    #[test]
+    fn batch_targets_align_with_batch() {
+        let ds = dataset();
+        let norm = Normalizer::fit(&ds);
+        for (batch, targets) in BatchIterator::new(&ds, 4, Some(1), norm) {
+            assert_eq!(targets.energy.rows(), batch.n_graphs());
+            assert_eq!(targets.forces.rows(), batch.n_nodes());
+        }
+    }
+
+    #[test]
+    fn shuffling_changes_order_deterministically() {
+        let ds = dataset();
+        let norm = Normalizer::fit(&ds);
+        let first = |seed| {
+            let (b, _) = BatchIterator::new(&ds, 4, Some(seed), norm).next().unwrap();
+            b.node_counts().to_vec()
+        };
+        assert_eq!(first(7), first(7));
+        // Different seeds very likely produce different first batches.
+        let a = first(7);
+        let b = first(8);
+        let c = first(9);
+        assert!(a != b || b != c, "shuffle appears inert");
+    }
+
+    #[test]
+    fn unshuffled_iteration_is_in_order() {
+        let ds = dataset();
+        let norm = Normalizer::fit(&ds);
+        let (batch, targets) = BatchIterator::new(&ds, 3, None, norm).next().unwrap();
+        assert_eq!(batch.node_counts()[0], ds.sample(0).n_nodes());
+        let expect = norm.normalize_energy(ds.sample(0).energy, ds.sample(0).n_nodes()) as f32;
+        assert!((targets.energy.get(0, 0) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn n_batches_matches_iteration() {
+        let ds = dataset();
+        let norm = Normalizer::fit(&ds);
+        let it = BatchIterator::new(&ds, 7, None, norm);
+        assert_eq!(it.n_batches(), it.count());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size")]
+    fn zero_batch_size_panics() {
+        let ds = dataset();
+        let norm = Normalizer::fit(&ds);
+        let _ = BatchIterator::new(&ds, 0, None, norm);
+    }
+}

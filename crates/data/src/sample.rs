@@ -1,0 +1,104 @@
+//! A labelled training sample: a molecular graph plus its energy and
+//! per-atom force targets.
+
+use serde::{Deserialize, Serialize};
+
+use matgnn_graph::vec3::Vec3;
+use matgnn_graph::MolGraph;
+
+use crate::SourceKind;
+
+/// One labelled atomistic sample.
+///
+/// Labels come from the synthetic reference potential (the DFT-oracle
+/// substitute) plus a per-source systematic shift, mirroring how the
+/// paper's five sources were produced with different DFT settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// The molecular graph (nodes, edges, minimum-image edge vectors).
+    pub graph: MolGraph,
+    /// Total energy label (eV).
+    pub energy: f64,
+    /// Per-atom force labels (eV/Å), one per node.
+    pub forces: Vec<Vec3>,
+    /// Which synthetic source generated this sample.
+    pub source: SourceKind,
+}
+
+impl Sample {
+    /// Number of atoms.
+    pub fn n_nodes(&self) -> usize {
+        self.graph.n_nodes()
+    }
+
+    /// Number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        self.graph.n_edges()
+    }
+
+    /// Energy per atom (eV/atom); 0 for empty graphs.
+    pub fn energy_per_atom(&self) -> f64 {
+        if self.n_nodes() == 0 {
+            0.0
+        } else {
+            self.energy / self.n_nodes() as f64
+        }
+    }
+
+    /// Approximate serialized size in bytes (the unit of the paper's
+    /// Table I "Size" column): species (1 B), edge endpoints (2×4 B),
+    /// edge vectors (3×4 B), forces (3×4 B), energy + header.
+    pub fn approx_bytes(&self) -> u64 {
+        let nodes = self.n_nodes() as u64;
+        let edges = self.n_edges() as u64;
+        nodes * (1 + 12) + edges * (8 + 12) + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matgnn_graph::{AtomicStructure, Element};
+
+    fn sample() -> Sample {
+        let s = AtomicStructure::new(
+            vec![Element::C, Element::H],
+            vec![[0.0, 0.0, 0.0], [1.1, 0.0, 0.0]],
+        )
+        .unwrap();
+        Sample {
+            graph: MolGraph::from_structure(&s, 2.0),
+            energy: -4.2,
+            forces: vec![[0.1, 0.0, 0.0], [-0.1, 0.0, 0.0]],
+            source: SourceKind::Ani1x,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let s = sample();
+        assert_eq!(s.n_nodes(), 2);
+        assert_eq!(s.n_edges(), 2);
+        assert!((s.energy_per_atom() + 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approx_bytes_positive_and_monotone() {
+        let s = sample();
+        let b = s.approx_bytes();
+        assert!(b > 0);
+        // More atoms → more bytes.
+        let big = AtomicStructure::new(
+            vec![Element::C; 10],
+            (0..10).map(|i| [i as f64 * 1.2, 0.0, 0.0]).collect(),
+        )
+        .unwrap();
+        let big_sample = Sample {
+            graph: MolGraph::from_structure(&big, 2.0),
+            energy: -40.0,
+            forces: vec![[0.0; 3]; 10],
+            source: SourceKind::MpTrj,
+        };
+        assert!(big_sample.approx_bytes() > b);
+    }
+}

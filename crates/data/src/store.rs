@@ -1,0 +1,381 @@
+//! A sharded in-memory data store — the substitute for the paper's
+//! ADIOS + DDStore stack (Sec. III-D).
+//!
+//! The real system serializes graphs into a scientific data format and
+//! serves shards to training ranks from an in-memory distributed store.
+//! Here: samples are packed into a compact binary [`Shard`] format, shards
+//! are assigned round-robin to simulated ranks, and a rank fetching a shard
+//! it does not own is counted as remote traffic — the quantity DDStore
+//! exists to minimize.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use matgnn_graph::{Element, MolGraph};
+
+use crate::{Dataset, Sample, SourceKind};
+
+/// Error when decoding a shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// An element or source tag byte was invalid.
+    BadTag(u8),
+    /// An edge referenced a node out of range.
+    BadIndex {
+        /// The offending index.
+        index: u32,
+        /// The exclusive bound.
+        bound: u32,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "shard buffer truncated"),
+            DecodeError::BadTag(t) => write!(f, "invalid tag byte {t}"),
+            DecodeError::BadIndex { index, bound } => {
+                write!(f, "edge index {index} out of bound {bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn source_tag(kind: SourceKind) -> u8 {
+    SourceKind::ALL.iter().position(|&k| k == kind).expect("known source") as u8
+}
+
+fn source_from_tag(tag: u8) -> Result<SourceKind, DecodeError> {
+    SourceKind::ALL.get(tag as usize).copied().ok_or(DecodeError::BadTag(tag))
+}
+
+/// An immutable, compact binary pack of samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    data: Bytes,
+}
+
+impl Shard {
+    /// Serializes `samples` into a shard.
+    pub fn encode(samples: &[&Sample]) -> Shard {
+        let mut buf = BytesMut::new();
+        buf.put_u32(samples.len() as u32);
+        for s in samples {
+            let g = &s.graph;
+            buf.put_u32(g.n_nodes() as u32);
+            buf.put_u32(g.n_edges() as u32);
+            for &e in g.species() {
+                buf.put_u8(e.index() as u8);
+            }
+            for k in 0..g.n_edges() {
+                buf.put_u32(g.src()[k] as u32);
+                buf.put_u32(g.dst()[k] as u32);
+            }
+            for v in g.edge_vectors() {
+                for c in v {
+                    buf.put_f32(*c as f32);
+                }
+            }
+            buf.put_f64(s.energy);
+            for f in &s.forces {
+                for c in f {
+                    buf.put_f64(*c);
+                }
+            }
+            buf.put_u8(source_tag(s.source));
+        }
+        Shard { data: buf.freeze() }
+    }
+
+    /// Deserializes the shard back into samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated buffers, unknown tags, or
+    /// out-of-range edge indices. Edge-vector `f32` round-tripping loses
+    /// sub-single precision relative to the original `f64` vectors.
+    pub fn decode(&self) -> Result<Vec<Sample>, DecodeError> {
+        let mut buf = self.data.clone();
+        let need = |buf: &Bytes, n: usize| {
+            if buf.remaining() < n {
+                Err(DecodeError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+        need(&buf, 4)?;
+        let count = buf.get_u32() as usize;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            need(&buf, 8)?;
+            let n_nodes = buf.get_u32() as usize;
+            let n_edges = buf.get_u32() as usize;
+            need(&buf, n_nodes)?;
+            let mut species = Vec::with_capacity(n_nodes);
+            for _ in 0..n_nodes {
+                let tag = buf.get_u8();
+                species.push(
+                    Element::from_index(tag as usize).ok_or(DecodeError::BadTag(tag))?,
+                );
+            }
+            need(&buf, n_edges * 8)?;
+            let mut src = Vec::with_capacity(n_edges);
+            let mut dst = Vec::with_capacity(n_edges);
+            for _ in 0..n_edges {
+                let s = buf.get_u32();
+                let d = buf.get_u32();
+                for &i in &[s, d] {
+                    if i as usize >= n_nodes {
+                        return Err(DecodeError::BadIndex { index: i, bound: n_nodes as u32 });
+                    }
+                }
+                src.push(s as usize);
+                dst.push(d as usize);
+            }
+            need(&buf, n_edges * 12)?;
+            let mut edge_vectors = Vec::with_capacity(n_edges);
+            for _ in 0..n_edges {
+                edge_vectors.push([
+                    buf.get_f32() as f64,
+                    buf.get_f32() as f64,
+                    buf.get_f32() as f64,
+                ]);
+            }
+            need(&buf, 8 + n_nodes * 24 + 1)?;
+            let energy = buf.get_f64();
+            let mut forces = Vec::with_capacity(n_nodes);
+            for _ in 0..n_nodes {
+                forces.push([buf.get_f64(), buf.get_f64(), buf.get_f64()]);
+            }
+            let source = source_from_tag(buf.get_u8())?;
+            out.push(Sample {
+                graph: MolGraph::from_parts(species, src, dst, edge_vectors),
+                energy,
+                forces,
+                source,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Size of the serialized shard in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The raw serialized bytes (for file storage).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Wraps raw bytes previously produced by [`Shard::as_bytes`].
+    ///
+    /// No validation happens here; [`Shard::decode`] reports malformed
+    /// content.
+    pub fn from_bytes(data: impl Into<Bytes>) -> Shard {
+        Shard { data: data.into() }
+    }
+}
+
+/// Traffic statistics of a [`DistributedStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Fetches served from the requesting rank's own shards.
+    pub local_hits: u64,
+    /// Fetches that crossed ranks.
+    pub remote_hits: u64,
+    /// Bytes moved across ranks.
+    pub remote_bytes: u64,
+}
+
+/// Shards distributed round-robin across simulated ranks, with remote
+/// traffic accounting.
+///
+/// # Examples
+///
+/// ```
+/// use matgnn_data::{Dataset, DistributedStore, GeneratorConfig};
+///
+/// let ds = Dataset::generate_aggregate(12, 1, &GeneratorConfig::default());
+/// let store = DistributedStore::new(&ds, 3, 4);
+/// // Fetching a shard owned elsewhere counts as remote traffic.
+/// let samples = store.fetch(0, store.n_shards() - 1).unwrap();
+/// assert!(!samples.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct DistributedStore {
+    shards: Vec<Shard>,
+    world: usize,
+    local_hits: AtomicU64,
+    remote_hits: AtomicU64,
+    remote_bytes: AtomicU64,
+}
+
+impl DistributedStore {
+    /// Packs `dataset` into shards of `shard_size` samples distributed
+    /// over `world` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_size` or `world` is zero.
+    pub fn new(dataset: &Dataset, shard_size: usize, world: usize) -> Self {
+        assert!(shard_size > 0, "shard_size must be positive");
+        assert!(world > 0, "world must be positive");
+        let shards = dataset
+            .samples()
+            .chunks(shard_size)
+            .map(|chunk| {
+                let refs: Vec<&Sample> = chunk.iter().collect();
+                Shard::encode(&refs)
+            })
+            .collect();
+        DistributedStore {
+            shards,
+            world,
+            local_hits: AtomicU64::new(0),
+            remote_hits: AtomicU64::new(0),
+            remote_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The rank that owns `shard` (round-robin placement).
+    pub fn owner_of(&self, shard: usize) -> usize {
+        shard % self.world
+    }
+
+    /// Shard indices owned by `rank`.
+    pub fn shards_of(&self, rank: usize) -> Vec<usize> {
+        (0..self.shards.len()).filter(|&s| self.owner_of(s) == rank).collect()
+    }
+
+    /// Fetches and decodes a shard on behalf of `rank`, counting remote
+    /// traffic when the shard lives on another rank.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the shard fails to decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn fetch(&self, rank: usize, shard: usize) -> Result<Vec<Sample>, DecodeError> {
+        let s = &self.shards[shard];
+        if self.owner_of(shard) == rank {
+            self.local_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.remote_hits.fetch_add(1, Ordering::Relaxed);
+            self.remote_bytes.fetch_add(s.len_bytes() as u64, Ordering::Relaxed);
+        }
+        s.decode()
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            local_hits: self.local_hits.load(Ordering::Relaxed),
+            remote_hits: self.remote_hits.load(Ordering::Relaxed),
+            remote_bytes: self.remote_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total serialized bytes across all shards.
+    pub fn total_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.len_bytes() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GeneratorConfig;
+
+    fn dataset() -> Dataset {
+        Dataset::generate_aggregate(15, 9, &GeneratorConfig::default())
+    }
+
+    #[test]
+    fn shard_roundtrip_preserves_structure() {
+        let ds = dataset();
+        let refs: Vec<&Sample> = ds.samples().iter().collect();
+        let shard = Shard::encode(&refs);
+        let decoded = shard.decode().unwrap();
+        assert_eq!(decoded.len(), ds.len());
+        for (a, b) in ds.samples().iter().zip(decoded.iter()) {
+            assert_eq!(a.graph.species(), b.graph.species());
+            assert_eq!(a.graph.src(), b.graph.src());
+            assert_eq!(a.graph.dst(), b.graph.dst());
+            assert_eq!(a.source, b.source);
+            assert!((a.energy - b.energy).abs() < 1e-12);
+            for (fa, fb) in a.forces.iter().zip(b.forces.iter()) {
+                for k in 0..3 {
+                    assert!((fa[k] - fb[k]).abs() < 1e-12);
+                }
+            }
+            // Edge vectors round-trip through f32.
+            for (va, vb) in a.graph.edge_vectors().iter().zip(b.graph.edge_vectors().iter()) {
+                for k in 0..3 {
+                    assert!((va[k] - vb[k]).abs() < 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_shard_errors() {
+        let ds = dataset();
+        let refs: Vec<&Sample> = ds.samples().iter().take(2).collect();
+        let shard = Shard::encode(&refs);
+        let cut = Shard { data: shard.data.slice(0..shard.len_bytes() / 2) };
+        assert!(matches!(cut.decode(), Err(DecodeError::Truncated)));
+    }
+
+    #[test]
+    fn empty_shard_roundtrip() {
+        let shard = Shard::encode(&[]);
+        assert!(shard.decode().unwrap().is_empty());
+    }
+
+    #[test]
+    fn store_placement_round_robin() {
+        let ds = dataset();
+        let store = DistributedStore::new(&ds, 2, 4);
+        assert_eq!(store.n_shards(), 8);
+        assert_eq!(store.owner_of(0), 0);
+        assert_eq!(store.owner_of(5), 1);
+        assert_eq!(store.shards_of(0), vec![0, 4]);
+    }
+
+    #[test]
+    fn remote_traffic_counted() {
+        let ds = dataset();
+        let store = DistributedStore::new(&ds, 4, 2);
+        let _ = store.fetch(0, 0).unwrap(); // local (owner 0)
+        let _ = store.fetch(0, 1).unwrap(); // remote (owner 1)
+        let stats = store.stats();
+        assert_eq!(stats.local_hits, 1);
+        assert_eq!(stats.remote_hits, 1);
+        assert!(stats.remote_bytes > 0);
+    }
+
+    #[test]
+    fn all_samples_recoverable_through_store() {
+        let ds = dataset();
+        let store = DistributedStore::new(&ds, 4, 3);
+        let mut total = 0;
+        for shard in 0..store.n_shards() {
+            total += store.fetch(store.owner_of(shard), shard).unwrap().len();
+        }
+        assert_eq!(total, ds.len());
+        assert_eq!(store.stats().remote_hits, 0);
+    }
+}

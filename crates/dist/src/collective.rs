@@ -1,0 +1,441 @@
+//! Collective communication between simulated ranks.
+//!
+//! Ranks are OS threads on one machine; a [`Communicator`] gives each of
+//! them NCCL-style collectives (all-reduce, reduce-scatter, all-gather,
+//! broadcast, barrier) over shared staging slots. Semantics — *who holds
+//! which bytes when* — match the real collectives exactly, which is what
+//! the DDP/ZeRO memory results depend on. Traffic is additionally priced
+//! by a ring-algorithm [`CostModel`] so experiments can report modeled
+//! interconnect time alongside measured wall time (one CPU core cannot
+//! exhibit real NVLink behaviour).
+
+use std::sync::{Arc, Barrier};
+
+use parking_lot::Mutex;
+
+/// Link parameters used to price collectives (defaults approximate one
+/// NVLink-3 hop as in the paper's Perlmutter nodes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Per-direction link bandwidth in GB/s.
+    pub link_gb_per_s: f64,
+    /// Per-collective latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { link_gb_per_s: 100.0, latency_us: 10.0 }
+    }
+}
+
+impl CostModel {
+    /// Modeled seconds to move `bytes` through one rank's link, plus
+    /// latency.
+    pub fn seconds(&self, bytes: u64) -> f64 {
+        self.latency_us * 1e-6 + bytes as f64 / (self.link_gb_per_s * 1e9)
+    }
+}
+
+/// Per-rank traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    /// Bytes this rank moved over the (modeled) interconnect.
+    pub bytes_moved: u64,
+    /// Number of collective operations.
+    pub collectives: u64,
+    /// Modeled interconnect time in seconds.
+    pub modeled_seconds: f64,
+}
+
+struct Inner {
+    world: usize,
+    slots: Mutex<Vec<Option<Vec<f32>>>>,
+    barrier: Barrier,
+    cost: CostModel,
+}
+
+/// One rank's handle to the collective group.
+///
+/// # Examples
+///
+/// ```
+/// use matgnn_dist::Communicator;
+///
+/// let comms = Communicator::create(2, Default::default());
+/// let handles: Vec<_> = comms
+///     .into_iter()
+///     .map(|mut comm| {
+///         std::thread::spawn(move || {
+///             let mut v = vec![comm.rank() as f32 + 1.0];
+///             comm.all_reduce_sum(&mut v);
+///             v[0]
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     assert_eq!(h.join().unwrap(), 3.0); // 1 + 2 on every rank
+/// }
+/// ```
+pub struct Communicator {
+    rank: usize,
+    inner: Arc<Inner>,
+    stats: CommStats,
+}
+
+/// The contiguous shard `[start, end)` of a length-`len` vector owned by
+/// `rank` out of `world` (ceil-partitioned; trailing ranks may be empty).
+pub fn shard_range(len: usize, world: usize, rank: usize) -> (usize, usize) {
+    let chunk = len.div_ceil(world);
+    let start = (rank * chunk).min(len);
+    let end = ((rank + 1) * chunk).min(len);
+    (start, end)
+}
+
+impl Communicator {
+    /// Creates one communicator per rank, all connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world` is zero.
+    pub fn create(world: usize, cost: CostModel) -> Vec<Communicator> {
+        assert!(world > 0, "world must be positive");
+        let inner = Arc::new(Inner {
+            world,
+            slots: Mutex::new(vec![None; world]),
+            barrier: Barrier::new(world),
+            cost,
+        });
+        (0..world)
+            .map(|rank| Communicator { rank, inner: Arc::clone(&inner), stats: CommStats::default() })
+            .collect()
+    }
+
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn world(&self) -> usize {
+        self.inner.world
+    }
+
+    /// Traffic accumulated by this rank.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Blocks until every rank has reached the barrier.
+    pub fn barrier(&self) {
+        self.inner.barrier.wait();
+    }
+
+    fn account(&mut self, bytes: u64) {
+        self.stats.bytes_moved += bytes;
+        self.stats.collectives += 1;
+        self.stats.modeled_seconds += self.inner.cost.seconds(bytes);
+    }
+
+    fn publish(&self, data: Vec<f32>) {
+        self.inner.slots.lock()[self.rank] = Some(data);
+        self.barrier();
+    }
+
+    fn finish(&self) {
+        self.barrier();
+        if self.rank == 0 {
+            let mut slots = self.inner.slots.lock();
+            slots.iter_mut().for_each(|s| *s = None);
+        }
+        self.barrier();
+    }
+
+    /// In-place all-reduce (sum): after the call every rank holds the
+    /// element-wise sum of all ranks' vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranks pass vectors of different lengths.
+    pub fn all_reduce_sum(&mut self, data: &mut [f32]) {
+        let w = self.world();
+        if w == 1 {
+            return;
+        }
+        self.publish(data.to_vec());
+        {
+            let slots = self.inner.slots.lock();
+            for (r, slot) in slots.iter().enumerate() {
+                if r == self.rank {
+                    continue;
+                }
+                let other = slot.as_ref().expect("missing contribution");
+                assert_eq!(other.len(), data.len(), "all_reduce length mismatch");
+                for (d, &o) in data.iter_mut().zip(other.iter()) {
+                    *d += o;
+                }
+            }
+        }
+        self.finish();
+        // Ring all-reduce traffic: 2·(w−1)/w of the payload per rank.
+        let payload = (data.len() * 4) as u64;
+        self.account(payload * 2 * (w as u64 - 1) / w as u64);
+    }
+
+    /// In-place all-reduce (mean).
+    pub fn all_reduce_mean(&mut self, data: &mut [f32]) {
+        self.all_reduce_sum(data);
+        let inv = 1.0 / self.world() as f32;
+        data.iter_mut().for_each(|x| *x *= inv);
+    }
+
+    /// Reduce-scatter (sum): every rank contributes the full vector and
+    /// receives only its own [`shard_range`] of the element-wise sum.
+    pub fn reduce_scatter_sum(&mut self, data: &[f32]) -> Vec<f32> {
+        let w = self.world();
+        let (start, end) = shard_range(data.len(), w, self.rank);
+        if w == 1 {
+            return data[start..end].to_vec();
+        }
+        self.publish(data.to_vec());
+        let mut shard = data[start..end].to_vec();
+        {
+            let slots = self.inner.slots.lock();
+            for (r, slot) in slots.iter().enumerate() {
+                if r == self.rank {
+                    continue;
+                }
+                let other = slot.as_ref().expect("missing contribution");
+                assert_eq!(other.len(), data.len(), "reduce_scatter length mismatch");
+                for (d, &o) in shard.iter_mut().zip(other[start..end].iter()) {
+                    *d += o;
+                }
+            }
+        }
+        self.finish();
+        let payload = (data.len() * 4) as u64;
+        self.account(payload * (w as u64 - 1) / w as u64);
+        shard
+    }
+
+    /// All-gather: every rank contributes its [`shard_range`] of a
+    /// length-`total_len` vector and receives the concatenation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rank's shard length disagrees with its shard range.
+    pub fn all_gather(&mut self, shard: &[f32], total_len: usize) -> Vec<f32> {
+        let w = self.world();
+        let (start, end) = shard_range(total_len, w, self.rank);
+        assert_eq!(shard.len(), end - start, "all_gather shard length mismatch");
+        if w == 1 {
+            return shard.to_vec();
+        }
+        self.publish(shard.to_vec());
+        let mut out = vec![0.0f32; total_len];
+        {
+            let slots = self.inner.slots.lock();
+            for (r, slot) in slots.iter().enumerate() {
+                let (s, e) = shard_range(total_len, w, r);
+                let piece = slot.as_ref().expect("missing contribution");
+                assert_eq!(piece.len(), e - s, "all_gather peer shard mismatch");
+                out[s..e].copy_from_slice(piece);
+            }
+        }
+        self.finish();
+        let payload = (total_len * 4) as u64;
+        self.account(payload * (w as u64 - 1) / w as u64);
+        out
+    }
+
+    /// Broadcast from `root`: after the call every rank holds root's data.
+    pub fn broadcast(&mut self, data: &mut Vec<f32>, root: usize) {
+        let w = self.world();
+        if w == 1 {
+            return;
+        }
+        if self.rank == root {
+            self.publish(data.clone());
+        } else {
+            self.barrier();
+        }
+        {
+            let slots = self.inner.slots.lock();
+            let src = slots[root].as_ref().expect("missing root data");
+            *data = src.clone();
+        }
+        self.finish();
+        let payload = (data.len() * 4) as u64;
+        self.account(payload * (w as u64 - 1) / w as u64);
+    }
+}
+
+impl std::fmt::Debug for Communicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Communicator")
+            .field("rank", &self.rank)
+            .field("world", &self.world())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    /// Runs `f` on every rank of a fresh world and collects results by
+    /// rank.
+    fn run_world<T: Send>(
+        world: usize,
+        f: impl Fn(Communicator) -> T + Sync,
+    ) -> Vec<T> {
+        let comms = Communicator::create(world, CostModel::default());
+        let mut out: Vec<Option<T>> = (0..world).map(|_| None).collect();
+        thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for comm in comms {
+                let f = &f;
+                handles.push(scope.spawn(move || (comm.rank(), f(comm))));
+            }
+            for h in handles {
+                let (rank, val) = h.join().expect("rank panicked");
+                out[rank] = Some(val);
+            }
+        });
+        out.into_iter().map(|v| v.expect("missing rank result")).collect()
+    }
+
+    #[test]
+    fn shard_ranges_partition() {
+        for (len, world) in [(10, 3), (7, 7), (5, 8), (0, 2), (16, 4)] {
+            let mut covered = 0;
+            for r in 0..world {
+                let (s, e) = shard_range(len, world, r);
+                assert_eq!(s, covered.min(len));
+                covered = e;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+
+    #[test]
+    fn all_reduce_sums_across_ranks() {
+        let results = run_world(4, |mut comm| {
+            let mut v = vec![comm.rank() as f32; 5];
+            comm.all_reduce_sum(&mut v);
+            v
+        });
+        for v in results {
+            assert_eq!(v, vec![6.0; 5]); // 0+1+2+3
+        }
+    }
+
+    #[test]
+    fn all_reduce_mean_divides() {
+        let results = run_world(4, |mut comm| {
+            let mut v = vec![(comm.rank() * 4) as f32];
+            comm.all_reduce_mean(&mut v);
+            v[0]
+        });
+        for v in results {
+            assert_eq!(v, 6.0); // (0+4+8+12)/4
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_gives_summed_shards() {
+        let results = run_world(3, |mut comm| {
+            let data: Vec<f32> = (0..9).map(|i| (i + comm.rank()) as f32).collect();
+            comm.reduce_scatter_sum(&data)
+        });
+        // Sum over ranks of (i + r) = 3i + 3.
+        for (rank, shard) in results.iter().enumerate() {
+            let (s, e) = shard_range(9, 3, rank);
+            let expect: Vec<f32> = (s..e).map(|i| 3.0 * i as f32 + 3.0).collect();
+            assert_eq!(shard, &expect);
+        }
+    }
+
+    #[test]
+    fn all_gather_concatenates() {
+        let results = run_world(4, |mut comm| {
+            let (s, e) = shard_range(10, 4, comm.rank());
+            let shard: Vec<f32> = (s..e).map(|i| i as f32).collect();
+            comm.all_gather(&shard, 10)
+        });
+        let expect: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        for v in results {
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_then_all_gather_equals_all_reduce() {
+        let results = run_world(4, |mut comm| {
+            let data: Vec<f32> = (0..13).map(|i| (i * (comm.rank() + 1)) as f32).collect();
+            let shard = comm.reduce_scatter_sum(&data);
+            let gathered = comm.all_gather(&shard, 13);
+            let mut reduced = data.clone();
+            comm.all_reduce_sum(&mut reduced);
+            (gathered, reduced)
+        });
+        for (gathered, reduced) in results {
+            assert_eq!(gathered, reduced);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_root() {
+        let results = run_world(3, |mut comm| {
+            let mut data = if comm.rank() == 1 { vec![7.0, 8.0] } else { vec![0.0, 0.0] };
+            comm.broadcast(&mut data, 1);
+            data
+        });
+        for v in results {
+            assert_eq!(v, vec![7.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn traffic_accounted() {
+        let results = run_world(2, |mut comm| {
+            let mut v = vec![0.0f32; 100];
+            comm.all_reduce_sum(&mut v);
+            comm.stats()
+        });
+        for stats in results {
+            assert_eq!(stats.collectives, 1);
+            // 2·(w−1)/w·400 = 400 bytes for w=2.
+            assert_eq!(stats.bytes_moved, 400);
+            assert!(stats.modeled_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn world_of_one_is_noop() {
+        let mut comm = Communicator::create(1, CostModel::default()).pop().unwrap();
+        let mut v = vec![3.0];
+        comm.all_reduce_sum(&mut v);
+        assert_eq!(v, vec![3.0]);
+        assert_eq!(comm.stats().bytes_moved, 0);
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_deadlock() {
+        let results = run_world(3, |mut comm| {
+            let mut acc = 0.0;
+            for i in 0..10 {
+                let mut v = vec![i as f32 + comm.rank() as f32];
+                comm.all_reduce_sum(&mut v);
+                acc += v[0];
+            }
+            acc
+        });
+        let first = results[0];
+        for v in results {
+            assert_eq!(v, first);
+        }
+    }
+}

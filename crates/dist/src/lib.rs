@@ -1,0 +1,30 @@
+//! # matgnn-dist
+//!
+//! The simulated multi-GPU runtime of the `matgnn` reproduction. The paper
+//! trains on Perlmutter nodes (4×A100 over NVLink) with PyTorch DDP plus
+//! DeepSpeed's ZeRO; here each "GPU" is an OS thread, the collectives are
+//! real (staged through shared memory with NCCL semantics and a ring-cost
+//! model for the interconnect), and both **DDP** gradient averaging and
+//! **ZeRO-1** optimizer-state sharding are actually implemented — ZeRO is
+//! tested to produce bit-compatible parameters with replicated Adam.
+//!
+//! ```
+//! use matgnn_dist::{shard_range, Communicator, CostModel};
+//!
+//! // Rank 1 of 4 owns the second quarter of a 100-element vector.
+//! assert_eq!(shard_range(100, 4, 1), (25, 50));
+//! let comms = Communicator::create(1, CostModel::default());
+//! assert_eq!(comms[0].world(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod collective;
+mod ddp;
+mod table2;
+mod zero;
+
+pub use collective::{shard_range, CommStats, Communicator, CostModel};
+pub use ddp::{flatten_tensors, train_ddp, unflatten_like, DdpConfig, DdpReport, RankStats};
+pub use table2::{format_table2, run_memory_settings, MemorySetting, SettingProfile};
+pub use zero::ZeroAdam;

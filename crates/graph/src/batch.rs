@@ -1,0 +1,221 @@
+//! Disjoint-union batching of molecular graphs into tensor form.
+//!
+//! Training processes many graphs per step; a [`GraphBatch`] concatenates
+//! them into one big graph whose edges never cross graph boundaries, with
+//! index arrays mapping nodes back to their source graph for pooling.
+
+use std::sync::Arc;
+
+use matgnn_tensor::Tensor;
+
+use crate::molgraph::NODE_FEAT_DIM;
+use crate::MolGraph;
+
+/// A batch of molecular graphs as one disjoint union, in tensor form.
+///
+/// # Examples
+///
+/// ```
+/// use matgnn_graph::{AtomicStructure, Element, GraphBatch, MolGraph};
+///
+/// let s = AtomicStructure::new(
+///     vec![Element::H, Element::H],
+///     vec![[0.0, 0.0, 0.0], [0.8, 0.0, 0.0]],
+/// )?;
+/// let g = MolGraph::from_structure(&s, 1.0);
+/// let batch = GraphBatch::from_graphs(&[&g, &g]);
+/// assert_eq!(batch.n_graphs(), 2);
+/// assert_eq!(batch.n_nodes(), 4);
+/// // Second copy's edges are offset by the first copy's node count.
+/// assert_eq!(batch.src()[2], 2);
+/// # Ok::<(), matgnn_graph::StructureError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBatch {
+    n_graphs: usize,
+    node_counts: Vec<usize>,
+    src: Arc<Vec<usize>>,
+    dst: Arc<Vec<usize>>,
+    node_graph: Arc<Vec<usize>>,
+    node_feats: Tensor,
+    edge_vectors: Tensor,
+}
+
+impl GraphBatch {
+    /// Builds the disjoint union of `graphs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graphs` is empty.
+    pub fn from_graphs(graphs: &[&MolGraph]) -> Self {
+        assert!(!graphs.is_empty(), "empty graph batch");
+        let n_nodes: usize = graphs.iter().map(|g| g.n_nodes()).sum();
+        let n_edges: usize = graphs.iter().map(|g| g.n_edges()).sum();
+
+        let mut src = Vec::with_capacity(n_edges);
+        let mut dst = Vec::with_capacity(n_edges);
+        let mut node_graph = Vec::with_capacity(n_nodes);
+        let mut node_counts = Vec::with_capacity(graphs.len());
+        let mut feats = Vec::with_capacity(n_nodes * NODE_FEAT_DIM);
+        let mut edge_vecs = Vec::with_capacity(n_edges * 3);
+
+        let mut node_offset = 0usize;
+        for (gi, g) in graphs.iter().enumerate() {
+            for &s in g.src() {
+                src.push(s + node_offset);
+            }
+            for &d in g.dst() {
+                dst.push(d + node_offset);
+            }
+            node_graph.extend(std::iter::repeat_n(gi, g.n_nodes()));
+            node_counts.push(g.n_nodes());
+            feats.extend_from_slice(&g.node_features_flat());
+            edge_vecs.extend_from_slice(&g.edge_vectors_flat());
+            node_offset += g.n_nodes();
+        }
+
+        let node_feats = Tensor::from_vec((n_nodes, NODE_FEAT_DIM), feats)
+            .expect("node feature buffer length");
+        let edge_vectors =
+            Tensor::from_vec((n_edges, 3), edge_vecs).expect("edge vector buffer length");
+
+        GraphBatch {
+            n_graphs: graphs.len(),
+            node_counts,
+            src: Arc::new(src),
+            dst: Arc::new(dst),
+            node_graph: Arc::new(node_graph),
+            node_feats,
+            edge_vectors,
+        }
+    }
+
+    /// Number of graphs in the batch.
+    pub fn n_graphs(&self) -> usize {
+        self.n_graphs
+    }
+
+    /// Total nodes across the batch.
+    pub fn n_nodes(&self) -> usize {
+        self.node_graph.len()
+    }
+
+    /// Total directed edges across the batch.
+    pub fn n_edges(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Node count of each constituent graph.
+    pub fn node_counts(&self) -> &[usize] {
+        &self.node_counts
+    }
+
+    /// Batch-global source index of each edge (shared for tape ops).
+    pub fn src(&self) -> &Arc<Vec<usize>> {
+        &self.src
+    }
+
+    /// Batch-global destination index of each edge.
+    pub fn dst(&self) -> &Arc<Vec<usize>> {
+        &self.dst
+    }
+
+    /// Graph index of each node (for pooling).
+    pub fn node_graph(&self) -> &Arc<Vec<usize>> {
+        &self.node_graph
+    }
+
+    /// Node features `[n_nodes × NODE_FEAT_DIM]`.
+    pub fn node_feats(&self) -> &Tensor {
+        &self.node_feats
+    }
+
+    /// Edge relative vectors `[n_edges × 3]`.
+    pub fn edge_vectors(&self) -> &Tensor {
+        &self.edge_vectors
+    }
+
+    /// A `[n_graphs × 1]` tensor of `1 / node_count` per graph, for mean
+    /// pooling node sums into graph means.
+    pub fn inv_node_counts(&self) -> Tensor {
+        let data: Vec<f32> = self.node_counts.iter().map(|&c| 1.0 / c.max(1) as f32).collect();
+        Tensor::from_vec((self.n_graphs, 1), data).expect("inv node count length")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AtomicStructure, Element};
+
+    fn chain(n: usize, spacing: f64) -> MolGraph {
+        let species = vec![Element::C; n];
+        let positions = (0..n).map(|i| [i as f64 * spacing, 0.0, 0.0]).collect();
+        let s = AtomicStructure::new(species, positions).unwrap();
+        MolGraph::from_structure(&s, spacing * 1.1)
+    }
+
+    #[test]
+    fn batching_offsets_edges() {
+        let g1 = chain(3, 1.0); // edges: (0,1),(1,0),(1,2),(2,1)
+        let g2 = chain(2, 1.0); // edges: (0,1),(1,0) → offset by 3
+        let b = GraphBatch::from_graphs(&[&g1, &g2]);
+        assert_eq!(b.n_nodes(), 5);
+        assert_eq!(b.n_edges(), 6);
+        assert_eq!(&b.src()[4..], &[3, 4]);
+        assert_eq!(&b.dst()[4..], &[4, 3]);
+    }
+
+    #[test]
+    fn node_graph_assignment() {
+        let g1 = chain(3, 1.0);
+        let g2 = chain(2, 1.0);
+        let b = GraphBatch::from_graphs(&[&g1, &g2]);
+        assert_eq!(b.node_graph().as_slice(), &[0, 0, 0, 1, 1]);
+        assert_eq!(b.node_counts(), &[3, 2]);
+    }
+
+    #[test]
+    fn edges_stay_within_graph() {
+        let g1 = chain(4, 1.0);
+        let g2 = chain(5, 1.0);
+        let b = GraphBatch::from_graphs(&[&g1, &g2]);
+        for k in 0..b.n_edges() {
+            let (s, d) = (b.src()[k], b.dst()[k]);
+            assert_eq!(b.node_graph()[s], b.node_graph()[d], "edge {k} crosses graphs");
+        }
+    }
+
+    #[test]
+    fn features_concatenated_in_order() {
+        let g1 = chain(2, 1.0);
+        let g2 = chain(3, 1.0);
+        let b = GraphBatch::from_graphs(&[&g1, &g2]);
+        assert_eq!(b.node_feats().rows(), 5);
+        assert_eq!(b.node_feats().cols(), NODE_FEAT_DIM);
+        assert_eq!(b.edge_vectors().rows(), b.n_edges());
+    }
+
+    #[test]
+    fn inv_node_counts() {
+        let g1 = chain(2, 1.0);
+        let g2 = chain(4, 1.0);
+        let b = GraphBatch::from_graphs(&[&g1, &g2]);
+        let inv = b.inv_node_counts();
+        assert_eq!(inv.data(), &[0.5, 0.25]);
+    }
+
+    #[test]
+    fn single_graph_batch_is_identity() {
+        let g = chain(4, 1.0);
+        let b = GraphBatch::from_graphs(&[&g]);
+        assert_eq!(b.n_nodes(), g.n_nodes());
+        assert_eq!(b.src().as_slice(), g.src());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_batch_panics() {
+        let _ = GraphBatch::from_graphs(&[]);
+    }
+}

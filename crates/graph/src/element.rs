@@ -1,0 +1,260 @@
+//! Chemical elements appearing in the five synthetic data sources.
+//!
+//! The element set covers the compositions of the paper's aggregated
+//! dataset: organics (ANI1x, QM7-X: C/H/N/O plus S/Cl/F in QM7-X), oxide
+//! catalysts with adsorbates (OC2020/OC2022: transition metals + O/H/C/N),
+//! and inorganic bulk materials (MPTrj).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A chemical element supported by the synthetic substrate.
+///
+/// The discriminant is a compact feature index (not the atomic number); use
+/// [`Element::atomic_number`] for Z.
+///
+/// # Examples
+///
+/// ```
+/// use matgnn_graph::Element;
+///
+/// assert_eq!(Element::O.atomic_number(), 8);
+/// assert!(Element::Pt.is_metal());
+/// assert_eq!(Element::COUNT, 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Element {
+    H = 0,
+    C = 1,
+    N = 2,
+    O = 3,
+    F = 4,
+    S = 5,
+    Cl = 6,
+    Si = 7,
+    Al = 8,
+    Mg = 9,
+    Ti = 10,
+    Fe = 11,
+    Ni = 12,
+    Cu = 13,
+    Zn = 14,
+    Pt = 15,
+}
+
+impl Element {
+    /// Number of supported elements (the one-hot feature width).
+    pub const COUNT: usize = 16;
+
+    /// All supported elements in feature-index order.
+    pub const ALL: [Element; Element::COUNT] = [
+        Element::H,
+        Element::C,
+        Element::N,
+        Element::O,
+        Element::F,
+        Element::S,
+        Element::Cl,
+        Element::Si,
+        Element::Al,
+        Element::Mg,
+        Element::Ti,
+        Element::Fe,
+        Element::Ni,
+        Element::Cu,
+        Element::Zn,
+        Element::Pt,
+    ];
+
+    /// The dense feature index in `0..COUNT`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Constructs an element from its feature index.
+    ///
+    /// Returns `None` if `index >= COUNT`.
+    pub fn from_index(index: usize) -> Option<Element> {
+        Element::ALL.get(index).copied()
+    }
+
+    /// The atomic number Z.
+    pub fn atomic_number(self) -> u32 {
+        match self {
+            Element::H => 1,
+            Element::C => 6,
+            Element::N => 7,
+            Element::O => 8,
+            Element::F => 9,
+            Element::Mg => 12,
+            Element::Al => 13,
+            Element::Si => 14,
+            Element::S => 16,
+            Element::Cl => 17,
+            Element::Ti => 22,
+            Element::Fe => 26,
+            Element::Ni => 28,
+            Element::Cu => 29,
+            Element::Zn => 30,
+            Element::Pt => 78,
+        }
+    }
+
+    /// Standard atomic mass in unified atomic mass units.
+    pub fn mass(self) -> f64 {
+        match self {
+            Element::H => 1.008,
+            Element::C => 12.011,
+            Element::N => 14.007,
+            Element::O => 15.999,
+            Element::F => 18.998,
+            Element::Mg => 24.305,
+            Element::Al => 26.982,
+            Element::Si => 28.085,
+            Element::S => 32.06,
+            Element::Cl => 35.45,
+            Element::Ti => 47.867,
+            Element::Fe => 55.845,
+            Element::Ni => 58.693,
+            Element::Cu => 63.546,
+            Element::Zn => 65.38,
+            Element::Pt => 195.08,
+        }
+    }
+
+    /// Covalent radius in Å (Cordero 2008 values, single-bond).
+    pub fn covalent_radius(self) -> f64 {
+        match self {
+            Element::H => 0.31,
+            Element::C => 0.76,
+            Element::N => 0.71,
+            Element::O => 0.66,
+            Element::F => 0.57,
+            Element::Mg => 1.41,
+            Element::Al => 1.21,
+            Element::Si => 1.11,
+            Element::S => 1.05,
+            Element::Cl => 1.02,
+            Element::Ti => 1.60,
+            Element::Fe => 1.32,
+            Element::Ni => 1.24,
+            Element::Cu => 1.32,
+            Element::Zn => 1.22,
+            Element::Pt => 1.36,
+        }
+    }
+
+    /// Pauling electronegativity (used by the synthetic potential to make
+    /// pair interactions element-dependent).
+    pub fn electronegativity(self) -> f64 {
+        match self {
+            Element::H => 2.20,
+            Element::C => 2.55,
+            Element::N => 3.04,
+            Element::O => 3.44,
+            Element::F => 3.98,
+            Element::Mg => 1.31,
+            Element::Al => 1.61,
+            Element::Si => 1.90,
+            Element::S => 2.58,
+            Element::Cl => 3.16,
+            Element::Ti => 1.54,
+            Element::Fe => 1.83,
+            Element::Ni => 1.91,
+            Element::Cu => 1.90,
+            Element::Zn => 1.65,
+            Element::Pt => 2.28,
+        }
+    }
+
+    /// Whether the element is a metal in this set.
+    pub fn is_metal(self) -> bool {
+        matches!(
+            self,
+            Element::Mg
+                | Element::Al
+                | Element::Ti
+                | Element::Fe
+                | Element::Ni
+                | Element::Cu
+                | Element::Zn
+                | Element::Pt
+        )
+    }
+
+    /// The element symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Element::H => "H",
+            Element::C => "C",
+            Element::N => "N",
+            Element::O => "O",
+            Element::F => "F",
+            Element::S => "S",
+            Element::Cl => "Cl",
+            Element::Si => "Si",
+            Element::Al => "Al",
+            Element::Mg => "Mg",
+            Element::Ti => "Ti",
+            Element::Fe => "Fe",
+            Element::Ni => "Ni",
+            Element::Cu => "Cu",
+            Element::Zn => "Zn",
+            Element::Pt => "Pt",
+        }
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, &e) in Element::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+            assert_eq!(Element::from_index(i), Some(e));
+        }
+        assert_eq!(Element::from_index(Element::COUNT), None);
+    }
+
+    #[test]
+    fn atomic_numbers_strictly_ordered_within_period_set() {
+        // Distinct elements must have distinct atomic numbers.
+        let mut zs: Vec<u32> = Element::ALL.iter().map(|e| e.atomic_number()).collect();
+        zs.sort_unstable();
+        zs.dedup();
+        assert_eq!(zs.len(), Element::COUNT);
+    }
+
+    #[test]
+    fn physical_data_in_plausible_range() {
+        for &e in &Element::ALL {
+            assert!(e.mass() > 0.9 && e.mass() < 250.0, "{e} mass");
+            assert!(e.covalent_radius() > 0.2 && e.covalent_radius() < 2.0, "{e} radius");
+            assert!(e.electronegativity() > 0.5 && e.electronegativity() < 4.5, "{e} EN");
+        }
+    }
+
+    #[test]
+    fn metals_classified() {
+        assert!(Element::Fe.is_metal());
+        assert!(!Element::C.is_metal());
+        assert_eq!(Element::ALL.iter().filter(|e| e.is_metal()).count(), 8);
+    }
+
+    #[test]
+    fn display_symbols() {
+        assert_eq!(Element::Cl.to_string(), "Cl");
+        assert_eq!(Element::Pt.to_string(), "Pt");
+    }
+}

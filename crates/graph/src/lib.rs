@@ -1,0 +1,39 @@
+//! # matgnn-graph
+//!
+//! The atomistic graph substrate for `matgnn`: chemical [`Element`]s,
+//! [`AtomicStructure`] geometry (with optional orthorhombic periodic
+//! cells), O(N) cell-list [`NeighborList`] construction, lowering to
+//! [`MolGraph`]s, and disjoint-union [`GraphBatch`]ing into tensors.
+//!
+//! This crate replaces the data-representation layer of the paper's
+//! HydraGNN pipeline: atoms become nodes, interatomic proximity becomes
+//! directed edges, and periodic wrap-around is baked into per-edge
+//! minimum-image relative vectors so models never see the cell.
+//!
+//! ```
+//! use matgnn_graph::{AtomicStructure, Element, GraphBatch, MolGraph};
+//!
+//! let s = AtomicStructure::new(
+//!     vec![Element::C, Element::H],
+//!     vec![[0.0, 0.0, 0.0], [1.1, 0.0, 0.0]],
+//! )?;
+//! let g = MolGraph::from_structure(&s, 1.5);
+//! let batch = GraphBatch::from_graphs(&[&g]);
+//! assert_eq!(batch.n_edges(), 2);
+//! # Ok::<(), matgnn_graph::StructureError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod batch;
+mod element;
+mod molgraph;
+mod neighbors;
+mod structure;
+pub mod vec3;
+
+pub use batch::GraphBatch;
+pub use element::Element;
+pub use molgraph::{MolGraph, NODE_FEAT_DIM};
+pub use neighbors::NeighborList;
+pub use structure::{AtomicStructure, StructureError};

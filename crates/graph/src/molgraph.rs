@@ -1,0 +1,234 @@
+//! Molecular graphs: atomistic structures lowered to the node/edge form
+//! consumed by GNN models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vec3::Vec3;
+use crate::{AtomicStructure, Element, NeighborList};
+
+/// Width of the per-node feature vector produced by
+/// [`MolGraph::node_features_flat`]: a one-hot element encoding plus two
+/// normalized scalar descriptors (electronegativity, covalent radius).
+pub const NODE_FEAT_DIM: usize = Element::COUNT + 2;
+
+/// An atomistic structure lowered to a directed graph.
+///
+/// Nodes are atoms; a directed edge `(i, j)` exists whenever atoms `i` and
+/// `j` are within the construction cutoff (both directions are present).
+/// Each edge stores its minimum-image relative vector `pos[i] − pos[j]` so
+/// periodic wrap-around is baked in and models never need the cell.
+///
+/// # Examples
+///
+/// ```
+/// use matgnn_graph::{AtomicStructure, Element, MolGraph};
+///
+/// let s = AtomicStructure::new(
+///     vec![Element::O, Element::H, Element::H],
+///     vec![[0.0, 0.0, 0.0], [0.96, 0.0, 0.0], [-0.24, 0.93, 0.0]],
+/// )?;
+/// let g = MolGraph::from_structure(&s, 1.2);
+/// assert_eq!(g.n_nodes(), 3);
+/// assert_eq!(g.n_edges(), 4); // two O–H bonds, both directions
+/// # Ok::<(), matgnn_graph::StructureError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MolGraph {
+    species: Vec<Element>,
+    src: Vec<usize>,
+    dst: Vec<usize>,
+    /// Minimum-image `pos[src[k]] − pos[dst[k]]` per edge.
+    edge_vectors: Vec<Vec3>,
+}
+
+impl MolGraph {
+    /// Lowers a structure to a graph using a radius-cutoff neighbor list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid cutoffs (see [`NeighborList::build`]).
+    pub fn from_structure(structure: &AtomicStructure, cutoff: f64) -> Self {
+        let nl = NeighborList::build(structure, cutoff);
+        Self::from_structure_with_neighbors(structure, &nl)
+    }
+
+    /// Lowers a structure using a precomputed neighbor list.
+    pub fn from_structure_with_neighbors(structure: &AtomicStructure, nl: &NeighborList) -> Self {
+        let (src, dst) = nl.to_src_dst();
+        let edge_vectors = nl
+            .edges()
+            .iter()
+            .map(|&(i, j)| structure.displacement(j, i)) // pos[i] − pos[j]
+            .collect();
+        MolGraph { species: structure.species().to_vec(), src, dst, edge_vectors }
+    }
+
+    /// Constructs a graph from raw parts (used by deserialization and
+    /// tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if edge arrays disagree in length or reference nodes out of
+    /// range.
+    pub fn from_parts(
+        species: Vec<Element>,
+        src: Vec<usize>,
+        dst: Vec<usize>,
+        edge_vectors: Vec<Vec3>,
+    ) -> Self {
+        assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
+        assert_eq!(src.len(), edge_vectors.len(), "edge vector length mismatch");
+        let n = species.len();
+        assert!(
+            src.iter().chain(dst.iter()).all(|&i| i < n),
+            "edge references node out of range"
+        );
+        MolGraph { species, src, dst, edge_vectors }
+    }
+
+    /// Number of atoms (nodes).
+    pub fn n_nodes(&self) -> usize {
+        self.species.len()
+    }
+
+    /// Number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Element of each node.
+    pub fn species(&self) -> &[Element] {
+        &self.species
+    }
+
+    /// Source node of each directed edge.
+    pub fn src(&self) -> &[usize] {
+        &self.src
+    }
+
+    /// Destination node of each directed edge.
+    pub fn dst(&self) -> &[usize] {
+        &self.dst
+    }
+
+    /// Minimum-image relative vector `pos[src] − pos[dst]` per edge (Å).
+    pub fn edge_vectors(&self) -> &[Vec3] {
+        &self.edge_vectors
+    }
+
+    /// Flat row-major `[n_nodes × NODE_FEAT_DIM]` feature buffer: one-hot
+    /// element encoding, then electronegativity / 4 and covalent radius / 2
+    /// (both roughly unit scale).
+    pub fn node_features_flat(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n_nodes() * NODE_FEAT_DIM];
+        for (a, &e) in self.species.iter().enumerate() {
+            let row = &mut out[a * NODE_FEAT_DIM..(a + 1) * NODE_FEAT_DIM];
+            row[e.index()] = 1.0;
+            row[Element::COUNT] = (e.electronegativity() / 4.0) as f32;
+            row[Element::COUNT + 1] = (e.covalent_radius() / 2.0) as f32;
+        }
+        out
+    }
+
+    /// Flat row-major `[n_edges × 3]` buffer of the edge relative vectors.
+    pub fn edge_vectors_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.n_edges() * 3);
+        for v in &self.edge_vectors {
+            out.extend_from_slice(&[v[0] as f32, v[1] as f32, v[2] as f32]);
+        }
+        out
+    }
+
+    /// Mean number of neighbors per node (directed degree).
+    pub fn mean_degree(&self) -> f64 {
+        if self.n_nodes() == 0 {
+            0.0
+        } else {
+            self.n_edges() as f64 / self.n_nodes() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn water() -> AtomicStructure {
+        AtomicStructure::new(
+            vec![Element::O, Element::H, Element::H],
+            vec![[0.0, 0.0, 0.0], [0.96, 0.0, 0.0], [-0.24, 0.93, 0.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn water_graph_edges() {
+        let g = MolGraph::from_structure(&water(), 1.2);
+        assert_eq!(g.n_nodes(), 3);
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.src(), &[0, 0, 1, 2]);
+        assert_eq!(g.dst(), &[1, 2, 0, 0]);
+    }
+
+    #[test]
+    fn edge_vectors_are_antisymmetric() {
+        let g = MolGraph::from_structure(&water(), 1.2);
+        // Edge (0,1) and (1,0) should have opposite vectors.
+        let v01 = g.edge_vectors()[0];
+        let v10 = g.edge_vectors()[2];
+        for k in 0..3 {
+            assert!((v01[k] + v10[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn edge_vector_matches_positions() {
+        let s = water();
+        let g = MolGraph::from_structure(&s, 1.2);
+        // First edge is (0,1): pos[0] − pos[1] = (−0.96, 0, 0).
+        let v = g.edge_vectors()[0];
+        assert!((v[0] + 0.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_features_one_hot() {
+        let g = MolGraph::from_structure(&water(), 1.2);
+        let f = g.node_features_flat();
+        assert_eq!(f.len(), 3 * NODE_FEAT_DIM);
+        // Node 0 is O.
+        assert_eq!(f[Element::O.index()], 1.0);
+        assert_eq!(f[Element::H.index()], 0.0);
+        // Exactly one one-hot bit per node.
+        for a in 0..3 {
+            let row = &f[a * NODE_FEAT_DIM..a * NODE_FEAT_DIM + Element::COUNT];
+            assert_eq!(row.iter().filter(|&&x| x == 1.0).count(), 1);
+        }
+    }
+
+    #[test]
+    fn periodic_edge_vectors_use_minimum_image() {
+        let s = AtomicStructure::new_periodic(
+            vec![Element::Cu, Element::Cu],
+            vec![[0.2, 5.0, 5.0], [9.8, 5.0, 5.0]],
+            [10.0; 3],
+        )
+        .unwrap();
+        let g = MolGraph::from_structure(&s, 1.0);
+        assert_eq!(g.n_edges(), 2);
+        // pos[0] − pos[1] wrapped = +0.4 along x.
+        let v = g.edge_vectors()[0];
+        assert!((v[0] - 0.4).abs() < 1e-12, "{v:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_parts_validates_indices() {
+        let _ = MolGraph::from_parts(vec![Element::H], vec![0], vec![5], vec![[0.0; 3]]);
+    }
+
+    #[test]
+    fn mean_degree() {
+        let g = MolGraph::from_structure(&water(), 1.2);
+        assert!((g.mean_degree() - 4.0 / 3.0).abs() < 1e-12);
+    }
+}

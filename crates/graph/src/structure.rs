@@ -1,0 +1,347 @@
+//! Atomistic structures: the raw geometry + composition that the graph
+//! construction, the reference potential, and the data generators operate
+//! on.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::vec3::{self, Mat3, Vec3};
+use crate::Element;
+
+/// Error for invalid structure construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StructureError {
+    /// `species` and `positions` lengths differ.
+    LengthMismatch {
+        /// Number of species entries.
+        species: usize,
+        /// Number of position entries.
+        positions: usize,
+    },
+    /// A periodic cell length was non-positive or non-finite.
+    InvalidCell(Vec3),
+}
+
+impl std::fmt::Display for StructureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StructureError::LengthMismatch { species, positions } => {
+                write!(f, "{species} species but {positions} positions")
+            }
+            StructureError::InvalidCell(c) => {
+                write!(f, "invalid periodic cell lengths {c:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StructureError {}
+
+/// An atomistic configuration: element species, Cartesian positions (Å),
+/// and an optional orthorhombic periodic cell.
+///
+/// Periodic boundary conditions are restricted to orthorhombic cells
+/// (axis-aligned box lengths), which covers the slab/bulk geometries our
+/// synthetic OC20/OC22/MPTrj stand-ins generate.
+///
+/// # Examples
+///
+/// ```
+/// use matgnn_graph::{AtomicStructure, Element};
+///
+/// let water = AtomicStructure::new(
+///     vec![Element::O, Element::H, Element::H],
+///     vec![[0.0, 0.0, 0.0], [0.96, 0.0, 0.0], [-0.24, 0.93, 0.0]],
+/// )?;
+/// assert_eq!(water.len(), 3);
+/// assert!(!water.is_periodic());
+/// # Ok::<(), matgnn_graph::StructureError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AtomicStructure {
+    species: Vec<Element>,
+    positions: Vec<Vec3>,
+    /// Orthorhombic box lengths, if periodic.
+    cell: Option<Vec3>,
+}
+
+impl AtomicStructure {
+    /// Creates a non-periodic (molecular) structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StructureError::LengthMismatch`] if the inputs disagree in
+    /// length.
+    pub fn new(species: Vec<Element>, positions: Vec<Vec3>) -> Result<Self, StructureError> {
+        if species.len() != positions.len() {
+            return Err(StructureError::LengthMismatch {
+                species: species.len(),
+                positions: positions.len(),
+            });
+        }
+        Ok(AtomicStructure { species, positions, cell: None })
+    }
+
+    /// Creates a periodic structure in an orthorhombic cell of the given
+    /// box lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on length mismatch or non-positive cell lengths.
+    pub fn new_periodic(
+        species: Vec<Element>,
+        positions: Vec<Vec3>,
+        cell: Vec3,
+    ) -> Result<Self, StructureError> {
+        if cell.iter().any(|&l| !(l.is_finite() && l > 0.0)) {
+            return Err(StructureError::InvalidCell(cell));
+        }
+        let mut s = Self::new(species, positions)?;
+        s.cell = Some(cell);
+        Ok(s)
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.species.len()
+    }
+
+    /// Whether the structure contains no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.species.is_empty()
+    }
+
+    /// Element of each atom.
+    pub fn species(&self) -> &[Element] {
+        &self.species
+    }
+
+    /// Cartesian position of each atom (Å).
+    pub fn positions(&self) -> &[Vec3] {
+        &self.positions
+    }
+
+    /// Orthorhombic box lengths if periodic.
+    pub fn cell(&self) -> Option<Vec3> {
+        self.cell
+    }
+
+    /// Whether periodic boundary conditions apply.
+    pub fn is_periodic(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    /// The minimum-image displacement `positions[j] - positions[i]`.
+    ///
+    /// For periodic structures each component is wrapped into
+    /// `[-L/2, L/2)`; for molecules it is the plain difference.
+    pub fn displacement(&self, i: usize, j: usize) -> Vec3 {
+        let mut d = vec3::sub(self.positions[j], self.positions[i]);
+        if let Some(cell) = self.cell {
+            for k in 0..3 {
+                let l = cell[k];
+                d[k] -= (d[k] / l).round() * l;
+            }
+        }
+        d
+    }
+
+    /// Minimum-image distance between atoms `i` and `j`.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        vec3::norm(self.displacement(i, j))
+    }
+
+    /// The unweighted centroid of all positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty structure.
+    pub fn centroid(&self) -> Vec3 {
+        assert!(!self.is_empty(), "centroid of empty structure");
+        let mut c = [0.0; 3];
+        for p in &self.positions {
+            c = vec3::add(c, *p);
+        }
+        vec3::scale(c, 1.0 / self.len() as f64)
+    }
+
+    /// Translates every atom by `t` (in place).
+    pub fn translate(&mut self, t: Vec3) {
+        for p in &mut self.positions {
+            *p = vec3::add(*p, t);
+        }
+    }
+
+    /// Applies a rotation matrix about the origin to every atom (in place).
+    ///
+    /// Only meaningful for non-periodic structures; rotating a periodic
+    /// structure would require rotating the cell, which orthorhombic cells
+    /// cannot represent, so this method panics in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structure is periodic.
+    pub fn rotate(&mut self, m: &Mat3) {
+        assert!(!self.is_periodic(), "cannot rotate a periodic orthorhombic structure");
+        for p in &mut self.positions {
+            *p = vec3::matvec(m, *p);
+        }
+    }
+
+    /// Adds i.i.d. Gaussian noise of standard deviation `sigma` (Å) to every
+    /// coordinate (in place) — used to generate non-equilibrium frames.
+    #[allow(clippy::needless_range_loop)] // coordinate index is semantic
+    pub fn perturb<R: Rng + ?Sized>(&mut self, sigma: f64, rng: &mut R) {
+        for p in &mut self.positions {
+            for k in 0..3 {
+                // Box–Muller on the f64 path.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                p[k] += z * sigma;
+            }
+        }
+    }
+
+    /// Counts atoms of each element, indexed by [`Element::index`].
+    pub fn composition(&self) -> [usize; Element::COUNT] {
+        let mut counts = [0usize; Element::COUNT];
+        for e in &self.species {
+            counts[e.index()] += 1;
+        }
+        counts
+    }
+
+    /// A short formula-like summary, e.g. `C2H6O`.
+    pub fn formula(&self) -> String {
+        let counts = self.composition();
+        let mut out = String::new();
+        for &e in &Element::ALL {
+            let c = counts[e.index()];
+            match c {
+                0 => {}
+                1 => out.push_str(e.symbol()),
+                _ => {
+                    out.push_str(e.symbol());
+                    out.push_str(&c.to_string());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::rotation_about;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn methane() -> AtomicStructure {
+        AtomicStructure::new(
+            vec![Element::C, Element::H, Element::H, Element::H, Element::H],
+            vec![
+                [0.0, 0.0, 0.0],
+                [0.63, 0.63, 0.63],
+                [-0.63, -0.63, 0.63],
+                [-0.63, 0.63, -0.63],
+                [0.63, -0.63, -0.63],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(AtomicStructure::new(vec![Element::H], vec![]).is_err());
+        assert!(AtomicStructure::new_periodic(
+            vec![Element::H],
+            vec![[0.0; 3]],
+            [5.0, -1.0, 5.0]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn distances_molecular() {
+        let m = methane();
+        let d = m.distance(0, 1);
+        assert!((d - (3.0f64 * 0.63 * 0.63).sqrt()).abs() < 1e-12);
+        // Symmetric.
+        assert_eq!(m.distance(1, 0), d);
+    }
+
+    #[test]
+    fn minimum_image_wraps() {
+        let s = AtomicStructure::new_periodic(
+            vec![Element::Cu, Element::Cu],
+            vec![[0.2, 0.0, 0.0], [9.8, 0.0, 0.0]],
+            [10.0, 10.0, 10.0],
+        )
+        .unwrap();
+        // Across the boundary the atoms are 0.4 Å apart, not 9.6.
+        assert!((s.distance(0, 1) - 0.4).abs() < 1e-12);
+        let d = s.displacement(0, 1);
+        assert!((d[0] - (-0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translate_preserves_internal_distances() {
+        let mut m = methane();
+        let d01 = m.distance(0, 1);
+        m.translate([10.0, -3.0, 2.0]);
+        assert!((m.distance(0, 1) - d01).abs() < 1e-12);
+        assert!((m.positions()[0][0] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotate_preserves_internal_distances() {
+        let mut m = methane();
+        let d01 = m.distance(0, 1);
+        let d12 = m.distance(1, 2);
+        m.rotate(&rotation_about([0.3, 1.0, -0.5], 1.1));
+        assert!((m.distance(0, 1) - d01).abs() < 1e-12);
+        assert!((m.distance(1, 2) - d12).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "periodic")]
+    fn rotate_periodic_panics() {
+        let mut s = AtomicStructure::new_periodic(
+            vec![Element::Cu],
+            vec![[0.0; 3]],
+            [10.0, 10.0, 10.0],
+        )
+        .unwrap();
+        s.rotate(&rotation_about([0.0, 0.0, 1.0], 0.5));
+    }
+
+    #[test]
+    fn perturb_moves_atoms() {
+        let mut m = methane();
+        let before = m.positions()[1];
+        let mut rng = StdRng::seed_from_u64(11);
+        m.perturb(0.05, &mut rng);
+        let after = m.positions()[1];
+        assert_ne!(before, after);
+        // Small sigma keeps displacements small.
+        assert!(vec3::norm(vec3::sub(after, before)) < 1.0);
+    }
+
+    #[test]
+    fn composition_and_formula() {
+        let m = methane();
+        let c = m.composition();
+        assert_eq!(c[Element::C.index()], 1);
+        assert_eq!(c[Element::H.index()], 4);
+        assert_eq!(m.formula(), "H4C");
+    }
+
+    #[test]
+    fn centroid_of_symmetric_molecule_is_center() {
+        let m = methane();
+        let c = m.centroid();
+        assert!(vec3::norm(c) < 1e-12);
+    }
+}

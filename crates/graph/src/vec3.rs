@@ -1,0 +1,133 @@
+//! Minimal 3-vector arithmetic for atomistic geometry.
+//!
+//! Positions are plain `[f64; 3]` so structures stay `serde`-friendly and
+//! allocation-free; these free functions supply the small amount of vector
+//! algebra the substrate needs (neighbor search, rotations, potentials).
+
+/// A 3-component position / displacement vector.
+pub type Vec3 = [f64; 3];
+
+/// `a + b`.
+pub fn add(a: Vec3, b: Vec3) -> Vec3 {
+    [a[0] + b[0], a[1] + b[1], a[2] + b[2]]
+}
+
+/// `a - b`.
+pub fn sub(a: Vec3, b: Vec3) -> Vec3 {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+/// `s * a`.
+pub fn scale(a: Vec3, s: f64) -> Vec3 {
+    [a[0] * s, a[1] * s, a[2] * s]
+}
+
+/// Dot product.
+pub fn dot(a: Vec3, b: Vec3) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+/// Cross product.
+pub fn cross(a: Vec3, b: Vec3) -> Vec3 {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+/// Squared Euclidean norm.
+pub fn norm_sq(a: Vec3) -> f64 {
+    dot(a, a)
+}
+
+/// Euclidean norm.
+pub fn norm(a: Vec3) -> f64 {
+    norm_sq(a).sqrt()
+}
+
+/// Unit vector in the direction of `a`.
+///
+/// # Panics
+///
+/// Panics if `a` is the zero vector.
+pub fn normalize(a: Vec3) -> Vec3 {
+    let n = norm(a);
+    assert!(n > 0.0, "normalize of zero vector");
+    scale(a, 1.0 / n)
+}
+
+/// A 3×3 rotation (or general linear) matrix in row-major order.
+pub type Mat3 = [[f64; 3]; 3];
+
+/// Applies `m` to `v`.
+pub fn matvec(m: &Mat3, v: Vec3) -> Vec3 {
+    [
+        m[0][0] * v[0] + m[0][1] * v[1] + m[0][2] * v[2],
+        m[1][0] * v[0] + m[1][1] * v[1] + m[1][2] * v[2],
+        m[2][0] * v[0] + m[2][1] * v[1] + m[2][2] * v[2],
+    ]
+}
+
+/// Rotation matrix about an arbitrary unit axis by `angle` radians
+/// (Rodrigues' formula).
+///
+/// # Panics
+///
+/// Panics if `axis` is the zero vector.
+pub fn rotation_about(axis: Vec3, angle: f64) -> Mat3 {
+    let u = normalize(axis);
+    let (s, c) = angle.sin_cos();
+    let t = 1.0 - c;
+    [
+        [c + u[0] * u[0] * t, u[0] * u[1] * t - u[2] * s, u[0] * u[2] * t + u[1] * s],
+        [u[1] * u[0] * t + u[2] * s, c + u[1] * u[1] * t, u[1] * u[2] * t - u[0] * s],
+        [u[2] * u[0] * t - u[1] * s, u[2] * u[1] * t + u[0] * s, c + u[2] * u[2] * t],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_algebra() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, -5.0, 6.0];
+        assert_eq!(add(a, b), [5.0, -3.0, 9.0]);
+        assert_eq!(sub(a, b), [-3.0, 7.0, -3.0]);
+        assert_eq!(scale(a, 2.0), [2.0, 4.0, 6.0]);
+        assert_eq!(dot(a, b), 12.0);
+        assert_eq!(norm_sq(a), 14.0);
+    }
+
+    #[test]
+    fn cross_orthogonal() {
+        let a = [1.0, 0.0, 0.0];
+        let b = [0.0, 1.0, 0.0];
+        assert_eq!(cross(a, b), [0.0, 0.0, 1.0]);
+        let c = cross([1.0, 2.0, 3.0], [-2.0, 0.5, 4.0]);
+        assert!(dot(c, [1.0, 2.0, 3.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_norm_and_angle() {
+        let r = rotation_about([1.0, 1.0, 0.2], 0.7);
+        let v = [0.3, -1.2, 2.5];
+        let w = [1.0, 0.4, -0.7];
+        let rv = matvec(&r, v);
+        let rw = matvec(&r, w);
+        assert!((norm(rv) - norm(v)).abs() < 1e-12);
+        assert!((dot(rv, rw) - dot(v, w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_by_zero_is_identity() {
+        let r = rotation_about([0.0, 0.0, 1.0], 0.0);
+        let v = [1.0, 2.0, 3.0];
+        let rv = matvec(&r, v);
+        for i in 0..3 {
+            assert!((rv[i] - v[i]).abs() < 1e-12);
+        }
+    }
+}

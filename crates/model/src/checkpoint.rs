@@ -1,0 +1,354 @@
+//! Model checkpointing: serialize parameters (and EGNN configs) to a
+//! compact binary format.
+//!
+//! The paper's headline deliverable is a *foundational model* — a trained
+//! artifact downstream users load and fine-tune. This module provides that
+//! artifact format: a versioned, named-tensor container
+//! (`MGNN` magic + name/shape/data records) plus typed save/load for the
+//! [`Egnn`], used by the transfer-learning experiment.
+
+use std::fmt;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use matgnn_tensor::{Shape, Tensor};
+
+use crate::{Egnn, EgnnConfig, GnnModel, ParamSet};
+
+const MAGIC: &[u8; 4] = b"MGNN";
+const VERSION: u32 = 1;
+
+/// Error while reading a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The buffer does not start with the `MGNN` magic.
+    BadMagic,
+    /// The format version is unsupported.
+    BadVersion(u32),
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A name was not valid UTF-8.
+    BadName,
+    /// A stored entry does not match the receiving model
+    /// (name or shape mismatch at the given index).
+    Mismatch {
+        /// Entry index that disagreed.
+        index: usize,
+        /// What disagreed.
+        detail: String,
+    },
+    /// An I/O error (when reading/writing files).
+    Io(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a matgnn checkpoint (bad magic)"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint buffer truncated"),
+            CheckpointError::BadName => write!(f, "invalid parameter name encoding"),
+            CheckpointError::Mismatch { index, detail } => {
+                write!(f, "parameter {index} mismatch: {detail}")
+            }
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), CheckpointError> {
+    if buf.remaining() < n {
+        Err(CheckpointError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Serializes a parameter set: names, shapes, and raw f32 data.
+pub fn params_to_bytes(params: &ParamSet) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32(VERSION);
+    buf.put_u32(params.len() as u32);
+    for entry in params.iter() {
+        let name = entry.name.as_bytes();
+        buf.put_u32(name.len() as u32);
+        buf.put_slice(name);
+        let shape = entry.tensor.shape();
+        buf.put_u32(shape.rank() as u32);
+        for &d in shape.dims() {
+            buf.put_u32(d as u32);
+        }
+        for &v in entry.tensor.data() {
+            buf.put_f32(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a parameter set written by [`params_to_bytes`].
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] on malformed input.
+pub fn params_from_bytes(data: &[u8]) -> Result<ParamSet, CheckpointError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    need(&buf, 8)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = buf.get_u32();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    need(&buf, 4)?;
+    let count = buf.get_u32() as usize;
+    let mut params = ParamSet::new();
+    for _ in 0..count {
+        need(&buf, 4)?;
+        let name_len = buf.get_u32() as usize;
+        need(&buf, name_len)?;
+        let mut name_bytes = vec![0u8; name_len];
+        buf.copy_to_slice(&mut name_bytes);
+        let name = String::from_utf8(name_bytes).map_err(|_| CheckpointError::BadName)?;
+        need(&buf, 4)?;
+        let rank = buf.get_u32() as usize;
+        need(&buf, rank * 4)?;
+        let dims: Vec<usize> = (0..rank).map(|_| buf.get_u32() as usize).collect();
+        let shape = Shape::new(dims);
+        need(&buf, shape.numel() * 4)?;
+        let data: Vec<f32> = (0..shape.numel()).map(|_| buf.get_f32()).collect();
+        params.push(name, Tensor::from_vec(shape, data).expect("validated length"));
+    }
+    Ok(params)
+}
+
+/// Loads stored parameters into an existing set, verifying that names and
+/// shapes line up entry by entry.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Mismatch`] on any disagreement (the set is
+/// left partially updated only on success paths — verification happens
+/// before any write).
+pub fn load_params_into(params: &mut ParamSet, data: &[u8]) -> Result<(), CheckpointError> {
+    let loaded = params_from_bytes(data)?;
+    if loaded.len() != params.len() {
+        return Err(CheckpointError::Mismatch {
+            index: loaded.len().min(params.len()),
+            detail: format!("entry count {} vs {}", loaded.len(), params.len()),
+        });
+    }
+    for (i, (a, b)) in loaded.iter().zip(params.iter()).enumerate() {
+        if a.name != b.name {
+            return Err(CheckpointError::Mismatch {
+                index: i,
+                detail: format!("name {} vs {}", a.name, b.name),
+            });
+        }
+        if a.tensor.shape() != b.tensor.shape() {
+            return Err(CheckpointError::Mismatch {
+                index: i,
+                detail: format!("shape {} vs {}", a.tensor.shape(), b.tensor.shape()),
+            });
+        }
+    }
+    for (i, entry) in params.iter_mut().enumerate() {
+        entry.tensor = loaded.tensor(i).clone();
+    }
+    Ok(())
+}
+
+/// A fully self-describing EGNN checkpoint: config + parameters.
+pub fn egnn_to_bytes(model: &Egnn) -> Bytes {
+    let cfg = model.config();
+    let mut buf = BytesMut::new();
+    buf.put_slice(b"EGNN");
+    buf.put_u32(VERSION);
+    buf.put_u32(cfg.node_feat_dim as u32);
+    buf.put_u32(cfg.hidden_dim as u32);
+    buf.put_u32(cfg.n_layers as u32);
+    buf.put_u8(cfg.residual as u8);
+    buf.put_u8(cfg.update_coords as u8);
+    buf.put_u8(cfg.edge_gate as u8);
+    buf.put_u8(cfg.layer_norm as u8);
+    buf.put_u32(cfg.n_rbf as u32);
+    buf.put_u64(cfg.seed);
+    buf.put_slice(&params_to_bytes(model.params()));
+    buf.freeze()
+}
+
+/// Reconstructs an EGNN (config + weights) from [`egnn_to_bytes`] output.
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] on malformed input or a parameter layout
+/// that no longer matches the config (version skew).
+pub fn egnn_from_bytes(data: &[u8]) -> Result<Egnn, CheckpointError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    need(&buf, 8)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != b"EGNN" {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = buf.get_u32();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    need(&buf, 4 * 3 + 4 + 4 + 8)?;
+    let node_feat_dim = buf.get_u32() as usize;
+    let hidden_dim = buf.get_u32() as usize;
+    let n_layers = buf.get_u32() as usize;
+    let residual = buf.get_u8() != 0;
+    let update_coords = buf.get_u8() != 0;
+    let edge_gate = buf.get_u8() != 0;
+    let layer_norm = buf.get_u8() != 0;
+    let n_rbf = buf.get_u32() as usize;
+    let seed = buf.get_u64();
+    let cfg = EgnnConfig {
+        node_feat_dim,
+        hidden_dim,
+        n_layers,
+        residual,
+        update_coords,
+        edge_gate,
+        layer_norm,
+        n_rbf,
+        seed,
+    };
+    let mut model = Egnn::new(cfg);
+    let rest: Vec<u8> = buf.to_vec();
+    load_params_into(model.params_mut(), &rest)?;
+    Ok(model)
+}
+
+/// Writes an EGNN checkpoint to a file.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on filesystem errors.
+pub fn save_egnn(model: &Egnn, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    std::fs::write(path, egnn_to_bytes(model)).map_err(|e| CheckpointError::Io(e.to_string()))
+}
+
+/// Reads an EGNN checkpoint from a file.
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] on filesystem or format errors.
+pub fn load_egnn(path: impl AsRef<Path>) -> Result<Egnn, CheckpointError> {
+    let data = std::fs::read(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+    egnn_from_bytes(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::init_rng;
+    use rand::Rng;
+
+    fn random_params() -> ParamSet {
+        let mut rng = init_rng(7);
+        let mut p = ParamSet::new();
+        p.push("a.weight", Tensor::randn((3, 4), 1.0, &mut rng));
+        p.push("a.bias", Tensor::randn(4usize, 1.0, &mut rng));
+        p.push("scalarish", Tensor::scalar(rng.gen()));
+        p
+    }
+
+    #[test]
+    fn params_roundtrip_exact() {
+        let p = random_params();
+        let bytes = params_to_bytes(&p);
+        let q = params_from_bytes(&bytes).unwrap();
+        assert_eq!(q.len(), p.len());
+        for (a, b) in p.iter().zip(q.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.tensor.shape(), b.tensor.shape());
+            assert_eq!(a.tensor.data(), b.tensor.data());
+        }
+    }
+
+    #[test]
+    fn load_into_verifies_layout() {
+        let p = random_params();
+        let bytes = params_to_bytes(&p);
+        // Same layout: loads fine.
+        let mut q = random_params();
+        q.tensor_mut(0).fill(0.0);
+        load_params_into(&mut q, &bytes).unwrap();
+        assert_eq!(q.tensor(0).data(), p.tensor(0).data());
+        // Different shape: rejected before any write.
+        let mut bad = ParamSet::new();
+        bad.push("a.weight", Tensor::zeros((4, 3)));
+        bad.push("a.bias", Tensor::zeros(4usize));
+        bad.push("scalarish", Tensor::scalar(0.0));
+        let err = load_params_into(&mut bad, &bytes).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { index: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        let p = random_params();
+        let bytes = params_to_bytes(&p);
+        assert_eq!(params_from_bytes(b"nope0000").unwrap_err(), CheckpointError::BadMagic);
+        assert_eq!(params_from_bytes(b"no").unwrap_err(), CheckpointError::Truncated);
+        let cut = &bytes[..bytes.len() / 2];
+        assert_eq!(params_from_bytes(cut).unwrap_err(), CheckpointError::Truncated);
+        let mut wrong_version = bytes.to_vec();
+        wrong_version[4..8].copy_from_slice(&99u32.to_be_bytes());
+        assert_eq!(
+            params_from_bytes(&wrong_version).unwrap_err(),
+            CheckpointError::BadVersion(99)
+        );
+    }
+
+    #[test]
+    fn egnn_roundtrip_preserves_predictions() {
+        use matgnn_graph::{AtomicStructure, Element, GraphBatch, MolGraph};
+        use matgnn_tensor::Tape;
+
+        let model = Egnn::new(EgnnConfig::new(8, 2).with_seed(21).with_residual(true));
+        let bytes = egnn_to_bytes(&model);
+        let loaded = egnn_from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.config(), model.config());
+
+        let s = AtomicStructure::new(
+            vec![Element::C, Element::O, Element::H],
+            vec![[0.0, 0.0, 0.0], [1.2, 0.0, 0.0], [-0.5, 0.9, 0.0]],
+        )
+        .unwrap();
+        let g = MolGraph::from_structure(&s, 3.0);
+        let batch = GraphBatch::from_graphs(&[&g]);
+        let run = |m: &Egnn| {
+            let mut tape = Tape::new();
+            let (_, out) = m.bind_and_forward(&mut tape, &batch);
+            tape.value(out.energy).clone()
+        };
+        assert!(run(&model).allclose(&run(&loaded), 0.0), "predictions drifted");
+    }
+
+    #[test]
+    fn egnn_file_roundtrip() {
+        let model = Egnn::new(EgnnConfig::new(6, 2).with_seed(5));
+        let dir = std::env::temp_dir().join("matgnn_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.mgnn");
+        save_egnn(&model, &path).unwrap();
+        let loaded = load_egnn(&path).unwrap();
+        assert!(model.params().flatten().allclose(&loaded.params().flatten(), 0.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_egnn("/nonexistent/matgnn.ckpt").unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+}

@@ -1,0 +1,730 @@
+//! The E(n)-equivariant graph neural network (EGNN) of Satorras et al.,
+//! with graph-level (energy) and node-level (force) output heads — the
+//! backbone the paper scales from 0.1 M to 2 B parameters.
+//!
+//! Per layer, for every directed edge `(i, j)` with relative vector
+//! `r_ij = x_i − x_j`:
+//!
+//! ```text
+//! m_ij = φ_e(h_i, h_j, ‖r_ij‖²)
+//! d_i += (1/deg_i) Σ_j r_ij · φ_x(m_ij)        (coordinate channel)
+//! h_i  = φ_h(h_i, Σ_j m_ij)                    (+ h_i if residual)
+//! ```
+//!
+//! Invariances (energy) and equivariances (forces) under rotation,
+//! translation and permutation hold by construction and are asserted by
+//! the test suite.
+
+use std::sync::Arc;
+
+use matgnn_graph::GraphBatch;
+use matgnn_tensor::{Tape, Tensor, Var};
+
+use crate::mlp::{init_rng, Activation, LayerNorm, Mlp};
+use crate::{EgnnConfig, GnnModel, ParamSet};
+
+#[derive(Debug, Clone)]
+struct EgnnLayer {
+    phi_e: Mlp,
+    phi_x: Option<Mlp>,
+    phi_h: Mlp,
+    gate: Option<Mlp>,
+    norm: Option<LayerNorm>,
+}
+
+/// The EGNN model.
+///
+/// # Examples
+///
+/// ```
+/// use matgnn_graph::{AtomicStructure, Element, GraphBatch, MolGraph};
+/// use matgnn_model::{Egnn, EgnnConfig, GnnModel};
+/// use matgnn_tensor::Tape;
+///
+/// let s = AtomicStructure::new(
+///     vec![Element::O, Element::H, Element::H],
+///     vec![[0.0, 0.0, 0.0], [0.96, 0.0, 0.0], [-0.24, 0.93, 0.0]],
+/// )?;
+/// let g = MolGraph::from_structure(&s, 2.0);
+/// let batch = GraphBatch::from_graphs(&[&g]);
+///
+/// let model = Egnn::new(EgnnConfig::new(16, 2));
+/// let mut tape = Tape::new();
+/// let (_, out) = model.bind_and_forward(&mut tape, &batch);
+/// assert_eq!(tape.shape(out.energy).dims(), &[1, 1]);
+/// assert_eq!(tape.shape(out.forces).dims(), &[3, 3]);
+/// # Ok::<(), matgnn_graph::StructureError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Egnn {
+    config: EgnnConfig,
+    params: ParamSet,
+    embed: Mlp,
+    layers: Vec<EgnnLayer>,
+    energy_head: Mlp,
+    force_head: Mlp,
+    /// Param-index range per segment: `[embed, layer0.., heads]`.
+    segment_ranges: Vec<(usize, usize)>,
+}
+
+impl Egnn {
+    /// Builds and initializes the model described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden_dim` or `n_layers` is zero.
+    pub fn new(config: EgnnConfig) -> Self {
+        assert!(config.hidden_dim > 0, "hidden_dim must be positive");
+        assert!(config.n_layers > 0, "n_layers must be positive");
+        let h = config.hidden_dim;
+        let e = config.edge_feat_dim();
+        let mut params = ParamSet::new();
+        let mut rng = init_rng(config.seed);
+        let mut segment_ranges = Vec::with_capacity(config.n_layers + 2);
+
+        let mut start = params.len();
+        let embed = Mlp::new(
+            &mut params,
+            "embed",
+            &[config.node_feat_dim, h],
+            Activation::Silu,
+            Activation::Silu,
+            1.0,
+            &mut rng,
+        );
+        segment_ranges.push((start, params.len()));
+
+        let mut layers = Vec::with_capacity(config.n_layers);
+        for l in 0..config.n_layers {
+            start = params.len();
+            let phi_e = Mlp::new(
+                &mut params,
+                &format!("layer{l}.phi_e"),
+                &[2 * h + e, h, h],
+                Activation::Silu,
+                Activation::Silu,
+                1.0,
+                &mut rng,
+            );
+            let phi_x = config.update_coords.then(|| {
+                Mlp::new(
+                    &mut params,
+                    &format!("layer{l}.phi_x"),
+                    &[h, h, 1],
+                    Activation::Silu,
+                    Activation::None,
+                    0.1,
+                    &mut rng,
+                )
+            });
+            let phi_h = Mlp::new(
+                &mut params,
+                &format!("layer{l}.phi_h"),
+                &[2 * h, h, h],
+                Activation::Silu,
+                Activation::None,
+                1.0,
+                &mut rng,
+            );
+            let gate = config.edge_gate.then(|| {
+                Mlp::new(
+                    &mut params,
+                    &format!("layer{l}.gate"),
+                    &[h, 1],
+                    Activation::Silu,
+                    Activation::None,
+                    1.0,
+                    &mut rng,
+                )
+            });
+            let norm = config
+                .layer_norm
+                .then(|| LayerNorm::new(&mut params, &format!("layer{l}.norm"), h));
+            layers.push(EgnnLayer { phi_e, phi_x, phi_h, gate, norm });
+            segment_ranges.push((start, params.len()));
+        }
+
+        start = params.len();
+        let energy_head = Mlp::new(
+            &mut params,
+            "energy_head",
+            &[h, h, 1],
+            Activation::Silu,
+            Activation::None,
+            1.0,
+            &mut rng,
+        );
+        let force_head = Mlp::new(
+            &mut params,
+            "force_head",
+            &[2 * h + e, h, 1],
+            Activation::Silu,
+            Activation::None,
+            0.1,
+            &mut rng,
+        );
+        segment_ranges.push((start, params.len()));
+
+        debug_assert_eq!(params.n_scalars(), config.param_count(), "param count formula drift");
+
+        Egnn { config, params, embed, layers, energy_head, force_head, segment_ranges }
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &EgnnConfig {
+        &self.config
+    }
+
+    /// Total scalar parameter count.
+    pub fn n_params(&self) -> usize {
+        self.params.n_scalars()
+    }
+
+    /// Predicts **energy-conserving forces** `F = −∂E/∂x` by
+    /// differentiating the energy head with respect to atom positions
+    /// (through the edge vectors), instead of using the direct force head.
+    ///
+    /// Conservative forces integrate to the predicted energy surface by
+    /// construction — the property MD applications need (SchNet-style
+    /// gradient forces). Returns `(energies [n_graphs × 1], forces
+    /// [n_nodes × 3])` in the model's (normalized) output units.
+    pub fn conservative_forces(&self, batch: &GraphBatch) -> (Tensor, Tensor) {
+        let mut tape = Tape::new();
+        // Parameters frozen; only the edge vectors require gradients.
+        let pvars = self.params.bind_frozen(&mut tape);
+        let rel0 = tape.param(batch.edge_vectors().clone());
+        let mut state = {
+            let (start, end) = self.segment_ranges[0];
+            self.segment_forward(&mut tape, 0, &pvars[start..end], batch, &[])
+        };
+        state[2] = rel0;
+        for seg in 1..self.n_segments() {
+            let (start, end) = self.segment_ranges[seg];
+            state = self.segment_forward(&mut tape, seg, &pvars[start..end], batch, &state);
+        }
+        let energy = state[0];
+        let energies = tape.value(energy).clone();
+        // Differentiate the total (sum over graphs) energy; graphs are
+        // disjoint, so per-atom gradients stay per-graph.
+        let total = tape.sum_all(energy);
+        let mut grads = tape.backward(total);
+        let g_rel = grads
+            .take(rel0)
+            .unwrap_or_else(|| Tensor::zeros((batch.n_edges(), 3)));
+        // rel_e = (x_src + d_src) − (x_dst + d_dst) + … , so
+        // ∂E/∂x_i = Σ_{src(e)=i} g_e − Σ_{dst(e)=i} g_e and F = −∂E/∂x.
+        let n = batch.n_nodes();
+        let from_src = g_rel.scatter_add_rows(batch.src(), n);
+        let from_dst = g_rel.scatter_add_rows(batch.dst(), n);
+        let forces = from_dst.sub(&from_src);
+        (energies, forces)
+    }
+
+    /// Current relative vectors: the base minimum-image vectors plus the
+    /// learned displacement delta (if coordinates update).
+    fn relative_vectors(&self, tape: &mut Tape, batch: &GraphBatch, d: Var, rel0: Var) -> Var {
+        if !self.config.update_coords {
+            return rel0;
+        }
+        let di = tape.gather_rows(d, Arc::clone(batch.src()));
+        let dj = tape.gather_rows(d, Arc::clone(batch.dst()));
+        let delta = tape.sub(di, dj);
+        tape.add(rel0, delta)
+    }
+
+    /// `[n_nodes × 1]` constant of `1/deg` per node (0 for isolated atoms).
+    fn inv_degree(batch: &GraphBatch) -> Tensor {
+        let mut deg = vec![0.0f32; batch.n_nodes()];
+        for &s in batch.src().iter() {
+            deg[s] += 1.0;
+        }
+        let inv: Vec<f32> = deg.iter().map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 }).collect();
+        Tensor::from_vec((batch.n_nodes(), 1), inv).expect("inv degree length")
+    }
+
+    /// Edge message inputs `[h_src ‖ h_dst ‖ dist features]` and the rel
+    /// vectors. The distance feature is raw `‖r‖²` or, with `n_rbf > 0`,
+    /// a Gaussian radial-basis expansion of `‖r‖`.
+    fn edge_inputs(
+        &self,
+        tape: &mut Tape,
+        batch: &GraphBatch,
+        h: Var,
+        d: Var,
+        rel0: Var,
+    ) -> (Var, Var) {
+        let rel = self.relative_vectors(tape, batch, d, rel0);
+        let sq = tape.square(rel);
+        let dist2 = tape.sum_axis1(sq);
+        let dist_feat = if self.config.n_rbf == 0 {
+            dist2
+        } else {
+            self.rbf_expand(tape, dist2)
+        };
+        let hi = tape.gather_rows(h, Arc::clone(batch.src()));
+        let hj = tape.gather_rows(h, Arc::clone(batch.dst()));
+        let m_in = tape.concat_cols(&[hi, hj, dist_feat]);
+        (m_in, rel)
+    }
+
+    /// Gaussian RBF expansion `exp(−γ(‖r‖ − μ_k)²)` with centers spread
+    /// over `[0, RBF_RMAX]`.
+    fn rbf_expand(&self, tape: &mut Tape, dist2: Var) -> Var {
+        const RBF_RMAX: f32 = 3.5;
+        let k = self.config.n_rbf;
+        let delta = RBF_RMAX / (k.max(2) - 1) as f32;
+        let gamma = 1.0 / (2.0 * delta * delta);
+        // ‖r‖ from ‖r‖² (tiny shift keeps the sqrt adjoint bounded).
+        let shifted = tape.add_scalar(dist2, 1e-8);
+        let dist = tape.sqrt(shifted);
+        // Broadcast to [E, K] and subtract the centers.
+        let ones_row = tape.constant(Tensor::ones((1, k)));
+        let d_mat = tape.matmul(dist, ones_row);
+        let neg_mu: Vec<f32> = (0..k).map(|i| -(i as f32) * delta).collect();
+        let neg_mu = tape.constant(Tensor::from_vec(k, neg_mu).expect("centers"));
+        let centered = tape.add_row(d_mat, neg_mu);
+        let sq = tape.square(centered);
+        let scaled = tape.scale(sq, -gamma);
+        tape.exp(scaled)
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the EGNN layer equation inputs
+    fn layer_forward(
+        &self,
+        li: usize,
+        tape: &mut Tape,
+        pvars: &[Var],
+        offset: usize,
+        batch: &GraphBatch,
+        h: Var,
+        d: Var,
+        rel0: Var,
+    ) -> (Var, Var) {
+        let layer = &self.layers[li];
+        let n = batch.n_nodes();
+        let (m_in, rel) = self.edge_inputs(tape, batch, h, d, rel0);
+        let mut m = layer.phi_e.forward(tape, pvars, offset, m_in);
+        if let Some(gate) = &layer.gate {
+            let g = gate.forward(tape, pvars, offset, m);
+            let g = tape.sigmoid(g);
+            m = tape.mul_col(m, g);
+        }
+
+        let d_next = match &layer.phi_x {
+            Some(phi_x) => {
+                let w = phi_x.forward(tape, pvars, offset, m);
+                let weighted = tape.mul_col(rel, w);
+                let upd = tape.scatter_add_rows(weighted, Arc::clone(batch.src()), n);
+                let inv_deg = tape.constant(Self::inv_degree(batch));
+                let upd = tape.mul_col(upd, inv_deg);
+                tape.add(d, upd)
+            }
+            None => d,
+        };
+
+        let agg = tape.scatter_add_rows(m, Arc::clone(batch.src()), n);
+        let h_in = tape.concat_cols(&[h, agg]);
+        let out = layer.phi_h.forward(tape, pvars, offset, h_in);
+        let mut h_next = if self.config.residual { tape.add(h, out) } else { out };
+        if let Some(norm) = &layer.norm {
+            h_next = norm.forward(tape, pvars, offset, h_next);
+        }
+        (h_next, d_next)
+    }
+}
+
+impl GnnModel for Egnn {
+    fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+
+    fn n_segments(&self) -> usize {
+        self.config.n_layers + 2
+    }
+
+    fn segment_param_range(&self, seg: usize) -> (usize, usize) {
+        self.segment_ranges[seg]
+    }
+
+    fn segment_forward(
+        &self,
+        tape: &mut Tape,
+        seg: usize,
+        pvars: &[Var],
+        batch: &GraphBatch,
+        state: &[Var],
+    ) -> Vec<Var> {
+        let (offset, _) = self.segment_ranges[seg];
+        let last = self.n_segments() - 1;
+        if seg == 0 {
+            // Embed: node features → h; zero coordinate displacement; the
+            // base edge vectors travel with the state so callers (e.g.
+            // conservative-force prediction) can substitute a
+            // gradient-requiring binding.
+            assert!(state.is_empty(), "embed segment takes no state");
+            let feats = tape.constant(batch.node_feats().clone());
+            let h = self.embed.forward(tape, pvars, offset, feats);
+            let d = tape.constant(Tensor::zeros((batch.n_nodes(), 3)));
+            let rel0 = tape.constant(batch.edge_vectors().clone());
+            vec![h, d, rel0]
+        } else if seg < last {
+            let (h, d, rel0) = (state[0], state[1], state[2]);
+            let (h2, d2) = self.layer_forward(seg - 1, tape, pvars, offset, batch, h, d, rel0);
+            vec![h2, d2, rel0]
+        } else {
+            // Heads.
+            let (h, d, rel0) = (state[0], state[1], state[2]);
+            let node_e = self.energy_head.forward(tape, pvars, offset, h);
+            // Energy is extensive: sum node contributions per graph.
+            let energy =
+                tape.scatter_add_rows(node_e, Arc::clone(batch.node_graph()), batch.n_graphs());
+            // Equivariant force head: per-edge scalar times rel vector.
+            let (m_in, rel) = self.edge_inputs(tape, batch, h, d, rel0);
+            let w = self.force_head.forward(tape, pvars, offset, m_in);
+            let weighted = tape.mul_col(rel, w);
+            let forces =
+                tape.scatter_add_rows(weighted, Arc::clone(batch.src()), batch.n_nodes());
+            vec![energy, forces]
+        }
+    }
+
+    fn describe(&self) -> String {
+        self.config.summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matgnn_graph::vec3::{matvec, rotation_about};
+    use matgnn_graph::{AtomicStructure, Element, MolGraph};
+    use matgnn_tensor::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_structure(n: usize, seed: u64) -> AtomicStructure {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool = [Element::H, Element::C, Element::N, Element::O];
+        let species = (0..n).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+        let positions = (0..n)
+            .map(|i| {
+                [
+                    (i % 3) as f64 * 1.3 + rng.gen_range(-0.3..0.3),
+                    ((i / 3) % 3) as f64 * 1.3 + rng.gen_range(-0.3..0.3),
+                    (i / 9) as f64 * 1.3 + rng.gen_range(-0.3..0.3),
+                ]
+            })
+            .collect();
+        AtomicStructure::new(species, positions).unwrap()
+    }
+
+    fn batch_of(structures: &[AtomicStructure]) -> GraphBatch {
+        let graphs: Vec<MolGraph> =
+            structures.iter().map(|s| MolGraph::from_structure(s, 3.0)).collect();
+        let refs: Vec<&MolGraph> = graphs.iter().collect();
+        GraphBatch::from_graphs(&refs)
+    }
+
+    fn run(model: &Egnn, batch: &GraphBatch) -> (Tensor, Tensor) {
+        let mut tape = Tape::new();
+        let (_, out) = model.bind_and_forward(&mut tape, batch);
+        (tape.value(out.energy).clone(), tape.value(out.forces).clone())
+    }
+
+    #[test]
+    fn output_shapes() {
+        let model = Egnn::new(EgnnConfig::new(8, 2));
+        let b = batch_of(&[random_structure(5, 1), random_structure(7, 2)]);
+        let (e, f) = run(&model, &b);
+        assert_eq!(e.shape().dims(), &[2, 1]);
+        assert_eq!(f.shape().dims(), &[12, 3]);
+        assert!(e.is_finite());
+        assert!(f.is_finite());
+    }
+
+    #[test]
+    fn built_param_count_matches_config_formula() {
+        for cfg in [
+            EgnnConfig::new(8, 2),
+            EgnnConfig::new(16, 4).with_edge_gate(true),
+            EgnnConfig::new(12, 3).with_update_coords(false),
+            EgnnConfig::new(10, 1).with_residual(true),
+            EgnnConfig::new(9, 2).with_layer_norm(true),
+        ] {
+            assert_eq!(Egnn::new(cfg).n_params(), cfg.param_count(), "{}", cfg.summary());
+        }
+    }
+
+    #[test]
+    fn energy_invariant_under_translation() {
+        let model = Egnn::new(EgnnConfig::new(8, 2));
+        let s = random_structure(6, 3);
+        let mut t = s.clone();
+        t.translate([7.0, -4.0, 2.5]);
+        let (e1, f1) = run(&model, &batch_of(&[s]));
+        let (e2, f2) = run(&model, &batch_of(&[t]));
+        assert!(e1.allclose(&e2, 1e-4), "{e1:?} vs {e2:?}");
+        assert!(f1.allclose(&f2, 1e-4));
+    }
+
+    #[test]
+    fn energy_invariant_forces_covariant_under_rotation() {
+        let model = Egnn::new(EgnnConfig::new(8, 3));
+        let s = random_structure(6, 4);
+        let rot = rotation_about([0.3, 1.0, -0.2], 1.2);
+        let mut t = s.clone();
+        t.rotate(&rot);
+        let (e1, f1) = run(&model, &batch_of(&[s]));
+        let (e2, f2) = run(&model, &batch_of(&[t]));
+        assert!(e1.allclose(&e2, 1e-3), "energy changed under rotation");
+        for a in 0..f1.rows() {
+            let v = [
+                f1.get(a, 0) as f64,
+                f1.get(a, 1) as f64,
+                f1.get(a, 2) as f64,
+            ];
+            let rv = matvec(&rot, v);
+            for k in 0..3 {
+                assert!(
+                    (rv[k] as f32 - f2.get(a, k)).abs() < 1e-3,
+                    "atom {a} force not covariant: {rv:?} vs row {a} of {f2:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_equivariance() {
+        let model = Egnn::new(EgnnConfig::new(8, 2));
+        let s = random_structure(5, 5);
+        // Reverse atom order.
+        let perm: Vec<usize> = (0..s.len()).rev().collect();
+        let species: Vec<Element> = perm.iter().map(|&i| s.species()[i]).collect();
+        let positions: Vec<[f64; 3]> = perm.iter().map(|&i| s.positions()[i]).collect();
+        let p = AtomicStructure::new(species, positions).unwrap();
+        let (e1, f1) = run(&model, &batch_of(&[s]));
+        let (e2, f2) = run(&model, &batch_of(&[p]));
+        assert!(e1.allclose(&e2, 1e-4), "energy changed under permutation");
+        for (new_row, &old_row) in perm.iter().enumerate() {
+            for k in 0..3 {
+                assert!((f1.get(old_row, k) - f2.get(new_row, k)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn batching_consistent_with_individual_graphs() {
+        let model = Egnn::new(EgnnConfig::new(8, 2));
+        let s1 = random_structure(5, 6);
+        let s2 = random_structure(8, 7);
+        let (e1, f1) = run(&model, &batch_of(std::slice::from_ref(&s1)));
+        let (e2, f2) = run(&model, &batch_of(std::slice::from_ref(&s2)));
+        let (eb, fb) = run(&model, &batch_of(&[s1, s2]));
+        assert!((eb.get(0, 0) - e1.get(0, 0)).abs() < 1e-4);
+        assert!((eb.get(1, 0) - e2.get(0, 0)).abs() < 1e-4);
+        for a in 0..5 {
+            for k in 0..3 {
+                assert!((fb.get(a, k) - f1.get(a, k)).abs() < 1e-4);
+            }
+        }
+        for a in 0..8 {
+            for k in 0..3 {
+                assert!((fb.get(5 + a, k) - f2.get(a, k)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn layer_norm_variant_gradcheck() {
+        let model = Egnn::new(EgnnConfig::new(4, 2).with_layer_norm(true).with_seed(29));
+        let b = batch_of(&[random_structure(4, 30)]);
+        let inputs: Vec<Tensor> = model.params().iter().map(|e| e.tensor.clone()).collect();
+        gradcheck::check_grad(
+            &inputs,
+            move |tape, vars| {
+                let out = model.forward(tape, vars, &b);
+                let e2 = tape.square(out.energy);
+                let f2 = tape.square(out.forces);
+                let le = tape.mean_all(e2);
+                let lf = tape.mean_all(f2);
+                tape.add(le, lf)
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn whole_model_gradcheck() {
+        // Check d(loss)/d(params) for a tiny EGNN against finite
+        // differences, where loss = mean(E²) + mean(F²).
+        let model = Egnn::new(EgnnConfig::new(4, 2).with_seed(11));
+        let b = batch_of(&[random_structure(4, 8)]);
+        let inputs: Vec<Tensor> =
+            model.params().iter().map(|e| e.tensor.clone()).collect();
+        gradcheck::check_grad(
+            &inputs,
+            move |tape, vars| {
+                let out = model.forward(tape, vars, &b);
+                let e2 = tape.square(out.energy);
+                let f2 = tape.square(out.forces);
+                let le = tape.mean_all(e2);
+                let lf = tape.mean_all(f2);
+                tape.add(le, lf)
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn conservative_forces_match_finite_differences() {
+        // F = −∂E/∂x must agree with central differences of the predicted
+        // energy under edge-vector perturbations that mimic moving one
+        // atom (the edge set is held fixed, as in a single MD step).
+        let model = Egnn::new(EgnnConfig::new(6, 2).with_seed(23));
+        let s = random_structure(5, 21);
+        let graph = MolGraph::from_structure(&s, 3.0);
+        let batch = GraphBatch::from_graphs(&[&graph]);
+        let (_, forces) = model.conservative_forces(&batch);
+
+        let energy_with_shift = |atom: usize, axis: usize, eps: f32| -> f32 {
+            // Shift edge vectors exactly as moving `atom` by eps would.
+            let mut ev = batch.edge_vectors().clone();
+            {
+                let data = ev.data_mut();
+                for (e, (&src, &dst)) in
+                    batch.src().iter().zip(batch.dst().iter()).enumerate()
+                {
+                    if src == atom {
+                        data[e * 3 + axis] += eps;
+                    }
+                    if dst == atom {
+                        data[e * 3 + axis] -= eps;
+                    }
+                }
+            }
+            let mut tape = Tape::new();
+            let pvars = model.params().bind_frozen(&mut tape);
+            let rel0 = tape.constant(ev);
+            let mut state = {
+                let (st, en) = model.segment_param_range(0);
+                model.segment_forward(&mut tape, 0, &pvars[st..en], &batch, &[])
+            };
+            state[2] = rel0;
+            for seg in 1..model.n_segments() {
+                let (st, en) = model.segment_param_range(seg);
+                state = model.segment_forward(&mut tape, seg, &pvars[st..en], &batch, &state);
+            }
+            tape.value(state[0]).sum_all()
+        };
+
+        let eps = 2e-3;
+        for atom in 0..s.len() {
+            for axis in 0..3 {
+                let fd = -(energy_with_shift(atom, axis, eps)
+                    - energy_with_shift(atom, axis, -eps))
+                    / (2.0 * eps);
+                let got = forces.get(atom, axis);
+                assert!(
+                    (fd - got).abs() < 2e-2 * (1.0 + fd.abs()),
+                    "atom {atom} axis {axis}: FD {fd} vs analytic {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conservative_forces_sum_to_zero_and_rotate() {
+        let model = Egnn::new(EgnnConfig::new(8, 2).with_seed(24));
+        let s = random_structure(6, 22);
+        let rot = rotation_about([0.2, 0.9, -0.5], 1.1);
+        let mut r = s.clone();
+        r.rotate(&rot);
+        let get = |s: &AtomicStructure| {
+            let g = MolGraph::from_structure(s, 3.0);
+            let b = GraphBatch::from_graphs(&[&g]);
+            model.conservative_forces(&b)
+        };
+        let (e1, f1) = get(&s);
+        let (e2, f2) = get(&r);
+        // Energy invariant; forces covariant; net force exactly zero
+        // (the model sees only relative vectors).
+        assert!(e1.allclose(&e2, 1e-3));
+        for axis in 0..3 {
+            let net: f32 = (0..s.len()).map(|a| f1.get(a, axis)).sum();
+            assert!(net.abs() < 1e-4, "net conservative force {net} on axis {axis}");
+        }
+        for a in 0..s.len() {
+            let v = [f1.get(a, 0) as f64, f1.get(a, 1) as f64, f1.get(a, 2) as f64];
+            let rv = matvec(&rot, v);
+            for (k, &rvk) in rv.iter().enumerate() {
+                assert!((rvk as f32 - f2.get(a, k)).abs() < 1e-3, "atom {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn rbf_variant_gradcheck_and_equivariance() {
+        let model = Egnn::new(EgnnConfig::new(4, 2).with_rbf(6).with_seed(17));
+        let b = batch_of(&[random_structure(4, 12)]);
+        let inputs: Vec<Tensor> = model.params().iter().map(|e| e.tensor.clone()).collect();
+        let m2 = model.clone();
+        gradcheck::check_grad(
+            &inputs,
+            move |tape, vars| {
+                let out = m2.forward(tape, vars, &b);
+                let e2 = tape.square(out.energy);
+                let f2 = tape.square(out.forces);
+                let le = tape.mean_all(e2);
+                let lf = tape.mean_all(f2);
+                tape.add(le, lf)
+            },
+            3e-2,
+        );
+        // RBF features depend only on distances → rotation invariance holds.
+        let s = random_structure(6, 13);
+        let rot = rotation_about([0.7, 0.1, -0.4], 0.8);
+        let mut t = s.clone();
+        t.rotate(&rot);
+        let (e1, _) = run(&model, &batch_of(&[s]));
+        let (e2, _) = run(&model, &batch_of(&[t]));
+        assert!(e1.allclose(&e2, 1e-3), "RBF variant broke rotation invariance");
+    }
+
+    #[test]
+    fn gated_and_residual_variants_run() {
+        for cfg in [
+            EgnnConfig::new(6, 2).with_edge_gate(true),
+            EgnnConfig::new(6, 2).with_residual(true),
+            EgnnConfig::new(6, 2).with_update_coords(false),
+            EgnnConfig::new(6, 2).with_rbf(8),
+            EgnnConfig::new(6, 2).with_layer_norm(true).with_residual(true),
+        ] {
+            let model = Egnn::new(cfg);
+            let b = batch_of(&[random_structure(5, 9)]);
+            let (e, f) = run(&model, &b);
+            assert!(e.is_finite() && f.is_finite(), "{}", cfg.summary());
+        }
+    }
+
+    #[test]
+    fn segments_cover_all_params_disjointly() {
+        let model = Egnn::new(EgnnConfig::new(8, 3));
+        let mut covered = 0;
+        for seg in 0..model.n_segments() {
+            let (start, end) = model.segment_param_range(seg);
+            assert_eq!(start, covered, "segment {seg} not contiguous");
+            covered = end;
+        }
+        assert_eq!(covered, model.params().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden_dim")]
+    fn zero_width_panics() {
+        let _ = Egnn::new(EgnnConfig::new(0, 2));
+    }
+}

@@ -1,0 +1,39 @@
+//! # matgnn-model
+//!
+//! The model families of the `matgnn` reproduction: the E(n)-equivariant
+//! [`Egnn`] backbone the paper scales (Satorras et al., selected in
+//! Sec. III-B), a non-equivariant [`Gcn`] baseline, and the shared
+//! [`GnnModel`] abstraction that exposes forward passes as checkpointable
+//! segments.
+//!
+//! Both models predict the paper's two task heads: a **graph-level energy**
+//! (extensive sum over per-node contributions) and **node-level forces**
+//! (for EGNN: an equivariant combination of edge vectors).
+//!
+//! ```
+//! use matgnn_model::{Egnn, EgnnConfig};
+//!
+//! // Width that lands near 50k parameters at depth 3 — how the scaling
+//! // sweeps pick model sizes.
+//! let cfg = EgnnConfig::with_target_params(50_000, 3);
+//! let model = Egnn::new(cfg);
+//! assert!(model.n_params() > 30_000);
+//! ```
+
+#![warn(missing_docs)]
+
+mod attention;
+pub mod checkpoint;
+mod config;
+mod egnn;
+mod gcn;
+pub mod mlp;
+mod model;
+mod params;
+
+pub use attention::{segment_softmax, Gat, GatConfig};
+pub use config::EgnnConfig;
+pub use egnn::Egnn;
+pub use gcn::{Gcn, GcnConfig};
+pub use model::{GnnModel, ModelOutput};
+pub use params::{ParamEntry, ParamSet};

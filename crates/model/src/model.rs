@@ -1,0 +1,78 @@
+//! The [`GnnModel`] abstraction shared by the EGNN family and baselines.
+//!
+//! Models expose their forward pass as a sequence of **segments** (embed,
+//! one per message-passing layer, heads). Vanilla execution chains the
+//! segments on one tape; activation-checkpointed execution (in
+//! `matgnn-train`) runs each segment on its own tape and re-materializes
+//! during backward — which is why segmentation lives in the model trait.
+
+use matgnn_graph::GraphBatch;
+use matgnn_tensor::{Tape, Var};
+
+use crate::ParamSet;
+
+/// The two prediction heads of an atomistic model.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelOutput {
+    /// Graph-level energies, `[n_graphs × 1]`.
+    pub energy: Var,
+    /// Node-level forces, `[n_nodes × 3]`.
+    pub forces: Var,
+}
+
+/// A GNN for atomistic property prediction, executable segment by segment.
+///
+/// The segment contract:
+///
+/// * segment `0` takes an empty state and produces the initial state;
+/// * segments `1..n_segments()-1` map state to state;
+/// * the **last** segment returns `[energy, forces]` as its state.
+///
+/// State is an ordered list of tape variables; its meaning is private to
+/// the model (EGNN uses `[node features h, coordinate displacement d]`).
+pub trait GnnModel {
+    /// The model's parameters (optimizer/collective order).
+    fn params(&self) -> &ParamSet;
+
+    /// Mutable access to the parameters (for optimizer updates).
+    fn params_mut(&mut self) -> &mut ParamSet;
+
+    /// Number of checkpointable segments (≥ 2: at least embed + heads).
+    fn n_segments(&self) -> usize;
+
+    /// The half-open parameter-index range `[start, end)` used by `seg`.
+    fn segment_param_range(&self, seg: usize) -> (usize, usize);
+
+    /// Runs one segment. `pvars` must be the binding of exactly the
+    /// parameters in [`segment_param_range`](GnnModel::segment_param_range).
+    fn segment_forward(
+        &self,
+        tape: &mut Tape,
+        seg: usize,
+        pvars: &[Var],
+        batch: &GraphBatch,
+        state: &[Var],
+    ) -> Vec<Var>;
+
+    /// A short human-readable description.
+    fn describe(&self) -> String;
+
+    /// Full forward pass on one tape: binds nothing itself — `pvars` must
+    /// be the binding of the **entire** [`ParamSet`], in order.
+    fn forward(&self, tape: &mut Tape, pvars: &[Var], batch: &GraphBatch) -> ModelOutput {
+        let mut state: Vec<Var> = Vec::new();
+        for seg in 0..self.n_segments() {
+            let (start, end) = self.segment_param_range(seg);
+            state = self.segment_forward(tape, seg, &pvars[start..end], batch, &state);
+        }
+        assert_eq!(state.len(), 2, "final segment must return [energy, forces]");
+        ModelOutput { energy: state[0], forces: state[1] }
+    }
+
+    /// Convenience: bind all parameters and run the forward pass.
+    fn bind_and_forward(&self, tape: &mut Tape, batch: &GraphBatch) -> (Vec<Var>, ModelOutput) {
+        let pvars = self.params().bind(tape);
+        let out = self.forward(tape, &pvars, batch);
+        (pvars, out)
+    }
+}

@@ -1,0 +1,105 @@
+//! The Fig. 1 landscape: prior atomistic GNNs by model size and training
+//! data volume, against the scaled-up foundational model of this work.
+//!
+//! Parameter counts and dataset sizes for prior models are approximate
+//! public figures — the figure is qualitative context (as in the paper),
+//! not an evaluation.
+
+use serde::{Deserialize, Serialize};
+
+/// One model in the landscape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LandscapeEntry {
+    /// Model name.
+    pub name: &'static str,
+    /// Publication year.
+    pub year: u32,
+    /// Approximate parameter count.
+    pub params: f64,
+    /// Approximate training data volume in bytes.
+    pub data_bytes: f64,
+    /// Whether this is the scaled-up model of this work.
+    pub this_work: bool,
+}
+
+/// Prior atomistic GNNs (approximate public numbers) plus this work's
+/// foundational point (2 B parameters, 1.2 TB), as in the paper's Fig. 1.
+pub fn landscape() -> Vec<LandscapeEntry> {
+    const MB: f64 = 1e6;
+    const GB: f64 = 1e9;
+    const TB: f64 = 1e12;
+    vec![
+        LandscapeEntry { name: "SchNet", year: 2017, params: 1.7e6, data_bytes: 400.0 * MB, this_work: false },
+        LandscapeEntry { name: "DimeNet++", year: 2020, params: 1.8e6, data_bytes: 40.0 * GB, this_work: false },
+        LandscapeEntry { name: "PaiNN", year: 2021, params: 5.9e6, data_bytes: 1.0 * GB, this_work: false },
+        LandscapeEntry { name: "M3GNet", year: 2022, params: 2.3e5, data_bytes: 6.0 * GB, this_work: false },
+        LandscapeEntry { name: "CHGNet", year: 2023, params: 4.0e5, data_bytes: 17.0 * GB, this_work: false },
+        LandscapeEntry { name: "GemNet-OC", year: 2022, params: 3.9e7, data_bytes: 700.0 * GB, this_work: false },
+        LandscapeEntry { name: "MACE-MP-0", year: 2023, params: 4.7e6, data_bytes: 17.0 * GB, this_work: false },
+        LandscapeEntry { name: "EquiformerV2", year: 2023, params: 1.53e8, data_bytes: 1.1 * TB, this_work: false },
+        LandscapeEntry { name: "HydraGNN-GFM", year: 2024, params: 6.0e7, data_bytes: 1.0 * TB, this_work: false },
+        LandscapeEntry { name: "This work (foundational EGNN)", year: 2025, params: 2.0e9, data_bytes: 1.2 * TB, this_work: true },
+    ]
+}
+
+/// Formats the landscape as an aligned text table sorted by parameter
+/// count.
+pub fn format_landscape(entries: &[LandscapeEntry]) -> String {
+    let mut sorted = entries.to_vec();
+    sorted.sort_by(|a, b| a.params.partial_cmp(&b.params).expect("finite params"));
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<32} {:>6} {:>12} {:>12}\n",
+        "Model", "Year", "Params", "Data"
+    ));
+    for e in &sorted {
+        out.push_str(&format!(
+            "{:<32} {:>6} {:>12} {:>12}{}\n",
+            e.name,
+            e.year,
+            crate::format_params(e.params),
+            format_bytes_axis(e.data_bytes),
+            if e.this_work { "   ★" } else { "" }
+        ));
+    }
+    out
+}
+
+fn format_bytes_axis(bytes: f64) -> String {
+    if bytes >= 1e12 {
+        format!("{:.1} TB", bytes / 1e12)
+    } else if bytes >= 1e9 {
+        format!("{:.0} GB", bytes / 1e9)
+    } else {
+        format!("{:.0} MB", bytes / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn this_work_dominates_both_axes() {
+        let entries = landscape();
+        let ours = entries.iter().find(|e| e.this_work).expect("this-work entry");
+        for e in entries.iter().filter(|e| !e.this_work) {
+            assert!(ours.params > e.params, "{} has more params", e.name);
+            assert!(ours.data_bytes >= e.data_bytes, "{} has more data", e.name);
+        }
+    }
+
+    #[test]
+    fn exactly_one_this_work() {
+        assert_eq!(landscape().iter().filter(|e| e.this_work).count(), 1);
+    }
+
+    #[test]
+    fn format_contains_star_and_sorted() {
+        let s = format_landscape(&landscape());
+        assert!(s.contains('★'));
+        let schnet_pos = s.find("SchNet").unwrap();
+        let ours_pos = s.find("This work").unwrap();
+        assert!(schnet_pos < ours_pos, "not sorted by params");
+    }
+}

@@ -1,0 +1,182 @@
+//! Power-law fitting: `L(x) = a·x^(−α) + c`, the saturating scaling-law
+//! form used for neural scaling curves (Kaplan et al.).
+//!
+//! The fit grid-searches the irreducible-loss floor `c` (the curve is
+//! linear in log-space for fixed `c`), solving `a` and `α` by least
+//! squares on `log(L − c)` vs `log x`, and refines around the best grid
+//! point.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted saturating power law.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawFit {
+    /// Amplitude.
+    pub a: f64,
+    /// Decay exponent (positive for decreasing curves).
+    pub alpha: f64,
+    /// Irreducible loss floor.
+    pub c: f64,
+    /// Coefficient of determination on the raw (not log) values.
+    pub r2: f64,
+}
+
+impl PowerLawFit {
+    /// Predicted loss at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.a * x.powf(-self.alpha) + self.c
+    }
+
+    /// Formats as `L(x) = a·x^e + c` with the signed exponent `e = −α`.
+    pub fn equation(&self) -> String {
+        format!("L(x) = {:.4}·x^({:.3}) + {:.4}", self.a, -self.alpha, self.c)
+    }
+}
+
+fn fit_with_floor(xs: &[f64], ys: &[f64], c: f64) -> Option<(f64, f64)> {
+    // Linear regression of ln(y − c) on ln(x).
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let n = xs.len() as f64;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        let resid = y - c;
+        if resid <= 0.0 || x <= 0.0 {
+            return None;
+        }
+        let lx = x.ln();
+        let ly = resid.ln();
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    Some((intercept.exp(), -slope)) // a, alpha
+}
+
+fn sse(xs: &[f64], ys: &[f64], fit: &PowerLawFit) -> f64 {
+    xs.iter().zip(ys.iter()).map(|(&x, &y)| (y - fit.predict(x)).powi(2)).sum()
+}
+
+/// Fits `L(x) = a·x^(−α) + c` to data points.
+///
+/// # Errors
+///
+/// Returns `None` when fewer than three points are given or no valid
+/// floor exists (e.g. non-positive inputs).
+pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> Option<PowerLawFit> {
+    if xs.len() < 3 || xs.len() != ys.len() {
+        return None;
+    }
+    let y_min = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+    let y_max = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !(y_min.is_finite() && y_max.is_finite()) || y_max <= 0.0 {
+        return None;
+    }
+
+    let mut best: Option<PowerLawFit> = None;
+    let mut best_sse = f64::INFINITY;
+    // Floor grid from 0 up to just below the smallest observation, then
+    // successive refinement around the best grid point (the SSE landscape
+    // in c is smooth, so zooming recovers near-exact floors).
+    let steps = 400usize;
+    let mut lo = 0.0f64;
+    let mut hi = y_min * 0.999_999;
+    let mut best_c = 0.0f64;
+    for _pass in 0..5 {
+        for k in 0..=steps {
+            let c = lo + (hi - lo) * k as f64 / steps as f64;
+            if c >= y_min {
+                continue;
+            }
+            if let Some((a, alpha)) = fit_with_floor(xs, ys, c) {
+                let fit = PowerLawFit { a, alpha, c, r2: 0.0 };
+                let e = sse(xs, ys, &fit);
+                if e < best_sse {
+                    best_sse = e;
+                    best = Some(fit);
+                    best_c = c;
+                }
+            }
+        }
+        // Zoom the next pass's window around the best floor found so far.
+        let step = (hi - lo) / steps as f64;
+        lo = (best_c - step).max(0.0);
+        hi = (best_c + step).min(y_min * 0.999_999_999);
+    }
+    let mut fit = best?;
+    // R² on raw values.
+    let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|&y| (y - mean).powi(2)).sum();
+    fit.r2 = if ss_tot > 0.0 { 1.0 - best_sse / ss_tot } else { 1.0 };
+    Some(fit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(a: f64, alpha: f64, c: f64, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| a * x.powf(-alpha) + c).collect()
+    }
+
+    #[test]
+    fn recovers_exact_power_law() {
+        let xs: Vec<f64> = (1..=8).map(|k| 10f64.powi(k)).collect();
+        let ys = synth(5.0, 0.3, 0.2, &xs);
+        let fit = fit_power_law(&xs, &ys).unwrap();
+        assert!((fit.alpha - 0.3).abs() < 0.02, "alpha {}", fit.alpha);
+        assert!((fit.c - 0.2).abs() < 0.05, "c {}", fit.c);
+        assert!(fit.r2 > 0.999, "r2 {}", fit.r2);
+    }
+
+    #[test]
+    fn recovers_zero_floor() {
+        let xs: Vec<f64> = vec![1e2, 1e3, 1e4, 1e5, 1e6];
+        let ys = synth(2.0, 0.5, 0.0, &xs);
+        let fit = fit_power_law(&xs, &ys).unwrap();
+        assert!((fit.alpha - 0.5).abs() < 0.03);
+        assert!(fit.c.abs() < 0.02);
+    }
+
+    #[test]
+    fn robust_to_small_noise() {
+        let xs: Vec<f64> = (1..=10).map(|k| (k as f64) * 100.0).collect();
+        let mut ys = synth(3.0, 0.4, 0.5, &xs);
+        for (i, y) in ys.iter_mut().enumerate() {
+            *y *= 1.0 + 0.01 * ((i as f64 * 2.39).sin());
+        }
+        let fit = fit_power_law(&xs, &ys).unwrap();
+        assert!((fit.alpha - 0.4).abs() < 0.15, "alpha {}", fit.alpha);
+        assert!(fit.r2 > 0.97);
+    }
+
+    #[test]
+    fn predict_interpolates() {
+        let fit = PowerLawFit { a: 2.0, alpha: 0.5, c: 1.0, r2: 1.0 };
+        assert!((fit.predict(4.0) - 2.0).abs() < 1e-12); // 2/2 + 1
+        assert!(fit.equation().contains("x^(-0.500)"));
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert!(fit_power_law(&[1.0, 2.0], &[1.0, 0.5]).is_none());
+        assert!(fit_power_law(&[1.0, 2.0, 3.0], &[1.0, 0.5]).is_none());
+    }
+
+    #[test]
+    fn increasing_data_gets_negative_alpha() {
+        // A rising curve is fit with α < 0 rather than rejected.
+        let xs = vec![10.0, 100.0, 1000.0, 10000.0];
+        let ys = vec![1.0, 2.0, 4.0, 8.0];
+        let fit = fit_power_law(&xs, &ys).unwrap();
+        assert!(fit.alpha < 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Scaled units: mapping between the paper's axes (0.1 M – 2 B parameters,
+//! 0.1 – 1.2 TB of data) and the laptop-scale quantities this reproduction
+//! trains.
+//!
+//! **Data axis** — linear: one paper terabyte corresponds to
+//! [`UnitMap::graphs_per_tb`] synthetic graphs, so the 1.2 TB aggregate is
+//! `1.2 × graphs_per_tb` graphs and every subsample fraction carries over
+//! exactly.
+//!
+//! **Model axis** — log-linear: actual parameter counts are mapped to
+//! paper-equivalent counts by a calibrated power map
+//! `paper = (actual / A)^(1/γ)` whose endpoints pin the smallest trainable
+//! EGNN (≈ 200 params) to the paper's smallest model (0.1 M) and the
+//! largest swept model to the paper's 2 B. Because the map is linear in
+//! log-space, log–log curve *shapes* (monotonicity, diminishing returns,
+//! crossovers) are preserved; absolute slopes are reported in actual units
+//! in `EXPERIMENTS.md`.
+
+use serde::{Deserialize, Serialize};
+
+/// The calibrated unit mapping used by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitMap {
+    /// Synthetic graphs per paper terabyte.
+    pub graphs_per_tb: f64,
+    /// Smallest actual parameter count on the sweep (maps to
+    /// `paper_min_params`).
+    pub actual_min_params: f64,
+    /// Largest actual parameter count on the sweep (maps to
+    /// `paper_max_params`).
+    pub actual_max_params: f64,
+    /// Paper-axis minimum (0.1 M).
+    pub paper_min_params: f64,
+    /// Paper-axis maximum (2 B).
+    pub paper_max_params: f64,
+}
+
+impl Default for UnitMap {
+    fn default() -> Self {
+        UnitMap {
+            graphs_per_tb: 1000.0,
+            actual_min_params: 200.0,
+            actual_max_params: 100_000.0,
+            paper_min_params: 1e5,
+            paper_max_params: 2e9,
+        }
+    }
+}
+
+impl UnitMap {
+    /// The log-linear exponent γ of the model-axis map.
+    pub fn gamma(&self) -> f64 {
+        (self.actual_max_params / self.actual_min_params).ln()
+            / (self.paper_max_params / self.paper_min_params).ln()
+    }
+
+    /// Paper-equivalent parameter count for an actual count.
+    pub fn paper_params(&self, actual: f64) -> f64 {
+        let g = self.gamma();
+        self.paper_min_params * (actual / self.actual_min_params).powf(1.0 / g)
+    }
+
+    /// Actual parameter count for a paper-axis count.
+    pub fn actual_params(&self, paper: f64) -> f64 {
+        let g = self.gamma();
+        self.actual_min_params * (paper / self.paper_min_params).powf(g)
+    }
+
+    /// Number of synthetic graphs representing `tb` paper terabytes.
+    pub fn graphs_for_tb(&self, tb: f64) -> usize {
+        (self.graphs_per_tb * tb).round() as usize
+    }
+
+    /// Graphs in the full 1.2 TB aggregate.
+    pub fn aggregate_graphs(&self) -> usize {
+        self.graphs_for_tb(matgnn_data::FULL_TB)
+    }
+}
+
+/// Formats a parameter count like the paper's axes: `0.1M`, `2B`, …
+pub fn format_params(params: f64) -> String {
+    if params >= 1e9 {
+        format!("{:.1}B", params / 1e9)
+    } else if params >= 1e5 {
+        format!("{:.1}M", params / 1e6)
+    } else if params >= 1e3 {
+        format!("{:.1}k", params / 1e3)
+    } else {
+        format!("{params:.0}")
+    }
+}
+
+/// Formats a TB fraction like the paper's axes: `0.1TB`, `1.2TB`.
+pub fn format_tb(tb: f64) -> String {
+    format!("{tb:.1}TB")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_calibrated() {
+        let u = UnitMap::default();
+        assert!((u.paper_params(u.actual_min_params) - u.paper_min_params).abs() < 1.0);
+        let top = u.paper_params(u.actual_max_params);
+        assert!((top / u.paper_max_params - 1.0).abs() < 1e-9, "top {top}");
+    }
+
+    #[test]
+    fn map_is_monotone_and_invertible() {
+        let u = UnitMap::default();
+        let mut prev = 0.0;
+        for actual in [200.0, 1_000.0, 5_000.0, 25_000.0, 100_000.0] {
+            let paper = u.paper_params(actual);
+            assert!(paper > prev, "not monotone at {actual}");
+            prev = paper;
+            let back = u.actual_params(paper);
+            assert!((back / actual - 1.0).abs() < 1e-9, "{actual} → {paper} → {back}");
+        }
+    }
+
+    #[test]
+    fn log_linearity_preserved() {
+        // Equal ratios in actual units map to equal ratios in paper units.
+        let u = UnitMap::default();
+        let r1 = u.paper_params(2_000.0) / u.paper_params(1_000.0);
+        let r2 = u.paper_params(20_000.0) / u.paper_params(10_000.0);
+        assert!((r1 / r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn graphs_for_tb_linear() {
+        let u = UnitMap::default();
+        assert_eq!(u.graphs_for_tb(0.1), 100);
+        assert_eq!(u.graphs_for_tb(1.2), 1200);
+        assert_eq!(u.aggregate_graphs(), 1200);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_params(2e9), "2.0B");
+        assert_eq!(format_params(1e5), "0.1M");
+        assert_eq!(format_params(1500.0), "1.5k");
+        assert_eq!(format_tb(0.4), "0.4TB");
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Shape;
+
+/// Error returned by fallible tensor operations.
+///
+/// Most hot-path kernels panic on shape mismatch (with the offending shapes
+/// in the message) because a mismatch is a programming error; the fallible
+/// constructors and data-ingest paths return `TensorError` instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the shape's element count.
+    LengthMismatch {
+        /// Elements implied by the shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// Two operand shapes are incompatible for the attempted operation.
+    ShapeMismatch {
+        /// Name of the operation.
+        op: &'static str,
+        /// Left-hand operand shape.
+        lhs: Shape,
+        /// Right-hand operand shape.
+        rhs: Shape,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        bound: usize,
+    },
+    /// A numeric argument was invalid (e.g. non-finite, non-positive).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match shape element count {expected}")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: {lhs} vs {rhs}")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for length {bound}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        assert!(e.to_string().contains("6"));
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: Shape::matrix(2, 3),
+            rhs: Shape::matrix(4, 5),
+        };
+        assert!(e.to_string().contains("matmul"));
+        let e = TensorError::IndexOutOfBounds { index: 9, bound: 3 };
+        assert!(e.to_string().contains("9"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

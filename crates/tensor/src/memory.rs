@@ -1,0 +1,331 @@
+//! Byte-accurate accounting of training memory, by category.
+//!
+//! The paper's Fig. 6 breaks peak GPU memory into weights, gradients,
+//! activations and optimizer states, and its Table II reports how activation
+//! checkpointing and the ZeRO optimizer change the peak. [`MemoryTracker`]
+//! reproduces that measurement on our simulated substrate: the tape, the
+//! optimizers and the distributed runtime all register the buffers they
+//! actually own, and the tracker records the running total plus the
+//! *breakdown at the instant of the global peak* — which is what the paper
+//! plots.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// What a tracked buffer is used for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryCategory {
+    /// Model parameters.
+    Weights,
+    /// Parameter gradients (and in-flight activation gradients).
+    Gradients,
+    /// Forward activations saved for the backward pass.
+    Activations,
+    /// Optimizer state (Adam first/second moments, etc.).
+    OptimizerState,
+    /// Temporary buffers (collective staging, recompute scratch).
+    Workspace,
+}
+
+impl MemoryCategory {
+    /// All categories, in display order.
+    pub const ALL: [MemoryCategory; 5] = [
+        MemoryCategory::Weights,
+        MemoryCategory::Gradients,
+        MemoryCategory::Activations,
+        MemoryCategory::OptimizerState,
+        MemoryCategory::Workspace,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            MemoryCategory::Weights => 0,
+            MemoryCategory::Gradients => 1,
+            MemoryCategory::Activations => 2,
+            MemoryCategory::OptimizerState => 3,
+            MemoryCategory::Workspace => 4,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemoryCategory::Weights => "weights",
+            MemoryCategory::Gradients => "gradients",
+            MemoryCategory::Activations => "activations",
+            MemoryCategory::OptimizerState => "optimizer states",
+            MemoryCategory::Workspace => "workspace",
+        }
+    }
+}
+
+impl fmt::Display for MemoryCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-category byte totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryBreakdown {
+    bytes: [u64; 5],
+}
+
+impl MemoryBreakdown {
+    /// Bytes currently attributed to `cat`.
+    pub fn get(&self, cat: MemoryCategory) -> u64 {
+        self.bytes[cat.index()]
+    }
+
+    /// Sum over all categories.
+    pub fn total(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Fraction (0–1) of the total attributed to `cat`; 0 if empty.
+    pub fn fraction(&self, cat: MemoryCategory) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(cat) as f64 / total as f64
+        }
+    }
+
+    /// `(category, bytes)` pairs in display order.
+    pub fn entries(&self) -> impl Iterator<Item = (MemoryCategory, u64)> + '_ {
+        MemoryCategory::ALL.iter().map(move |&c| (c, self.get(c)))
+    }
+}
+
+impl fmt::Display for MemoryBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        writeln!(f, "total: {}", format_bytes(total))?;
+        for (cat, b) in self.entries() {
+            writeln!(f, "  {:<18} {:>12}  ({:5.2}%)", cat.label(), format_bytes(b), 100.0 * self.fraction(cat))?;
+        }
+        Ok(())
+    }
+}
+
+/// A labelled point-in-time copy of the breakdown (e.g. "after forward").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemorySnapshot {
+    /// Label supplied at capture time.
+    pub label: String,
+    /// Per-category bytes at capture time.
+    pub breakdown: MemoryBreakdown,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    current: MemoryBreakdown,
+    peak_total: u64,
+    at_peak: MemoryBreakdown,
+    snapshots: Vec<MemorySnapshot>,
+}
+
+/// Thread-safe byte accounting with peak capture.
+///
+/// Cloning shares the underlying counters, so one tracker can be handed to
+/// the tape, the optimizer, and the distributed ranks of a single simulated
+/// device.
+///
+/// # Examples
+///
+/// ```
+/// use matgnn_tensor::{MemoryCategory, MemoryTracker};
+///
+/// let tracker = MemoryTracker::new();
+/// tracker.alloc(MemoryCategory::Weights, 1024);
+/// tracker.alloc(MemoryCategory::Activations, 4096);
+/// tracker.free(MemoryCategory::Activations, 4096);
+/// assert_eq!(tracker.current().total(), 1024);
+/// assert_eq!(tracker.peak_total(), 5120);
+/// assert_eq!(tracker.at_peak().get(MemoryCategory::Activations), 4096);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemoryTracker {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl MemoryTracker {
+    /// Creates a tracker with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `bytes` newly allocated under `cat`.
+    pub fn alloc(&self, cat: MemoryCategory, bytes: u64) {
+        let mut inner = self.inner.lock();
+        inner.current.bytes[cat.index()] += bytes;
+        let total = inner.current.total();
+        if total > inner.peak_total {
+            inner.peak_total = total;
+            inner.at_peak = inner.current;
+        }
+    }
+
+    /// Registers `bytes` released from `cat`.
+    ///
+    /// Saturates at zero rather than underflowing, so double-free bugs show
+    /// up as a zero balance instead of a panic in release experiments; debug
+    /// builds assert.
+    pub fn free(&self, cat: MemoryCategory, bytes: u64) {
+        let mut inner = self.inner.lock();
+        let slot = &mut inner.current.bytes[cat.index()];
+        debug_assert!(*slot >= bytes, "memory tracker underflow in {}", cat.label());
+        *slot = slot.saturating_sub(bytes);
+    }
+
+    /// The current per-category byte totals.
+    pub fn current(&self) -> MemoryBreakdown {
+        self.inner.lock().current
+    }
+
+    /// The highest total observed since construction or [`reset_peak`].
+    ///
+    /// [`reset_peak`]: MemoryTracker::reset_peak
+    pub fn peak_total(&self) -> u64 {
+        self.inner.lock().peak_total
+    }
+
+    /// The per-category breakdown captured at the instant of the peak.
+    pub fn at_peak(&self) -> MemoryBreakdown {
+        self.inner.lock().at_peak
+    }
+
+    /// Records a labelled snapshot of the current breakdown.
+    pub fn snapshot(&self, label: impl Into<String>) {
+        let mut inner = self.inner.lock();
+        let breakdown = inner.current;
+        inner.snapshots.push(MemorySnapshot { label: label.into(), breakdown });
+    }
+
+    /// All snapshots recorded so far, in order.
+    pub fn snapshots(&self) -> Vec<MemorySnapshot> {
+        self.inner.lock().snapshots.clone()
+    }
+
+    /// Resets the peak statistics (current balances are kept).
+    pub fn reset_peak(&self) {
+        let mut inner = self.inner.lock();
+        inner.peak_total = inner.current.total();
+        inner.at_peak = inner.current;
+    }
+
+    /// Resets everything to zero.
+    pub fn reset(&self) {
+        *self.inner.lock() = Inner::default();
+    }
+}
+
+/// Formats a byte count with a binary-prefix unit (e.g. `3.2 MiB`).
+pub fn format_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let t = MemoryTracker::new();
+        t.alloc(MemoryCategory::Weights, 100);
+        t.alloc(MemoryCategory::Gradients, 50);
+        assert_eq!(t.current().total(), 150);
+        t.free(MemoryCategory::Gradients, 50);
+        assert_eq!(t.current().total(), 100);
+        assert_eq!(t.current().get(MemoryCategory::Weights), 100);
+    }
+
+    #[test]
+    fn peak_captures_breakdown_at_peak_moment() {
+        let t = MemoryTracker::new();
+        t.alloc(MemoryCategory::Weights, 10);
+        t.alloc(MemoryCategory::Activations, 90);
+        // Peak is now 100 with 90 activations.
+        t.free(MemoryCategory::Activations, 90);
+        t.alloc(MemoryCategory::OptimizerState, 20);
+        assert_eq!(t.peak_total(), 100);
+        assert_eq!(t.at_peak().get(MemoryCategory::Activations), 90);
+        assert_eq!(t.at_peak().get(MemoryCategory::OptimizerState), 0);
+    }
+
+    #[test]
+    fn reset_peak_keeps_current() {
+        let t = MemoryTracker::new();
+        t.alloc(MemoryCategory::Weights, 10);
+        t.alloc(MemoryCategory::Activations, 100);
+        t.free(MemoryCategory::Activations, 100);
+        t.reset_peak();
+        assert_eq!(t.peak_total(), 10);
+        assert_eq!(t.current().get(MemoryCategory::Weights), 10);
+    }
+
+    #[test]
+    fn snapshots_are_ordered_and_labelled() {
+        let t = MemoryTracker::new();
+        t.alloc(MemoryCategory::Weights, 1);
+        t.snapshot("after init");
+        t.alloc(MemoryCategory::Activations, 2);
+        t.snapshot("after forward");
+        let snaps = t.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].label, "after init");
+        assert_eq!(snaps[1].breakdown.total(), 3);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let t = MemoryTracker::new();
+        t.alloc(MemoryCategory::Weights, 25);
+        t.alloc(MemoryCategory::Activations, 75);
+        let b = t.current();
+        let sum: f64 = MemoryCategory::ALL.iter().map(|&c| b.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((b.fraction(MemoryCategory::Activations) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_saturates() {
+        let t = MemoryTracker::new();
+        t.alloc(MemoryCategory::Workspace, 5);
+        // In release mode this must not underflow.
+        if cfg!(not(debug_assertions)) {
+            t.free(MemoryCategory::Workspace, 10);
+            assert_eq!(t.current().get(MemoryCategory::Workspace), 0);
+        }
+    }
+
+    #[test]
+    fn clone_shares_counters() {
+        let t = MemoryTracker::new();
+        let t2 = t.clone();
+        t2.alloc(MemoryCategory::Weights, 42);
+        assert_eq!(t.current().get(MemoryCategory::Weights), 42);
+    }
+
+    #[test]
+    fn format_bytes_units() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KiB");
+        assert_eq!(format_bytes(3 * 1024 * 1024), "3.00 MiB");
+    }
+}

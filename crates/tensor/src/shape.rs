@@ -1,0 +1,184 @@
+//! Tensor shapes and index arithmetic.
+//!
+//! `matgnn` tensors are row-major and at most 2-dimensional in practice
+//! (node×feature, edge×feature, coordinate blocks), but [`Shape`] supports
+//! arbitrary rank so reductions and reshapes stay general.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The dimensions of a [`Tensor`](crate::Tensor), row-major.
+///
+/// # Examples
+///
+/// ```
+/// use matgnn_tensor::Shape;
+///
+/// let s = Shape::matrix(3, 4);
+/// assert_eq!(s.numel(), 12);
+/// assert_eq!(s.rank(), 2);
+/// assert_eq!(s.dim(0), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from explicit dimensions.
+    ///
+    /// A zero-length `dims` denotes a scalar (rank 0, one element).
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// A scalar shape: rank 0, exactly one element.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// A rank-1 shape of length `n`.
+    pub fn vector(n: usize) -> Self {
+        Shape { dims: vec![n] }
+    }
+
+    /// A rank-2 shape of `rows × cols`.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Shape { dims: vec![rows, cols] }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// All dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of rows for a matrix; length for a vector; 1 for a scalar.
+    pub fn rows(&self) -> usize {
+        match self.rank() {
+            0 => 1,
+            _ => self.dims[0],
+        }
+    }
+
+    /// Number of columns for a matrix; 1 for vectors and scalars.
+    pub fn cols(&self) -> usize {
+        match self.rank() {
+            0 | 1 => 1,
+            _ => self.dims[1..].iter().product(),
+        }
+    }
+
+    /// Whether this shape holds exactly one element.
+    pub fn is_scalar_like(&self) -> bool {
+        self.numel() == 1
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl From<(usize, usize)> for Shape {
+    fn from((r, c): (usize, usize)) -> Self {
+        Shape::matrix(r, c)
+    }
+}
+
+impl From<usize> for Shape {
+    fn from(n: usize) -> Self {
+        Shape::vector(n)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rows(), 1);
+        assert_eq!(s.cols(), 1);
+        assert!(s.is_scalar_like());
+    }
+
+    #[test]
+    fn vector_shape() {
+        let s = Shape::vector(5);
+        assert_eq!(s.rank(), 1);
+        assert_eq!(s.numel(), 5);
+        assert_eq!(s.rows(), 5);
+        assert_eq!(s.cols(), 1);
+    }
+
+    #[test]
+    fn matrix_shape() {
+        let s = Shape::matrix(3, 7);
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.numel(), 21);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 7);
+        assert_eq!(s.dims(), &[3, 7]);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Shape::from((2, 3)), Shape::matrix(2, 3));
+        assert_eq!(Shape::from(4), Shape::vector(4));
+        assert_eq!(Shape::from(vec![1, 2, 3]).numel(), 6);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::matrix(2, 3).to_string(), "[2×3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn empty_dim_numel_zero() {
+        assert_eq!(Shape::matrix(0, 5).numel(), 0);
+    }
+}

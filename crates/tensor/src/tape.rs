@@ -1,0 +1,1001 @@
+//! Reverse-mode automatic differentiation over [`Tensor`] kernels.
+//!
+//! A [`Tape`] records every operation as an explicit [`Op`] node holding the
+//! IDs of its operands. [`Tape::backward`] walks the node list in reverse,
+//! applying each op's analytic adjoint. Storing ops as data (rather than
+//! closures) keeps recomputation for activation checkpointing trivial and
+//! lets the tape account for every saved activation byte in a
+//! [`MemoryTracker`], which is what the paper's Fig. 6 memory breakdown
+//! measures.
+//!
+//! Memory semantics mirror a real framework:
+//!
+//! * every non-leaf forward value is registered as **activation** bytes;
+//! * during backward, intermediate gradients are registered as **gradient**
+//!   bytes and freed as soon as their node has been processed;
+//! * a node's forward value is freed once its own backward has run — so the
+//!   global peak lands at the start of the backward pass, exactly as the
+//!   paper observes (Sec. V-A).
+
+use std::sync::Arc;
+
+use crate::{MemoryCategory, MemoryTracker, Shape, Tensor};
+
+/// A handle to a value recorded on a [`Tape`].
+///
+/// `Var`s are cheap copies; they are only meaningful together with the tape
+/// that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var {
+    id: usize,
+}
+
+impl Var {
+    /// The tape-local node index.
+    pub fn id(self) -> usize {
+        self.id
+    }
+}
+
+/// A recorded operation (the edges of the computation graph).
+#[derive(Debug, Clone)]
+enum Op {
+    /// External value; `requires_grad` distinguishes parameters from data.
+    Leaf { requires_grad: bool },
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    Neg(Var),
+    Matmul(Var, Var),
+    AddRow(Var, Var),
+    AddCol(Var, Var),
+    MulCol(Var, Var),
+    MulRow(Var, Var),
+    Relu(Var),
+    Silu(Var),
+    Tanh(Var),
+    Sigmoid(Var),
+    Square(Var),
+    Sqrt(Var),
+    Exp(Var),
+    Recip(Var),
+    SumAll(Var),
+    MeanAll(Var),
+    SumAxis1(Var),
+    GatherRows(Var, Arc<Vec<usize>>),
+    ScatterAddRows(Var, Arc<Vec<usize>>, usize),
+    ConcatCols(Vec<Var>),
+    SliceCols(Var, usize, usize),
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+    /// Whether any gradient flows to this node.
+    needs_grad: bool,
+    /// Bytes registered with the tracker for this node's value.
+    tracked_bytes: u64,
+}
+
+/// Gradients returned by [`Tape::backward`], indexed by [`Var`].
+#[derive(Debug, Default)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// The gradient of the loss w.r.t. `var`, if one was produced.
+    pub fn get(&self, var: Var) -> Option<&Tensor> {
+        self.grads.get(var.id).and_then(|g| g.as_ref())
+    }
+
+    /// Removes and returns the gradient for `var`.
+    pub fn take(&mut self, var: Var) -> Option<Tensor> {
+        self.grads.get_mut(var.id).and_then(|g| g.take())
+    }
+}
+
+/// A reverse-mode autodiff tape.
+///
+/// # Examples
+///
+/// ```
+/// use matgnn_tensor::{Tape, Tensor};
+///
+/// let mut tape = Tape::new();
+/// let w = tape.param(Tensor::from_vec((1, 2), vec![3.0, -2.0])?);
+/// let x = tape.constant(Tensor::from_vec((2, 1), vec![1.0, 4.0])?);
+/// let y = tape.matmul(w, x); // 3*1 + (-2)*4 = -5
+/// let loss = tape.square(y);
+/// let grads = tape.backward(loss);
+/// // d(y²)/dw = 2y·x = [-10, -40]
+/// assert_eq!(grads.get(w).unwrap().data(), &[-10.0, -40.0]);
+/// # Ok::<(), matgnn_tensor::TensorError>(())
+/// ```
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    tracker: Option<MemoryTracker>,
+}
+
+impl Tape {
+    /// Creates an empty tape with no memory tracking.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Creates an empty tape that reports activation/gradient bytes to
+    /// `tracker`.
+    pub fn with_tracker(tracker: MemoryTracker) -> Self {
+        Tape { nodes: Vec::new(), tracker: Some(tracker) }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total bytes of forward values currently held by the tape.
+    pub fn activation_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.tracked_bytes).sum()
+    }
+
+    /// The forward value of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value was already released by [`backward`] or if `var`
+    /// belongs to another tape.
+    ///
+    /// [`backward`]: Tape::backward
+    pub fn value(&self, var: Var) -> &Tensor {
+        &self.nodes[var.id].value
+    }
+
+    /// The shape of `var`'s value.
+    pub fn shape(&self, var: Var) -> &Shape {
+        self.nodes[var.id].value.shape()
+    }
+
+    fn push(&mut self, op: Op, value: Tensor, needs_grad: bool) -> Var {
+        let is_leaf = matches!(op, Op::Leaf { .. });
+        // Leaves are externally owned (parameters, dataset tensors); only
+        // op outputs count as activations.
+        let tracked_bytes = if is_leaf { 0 } else { value.bytes() as u64 };
+        if let Some(t) = &self.tracker {
+            if tracked_bytes > 0 {
+                t.alloc(MemoryCategory::Activations, tracked_bytes);
+            }
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node { op, value, needs_grad, tracked_bytes });
+        Var { id }
+    }
+
+    fn needs(&self, v: Var) -> bool {
+        self.nodes[v.id].needs_grad
+    }
+
+    // ------------------------------------------------------------------
+    // Leaves
+    // ------------------------------------------------------------------
+
+    /// Records an external value that does **not** require gradients
+    /// (inputs, targets, constant coefficients).
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(Op::Leaf { requires_grad: false }, value, false)
+    }
+
+    /// Records an external value that requires gradients (a parameter).
+    pub fn param(&mut self, value: Tensor) -> Var {
+        self.push(Op::Leaf { requires_grad: true }, value, true)
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise ops
+    // ------------------------------------------------------------------
+
+    /// `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Add(a, b), v, ng)
+    }
+
+    /// `a - b` (same shape).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Sub(a, b), v, ng)
+    }
+
+    /// Elementwise `a * b` (same shape).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Mul(a, b), v, ng)
+    }
+
+    /// `alpha * a`.
+    pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.value(a).scale(alpha);
+        let ng = self.needs(a);
+        self.push(Op::Scale(a, alpha), v, ng)
+    }
+
+    /// `a + alpha` element-wise.
+    pub fn add_scalar(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.value(a).add_scalar(alpha);
+        let ng = self.needs(a);
+        self.push(Op::AddScalar(a), v, ng)
+    }
+
+    /// `-a`.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = self.value(a).neg();
+        let ng = self.needs(a);
+        self.push(Op::Neg(a), v, ng)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).relu();
+        let ng = self.needs(a);
+        self.push(Op::Relu(a), v, ng)
+    }
+
+    /// SiLU / swish activation.
+    pub fn silu(&mut self, a: Var) -> Var {
+        let v = self.value(a).silu();
+        let ng = self.needs(a);
+        self.push(Op::Silu(a), v, ng)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).tanh();
+        let ng = self.needs(a);
+        self.push(Op::Tanh(a), v, ng)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).sigmoid();
+        let ng = self.needs(a);
+        self.push(Op::Sigmoid(a), v, ng)
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let v = self.value(a).square();
+        let ng = self.needs(a);
+        self.push(Op::Square(a), v, ng)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        let v = self.value(a).sqrt();
+        let ng = self.needs(a);
+        self.push(Op::Sqrt(a), v, ng)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).exp();
+        let ng = self.needs(a);
+        self.push(Op::Exp(a), v, ng)
+    }
+
+    /// Elementwise reciprocal `1/a`.
+    pub fn recip(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / x);
+        let ng = self.needs(a);
+        self.push(Op::Recip(a), v, ng)
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra & broadcasting
+    // ------------------------------------------------------------------
+
+    /// Matrix product `[n,k] × [k,m]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(Op::Matmul(a, b), v, ng)
+    }
+
+    /// Adds a bias row vector to every row of a matrix.
+    pub fn add_row(&mut self, a: Var, bias: Var) -> Var {
+        let v = self.value(a).add_row(self.value(bias));
+        let ng = self.needs(a) || self.needs(bias);
+        self.push(Op::AddRow(a, bias), v, ng)
+    }
+
+    /// Adds a `[rows,1]` column to every column of a matrix.
+    pub fn add_col(&mut self, a: Var, col: Var) -> Var {
+        let v = self.value(a).add_col(self.value(col));
+        let ng = self.needs(a) || self.needs(col);
+        self.push(Op::AddCol(a, col), v, ng)
+    }
+
+    /// Broadcast-multiplies each column of `a` by the matching entry of a
+    /// length-`cols` row vector.
+    pub fn mul_row(&mut self, a: Var, row: Var) -> Var {
+        let v = self.value(a).mul_row(self.value(row));
+        let ng = self.needs(a) || self.needs(row);
+        self.push(Op::MulRow(a, row), v, ng)
+    }
+
+    /// Broadcast-multiplies each row of `a` by the matching entry of a
+    /// `[rows,1]` column `col`.
+    pub fn mul_col(&mut self, a: Var, col: Var) -> Var {
+        let v = self.value(a).mul_col(self.value(col));
+        let ng = self.needs(a) || self.needs(col);
+        self.push(Op::MulCol(a, col), v, ng)
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements → scalar.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum_all());
+        let ng = self.needs(a);
+        self.push(Op::SumAll(a), v, ng)
+    }
+
+    /// Mean of all elements → scalar.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mean_all());
+        let ng = self.needs(a);
+        self.push(Op::MeanAll(a), v, ng)
+    }
+
+    /// Row sums `[n,m] → [n,1]`.
+    pub fn sum_axis1(&mut self, a: Var) -> Var {
+        let v = self.value(a).sum_axis1();
+        let ng = self.needs(a);
+        self.push(Op::SumAxis1(a), v, ng)
+    }
+
+    // ------------------------------------------------------------------
+    // Indexing
+    // ------------------------------------------------------------------
+
+    /// Gathers rows `out[i] = a[idx[i]]`.
+    pub fn gather_rows(&mut self, a: Var, idx: Arc<Vec<usize>>) -> Var {
+        let v = self.value(a).gather_rows(&idx);
+        let ng = self.needs(a);
+        self.push(Op::GatherRows(a, idx), v, ng)
+    }
+
+    /// Scatter-adds rows of `a` into `n_out` rows (segment sum).
+    pub fn scatter_add_rows(&mut self, a: Var, idx: Arc<Vec<usize>>, n_out: usize) -> Var {
+        let v = self.value(a).scatter_add_rows(&idx, n_out);
+        let ng = self.needs(a);
+        self.push(Op::ScatterAddRows(a, idx, n_out), v, ng)
+    }
+
+    /// Concatenates matrices along the column axis.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Tensor::concat_cols(&tensors);
+        let ng = parts.iter().any(|&p| self.needs(p));
+        self.push(Op::ConcatCols(parts.to_vec()), v, ng)
+    }
+
+    /// Extracts columns `[start, end)`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let v = self.value(a).slice_cols(start, end);
+        let ng = self.needs(a);
+        self.push(Op::SliceCols(a, start, end), v, ng)
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from `loss` and returns gradients
+    /// for every `needs_grad` node reachable from it.
+    ///
+    /// Forward values of non-leaf nodes at or below `loss` are **released**
+    /// as their adjoints are computed (mirroring framework behaviour), so
+    /// `value()` must not be called on them afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a single-element tensor.
+    pub fn backward(&mut self, loss: Var) -> Gradients {
+        assert!(
+            self.nodes[loss.id].value.shape().is_scalar_like(),
+            "backward from non-scalar {}",
+            self.nodes[loss.id].value.shape()
+        );
+        let seed = Tensor::full(self.nodes[loss.id].value.shape().clone(), 1.0);
+        self.backward_seeded(&[(loss, seed)])
+    }
+
+    /// Runs reverse-mode differentiation from explicit adjoint seeds.
+    ///
+    /// Instead of starting from a scalar loss with adjoint 1, each
+    /// `(var, seed)` pair injects `seed` as the incoming gradient of `var`.
+    /// This is the primitive that activation checkpointing uses to chain
+    /// gradients across recomputed segments: the downstream segment's input
+    /// gradients become the upstream segment's output seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty or a seed's shape does not match its
+    /// variable's value shape.
+    pub fn backward_seeded(&mut self, seeds: &[(Var, Tensor)]) -> Gradients {
+        assert!(!seeds.is_empty(), "backward_seeded with no seeds");
+        let n = self.nodes.len();
+        let mut grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+        let mut grad_bytes: Vec<u64> = vec![0; n];
+        let mut start = 0usize;
+        for (var, seed) in seeds {
+            assert_eq!(
+                seed.shape(),
+                self.nodes[var.id].value.shape(),
+                "seed shape mismatch for node {}",
+                var.id
+            );
+            match &mut grads[var.id] {
+                Some(existing) => existing.axpy(1.0, seed),
+                slot @ None => *slot = Some(seed.clone()),
+            }
+            start = start.max(var.id);
+        }
+
+        for id in (0..=start).rev() {
+            let Some(out_grad) = grads[id].take() else { continue };
+            if !self.nodes[id].needs_grad {
+                continue;
+            }
+            let op = self.nodes[id].op.clone();
+            self.apply_backward(id, &op, &out_grad, &mut grads, &mut grad_bytes);
+            // The adjoint of this node has been fully consumed; release its
+            // byte accounting (leaves keep their gradients for the caller).
+            if let Some(t) = &self.tracker {
+                if grad_bytes[id] > 0 {
+                    t.free(MemoryCategory::Gradients, grad_bytes[id]);
+                    grad_bytes[id] = 0;
+                }
+            }
+            // Release this node's forward value: every consumer (higher id)
+            // has already run its backward, and this node's own adjoint rule
+            // has just used it.
+            if !matches!(self.nodes[id].op, Op::Leaf { .. }) {
+                if let Some(t) = &self.tracker {
+                    if self.nodes[id].tracked_bytes > 0 {
+                        t.free(MemoryCategory::Activations, self.nodes[id].tracked_bytes);
+                    }
+                }
+                self.nodes[id].tracked_bytes = 0;
+                self.nodes[id].value = Tensor::default();
+            }
+            // Leaf gradients stay in `grads` for the caller.
+            if matches!(self.nodes[id].op, Op::Leaf { requires_grad: true }) {
+                grads[id] = Some(out_grad);
+            }
+        }
+        Gradients { grads }
+    }
+
+    fn accumulate(
+        &self,
+        grads: &mut [Option<Tensor>],
+        grad_bytes: &mut [u64],
+        var: Var,
+        delta: Tensor,
+    ) {
+        if !self.nodes[var.id].needs_grad {
+            return;
+        }
+        match &mut grads[var.id] {
+            Some(existing) => existing.axpy(1.0, &delta),
+            slot @ None => {
+                let bytes = delta.bytes() as u64;
+                // Intermediate gradients count as transient gradient bytes;
+                // parameter-leaf gradients are persistent buffers accounted
+                // for by the optimizer, so only track non-leaf adjoints.
+                if !matches!(self.nodes[var.id].op, Op::Leaf { .. }) {
+                    if let Some(t) = &self.tracker {
+                        t.alloc(MemoryCategory::Gradients, bytes);
+                    }
+                    grad_bytes[var.id] = bytes;
+                }
+                *slot = Some(delta);
+            }
+        }
+    }
+
+    fn apply_backward(
+        &mut self,
+        id: usize,
+        op: &Op,
+        g: &Tensor,
+        grads: &mut [Option<Tensor>],
+        grad_bytes: &mut [u64],
+    ) {
+        match op {
+            Op::Leaf { .. } => {}
+            Op::Add(a, b) => {
+                self.accumulate(grads, grad_bytes, *a, g.clone());
+                self.accumulate(grads, grad_bytes, *b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                self.accumulate(grads, grad_bytes, *a, g.clone());
+                self.accumulate(grads, grad_bytes, *b, g.neg());
+            }
+            Op::Mul(a, b) => {
+                let ga = g.mul(self.value(*b));
+                let gb = g.mul(self.value(*a));
+                self.accumulate(grads, grad_bytes, *a, ga);
+                self.accumulate(grads, grad_bytes, *b, gb);
+            }
+            Op::Scale(a, alpha) => {
+                self.accumulate(grads, grad_bytes, *a, g.scale(*alpha));
+            }
+            Op::AddScalar(a) => {
+                self.accumulate(grads, grad_bytes, *a, g.clone());
+            }
+            Op::Neg(a) => {
+                self.accumulate(grads, grad_bytes, *a, g.neg());
+            }
+            Op::Matmul(a, b) => {
+                if self.needs(*a) {
+                    let ga = g.matmul_nt(self.value(*b));
+                    self.accumulate(grads, grad_bytes, *a, ga);
+                }
+                if self.needs(*b) {
+                    let gb = self.value(*a).matmul_tn(g);
+                    self.accumulate(grads, grad_bytes, *b, gb);
+                }
+            }
+            Op::AddRow(a, bias) => {
+                self.accumulate(grads, grad_bytes, *a, g.clone());
+                if self.needs(*bias) {
+                    let gb_flat = g.sum_axis0();
+                    let gb = gb_flat
+                        .reshape(self.shape(*bias).clone())
+                        .expect("add_row bias grad shape");
+                    self.accumulate(grads, grad_bytes, *bias, gb);
+                }
+            }
+            Op::AddCol(a, col) => {
+                self.accumulate(grads, grad_bytes, *a, g.clone());
+                if self.needs(*col) {
+                    let gc = g
+                        .sum_axis1()
+                        .reshape(self.shape(*col).clone())
+                        .expect("add_col grad shape");
+                    self.accumulate(grads, grad_bytes, *col, gc);
+                }
+            }
+            Op::MulRow(a, row) => {
+                if self.needs(*a) {
+                    self.accumulate(grads, grad_bytes, *a, g.mul_row(self.value(*row)));
+                }
+                if self.needs(*row) {
+                    let gr = g
+                        .mul(self.value(*a))
+                        .sum_axis0()
+                        .reshape(self.shape(*row).clone())
+                        .expect("mul_row grad shape");
+                    self.accumulate(grads, grad_bytes, *row, gr);
+                }
+            }
+            Op::MulCol(a, col) => {
+                if self.needs(*a) {
+                    self.accumulate(grads, grad_bytes, *a, g.mul_col(self.value(*col)));
+                }
+                if self.needs(*col) {
+                    let gc = g
+                        .mul(self.value(*a))
+                        .sum_axis1()
+                        .reshape(self.shape(*col).clone())
+                        .expect("mul_col grad shape");
+                    self.accumulate(grads, grad_bytes, *col, gc);
+                }
+            }
+            Op::Relu(a) => {
+                let mask = self.value(*a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                self.accumulate(grads, grad_bytes, *a, g.mul(&mask));
+            }
+            Op::Silu(a) => {
+                let d = self.value(*a).map(|x| {
+                    let s = 1.0 / (1.0 + (-x).exp());
+                    s * (1.0 + x * (1.0 - s))
+                });
+                self.accumulate(grads, grad_bytes, *a, g.mul(&d));
+            }
+            Op::Tanh(a) => {
+                // y = tanh(x); dy/dx = 1 - y². Output still live: its value
+                // is freed only after this node's backward runs.
+                let y = &self.nodes[id].value;
+                let d = y.map(|y| 1.0 - y * y);
+                self.accumulate(grads, grad_bytes, *a, g.mul(&d));
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[id].value;
+                let d = y.map(|y| y * (1.0 - y));
+                self.accumulate(grads, grad_bytes, *a, g.mul(&d));
+            }
+            Op::Square(a) => {
+                let d = self.value(*a).scale(2.0);
+                self.accumulate(grads, grad_bytes, *a, g.mul(&d));
+            }
+            Op::Sqrt(a) => {
+                let y = &self.nodes[id].value;
+                let d = y.map(|y| 0.5 / y.max(1e-12));
+                self.accumulate(grads, grad_bytes, *a, g.mul(&d));
+            }
+            Op::Exp(a) => {
+                let y = &self.nodes[id].value;
+                self.accumulate(grads, grad_bytes, *a, g.mul(y));
+            }
+            Op::Recip(a) => {
+                let y = &self.nodes[id].value;
+                let d = y.map(|y| -y * y);
+                self.accumulate(grads, grad_bytes, *a, g.mul(&d));
+            }
+            Op::SumAll(a) => {
+                let gv = g.item();
+                let d = Tensor::full(self.shape(*a).clone(), gv);
+                self.accumulate(grads, grad_bytes, *a, d);
+            }
+            Op::MeanAll(a) => {
+                let n = self.shape(*a).numel().max(1) as f32;
+                let d = Tensor::full(self.shape(*a).clone(), g.item() / n);
+                self.accumulate(grads, grad_bytes, *a, d);
+            }
+            Op::SumAxis1(a) => {
+                // Broadcast g [n,1] across the columns of a [n,m].
+                let d = Tensor::ones(self.shape(*a).clone()).mul_col(g);
+                self.accumulate(grads, grad_bytes, *a, d);
+            }
+            Op::GatherRows(a, idx) => {
+                let n = self.shape(*a).rows();
+                let d = g.scatter_add_rows(idx, n);
+                self.accumulate(grads, grad_bytes, *a, d);
+            }
+            Op::ScatterAddRows(a, idx, _n_out) => {
+                let d = g.gather_rows(idx);
+                self.accumulate(grads, grad_bytes, *a, d);
+            }
+            Op::ConcatCols(parts) => {
+                let mut offset = 0;
+                for &p in parts {
+                    let w = self.shape(p).cols();
+                    if self.needs(p) {
+                        let d = g.slice_cols(offset, offset + w);
+                        self.accumulate(grads, grad_bytes, p, d);
+                    }
+                    offset += w;
+                }
+            }
+            Op::SliceCols(a, start, end) => {
+                let (n, m) = (self.shape(*a).rows(), self.shape(*a).cols());
+                let mut d = Tensor::zeros((n, m));
+                {
+                    let dd = d.data_mut();
+                    let gd = g.data();
+                    let w = end - start;
+                    for r in 0..n {
+                        dd[r * m + start..r * m + end].copy_from_slice(&gd[r * w..(r + 1) * w]);
+                    }
+                }
+                self.accumulate(grads, grad_bytes, *a, d);
+            }
+        }
+    }
+}
+
+impl Drop for Tape {
+    fn drop(&mut self) {
+        if let Some(t) = &self.tracker {
+            let remaining = self.activation_bytes();
+            if remaining > 0 {
+                t.free(MemoryCategory::Activations, remaining);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Tape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tape")
+            .field("nodes", &self.nodes.len())
+            .field("activation_bytes", &self.activation_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_grad;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_regression_gradient() {
+        // loss = mean((w·x + b - y)²)
+        let mut tape = Tape::new();
+        let w = tape.param(Tensor::from_vec((2, 1), vec![0.5, -0.5]).unwrap());
+        let b = tape.param(Tensor::from_vec(1usize, vec![0.1]).unwrap());
+        let x = tape.constant(Tensor::from_vec((3, 2), vec![1.0, 2.0, 0.0, 1.0, -1.0, 0.5]).unwrap());
+        let y = tape.constant(Tensor::from_vec((3, 1), vec![1.0, 0.0, -1.0]).unwrap());
+        let pred = tape.matmul(x, w);
+        let pred = tape.add_row(pred, b);
+        let err = tape.sub(pred, y);
+        let sq = tape.square(err);
+        let loss = tape.mean_all(sq);
+        let grads = tape.backward(loss);
+        assert!(grads.get(w).is_some());
+        assert!(grads.get(b).is_some());
+        // Finite-difference spot check on w[0].
+        let f = |w0: f32| {
+            let xs = [[1.0f32, 2.0], [0.0, 1.0], [-1.0, 0.5]];
+            let ys = [1.0f32, 0.0, -1.0];
+            let mut acc = 0.0;
+            for i in 0..3 {
+                let p = xs[i][0] * w0 + xs[i][1] * -0.5 + 0.1;
+                acc += (p - ys[i]) * (p - ys[i]);
+            }
+            acc / 3.0
+        };
+        let eps = 1e-3;
+        let num = (f(0.5 + eps) - f(0.5 - eps)) / (2.0 * eps);
+        let ana = grads.get(w).unwrap().data()[0];
+        assert!((num - ana).abs() < 1e-3, "numeric {num} vs analytic {ana}");
+    }
+
+    #[test]
+    fn gradcheck_elementwise_chain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x0 = Tensor::rand_uniform((3, 4), 0.9, &mut rng);
+        check_grad(
+            &[x0],
+            |tape, vars| {
+                let a = tape.silu(vars[0]);
+                let b = tape.tanh(a);
+                let c = tape.square(b);
+                let d = tape.add(c, a);
+                tape.mean_all(d)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_matmul_bias() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = Tensor::randn((3, 2), 0.7, &mut rng);
+        let x = Tensor::randn((4, 3), 0.7, &mut rng);
+        let b = Tensor::randn(2usize, 0.5, &mut rng);
+        check_grad(
+            &[w, x, b],
+            |tape, vars| {
+                let y = tape.matmul(vars[1], vars[0]);
+                let y = tape.add_row(y, vars[2]);
+                let y = tape.relu(y);
+                tape.sum_all(y)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_gather_scatter_concat() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let h = Tensor::randn((4, 3), 0.8, &mut rng);
+        let idx_src = Arc::new(vec![0usize, 1, 3, 3, 2]);
+        let idx_dst = Arc::new(vec![1usize, 0, 2, 0, 3]);
+        check_grad(
+            &[h],
+            move |tape, vars| {
+                let hi = tape.gather_rows(vars[0], Arc::clone(&idx_src));
+                let hj = tape.gather_rows(vars[0], Arc::clone(&idx_dst));
+                let cat = tape.concat_cols(&[hi, hj]);
+                let left = tape.slice_cols(cat, 0, 3);
+                let agg = tape.scatter_add_rows(left, Arc::clone(&idx_dst), 4);
+                let s = tape.square(agg);
+                tape.mean_all(s)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_add_col_mul_row() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let x = Tensor::randn((4, 3), 0.8, &mut rng);
+        let col = Tensor::randn((4, 1), 0.8, &mut rng);
+        let row = Tensor::randn(3usize, 0.8, &mut rng);
+        check_grad(
+            &[x, col, row],
+            |tape, vars| {
+                let y = tape.add_col(vars[0], vars[1]);
+                let y = tape.mul_row(y, vars[2]);
+                let y = tape.tanh(y);
+                tape.mean_all(y)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_mul_col_sum_axis1() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Tensor::randn((5, 3), 0.8, &mut rng);
+        let c = Tensor::randn((5, 1), 0.8, &mut rng);
+        check_grad(
+            &[x, c],
+            |tape, vars| {
+                let y = tape.mul_col(vars[0], vars[1]);
+                let s = tape.sum_axis1(y);
+                let q = tape.square(s);
+                tape.mean_all(q)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_sqrt_exp_recip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Keep inputs away from singular points.
+        let x = Tensor::rand_uniform((3, 3), 0.4, &mut rng).add_scalar(1.5);
+        check_grad(
+            &[x],
+            |tape, vars| {
+                let a = tape.sqrt(vars[0]);
+                let b = tape.exp(a);
+                let c = tape.recip(b);
+                let d = tape.sigmoid(c);
+                tape.sum_all(d)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // y = x + x, dy/dx = 2
+        let mut tape = Tape::new();
+        let x = tape.param(Tensor::scalar(3.0));
+        let y = tape.add(x, x);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).unwrap().item(), 2.0);
+    }
+
+    #[test]
+    fn constants_get_no_grad() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::scalar(3.0));
+        let w = tape.param(Tensor::scalar(2.0));
+        let y = tape.mul(x, w);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        assert!(grads.get(x).is_none());
+        assert_eq!(grads.get(w).unwrap().item(), 3.0);
+    }
+
+    #[test]
+    fn memory_tracking_peaks_at_backward_start() {
+        let tracker = MemoryTracker::new();
+        let mut tape = Tape::with_tracker(tracker.clone());
+        let w = tape.param(Tensor::ones((8, 8)));
+        let x = tape.constant(Tensor::ones((16, 8)));
+        let mut h = x;
+        for _ in 0..4 {
+            h = tape.matmul(h, w);
+            h = tape.relu(h);
+        }
+        let loss = tape.mean_all(h);
+        let after_forward = tracker.current().get(MemoryCategory::Activations);
+        assert!(after_forward > 0);
+        let _ = tape.backward(loss);
+        // All activations released after backward.
+        assert_eq!(tracker.current().get(MemoryCategory::Activations), 0);
+        assert_eq!(tracker.current().get(MemoryCategory::Gradients), 0);
+        // Peak includes forward activations.
+        assert!(tracker.peak_total() >= after_forward);
+    }
+
+    #[test]
+    fn tape_drop_releases_tracking() {
+        let tracker = MemoryTracker::new();
+        {
+            let mut tape = Tape::with_tracker(tracker.clone());
+            let x = tape.constant(Tensor::ones((4, 4)));
+            let _y = tape.relu(x);
+            assert!(tracker.current().get(MemoryCategory::Activations) > 0);
+        }
+        assert_eq!(tracker.current().get(MemoryCategory::Activations), 0);
+    }
+
+    #[test]
+    fn seeded_backward_chains_segments() {
+        // Split y = relu(x·W1)·W2 into two segments and chain gradients
+        // manually; the result must equal the single-tape gradient.
+        let mut rng = StdRng::seed_from_u64(21);
+        let w1 = Tensor::randn((3, 4), 0.7, &mut rng);
+        let w2 = Tensor::randn((4, 1), 0.7, &mut rng);
+        let x = Tensor::randn((5, 3), 0.7, &mut rng);
+
+        // Reference: one tape.
+        let mut tape = Tape::new();
+        let vw1 = tape.param(w1.clone());
+        let vw2 = tape.param(w2.clone());
+        let vx = tape.constant(x.clone());
+        let h = tape.matmul(vx, vw1);
+        let h = tape.relu(h);
+        let y = tape.matmul(h, vw2);
+        let loss = tape.mean_all(y);
+        let ref_grads = tape.backward(loss);
+        let ref_g1 = ref_grads.get(vw1).unwrap().clone();
+        let ref_g2 = ref_grads.get(vw2).unwrap().clone();
+
+        // Segment 1 forward (no grad yet): h_val.
+        let h_val = {
+            let mut t1 = Tape::new();
+            let vw1 = t1.param(w1.clone());
+            let vx = t1.constant(x.clone());
+            let h = t1.matmul(vx, vw1);
+            let h = t1.relu(h);
+            t1.value(h).clone()
+        };
+        // Segment 2 with loss; input h bound as param to receive a grad.
+        let (g2, gh) = {
+            let mut t2 = Tape::new();
+            let vh = t2.param(h_val.clone());
+            let vw2 = t2.param(w2.clone());
+            let y = t2.matmul(vh, vw2);
+            let loss = t2.mean_all(y);
+            let mut g = t2.backward(loss);
+            (g.take(vw2).unwrap(), g.take(vh).unwrap())
+        };
+        // Segment 1 recompute, seeded with gh.
+        let g1 = {
+            let mut t1 = Tape::new();
+            let vw1 = t1.param(w1.clone());
+            let vx = t1.constant(x.clone());
+            let h = t1.matmul(vx, vw1);
+            let h = t1.relu(h);
+            let mut g = t1.backward_seeded(&[(h, gh)]);
+            g.take(vw1).unwrap()
+        };
+        assert!(g1.allclose(&ref_g1, 1e-5));
+        assert!(g2.allclose(&ref_g2, 1e-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "seed shape mismatch")]
+    fn seeded_backward_shape_check() {
+        let mut tape = Tape::new();
+        let x = tape.param(Tensor::ones((2, 2)));
+        let y = tape.relu(x);
+        let _ = tape.backward_seeded(&[(y, Tensor::ones((3, 3)))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward from non-scalar")]
+    fn backward_from_matrix_panics() {
+        let mut tape = Tape::new();
+        let x = tape.param(Tensor::ones((2, 2)));
+        let y = tape.relu(x);
+        let _ = tape.backward(y);
+    }
+}

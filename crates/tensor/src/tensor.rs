@@ -1,0 +1,897 @@
+//! Dense, row-major `f32` tensors and the numeric kernels used by the
+//! autodiff tape.
+//!
+//! Buffers are reference-counted (`Arc<Vec<f32>>`), so cloning a [`Tensor`]
+//! is O(1) and binding model parameters into a tape does not copy data. All
+//! kernels here are *pure* (no autodiff); [`crate::Tape`] wraps them with
+//! backward rules.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::{Shape, TensorError};
+
+/// A dense, row-major `f32` tensor with cheaply clonable storage.
+///
+/// # Examples
+///
+/// ```
+/// use matgnn_tensor::Tensor;
+///
+/// let a = Tensor::from_vec((2, 2), vec![1.0, 2.0, 3.0, 4.0])?;
+/// let b = Tensor::ones((2, 2));
+/// let c = a.add(&b);
+/// assert_eq!(c.data(), &[2.0, 3.0, 4.0, 5.0]);
+/// # Ok::<(), matgnn_tensor::TensorError>(())
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Arc<Vec<f32>>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Creates a tensor of the given shape filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor { shape, data: Arc::new(vec![value; n]) }
+    }
+
+    /// Creates a zero-filled tensor.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 0.0)
+    }
+
+    /// Creates a one-filled tensor.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a rank-0 tensor holding a single value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: Shape::scalar(), data: Arc::new(vec![value]) }
+    }
+
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the shape's element count.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.numel() != data.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.numel(), actual: data.len() });
+        }
+        Ok(Tensor { shape, data: Arc::new(data) })
+    }
+
+    /// Creates a tensor by evaluating `f(flat_index)` at every element.
+    pub fn from_fn(shape: impl Into<Shape>, f: impl FnMut(usize) -> f32) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.numel()).map(f).collect();
+        Tensor { shape, data: Arc::new(data) }
+    }
+
+    /// Creates a tensor with i.i.d. samples from `U[-scale, scale)`.
+    pub fn rand_uniform<R: Rng + ?Sized>(shape: impl Into<Shape>, scale: f32, rng: &mut R) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.numel()).map(|_| rng.gen_range(-scale..scale)).collect();
+        Tensor { shape, data: Arc::new(data) }
+    }
+
+    /// Creates a tensor with i.i.d. standard-normal samples scaled by `std`.
+    ///
+    /// Uses the Box–Muller transform so only `rand`'s uniform sampler is
+    /// required.
+    pub fn randn<R: Rng + ?Sized>(shape: impl Into<Shape>, std: f32, rng: &mut R) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < n {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Tensor { shape, data: Arc::new(data) }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of rows (first dimension; 1 for scalars).
+    pub fn rows(&self) -> usize {
+        self.shape.rows()
+    }
+
+    /// Number of columns (product of trailing dimensions; 1 for vectors).
+    pub fn cols(&self) -> usize {
+        self.shape.cols()
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Size of this tensor's buffer in bytes.
+    pub fn bytes(&self) -> usize {
+        self.numel() * std::mem::size_of::<f32>()
+    }
+
+    /// The flat row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat data, copying if the buffer is shared.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// The element at `(row, col)` for rank-2 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds or if the tensor is not rank 2.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert_eq!(self.shape.rank(), 2, "get(r,c) requires rank-2, got {}", self.shape);
+        let c = self.shape.dim(1);
+        assert!(row < self.shape.dim(0) && col < c, "index ({row},{col}) out of {}", self.shape);
+        self.data[row * c + col]
+    }
+
+    /// The single value of a one-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor holds more than one element.
+    pub fn item(&self) -> f32 {
+        assert!(self.shape.is_scalar_like(), "item() on non-scalar {}", self.shape);
+        self.data[0]
+    }
+
+    /// Copies the data into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.data.to_vec()
+    }
+
+    /// Returns the same data viewed under a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if element counts differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.numel() != self.numel() {
+            return Err(TensorError::LengthMismatch { expected: shape.numel(), actual: self.numel() });
+        }
+        Ok(Tensor { shape, data: Arc::clone(&self.data) })
+    }
+
+    /// Whether every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Whether `self` and `other` agree element-wise within `tol`.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self.data.iter().zip(other.data.iter()).all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise
+    // ------------------------------------------------------------------
+
+    fn zip_same_shape(&self, other: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch in {op}: {} vs {}",
+            self.shape, other.shape
+        );
+        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+        Tensor { shape: self.shape.clone(), data: Arc::new(data) }
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data = self.data.iter().map(|&a| f(a)).collect();
+        Tensor { shape: self.shape.clone(), data: Arc::new(data) }
+    }
+
+    /// Elementwise sum. Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_same_shape(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference. Panics on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_same_shape(other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product. Panics on shape mismatch.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_same_shape(other, "mul", |a, b| a * b)
+    }
+
+    /// Elementwise quotient. Panics on shape mismatch.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip_same_shape(other, "div", |a, b| a / b)
+    }
+
+    /// Multiplies every element by `alpha`.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|a| a * alpha)
+    }
+
+    /// Adds `alpha` to every element.
+    pub fn add_scalar(&self, alpha: f32) -> Tensor {
+        self.map(|a| a + alpha)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        self.map(|a| -a)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Tensor {
+        self.map(|a| a * a)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        self.map(|a| a.max(0.0))
+    }
+
+    /// Sigmoid-weighted linear unit `x * sigmoid(x)` (a.k.a. swish).
+    pub fn silu(&self) -> Tensor {
+        self.map(|a| a / (1.0 + (-a).exp()))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(|a| 1.0 / (1.0 + (-a).exp()))
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast helpers
+    // ------------------------------------------------------------------
+
+    /// Adds a length-`cols` row vector to every row of a matrix
+    /// (bias addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.numel() != self.cols()`.
+    pub fn add_row(&self, row: &Tensor) -> Tensor {
+        let c = self.cols();
+        assert_eq!(row.numel(), c, "add_row: bias {} vs cols {c}", row.shape);
+        let mut data = self.to_vec();
+        for r in 0..self.rows() {
+            for j in 0..c {
+                data[r * c + j] += row.data[j];
+            }
+        }
+        Tensor { shape: self.shape.clone(), data: Arc::new(data) }
+    }
+
+    /// Adds `col[r]` to every element of row `r`, broadcasting a
+    /// `[rows, 1]` (or length-`rows`) tensor across columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col.numel() != self.rows()`.
+    pub fn add_col(&self, col: &Tensor) -> Tensor {
+        let c = self.cols();
+        assert_eq!(col.numel(), self.rows(), "add_col: {} vs rows {}", col.shape, self.rows());
+        let mut data = self.to_vec();
+        for r in 0..self.rows() {
+            let v = col.data[r];
+            for x in &mut data[r * c..(r + 1) * c] {
+                *x += v;
+            }
+        }
+        Tensor { shape: self.shape.clone(), data: Arc::new(data) }
+    }
+
+    /// Multiplies every row element-wise by a length-`cols` row vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.numel() != self.cols()`.
+    pub fn mul_row(&self, row: &Tensor) -> Tensor {
+        let c = self.cols();
+        assert_eq!(row.numel(), c, "mul_row: {} vs cols {c}", row.shape);
+        let mut data = self.to_vec();
+        for r in 0..self.rows() {
+            for (j, x) in data[r * c..(r + 1) * c].iter_mut().enumerate() {
+                *x *= row.data[j];
+            }
+        }
+        Tensor { shape: self.shape.clone(), data: Arc::new(data) }
+    }
+
+    /// Multiplies row `r` of a matrix by `col[r]`, broadcasting a
+    /// `[rows, 1]` (or length-`rows`) tensor across columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col.numel() != self.rows()`.
+    pub fn mul_col(&self, col: &Tensor) -> Tensor {
+        let c = self.cols();
+        assert_eq!(col.numel(), self.rows(), "mul_col: {} vs rows {}", col.shape, self.rows());
+        let mut data = self.to_vec();
+        for r in 0..self.rows() {
+            let s = col.data[r];
+            for j in 0..c {
+                data[r * c + j] *= s;
+            }
+        }
+        Tensor { shape: self.shape.clone(), data: Arc::new(data) }
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// Matrix product `self × other` for `[n,k] × [k,m]`.
+    ///
+    /// Large products are split across threads by row blocks (the block
+    /// count adapts to [`available_parallelism`]); small products run
+    /// serially to avoid spawn overhead.
+    ///
+    /// [`available_parallelism`]: std::thread::available_parallelism
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (n, k) = (self.rows(), self.cols());
+        let (k2, m) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul inner dim: {} vs {}", self.shape, other.shape);
+        let a = &self.data;
+        let b = &other.data;
+        let mut out = vec![0.0f32; n * m];
+
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        // Only parallelize when each worker gets meaningful work
+        // (≥ ~1 MFLOP per row block) and more than one core exists.
+        const PAR_FLOP_THRESHOLD: usize = 4_000_000;
+        if threads > 1 && 2 * n * k * m >= PAR_FLOP_THRESHOLD && n >= 2 * threads {
+            let rows_per = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (block, chunk) in out.chunks_mut(rows_per * m).enumerate() {
+                    let start = block * rows_per;
+                    scope.spawn(move || {
+                        matmul_rows(a, b, chunk, start, k, m);
+                    });
+                }
+            });
+        } else {
+            matmul_rows(a, b, &mut out, 0, k, m);
+        }
+        Tensor { shape: Shape::matrix(n, m), data: Arc::new(out) }
+    }
+
+    /// `selfᵀ × other` for `[k,n]ᵀ × [k,m]`, without materialising the
+    /// transpose (used by matmul backward).
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let (k, n) = (self.rows(), self.cols());
+        let (k2, m) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul_tn inner dim: {} vs {}", self.shape, other.shape);
+        let a = &self.data;
+        let b = &other.data;
+        let mut out = vec![0.0f32; n * m];
+        for kk in 0..k {
+            let arow = &a[kk * n..(kk + 1) * n];
+            let brow = &b[kk * m..(kk + 1) * m];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * m..(i + 1) * m];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor { shape: Shape::matrix(n, m), data: Arc::new(out) }
+    }
+
+    /// `self × otherᵀ` for `[n,k] × [m,k]ᵀ`, without materialising the
+    /// transpose (used by matmul backward).
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let (n, k) = (self.rows(), self.cols());
+        let (m, k2) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul_nt inner dim: {} vs {}", self.shape, other.shape);
+        let a = &self.data;
+        let b = &other.data;
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..m {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                    acc += av * bv;
+                }
+                out[i * m + j] = acc;
+            }
+        }
+        Tensor { shape: Shape::matrix(n, m), data: Arc::new(out) }
+    }
+
+    /// Matrix transpose of a rank-2 tensor.
+    #[allow(clippy::needless_range_loop)] // index symmetry is the algorithm
+    pub fn transpose(&self) -> Tensor {
+        let (n, m) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            for j in 0..m {
+                out[j * n + i] = self.data[i * m + j];
+            }
+        }
+        Tensor { shape: Shape::matrix(m, n), data: Arc::new(out) }
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum_all(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean_all(&self) -> f32 {
+        if self.numel() == 0 {
+            0.0
+        } else {
+            self.sum_all() / self.numel() as f32
+        }
+    }
+
+    /// Largest absolute element (0 for empty tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum()
+    }
+
+    /// Column sums: `[n,m] → [m]`.
+    #[allow(clippy::needless_range_loop)] // explicit indices mirror the math
+    pub fn sum_axis0(&self) -> Tensor {
+        let (n, m) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; m];
+        for i in 0..n {
+            for j in 0..m {
+                out[j] += self.data[i * m + j];
+            }
+        }
+        Tensor { shape: Shape::vector(m), data: Arc::new(out) }
+    }
+
+    /// Row sums: `[n,m] → [n,1]`.
+    #[allow(clippy::needless_range_loop)] // explicit indices mirror the math
+    pub fn sum_axis1(&self) -> Tensor {
+        let (n, m) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; n];
+        for i in 0..n {
+            out[i] = self.data[i * m..(i + 1) * m].iter().sum();
+        }
+        Tensor { shape: Shape::matrix(n, 1), data: Arc::new(out) }
+    }
+
+    // ------------------------------------------------------------------
+    // Row indexing / segments
+    // ------------------------------------------------------------------
+
+    /// Gathers rows: `out[i] = self[idx[i]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
+        let (n, m) = (self.rows(), self.cols());
+        let mut out = Vec::with_capacity(idx.len() * m);
+        for &i in idx {
+            assert!(i < n, "gather_rows index {i} out of {n}");
+            out.extend_from_slice(&self.data[i * m..(i + 1) * m]);
+        }
+        Tensor { shape: Shape::matrix(idx.len(), m), data: Arc::new(out) }
+    }
+
+    /// Scatter-add rows into `n_out` rows: `out[idx[i]] += self[i]`.
+    ///
+    /// This is the segment-sum primitive used for message aggregation and
+    /// graph pooling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len() != self.rows()` or any index `>= n_out`.
+    pub fn scatter_add_rows(&self, idx: &[usize], n_out: usize) -> Tensor {
+        let (n, m) = (self.rows(), self.cols());
+        assert_eq!(idx.len(), n, "scatter_add_rows: {} indices for {n} rows", idx.len());
+        let mut out = vec![0.0f32; n_out * m];
+        for (i, &t) in idx.iter().enumerate() {
+            assert!(t < n_out, "scatter_add_rows target {t} out of {n_out}");
+            let src = &self.data[i * m..(i + 1) * m];
+            let dst = &mut out[t * m..(t + 1) * m];
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d += s;
+            }
+        }
+        Tensor { shape: Shape::matrix(n_out, m), data: Arc::new(out) }
+    }
+
+    /// Concatenates matrices with equal row counts along the column axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or row counts differ.
+    pub fn concat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_cols of zero tensors");
+        let n = parts[0].rows();
+        for p in parts {
+            assert_eq!(p.rows(), n, "concat_cols row mismatch: {} vs {n}", p.rows());
+        }
+        let total: usize = parts.iter().map(|p| p.cols()).sum();
+        let mut out = Vec::with_capacity(n * total);
+        for r in 0..n {
+            for p in parts {
+                let m = p.cols();
+                out.extend_from_slice(&p.data[r * m..(r + 1) * m]);
+            }
+        }
+        Tensor { shape: Shape::matrix(n, total), data: Arc::new(out) }
+    }
+
+    /// Extracts columns `[start, end)` of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.cols()`.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Tensor {
+        let (n, m) = (self.rows(), self.cols());
+        assert!(start <= end && end <= m, "slice_cols {start}..{end} out of {m}");
+        let w = end - start;
+        let mut out = Vec::with_capacity(n * w);
+        for r in 0..n {
+            out.extend_from_slice(&self.data[r * m + start..r * m + end]);
+        }
+        Tensor { shape: Shape::matrix(n, w), data: Arc::new(out) }
+    }
+
+    // ------------------------------------------------------------------
+    // In-place updates (optimizers)
+    // ------------------------------------------------------------------
+
+    /// In-place `self += alpha * other` (BLAS `axpy`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy: {} vs {}", self.shape, other.shape);
+        let dst = Arc::make_mut(&mut self.data);
+        for (d, &s) in dst.iter_mut().zip(other.data.iter()) {
+            *d += alpha * s;
+        }
+    }
+
+    /// In-place `self = beta * self + (1 - beta) * other` (EMA update).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn lerp_from(&mut self, beta: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "lerp_from: {} vs {}", self.shape, other.shape);
+        let dst = Arc::make_mut(&mut self.data);
+        for (d, &s) in dst.iter_mut().zip(other.data.iter()) {
+            *d = beta * *d + (1.0 - beta) * s;
+        }
+    }
+
+    /// In-place update from `f(current, other)` applied element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_assign(&mut self, other: &Tensor, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(self.shape, other.shape, "zip_assign: {} vs {}", self.shape, other.shape);
+        let dst = Arc::make_mut(&mut self.data);
+        for (d, &s) in dst.iter_mut().zip(other.data.iter()) {
+            *d = f(*d, s);
+        }
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f32) {
+        let dst = Arc::make_mut(&mut self.data);
+        dst.iter_mut().for_each(|d| *d = value);
+    }
+}
+
+/// Computes rows `[row_offset, row_offset + chunk_rows)` of `a × b` into
+/// `out` (i-k-j order: unit-stride on both `b` and `out`).
+fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row_offset: usize, k: usize, m: usize) {
+    for (local, orow) in out.chunks_mut(m).enumerate() {
+        let i = row_offset + local;
+        let arow = &a[i * k..(i + 1) * k];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * m..(kk + 1) * m];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        const MAX: usize = 8;
+        let shown: Vec<String> = self.data.iter().take(MAX).map(|v| format!("{v:.4}")).collect();
+        write!(f, "[{}", shown.join(", "))?;
+        if self.numel() > MAX {
+            write!(f, ", … {} more", self.numel() - MAX)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::scalar(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t2(v: Vec<f32>, r: usize, c: usize) -> Tensor {
+        Tensor::from_vec((r, c), v).unwrap()
+    }
+
+    #[test]
+    fn construct_and_access() {
+        let t = t2(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        assert_eq!(t.get(0, 2), 3.0);
+        assert_eq!(t.get(1, 0), 4.0);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.bytes(), 24);
+    }
+
+    #[test]
+    fn from_vec_length_mismatch() {
+        assert!(matches!(
+            Tensor::from_vec((2, 2), vec![1.0]),
+            Err(TensorError::LengthMismatch { expected: 4, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t2(vec![1.0, -2.0, 3.0, -4.0], 2, 2);
+        let b = t2(vec![2.0, 2.0, 2.0, 2.0], 2, 2);
+        assert_eq!(a.add(&b).data(), &[3.0, 0.0, 5.0, -2.0]);
+        assert_eq!(a.sub(&b).data(), &[-1.0, -4.0, 1.0, -6.0]);
+        assert_eq!(a.mul(&b).data(), &[2.0, -4.0, 6.0, -8.0]);
+        assert_eq!(a.div(&b).data(), &[0.5, -1.0, 1.5, -2.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, -4.0, 6.0, -8.0]);
+        assert_eq!(a.relu().data(), &[1.0, 0.0, 3.0, 0.0]);
+        assert_eq!(a.abs().data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.neg().data(), &[-1.0, 2.0, -3.0, 4.0]);
+        assert_eq!(a.square().data(), &[1.0, 4.0, 9.0, 16.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn elementwise_shape_mismatch_panics() {
+        let a = Tensor::zeros((2, 2));
+        let b = Tensor::zeros((2, 3));
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn silu_matches_definition() {
+        let a = t2(vec![0.0, 1.0, -1.0, 3.0], 2, 2);
+        let s = a.silu();
+        for (x, y) in a.data().iter().zip(s.data().iter()) {
+            let expect = x / (1.0 + (-x).exp());
+            assert!((y - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn broadcast_add_row_mul_col() {
+        let a = t2(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let bias = Tensor::from_vec(3, vec![10.0, 20.0, 30.0]).unwrap();
+        assert_eq!(a.add_row(&bias).data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        let col = Tensor::from_vec((2, 1), vec![2.0, -1.0]).unwrap();
+        assert_eq!(a.mul_col(&col).data(), &[2.0, 4.0, 6.0, -4.0, -5.0, -6.0]);
+    }
+
+    #[test]
+    fn broadcast_add_col_mul_row() {
+        let a = t2(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        let col = Tensor::from_vec((2, 1), vec![10.0, -1.0]).unwrap();
+        assert_eq!(a.add_col(&col).data(), &[11.0, 12.0, 13.0, 3.0, 4.0, 5.0]);
+        let row = Tensor::from_vec(3, vec![2.0, 0.5, -1.0]).unwrap();
+        assert_eq!(a.mul_row(&row).data(), &[2.0, 1.0, -3.0, 8.0, 2.5, -6.0]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t2(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        let b = t2(vec![5.0, 6.0, 7.0, 8.0], 2, 2);
+        assert_eq!(a.matmul(&b).data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rect() {
+        let a = t2(vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0], 2, 3);
+        let b = t2(vec![3.0, 1.0, 2.0, 1.0, 1.0, 0.0], 3, 2);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &Shape::matrix(2, 2));
+        assert_eq!(c.data(), &[5.0, 1.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_large_parallel_path_matches_small_blocks() {
+        // Exercise the (potentially) threaded path against a blockwise
+        // serial reference.
+        let mut rng = StdRng::seed_from_u64(31);
+        let a = Tensor::randn((300, 120), 1.0, &mut rng);
+        let b = Tensor::randn((120, 250), 1.0, &mut rng);
+        let c = a.matmul(&b);
+        // Reference: compute each row independently via 1-row matmuls.
+        for i in (0..300).step_by(37) {
+            let row = a.gather_rows(&[i]);
+            let expect = row.matmul(&b);
+            let got = c.gather_rows(&[i]);
+            assert!(got.allclose(&expect, 1e-4), "row {i} differs");
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_variants_agree() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::randn((4, 3), 1.0, &mut rng);
+        let b = Tensor::randn((3, 5), 1.0, &mut rng);
+        let c = a.matmul(&b);
+        let c_tn = a.transpose().matmul_tn(&b);
+        assert!(c.allclose(&c_tn, 1e-5));
+        let c_nt = a.matmul_nt(&b.transpose());
+        assert!(c.allclose(&c_nt, 1e-5));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn((3, 7), 1.0, &mut rng);
+        assert!(a.transpose().transpose().allclose(&a, 0.0));
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t2(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        assert_eq!(a.sum_all(), 21.0);
+        assert_eq!(a.mean_all(), 3.5);
+        assert_eq!(a.sum_axis0().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(a.sum_axis1().data(), &[6.0, 15.0]);
+        assert_eq!(a.max_abs(), 6.0);
+        assert_eq!(a.norm_sq(), 91.0);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let a = t2(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3, 2);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let s = g.scatter_add_rows(&[2, 0, 2], 3);
+        assert_eq!(s.data(), &[1.0, 2.0, 0.0, 0.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn concat_and_slice_cols() {
+        let a = t2(vec![1.0, 2.0, 3.0, 4.0], 2, 2);
+        let b = t2(vec![9.0, 8.0], 2, 1);
+        let c = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.data(), &[1.0, 2.0, 9.0, 3.0, 4.0, 8.0]);
+        assert!(c.slice_cols(0, 2).allclose(&a, 0.0));
+        assert!(c.slice_cols(2, 3).allclose(&b, 0.0));
+    }
+
+    #[test]
+    fn inplace_updates() {
+        let mut a = t2(vec![1.0, 1.0], 1, 2);
+        let g = t2(vec![2.0, 4.0], 1, 2);
+        a.axpy(-0.5, &g);
+        assert_eq!(a.data(), &[0.0, -1.0]);
+        a.lerp_from(0.9, &g);
+        assert!((a.data()[0] - 0.2).abs() < 1e-6);
+        a.fill(7.0);
+        assert_eq!(a.data(), &[7.0, 7.0]);
+    }
+
+    #[test]
+    fn clone_is_shallow_until_mutated() {
+        let a = Tensor::ones((2, 2));
+        let mut b = a.clone();
+        assert!(Arc::ptr_eq(&a.data, &b.data));
+        b.fill(0.0);
+        assert_eq!(a.data(), &[1.0; 4]);
+        assert_eq!(b.data(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn randn_moments_reasonable() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = Tensor::randn(10_000usize, 1.0, &mut rng);
+        let mean = t.mean_all();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean_all();
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn reshape_shares_data() {
+        let a = Tensor::ones((2, 3));
+        let b = a.reshape(6usize).unwrap();
+        assert_eq!(b.shape().rank(), 1);
+        assert!(a.reshape((4, 2)).is_err());
+    }
+}

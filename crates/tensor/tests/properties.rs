@@ -1,0 +1,218 @@
+//! Property-based tests of the tensor kernels and autodiff tape: random
+//! shapes, algebraic identities, adjointness, and gradient checks.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use matgnn_tensor::{gradcheck, MemoryCategory, MemoryTracker, Tape, Tensor};
+
+fn arb_dims() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..6, 1usize..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ---------------- algebraic identities ----------------
+
+    #[test]
+    fn add_commutes_and_sub_inverts((r, c) in arb_dims(), seed in 0u64..50) {
+        let a = deterministic(r, c, seed);
+        let b = deterministic(r, c, seed ^ 1);
+        prop_assert!(a.add(&b).allclose(&b.add(&a), 1e-6));
+        prop_assert!(a.add(&b).sub(&b).allclose(&a, 1e-5));
+    }
+
+    #[test]
+    fn matmul_distributes((n, k) in arb_dims(), (m, _) in arb_dims(), seed in 0u64..50) {
+        let a = deterministic(n, k, seed);
+        let b = deterministic(k, m, seed ^ 2);
+        let c = deterministic(k, m, seed ^ 3);
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(left.allclose(&right, 1e-4), "distributivity failed");
+    }
+
+    #[test]
+    fn matmul_associates((n, k) in arb_dims(), (m, p) in arb_dims(), seed in 0u64..50) {
+        let a = deterministic(n, k, seed);
+        let b = deterministic(k, m, seed ^ 4);
+        let c = deterministic(m, p, seed ^ 5);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.allclose(&right, 1e-3), "associativity failed");
+    }
+
+    #[test]
+    fn transpose_variants_consistent((n, k) in arb_dims(), (m, _) in arb_dims(), seed in 0u64..50) {
+        let a = deterministic(n, k, seed);
+        let b = deterministic(k, m, seed ^ 6);
+        let plain = a.matmul(&b);
+        prop_assert!(a.transpose().matmul_tn(&b).allclose(&plain, 1e-4));
+        prop_assert!(a.matmul_nt(&b.transpose()).allclose(&plain, 1e-4));
+        prop_assert!(a.transpose().transpose().allclose(&a, 0.0));
+        // (AB)ᵀ = BᵀAᵀ
+        prop_assert!(plain.transpose().allclose(&b.transpose().matmul(&a.transpose()), 1e-4));
+    }
+
+    #[test]
+    fn reductions_agree((r, c) in arb_dims(), seed in 0u64..50) {
+        let a = deterministic(r, c, seed);
+        let total = a.sum_all();
+        prop_assert!((a.sum_axis0().sum_all() - total).abs() < 1e-4 * (1.0 + total.abs()));
+        prop_assert!((a.sum_axis1().sum_all() - total).abs() < 1e-4 * (1.0 + total.abs()));
+        prop_assert!((a.mean_all() * a.numel() as f32 - total).abs() < 1e-4 * (1.0 + total.abs()));
+    }
+
+    #[test]
+    fn gather_scatter_adjoint((n, c) in arb_dims(), seed in 0u64..50, e in 1usize..12) {
+        // <scatter(x, idx), y> == <x, gather(y, idx)> — the defining
+        // adjoint property that makes the backward rules correct.
+        let idx: Vec<usize> = (0..e).map(|i| (i * 7 + seed as usize) % n).collect();
+        let x = deterministic(e, c, seed ^ 7);
+        let y = deterministic(n, c, seed ^ 8);
+        let lhs: f32 = x.scatter_add_rows(&idx, n).mul(&y).sum_all();
+        let rhs: f32 = x.mul(&y.gather_rows(&idx)).sum_all();
+        prop_assert!((lhs - rhs).abs() < 1e-4 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn concat_slice_roundtrip((r, c1) in arb_dims(), c2 in 1usize..6, seed in 0u64..50) {
+        let a = deterministic(r, c1, seed);
+        let b = deterministic(r, c2, seed ^ 9);
+        let cat = Tensor::concat_cols(&[&a, &b]);
+        prop_assert!(cat.slice_cols(0, c1).allclose(&a, 0.0));
+        prop_assert!(cat.slice_cols(c1, c1 + c2).allclose(&b, 0.0));
+    }
+
+    #[test]
+    fn activation_ranges((r, c) in arb_dims(), seed in 0u64..50) {
+        let a = deterministic(r, c, seed);
+        prop_assert!(a.relu().data().iter().all(|&x| x >= 0.0));
+        prop_assert!(a.sigmoid().data().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        prop_assert!(a.tanh().data().iter().all(|&x| (-1.0..=1.0).contains(&x)));
+        // silu(x) ≥ −0.279 (its global minimum).
+        prop_assert!(a.silu().data().iter().all(|&x| x >= -0.2785));
+    }
+
+    // ---------------- tape gradients on random shapes ----------------
+
+    #[test]
+    fn gradcheck_binary_ops((r, c) in arb_dims(), seed in 0u64..20) {
+        let a = deterministic(r, c, seed);
+        let b = deterministic(r, c, seed ^ 10).add_scalar(0.1); // avoid /0-ish
+        gradcheck::check_grad(
+            &[a, b],
+            |tape, vars| {
+                let s = tape.add(vars[0], vars[1]);
+                let d = tape.sub(vars[0], vars[1]);
+                let m = tape.mul(s, d);
+                tape.mean_all(m)
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_matmul_random_shapes((n, k) in arb_dims(), (m, _) in arb_dims(), seed in 0u64..20) {
+        let a = deterministic(n, k, seed);
+        let b = deterministic(k, m, seed ^ 11);
+        gradcheck::check_grad(
+            &[a, b],
+            |tape, vars| {
+                let y = tape.matmul(vars[0], vars[1]);
+                let y = tape.tanh(y);
+                tape.sum_all(y)
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_broadcast_ops((r, c) in arb_dims(), seed in 0u64..20) {
+        let x = deterministic(r, c, seed);
+        let bias = deterministic(1, c, seed ^ 12).reshape(c).expect("row");
+        let col = deterministic(r, 1, seed ^ 13);
+        gradcheck::check_grad(
+            &[x, bias, col],
+            |tape, vars| {
+                let y = tape.add_row(vars[0], vars[1]);
+                let y = tape.mul_col(y, vars[2]);
+                let y = tape.silu(y);
+                tape.mean_all(y)
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_gather_concat_slice((n, c) in arb_dims(), seed in 0u64..20, e in 1usize..10) {
+        let x = deterministic(n, c, seed);
+        let idx = Arc::new((0..e).map(|i| (i * 3 + seed as usize) % n).collect::<Vec<_>>());
+        gradcheck::check_grad(
+            &[x],
+            move |tape, vars| {
+                let g = tape.gather_rows(vars[0], Arc::clone(&idx));
+                let cat = tape.concat_cols(&[g, g]);
+                let half = tape.slice_cols(cat, 0, c);
+                let s = tape.scatter_add_rows(half, Arc::clone(&idx), n);
+                let q = tape.square(s);
+                tape.mean_all(q)
+            },
+            3e-2,
+        );
+    }
+
+    // ---------------- memory tracker invariants ----------------
+
+    #[test]
+    fn tracker_balance_under_random_traffic(ops in prop::collection::vec((0usize..5, 1u64..10_000), 1..60)) {
+        let tracker = MemoryTracker::new();
+        let mut live: Vec<(MemoryCategory, u64)> = Vec::new();
+        let mut running_total = 0u64;
+        let mut max_seen = 0u64;
+        for (cat_idx, bytes) in ops {
+            let cat = MemoryCategory::ALL[cat_idx];
+            if live.len() % 3 == 2 {
+                // Free the oldest live allocation.
+                let (c, b) = live.remove(0);
+                tracker.free(c, b);
+                running_total -= b;
+            } else {
+                tracker.alloc(cat, bytes);
+                live.push((cat, bytes));
+                running_total += bytes;
+                max_seen = max_seen.max(running_total);
+            }
+            prop_assert_eq!(tracker.current().total(), running_total);
+        }
+        prop_assert_eq!(tracker.peak_total(), max_seen);
+        // At-peak breakdown sums to the peak.
+        prop_assert_eq!(tracker.at_peak().total(), max_seen);
+    }
+
+    #[test]
+    fn tape_releases_all_tracked_bytes((r, c) in arb_dims(), seed in 0u64..20) {
+        let tracker = MemoryTracker::new();
+        {
+            let mut tape = Tape::with_tracker(tracker.clone());
+            let x = tape.param(deterministic(r, c, seed));
+            let w = tape.param(deterministic(c, 3, seed ^ 14));
+            let y = tape.matmul(x, w);
+            let y = tape.silu(y);
+            let loss = tape.mean_all(y);
+            let _ = tape.backward(loss);
+        }
+        prop_assert_eq!(tracker.current().get(MemoryCategory::Activations), 0);
+        prop_assert_eq!(tracker.current().get(MemoryCategory::Gradients), 0);
+    }
+}
+
+/// Deterministic pseudo-random tensor so proptest shrinking stays stable.
+fn deterministic(rows: usize, cols: usize, seed: u64) -> Tensor {
+    Tensor::from_fn((rows, cols), |i| {
+        let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed * 31 + 17);
+        ((x >> 33) as f32 / (u32::MAX >> 2) as f32) - 1.0
+    })
+}

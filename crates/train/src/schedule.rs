@@ -1,0 +1,107 @@
+//! Learning-rate schedules — one of the "LLM-inspired techniques" the
+//! paper's infrastructure question (Q3) asks about: linear warmup followed
+//! by cosine decay is the de-facto LLM recipe, applied here to GNNs.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule as a multiplier over the base LR.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum LrSchedule {
+    /// Constant multiplier of 1.
+    #[default]
+    Constant,
+    /// Linear warmup over `warmup_steps`, then cosine decay to
+    /// `min_factor` at `total_steps`.
+    WarmupCosine {
+        /// Steps of linear warmup from 0 to 1.
+        warmup_steps: usize,
+        /// Total steps of the run (decay horizon).
+        total_steps: usize,
+        /// Final multiplier at and beyond `total_steps`.
+        min_factor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The LR multiplier at `step` (0-based).
+    pub fn factor(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::WarmupCosine { warmup_steps, total_steps, min_factor } => {
+                if warmup_steps > 0 && step < warmup_steps {
+                    return (step + 1) as f32 / warmup_steps as f32;
+                }
+                if total_steps <= warmup_steps || step >= total_steps {
+                    return min_factor;
+                }
+                let progress =
+                    (step - warmup_steps) as f32 / (total_steps - warmup_steps) as f32;
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+                min_factor + (1.0 - min_factor) * cos
+            }
+        }
+    }
+
+    /// The absolute LR at `step` for a base rate.
+    pub fn lr(&self, base_lr: f32, step: usize) -> f32 {
+        base_lr * self.factor(step)
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        for step in [0, 5, 1000] {
+            assert_eq!(LrSchedule::Constant.factor(step), 1.0);
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::WarmupCosine { warmup_steps: 10, total_steps: 100, min_factor: 0.0 };
+        assert!((s.factor(0) - 0.1).abs() < 1e-6);
+        assert!((s.factor(4) - 0.5).abs() < 1e-6);
+        assert!((s.factor(9) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_decays_to_min() {
+        let s = LrSchedule::WarmupCosine { warmup_steps: 10, total_steps: 110, min_factor: 0.1 };
+        // Just after warmup: near 1.
+        assert!(s.factor(10) > 0.99);
+        // Midway: near the midpoint of [min, 1].
+        let mid = s.factor(60);
+        assert!((mid - 0.55).abs() < 0.02, "mid {mid}");
+        // At and beyond the horizon: exactly min.
+        assert_eq!(s.factor(110), 0.1);
+        assert_eq!(s.factor(10_000), 0.1);
+    }
+
+    #[test]
+    fn monotone_decay_after_warmup() {
+        let s = LrSchedule::WarmupCosine { warmup_steps: 5, total_steps: 50, min_factor: 0.0 };
+        let mut prev = f32::INFINITY;
+        for step in 5..50 {
+            let f = s.factor(step);
+            assert!(f <= prev + 1e-6, "not monotone at {step}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn zero_warmup_supported() {
+        let s = LrSchedule::WarmupCosine { warmup_steps: 0, total_steps: 10, min_factor: 0.0 };
+        assert!(s.factor(0) > 0.9);
+    }
+
+    #[test]
+    fn lr_scales_base() {
+        let s = LrSchedule::WarmupCosine { warmup_steps: 2, total_steps: 10, min_factor: 0.5 };
+        assert!((s.lr(0.02, 0) - 0.01).abs() < 1e-7);
+    }
+}

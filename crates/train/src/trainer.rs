@@ -1,0 +1,512 @@
+//! The training loop: epochs over shuffled mini-batches with Adam, LR
+//! scheduling, gradient clipping, and held-out evaluation — the scaled-down
+//! equivalent of the paper's HydraGNN training protocol (10 epochs, fixed
+//! test set, Sec. III-B).
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use matgnn_data::{BatchIterator, Dataset, Normalizer, SourceKind};
+use matgnn_model::GnnModel;
+use matgnn_tensor::Tape;
+
+use crate::{
+    clip_grad_norm, train_step, Adam, AdamHyper, LossConfig, LrSchedule, Optimizer,
+};
+
+/// Configuration of a training run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Graphs per mini-batch.
+    pub batch_size: usize,
+    /// Base learning rate.
+    pub base_lr: f32,
+    /// LR schedule (multiplier over `base_lr`).
+    pub schedule: LrSchedule,
+    /// Global-norm gradient clipping threshold (`None` disables).
+    pub grad_clip: Option<f32>,
+    /// The training objective.
+    pub loss: LossConfig,
+    /// Adam hyperparameters.
+    pub adam: AdamHyper,
+    /// Shuffle seed (epoch index is mixed in).
+    pub seed: u64,
+    /// Whether to train with activation checkpointing.
+    pub checkpointing: bool,
+    /// Micro-batches to accumulate before each optimizer step (≥ 1).
+    /// Emulates a larger effective batch without the memory — one of the
+    /// standard LLM-scale techniques (paper research question Q3).
+    pub grad_accum_steps: usize,
+    /// Stop after this many epochs without test-loss improvement
+    /// (requires a test set; `None` disables).
+    pub early_stop_patience: Option<usize>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 8,
+            base_lr: 3e-3,
+            schedule: LrSchedule::Constant,
+            grad_clip: Some(5.0),
+            loss: LossConfig::default(),
+            adam: AdamHyper::default(),
+            seed: 0,
+            checkpointing: false,
+            grad_accum_steps: 1,
+            early_stop_patience: None,
+        }
+    }
+}
+
+/// Per-epoch statistics.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch's batches.
+    pub train_loss: f64,
+    /// Test loss after the epoch, if a test set was given.
+    pub test_loss: Option<f64>,
+}
+
+/// Evaluation metrics on a dataset.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EvalMetrics {
+    /// Mean loss (normalized space — the paper's "test loss" axis).
+    pub loss: f64,
+    /// Mean absolute per-atom energy error in eV/atom (denormalized).
+    pub energy_mae: f64,
+    /// Mean absolute force-component error in eV/Å (denormalized).
+    pub force_mae: f64,
+}
+
+/// The outcome of [`Trainer::fit`].
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Stats per epoch, in order.
+    pub epochs: Vec<EpochStats>,
+    /// Final held-out metrics (if a test set was given).
+    pub final_eval: Option<EvalMetrics>,
+    /// Total optimization steps taken.
+    pub steps: usize,
+    /// Wall-clock training time.
+    pub wall: Duration,
+    /// Whether early stopping ended the run before `epochs`.
+    pub early_stopped: bool,
+}
+
+impl TrainReport {
+    /// The last recorded test loss, or the last train loss as fallback.
+    pub fn final_loss(&self) -> f64 {
+        self.final_eval
+            .map(|e| e.loss)
+            .or_else(|| self.epochs.last().and_then(|e| e.test_loss))
+            .or_else(|| self.epochs.last().map(|e| e.train_loss))
+            .unwrap_or(f64::NAN)
+    }
+}
+
+/// Drives training of a [`GnnModel`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use matgnn_data::{Dataset, GeneratorConfig, Normalizer};
+/// use matgnn_model::{Egnn, EgnnConfig};
+/// use matgnn_train::{TrainConfig, Trainer};
+///
+/// let (train, test) = Dataset::generate_split(100, 0.2, 7, &GeneratorConfig::default());
+/// let norm = Normalizer::fit(&train);
+/// let mut model = Egnn::new(EgnnConfig::new(16, 3));
+/// let report = Trainer::new(TrainConfig { epochs: 4, ..Default::default() })
+///     .fit(&mut model, &train, Some(&test), &norm);
+/// println!("test loss {}", report.final_loss());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `model` on `train`, optionally evaluating on `test` after
+    /// every epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` is empty.
+    pub fn fit<M: GnnModel>(
+        &self,
+        model: &mut M,
+        train: &Dataset,
+        test: Option<&Dataset>,
+        normalizer: &Normalizer,
+    ) -> TrainReport {
+        assert!(!train.is_empty(), "cannot train on an empty dataset");
+        let cfg = &self.config;
+        let accum = cfg.grad_accum_steps.max(1);
+        let start = Instant::now();
+        let mut optimizer = Adam::new(model.params(), cfg.adam, None);
+        let mut epochs = Vec::with_capacity(cfg.epochs);
+        let mut step = 0usize;
+        let mut best_test = f64::INFINITY;
+        let mut since_best = 0usize;
+        let mut early_stopped = false;
+
+        for epoch in 0..cfg.epochs {
+            let mut epoch_loss = 0.0;
+            let mut n_batches = 0usize;
+            let shuffle = cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9);
+            let mut accum_buf: Option<Vec<matgnn_tensor::Tensor>> = None;
+            let mut micro = 0usize;
+            let flush = |buf: &mut Option<Vec<matgnn_tensor::Tensor>>,
+                             micro: &mut usize,
+                             model: &mut M,
+                             optimizer: &mut Adam,
+                             step: &mut usize| {
+                let Some(mut grads) = buf.take() else { return };
+                if *micro > 1 {
+                    let inv = 1.0 / *micro as f32;
+                    for g in &mut grads {
+                        g.data_mut().iter_mut().for_each(|x| *x *= inv);
+                    }
+                }
+                if let Some(max_norm) = cfg.grad_clip {
+                    let _ = clip_grad_norm(&mut grads, max_norm);
+                }
+                let lr = cfg.schedule.lr(cfg.base_lr, *step);
+                optimizer.step(model.params_mut(), &grads, lr);
+                *step += 1;
+                *micro = 0;
+            };
+            for (batch, targets) in
+                BatchIterator::new(train, cfg.batch_size, Some(shuffle), *normalizer)
+            {
+                let outcome = train_step(
+                    model,
+                    &batch,
+                    &targets,
+                    &cfg.loss,
+                    cfg.checkpointing,
+                    None,
+                );
+                epoch_loss += outcome.loss;
+                n_batches += 1;
+                match &mut accum_buf {
+                    None => accum_buf = Some(outcome.grads),
+                    Some(buf) => {
+                        for (b, g) in buf.iter_mut().zip(outcome.grads.iter()) {
+                            b.axpy(1.0, g);
+                        }
+                    }
+                }
+                micro += 1;
+                if micro == accum {
+                    flush(&mut accum_buf, &mut micro, model, &mut optimizer, &mut step);
+                }
+            }
+            // Flush a trailing partial accumulation at epoch end.
+            flush(&mut accum_buf, &mut micro, model, &mut optimizer, &mut step);
+
+            let train_loss = epoch_loss / n_batches.max(1) as f64;
+            let test_loss = test.map(|t| {
+                evaluate(model, t, normalizer, &cfg.loss, cfg.batch_size).loss
+            });
+            epochs.push(EpochStats { epoch, train_loss, test_loss });
+
+            if let (Some(patience), Some(tl)) = (cfg.early_stop_patience, test_loss) {
+                if tl + 1e-12 < best_test {
+                    best_test = tl;
+                    since_best = 0;
+                } else {
+                    since_best += 1;
+                    if since_best >= patience {
+                        early_stopped = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        let final_eval =
+            test.map(|t| evaluate(model, t, normalizer, &cfg.loss, cfg.batch_size));
+        TrainReport { epochs, final_eval, steps: step, wall: start.elapsed(), early_stopped }
+    }
+}
+
+/// Evaluates `model` on `dataset` with frozen parameters.
+///
+/// Returns the mean loss in normalized space (the paper's test-loss axis)
+/// plus denormalized MAE metrics.
+///
+/// # Panics
+///
+/// Panics if `dataset` is empty.
+pub fn evaluate<M: GnnModel + ?Sized>(
+    model: &M,
+    dataset: &Dataset,
+    normalizer: &Normalizer,
+    loss_cfg: &LossConfig,
+    batch_size: usize,
+) -> EvalMetrics {
+    assert!(!dataset.is_empty(), "cannot evaluate on an empty dataset");
+    let mut loss_sum = 0.0f64;
+    let mut n_batches = 0usize;
+    let mut e_abs = 0.0f64;
+    let mut n_graphs = 0usize;
+    let mut f_abs = 0.0f64;
+    let mut n_force_comps = 0usize;
+
+    for (batch, targets) in BatchIterator::new(dataset, batch_size, None, *normalizer) {
+        let mut tape = Tape::new();
+        let pvars = model.params().bind_frozen(&mut tape);
+        let out = model.forward(&mut tape, &pvars, &batch);
+        let loss = loss_cfg.compute(&mut tape, out, &batch, &targets);
+        loss_sum += tape.value(loss).item() as f64;
+        n_batches += 1;
+
+        // Denormalized MAEs.
+        let pred_e = tape.value(out.energy);
+        for g in 0..batch.n_graphs() {
+            let n_atoms = batch.node_counts()[g] as f64;
+            let pred_per_atom = pred_e.get(g, 0) as f64 / n_atoms;
+            let tgt_per_atom = targets.energy.get(g, 0) as f64;
+            e_abs += (pred_per_atom - tgt_per_atom).abs() * normalizer.energy_std;
+            n_graphs += 1;
+        }
+        let pred_f = tape.value(out.forces);
+        for a in 0..batch.n_nodes() {
+            for k in 0..3 {
+                let d = (pred_f.get(a, k) - targets.forces.get(a, k)) as f64;
+                f_abs += d.abs() * normalizer.force_std;
+                n_force_comps += 1;
+            }
+        }
+    }
+
+    EvalMetrics {
+        loss: loss_sum / n_batches.max(1) as f64,
+        energy_mae: e_abs / n_graphs.max(1) as f64,
+        force_mae: f_abs / n_force_comps.max(1) as f64,
+    }
+}
+
+/// Evaluates `model` separately on each source's slice of `dataset` —
+/// the breakdown behind the paper's Fig. 4 distribution-mismatch
+/// conjecture (a model trained on a biased subset should look fine on
+/// the over-represented sources and poor on the missing ones).
+///
+/// Sources with no samples in `dataset` are omitted.
+pub fn evaluate_per_source<M: GnnModel + ?Sized>(
+    model: &M,
+    dataset: &Dataset,
+    normalizer: &Normalizer,
+    loss_cfg: &LossConfig,
+    batch_size: usize,
+) -> Vec<(SourceKind, EvalMetrics)> {
+    SourceKind::ALL
+        .iter()
+        .filter_map(|&kind| {
+            let slice: Vec<_> = dataset
+                .samples()
+                .iter()
+                .filter(|s| s.source == kind)
+                .cloned()
+                .collect();
+            if slice.is_empty() {
+                return None;
+            }
+            let sub = Dataset::from_samples(slice);
+            Some((kind, evaluate(model, &sub, normalizer, loss_cfg, batch_size)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matgnn_data::GeneratorConfig;
+    use matgnn_model::{Egnn, EgnnConfig};
+
+    fn small_data() -> (Dataset, Dataset, Normalizer) {
+        let (train, test) = Dataset::generate_split(30, 0.2, 23, &GeneratorConfig::default());
+        let norm = Normalizer::fit(&train);
+        (train, test, norm)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (train, test, norm) = small_data();
+        let mut model = Egnn::new(EgnnConfig::new(12, 2).with_seed(1));
+        let cfg = TrainConfig { epochs: 6, batch_size: 8, base_lr: 5e-3, ..Default::default() };
+        let report = Trainer::new(cfg).fit(&mut model, &train, Some(&test), &norm);
+        assert_eq!(report.epochs.len(), 6);
+        let first = report.epochs[0].train_loss;
+        let last = report.epochs[5].train_loss;
+        assert!(
+            last < 0.7 * first,
+            "training did not reduce loss: {first} → {last}"
+        );
+        assert!(report.final_loss().is_finite());
+        assert!(report.steps > 0);
+    }
+
+    #[test]
+    fn checkpointed_training_works() {
+        let (train, _, norm) = small_data();
+        let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(2));
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            checkpointing: true,
+            ..Default::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut model, &train, None, &norm);
+        let first = report.epochs[0].train_loss;
+        let last = report.epochs[1].train_loss;
+        assert!(last < first, "checkpointed training diverged: {first} → {last}");
+    }
+
+    #[test]
+    fn evaluate_is_deterministic_and_positive() {
+        let (train, test, norm) = small_data();
+        let model = Egnn::new(EgnnConfig::new(8, 2));
+        let m1 = evaluate(&model, &test, &norm, &LossConfig::default(), 8);
+        let m2 = evaluate(&model, &test, &norm, &LossConfig::default(), 8);
+        assert_eq!(m1.loss, m2.loss);
+        assert!(m1.loss > 0.0);
+        assert!(m1.energy_mae > 0.0);
+        assert!(m1.force_mae > 0.0);
+        let _ = train;
+    }
+
+    #[test]
+    fn schedule_and_clipping_run() {
+        let (train, _, norm) = small_data();
+        let mut model = Egnn::new(EgnnConfig::new(8, 2));
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            schedule: LrSchedule::WarmupCosine {
+                warmup_steps: 2,
+                total_steps: 10,
+                min_factor: 0.1,
+            },
+            grad_clip: Some(1.0),
+            ..Default::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut model, &train, None, &norm);
+        assert!(report.epochs.iter().all(|e| e.train_loss.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (train, _, norm) = small_data();
+        let run = || {
+            let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(3));
+            let cfg = TrainConfig { epochs: 2, batch_size: 8, seed: 9, ..Default::default() };
+            Trainer::new(cfg).fit(&mut model, &train, None, &norm).epochs[1].train_loss
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn per_source_evaluation_covers_present_sources() {
+        let (train, test, norm) = small_data();
+        let mut model = Egnn::new(EgnnConfig::new(8, 2));
+        let _ = Trainer::new(TrainConfig { epochs: 2, batch_size: 8, ..Default::default() })
+            .fit(&mut model, &train, None, &norm);
+        let per_source = evaluate_per_source(&model, &test, &norm, &LossConfig::default(), 8);
+        assert!(!per_source.is_empty());
+        for (kind, m) in &per_source {
+            assert!(m.loss.is_finite(), "{kind} loss");
+            let n_in_test =
+                test.samples().iter().filter(|s| s.source == *kind).count();
+            assert!(n_in_test > 0, "{kind} reported but absent");
+        }
+        // The overall loss is bracketed by the per-source extremes.
+        let overall = evaluate(&model, &test, &norm, &LossConfig::default(), 8).loss;
+        let min = per_source.iter().map(|(_, m)| m.loss).fold(f64::INFINITY, f64::min);
+        let max = per_source.iter().map(|(_, m)| m.loss).fold(0.0, f64::max);
+        assert!(overall >= min * 0.99 && overall <= max * 1.01, "{min} ≤ {overall} ≤ {max}");
+    }
+
+    #[test]
+    fn gradient_accumulation_reduces_steps_and_converges() {
+        let (train, _, norm) = small_data();
+        let batches_per_epoch = train.len().div_ceil(8);
+        let run = |accum: usize| {
+            let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(8));
+            let cfg = TrainConfig {
+                epochs: 4,
+                batch_size: 8,
+                grad_accum_steps: accum,
+                ..Default::default()
+            };
+            Trainer::new(cfg).fit(&mut model, &train, None, &norm)
+        };
+        let plain = run(1);
+        let accum = run(3);
+        assert_eq!(plain.steps, 4 * batches_per_epoch);
+        // ceil(batches/3) optimizer steps per epoch (partial flush counts).
+        assert_eq!(accum.steps, 4 * batches_per_epoch.div_ceil(3));
+        let last = accum.epochs.last().expect("epochs").train_loss;
+        let first = accum.epochs[0].train_loss;
+        assert!(last < first, "accumulated training diverged: {first} → {last}");
+    }
+
+    #[test]
+    fn early_stopping_halts_on_plateau() {
+        let (train, test, norm) = small_data();
+        let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(9));
+        // A zero learning rate guarantees a plateau from epoch 1 onward.
+        let cfg = TrainConfig {
+            epochs: 12,
+            batch_size: 8,
+            base_lr: 0.0,
+            early_stop_patience: Some(2),
+            ..Default::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut model, &train, Some(&test), &norm);
+        assert!(report.early_stopped);
+        assert!(report.epochs.len() <= 4, "ran {} epochs", report.epochs.len());
+    }
+
+    #[test]
+    fn early_stopping_ignored_without_test_set() {
+        let (train, _, norm) = small_data();
+        let mut model = Egnn::new(EgnnConfig::new(8, 2));
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            base_lr: 0.0,
+            early_stop_patience: Some(1),
+            ..Default::default()
+        };
+        let report = Trainer::new(cfg).fit(&mut model, &train, None, &norm);
+        assert!(!report.early_stopped);
+        assert_eq!(report.epochs.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_train_panics() {
+        let (_, _, norm) = small_data();
+        let mut model = Egnn::new(EgnnConfig::new(8, 2));
+        let _ = Trainer::default().fit(&mut model, &Dataset::default(), None, &norm);
+    }
+}

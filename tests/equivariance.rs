@@ -1,0 +1,135 @@
+//! Symmetry guarantees across the whole pipeline: the EGNN's E(3)
+//! invariance/equivariance must survive *training* (it is architectural,
+//! not learned), and the reference labels must obey the same symmetries.
+
+use matgnn::graph::vec3::{matvec, rotation_about};
+use matgnn::prelude::*;
+
+fn trained_model() -> (Egnn, Normalizer) {
+    let gen = GeneratorConfig::default();
+    let ds = Dataset::generate_aggregate(60, 13, &gen);
+    let norm = Normalizer::fit(&ds);
+    let mut model = Egnn::new(EgnnConfig::new(10, 3).with_seed(13));
+    let _ = Trainer::new(TrainConfig { epochs: 2, batch_size: 8, ..Default::default() })
+        .fit(&mut model, &ds, None, &norm);
+    (model, norm)
+}
+
+fn predict(model: &Egnn, s: &AtomicStructure) -> (f64, Vec<[f64; 3]>) {
+    let graph = MolGraph::from_structure(s, 3.0);
+    let batch = GraphBatch::from_graphs(&[&graph]);
+    let mut tape = Tape::new();
+    let pvars = model.params().bind_frozen(&mut tape);
+    let out = model.forward(&mut tape, &pvars, &batch);
+    let e = tape.value(out.energy).get(0, 0) as f64;
+    let f = tape.value(out.forces);
+    let forces = (0..s.len())
+        .map(|a| [f.get(a, 0) as f64, f.get(a, 1) as f64, f.get(a, 2) as f64])
+        .collect();
+    (e, forces)
+}
+
+fn test_molecule() -> AtomicStructure {
+    AtomicStructure::new(
+        vec![Element::O, Element::C, Element::H, Element::H, Element::N],
+        vec![
+            [0.0, 0.0, 0.0],
+            [1.3, 0.1, -0.1],
+            [1.8, 0.9, 0.5],
+            [1.9, -0.8, -0.4],
+            [-1.1, 0.4, 0.6],
+        ],
+    )
+    .expect("molecule")
+}
+
+#[test]
+fn trained_model_remains_rotation_equivariant() {
+    let (model, _) = trained_model();
+    let s = test_molecule();
+    let rot = rotation_about([0.2, -0.7, 1.0], 0.8);
+    let mut r = s.clone();
+    r.rotate(&rot);
+
+    let (e1, f1) = predict(&model, &s);
+    let (e2, f2) = predict(&model, &r);
+    assert!((e1 - e2).abs() < 1e-3 * (1.0 + e1.abs()), "energy changed: {e1} vs {e2}");
+    for (a, f) in f1.iter().enumerate() {
+        let rf = matvec(&rot, *f);
+        for k in 0..3 {
+            assert!(
+                (rf[k] - f2[a][k]).abs() < 1e-3 * (1.0 + rf[k].abs()),
+                "atom {a} not covariant after training"
+            );
+        }
+    }
+}
+
+#[test]
+fn trained_model_remains_translation_invariant() {
+    let (model, _) = trained_model();
+    let s = test_molecule();
+    let mut t = s.clone();
+    t.translate([13.0, -4.0, 6.0]);
+    let (e1, f1) = predict(&model, &s);
+    let (e2, f2) = predict(&model, &t);
+    assert!((e1 - e2).abs() < 1e-3 * (1.0 + e1.abs()));
+    for a in 0..s.len() {
+        for k in 0..3 {
+            assert!((f1[a][k] - f2[a][k]).abs() < 1e-4 * (1.0 + f1[a][k].abs()));
+        }
+    }
+}
+
+#[test]
+fn labels_share_the_models_symmetries() {
+    // The reference potential (the label oracle) must satisfy exactly the
+    // invariances the model enforces — otherwise the task would be
+    // unlearnable by an equivariant architecture.
+    let pot = ReferencePotential::default();
+    let s = test_molecule();
+    let rot = rotation_about([1.0, 0.3, -0.2], 1.4);
+    let mut r = s.clone();
+    r.rotate(&rot);
+    let (e1, f1) = pot.energy_forces(&s);
+    let (e2, f2) = pot.energy_forces(&r);
+    assert!((e1 - e2).abs() < 1e-9);
+    for (a, f) in f1.iter().enumerate() {
+        let rf = matvec(&rot, *f);
+        for k in 0..3 {
+            assert!((rf[k] - f2[a][k]).abs() < 1e-8, "label forces not covariant at atom {a}");
+        }
+    }
+}
+
+#[test]
+fn periodic_predictions_respect_wrapping() {
+    // A periodic structure shifted by a full box length is physically
+    // identical; predictions must agree because edge vectors are
+    // minimum-image.
+    let (model, _) = trained_model();
+    let s = AtomicStructure::new_periodic(
+        vec![Element::Cu; 8],
+        (0..8)
+            .map(|i| {
+                [
+                    (i % 2) as f64 * 4.0 + 0.5,
+                    ((i / 2) % 2) as f64 * 4.0 + 0.5,
+                    (i / 4) as f64 * 4.0 + 0.5,
+                ]
+            })
+            .collect(),
+        [8.0; 3],
+    )
+    .expect("periodic");
+    let mut shifted = s.clone();
+    shifted.translate([8.0, 16.0, -8.0]);
+    let (e1, f1) = predict(&model, &s);
+    let (e2, f2) = predict(&model, &shifted);
+    assert!((e1 - e2).abs() < 1e-3 * (1.0 + e1.abs()));
+    for a in 0..8 {
+        for k in 0..3 {
+            assert!((f1[a][k] - f2[a][k]).abs() < 1e-4 * (1.0 + f1[a][k].abs()));
+        }
+    }
+}

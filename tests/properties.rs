@@ -1,0 +1,170 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants, across crates.
+
+use proptest::prelude::*;
+
+use matgnn::prelude::*;
+use matgnn::graph::vec3;
+
+fn arb_positions(n: usize) -> impl Strategy<Value = Vec<[f64; 3]>> {
+    prop::collection::vec(
+        (
+            -5.0f64..5.0,
+            -5.0f64..5.0,
+            -5.0f64..5.0,
+        )
+            .prop_map(|(x, y, z)| [x, y, z]),
+        n..=n,
+    )
+}
+
+fn arb_molecule() -> impl Strategy<Value = AtomicStructure> {
+    (2usize..14).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0usize..Element::COUNT, n..=n),
+            arb_positions(n),
+        )
+            .prop_map(|(species_idx, positions)| {
+                let species =
+                    species_idx.iter().map(|&i| Element::from_index(i).expect("index")).collect();
+                AtomicStructure::new(species, positions).expect("valid")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn neighbor_list_cell_matches_brute_force(s in arb_molecule(), cutoff in 0.5f64..4.0) {
+        let fast = NeighborList::build(&s, cutoff);
+        let slow = NeighborList::build_brute_force(&s, cutoff);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn neighbor_edges_symmetric_and_within_cutoff(s in arb_molecule(), cutoff in 0.5f64..4.0) {
+        let nl = NeighborList::build(&s, cutoff);
+        for &(i, j) in nl.edges() {
+            prop_assert!(i != j);
+            prop_assert!(s.distance(i, j) <= cutoff + 1e-9);
+            prop_assert!(nl.edges().binary_search(&(j, i)).is_ok());
+        }
+    }
+
+    #[test]
+    fn potential_energy_invariant_under_rigid_motion(
+        s in arb_molecule(),
+        shift in arb_positions(1),
+        angle in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let pot = ReferencePotential::default();
+        let e0 = pot.energy(&s);
+        let mut moved = s.clone();
+        moved.rotate(&vec3::rotation_about([0.3, 1.0, -0.4], angle));
+        moved.translate(shift[0]);
+        let e1 = pot.energy(&moved);
+        prop_assert!((e0 - e1).abs() < 1e-7 * (1.0 + e0.abs()), "{} vs {}", e0, e1);
+    }
+
+    #[test]
+    fn potential_forces_sum_to_zero(s in arb_molecule()) {
+        let (_, forces) = ReferencePotential::default().energy_forces(&s);
+        let mut net = [0.0f64; 3];
+        for f in &forces {
+            net = vec3::add(net, *f);
+        }
+        for c in net {
+            prop_assert!(c.abs() < 1e-8, "net force {:?}", net);
+        }
+    }
+
+    #[test]
+    fn batching_preserves_per_graph_structure(
+        a in arb_molecule(),
+        b in arb_molecule(),
+    ) {
+        let ga = MolGraph::from_structure(&a, 3.0);
+        let gb = MolGraph::from_structure(&b, 3.0);
+        let batch = GraphBatch::from_graphs(&[&ga, &gb]);
+        prop_assert_eq!(batch.n_nodes(), ga.n_nodes() + gb.n_nodes());
+        prop_assert_eq!(batch.n_edges(), ga.n_edges() + gb.n_edges());
+        // No edge crosses graphs.
+        for k in 0..batch.n_edges() {
+            let (s, d) = (batch.src()[k], batch.dst()[k]);
+            prop_assert_eq!(batch.node_graph()[s], batch.node_graph()[d]);
+        }
+    }
+
+    #[test]
+    fn shard_roundtrip_is_lossless_for_labels(
+        seed in 0u64..1000,
+        n in 1usize..8,
+    ) {
+        let gen = GeneratorConfig::default();
+        let samples = SourceKind::Ani1x.generate(n, seed, &gen);
+        let refs: Vec<&Sample> = samples.iter().collect();
+        let shard = matgnn::data::Shard::encode(&refs);
+        let decoded = shard.decode().expect("decode");
+        prop_assert_eq!(decoded.len(), samples.len());
+        for (a, b) in samples.iter().zip(decoded.iter()) {
+            prop_assert_eq!(a.graph.species(), b.graph.species());
+            prop_assert!((a.energy - b.energy).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn power_law_fit_recovers_parameters(
+        a in 0.5f64..5.0,
+        alpha in 0.1f64..0.8,
+        c in 0.0f64..0.3,
+    ) {
+        // Keep the decaying signal identifiable against the floor: at the
+        // smallest x the power-law term must not vanish relative to c
+        // (otherwise α is genuinely ill-conditioned for *any* fitter).
+        let xs: Vec<f64> = (1..9).map(|k| 10f64.powi(k)).collect();
+        let signal_at_min = a * xs[0].powf(-alpha);
+        prop_assume!(signal_at_min > 0.3 * c + 0.02);
+        let ys: Vec<f64> = xs.iter().map(|&x| a * x.powf(-alpha) + c).collect();
+        let fit = fit_power_law(&xs, &ys).expect("fit");
+        prop_assert!((fit.alpha - alpha).abs() < 0.08, "alpha {} vs {}", fit.alpha, alpha);
+    }
+
+    #[test]
+    fn normalizer_roundtrip(
+        energy in -100.0f64..100.0,
+        n_atoms in 1usize..60,
+        mean in -2.0f64..2.0,
+        std in 0.1f64..3.0,
+    ) {
+        let norm = Normalizer { energy_mean: mean, energy_std: std, force_std: 1.0, source_offset: [0.0; 5] };
+        let z = norm.normalize_energy(energy, n_atoms);
+        let back = norm.denormalize_energy(z, n_atoms);
+        prop_assert!((back - energy).abs() < 1e-9 * (1.0 + energy.abs()));
+    }
+
+    #[test]
+    fn shard_range_partitions(len in 0usize..1000, world in 1usize..16) {
+        let mut covered = 0usize;
+        for r in 0..world {
+            let (s, e) = matgnn::dist::shard_range(len, world, r);
+            prop_assert_eq!(s, covered.min(len));
+            prop_assert!(e >= s);
+            covered = e;
+        }
+        prop_assert_eq!(covered, len);
+    }
+
+    #[test]
+    fn egnn_energy_finite_on_random_geometry(s in arb_molecule()) {
+        // Arbitrary (even unphysical) geometry must not produce NaNs.
+        let model = Egnn::new(EgnnConfig::new(6, 2));
+        let g = MolGraph::from_structure(&s, 3.0);
+        let batch = GraphBatch::from_graphs(&[&g]);
+        let mut tape = Tape::new();
+        let pvars = model.params().bind_frozen(&mut tape);
+        let out = model.forward(&mut tape, &pvars, &batch);
+        prop_assert!(tape.value(out.energy).is_finite());
+        prop_assert!(tape.value(out.forces).is_finite());
+    }
+}
