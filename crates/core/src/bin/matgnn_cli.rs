@@ -33,6 +33,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&opts),
         "train" => cmd_train(&opts),
+        "ddp" => cmd_ddp(&opts),
         "evaluate" => cmd_evaluate(&opts),
         "info" => cmd_info(&opts),
         "help" | "--help" | "-h" => {
@@ -61,8 +62,21 @@ USAGE:
 
   matgnn-cli train [--data FILE | --graphs N] [--params P] [--layers L]
                    [--epochs E] [--batch B] [--seed S] [--checkpointing]
+                   [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
                    [--save FILE]
       Train an EGNN (defaults: 10k params, 3 layers, 6 epochs, batch 8).
+      With --checkpoint-dir, durable training checkpoints are written
+      every N optimizer steps (and each epoch); --resume restarts from
+      the newest intact one with a bitwise-identical loss curve.
+
+  matgnn-cli ddp [--data FILE | --graphs N] [--world W] [--params P]
+                 [--layers L] [--epochs E] [--batch B] [--seed S] [--zero]
+                 [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+                 [--fault-plan SPEC]
+      Simulated multi-rank DDP training with fault tolerance. SPEC is a
+      `;`-separated fault list, e.g. `kill@rank1,step3;delay@rank2,step5,50ms`
+      (kinds: kill, delay, io). Survivors of a killed rank re-form a
+      smaller world and resume from the last checkpoint.
 
   matgnn-cli evaluate --model FILE [--data FILE | --graphs N] [--seed S]
       Evaluate a saved model on a dataset.
@@ -83,12 +97,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             return Err(format!("expected --flag, got `{key}`"));
         };
         // Boolean flags take no value.
-        if name == "checkpointing" {
+        if matches!(name, "checkpointing" | "resume" | "zero") {
             opts.insert(name.to_string(), "true".to_string());
             i += 1;
             continue;
         }
-        let value = args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{name} needs a value"))?;
         opts.insert(name.to_string(), value.clone());
         i += 2;
     }
@@ -97,14 +113,18 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 
 fn get_usize(opts: &Opts, name: &str, default: usize) -> Result<usize, String> {
     match opts.get(name) {
-        Some(v) => v.parse().map_err(|_| format!("--{name} must be an integer, got `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} must be an integer, got `{v}`")),
         None => Ok(default),
     }
 }
 
 fn get_u64(opts: &Opts, name: &str, default: u64) -> Result<u64, String> {
     match opts.get(name) {
-        Some(v) => v.parse().map_err(|_| format!("--{name} must be an integer, got `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} must be an integer, got `{v}`")),
         None => Ok(default),
     }
 }
@@ -112,15 +132,20 @@ fn get_u64(opts: &Opts, name: &str, default: u64) -> Result<u64, String> {
 fn load_or_generate(opts: &Opts) -> Result<Dataset, String> {
     if let Some(path) = opts.get("data") {
         let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
-        let samples =
-            Shard::from_bytes(bytes).decode().map_err(|e| format!("decoding {path}: {e}"))?;
+        let samples = Shard::from_bytes(bytes)
+            .decode()
+            .map_err(|e| format!("decoding {path}: {e}"))?;
         println!("loaded {} graphs from {path}", samples.len());
         Ok(Dataset::from_samples(samples))
     } else {
         let n = get_usize(opts, "graphs", 240)?;
         let seed = get_u64(opts, "seed", 0)?;
         println!("generating {n} graphs (seed {seed})…");
-        Ok(Dataset::generate_aggregate(n, seed, &GeneratorConfig::default()))
+        Ok(Dataset::generate_aggregate(
+            n,
+            seed,
+            &GeneratorConfig::default(),
+        ))
     }
 }
 
@@ -131,12 +156,22 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
     let ds = Dataset::generate_aggregate(n, seed, &GeneratorConfig::default());
     let stats = ds.stats();
     for (kind, s) in &stats.per_source {
-        println!("  {:<12} {:>6} graphs, {:>8} nodes, {:>9} edges", kind.name(), s.graphs, s.nodes, s.edges);
+        println!(
+            "  {:<12} {:>6} graphs, {:>8} nodes, {:>9} edges",
+            kind.name(),
+            s.graphs,
+            s.nodes,
+            s.edges
+        );
     }
     let refs: Vec<&Sample> = ds.samples().iter().collect();
     let shard = Shard::encode(&refs);
     std::fs::write(out, shard.as_bytes()).map_err(|e| format!("writing {out}: {e}"))?;
-    println!("wrote {} graphs ({} bytes) to {out}", ds.len(), shard.len_bytes());
+    println!(
+        "wrote {} graphs ({} bytes) to {out}",
+        ds.len(),
+        shard.len_bytes()
+    );
     Ok(())
 }
 
@@ -153,7 +188,12 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
     let norm = Normalizer::fit(&train);
     let cfg = EgnnConfig::with_target_params(params, layers).with_seed(seed);
     let mut model = Egnn::new(cfg);
-    println!("training {} on {} graphs ({} held out)…", cfg.summary(), train.len(), test.len());
+    println!(
+        "training {} on {} graphs ({} held out)…",
+        cfg.summary(),
+        train.len(),
+        test.len()
+    );
 
     let steps = train.len().div_ceil(batch);
     let train_cfg = TrainConfig {
@@ -168,7 +208,19 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
         checkpointing,
         ..Default::default()
     };
-    let report = Trainer::new(train_cfg).fit(&mut model, &train, Some(&test), &norm);
+    let mut trainer = Trainer::new(train_cfg);
+    if let Some(dir) = opts.get("checkpoint-dir") {
+        let every = get_usize(opts, "checkpoint-every", 0)?;
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        trainer = trainer.with_checkpointing(dir, every);
+        if opts.contains_key("resume") {
+            trainer = trainer.resume_latest();
+            println!("resuming from newest checkpoint in {dir} (if any)…");
+        }
+    } else if opts.contains_key("resume") {
+        return Err("--resume requires --checkpoint-dir".into());
+    }
+    let report = trainer.fit(&mut model, &train, Some(&test), &norm);
     for e in &report.epochs {
         println!(
             "  epoch {:>2}: train {:.4}, test {:.4}",
@@ -193,6 +245,86 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
             "note: evaluation normalizer (mean {:.4}, std {:.4}, force {:.4}) is refit from data at evaluate time",
             norm.energy_mean, norm.energy_std, norm.force_std
         );
+    }
+    Ok(())
+}
+
+fn cmd_ddp(opts: &Opts) -> Result<(), String> {
+    let ds = load_or_generate(opts)?;
+    let params = get_usize(opts, "params", 10_000)?;
+    let layers = get_usize(opts, "layers", 3)?;
+    let world = get_usize(opts, "world", 4)?;
+    let epochs = get_usize(opts, "epochs", 2)?;
+    let batch = get_usize(opts, "batch", 4)?;
+    let seed = get_u64(opts, "seed", 0)?;
+
+    let norm = Normalizer::fit(&ds);
+    let cfg = EgnnConfig::with_target_params(params, layers).with_seed(seed);
+    let mut model = Egnn::new(cfg);
+
+    let fault_plan = match opts.get("fault-plan") {
+        Some(spec) => spec
+            .parse::<FaultPlan>()
+            .map_err(|e| format!("--fault-plan: {e}"))?,
+        None => FaultPlan::none(),
+    };
+    let checkpoint_dir = match opts.get("checkpoint-dir") {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+            Some(std::path::PathBuf::from(dir))
+        }
+        None => None,
+    };
+    if checkpoint_dir.is_none() && opts.contains_key("resume") {
+        return Err("--resume requires --checkpoint-dir".into());
+    }
+    if checkpoint_dir.is_none()
+        && fault_plan
+            .events()
+            .iter()
+            .any(|e| e.kind == FaultKind::Kill)
+    {
+        println!("warning: kill faults without --checkpoint-dir restart training from scratch");
+    }
+
+    let ddp_cfg = DdpConfig {
+        world,
+        epochs,
+        batch_size: batch,
+        seed,
+        zero: opts.contains_key("zero"),
+        checkpoint_dir,
+        checkpoint_every: get_usize(opts, "checkpoint-every", 1)?,
+        resume: opts.contains_key("resume"),
+        fault_plan,
+        ..Default::default()
+    };
+    println!(
+        "DDP training {} on {} graphs across {world} ranks (global batch {})…",
+        cfg.summary(),
+        ds.len(),
+        world * batch
+    );
+    let report = train_ddp(&mut model, &ds, &norm, &ddp_cfg);
+    for (epoch, loss) in report.epoch_loss.iter().enumerate() {
+        println!("  epoch {epoch:>2}: train {loss:.4}");
+    }
+    if !report.failed_ranks.is_empty() {
+        println!(
+            "ranks {:?} died; {} recovery cycle(s); finished with world {}",
+            report.failed_ranks, report.recoveries, report.final_world
+        );
+    }
+    println!(
+        "{} steps in {:.1}s ({:.0} ms/step)",
+        report.steps,
+        report.wall.as_secs_f64(),
+        report.mean_step_wall().as_secs_f64() * 1e3
+    );
+
+    if let Some(path) = opts.get("save") {
+        save_egnn(&model, path).map_err(|e| format!("saving {path}: {e}"))?;
+        println!("saved model to {path}");
     }
     Ok(())
 }

@@ -54,8 +54,15 @@ impl fmt::Display for DirStoreError {
             DirStoreError::BadShard { index, source } => {
                 write!(f, "shard {index} failed to decode: {source}")
             }
-            DirStoreError::CountMismatch { index, expected, actual } => {
-                write!(f, "shard {index} holds {actual} samples, manifest says {expected}")
+            DirStoreError::CountMismatch {
+                index,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "shard {index} holds {actual} samples, manifest says {expected}"
+                )
             }
         }
     }
@@ -124,19 +131,67 @@ impl DirStore {
             let refs: Vec<&Sample> = chunk.iter().collect();
             let shard = Shard::encode(&refs);
             let file = format!("shard_{i:05}.mgs");
-            fs::write(dir.join(&file), shard.as_bytes())?;
+            write_durable(&dir.join(&file), shard.as_bytes())?;
             shards.push(ShardRecord {
                 file,
                 n_samples: chunk.len(),
                 n_bytes: shard.len_bytes() as u64,
             });
         }
-        let mut manifest = format!("matgnn-shards v{MANIFEST_VERSION}\n{}\n", shards.len());
-        for r in &shards {
-            manifest.push_str(&format!("{} {} {}\n", r.file, r.n_samples, r.n_bytes));
-        }
-        fs::write(dir.join(MANIFEST_NAME), manifest)?;
+        write_manifest(&dir, &shards)?;
         Ok(DirStore { dir, shards })
+    }
+
+    /// Opens a shard directory, recovering from a crash that left the
+    /// **trailing** shard torn: a last shard whose on-disk size disagrees
+    /// with the manifest (or whose file is missing) is quarantined —
+    /// renamed to `<file>.quarantine` — the manifest is rewritten
+    /// atomically without it, and the store opens with the remaining
+    /// intact shards. Returns the quarantined shard indices (usually
+    /// empty).
+    ///
+    /// Shards are written strictly in order, so only the trailing shard
+    /// can be torn by a crash; a size mismatch in any earlier shard means
+    /// real corruption and is reported as [`DirStoreError::BadShard`]
+    /// rather than silently dropped.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`DirStore::open`] reports, plus [`DirStoreError::Io`]
+    /// if quarantining fails.
+    pub fn open_with_recovery(
+        dir: impl AsRef<Path>,
+    ) -> Result<(DirStore, Vec<usize>), DirStoreError> {
+        let mut store = DirStore::open(&dir)?;
+        let mut quarantined = Vec::new();
+        if let Some(record) = store.shards.last() {
+            let path = store.dir.join(&record.file);
+            let intact = fs::metadata(&path)
+                .map(|m| m.len() == record.n_bytes)
+                .unwrap_or(false);
+            if !intact {
+                if path.exists() {
+                    fs::rename(&path, path.with_extension("mgs.quarantine"))?;
+                }
+                quarantined.push(store.shards.len() - 1);
+                store.shards.pop();
+            }
+        }
+        // Interior (non-trailing) size mismatches are corruption, not a
+        // torn append — surface them instead of dropping data.
+        for (index, record) in store.shards.iter().enumerate() {
+            let len = fs::metadata(store.dir.join(&record.file)).map(|m| m.len())?;
+            if len != record.n_bytes {
+                return Err(DirStoreError::BadShard {
+                    index,
+                    source: crate::DecodeError::Truncated,
+                });
+            }
+        }
+        if !quarantined.is_empty() {
+            write_manifest(&store.dir, &store.shards)?;
+        }
+        Ok((store, quarantined))
     }
 
     /// Opens an existing shard directory by reading its manifest.
@@ -150,7 +205,9 @@ impl DirStore {
         let text = fs::read_to_string(dir.join(MANIFEST_NAME))
             .map_err(|e| DirStoreError::BadManifest(format!("cannot read manifest: {e}")))?;
         let mut lines = text.lines();
-        let header = lines.next().ok_or_else(|| DirStoreError::BadManifest("empty".into()))?;
+        let header = lines
+            .next()
+            .ok_or_else(|| DirStoreError::BadManifest("empty".into()))?;
         let expected_header = format!("matgnn-shards v{MANIFEST_VERSION}");
         if header != expected_header {
             return Err(DirStoreError::BadManifest(format!("header `{header}`")));
@@ -172,7 +229,11 @@ impl DirStore {
             );
             match (file, n_samples, n_bytes) {
                 (Some(file), Some(n_samples), Some(n_bytes)) => {
-                    shards.push(ShardRecord { file, n_samples, n_bytes });
+                    shards.push(ShardRecord {
+                        file,
+                        n_samples,
+                        n_bytes,
+                    });
                 }
                 _ => return Err(DirStoreError::BadManifest(format!("record {i}: `{line}`"))),
             }
@@ -248,13 +309,42 @@ impl DirStore {
     }
 }
 
+/// Writes `bytes` to `path` and fsyncs the file, so a completed shard
+/// survives power loss once the manifest referencing it lands.
+fn write_durable(path: &Path, bytes: &[u8]) -> Result<(), DirStoreError> {
+    use std::io::Write;
+    let mut f = fs::File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Atomically replaces the manifest: write to `MANIFEST.tmp`, fsync,
+/// rename over `MANIFEST`, fsync the directory (best-effort — some
+/// filesystems reject directory fsync). A crash leaves either the old or
+/// the new manifest, never a torn one.
+fn write_manifest(dir: &Path, shards: &[ShardRecord]) -> Result<(), DirStoreError> {
+    let mut manifest = format!("matgnn-shards v{MANIFEST_VERSION}\n{}\n", shards.len());
+    for r in shards {
+        manifest.push_str(&format!("{} {} {}\n", r.file, r.n_samples, r.n_bytes));
+    }
+    let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+    write_durable(&tmp, manifest.as_bytes())?;
+    fs::rename(&tmp, dir.join(MANIFEST_NAME))?;
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::GeneratorConfig;
 
     fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("matgnn_dirstore_{}_{name}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("matgnn_dirstore_{}_{name}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -317,7 +407,10 @@ mod tests {
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         let err = store.read_shard(1).unwrap_err();
-        assert!(matches!(err, DirStoreError::BadShard { index: 1, .. }), "{err}");
+        assert!(
+            matches!(err, DirStoreError::BadShard { index: 1, .. }),
+            "{err}"
+        );
         // Shard 0 still reads fine.
         assert_eq!(store.read_shard(0).unwrap().len(), 6);
         fs::remove_dir_all(&dir).ok();
@@ -327,7 +420,11 @@ mod tests {
     fn malformed_manifest_record_errors() {
         let dir = tmp("malformed");
         fs::create_dir_all(&dir).unwrap();
-        fs::write(dir.join(MANIFEST_NAME), "matgnn-shards v1\n1\nnot-enough-fields\n").unwrap();
+        fs::write(
+            dir.join(MANIFEST_NAME),
+            "matgnn-shards v1\n1\nnot-enough-fields\n",
+        )
+        .unwrap();
         let err = DirStore::open(&dir).unwrap_err();
         assert!(matches!(err, DirStoreError::BadManifest(_)), "{err}");
         fs::remove_dir_all(&dir).ok();
@@ -338,7 +435,118 @@ mod tests {
         let dir = tmp("version");
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join(MANIFEST_NAME), "matgnn-shards v99\n0\n").unwrap();
-        assert!(DirStore::open(&dir).is_err());
+        let err = DirStore::open(&dir).unwrap_err();
+        assert!(matches!(err, DirStoreError::BadManifest(_)), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn count_mismatch_detected() {
+        let dir = tmp("countmismatch");
+        let ds = Dataset::generate_aggregate(12, 13, &GeneratorConfig::default());
+        let _ = DirStore::write(&ds, &dir, 6).unwrap();
+        // Lie about shard 0's sample count (keeping its byte size).
+        let manifest = fs::read_to_string(dir.join(MANIFEST_NAME)).unwrap();
+        let doctored: String = manifest
+            .lines()
+            .map(|l| {
+                if l.starts_with("shard_00000") {
+                    let mut p = l.split_whitespace();
+                    let (file, _n, bytes) =
+                        (p.next().unwrap(), p.next().unwrap(), p.next().unwrap());
+                    format!("{file} 5 {bytes}\n")
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        fs::write(dir.join(MANIFEST_NAME), doctored).unwrap();
+        let store = DirStore::open(&dir).unwrap();
+        let err = store.read_shard(0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DirStoreError::CountMismatch {
+                    index: 0,
+                    expected: 5,
+                    actual: 6
+                }
+            ),
+            "{err}"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_length_shard_is_an_error_not_a_panic() {
+        let dir = tmp("zerolen");
+        let ds = Dataset::generate_aggregate(12, 17, &GeneratorConfig::default());
+        let store = DirStore::write(&ds, &dir, 6).unwrap();
+        fs::write(dir.join("shard_00000.mgs"), b"").unwrap();
+        let err = store.read_shard(0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DirStoreError::BadShard {
+                    index: 0,
+                    source: crate::DecodeError::Truncated
+                }
+            ),
+            "{err}"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_quarantines_truncated_trailing_shard() {
+        let dir = tmp("recover");
+        let ds = Dataset::generate_aggregate(20, 19, &GeneratorConfig::default());
+        let written = DirStore::write(&ds, &dir, 6).unwrap();
+        assert_eq!(written.n_shards(), 4);
+        // Simulate a crash mid-append: the last shard is torn.
+        let last = dir.join("shard_00003.mgs");
+        let bytes = fs::read(&last).unwrap();
+        fs::write(&last, &bytes[..bytes.len() / 3]).unwrap();
+
+        let (store, quarantined) = DirStore::open_with_recovery(&dir).unwrap();
+        assert_eq!(quarantined, vec![3]);
+        assert_eq!(store.n_shards(), 3);
+        assert_eq!(store.n_samples(), 18);
+        assert!(dir.join("shard_00003.mgs.quarantine").exists());
+        assert!(!last.exists());
+        // The rewritten manifest makes a plain re-open succeed too.
+        let reopened = DirStore::open(&dir).unwrap();
+        assert_eq!(reopened.n_shards(), 3);
+        assert_eq!(reopened.load_all().unwrap().len(), 18);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_is_a_noop_on_intact_directories() {
+        let dir = tmp("recover_noop");
+        let ds = Dataset::generate_aggregate(12, 23, &GeneratorConfig::default());
+        let _ = DirStore::write(&ds, &dir, 6).unwrap();
+        let (store, quarantined) = DirStore::open_with_recovery(&dir).unwrap();
+        assert!(quarantined.is_empty());
+        assert_eq!(store.n_samples(), 12);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_rejects_interior_corruption() {
+        let dir = tmp("recover_interior");
+        let ds = Dataset::generate_aggregate(20, 29, &GeneratorConfig::default());
+        let _ = DirStore::write(&ds, &dir, 6).unwrap();
+        // An interior shard with the wrong size is corruption, not a torn
+        // append — recovery must refuse rather than drop data silently.
+        let mid = dir.join("shard_00001.mgs");
+        let bytes = fs::read(&mid).unwrap();
+        fs::write(&mid, &bytes[..bytes.len() / 2]).unwrap();
+        let err = DirStore::open_with_recovery(&dir).unwrap_err();
+        assert!(
+            matches!(err, DirStoreError::BadShard { index: 1, .. }),
+            "{err}"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -33,8 +33,8 @@ pub use dataset::{
     Dataset, DatasetStats, Normalizer, SourceStats, BIASED_ORDERED_SHARE, BIASED_TB_THRESHOLD,
     FULL_TB,
 };
-pub use loader::{collate, BatchIterator, Targets};
 pub use dirstore::{DirStore, DirStoreError};
+pub use loader::{collate, BatchIterator, Targets};
 pub use sample::Sample;
 pub use sources::{GeneratorConfig, SourceKind, GRAPH_CUTOFF};
-pub use store::{DecodeError, DistributedStore, Shard, StoreStats};
+pub use store::{DecodeError, DistributedStore, Shard, StoreError, StoreStats};

@@ -46,12 +46,64 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Error when fetching from a [`DistributedStore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The requested shard index does not exist.
+    OutOfRange {
+        /// The requested shard.
+        shard: usize,
+        /// Number of shards in the store.
+        n_shards: usize,
+    },
+    /// The shard's bytes failed to decode.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::OutOfRange { shard, n_shards } => {
+                write!(f, "shard {shard} out of range (store holds {n_shards})")
+            }
+            StoreError::Decode(e) => write!(f, "shard decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Decode(e) => Some(e),
+            StoreError::OutOfRange { .. } => None,
+        }
+    }
+}
+
+impl From<DecodeError> for StoreError {
+    fn from(e: DecodeError) -> Self {
+        StoreError::Decode(e)
+    }
+}
+
+/// Tag bytes mirror `SourceKind::ALL` order; the match is exhaustive so a
+/// new source variant fails to compile here instead of panicking at
+/// encode time.
 fn source_tag(kind: SourceKind) -> u8 {
-    SourceKind::ALL.iter().position(|&k| k == kind).expect("known source") as u8
+    match kind {
+        SourceKind::Ani1x => 0,
+        SourceKind::Qm7x => 1,
+        SourceKind::Oc2020 => 2,
+        SourceKind::Oc2022 => 3,
+        SourceKind::MpTrj => 4,
+    }
 }
 
 fn source_from_tag(tag: u8) -> Result<SourceKind, DecodeError> {
-    SourceKind::ALL.get(tag as usize).copied().ok_or(DecodeError::BadTag(tag))
+    SourceKind::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or(DecodeError::BadTag(tag))
 }
 
 /// An immutable, compact binary pack of samples.
@@ -119,9 +171,7 @@ impl Shard {
             let mut species = Vec::with_capacity(n_nodes);
             for _ in 0..n_nodes {
                 let tag = buf.get_u8();
-                species.push(
-                    Element::from_index(tag as usize).ok_or(DecodeError::BadTag(tag))?,
-                );
+                species.push(Element::from_index(tag as usize).ok_or(DecodeError::BadTag(tag))?);
             }
             need(&buf, n_edges * 8)?;
             let mut src = Vec::with_capacity(n_edges);
@@ -131,7 +181,10 @@ impl Shard {
                 let d = buf.get_u32();
                 for &i in &[s, d] {
                     if i as usize >= n_nodes {
-                        return Err(DecodeError::BadIndex { index: i, bound: n_nodes as u32 });
+                        return Err(DecodeError::BadIndex {
+                            index: i,
+                            bound: n_nodes as u32,
+                        });
                     }
                 }
                 src.push(s as usize);
@@ -255,7 +308,9 @@ impl DistributedStore {
 
     /// Shard indices owned by `rank`.
     pub fn shards_of(&self, rank: usize) -> Vec<usize> {
-        (0..self.shards.len()).filter(|&s| self.owner_of(s) == rank).collect()
+        (0..self.shards.len())
+            .filter(|&s| self.owner_of(s) == rank)
+            .collect()
     }
 
     /// Fetches and decodes a shard on behalf of `rank`, counting remote
@@ -263,20 +318,23 @@ impl DistributedStore {
     ///
     /// # Errors
     ///
-    /// Returns a [`DecodeError`] if the shard fails to decode.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `shard` is out of range.
-    pub fn fetch(&self, rank: usize, shard: usize) -> Result<Vec<Sample>, DecodeError> {
-        let s = &self.shards[shard];
+    /// Returns [`StoreError::OutOfRange`] for an unknown shard index and
+    /// [`StoreError::Decode`] if the shard's bytes are malformed — a
+    /// fetch never panics, so a corrupt shard surfaces as a recoverable
+    /// error on the training path.
+    pub fn fetch(&self, rank: usize, shard: usize) -> Result<Vec<Sample>, StoreError> {
+        let s = self.shards.get(shard).ok_or(StoreError::OutOfRange {
+            shard,
+            n_shards: self.shards.len(),
+        })?;
         if self.owner_of(shard) == rank {
             self.local_hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.remote_hits.fetch_add(1, Ordering::Relaxed);
-            self.remote_bytes.fetch_add(s.len_bytes() as u64, Ordering::Relaxed);
+            self.remote_bytes
+                .fetch_add(s.len_bytes() as u64, Ordering::Relaxed);
         }
-        s.decode()
+        Ok(s.decode()?)
     }
 
     /// Traffic counters so far.
@@ -322,7 +380,12 @@ mod tests {
                 }
             }
             // Edge vectors round-trip through f32.
-            for (va, vb) in a.graph.edge_vectors().iter().zip(b.graph.edge_vectors().iter()) {
+            for (va, vb) in a
+                .graph
+                .edge_vectors()
+                .iter()
+                .zip(b.graph.edge_vectors().iter())
+            {
                 for k in 0..3 {
                     assert!((va[k] - vb[k]).abs() < 1e-5);
                 }
@@ -335,7 +398,9 @@ mod tests {
         let ds = dataset();
         let refs: Vec<&Sample> = ds.samples().iter().take(2).collect();
         let shard = Shard::encode(&refs);
-        let cut = Shard { data: shard.data.slice(0..shard.len_bytes() / 2) };
+        let cut = Shard {
+            data: shard.data.slice(0..shard.len_bytes() / 2),
+        };
         assert!(matches!(cut.decode(), Err(DecodeError::Truncated)));
     }
 
@@ -365,6 +430,36 @@ mod tests {
         assert_eq!(stats.local_hits, 1);
         assert_eq!(stats.remote_hits, 1);
         assert!(stats.remote_bytes > 0);
+    }
+
+    #[test]
+    fn out_of_range_fetch_is_an_error_not_a_panic() {
+        let ds = dataset();
+        let store = DistributedStore::new(&ds, 4, 2);
+        let n = store.n_shards();
+        match store.fetch(0, n) {
+            Err(StoreError::OutOfRange { shard, n_shards }) => {
+                assert_eq!(shard, n);
+                assert_eq!(n_shards, n);
+            }
+            other => panic!("expected OutOfRange, got {other:?}"),
+        }
+        // A failed fetch moves no traffic.
+        assert_eq!(store.stats(), StoreStats::default());
+    }
+
+    #[test]
+    fn corrupt_shard_surfaces_as_decode_error() {
+        let ds = dataset();
+        let refs: Vec<&Sample> = ds.samples().iter().take(2).collect();
+        let shard = Shard::encode(&refs);
+        let cut = Shard::from_bytes(shard.as_bytes()[..shard.len_bytes() / 2].to_vec());
+        let mut store = DistributedStore::new(&ds, 4, 2);
+        store.shards[0] = cut;
+        assert!(matches!(
+            store.fetch(0, 0),
+            Err(StoreError::Decode(DecodeError::Truncated))
+        ));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Collective communication between simulated ranks.
+//! Collective communication between simulated ranks, with failure-aware
+//! rendezvous.
 //!
 //! Ranks are OS threads on one machine; a [`Communicator`] gives each of
 //! them NCCL-style collectives (all-reduce, reduce-scatter, all-gather,
@@ -8,10 +9,59 @@
 //! by a ring-algorithm [`CostModel`] so experiments can report modeled
 //! interconnect time alongside measured wall time (one CPU core cannot
 //! exhibit real NVLink behaviour).
+//!
+//! # Failure model
+//!
+//! Every collective is bounded by the group's rendezvous timeout and
+//! returns `Result<_, CommError>`; no call can block forever. A rank that
+//! panics (its [`Communicator`] is dropped during unwind) or is explicitly
+//! declared dead via [`Communicator::mark_failed`] **poisons** the group:
+//! every rank currently blocked in a collective wakes with
+//! [`CommError::RankFailed`], and every later call fails fast. A poisoned
+//! group never heals — survivors recover by consuming their handles with
+//! [`Communicator::split_survivors`], which rendezvouses the live ranks
+//! into a fresh, smaller group (ranks are renumbered by ascending old
+//! rank, traffic statistics carry over).
 
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+/// Default per-collective rendezvous timeout.
+pub const DEFAULT_COMM_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Why a collective failed. All collectives return this in their `Err`
+/// channel instead of blocking forever or panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The rendezvous timeout elapsed before every rank arrived. The
+    /// group is poisoned as a side effect, so peers unwind too.
+    Timeout {
+        /// Rank that observed the timeout.
+        rank: usize,
+        /// How long it waited.
+        waited: Duration,
+    },
+    /// A specific peer was declared dead (panic, injected kill, or
+    /// explicit [`Communicator::mark_failed`]).
+    RankFailed(usize),
+    /// The group was poisoned by an earlier failure; no further
+    /// collectives can run on it.
+    Poisoned,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { rank, waited } => {
+                write!(f, "collective timed out on rank {rank} after {waited:?}")
+            }
+            CommError::RankFailed(r) => write!(f, "rank {r} failed"),
+            CommError::Poisoned => write!(f, "communicator group is poisoned"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// Link parameters used to price collectives (defaults approximate one
 /// NVLink-3 hop as in the paper's Perlmutter nodes).
@@ -25,7 +75,10 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { link_gb_per_s: 100.0, latency_us: 10.0 }
+        CostModel {
+            link_gb_per_s: 100.0,
+            latency_us: 10.0,
+        }
     }
 }
 
@@ -48,11 +101,42 @@ pub struct CommStats {
     pub modeled_seconds: f64,
 }
 
+/// Shared rendezvous state: a generation-counting barrier plus staging
+/// slots and failure flags, all under one mutex so failure observations
+/// are totally ordered with barrier arrivals.
+struct GroupState {
+    /// Ranks that have arrived at the current barrier generation.
+    arrived: usize,
+    /// Bumped each time a barrier completes; waiters key off it.
+    generation: u64,
+    /// Per-rank "declared dead" flags.
+    failed: Vec<bool>,
+    /// Sticky failure flag — once set the group never recovers.
+    poisoned: bool,
+    /// Staging slots for collective payloads, one per rank.
+    slots: Vec<Option<Vec<f32>>>,
+    /// Old ranks registered for a survivor split.
+    split_members: Vec<usize>,
+    /// Hand-off of rebuilt communicators, indexed like the sorted
+    /// `split_members`.
+    split_handoff: Vec<Option<Communicator>>,
+}
+
 struct Inner {
     world: usize,
-    slots: Mutex<Vec<Option<Vec<f32>>>>,
-    barrier: Barrier,
+    state: Mutex<GroupState>,
+    cv: Condvar,
     cost: CostModel,
+    timeout: Duration,
+}
+
+impl Inner {
+    /// Locks the group state, ignoring std mutex poisoning: a peer that
+    /// panicked while holding the lock is exactly the failure mode this
+    /// group is designed to survive.
+    fn lock(&self) -> MutexGuard<'_, GroupState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// One rank's handle to the collective group.
@@ -68,7 +152,7 @@ struct Inner {
 ///     .map(|mut comm| {
 ///         std::thread::spawn(move || {
 ///             let mut v = vec![comm.rank() as f32 + 1.0];
-///             comm.all_reduce_sum(&mut v);
+///             comm.all_reduce_sum(&mut v).expect("group is healthy");
 ///             v[0]
 ///         })
 ///     })
@@ -81,6 +165,10 @@ pub struct Communicator {
     rank: usize,
     inner: Arc<Inner>,
     stats: CommStats,
+    /// Set once this handle has observed (or caused) group failure, so
+    /// `Drop` during a panic does not re-poison and `split_survivors`
+    /// knows the handle is already detached.
+    defunct: bool,
 }
 
 /// The contiguous shard `[start, end)` of a length-`len` vector owned by
@@ -93,21 +181,50 @@ pub fn shard_range(len: usize, world: usize, rank: usize) -> (usize, usize) {
 }
 
 impl Communicator {
-    /// Creates one communicator per rank, all connected.
+    /// Creates one communicator per rank, all connected, with the
+    /// [`DEFAULT_COMM_TIMEOUT`] rendezvous timeout.
     ///
     /// # Panics
     ///
     /// Panics if `world` is zero.
     pub fn create(world: usize, cost: CostModel) -> Vec<Communicator> {
+        Self::create_with_timeout(world, cost, DEFAULT_COMM_TIMEOUT)
+    }
+
+    /// Creates one communicator per rank with an explicit per-collective
+    /// rendezvous timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world` is zero.
+    pub fn create_with_timeout(
+        world: usize,
+        cost: CostModel,
+        timeout: Duration,
+    ) -> Vec<Communicator> {
         assert!(world > 0, "world must be positive");
         let inner = Arc::new(Inner {
             world,
-            slots: Mutex::new(vec![None; world]),
-            barrier: Barrier::new(world),
+            state: Mutex::new(GroupState {
+                arrived: 0,
+                generation: 0,
+                failed: vec![false; world],
+                poisoned: false,
+                slots: vec![None; world],
+                split_members: Vec::new(),
+                split_handoff: Vec::new(),
+            }),
+            cv: Condvar::new(),
             cost,
+            timeout,
         });
         (0..world)
-            .map(|rank| Communicator { rank, inner: Arc::clone(&inner), stats: CommStats::default() })
+            .map(|rank| Communicator {
+                rank,
+                inner: Arc::clone(&inner),
+                stats: CommStats::default(),
+                defunct: false,
+            })
             .collect()
     }
 
@@ -121,14 +238,91 @@ impl Communicator {
         self.inner.world
     }
 
-    /// Traffic accumulated by this rank.
+    /// The group's per-collective rendezvous timeout.
+    pub fn timeout(&self) -> Duration {
+        self.inner.timeout
+    }
+
+    /// Traffic accumulated by this rank (carried across
+    /// [`split_survivors`](Self::split_survivors)).
     pub fn stats(&self) -> CommStats {
         self.stats
     }
 
-    /// Blocks until every rank has reached the barrier.
-    pub fn barrier(&self) {
-        self.inner.barrier.wait();
+    /// Declares this rank dead and poisons the group: every peer blocked
+    /// in a collective wakes with [`CommError::RankFailed`], and all
+    /// later collectives on the group fail fast. Used by the fault
+    /// injector to simulate a crashed rank; also invoked automatically
+    /// when a `Communicator` is dropped during a panic.
+    pub fn mark_failed(&mut self) {
+        self.defunct = true;
+        let mut st = self.inner.lock();
+        st.failed[self.rank] = true;
+        st.poisoned = true;
+        self.inner.cv.notify_all();
+    }
+
+    /// First failure to report from the group state, if any.
+    fn failure(&self, st: &GroupState) -> Option<CommError> {
+        if let Some(r) = st.failed.iter().position(|&f| f) {
+            return Some(CommError::RankFailed(r));
+        }
+        if st.poisoned {
+            return Some(CommError::Poisoned);
+        }
+        None
+    }
+
+    /// Generation barrier with timeout and failure detection. On timeout
+    /// the group is poisoned before returning, so peers unwind too.
+    fn sync(&mut self) -> Result<(), CommError> {
+        let inner = Arc::clone(&self.inner);
+        let mut st = inner.lock();
+        if let Some(err) = self.failure(&st) {
+            self.defunct = true;
+            return Err(err);
+        }
+        st.arrived += 1;
+        let gen = st.generation;
+        if st.arrived == inner.world {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            inner.cv.notify_all();
+            return Ok(());
+        }
+        let start = Instant::now();
+        loop {
+            let remaining = inner.timeout.saturating_sub(start.elapsed());
+            let (guard, timed_out) = inner
+                .cv
+                .wait_timeout(st, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+            if st.generation != gen {
+                // Barrier completed while we slept. A failure flag raised
+                // after completion belongs to the next collective.
+                return Ok(());
+            }
+            if let Some(err) = self.failure(&st) {
+                self.defunct = true;
+                return Err(err);
+            }
+            if timed_out.timed_out() {
+                st.poisoned = true;
+                inner.cv.notify_all();
+                self.defunct = true;
+                return Err(CommError::Timeout {
+                    rank: self.rank,
+                    waited: start.elapsed(),
+                });
+            }
+        }
+    }
+
+    /// Blocks until every rank has reached the barrier, the rendezvous
+    /// timeout elapses, or the group fails.
+    pub fn barrier(&mut self) -> Result<(), CommError> {
+        self.sync()
     }
 
     fn account(&mut self, bytes: u64) {
@@ -137,18 +331,26 @@ impl Communicator {
         self.stats.modeled_seconds += self.inner.cost.seconds(bytes);
     }
 
-    fn publish(&self, data: Vec<f32>) {
-        self.inner.slots.lock()[self.rank] = Some(data);
-        self.barrier();
+    fn publish(&mut self, data: Vec<f32>) -> Result<(), CommError> {
+        let inner = Arc::clone(&self.inner);
+        {
+            let mut st = inner.lock();
+            if let Some(err) = self.failure(&st) {
+                self.defunct = true;
+                return Err(err);
+            }
+            st.slots[self.rank] = Some(data);
+        }
+        self.sync()
     }
 
-    fn finish(&self) {
-        self.barrier();
+    fn finish(&mut self) -> Result<(), CommError> {
+        self.sync()?;
         if self.rank == 0 {
-            let mut slots = self.inner.slots.lock();
-            slots.iter_mut().for_each(|s| *s = None);
+            let mut slots_guard = self.inner.lock();
+            slots_guard.slots.iter_mut().for_each(|s| *s = None);
         }
-        self.barrier();
+        self.sync()
     }
 
     /// In-place all-reduce (sum): after the call every rank holds the
@@ -157,15 +359,15 @@ impl Communicator {
     /// # Panics
     ///
     /// Panics if ranks pass vectors of different lengths.
-    pub fn all_reduce_sum(&mut self, data: &mut [f32]) {
+    pub fn all_reduce_sum(&mut self, data: &mut [f32]) -> Result<(), CommError> {
         let w = self.world();
         if w == 1 {
-            return;
+            return Ok(());
         }
-        self.publish(data.to_vec());
+        self.publish(data.to_vec())?;
         {
-            let slots = self.inner.slots.lock();
-            for (r, slot) in slots.iter().enumerate() {
+            let st = self.inner.lock();
+            for (r, slot) in st.slots.iter().enumerate() {
                 if r == self.rank {
                     continue;
                 }
@@ -176,32 +378,34 @@ impl Communicator {
                 }
             }
         }
-        self.finish();
+        self.finish()?;
         // Ring all-reduce traffic: 2·(w−1)/w of the payload per rank.
         let payload = (data.len() * 4) as u64;
         self.account(payload * 2 * (w as u64 - 1) / w as u64);
+        Ok(())
     }
 
     /// In-place all-reduce (mean).
-    pub fn all_reduce_mean(&mut self, data: &mut [f32]) {
-        self.all_reduce_sum(data);
+    pub fn all_reduce_mean(&mut self, data: &mut [f32]) -> Result<(), CommError> {
+        self.all_reduce_sum(data)?;
         let inv = 1.0 / self.world() as f32;
         data.iter_mut().for_each(|x| *x *= inv);
+        Ok(())
     }
 
     /// Reduce-scatter (sum): every rank contributes the full vector and
     /// receives only its own [`shard_range`] of the element-wise sum.
-    pub fn reduce_scatter_sum(&mut self, data: &[f32]) -> Vec<f32> {
+    pub fn reduce_scatter_sum(&mut self, data: &[f32]) -> Result<Vec<f32>, CommError> {
         let w = self.world();
         let (start, end) = shard_range(data.len(), w, self.rank);
         if w == 1 {
-            return data[start..end].to_vec();
+            return Ok(data[start..end].to_vec());
         }
-        self.publish(data.to_vec());
+        self.publish(data.to_vec())?;
         let mut shard = data[start..end].to_vec();
         {
-            let slots = self.inner.slots.lock();
-            for (r, slot) in slots.iter().enumerate() {
+            let st = self.inner.lock();
+            for (r, slot) in st.slots.iter().enumerate() {
                 if r == self.rank {
                     continue;
                 }
@@ -212,10 +416,10 @@ impl Communicator {
                 }
             }
         }
-        self.finish();
+        self.finish()?;
         let payload = (data.len() * 4) as u64;
         self.account(payload * (w as u64 - 1) / w as u64);
-        shard
+        Ok(shard)
     }
 
     /// All-gather: every rank contributes its [`shard_range`] of a
@@ -224,49 +428,141 @@ impl Communicator {
     /// # Panics
     ///
     /// Panics if a rank's shard length disagrees with its shard range.
-    pub fn all_gather(&mut self, shard: &[f32], total_len: usize) -> Vec<f32> {
+    pub fn all_gather(&mut self, shard: &[f32], total_len: usize) -> Result<Vec<f32>, CommError> {
         let w = self.world();
         let (start, end) = shard_range(total_len, w, self.rank);
         assert_eq!(shard.len(), end - start, "all_gather shard length mismatch");
         if w == 1 {
-            return shard.to_vec();
+            return Ok(shard.to_vec());
         }
-        self.publish(shard.to_vec());
+        self.publish(shard.to_vec())?;
         let mut out = vec![0.0f32; total_len];
         {
-            let slots = self.inner.slots.lock();
-            for (r, slot) in slots.iter().enumerate() {
+            let st = self.inner.lock();
+            for (r, slot) in st.slots.iter().enumerate() {
                 let (s, e) = shard_range(total_len, w, r);
                 let piece = slot.as_ref().expect("missing contribution");
                 assert_eq!(piece.len(), e - s, "all_gather peer shard mismatch");
                 out[s..e].copy_from_slice(piece);
             }
         }
-        self.finish();
+        self.finish()?;
         let payload = (total_len * 4) as u64;
         self.account(payload * (w as u64 - 1) / w as u64);
-        out
+        Ok(out)
     }
 
     /// Broadcast from `root`: after the call every rank holds root's data.
-    pub fn broadcast(&mut self, data: &mut Vec<f32>, root: usize) {
+    pub fn broadcast(&mut self, data: &mut Vec<f32>, root: usize) -> Result<(), CommError> {
         let w = self.world();
         if w == 1 {
-            return;
+            return Ok(());
         }
         if self.rank == root {
-            self.publish(data.clone());
+            self.publish(data.clone())?;
         } else {
-            self.barrier();
+            self.sync()?;
         }
         {
-            let slots = self.inner.slots.lock();
-            let src = slots[root].as_ref().expect("missing root data");
+            let st = self.inner.lock();
+            let src = st.slots[root].as_ref().expect("missing root data");
             *data = src.clone();
         }
-        self.finish();
+        self.finish()?;
         let payload = (data.len() * 4) as u64;
         self.account(payload * (w as u64 - 1) / w as u64);
+        Ok(())
+    }
+
+    /// Consumes this handle to a failed group and rendezvouses the
+    /// surviving ranks into a fresh, smaller group.
+    ///
+    /// Every live (non-failed) rank of the old group must call this; the
+    /// call blocks until all of them have, or `grace` elapses. Survivors
+    /// are renumbered `0..n` by ascending old rank, and this rank's
+    /// traffic statistics carry over to the new handle. The new group
+    /// inherits the old cost model and timeout.
+    ///
+    /// Returns [`CommError::Timeout`] if the surviving set does not
+    /// assemble within `grace`.
+    pub fn split_survivors(mut self, grace: Duration) -> Result<Communicator, CommError> {
+        let inner = Arc::clone(&self.inner);
+        // This handle is leaving the old group for good: never re-poison
+        // it from `Drop`, even if the caller panics later.
+        self.defunct = true;
+        let my_old_rank = self.rank;
+        let mut st = inner.lock();
+        debug_assert!(
+            !st.failed[my_old_rank],
+            "a rank that was declared failed cannot rejoin as a survivor"
+        );
+        st.split_members.push(my_old_rank);
+        inner.cv.notify_all();
+        let start = Instant::now();
+        loop {
+            let expected = st.failed.iter().filter(|&&f| !f).count();
+            if st.split_members.len() >= expected {
+                break;
+            }
+            let remaining = grace.saturating_sub(start.elapsed());
+            let (guard, timed_out) = inner
+                .cv
+                .wait_timeout(st, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+            if timed_out.timed_out()
+                && st.split_members.len() < st.failed.iter().filter(|&&f| !f).count()
+            {
+                return Err(CommError::Timeout {
+                    rank: my_old_rank,
+                    waited: start.elapsed(),
+                });
+            }
+        }
+        // All survivors are registered. The lowest old rank builds the
+        // new group; everyone else waits for the hand-off.
+        st.split_members.sort_unstable();
+        let members = st.split_members.clone();
+        let lowest = members[0];
+        if my_old_rank == lowest && st.split_handoff.is_empty() {
+            let fresh = Communicator::create_with_timeout(members.len(), inner.cost, inner.timeout);
+            st.split_handoff = fresh.into_iter().map(Some).collect();
+            inner.cv.notify_all();
+        }
+        while st.split_handoff.is_empty() {
+            let remaining = grace.saturating_sub(start.elapsed());
+            let (guard, timed_out) = inner
+                .cv
+                .wait_timeout(st, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+            if timed_out.timed_out() && st.split_handoff.is_empty() {
+                return Err(CommError::Timeout {
+                    rank: my_old_rank,
+                    waited: start.elapsed(),
+                });
+            }
+        }
+        let new_rank = members
+            .iter()
+            .position(|&r| r == my_old_rank)
+            .expect("survivor must be a registered member");
+        let mut comm = st.split_handoff[new_rank]
+            .take()
+            .expect("hand-off taken twice");
+        comm.stats = self.stats;
+        Ok(comm)
+    }
+}
+
+impl Drop for Communicator {
+    fn drop(&mut self) {
+        // A rank that dies by panic must not leave its peers blocked at
+        // the rendezvous: poison the group on the way out. Clean drops
+        // (normal end of a rank closure) leave the group alone.
+        if std::thread::panicking() && !self.defunct {
+            self.mark_failed();
+        }
     }
 }
 
@@ -287,10 +583,7 @@ mod tests {
 
     /// Runs `f` on every rank of a fresh world and collects results by
     /// rank.
-    fn run_world<T: Send>(
-        world: usize,
-        f: impl Fn(Communicator) -> T + Sync,
-    ) -> Vec<T> {
+    fn run_world<T: Send>(world: usize, f: impl Fn(Communicator) -> T + Sync) -> Vec<T> {
         let comms = Communicator::create(world, CostModel::default());
         let mut out: Vec<Option<T>> = (0..world).map(|_| None).collect();
         thread::scope(|scope| {
@@ -304,7 +597,9 @@ mod tests {
                 out[rank] = Some(val);
             }
         });
-        out.into_iter().map(|v| v.expect("missing rank result")).collect()
+        out.into_iter()
+            .map(|v| v.expect("missing rank result"))
+            .collect()
     }
 
     #[test]
@@ -324,7 +619,7 @@ mod tests {
     fn all_reduce_sums_across_ranks() {
         let results = run_world(4, |mut comm| {
             let mut v = vec![comm.rank() as f32; 5];
-            comm.all_reduce_sum(&mut v);
+            comm.all_reduce_sum(&mut v).unwrap();
             v
         });
         for v in results {
@@ -336,7 +631,7 @@ mod tests {
     fn all_reduce_mean_divides() {
         let results = run_world(4, |mut comm| {
             let mut v = vec![(comm.rank() * 4) as f32];
-            comm.all_reduce_mean(&mut v);
+            comm.all_reduce_mean(&mut v).unwrap();
             v[0]
         });
         for v in results {
@@ -348,7 +643,7 @@ mod tests {
     fn reduce_scatter_gives_summed_shards() {
         let results = run_world(3, |mut comm| {
             let data: Vec<f32> = (0..9).map(|i| (i + comm.rank()) as f32).collect();
-            comm.reduce_scatter_sum(&data)
+            comm.reduce_scatter_sum(&data).unwrap()
         });
         // Sum over ranks of (i + r) = 3i + 3.
         for (rank, shard) in results.iter().enumerate() {
@@ -363,7 +658,7 @@ mod tests {
         let results = run_world(4, |mut comm| {
             let (s, e) = shard_range(10, 4, comm.rank());
             let shard: Vec<f32> = (s..e).map(|i| i as f32).collect();
-            comm.all_gather(&shard, 10)
+            comm.all_gather(&shard, 10).unwrap()
         });
         let expect: Vec<f32> = (0..10).map(|i| i as f32).collect();
         for v in results {
@@ -375,10 +670,10 @@ mod tests {
     fn reduce_scatter_then_all_gather_equals_all_reduce() {
         let results = run_world(4, |mut comm| {
             let data: Vec<f32> = (0..13).map(|i| (i * (comm.rank() + 1)) as f32).collect();
-            let shard = comm.reduce_scatter_sum(&data);
-            let gathered = comm.all_gather(&shard, 13);
+            let shard = comm.reduce_scatter_sum(&data).unwrap();
+            let gathered = comm.all_gather(&shard, 13).unwrap();
             let mut reduced = data.clone();
-            comm.all_reduce_sum(&mut reduced);
+            comm.all_reduce_sum(&mut reduced).unwrap();
             (gathered, reduced)
         });
         for (gathered, reduced) in results {
@@ -389,8 +684,12 @@ mod tests {
     #[test]
     fn broadcast_from_root() {
         let results = run_world(3, |mut comm| {
-            let mut data = if comm.rank() == 1 { vec![7.0, 8.0] } else { vec![0.0, 0.0] };
-            comm.broadcast(&mut data, 1);
+            let mut data = if comm.rank() == 1 {
+                vec![7.0, 8.0]
+            } else {
+                vec![0.0, 0.0]
+            };
+            comm.broadcast(&mut data, 1).unwrap();
             data
         });
         for v in results {
@@ -402,7 +701,7 @@ mod tests {
     fn traffic_accounted() {
         let results = run_world(2, |mut comm| {
             let mut v = vec![0.0f32; 100];
-            comm.all_reduce_sum(&mut v);
+            comm.all_reduce_sum(&mut v).unwrap();
             comm.stats()
         });
         for stats in results {
@@ -417,7 +716,7 @@ mod tests {
     fn world_of_one_is_noop() {
         let mut comm = Communicator::create(1, CostModel::default()).pop().unwrap();
         let mut v = vec![3.0];
-        comm.all_reduce_sum(&mut v);
+        comm.all_reduce_sum(&mut v).unwrap();
         assert_eq!(v, vec![3.0]);
         assert_eq!(comm.stats().bytes_moved, 0);
     }
@@ -428,7 +727,7 @@ mod tests {
             let mut acc = 0.0;
             for i in 0..10 {
                 let mut v = vec![i as f32 + comm.rank() as f32];
-                comm.all_reduce_sum(&mut v);
+                comm.all_reduce_sum(&mut v).unwrap();
                 acc += v[0];
             }
             acc
@@ -437,5 +736,168 @@ mod tests {
         for v in results {
             assert_eq!(v, first);
         }
+    }
+
+    // ---------------- failure-path tests ----------------
+
+    #[test]
+    fn missing_rank_times_out_instead_of_hanging() {
+        let mut comms =
+            Communicator::create_with_timeout(2, CostModel::default(), Duration::from_millis(50));
+        let _absent = comms.pop().unwrap(); // rank 1 never participates
+        let mut comm = comms.pop().unwrap();
+        let mut v = vec![1.0f32];
+        let err = comm.all_reduce_sum(&mut v).unwrap_err();
+        assert!(
+            matches!(err, CommError::Timeout { rank: 0, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn marked_failure_wakes_blocked_peers() {
+        let comms = Communicator::create_with_timeout(
+            3,
+            CostModel::default(),
+            Duration::from_secs(10), // long: the wake must come from the failure, not timeout
+        );
+        let mut out = Vec::new();
+        thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for mut comm in comms {
+                handles.push(scope.spawn(move || {
+                    if comm.rank() == 2 {
+                        thread::sleep(Duration::from_millis(20));
+                        comm.mark_failed();
+                        return None;
+                    }
+                    let mut v = vec![comm.rank() as f32];
+                    Some(comm.all_reduce_sum(&mut v))
+                }));
+            }
+            for h in handles {
+                out.push(h.join().unwrap());
+            }
+        });
+        for res in out.into_iter().flatten() {
+            assert_eq!(res.unwrap_err(), CommError::RankFailed(2));
+        }
+    }
+
+    #[test]
+    fn poisoned_group_fails_fast_on_later_calls() {
+        let mut comms =
+            Communicator::create_with_timeout(2, CostModel::default(), Duration::from_secs(5));
+        comms[1].mark_failed();
+        let mut comm = comms.swap_remove(0);
+        let start = Instant::now();
+        let mut v = vec![0.0f32];
+        assert_eq!(
+            comm.all_reduce_sum(&mut v).unwrap_err(),
+            CommError::RankFailed(1)
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "poisoned call must not block"
+        );
+    }
+
+    #[test]
+    fn panicking_rank_poisons_group_via_drop() {
+        let comms =
+            Communicator::create_with_timeout(2, CostModel::default(), Duration::from_secs(10));
+        let mut results = Vec::new();
+        thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for mut comm in comms {
+                handles.push(scope.spawn(move || {
+                    if comm.rank() == 1 {
+                        panic!("simulated crash");
+                    }
+                    let mut v = vec![1.0f32];
+                    comm.all_reduce_sum(&mut v)
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(res) => results.push(res),
+                    Err(_) => assert_eq!(rank, 1, "only the crashing rank may panic"),
+                }
+            }
+        });
+        assert_eq!(results, vec![Err(CommError::RankFailed(1))]);
+    }
+
+    #[test]
+    fn survivors_reform_smaller_group() {
+        let comms =
+            Communicator::create_with_timeout(4, CostModel::default(), Duration::from_millis(500));
+        let results = thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for mut comm in comms {
+                handles.push(scope.spawn(move || {
+                    if comm.rank() == 1 {
+                        comm.mark_failed();
+                        return None;
+                    }
+                    let old_rank = comm.rank();
+                    let mut v = vec![old_rank as f32];
+                    comm.all_reduce_sum(&mut v).unwrap_err();
+                    let mut small = comm
+                        .split_survivors(Duration::from_secs(5))
+                        .expect("survivors assemble");
+                    let mut v = vec![1.0f32];
+                    small.all_reduce_sum(&mut v).unwrap();
+                    Some((old_rank, small.rank(), small.world(), v[0]))
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        let survivors: Vec<_> = results.into_iter().flatten().collect();
+        assert_eq!(survivors.len(), 3);
+        for (old_rank, new_rank, world, sum) in survivors {
+            assert_eq!(world, 3);
+            assert_eq!(sum, 3.0);
+            // Old ranks 0,2,3 renumber to 0,1,2.
+            let expect_new = match old_rank {
+                0 => 0,
+                2 => 1,
+                3 => 2,
+                _ => unreachable!(),
+            };
+            assert_eq!(new_rank, expect_new);
+        }
+    }
+
+    #[test]
+    fn split_carries_traffic_stats() {
+        let comms =
+            Communicator::create_with_timeout(2, CostModel::default(), Duration::from_millis(200));
+        let results = thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for mut comm in comms {
+                handles.push(scope.spawn(move || {
+                    let mut v = vec![0.0f32; 100];
+                    comm.all_reduce_sum(&mut v).unwrap();
+                    if comm.rank() == 1 {
+                        comm.mark_failed();
+                        return None;
+                    }
+                    // Rank 0 discovers the failure on its next collective.
+                    comm.barrier().unwrap_err();
+                    let small = comm.split_survivors(Duration::from_secs(5)).unwrap();
+                    Some((small.world(), small.stats().bytes_moved))
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        let survivor = results.into_iter().flatten().next().unwrap();
+        assert_eq!(survivor, (1, 400));
     }
 }

@@ -1,4 +1,5 @@
-//! Distributed data-parallel (DDP) training over simulated ranks.
+//! Distributed data-parallel (DDP) training over simulated ranks, with
+//! fault tolerance.
 //!
 //! Each rank (an OS thread standing in for one GPU) holds a full model
 //! replica, processes its own slice of every global batch, and the ranks
@@ -7,23 +8,41 @@
 //! Adam replica is replaced by a [`ZeroAdam`] shard (reduce-scatter +
 //! all-gather), and [`DdpConfig::checkpointing`] switches the step to the
 //! recompute path — together, the paper's Sec. V configuration matrix.
+//!
+//! # Fault tolerance
+//!
+//! Every collective is timeout-bounded and returns `Result` (see
+//! [`CommError`]). When a rank dies — by panic, or injected through a
+//! [`FaultPlan`] — the group is poisoned and every survivor unwinds to
+//! the supervised recovery loop: bounded exponential backoff, then
+//! [`Communicator::split_survivors`] re-forms a smaller group (elastic
+//! world size), the newest intact [`TrainCheckpoint`] is reloaded, and
+//! training continues from that step. Checkpoints are written atomically
+//! by the group's rank 0 every [`DdpConfig::checkpoint_every`] steps in a
+//! world-size-independent layout (ZeRO moments are gathered first), so a
+//! 4-rank checkpoint restores cleanly into a 3-rank group.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use matgnn_data::{collate, Dataset, Normalizer, Sample};
 use matgnn_model::GnnModel;
 use matgnn_tensor::{MemoryBreakdown, MemoryCategory, MemoryTracker, Tensor};
 use matgnn_train::{
-    clip_grad_norm, train_step, Adam, AdamHyper, LossConfig, LrSchedule, Optimizer,
+    clip_grad_norm, latest_in, train_step, Adam, AdamHyper, AdamState, LossConfig, LrSchedule,
+    Optimizer, TrainCheckpoint,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::{CommStats, Communicator, CostModel, ZeroAdam};
+use crate::{CommError, CommStats, Communicator, CostModel, FaultKind, FaultPlan, ZeroAdam};
+
+/// Base of the bounded exponential backoff between recovery attempts.
+const BACKOFF_BASE: Duration = Duration::from_millis(10);
 
 /// Configuration of a DDP run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DdpConfig {
     /// Number of simulated ranks ("GPUs").
     pub world: usize,
@@ -56,6 +75,22 @@ pub struct DdpConfig {
     /// staging-buffer size, and the result is bit-identical either way
     /// (tested).
     pub bucket_size: Option<usize>,
+    /// Rendezvous timeout for every collective.
+    pub comm_timeout: Duration,
+    /// Where to write [`TrainCheckpoint`]s (`None` disables durability —
+    /// a failure then restarts training from scratch).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Write a checkpoint every this many optimizer steps (0 disables
+    /// periodic checkpoints even when a directory is set).
+    pub checkpoint_every: usize,
+    /// Resume from the newest intact checkpoint in `checkpoint_dir`
+    /// before the first step (no-op when none exists).
+    pub resume: bool,
+    /// Injected fault schedule (empty = run clean).
+    pub fault_plan: FaultPlan,
+    /// How many times a surviving rank will recover (re-form + reload)
+    /// before giving up.
+    pub max_recoveries: usize,
 }
 
 impl Default for DdpConfig {
@@ -74,6 +109,12 @@ impl Default for DdpConfig {
             zero: false,
             cost: CostModel::default(),
             bucket_size: None,
+            comm_timeout: crate::DEFAULT_COMM_TIMEOUT,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            resume: false,
+            fault_plan: FaultPlan::none(),
+            max_recoveries: 3,
         }
     }
 }
@@ -81,7 +122,7 @@ impl Default for DdpConfig {
 /// Per-rank outcome of a DDP run.
 #[derive(Debug, Clone)]
 pub struct RankStats {
-    /// Rank index.
+    /// Rank index at launch (stable across elastic re-forms).
     pub rank: usize,
     /// Peak tracked bytes on this rank.
     pub peak_total: u64,
@@ -91,6 +132,12 @@ pub struct RankStats {
     pub comm: CommStats,
     /// Rank wall time.
     pub wall: Duration,
+    /// Whether this rank died (injected kill) before finishing.
+    pub killed: bool,
+    /// Recovery cycles (re-form + checkpoint reload) this rank ran.
+    pub recoveries: usize,
+    /// Transient shard-fetch I/O errors this rank retried through.
+    pub io_retries: usize,
 }
 
 /// Outcome of [`train_ddp`].
@@ -98,12 +145,19 @@ pub struct RankStats {
 pub struct DdpReport {
     /// Mean training loss per epoch (averaged over ranks and steps).
     pub epoch_loss: Vec<f64>,
-    /// Per-rank statistics.
+    /// Per-rank statistics (launch ranks, including killed ones).
     pub ranks: Vec<RankStats>,
-    /// Optimization steps taken (per rank).
+    /// Optimization steps taken (per surviving rank).
     pub steps: usize,
     /// Longest rank wall time.
     pub wall: Duration,
+    /// Recovery cycles the surviving ranks ran (max over ranks).
+    pub recoveries: usize,
+    /// World size at completion (smaller than `DdpConfig::world` if
+    /// ranks died and the group re-formed elastically).
+    pub final_world: usize,
+    /// Launch ranks that died during the run.
+    pub failed_ranks: Vec<usize>,
 }
 
 impl DdpReport {
@@ -148,15 +202,274 @@ pub fn unflatten_like(flat: &[f32], template: &[Tensor]) -> Vec<Tensor> {
     out
 }
 
+/// The deterministic sample order for `epoch` (identical on every rank,
+/// and identical before and after a checkpoint resume).
+fn epoch_order(len: usize, seed: u64, epoch: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..len).collect();
+    let shuffle = seed ^ epoch.wrapping_mul(0x9E37_79B9);
+    order.shuffle(&mut StdRng::seed_from_u64(shuffle));
+    order
+}
+
+/// Mutable per-rank training state — everything the recovery path must
+/// rebuild from a checkpoint (or from scratch).
+struct RankState<M> {
+    replica: M,
+    full_adam: Option<Adam>,
+    zero_adam: Option<ZeroAdam>,
+    epoch: u64,
+    step_in_epoch: u64,
+    global_step: u64,
+    loss_acc: f64,
+    loss_count: u64,
+    epoch_loss: Vec<f64>,
+}
+
+/// Why a rank left the training loop.
+enum RankExit {
+    /// Injected kill: the rank poisoned the group and died.
+    Killed,
+    /// A collective failed; the caller decides whether to recover. The
+    /// error is kept for debuggability (`Debug`-printed on give-up paths
+    /// in tests) even though the recovery path treats all causes alike.
+    Comm(#[allow(dead_code)] CommError),
+}
+
+impl From<CommError> for RankExit {
+    fn from(e: CommError) -> Self {
+        RankExit::Comm(e)
+    }
+}
+
+fn fresh_state<M: GnnModel + Clone>(
+    proto: &M,
+    cfg: &DdpConfig,
+    rank: usize,
+    world: usize,
+    n_params: usize,
+    tracker: &MemoryTracker,
+) -> RankState<M> {
+    let replica = proto.clone();
+    let full_adam =
+        (!cfg.zero).then(|| Adam::new(replica.params(), cfg.adam, Some(tracker.clone())));
+    let zero_adam = cfg
+        .zero
+        .then(|| ZeroAdam::new(n_params, rank, world, cfg.adam, Some(tracker.clone())));
+    RankState {
+        replica,
+        full_adam,
+        zero_adam,
+        epoch: 0,
+        step_in_epoch: 0,
+        global_step: 0,
+        loss_acc: 0.0,
+        loss_count: 0,
+        epoch_loss: Vec::new(),
+    }
+}
+
+/// Restores rank state from a checkpoint, re-sharding optimizer state for
+/// the (possibly different) current world size.
+fn restore_state<M: GnnModel + Clone>(
+    st: &mut RankState<M>,
+    ckpt: &TrainCheckpoint,
+    cfg: &DdpConfig,
+    rank: usize,
+    world: usize,
+    n_params: usize,
+    tracker: &MemoryTracker,
+) {
+    let flat = ckpt.params.flatten();
+    st.replica.params_mut().unflatten_from(&flat);
+    if cfg.zero {
+        st.zero_adam = Some(ZeroAdam::from_full_state(
+            n_params,
+            rank,
+            world,
+            cfg.adam,
+            Some(tracker.clone()),
+            &ckpt.adam.m,
+            &ckpt.adam.v,
+            ckpt.adam.t,
+        ));
+    } else {
+        let mut adam = Adam::new(st.replica.params(), cfg.adam, Some(tracker.clone()));
+        adam.restore_state(&ckpt.adam);
+        st.full_adam = Some(adam);
+    }
+    st.epoch = ckpt.epoch;
+    st.step_in_epoch = ckpt.step_in_epoch;
+    st.global_step = ckpt.global_step;
+    st.loss_acc = ckpt.loss_acc;
+    st.loss_count = ckpt.loss_count;
+    // Entries for completed epochs survive; the in-progress epoch reruns.
+    st.epoch_loss.truncate(ckpt.epoch as usize);
+}
+
+/// Runs the remaining epochs/steps until training completes or a fault
+/// interrupts it. On `Err`, `st` holds the state reached so far and the
+/// caller owns recovery.
+#[allow(clippy::too_many_arguments)]
+fn run_until_done<M: GnnModel + Clone>(
+    st: &mut RankState<M>,
+    comm: &mut Communicator,
+    cfg: &DdpConfig,
+    train: &Dataset,
+    normalizer: &Normalizer,
+    tracker: &MemoryTracker,
+    launch_rank: usize,
+    io_retries: &mut usize,
+) -> Result<(), RankExit> {
+    while (st.epoch as usize) < cfg.epochs {
+        let order = epoch_order(train.len(), cfg.seed, st.epoch);
+        let world = comm.world();
+        let steps_per_epoch = train.len() / (world * cfg.batch_size);
+        assert!(
+            steps_per_epoch > 0,
+            "training set of {} graphs is smaller than one global batch of {}",
+            train.len(),
+            world * cfg.batch_size
+        );
+        while (st.step_in_epoch as usize) < steps_per_epoch {
+            // Injected faults fire at step boundaries, keyed by launch
+            // rank so a plan means the same thing after re-forms.
+            match cfg.fault_plan.check(launch_rank, st.global_step) {
+                Some(FaultKind::Kill) => {
+                    comm.mark_failed();
+                    return Err(RankExit::Killed);
+                }
+                Some(FaultKind::Delay(d)) => std::thread::sleep(d),
+                Some(FaultKind::IoError) | None => {} // I/O handled at fetch below
+            }
+
+            let step = st.step_in_epoch as usize;
+            let base = step * world * cfg.batch_size + comm.rank() * cfg.batch_size;
+            // Shard fetch with bounded-backoff retry of transient I/O
+            // errors; the injector fails the first read attempt the way
+            // a flaky shard-store read would.
+            let mut attempt = 0usize;
+            let samples: Vec<&Sample> = loop {
+                if attempt == 0
+                    && matches!(
+                        cfg.fault_plan.check(launch_rank, st.global_step),
+                        Some(FaultKind::IoError)
+                    )
+                {
+                    attempt += 1;
+                    *io_retries += 1;
+                    std::thread::sleep(BACKOFF_BASE);
+                    continue;
+                }
+                break order[base..base + cfg.batch_size]
+                    .iter()
+                    .map(|&i| train.sample(i))
+                    .collect();
+            };
+            let (batch, targets) = collate(&samples, normalizer);
+            let mut outcome = train_step(
+                &st.replica,
+                &batch,
+                &targets,
+                &cfg.loss,
+                cfg.checkpointing,
+                Some(tracker),
+            );
+            if let Some(max_norm) = cfg.grad_clip {
+                let _ = clip_grad_norm(&mut outcome.grads, max_norm);
+            }
+            let lr = cfg.schedule.lr(cfg.base_lr, st.global_step as usize);
+
+            let mut flat = flatten_tensors(&outcome.grads);
+            let flat_bytes = (flat.len() * 4) as u64;
+            tracker.alloc(MemoryCategory::Gradients, flat_bytes);
+            let step_result: Result<(), CommError> = (|| {
+                if let Some(zero) = st.zero_adam.as_mut() {
+                    let mut params = st.replica.params().flatten().to_vec();
+                    zero.step(comm, &mut params, &flat, lr)?;
+                    let flat_t = Tensor::from_vec(params.len(), params).expect("flat params");
+                    st.replica.params_mut().unflatten_from(&flat_t);
+                } else {
+                    match cfg.bucket_size {
+                        Some(bucket) if bucket > 0 => {
+                            for chunk in flat.chunks_mut(bucket) {
+                                comm.all_reduce_mean(chunk)?;
+                            }
+                        }
+                        _ => comm.all_reduce_mean(&mut flat)?,
+                    }
+                    let grads = unflatten_like(&flat, &outcome.grads);
+                    st.full_adam.as_mut().expect("full adam").step(
+                        st.replica.params_mut(),
+                        &grads,
+                        lr,
+                    );
+                }
+                Ok(())
+            })();
+            tracker.free(MemoryCategory::Gradients, flat_bytes);
+            step_result?;
+
+            st.loss_acc += outcome.loss;
+            st.loss_count += 1;
+            st.step_in_epoch += 1;
+            st.global_step += 1;
+
+            if let Some(dir) = &cfg.checkpoint_dir {
+                if cfg.checkpoint_every > 0
+                    && st.global_step.is_multiple_of(cfg.checkpoint_every as u64)
+                {
+                    // World-independent optimizer state: gather ZeRO
+                    // shards (a collective — every rank participates).
+                    let adam_state = if let Some(zero) = st.zero_adam.as_ref() {
+                        let (m, v, t) = zero.gather_state(comm)?;
+                        AdamState { m, v, t }
+                    } else {
+                        st.full_adam.as_ref().expect("full adam").export_state()
+                    };
+                    if comm.rank() == 0 {
+                        let ckpt = TrainCheckpoint {
+                            epoch: st.epoch,
+                            step_in_epoch: st.step_in_epoch,
+                            global_step: st.global_step,
+                            seed: cfg.seed,
+                            loss_acc: st.loss_acc,
+                            loss_count: st.loss_count,
+                            params: st.replica.params().clone(),
+                            adam: adam_state,
+                            normalizer: *normalizer,
+                        };
+                        // Best-effort durability: training proceeds even
+                        // if one checkpoint write fails.
+                        let _ = ckpt.save(dir.join(TrainCheckpoint::file_name(st.global_step)));
+                    }
+                }
+            }
+        }
+        // Average the epoch loss across ranks.
+        let mut l = vec![(st.loss_acc / st.loss_count.max(1) as f64) as f32];
+        comm.all_reduce_mean(&mut l)?;
+        st.epoch_loss.push(l[0] as f64);
+        st.loss_acc = 0.0;
+        st.loss_count = 0;
+        st.step_in_epoch = 0;
+        st.epoch += 1;
+    }
+    Ok(())
+}
+
 /// Trains `model` with DDP semantics across `cfg.world` simulated ranks;
-/// on return `model` holds rank 0's (synchronized) final parameters.
+/// on return `model` holds the lowest surviving rank's (synchronized)
+/// final parameters.
 ///
 /// Steps per epoch are `len / (world × batch_size)` (remainder dropped so
-/// every rank takes the same number of collective calls).
+/// every rank takes the same number of collective calls; recomputed after
+/// an elastic re-form).
 ///
 /// # Panics
 ///
-/// Panics if the training set is smaller than one global batch.
+/// Panics if the training set is smaller than one global batch, or if no
+/// rank survives to finish training (every rank killed or out of
+/// recovery budget).
 pub fn train_ddp<M>(
     model: &mut M,
     train: &Dataset,
@@ -168,139 +481,206 @@ where
 {
     let world = cfg.world;
     let global_batch = world * cfg.batch_size;
-    let steps_per_epoch = train.len() / global_batch;
     assert!(
-        steps_per_epoch > 0,
+        train.len() / global_batch > 0,
         "training set of {} graphs is smaller than one global batch of {global_batch}",
         train.len()
     );
 
-    let comms = Communicator::create(world, cfg.cost);
+    let comms = Communicator::create_with_timeout(world, cfg.cost, cfg.comm_timeout);
     let proto = model.clone();
     let n_params = proto.params().n_scalars();
 
     struct RankOutcome<M> {
         stats: RankStats,
         epoch_loss: Vec<f64>,
+        final_world: usize,
+        steps: u64,
         model: Option<M>,
     }
 
     let outcomes: Vec<RankOutcome<M>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for mut comm in comms {
-            let mut replica = proto.clone();
+        for comm in comms {
+            let proto = &proto;
             let train = &train;
             handles.push(scope.spawn(move || {
-                let rank = comm.rank();
+                let launch_rank = comm.rank();
                 let tracker = MemoryTracker::new();
-                tracker.alloc(MemoryCategory::Weights, replica.params().bytes());
-                let mut full_adam = (!cfg.zero).then(|| {
-                    Adam::new(replica.params(), cfg.adam, Some(tracker.clone()))
-                });
-                let mut zero_adam = cfg.zero.then(|| {
-                    ZeroAdam::new(n_params, rank, cfg.world, cfg.adam, Some(tracker.clone()))
-                });
-
-                let start = Instant::now();
-                let mut epoch_loss = Vec::with_capacity(cfg.epochs);
-                let mut step_idx = 0usize;
-                for epoch in 0..cfg.epochs {
-                    // Identical shuffled order on every rank.
-                    let mut order: Vec<usize> = (0..train.len()).collect();
-                    let shuffle = cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9);
-                    order.shuffle(&mut StdRng::seed_from_u64(shuffle));
-                    let mut loss_acc = 0.0f64;
-
-                    for step in 0..steps_per_epoch {
-                        let base = step * cfg.world * cfg.batch_size + rank * cfg.batch_size;
-                        let samples: Vec<&Sample> = order[base..base + cfg.batch_size]
-                            .iter()
-                            .map(|&i| train.sample(i))
-                            .collect();
-                        let (batch, targets) = collate(&samples, normalizer);
-                        let mut outcome = train_step(
-                            &replica,
-                            &batch,
-                            &targets,
-                            &cfg.loss,
-                            cfg.checkpointing,
-                            Some(&tracker),
-                        );
-                        if let Some(max_norm) = cfg.grad_clip {
-                            let _ = clip_grad_norm(&mut outcome.grads, max_norm);
-                        }
-                        loss_acc += outcome.loss;
-                        let lr = cfg.schedule.lr(cfg.base_lr, step_idx);
-
-                        let mut flat = flatten_tensors(&outcome.grads);
-                        let flat_bytes = (flat.len() * 4) as u64;
-                        tracker.alloc(MemoryCategory::Gradients, flat_bytes);
-                        if let Some(zero) = zero_adam.as_mut() {
-                            let mut params = replica.params().flatten().to_vec();
-                            zero.step(&mut comm, &mut params, &flat, lr);
-                            let flat_t =
-                                Tensor::from_vec(params.len(), params).expect("flat params");
-                            replica.params_mut().unflatten_from(&flat_t);
-                        } else {
-                            match cfg.bucket_size {
-                                Some(bucket) if bucket > 0 => {
-                                    for chunk in flat.chunks_mut(bucket) {
-                                        comm.all_reduce_mean(chunk);
-                                    }
-                                }
-                                _ => comm.all_reduce_mean(&mut flat),
-                            }
-                            let grads = unflatten_like(&flat, &outcome.grads);
-                            full_adam.as_mut().expect("full adam").step(
-                                replica.params_mut(),
-                                &grads,
-                                lr,
+                tracker.alloc(MemoryCategory::Weights, proto.params().bytes());
+                let mut st = fresh_state(proto, cfg, launch_rank, cfg.world, n_params, &tracker);
+                if cfg.resume {
+                    if let Some(dir) = &cfg.checkpoint_dir {
+                        if let Some((_, ckpt)) = latest_in(dir) {
+                            restore_state(
+                                &mut st,
+                                &ckpt,
+                                cfg,
+                                launch_rank,
+                                cfg.world,
+                                n_params,
+                                &tracker,
                             );
                         }
-                        tracker.free(MemoryCategory::Gradients, flat_bytes);
-                        step_idx += 1;
                     }
-                    // Average the epoch loss across ranks.
-                    let mut l = vec![(loss_acc / steps_per_epoch as f64) as f32];
-                    comm.all_reduce_mean(&mut l);
-                    epoch_loss.push(l[0] as f64);
+                }
+
+                let start = Instant::now();
+                let mut recoveries = 0usize;
+                let mut io_retries = 0usize;
+                let mut killed = false;
+                let mut survived = true;
+                // `split_survivors` consumes the communicator, so hold it
+                // in an Option and keep the last traffic snapshot in case
+                // re-forming fails and the communicator is lost.
+                let mut comm = Some(comm);
+                let mut last_stats;
+                let mut last_world;
+                loop {
+                    let c = comm.as_mut().expect("live communicator");
+                    let res = run_until_done(
+                        &mut st,
+                        c,
+                        cfg,
+                        train,
+                        normalizer,
+                        &tracker,
+                        launch_rank,
+                        &mut io_retries,
+                    );
+                    last_stats = c.stats();
+                    last_world = c.world();
+                    match res {
+                        Ok(()) => break,
+                        Err(RankExit::Killed) => {
+                            killed = true;
+                            survived = false;
+                            break;
+                        }
+                        Err(RankExit::Comm(_)) => {
+                            recoveries += 1;
+                            if recoveries > cfg.max_recoveries {
+                                survived = false;
+                                break;
+                            }
+                            // Bounded exponential backoff before re-forming.
+                            std::thread::sleep(
+                                BACKOFF_BASE * (1 << (recoveries - 1).min(4)) as u32,
+                            );
+                            let old = comm.take().expect("live communicator");
+                            match old.split_survivors(cfg.comm_timeout * 4) {
+                                Ok(c) => comm = Some(c),
+                                Err(_) => {
+                                    survived = false;
+                                    break;
+                                }
+                            }
+                            let c = comm.as_ref().expect("re-formed communicator");
+                            // Reload the newest durable state; without a
+                            // checkpoint dir, training restarts cleanly.
+                            match cfg.checkpoint_dir.as_ref().and_then(latest_in) {
+                                Some((_, ckpt)) => restore_state(
+                                    &mut st,
+                                    &ckpt,
+                                    cfg,
+                                    c.rank(),
+                                    c.world(),
+                                    n_params,
+                                    &tracker,
+                                ),
+                                None => {
+                                    st = fresh_state(
+                                        proto,
+                                        cfg,
+                                        c.rank(),
+                                        c.world(),
+                                        n_params,
+                                        &tracker,
+                                    );
+                                }
+                            }
+                        }
+                    }
                 }
                 let wall = start.elapsed();
-                drop(full_adam);
-                drop(zero_adam);
+                if let Some(c) = &comm {
+                    last_stats = c.stats();
+                    last_world = c.world();
+                }
+                let steps = st.global_step;
+                let epoch_loss = std::mem::take(&mut st.epoch_loss);
+                let replica = st.replica.clone();
+                drop(st); // frees optimizer-state tracker bytes
 
                 RankOutcome {
                     stats: RankStats {
-                        rank,
+                        rank: launch_rank,
                         peak_total: tracker.peak_total(),
                         peak: tracker.at_peak(),
-                        comm: comm.stats(),
+                        comm: last_stats,
                         wall,
+                        killed,
+                        recoveries,
+                        io_retries,
                     },
                     epoch_loss,
-                    model: (rank == 0).then_some(replica),
+                    final_world: last_world,
+                    steps,
+                    model: survived.then_some(replica),
                 }
             }));
         }
-        let mut outs: Vec<RankOutcome<M>> =
-            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect();
+        let mut outs: Vec<RankOutcome<M>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect();
         outs.sort_by_key(|o| o.stats.rank);
         outs
     });
 
-    let epoch_loss = outcomes[0].epoch_loss.clone();
-    let wall = outcomes.iter().map(|o| o.stats.wall).max().unwrap_or_default();
+    let survivor = outcomes
+        .iter()
+        .find(|o| o.model.is_some())
+        .expect("no surviving rank finished training");
+    let epoch_loss = survivor.epoch_loss.clone();
+    let steps = survivor.steps as usize;
+    let final_world = survivor.final_world;
+    let wall = outcomes
+        .iter()
+        .map(|o| o.stats.wall)
+        .max()
+        .unwrap_or_default();
+    let recoveries = outcomes
+        .iter()
+        .map(|o| o.stats.recoveries)
+        .max()
+        .unwrap_or(0);
+    let failed_ranks: Vec<usize> = outcomes
+        .iter()
+        .filter(|o| o.stats.killed)
+        .map(|o| o.stats.rank)
+        .collect();
     let mut ranks = Vec::with_capacity(world);
     let mut final_model = None;
     for o in outcomes {
-        if let Some(m) = o.model {
-            final_model = Some(m);
+        if final_model.is_none() {
+            if let Some(m) = o.model {
+                final_model = Some(m);
+            }
         }
         ranks.push(o.stats);
     }
-    *model = final_model.expect("rank 0 model");
+    *model = final_model.expect("no surviving rank finished training");
 
-    DdpReport { epoch_loss, ranks, steps: cfg.epochs * steps_per_epoch, wall }
+    DdpReport {
+        epoch_loss,
+        ranks,
+        steps,
+        wall,
+        recoveries,
+        final_world,
+        failed_ranks,
+    }
 }
 
 #[cfg(test)]
@@ -329,7 +709,12 @@ mod tests {
     fn ddp_replicas_stay_synchronized_and_loss_decreases() {
         let (ds, norm) = data();
         let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(3));
-        let cfg = DdpConfig { world: 2, epochs: 8, batch_size: 4, ..Default::default() };
+        let cfg = DdpConfig {
+            world: 2,
+            epochs: 8,
+            batch_size: 4,
+            ..Default::default()
+        };
         let report = train_ddp(&mut model, &ds, &norm, &cfg);
         assert_eq!(report.epoch_loss.len(), 8);
         let tail = (report.epoch_loss[6] + report.epoch_loss[7]) / 2.0;
@@ -339,6 +724,9 @@ mod tests {
             report.epoch_loss
         );
         assert_eq!(report.ranks.len(), 2);
+        assert_eq!(report.recoveries, 0);
+        assert_eq!(report.final_world, 2);
+        assert!(report.failed_ranks.is_empty());
     }
 
     #[test]
@@ -394,7 +782,12 @@ mod tests {
     fn comm_traffic_recorded() {
         let (ds, norm) = data();
         let mut model = Egnn::new(EgnnConfig::new(8, 2));
-        let cfg = DdpConfig { world: 2, epochs: 1, batch_size: 4, ..Default::default() };
+        let cfg = DdpConfig {
+            world: 2,
+            epochs: 1,
+            batch_size: 4,
+            ..Default::default()
+        };
         let report = train_ddp(&mut model, &ds, &norm, &cfg);
         for r in &report.ranks {
             assert!(r.comm.bytes_moved > 0);
@@ -407,7 +800,12 @@ mod tests {
     fn world_one_runs() {
         let (ds, norm) = data();
         let mut model = Egnn::new(EgnnConfig::new(8, 2));
-        let cfg = DdpConfig { world: 1, epochs: 1, batch_size: 4, ..Default::default() };
+        let cfg = DdpConfig {
+            world: 1,
+            epochs: 1,
+            batch_size: 4,
+            ..Default::default()
+        };
         let report = train_ddp(&mut model, &ds, &norm, &cfg);
         assert_eq!(report.ranks.len(), 1);
         assert!(report.epoch_loss[0].is_finite());
@@ -431,7 +829,10 @@ mod tests {
         let (flat_params, flat_comm) = run(None);
         let (bucketed_params, bucketed_comm) = run(Some(500));
         // Same arithmetic, same order within each element → identical.
-        assert!(flat_params.allclose(&bucketed_params, 0.0), "bucketing changed results");
+        assert!(
+            flat_params.allclose(&bucketed_params, 0.0),
+            "bucketing changed results"
+        );
         // Bucketing means more collectives for the same bytes.
         assert!(bucketed_comm.collectives > flat_comm.collectives);
         assert!(bucketed_comm.modeled_seconds > flat_comm.modeled_seconds);
@@ -443,7 +844,51 @@ mod tests {
         let (ds, norm) = data();
         let small = ds.subsample_tb(0.1, 0); // few samples
         let mut model = Egnn::new(EgnnConfig::new(8, 2));
-        let cfg = DdpConfig { world: 4, epochs: 1, batch_size: 8, ..Default::default() };
+        let cfg = DdpConfig {
+            world: 4,
+            epochs: 1,
+            batch_size: 8,
+            ..Default::default()
+        };
         let _ = train_ddp(&mut model, &small, &norm, &cfg);
+    }
+
+    #[test]
+    fn injected_io_error_is_retried_transparently() {
+        let (ds, norm) = data();
+        let run = |plan: FaultPlan| {
+            let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(9));
+            let cfg = DdpConfig {
+                world: 2,
+                epochs: 1,
+                batch_size: 4,
+                fault_plan: plan,
+                ..Default::default()
+            };
+            let report = train_ddp(&mut model, &ds, &norm, &cfg);
+            (model.params().flatten(), report)
+        };
+        let (clean, _) = run(FaultPlan::none());
+        let (faulted, report) = run(FaultPlan::parse("io@rank1,step1").unwrap());
+        // A retried transient fetch error must not change the math.
+        assert!(clean.allclose(&faulted, 0.0), "io retry changed results");
+        assert_eq!(report.ranks[1].io_retries, 1);
+        assert_eq!(report.recoveries, 0);
+    }
+
+    #[test]
+    fn straggler_delay_within_timeout_is_harmless() {
+        let (ds, norm) = data();
+        let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(11));
+        let cfg = DdpConfig {
+            world: 2,
+            epochs: 1,
+            batch_size: 4,
+            fault_plan: FaultPlan::parse("delay@rank1,step1,30ms").unwrap(),
+            ..Default::default()
+        };
+        let report = train_ddp(&mut model, &ds, &norm, &cfg);
+        assert_eq!(report.recoveries, 0);
+        assert_eq!(report.final_world, 2);
     }
 }

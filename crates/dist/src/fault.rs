@@ -1,0 +1,287 @@
+//! Deterministic fault injection for the distributed runtime.
+//!
+//! A [`FaultPlan`] is a list of `(rank, step, kind)` events consulted by
+//! the DDP loop at every optimizer step. Plans are fully deterministic —
+//! either written out explicitly, parsed from the compact grammar below,
+//! or derived from a seed — so a chaotic run can be replayed exactly.
+//!
+//! # Grammar
+//!
+//! Events are `;`-separated; each is `kind@rank<r>,step<s>[,args]`:
+//!
+//! ```text
+//! kill@rank1,step3             kill rank 1 at global step 3
+//! delay@rank2,step5,50ms       rank 2 stalls 50 ms before step 5
+//! io@rank0,step2               rank 0's shard fetch fails once at step 2
+//! ```
+//!
+//! Durations accept `ms` or `s` suffixes. Steps are *global* optimizer
+//! steps (monotonic across epochs and across checkpoint resume), so a
+//! plan means the same thing whether or not the run was interrupted.
+
+use std::fmt;
+use std::str::FromStr;
+use std::time::Duration;
+
+/// What to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The rank dies: it poisons the group and stops participating.
+    Kill,
+    /// The rank stalls for the given duration (a straggler). If the
+    /// delay exceeds the collective timeout, peers observe a timeout.
+    Delay(Duration),
+    /// The rank's next shard fetch fails with a transient I/O error
+    /// (retried with backoff by the training loop).
+    IoError,
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Rank the fault applies to.
+    pub rank: usize,
+    /// Global optimizer step at which it fires.
+    pub step: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of injected faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+/// Error from [`FaultPlan::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlanParseError(String);
+
+impl fmt::Display for FaultPlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultPlanParseError {}
+
+fn parse_duration(s: &str) -> Result<Duration, FaultPlanParseError> {
+    let err = || FaultPlanParseError(format!("bad duration {s:?} (want e.g. 50ms or 2s)"));
+    if let Some(ms) = s.strip_suffix("ms") {
+        return ms
+            .parse::<u64>()
+            .map(Duration::from_millis)
+            .map_err(|_| err());
+    }
+    if let Some(sec) = s.strip_suffix('s') {
+        return sec
+            .parse::<u64>()
+            .map(Duration::from_secs)
+            .map_err(|_| err());
+    }
+    Err(err())
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from explicit events.
+    pub fn from_events(events: Vec<FaultEvent>) -> Self {
+        FaultPlan { events }
+    }
+
+    /// Derives a single deterministic kill from a seed: some rank other
+    /// than 0 dies at some step in `[1, max_step]`. Useful for chaos
+    /// sweeps where each trial should differ but stay replayable.
+    pub fn seeded_kill(seed: u64, world: usize, max_step: u64) -> Self {
+        // SplitMix64 — same generator the data pipeline uses for seeds.
+        let mix = |x: u64| {
+            let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let rank = if world > 1 {
+            1 + (mix(seed) as usize % (world - 1))
+        } else {
+            0
+        };
+        let step = 1 + mix(seed ^ 0xDEAD_BEEF) % max_step.max(1);
+        FaultPlan {
+            events: vec![FaultEvent {
+                rank,
+                step,
+                kind: FaultKind::Kill,
+            }],
+        }
+    }
+
+    /// Parses the `kind@rank<r>,step<s>[,args]` grammar (see module
+    /// docs). An empty string parses to the empty plan.
+    pub fn parse(text: &str) -> Result<Self, FaultPlanParseError> {
+        let mut events = Vec::new();
+        for part in text.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+            let (kind_str, rest) = part
+                .split_once('@')
+                .ok_or_else(|| FaultPlanParseError(format!("missing '@' in {part:?}")))?;
+            let fields: Vec<&str> = rest.split(',').map(str::trim).collect();
+            if fields.len() < 2 {
+                return Err(FaultPlanParseError(format!(
+                    "need rank<r>,step<s> in {part:?}"
+                )));
+            }
+            let rank = fields[0]
+                .strip_prefix("rank")
+                .and_then(|r| r.parse::<usize>().ok())
+                .ok_or_else(|| FaultPlanParseError(format!("bad rank field {:?}", fields[0])))?;
+            let step = fields[1]
+                .strip_prefix("step")
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| FaultPlanParseError(format!("bad step field {:?}", fields[1])))?;
+            let kind = match kind_str.trim() {
+                "kill" => FaultKind::Kill,
+                "delay" => {
+                    let dur = fields.get(2).ok_or_else(|| {
+                        FaultPlanParseError(format!("delay needs a duration in {part:?}"))
+                    })?;
+                    FaultKind::Delay(parse_duration(dur)?)
+                }
+                "io" => FaultKind::IoError,
+                other => {
+                    return Err(FaultPlanParseError(format!(
+                        "unknown fault kind {other:?} (want kill, delay, or io)"
+                    )))
+                }
+            };
+            events.push(FaultEvent { rank, step, kind });
+        }
+        Ok(FaultPlan { events })
+    }
+
+    /// The fault scheduled for `(rank, step)`, if any.
+    pub fn check(&self, rank: usize, step: u64) -> Option<FaultKind> {
+        self.events
+            .iter()
+            .find(|e| e.rank == rank && e.step == step)
+            .map(|e| e.kind)
+    }
+
+    /// All scheduled events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = FaultPlanParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FaultPlan::parse(s)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, ";")?;
+            }
+            match e.kind {
+                FaultKind::Kill => write!(f, "kill@rank{},step{}", e.rank, e.step)?,
+                FaultKind::Delay(d) => {
+                    write!(f, "delay@rank{},step{},{}ms", e.rank, e.step, d.as_millis())?
+                }
+                FaultKind::IoError => write!(f, "io@rank{},step{}", e.rank, e.step)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_kinds() {
+        let plan = FaultPlan::parse("kill@rank1,step3; delay@rank2,step5,50ms;io@rank0,step2")
+            .expect("valid plan");
+        assert_eq!(
+            plan.events(),
+            &[
+                FaultEvent {
+                    rank: 1,
+                    step: 3,
+                    kind: FaultKind::Kill
+                },
+                FaultEvent {
+                    rank: 2,
+                    step: 5,
+                    kind: FaultKind::Delay(Duration::from_millis(50))
+                },
+                FaultEvent {
+                    rank: 0,
+                    step: 2,
+                    kind: FaultKind::IoError
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let text = "kill@rank1,step3;delay@rank2,step5,50ms;io@rank0,step2";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.to_string(), text);
+        assert_eq!(text.parse::<FaultPlan>().unwrap(), plan);
+    }
+
+    #[test]
+    fn empty_plan_parses() {
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::none().check(0, 0).is_none());
+    }
+
+    #[test]
+    fn check_matches_rank_and_step() {
+        let plan = FaultPlan::parse("kill@rank1,step3").unwrap();
+        assert_eq!(plan.check(1, 3), Some(FaultKind::Kill));
+        assert_eq!(plan.check(1, 2), None);
+        assert_eq!(plan.check(0, 3), None);
+    }
+
+    #[test]
+    fn rejects_malformed_plans() {
+        for bad in [
+            "explode@rank1,step3",
+            "kill@rank1",
+            "kill@step3,rank1",
+            "delay@rank1,step2",
+            "delay@rank1,step2,fast",
+            "kill rank1 step3",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn seeded_kill_is_deterministic_and_avoids_rank0() {
+        for seed in 0..50u64 {
+            let a = FaultPlan::seeded_kill(seed, 4, 10);
+            let b = FaultPlan::seeded_kill(seed, 4, 10);
+            assert_eq!(a, b);
+            let e = a.events()[0];
+            assert!(e.rank >= 1 && e.rank < 4);
+            assert!(e.step >= 1 && e.step <= 10);
+            assert_eq!(e.kind, FaultKind::Kill);
+        }
+    }
+}

@@ -8,6 +8,13 @@
 //! **ZeRO-1** optimizer-state sharding are actually implemented — ZeRO is
 //! tested to produce bit-compatible parameters with replicated Adam.
 //!
+//! The runtime is fault-tolerant: every collective is timeout-bounded and
+//! returns [`Result`] (see [`CommError`]), a deterministic [`FaultPlan`]
+//! injects rank kills / stragglers / I/O errors, and [`train_ddp`]
+//! recovers from failures by re-forming a smaller group
+//! ([`Communicator::split_survivors`]) and resuming from the newest
+//! checkpoint.
+//!
 //! ```
 //! use matgnn_dist::{shard_range, Communicator, CostModel};
 //!
@@ -21,10 +28,14 @@
 
 mod collective;
 mod ddp;
+mod fault;
 mod table2;
 mod zero;
 
-pub use collective::{shard_range, CommStats, Communicator, CostModel};
+pub use collective::{
+    shard_range, CommError, CommStats, Communicator, CostModel, DEFAULT_COMM_TIMEOUT,
+};
 pub use ddp::{flatten_tensors, train_ddp, unflatten_like, DdpConfig, DdpReport, RankStats};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanParseError};
 pub use table2::{format_table2, run_memory_settings, MemorySetting, SettingProfile};
 pub use zero::ZeroAdam;

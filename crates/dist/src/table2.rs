@@ -89,7 +89,7 @@ where
     MemorySetting::ALL
         .iter()
         .map(|&setting| {
-            let mut cfg = *base;
+            let mut cfg = base.clone();
             setting.apply(&mut cfg);
             let mut replica = model.clone();
             let report = train_ddp(&mut replica, train, normalizer, &cfg);
@@ -139,7 +139,12 @@ mod tests {
         let ds = Dataset::generate_aggregate(32, 51, &GeneratorConfig::default());
         let norm = Normalizer::fit(&ds);
         let model = Egnn::new(EgnnConfig::new(16, 4));
-        let base = DdpConfig { world: 2, epochs: 1, batch_size: 4, ..Default::default() };
+        let base = DdpConfig {
+            world: 2,
+            epochs: 1,
+            batch_size: 4,
+            ..Default::default()
+        };
         let profiles = run_memory_settings(&model, &ds, &norm, &base);
         assert_eq!(profiles.len(), 3);
         assert!(

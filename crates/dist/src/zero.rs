@@ -18,7 +18,7 @@
 use matgnn_tensor::{MemoryCategory, MemoryTracker};
 use matgnn_train::{adam_update, AdamHyper};
 
-use crate::{shard_range, Communicator};
+use crate::{shard_range, CommError, Communicator};
 
 /// A ZeRO-1 sharded Adam optimizer for one rank.
 #[derive(Debug)]
@@ -79,6 +79,8 @@ impl ZeroAdam {
     /// update the owned shard of `flat_params`, all-gather the result.
     ///
     /// Every rank must call this collectively with equal-length buffers.
+    /// On a communication failure the optimizer state is unchanged except
+    /// for the timestep, which is only advanced on success.
     ///
     /// # Panics
     ///
@@ -89,13 +91,12 @@ impl ZeroAdam {
         flat_params: &mut Vec<f32>,
         flat_grads: &[f32],
         lr: f32,
-    ) {
+    ) -> Result<(), CommError> {
         assert_eq!(flat_params.len(), self.n_params, "param length changed");
         assert_eq!(flat_grads.len(), self.n_params, "grad length changed");
-        self.t += 1;
 
         // (1) Each rank receives the summed gradient of its shard.
-        let mut shard_grad = comm.reduce_scatter_sum(flat_grads);
+        let mut shard_grad = comm.reduce_scatter_sum(flat_grads)?;
         let inv = 1.0 / comm.world() as f32;
         shard_grad.iter_mut().for_each(|g| *g *= inv);
         if let Some(t) = &self.tracker {
@@ -103,6 +104,7 @@ impl ZeroAdam {
         }
 
         // (2) Update the owned parameter shard.
+        self.t += 1;
         adam_update(
             &mut flat_params[self.start..self.end],
             &shard_grad,
@@ -117,8 +119,53 @@ impl ZeroAdam {
         }
 
         // (3) Re-assemble the full parameter vector everywhere.
-        let gathered = comm.all_gather(&flat_params[self.start..self.end], self.n_params);
+        let gathered = comm.all_gather(&flat_params[self.start..self.end], self.n_params)?;
         *flat_params = gathered;
+        Ok(())
+    }
+
+    /// This rank's shard of the first/second Adam moments.
+    pub fn moments(&self) -> (&[f32], &[f32]) {
+        (&self.m, &self.v)
+    }
+
+    /// Collectively assembles the **full** (unsharded) moment vectors.
+    /// Used to checkpoint ZeRO state in a world-size-independent layout
+    /// so a run can resume with a different number of ranks.
+    pub fn gather_state(
+        &self,
+        comm: &mut Communicator,
+    ) -> Result<(Vec<f32>, Vec<f32>, u64), CommError> {
+        let m = comm.all_gather(&self.m, self.n_params)?;
+        let v = comm.all_gather(&self.v, self.n_params)?;
+        Ok((m, v, self.t))
+    }
+
+    /// Rebuilds a rank's shard from full moment vectors (the inverse of
+    /// [`gather_state`](Self::gather_state)), re-partitioned for a
+    /// possibly different `world` — the elastic-resume path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the moment vectors are not `n_params` long.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_full_state(
+        n_params: usize,
+        rank: usize,
+        world: usize,
+        hyper: AdamHyper,
+        tracker: Option<MemoryTracker>,
+        full_m: &[f32],
+        full_v: &[f32],
+        t: u64,
+    ) -> Self {
+        assert_eq!(full_m.len(), n_params, "first-moment length mismatch");
+        assert_eq!(full_v.len(), n_params, "second-moment length mismatch");
+        let mut me = Self::new(n_params, rank, world, hyper, tracker);
+        me.m.copy_from_slice(&full_m[me.start..me.end]);
+        me.v.copy_from_slice(&full_v[me.start..me.end]);
+        me.t = t;
+        me
     }
 }
 
@@ -142,7 +189,10 @@ mod tests {
     /// Reference: full (unsharded) Adam over the same flat problem.
     fn reference_adam(params: &[f32], grads_per_step: &[Vec<f32>], lr: f32) -> Vec<f32> {
         let mut set = ParamSet::new();
-        set.push("flat", Tensor::from_vec(params.len(), params.to_vec()).unwrap());
+        set.push(
+            "flat",
+            Tensor::from_vec(params.len(), params.to_vec()).unwrap(),
+        );
         let mut opt = Adam::new(&set, AdamHyper::default(), None);
         for g in grads_per_step {
             let gt = vec![Tensor::from_vec(g.len(), g.clone()).unwrap()];
@@ -159,14 +209,14 @@ mod tests {
         // Three steps of per-rank gradients; DDP semantics: the effective
         // gradient is the mean across ranks.
         let rank_grad = |step: usize, rank: usize| -> Vec<f32> {
-            (0..n).map(|i| ((i + step) as f32 * 0.11).cos() * (rank + 1) as f32).collect()
+            (0..n)
+                .map(|i| ((i + step) as f32 * 0.11).cos() * (rank + 1) as f32)
+                .collect()
         };
         let mean_grads: Vec<Vec<f32>> = (0..3)
             .map(|s| {
                 (0..n)
-                    .map(|i| {
-                        (0..world).map(|r| rank_grad(s, r)[i]).sum::<f32>() / world as f32
-                    })
+                    .map(|i| (0..world).map(|r| rank_grad(s, r)[i]).sum::<f32>() / world as f32)
                     .collect()
             })
             .collect();
@@ -179,12 +229,12 @@ mod tests {
                 let init = init.clone();
                 handles.push(scope.spawn(move || {
                     let rank = comm.rank();
-                    let mut zero =
-                        ZeroAdam::new(n, rank, world, AdamHyper::default(), None);
+                    let mut zero = ZeroAdam::new(n, rank, world, AdamHyper::default(), None);
                     let mut params = init;
                     for s in 0..3 {
                         let g = rank_grad(s, rank);
-                        zero.step(&mut comm, &mut params, &g, 0.01);
+                        zero.step(&mut comm, &mut params, &g, 0.01)
+                            .expect("healthy group");
                     }
                     params
                 }));
@@ -224,6 +274,41 @@ mod tests {
             assert_eq!(tracker.current().get(MemoryCategory::OptimizerState), 200);
         }
         assert_eq!(tracker.current().get(MemoryCategory::OptimizerState), 0);
+    }
+
+    #[test]
+    fn gathered_state_reshards_to_any_world() {
+        let n = 11;
+        let comms = Communicator::create(2, CostModel::default());
+        let full: Vec<(Vec<f32>, Vec<f32>, u64)> = thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for mut comm in comms {
+                handles.push(scope.spawn(move || {
+                    let rank = comm.rank();
+                    let mut zero = ZeroAdam::new(n, rank, 2, AdamHyper::default(), None);
+                    let mut params = vec![0.5f32; n];
+                    for s in 0..2 {
+                        let g: Vec<f32> =
+                            (0..n).map(|i| ((i * (s + 1)) as f32 * 0.1).sin()).collect();
+                        zero.step(&mut comm, &mut params, &g, 0.01).unwrap();
+                    }
+                    zero.gather_state(&mut comm).unwrap()
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Both ranks gathered identical full state.
+        assert_eq!(full[0], full[1]);
+        let (m, v, t) = &full[0];
+        assert_eq!(*t, 2);
+        // Resharding to world=3 slices the same full vectors.
+        for rank in 0..3 {
+            let z = ZeroAdam::from_full_state(n, rank, 3, AdamHyper::default(), None, m, v, *t);
+            let (s, e) = z.shard();
+            assert_eq!(z.moments().0, &m[s..e]);
+            assert_eq!(z.moments().1, &v[s..e]);
+            assert_eq!(z.timestep(), *t);
+        }
     }
 
     #[test]

@@ -1,0 +1,519 @@
+//! Versioned, integrity-checked training checkpoints.
+//!
+//! A [`TrainCheckpoint`] captures *everything* needed to continue a run
+//! bitwise-identically: model parameters, Adam moments and timestep, the
+//! LR-schedule position (global step), epoch/step counters, the shuffle
+//! seed (per-epoch orders are derived deterministically from it), the
+//! running loss accumulator, and the normalizer statistics.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! "MGTC" | u32 version | u32 n_sections
+//! per section:
+//!   u32 name_len | name | u32 crc32(payload) | u64 payload_len | payload
+//! ```
+//!
+//! Every section carries a CRC-32 (IEEE) of its payload, so a torn or
+//! bit-rotted file is detected at load rather than silently resuming from
+//! garbage. Writes are atomic: the blob goes to a `.tmp` sibling, is
+//! fsynced, and is renamed over the target (the directory is fsynced too),
+//! so a crash mid-write can never leave a half-checkpoint under the final
+//! name. [`latest_in`] scans a checkpoint directory and skips unreadable
+//! or corrupt entries, falling back to the newest intact one.
+
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use matgnn_data::Normalizer;
+use matgnn_model::checkpoint::{params_from_bytes, params_to_bytes, CheckpointError};
+use matgnn_model::ParamSet;
+
+use crate::optimizer::AdamState;
+
+const MAGIC: &[u8; 4] = b"MGTC";
+const VERSION: u32 = 1;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Error while reading or writing a [`TrainCheckpoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainCheckpointError {
+    /// The buffer does not start with the `MGTC` magic.
+    BadMagic,
+    /// The format version is unsupported.
+    BadVersion(u32),
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A section's stored CRC-32 disagrees with its payload.
+    CorruptSection {
+        /// Section name.
+        name: String,
+        /// CRC recorded in the file.
+        stored: u32,
+        /// CRC computed from the payload.
+        computed: u32,
+    },
+    /// A required section is absent.
+    MissingSection(&'static str),
+    /// The embedded parameter blob failed to parse.
+    Params(CheckpointError),
+    /// A filesystem error.
+    Io(String),
+}
+
+impl fmt::Display for TrainCheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainCheckpointError::BadMagic => write!(f, "not a train checkpoint (bad magic)"),
+            TrainCheckpointError::BadVersion(v) => {
+                write!(f, "unsupported train checkpoint version {v}")
+            }
+            TrainCheckpointError::Truncated => write!(f, "train checkpoint truncated"),
+            TrainCheckpointError::CorruptSection {
+                name,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "section {name:?} corrupt: stored crc {stored:#010x}, computed {computed:#010x}"
+            ),
+            TrainCheckpointError::MissingSection(name) => {
+                write!(f, "train checkpoint missing section {name:?}")
+            }
+            TrainCheckpointError::Params(e) => write!(f, "parameter section: {e}"),
+            TrainCheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainCheckpointError {}
+
+impl From<CheckpointError> for TrainCheckpointError {
+    fn from(e: CheckpointError) -> Self {
+        TrainCheckpointError::Params(e)
+    }
+}
+
+/// Full training state at an optimizer-step boundary.
+#[derive(Debug, Clone)]
+pub struct TrainCheckpoint {
+    /// Epoch in progress (0-based).
+    pub epoch: u64,
+    /// Optimizer steps completed within `epoch`.
+    pub step_in_epoch: u64,
+    /// Optimizer steps completed overall — the LR-schedule position.
+    pub global_step: u64,
+    /// Base shuffle seed; epoch orders derive deterministically from it.
+    pub seed: u64,
+    /// Sum of per-step losses accumulated so far in `epoch`.
+    pub loss_acc: f64,
+    /// Number of steps accumulated into `loss_acc`.
+    pub loss_count: u64,
+    /// Model parameters.
+    pub params: ParamSet,
+    /// Flattened Adam moments and timestep.
+    pub adam: AdamState,
+    /// Normalizer statistics the run was started with.
+    pub normalizer: Normalizer,
+}
+
+fn put_section(buf: &mut BytesMut, name: &str, payload: &[u8]) {
+    buf.put_u32(name.len() as u32);
+    buf.put_slice(name.as_bytes());
+    buf.put_u32(crc32(payload));
+    buf.put_u64(payload.len() as u64);
+    buf.put_slice(payload);
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), TrainCheckpointError> {
+    if buf.remaining() < n {
+        Err(TrainCheckpointError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn f32s_to_bytes(data: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 4);
+    for &v in data {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+    out
+}
+
+fn f32s_from_bytes(data: &[u8]) -> Result<Vec<f32>, TrainCheckpointError> {
+    if !data.len().is_multiple_of(4) {
+        return Err(TrainCheckpointError::Truncated);
+    }
+    Ok(data
+        .chunks_exact(4)
+        .map(|c| f32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+impl TrainCheckpoint {
+    /// Serializes to the `MGTC` container with per-section CRCs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut meta = BytesMut::new();
+        meta.put_u64(self.epoch);
+        meta.put_u64(self.step_in_epoch);
+        meta.put_u64(self.global_step);
+        meta.put_u64(self.seed);
+        meta.put_u64(self.adam.t);
+        meta.put_u64(self.loss_count);
+        meta.put_f64(self.loss_acc);
+
+        let mut norm = BytesMut::new();
+        norm.put_f64(self.normalizer.energy_mean);
+        norm.put_f64(self.normalizer.energy_std);
+        norm.put_f64(self.normalizer.force_std);
+        for &o in &self.normalizer.source_offset {
+            norm.put_f64(o);
+        }
+
+        let sections: [(&str, Vec<u8>); 5] = [
+            ("meta", meta.freeze().to_vec()),
+            ("params", params_to_bytes(&self.params).to_vec()),
+            ("adam_m", f32s_to_bytes(&self.adam.m)),
+            ("adam_v", f32s_to_bytes(&self.adam.v)),
+            ("normalizer", norm.freeze().to_vec()),
+        ];
+
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32(VERSION);
+        buf.put_u32(sections.len() as u32);
+        for (name, payload) in &sections {
+            put_section(&mut buf, name, payload);
+        }
+        buf.freeze().to_vec()
+    }
+
+    /// Parses and integrity-checks a serialized checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainCheckpointError`] on any malformed, truncated, or
+    /// CRC-failing input; never panics on untrusted bytes.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, TrainCheckpointError> {
+        let mut buf = Bytes::copy_from_slice(data);
+        need(&buf, 12)?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(TrainCheckpointError::BadMagic);
+        }
+        let version = buf.get_u32();
+        if version != VERSION {
+            return Err(TrainCheckpointError::BadVersion(version));
+        }
+        let n_sections = buf.get_u32() as usize;
+
+        let mut meta = None;
+        let mut params = None;
+        let mut adam_m = None;
+        let mut adam_v = None;
+        let mut normalizer = None;
+        for _ in 0..n_sections {
+            need(&buf, 4)?;
+            let name_len = buf.get_u32() as usize;
+            need(&buf, name_len)?;
+            let mut name_bytes = vec![0u8; name_len];
+            buf.copy_to_slice(&mut name_bytes);
+            let name = String::from_utf8_lossy(&name_bytes).into_owned();
+            need(&buf, 12)?;
+            let stored = buf.get_u32();
+            let payload_len = buf.get_u64() as usize;
+            need(&buf, payload_len)?;
+            let mut payload = vec![0u8; payload_len];
+            buf.copy_to_slice(&mut payload);
+            let computed = crc32(&payload);
+            if computed != stored {
+                return Err(TrainCheckpointError::CorruptSection {
+                    name,
+                    stored,
+                    computed,
+                });
+            }
+            match name.as_str() {
+                "meta" => meta = Some(payload),
+                "params" => params = Some(payload),
+                "adam_m" => adam_m = Some(payload),
+                "adam_v" => adam_v = Some(payload),
+                "normalizer" => normalizer = Some(payload),
+                _ => {} // unknown sections are skipped for forward compat
+            }
+        }
+
+        let meta = meta.ok_or(TrainCheckpointError::MissingSection("meta"))?;
+        if meta.len() != 7 * 8 {
+            return Err(TrainCheckpointError::Truncated);
+        }
+        let mut meta = Bytes::copy_from_slice(&meta);
+        let epoch = meta.get_u64();
+        let step_in_epoch = meta.get_u64();
+        let global_step = meta.get_u64();
+        let seed = meta.get_u64();
+        let adam_t = meta.get_u64();
+        let loss_count = meta.get_u64();
+        let loss_acc = meta.get_f64();
+
+        let params_blob = params.ok_or(TrainCheckpointError::MissingSection("params"))?;
+        let params = params_from_bytes(&params_blob)?;
+        let m = f32s_from_bytes(&adam_m.ok_or(TrainCheckpointError::MissingSection("adam_m"))?)?;
+        let v = f32s_from_bytes(&adam_v.ok_or(TrainCheckpointError::MissingSection("adam_v"))?)?;
+
+        let norm = normalizer.ok_or(TrainCheckpointError::MissingSection("normalizer"))?;
+        if norm.len() != 8 * 8 {
+            return Err(TrainCheckpointError::Truncated);
+        }
+        let mut norm = Bytes::copy_from_slice(&norm);
+        let energy_mean = norm.get_f64();
+        let energy_std = norm.get_f64();
+        let force_std = norm.get_f64();
+        let mut source_offset = [0.0f64; 5];
+        for o in &mut source_offset {
+            *o = norm.get_f64();
+        }
+
+        Ok(TrainCheckpoint {
+            epoch,
+            step_in_epoch,
+            global_step,
+            seed,
+            loss_acc,
+            loss_count,
+            params,
+            adam: AdamState { m, v, t: adam_t },
+            normalizer: Normalizer {
+                energy_mean,
+                energy_std,
+                force_std,
+                source_offset,
+            },
+        })
+    }
+
+    /// Atomically writes the checkpoint: serialize to `<path>.tmp`, fsync,
+    /// rename over `path`, fsync the directory. A crash at any point
+    /// leaves either the old checkpoint or the new one, never a torn file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainCheckpointError::Io`] on filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TrainCheckpointError> {
+        let path = path.as_ref();
+        let io = |e: std::io::Error| TrainCheckpointError::Io(e.to_string());
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp).map_err(io)?;
+            f.write_all(&self.to_bytes()).map_err(io)?;
+            f.sync_all().map_err(io)?;
+        }
+        fs::rename(&tmp, path).map_err(io)?;
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = fs::File::open(dir) {
+                // Directory fsync is advisory on some filesystems.
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads and validates a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainCheckpointError`] on filesystem or format errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TrainCheckpointError> {
+        let data = fs::read(path).map_err(|e| TrainCheckpointError::Io(e.to_string()))?;
+        Self::from_bytes(&data)
+    }
+
+    /// The canonical file name for a checkpoint at `global_step`.
+    pub fn file_name(global_step: u64) -> String {
+        format!("step-{global_step:08}.ckpt")
+    }
+}
+
+/// Finds the newest *intact* checkpoint in `dir`: candidates are
+/// `step-*.ckpt` files ordered by step; unreadable or corrupt ones are
+/// skipped (a torn write of the latest must not block recovery from the
+/// previous one). Returns `None` when the directory holds no loadable
+/// checkpoint (or does not exist).
+pub fn latest_in(dir: impl AsRef<Path>) -> Option<(PathBuf, TrainCheckpoint)> {
+    let mut candidates: Vec<(u64, PathBuf)> = fs::read_dir(dir.as_ref())
+        .ok()?
+        .flatten()
+        .filter_map(|entry| {
+            let path = entry.path();
+            let name = path.file_name()?.to_str()?;
+            let step = name
+                .strip_prefix("step-")?
+                .strip_suffix(".ckpt")?
+                .parse::<u64>()
+                .ok()?;
+            Some((step, path))
+        })
+        .collect();
+    candidates.sort_by_key(|(step, _)| std::cmp::Reverse(*step));
+    for (_, path) in candidates {
+        if let Ok(ckpt) = TrainCheckpoint::load(&path) {
+            return Some((path, ckpt));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matgnn_tensor::Tensor;
+
+    fn sample_checkpoint() -> TrainCheckpoint {
+        let mut params = ParamSet::new();
+        params.push(
+            "w",
+            Tensor::from_vec(3usize, vec![0.25, -1.5, 3.75]).unwrap(),
+        );
+        params.push("b", Tensor::from_vec(2usize, vec![0.125, 9.0]).unwrap());
+        TrainCheckpoint {
+            epoch: 2,
+            step_in_epoch: 7,
+            global_step: 23,
+            seed: 0xC0FFEE,
+            loss_acc: 1.625,
+            loss_count: 7,
+            params,
+            adam: AdamState {
+                m: vec![0.1, 0.2, 0.3, 0.4, 0.5],
+                v: vec![1.0; 5],
+                t: 23,
+            },
+            normalizer: Normalizer {
+                energy_mean: -1.25,
+                energy_std: 2.5,
+                force_std: 0.75,
+                source_offset: [0.1, 0.2, 0.3, 0.4, 0.5],
+            },
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard test vector for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let ckpt = sample_checkpoint();
+        let restored = TrainCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(restored.epoch, ckpt.epoch);
+        assert_eq!(restored.step_in_epoch, ckpt.step_in_epoch);
+        assert_eq!(restored.global_step, ckpt.global_step);
+        assert_eq!(restored.seed, ckpt.seed);
+        assert_eq!(restored.loss_acc.to_bits(), ckpt.loss_acc.to_bits());
+        assert_eq!(restored.loss_count, ckpt.loss_count);
+        assert_eq!(restored.adam, ckpt.adam);
+        for (a, b) in restored.params.iter().zip(ckpt.params.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.tensor.data(), b.tensor.data());
+        }
+        assert_eq!(restored.normalizer.energy_mean, ckpt.normalizer.energy_mean);
+        assert_eq!(
+            restored.normalizer.source_offset,
+            ckpt.normalizer.source_offset
+        );
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let bytes = sample_checkpoint().to_bytes();
+        // Flip one bit in every byte position past the header and verify
+        // nothing slips through as a silent success.
+        for pos in [20, bytes.len() / 2, bytes.len() - 1] {
+            let mut evil = bytes.clone();
+            evil[pos] ^= 0x10;
+            assert!(
+                TrainCheckpoint::from_bytes(&evil).is_err(),
+                "flip at {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample_checkpoint().to_bytes();
+        for cut in [0, 3, 11, bytes.len() / 3, bytes.len() - 1] {
+            assert!(
+                TrainCheckpoint::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_rejected() {
+        let mut bytes = sample_checkpoint().to_bytes();
+        assert_eq!(
+            TrainCheckpoint::from_bytes(b"XXXX\0\0\0\x01\0\0\0\0").unwrap_err(),
+            TrainCheckpointError::BadMagic
+        );
+        bytes[4..8].copy_from_slice(&9u32.to_be_bytes());
+        assert_eq!(
+            TrainCheckpoint::from_bytes(&bytes).unwrap_err(),
+            TrainCheckpointError::BadVersion(9)
+        );
+    }
+
+    #[test]
+    fn atomic_save_and_latest_selection() {
+        let dir = std::env::temp_dir().join(format!("matgnn_tc_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let mut ckpt = sample_checkpoint();
+        ckpt.global_step = 5;
+        ckpt.save(dir.join(TrainCheckpoint::file_name(5))).unwrap();
+        ckpt.global_step = 9;
+        ckpt.save(dir.join(TrainCheckpoint::file_name(9))).unwrap();
+        // The newest intact checkpoint wins.
+        let (path, latest) = latest_in(&dir).expect("checkpoints present");
+        assert_eq!(latest.global_step, 9);
+        assert!(path.ends_with("step-00000009.ckpt"));
+        // Corrupt the newest: recovery falls back to the previous one.
+        let mut raw = fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        fs::write(&path, raw).unwrap();
+        let (_, fallback) = latest_in(&dir).expect("older checkpoint still intact");
+        assert_eq!(fallback.global_step, 5);
+        // No tmp files left behind.
+        assert!(fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .all(|e| { e.path().extension().map(|x| x != "tmp").unwrap_or(true) }));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn latest_in_missing_dir_is_none() {
+        assert!(latest_in("/nonexistent/matgnn-ckpts").is_none());
+    }
+}

@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint_state;
 mod loss;
 mod noise_scale;
 mod optimizer;
@@ -29,9 +30,10 @@ mod schedule;
 mod step;
 mod trainer;
 
+pub use checkpoint_state::{crc32, latest_in, TrainCheckpoint, TrainCheckpointError};
 pub use loss::{LossConfig, LossKind};
 pub use noise_scale::{estimate_noise_scale, NoiseScaleEstimate};
-pub use optimizer::{adam_update, clip_grad_norm, Adam, AdamHyper, Optimizer, Sgd};
+pub use optimizer::{adam_update, clip_grad_norm, Adam, AdamHyper, AdamState, Optimizer, Sgd};
 pub use profile::{profile_step, profile_step_timed, StepProfile};
 pub use schedule::LrSchedule;
 pub use step::{checkpointed_step, train_step, vanilla_step, StepOutcome};

@@ -25,7 +25,12 @@ pub struct AdamHyper {
 
 impl Default for AdamHyper {
     fn default() -> Self {
-        AdamHyper { beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+        AdamHyper {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -92,11 +97,18 @@ impl Sgd {
     /// velocity buffers (and their memory cost).
     pub fn new(params: &ParamSet, momentum: f32, tracker: Option<MemoryTracker>) -> Self {
         let velocity = if momentum > 0.0 {
-            params.iter().map(|e| Tensor::zeros(e.tensor.shape().clone())).collect()
+            params
+                .iter()
+                .map(|e| Tensor::zeros(e.tensor.shape().clone()))
+                .collect()
         } else {
             Vec::new()
         };
-        let me = Sgd { momentum, velocity, tracker };
+        let me = Sgd {
+            momentum,
+            velocity,
+            tracker,
+        };
         if let Some(t) = &me.tracker {
             t.alloc(MemoryCategory::OptimizerState, me.state_bytes());
         }
@@ -149,10 +161,18 @@ impl Adam {
     /// Creates Adam state matching `params`' shapes, registering its two
     /// moment buffers (2× weight bytes) with the tracker.
     pub fn new(params: &ParamSet, hyper: AdamHyper, tracker: Option<MemoryTracker>) -> Self {
-        let m: Vec<Tensor> =
-            params.iter().map(|e| Tensor::zeros(e.tensor.shape().clone())).collect();
+        let m: Vec<Tensor> = params
+            .iter()
+            .map(|e| Tensor::zeros(e.tensor.shape().clone()))
+            .collect();
         let v = m.clone();
-        let me = Adam { hyper, m, v, t: 0, tracker };
+        let me = Adam {
+            hyper,
+            m,
+            v,
+            t: 0,
+            tracker,
+        };
         if let Some(t) = &me.tracker {
             t.alloc(MemoryCategory::OptimizerState, me.state_bytes());
         }
@@ -168,6 +188,52 @@ impl Adam {
     pub fn timestep(&self) -> u64 {
         self.t
     }
+
+    /// Snapshots the moment buffers (flattened in parameter order) and
+    /// timestep for checkpointing.
+    pub fn export_state(&self) -> AdamState {
+        let flatten = |ts: &[Tensor]| ts.iter().flat_map(|t| t.data().iter().copied()).collect();
+        AdamState {
+            m: flatten(&self.m),
+            v: flatten(&self.v),
+            t: self.t,
+        }
+    }
+
+    /// Restores moments and timestep from [`export_state`](Self::export_state)
+    /// output. Exact inverse: a restored optimizer continues bitwise
+    /// identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flattened state length does not match this
+    /// optimizer's parameter layout.
+    pub fn restore_state(&mut self, state: &AdamState) {
+        let unflatten = |ts: &mut [Tensor], flat: &[f32]| {
+            let total: usize = ts.iter().map(|t| t.numel()).sum();
+            assert_eq!(flat.len(), total, "adam state length mismatch");
+            let mut offset = 0;
+            for t in ts.iter_mut() {
+                let n = t.numel();
+                t.data_mut().copy_from_slice(&flat[offset..offset + n]);
+                offset += n;
+            }
+        };
+        unflatten(&mut self.m, &state.m);
+        unflatten(&mut self.v, &state.v);
+        self.t = state.t;
+    }
+}
+
+/// Flattened Adam moments and timestep, as stored in train checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// First moments, concatenated in parameter order.
+    pub m: Vec<f32>,
+    /// Second moments, concatenated in parameter order.
+    pub v: Vec<f32>,
+    /// Steps taken (1-based after the first step).
+    pub t: u64,
 }
 
 impl Optimizer for Adam {
@@ -188,7 +254,11 @@ impl Optimizer for Adam {
     }
 
     fn state_bytes(&self) -> u64 {
-        self.m.iter().chain(self.v.iter()).map(|t| t.bytes() as u64).sum()
+        self.m
+            .iter()
+            .chain(self.v.iter())
+            .map(|t| t.bytes() as u64)
+            .sum()
     }
 
     fn describe(&self) -> String {
@@ -290,7 +360,10 @@ mod tests {
     #[test]
     fn adamw_decays_weights() {
         let mut params = quadratic_params();
-        let hyper = AdamHyper { weight_decay: 0.5, ..Default::default() };
+        let hyper = AdamHyper {
+            weight_decay: 0.5,
+            ..Default::default()
+        };
         let mut opt = Adam::new(&params, hyper, None);
         // Zero gradient: only decay acts.
         let g = vec![Tensor::zeros(2usize)];

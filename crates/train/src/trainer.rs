@@ -3,6 +3,7 @@
 //! equivalent of the paper's HydraGNN training protocol (10 epochs, fixed
 //! test set, Sec. III-B).
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -12,7 +13,8 @@ use matgnn_model::GnnModel;
 use matgnn_tensor::Tape;
 
 use crate::{
-    clip_grad_norm, train_step, Adam, AdamHyper, LossConfig, LrSchedule, Optimizer,
+    clip_grad_norm, latest_in, train_step, Adam, AdamHyper, LossConfig, LrSchedule, Optimizer,
+    TrainCheckpoint,
 };
 
 /// Configuration of a training run.
@@ -130,17 +132,46 @@ impl TrainReport {
 #[derive(Debug, Clone, Default)]
 pub struct Trainer {
     config: TrainConfig,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: usize,
+    resume: bool,
 }
 
 impl Trainer {
     /// Creates a trainer with the given configuration.
     pub fn new(config: TrainConfig) -> Self {
-        Trainer { config }
+        Trainer {
+            config,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            resume: false,
+        }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &TrainConfig {
         &self.config
+    }
+
+    /// Enables durable training state: a versioned, CRC-protected
+    /// [`TrainCheckpoint`] is written atomically to `dir` every
+    /// `every_steps` optimizer steps (0 = only at epoch boundaries) and
+    /// at the end of every epoch.
+    pub fn with_checkpointing(mut self, dir: impl Into<PathBuf>, every_steps: usize) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self.checkpoint_every = every_steps;
+        self
+    }
+
+    /// Makes [`fit`](Self::fit) first restore the newest intact
+    /// checkpoint in the checkpoint directory (no-op when none exists).
+    /// A resumed run replays the exact shuffle order and optimizer
+    /// trajectory, so its loss curve is bitwise-identical to the
+    /// uninterrupted one. Early-stopping patience counters are **not**
+    /// checkpointed and restart on resume.
+    pub fn resume_latest(mut self) -> Self {
+        self.resume = true;
+        self
     }
 
     /// Trains `model` on `train`, optionally evaluating on `test` after
@@ -167,17 +198,49 @@ impl Trainer {
         let mut since_best = 0usize;
         let mut early_stopped = false;
 
-        for epoch in 0..cfg.epochs {
-            let mut epoch_loss = 0.0;
-            let mut n_batches = 0usize;
+        // Restore the newest durable state. A mid-epoch checkpoint lands
+        // on an optimizer-step boundary, so resuming means replaying the
+        // epoch's shuffle order and skipping the batches already consumed
+        // — the remaining trajectory is bitwise-identical to the
+        // uninterrupted run.
+        let mut start_epoch = 0usize;
+        let mut resume_skip = 0usize;
+        let mut resume_loss = 0.0f64;
+        let mut resume_step_in_epoch = 0usize;
+        if self.resume {
+            if let Some(dir) = &self.checkpoint_dir {
+                if let Some((_, ckpt)) = latest_in(dir) {
+                    model.params_mut().unflatten_from(&ckpt.params.flatten());
+                    optimizer.restore_state(&ckpt.adam);
+                    step = ckpt.global_step as usize;
+                    start_epoch = ckpt.epoch as usize;
+                    resume_skip = ckpt.loss_count as usize;
+                    resume_loss = ckpt.loss_acc;
+                    resume_step_in_epoch = ckpt.step_in_epoch as usize;
+                }
+            }
+        }
+        let steps_at_entry = step;
+
+        for epoch in start_epoch..cfg.epochs {
+            let resuming = epoch == start_epoch && resume_skip > 0;
+            let skip_batches = if resuming { resume_skip } else { 0 };
+            let mut epoch_loss = if resuming { resume_loss } else { 0.0 };
+            let mut n_batches = skip_batches;
+            let epoch_start_step = step
+                - if epoch == start_epoch {
+                    resume_step_in_epoch
+                } else {
+                    0
+                };
             let shuffle = cfg.seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9);
             let mut accum_buf: Option<Vec<matgnn_tensor::Tensor>> = None;
             let mut micro = 0usize;
             let flush = |buf: &mut Option<Vec<matgnn_tensor::Tensor>>,
-                             micro: &mut usize,
-                             model: &mut M,
-                             optimizer: &mut Adam,
-                             step: &mut usize| {
+                         micro: &mut usize,
+                         model: &mut M,
+                         optimizer: &mut Adam,
+                         step: &mut usize| {
                 let Some(mut grads) = buf.take() else { return };
                 if *micro > 1 {
                     let inv = 1.0 / *micro as f32;
@@ -195,15 +258,10 @@ impl Trainer {
             };
             for (batch, targets) in
                 BatchIterator::new(train, cfg.batch_size, Some(shuffle), *normalizer)
+                    .skip(skip_batches)
             {
-                let outcome = train_step(
-                    model,
-                    &batch,
-                    &targets,
-                    &cfg.loss,
-                    cfg.checkpointing,
-                    None,
-                );
+                let outcome =
+                    train_step(model, &batch, &targets, &cfg.loss, cfg.checkpointing, None);
                 epoch_loss += outcome.loss;
                 n_batches += 1;
                 match &mut accum_buf {
@@ -217,16 +275,55 @@ impl Trainer {
                 micro += 1;
                 if micro == accum {
                     flush(&mut accum_buf, &mut micro, model, &mut optimizer, &mut step);
+                    // Periodic checkpoints land on optimizer-step
+                    // boundaries, where no accumulation is in flight.
+                    if let Some(dir) = &self.checkpoint_dir {
+                        if self.checkpoint_every > 0 && step.is_multiple_of(self.checkpoint_every) {
+                            save_checkpoint(
+                                dir,
+                                epoch,
+                                step - epoch_start_step,
+                                step,
+                                cfg.seed,
+                                epoch_loss,
+                                n_batches,
+                                model,
+                                &optimizer,
+                                normalizer,
+                            );
+                        }
+                    }
                 }
             }
             // Flush a trailing partial accumulation at epoch end.
             flush(&mut accum_buf, &mut micro, model, &mut optimizer, &mut step);
 
             let train_loss = epoch_loss / n_batches.max(1) as f64;
-            let test_loss = test.map(|t| {
-                evaluate(model, t, normalizer, &cfg.loss, cfg.batch_size).loss
+            let test_loss =
+                test.map(|t| evaluate(model, t, normalizer, &cfg.loss, cfg.batch_size).loss);
+            epochs.push(EpochStats {
+                epoch,
+                train_loss,
+                test_loss,
             });
-            epochs.push(EpochStats { epoch, train_loss, test_loss });
+
+            // Epoch-boundary checkpoint: the next run starts cleanly at
+            // `epoch + 1` (same global step ⇒ same file name as a
+            // just-written periodic checkpoint, atomically replaced).
+            if let Some(dir) = &self.checkpoint_dir {
+                save_checkpoint(
+                    dir,
+                    epoch + 1,
+                    0,
+                    step,
+                    cfg.seed,
+                    0.0,
+                    0,
+                    model,
+                    &optimizer,
+                    normalizer,
+                );
+            }
 
             if let (Some(patience), Some(tl)) = (cfg.early_stop_patience, test_loss) {
                 if tl + 1e-12 < best_test {
@@ -242,10 +339,44 @@ impl Trainer {
             }
         }
 
-        let final_eval =
-            test.map(|t| evaluate(model, t, normalizer, &cfg.loss, cfg.batch_size));
-        TrainReport { epochs, final_eval, steps: step, wall: start.elapsed(), early_stopped }
+        let final_eval = test.map(|t| evaluate(model, t, normalizer, &cfg.loss, cfg.batch_size));
+        TrainReport {
+            epochs,
+            final_eval,
+            steps: step - steps_at_entry,
+            wall: start.elapsed(),
+            early_stopped,
+        }
     }
+}
+
+/// Writes one durable checkpoint (best-effort: training never stops
+/// because a checkpoint write failed).
+#[allow(clippy::too_many_arguments)]
+fn save_checkpoint<M: GnnModel>(
+    dir: &std::path::Path,
+    epoch: usize,
+    step_in_epoch: usize,
+    global_step: usize,
+    seed: u64,
+    loss_acc: f64,
+    loss_count: usize,
+    model: &M,
+    optimizer: &Adam,
+    normalizer: &Normalizer,
+) {
+    let ckpt = TrainCheckpoint {
+        epoch: epoch as u64,
+        step_in_epoch: step_in_epoch as u64,
+        global_step: global_step as u64,
+        seed,
+        loss_acc,
+        loss_count: loss_count as u64,
+        params: model.params().clone(),
+        adam: optimizer.export_state(),
+        normalizer: *normalizer,
+    };
+    let _ = ckpt.save(dir.join(TrainCheckpoint::file_name(global_step as u64)));
 }
 
 /// Evaluates `model` on `dataset` with frozen parameters.
@@ -331,7 +462,10 @@ pub fn evaluate_per_source<M: GnnModel + ?Sized>(
                 return None;
             }
             let sub = Dataset::from_samples(slice);
-            Some((kind, evaluate(model, &sub, normalizer, loss_cfg, batch_size)))
+            Some((
+                kind,
+                evaluate(model, &sub, normalizer, loss_cfg, batch_size),
+            ))
         })
         .collect()
 }
@@ -352,7 +486,12 @@ mod tests {
     fn training_reduces_loss() {
         let (train, test, norm) = small_data();
         let mut model = Egnn::new(EgnnConfig::new(12, 2).with_seed(1));
-        let cfg = TrainConfig { epochs: 6, batch_size: 8, base_lr: 5e-3, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 6,
+            batch_size: 8,
+            base_lr: 5e-3,
+            ..Default::default()
+        };
         let report = Trainer::new(cfg).fit(&mut model, &train, Some(&test), &norm);
         assert_eq!(report.epochs.len(), 6);
         let first = report.epochs[0].train_loss;
@@ -378,7 +517,10 @@ mod tests {
         let report = Trainer::new(cfg).fit(&mut model, &train, None, &norm);
         let first = report.epochs[0].train_loss;
         let last = report.epochs[1].train_loss;
-        assert!(last < first, "checkpointed training diverged: {first} → {last}");
+        assert!(
+            last < first,
+            "checkpointed training diverged: {first} → {last}"
+        );
     }
 
     #[test]
@@ -418,8 +560,16 @@ mod tests {
         let (train, _, norm) = small_data();
         let run = || {
             let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(3));
-            let cfg = TrainConfig { epochs: 2, batch_size: 8, seed: 9, ..Default::default() };
-            Trainer::new(cfg).fit(&mut model, &train, None, &norm).epochs[1].train_loss
+            let cfg = TrainConfig {
+                epochs: 2,
+                batch_size: 8,
+                seed: 9,
+                ..Default::default()
+            };
+            Trainer::new(cfg)
+                .fit(&mut model, &train, None, &norm)
+                .epochs[1]
+                .train_loss
         };
         assert_eq!(run(), run());
     }
@@ -428,21 +578,30 @@ mod tests {
     fn per_source_evaluation_covers_present_sources() {
         let (train, test, norm) = small_data();
         let mut model = Egnn::new(EgnnConfig::new(8, 2));
-        let _ = Trainer::new(TrainConfig { epochs: 2, batch_size: 8, ..Default::default() })
-            .fit(&mut model, &train, None, &norm);
+        let _ = Trainer::new(TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            ..Default::default()
+        })
+        .fit(&mut model, &train, None, &norm);
         let per_source = evaluate_per_source(&model, &test, &norm, &LossConfig::default(), 8);
         assert!(!per_source.is_empty());
         for (kind, m) in &per_source {
             assert!(m.loss.is_finite(), "{kind} loss");
-            let n_in_test =
-                test.samples().iter().filter(|s| s.source == *kind).count();
+            let n_in_test = test.samples().iter().filter(|s| s.source == *kind).count();
             assert!(n_in_test > 0, "{kind} reported but absent");
         }
         // The overall loss is bracketed by the per-source extremes.
         let overall = evaluate(&model, &test, &norm, &LossConfig::default(), 8).loss;
-        let min = per_source.iter().map(|(_, m)| m.loss).fold(f64::INFINITY, f64::min);
+        let min = per_source
+            .iter()
+            .map(|(_, m)| m.loss)
+            .fold(f64::INFINITY, f64::min);
         let max = per_source.iter().map(|(_, m)| m.loss).fold(0.0, f64::max);
-        assert!(overall >= min * 0.99 && overall <= max * 1.01, "{min} ≤ {overall} ≤ {max}");
+        assert!(
+            overall >= min * 0.99 && overall <= max * 1.01,
+            "{min} ≤ {overall} ≤ {max}"
+        );
     }
 
     #[test]
@@ -466,7 +625,10 @@ mod tests {
         assert_eq!(accum.steps, 4 * batches_per_epoch.div_ceil(3));
         let last = accum.epochs.last().expect("epochs").train_loss;
         let first = accum.epochs[0].train_loss;
-        assert!(last < first, "accumulated training diverged: {first} → {last}");
+        assert!(
+            last < first,
+            "accumulated training diverged: {first} → {last}"
+        );
     }
 
     #[test]
@@ -483,7 +645,11 @@ mod tests {
         };
         let report = Trainer::new(cfg).fit(&mut model, &train, Some(&test), &norm);
         assert!(report.early_stopped);
-        assert!(report.epochs.len() <= 4, "ran {} epochs", report.epochs.len());
+        assert!(
+            report.epochs.len() <= 4,
+            "ran {} epochs",
+            report.epochs.len()
+        );
     }
 
     #[test]
@@ -500,6 +666,115 @@ mod tests {
         let report = Trainer::new(cfg).fit(&mut model, &train, None, &norm);
         assert!(!report.early_stopped);
         assert_eq!(report.epochs.len(), 3);
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("matgnn_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn resume_is_bitwise_identical_to_uninterrupted_run() {
+        let (train, _, norm) = small_data();
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            seed: 5,
+            ..Default::default()
+        };
+
+        let mut reference = Egnn::new(EgnnConfig::new(8, 2).with_seed(4));
+        let ref_report = Trainer::new(cfg).fit(&mut reference, &train, None, &norm);
+
+        // Interrupted run: 2 epochs with checkpointing, then a resumed
+        // trainer — seeded differently to prove the parameters really
+        // come from the checkpoint, not from construction.
+        let dir = ckpt_dir("resume");
+        let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(4));
+        let half = TrainConfig { epochs: 2, ..cfg };
+        let _ = Trainer::new(half)
+            .with_checkpointing(&dir, 1)
+            .fit(&mut model, &train, None, &norm);
+        let mut resumed = Egnn::new(EgnnConfig::new(8, 2).with_seed(99));
+        let report = Trainer::new(cfg)
+            .with_checkpointing(&dir, 1)
+            .resume_latest()
+            .fit(&mut resumed, &train, None, &norm);
+
+        assert_eq!(report.epochs.len(), 2, "resume should run epochs 2..4");
+        for (i, e) in report.epochs.iter().enumerate() {
+            assert_eq!(e.epoch, 2 + i);
+            assert_eq!(
+                e.train_loss.to_bits(),
+                ref_report.epochs[2 + i].train_loss.to_bits(),
+                "epoch {} loss differs after resume",
+                e.epoch
+            );
+        }
+        assert!(
+            reference
+                .params()
+                .flatten()
+                .allclose(&resumed.params().flatten(), 0.0),
+            "resumed parameters diverged from the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_epoch_resume_is_bitwise_identical() {
+        let (train, _, norm) = small_data();
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            seed: 11,
+            ..Default::default()
+        };
+
+        let mut reference = Egnn::new(EgnnConfig::new(8, 2).with_seed(6));
+        let ref_report = Trainer::new(cfg).fit(&mut reference, &train, None, &norm);
+
+        // Full run checkpointing every step, then a directory holding
+        // only a checkpoint from the middle of epoch 0 — as if the
+        // process died right after writing it.
+        let dir = ckpt_dir("midep");
+        let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(6));
+        let _ = Trainer::new(cfg)
+            .with_checkpointing(&dir, 1)
+            .fit(&mut model, &train, None, &norm);
+        let crash_dir = ckpt_dir("midep_crash");
+        let mid = TrainCheckpoint::file_name(1); // step 1 of 3 in epoch 0
+        std::fs::copy(dir.join(&mid), crash_dir.join(&mid)).unwrap();
+        let (_, ckpt) = latest_in(&crash_dir).expect("mid-epoch checkpoint");
+        assert_eq!(ckpt.epoch, 0);
+        assert!(ckpt.step_in_epoch > 0, "not a mid-epoch checkpoint");
+
+        let mut resumed = Egnn::new(EgnnConfig::new(8, 2).with_seed(77));
+        let report = Trainer::new(cfg)
+            .with_checkpointing(&crash_dir, 1)
+            .resume_latest()
+            .fit(&mut resumed, &train, None, &norm);
+
+        assert_eq!(report.epochs.len(), 2, "resume replays the torn epoch");
+        for (e, r) in report.epochs.iter().zip(&ref_report.epochs) {
+            assert_eq!(
+                e.train_loss.to_bits(),
+                r.train_loss.to_bits(),
+                "epoch {} loss differs after mid-epoch resume",
+                e.epoch
+            );
+        }
+        assert!(
+            reference
+                .params()
+                .flatten()
+                .allclose(&resumed.params().flatten(), 0.0),
+            "mid-epoch resumed parameters diverged"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&crash_dir);
     }
 
     #[test]

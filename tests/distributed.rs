@@ -16,7 +16,12 @@ fn ddp_world_sizes_all_converge() {
     let (ds, norm) = data();
     for world in [1, 2, 4] {
         let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(1));
-        let cfg = DdpConfig { world, epochs: 4, batch_size: 4, ..Default::default() };
+        let cfg = DdpConfig {
+            world,
+            epochs: 4,
+            batch_size: 4,
+            ..Default::default()
+        };
         let report = matgnn::dist::train_ddp(&mut model, &ds, &norm, &cfg);
         let first = report.epoch_loss[0];
         let last = report.epoch_loss[3];
@@ -33,7 +38,13 @@ fn zero_and_replicated_adam_agree_through_full_pipeline() {
     let (ds, norm) = data();
     let run = |zero: bool| {
         let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(9));
-        let cfg = DdpConfig { world: 4, epochs: 2, batch_size: 2, zero, ..Default::default() };
+        let cfg = DdpConfig {
+            world: 4,
+            epochs: 2,
+            batch_size: 2,
+            zero,
+            ..Default::default()
+        };
         let _ = matgnn::dist::train_ddp(&mut model, &ds, &norm, &cfg);
         model.params().flatten()
     };
@@ -52,7 +63,12 @@ fn memory_matrix_reproduces_table2_shape() {
     // must not be free (time per step does not improve materially).
     let (ds, norm) = data();
     let model = Egnn::new(EgnnConfig::with_target_params(20_000, 4));
-    let base = DdpConfig { world: 4, epochs: 1, batch_size: 2, ..Default::default() };
+    let base = DdpConfig {
+        world: 4,
+        epochs: 1,
+        batch_size: 2,
+        ..Default::default()
+    };
     let profiles = run_memory_settings(&model, &ds, &norm, &base);
     assert!(profiles[1].peak_total < profiles[0].peak_total);
     assert!(profiles[2].peak_total < profiles[1].peak_total);
@@ -83,7 +99,12 @@ fn ranks_can_train_from_the_distributed_store() {
 
     let recovered = Dataset::from_samples(all);
     let mut model = Egnn::new(EgnnConfig::new(8, 2));
-    let cfg = DdpConfig { world: 2, epochs: 1, batch_size: 4, ..Default::default() };
+    let cfg = DdpConfig {
+        world: 2,
+        epochs: 1,
+        batch_size: 4,
+        ..Default::default()
+    };
     let report = matgnn::dist::train_ddp(&mut model, &recovered, &norm, &cfg);
     assert!(report.epoch_loss[0].is_finite());
 }
@@ -105,11 +126,10 @@ fn collectives_compose_with_model_flattening() {
         comms
             .into_iter()
             .map(|mut comm| {
-                let mine: Vec<f32> =
-                    flat.iter().map(|&g| g * (comm.rank() + 1) as f32).collect();
+                let mine: Vec<f32> = flat.iter().map(|&g| g * (comm.rank() + 1) as f32).collect();
                 scope.spawn(move || {
                     let mut v = mine;
-                    comm.all_reduce_mean(&mut v);
+                    comm.all_reduce_mean(&mut v).expect("healthy group");
                     v
                 })
             })
