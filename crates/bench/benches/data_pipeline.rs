@@ -29,9 +29,13 @@ fn bench_shard_roundtrip(c: &mut Criterion) {
     let gen = GeneratorConfig::default();
     let ds = Dataset::generate_aggregate(64, 3, &gen);
     let refs: Vec<&Sample> = ds.samples().iter().collect();
-    group.bench_function("encode_64_graphs", |b| b.iter(|| black_box(Shard::encode(&refs))));
+    group.bench_function("encode_64_graphs", |b| {
+        b.iter(|| black_box(Shard::encode(&refs)))
+    });
     let shard = Shard::encode(&refs);
-    group.bench_function("decode_64_graphs", |b| b.iter(|| black_box(shard.decode().unwrap())));
+    group.bench_function("decode_64_graphs", |b| {
+        b.iter(|| black_box(shard.decode().unwrap()))
+    });
     group.finish();
 }
 
@@ -52,5 +56,10 @@ fn bench_collate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_generation, bench_shard_roundtrip, bench_collate);
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_shard_roundtrip,
+    bench_collate
+);
 criterion_main!(benches);

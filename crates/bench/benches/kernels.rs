@@ -70,5 +70,10 @@ fn bench_neighbor_list(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_gather_scatter, bench_neighbor_list);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_gather_scatter,
+    bench_neighbor_list
+);
 criterion_main!(benches);

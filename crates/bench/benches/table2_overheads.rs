@@ -47,7 +47,10 @@ fn bench_optimizer_variants(c: &mut Criterion) {
         let mut opt = Adam::new(m.params(), AdamHyper::default(), None);
         let gt = matgnn::dist::unflatten_like(
             &grads,
-            &m.params().iter().map(|e| e.tensor.clone()).collect::<Vec<_>>(),
+            &m.params()
+                .iter()
+                .map(|e| e.tensor.clone())
+                .collect::<Vec<_>>(),
         );
         b.iter(|| {
             opt.step(m.params_mut(), &gt, 1e-3);
@@ -64,8 +67,7 @@ fn bench_optimizer_variants(c: &mut Criterion) {
                 for mut comm in comms {
                     let grads = grads.clone();
                     handles.push(scope.spawn(move || {
-                        let mut zero =
-                            ZeroAdam::new(n, comm.rank(), 4, AdamHyper::default(), None);
+                        let mut zero = ZeroAdam::new(n, comm.rank(), 4, AdamHyper::default(), None);
                         let mut params = vec![0.5f32; n];
                         zero.step(&mut comm, &mut params, &grads, 1e-3);
                         black_box(params[0])

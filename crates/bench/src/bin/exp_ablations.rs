@@ -15,7 +15,10 @@ use matgnn_bench::{banner, csv_row, RunMode};
 fn main() {
     let mode = RunMode::from_args();
     let cfg = mode.experiment_config();
-    banner("Ablations: residual updates, edge gate, LR schedule, architecture", mode);
+    banner(
+        "Ablations: residual updates, edge gate, LR schedule, architecture",
+        mode,
+    );
 
     let results = run_ablations(&cfg);
     println!(
@@ -126,6 +129,10 @@ fn main() {
         "  warmup-cosine vs constant LR: {:.4} vs {:.4} ({})",
         sched.test_loss,
         konst.test_loss,
-        if sched.test_loss <= konst.test_loss * 1.02 { "LLM schedule competitive ✓" } else { "constant wins here" }
+        if sched.test_loss <= konst.test_loss * 1.02 {
+            "LLM schedule competitive ✓"
+        } else {
+            "constant wins here"
+        }
     );
 }

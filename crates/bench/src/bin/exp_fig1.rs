@@ -10,13 +10,19 @@ use matgnn_bench::{banner, csv_row, RunMode};
 
 fn main() {
     let mode = RunMode::from_args();
-    banner("Fig. 1: model-size vs dataset-size landscape of atomistic GNNs", mode);
+    banner(
+        "Fig. 1: model-size vs dataset-size landscape of atomistic GNNs",
+        mode,
+    );
 
     let entries = landscape();
     println!("\n{}", format_landscape(&entries));
     csv_row(&["name,year,params,data_bytes,this_work".to_string()]);
     for e in &entries {
-        csv_row(&[format!("{},{},{},{},{}", e.name, e.year, e.params, e.data_bytes, e.this_work)]);
+        csv_row(&[format!(
+            "{},{},{},{},{}",
+            e.name, e.year, e.params, e.data_bytes, e.this_work
+        )]);
     }
 
     // A coarse log-log scatter so the figure's geometry is visible in a

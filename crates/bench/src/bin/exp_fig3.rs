@@ -36,7 +36,10 @@ fn main() {
         for &tb in &grid.tb_points {
             let p = grid.point(size, tb).expect("grid point");
             print!(" {:>10.4}", p.test_loss);
-            csv.push(format!("{},{},{},{}", p.paper_params, p.actual_params, tb, p.test_loss));
+            csv.push(format!(
+                "{},{},{},{}",
+                p.paper_params, p.actual_params, tb, p.test_loss
+            ));
         }
         println!();
     }
@@ -54,7 +57,10 @@ fn main() {
                 fit.equation(),
                 fit.r2
             ),
-            None => println!("  {:>7}: fit unavailable (needs ≥3 model sizes)", format_tb(tb)),
+            None => println!(
+                "  {:>7}: fit unavailable (needs ≥3 model sizes)",
+                format_tb(tb)
+            ),
         }
     }
 

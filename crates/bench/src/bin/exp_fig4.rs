@@ -39,7 +39,10 @@ fn main() {
         for &size in &grid.model_sizes {
             let p = grid.point(size, tb).expect("grid point");
             print!(" {:>10.4}", p.test_loss);
-            csv.push(format!("{},{},{},{}", tb, p.paper_params, p.actual_params, p.test_loss));
+            csv.push(format!(
+                "{},{},{},{}",
+                tb, p.paper_params, p.actual_params, p.test_loss
+            ));
         }
         println!();
     }
@@ -52,7 +55,9 @@ fn main() {
     for &size in &grid.model_sizes {
         match grid.fit_data_scaling(size) {
             Some(fit) => println!("  {:>8} actual: {}", size, fit.equation()),
-            None => println!("  {size:>8} actual: fit needs ≥3 stratified TB points — run with --full"),
+            None => {
+                println!("  {size:>8} actual: fit needs ≥3 stratified TB points — run with --full")
+            }
         }
     }
 
@@ -64,8 +69,7 @@ fn main() {
     println!("\nper-source cost of the biased 0.1 TB subset (vs equal-size stratified):");
     {
         let gen = cfg.generator();
-        let aggregate =
-            Dataset::generate_aggregate(cfg.units.aggregate_graphs(), cfg.seed, &gen);
+        let aggregate = Dataset::generate_aggregate(cfg.units.aggregate_graphs(), cfg.seed, &gen);
         let (train_full, test) = aggregate.split_test(cfg.test_fraction, cfg.seed ^ 0xBEEF);
         let normalizer = Normalizer::fit(&train_full);
         let biased = train_full.subsample_tb(0.1, cfg.seed ^ 0xDA7A);
@@ -74,13 +78,18 @@ fn main() {
         let (stratified, _) = train_full.split_test(1.0 - keep_frac, cfg.seed ^ 0x57A7);
         let size = *cfg.model_sizes.last().expect("sizes");
         let train_one = |subset: &Dataset| {
-            let mut model = Egnn::new(
-                EgnnConfig::with_target_params(size, cfg.n_layers).with_seed(cfg.seed),
-            );
+            let mut model =
+                Egnn::new(EgnnConfig::with_target_params(size, cfg.n_layers).with_seed(cfg.seed));
             let steps = subset.len().div_ceil(cfg.batch_size);
             let trainer = Trainer::new(cfg.train_config(steps));
             let _ = trainer.fit(&mut model, subset, None, &normalizer);
-            evaluate_per_source(&model, &test, &normalizer, &trainer.config().loss, cfg.batch_size)
+            evaluate_per_source(
+                &model,
+                &test,
+                &normalizer,
+                &trainer.config().loss,
+                cfg.batch_size,
+            )
         };
         let on_biased = train_one(&biased);
         let on_stratified = train_one(&stratified);
@@ -99,7 +108,10 @@ fn main() {
                 s.loss,
                 ratio
             );
-            if matches!(kind, matgnn::data::SourceKind::Ani1x | matgnn::data::SourceKind::Qm7x) {
+            if matches!(
+                kind,
+                matgnn::data::SourceKind::Ani1x | matgnn::data::SourceKind::Qm7x
+            ) {
                 organic_ratios.push(ratio);
             } else {
                 other_ratios.push(ratio);
@@ -119,8 +131,10 @@ fn main() {
     }
 
     println!("\nshape checks vs paper (Sec. IV-B):");
-    let has_cliff_tb =
-        grid.tb_points.iter().any(|&tb| tb <= matgnn::data::BIASED_TB_THRESHOLD + 1e-9);
+    let has_cliff_tb = grid
+        .tb_points
+        .iter()
+        .any(|&tb| tb <= matgnn::data::BIASED_TB_THRESHOLD + 1e-9);
     for (paper_params, series) in grid.series_by_size() {
         let first = series.first().expect("points");
         let last = series.last().expect("points");
@@ -131,7 +145,11 @@ fn main() {
             format_tb(first.0),
             last.1,
             format_tb(last.0),
-            if last.1 < first.1 { "more data helps" } else { "no improvement" }
+            if last.1 < first.1 {
+                "more data helps"
+            } else {
+                "no improvement"
+            }
         );
         if has_cliff_tb && series.len() >= 2 {
             // The biased 0.1TB point should sit above the next point by a
@@ -139,7 +157,10 @@ fn main() {
             let drop01 = series[0].1 - series[1].1;
             let later_drops: Vec<f64> =
                 series.windows(2).skip(1).map(|w| w[0].1 - w[1].1).collect();
-            let max_later = later_drops.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let max_later = later_drops
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
             println!(
                 "           0.1→{} drop {:.4} vs largest later drop {:.4} ({})",
                 format_tb(series[1].0),

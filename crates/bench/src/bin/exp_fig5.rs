@@ -48,17 +48,27 @@ fn main() {
     }
 
     println!("\nshape checks vs paper (Sec. IV-C):");
-    let width: Vec<_> = points.iter().filter(|p| p.kind == SweepKind::Width).collect();
+    let width: Vec<_> = points
+        .iter()
+        .filter(|p| p.kind == SweepKind::Width)
+        .collect();
     let w_first = width.first().expect("width points").test_loss;
     let w_last = width.last().expect("width points").test_loss;
     println!(
         "  width: loss {:.4} → {:.4} across the sweep ({})",
         w_first,
         w_last,
-        if w_last < w_first { "wider is better ✓" } else { "width did not help ✗" }
+        if w_last < w_first {
+            "wider is better ✓"
+        } else {
+            "width did not help ✗"
+        }
     );
 
-    let depth: Vec<_> = points.iter().filter(|p| p.kind == SweepKind::Depth).collect();
+    let depth: Vec<_> = points
+        .iter()
+        .filter(|p| p.kind == SweepKind::Depth)
+        .collect();
     let best_depth = depth
         .iter()
         .min_by(|a, b| a.test_loss.partial_cmp(&b.test_loss).expect("finite"))

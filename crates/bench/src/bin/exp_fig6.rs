@@ -37,9 +37,17 @@ fn main() {
     let ds = Dataset::generate_aggregate(n_graphs, cfg.seed, &cfg.generator());
     let norm = Normalizer::fit(&ds);
     let model = Egnn::new(EgnnConfig::with_target_params(mem_params, 5).with_seed(cfg.seed));
-    println!("model: {} | simulated node: {world} ranks\n", model.describe());
+    println!(
+        "model: {} | simulated node: {world} ranks\n",
+        model.describe()
+    );
 
-    let base = DdpConfig { world, epochs: 1, batch_size: per_rank_batch, ..Default::default() };
+    let base = DdpConfig {
+        world,
+        epochs: 1,
+        batch_size: per_rank_batch,
+        ..Default::default()
+    };
     let profiles = run_memory_settings(&model, &ds, &norm, &base);
     csv_row(&["setting,category,bytes,fraction".to_string()]);
 
@@ -60,7 +68,13 @@ fn main() {
                 100.0 * frac,
                 bar
             );
-            csv_row(&[format!("{:?},{},{},{:.4}", p.setting, cat.label(), bytes, frac)]);
+            csv_row(&[format!(
+                "{:?},{},{},{:.4}",
+                p.setting,
+                cat.label(),
+                bytes,
+                frac
+            )]);
         }
         println!();
     }

@@ -15,7 +15,10 @@ use matgnn_bench::{banner, csv_row, RunMode};
 fn main() {
     let mode = RunMode::from_args();
     let cfg = mode.experiment_config();
-    banner("Gradient noise scale: critical batch size for GNN training", mode);
+    banner(
+        "Gradient noise scale: critical batch size for GNN training",
+        mode,
+    );
 
     let gen = cfg.generator();
     let n_graphs = cfg.units.aggregate_graphs();
@@ -72,7 +75,11 @@ fn main() {
             est.b_simple,
             100.0 * est.efficiency_at(8),
             100.0 * est.sample_efficiency_at(8),
-            if est.is_reliable() { "" } else { "   (unreliable: sampling error > batch effect)" }
+            if est.is_reliable() {
+                ""
+            } else {
+                "   (unreliable: sampling error > batch effect)"
+            }
         );
         csv_row(&[format!(
             "{},{:.6e},{:.6e},{:.3},{:.4},{:.4},{}",

@@ -42,12 +42,21 @@ fn main() {
     println!("\n* measured ranks are time-sliced on one CPU core — flat by construction.");
 
     println!("\nshape checks vs HydraGNN-GFM's claim:");
-    let ok = points.windows(2).all(|w| w[1].modeled_graphs_per_s > w[0].modeled_graphs_per_s);
+    let ok = points
+        .windows(2)
+        .all(|w| w[1].modeled_graphs_per_s > w[0].modeled_graphs_per_s);
     let eff8 = points.last().expect("points").modeled_efficiency;
-    println!("  modeled throughput increases with ranks: {}", if ok { "✓" } else { "✗" });
+    println!(
+        "  modeled throughput increases with ranks: {}",
+        if ok { "✓" } else { "✗" }
+    );
     println!(
         "  modeled efficiency at 8 ranks: {:.0}% ({})",
         100.0 * eff8,
-        if eff8 > 0.7 { "near-linear ✓" } else { "communication-bound at this model size" }
+        if eff8 > 0.7 {
+            "near-linear ✓"
+        } else {
+            "communication-bound at this model size"
+        }
     );
 }

@@ -15,7 +15,10 @@ use matgnn_bench::{banner, csv_row, RunMode};
 fn main() {
     let mode = RunMode::from_args();
     let cfg = mode.experiment_config();
-    banner("Table I: summary of the data sources of the aggregated dataset", mode);
+    banner(
+        "Table I: summary of the data sources of the aggregated dataset",
+        mode,
+    );
 
     let n_graphs = cfg.units.aggregate_graphs();
     println!("\ngenerating synthetic aggregate of {n_graphs} graphs (≡ 1.2 paper-TB)…\n");
@@ -39,8 +42,10 @@ fn main() {
         "Size"
     );
     println!("{}", "-".repeat(120));
-    csv_row(&["source,nodes,edges,graphs,bytes,paper_nodes,paper_edges,paper_graphs,paper_bytes"
-        .to_string()]);
+    csv_row(&[
+        "source,nodes,edges,graphs,bytes,paper_nodes,paper_edges,paper_graphs,paper_bytes"
+            .to_string(),
+    ]);
     for (kind, s) in &stats.per_source {
         println!(
             "{:<12} | {:>9} {:>11} {:>9} {:>10} | {:>13} {:>15} {:>11} {:>7}GB",
@@ -81,11 +86,19 @@ fn main() {
     // Shape checks mirrored from the paper's table.
     println!("\nshape checks vs paper:");
     let share = |k: SourceKind| {
-        let ours = stats.per_source.iter().find(|(kk, _)| *kk == k).expect("source").1;
+        let ours = stats
+            .per_source
+            .iter()
+            .find(|(kk, _)| *kk == k)
+            .expect("source")
+            .1;
         (
             ours.graphs as f64 / total.graphs as f64,
             k.paper_graphs() as f64
-                / SourceKind::ALL.iter().map(|s| s.paper_graphs() as f64).sum::<f64>(),
+                / SourceKind::ALL
+                    .iter()
+                    .map(|s| s.paper_graphs() as f64)
+                    .sum::<f64>(),
         )
     };
     for k in SourceKind::ALL {
@@ -98,6 +111,9 @@ fn main() {
         );
     }
     let (oc_ours, _) = share(SourceKind::Oc2020);
-    assert!(oc_ours > 0.4, "OC2020 must dominate the aggregate as in the paper");
+    assert!(
+        oc_ours > 0.4,
+        "OC2020 must dominate the aggregate as in the paper"
+    );
     println!("\n✓ per-source graph proportions match Table I by construction");
 }

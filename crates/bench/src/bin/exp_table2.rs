@@ -15,7 +15,10 @@ use matgnn_bench::{banner, csv_row, RunMode};
 fn main() {
     let mode = RunMode::from_args();
     let cfg = mode.experiment_config();
-    banner("Table II: peak-memory reduction and training-time overhead", mode);
+    banner(
+        "Table II: peak-memory reduction and training-time overhead",
+        mode,
+    );
 
     // The paper profiles a *weight-heavy* regime (billions of parameters,
     // moderate per-GPU batch), where optimizer states are the second
@@ -33,17 +36,22 @@ fn main() {
     let ds = Dataset::generate_aggregate(n_graphs, cfg.seed, &cfg.generator());
     let norm = Normalizer::fit(&ds);
     let model = Egnn::new(EgnnConfig::with_target_params(mem_params, 5).with_seed(cfg.seed));
-    println!("model: {} | simulated node: {world} ranks\n", model.describe());
+    println!(
+        "model: {} | simulated node: {world} ranks\n",
+        model.describe()
+    );
 
-    let base = DdpConfig { world, epochs: 1, batch_size: per_rank_batch, ..Default::default() };
+    let base = DdpConfig {
+        world,
+        epochs: 1,
+        batch_size: per_rank_batch,
+        ..Default::default()
+    };
     let profiles = run_memory_settings(&model, &ds, &norm, &base);
 
     println!("{}", format_table2(&profiles));
     println!("paper reference:");
-    println!(
-        "{:<30} {:>20} {:>22}",
-        "Vanilla PyTorch", "100%", "100%"
-    );
+    println!("{:<30} {:>20} {:>22}", "Vanilla PyTorch", "100%", "100%");
     println!(
         "{:<30} {:>20} {:>22}",
         "+ Activation Checkpointing", "42%", "110%"
@@ -73,14 +81,22 @@ fn main() {
         100.0 * mem(0),
         100.0 * mem(1),
         100.0 * mem(2),
-        if mem(1) < mem(0) && mem(2) < mem(1) { "✓" } else { "✗" }
+        if mem(1) < mem(0) && mem(2) < mem(1) {
+            "✓"
+        } else {
+            "✗"
+        }
     );
     println!(
         "  time overhead non-negative: {:.0}% → {:.0}% → {:.0}%  {}",
         100.0 * time(0),
         100.0 * time(1),
         100.0 * time(2),
-        if time(1) >= 0.95 && time(2) >= time(1) * 0.95 { "✓" } else { "✗ (timing noise)" }
+        if time(1) >= 0.95 && time(2) >= time(1) * 0.95 {
+            "✓"
+        } else {
+            "✗ (timing noise)"
+        }
     );
     println!(
         "  (absolute percentages depend on the substrate; the paper's shape is\n   lower-memory-for-more-time, which the rows above exhibit)"

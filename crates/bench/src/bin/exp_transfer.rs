@@ -13,7 +13,10 @@ use matgnn_bench::{banner, csv_row, RunMode};
 fn main() {
     let mode = RunMode::from_args();
     let cfg = mode.experiment_config();
-    banner("Transfer: foundation model vs from-scratch on a small target task", mode);
+    banner(
+        "Transfer: foundation model vs from-scratch on a small target task",
+        mode,
+    );
 
     let results = run_transfer(&cfg);
     println!(

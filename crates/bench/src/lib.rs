@@ -62,7 +62,10 @@ impl RunMode {
 pub fn banner(title: &str, mode: RunMode) {
     println!("==============================================================");
     println!("{title}");
-    println!("mode: {} (pass --full for the paper-shaped run)", mode.label());
+    println!(
+        "mode: {} (pass --full for the paper-shaped run)",
+        mode.label()
+    );
     println!("==============================================================");
 }
 

@@ -148,7 +148,10 @@ impl Dataset {
             // Source-ordered prefix for the biased share…
             let mut ordered: Vec<&Sample> = self.samples.iter().collect();
             ordered.sort_by_key(|s| {
-                SourceKind::ALL.iter().position(|&k| k == s.source).unwrap_or(usize::MAX)
+                SourceKind::ALL
+                    .iter()
+                    .position(|&k| k == s.source)
+                    .unwrap_or(usize::MAX)
             });
             let n_biased = ((n_take as f64) * BIASED_ORDERED_SHARE).round() as usize;
             let mut samples: Vec<Sample> =
@@ -168,8 +171,7 @@ impl Dataset {
                     .filter(|&i| self.samples[i].source == kind)
                     .collect();
                 idx.shuffle(&mut rng);
-                let share =
-                    ((idx.len() as f64) * tb / FULL_TB).round() as usize;
+                let share = ((idx.len() as f64) * tb / FULL_TB).round() as usize;
                 for &i in idx.iter().take(share.min(idx.len())) {
                     out.push(self.samples[i].clone());
                 }
@@ -278,8 +280,15 @@ pub struct Normalizer {
 
 impl Normalizer {
     fn fit_impl(dataset: &Dataset, per_source: bool) -> Self {
-        assert!(!dataset.is_empty(), "cannot fit normalizer on empty dataset");
-        let epa: Vec<f64> = dataset.samples().iter().map(|s| s.energy_per_atom()).collect();
+        assert!(
+            !dataset.is_empty(),
+            "cannot fit normalizer on empty dataset"
+        );
+        let epa: Vec<f64> = dataset
+            .samples()
+            .iter()
+            .map(|s| s.energy_per_atom())
+            .collect();
         let mean = epa.iter().sum::<f64>() / epa.len() as f64;
         let mut source_offset = [0.0f64; 5];
         if per_source {
@@ -300,7 +309,10 @@ impl Normalizer {
             .samples()
             .iter()
             .map(|s| {
-                let si = SourceKind::ALL.iter().position(|&k| k == s.source).unwrap_or(0);
+                let si = SourceKind::ALL
+                    .iter()
+                    .position(|&k| k == s.source)
+                    .unwrap_or(0);
                 let e = s.energy_per_atom() - mean - source_offset[si];
                 e * e
             })
@@ -352,7 +364,10 @@ impl Normalizer {
     /// Normalizes a total energy, removing the per-source offset if this
     /// normalizer was fitted with [`fit_per_source`](Normalizer::fit_per_source).
     pub fn normalize_energy_for(&self, energy: f64, n_atoms: usize, source: SourceKind) -> f64 {
-        let si = SourceKind::ALL.iter().position(|&k| k == source).unwrap_or(0);
+        let si = SourceKind::ALL
+            .iter()
+            .position(|&k| k == source)
+            .unwrap_or(0);
         (energy / n_atoms.max(1) as f64 - self.energy_mean - self.source_offset[si])
             / self.energy_std
     }
@@ -369,7 +384,10 @@ impl Normalizer {
         n_atoms: usize,
         source: SourceKind,
     ) -> f64 {
-        let si = SourceKind::ALL.iter().position(|&k| k == source).unwrap_or(0);
+        let si = SourceKind::ALL
+            .iter()
+            .position(|&k| k == source)
+            .unwrap_or(0);
         (normalized * self.energy_std + self.energy_mean + self.source_offset[si])
             * n_atoms.max(1) as f64
     }
@@ -403,9 +421,16 @@ mod tests {
     fn aggregate_proportions_follow_table1() {
         let ds = small_aggregate();
         let counts = ds.source_counts();
-        let oc20 = counts.iter().find(|(k, _)| *k == SourceKind::Oc2020).unwrap().1;
+        let oc20 = counts
+            .iter()
+            .find(|(k, _)| *k == SourceKind::Oc2020)
+            .unwrap()
+            .1;
         // OC2020 holds ~52% of graphs.
-        assert!((oc20 as f64 / 60.0 - 0.52).abs() < 0.1, "oc20 share {oc20}/60");
+        assert!(
+            (oc20 as f64 / 60.0 - 0.52).abs() < 0.1,
+            "oc20 share {oc20}/60"
+        );
         let total: usize = counts.iter().map(|(_, c)| c).sum();
         assert_eq!(total, 60);
     }
@@ -417,7 +442,11 @@ mod tests {
         assert_eq!(train.len() + test.len(), ds.len());
         // Test set should contain several sources, not just one.
         let nonzero = test.source_counts().iter().filter(|(_, c)| *c > 0).count();
-        assert!(nonzero >= 3, "test split not stratified: {:?}", test.source_counts());
+        assert!(
+            nonzero >= 3,
+            "test split not stratified: {:?}",
+            test.source_counts()
+        );
     }
 
     #[test]
@@ -435,10 +464,18 @@ mod tests {
         let sub = ds.subsample_tb(0.1, 1);
         // 0.1/1.2 of 240 = 20 samples; the ordered share is all ANI1x-like.
         assert_eq!(sub.len(), 20);
-        let ani = sub.samples().iter().filter(|s| s.source == SourceKind::Ani1x).count();
+        let ani = sub
+            .samples()
+            .iter()
+            .filter(|s| s.source == SourceKind::Ani1x)
+            .count();
         // ANI1x holds only ~12% of the aggregate but ≥ the ordered share
         // of the biased subset.
-        assert!(ani as f64 >= 0.6 * sub.len() as f64 - 1.0, "ani share {ani}/{}", sub.len());
+        assert!(
+            ani as f64 >= 0.6 * sub.len() as f64 - 1.0,
+            "ani share {ani}/{}",
+            sub.len()
+        );
         // The stratified top-up must make it NOT purely organic on
         // average: at least the subset is deterministic.
         let again = ds.subsample_tb(0.1, 1);

@@ -88,7 +88,13 @@ impl<'a> BatchIterator<'a> {
         if let Some(seed) = shuffle_seed {
             order.shuffle(&mut StdRng::seed_from_u64(seed));
         }
-        BatchIterator { dataset, order, batch_size, pos: 0, normalizer }
+        BatchIterator {
+            dataset,
+            order,
+            batch_size,
+            pos: 0,
+            normalizer,
+        }
     }
 
     /// Number of batches this iterator will yield.
@@ -105,8 +111,10 @@ impl Iterator for BatchIterator<'_> {
             return None;
         }
         let end = (self.pos + self.batch_size).min(self.order.len());
-        let samples: Vec<&Sample> =
-            self.order[self.pos..end].iter().map(|&i| self.dataset.sample(i)).collect();
+        let samples: Vec<&Sample> = self.order[self.pos..end]
+            .iter()
+            .map(|&i| self.dataset.sample(i))
+            .collect();
         self.pos = end;
         Some(collate(&samples, &self.normalizer))
     }

@@ -131,7 +131,8 @@ impl SourceKind {
 
     /// Generates `n` labelled samples from this source.
     pub fn generate(self, n: usize, seed: u64, cfg: &GeneratorConfig) -> Vec<Sample> {
-        let mut rng = StdRng::seed_from_u64(seed ^ (self as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (self as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         (0..n).map(|_| self.generate_one(&mut rng, cfg)).collect()
     }
 
@@ -165,12 +166,24 @@ impl SourceKind {
                 s
             }
             SourceKind::Oc2020 => {
-                let metals = [Element::Pt, Element::Cu, Element::Ni, Element::Fe, Element::Zn];
+                let metals = [
+                    Element::Pt,
+                    Element::Cu,
+                    Element::Ni,
+                    Element::Fe,
+                    Element::Zn,
+                ];
                 let metal = metals[rng.gen_range(0..metals.len())];
                 build_slab(rng, metal, None)
             }
             SourceKind::Oc2022 => {
-                let metals = [Element::Ti, Element::Fe, Element::Ni, Element::Zn, Element::Al];
+                let metals = [
+                    Element::Ti,
+                    Element::Fe,
+                    Element::Ni,
+                    Element::Zn,
+                    Element::Al,
+                ];
                 let metal = metals[rng.gen_range(0..metals.len())];
                 build_slab(rng, metal, Some(Element::O))
             }
@@ -187,7 +200,12 @@ impl SourceKind {
             }
         }
         let graph = MolGraph::from_structure(&structure, cfg.graph_cutoff);
-        Sample { graph, energy, forces, source: self }
+        Sample {
+            graph,
+            energy,
+            forces,
+            source: self,
+        }
     }
 }
 
@@ -246,9 +264,16 @@ fn weighted_pick(rng: &mut StdRng, pool: &[(Element, f64)]) -> Element {
 fn grow_molecule(rng: &mut StdRng, pool: &[(Element, f64)], n: usize) -> AtomicStructure {
     assert!(n >= 1);
     // First atom: prefer a heavy atom so hydrogens have something to bond.
-    let heavy: Vec<(Element, f64)> =
-        pool.iter().filter(|(e, _)| *e != Element::H).cloned().collect();
-    let first = if heavy.is_empty() { pool[0].0 } else { weighted_pick(rng, &heavy) };
+    let heavy: Vec<(Element, f64)> = pool
+        .iter()
+        .filter(|(e, _)| *e != Element::H)
+        .cloned()
+        .collect();
+    let first = if heavy.is_empty() {
+        pool[0].0
+    } else {
+        weighted_pick(rng, &heavy)
+    };
     let mut species = vec![first];
     let mut positions: Vec<Vec3> = vec![[0.0; 3]];
 
@@ -265,12 +290,15 @@ fn grow_molecule(rng: &mut StdRng, pool: &[(Element, f64)], n: usize) -> AtomicS
                 * rng.gen_range(0.98..1.08);
             let dir = random_unit(rng);
             let pos = vec3::add(positions[anchor], vec3::scale(dir, bond));
-            let min_allowed = |other: Element| 0.85 * (other.covalent_radius() + e.covalent_radius());
+            let min_allowed =
+                |other: Element| 0.85 * (other.covalent_radius() + e.covalent_radius());
             let ok = positions
                 .iter()
                 .zip(species.iter())
                 .enumerate()
-                .all(|(i, (p, &se))| i == anchor || vec3::norm(vec3::sub(pos, *p)) > min_allowed(se));
+                .all(|(i, (p, &se))| {
+                    i == anchor || vec3::norm(vec3::sub(pos, *p)) > min_allowed(se)
+                });
             if ok {
                 species.push(e);
                 positions.push(pos);
@@ -338,8 +366,14 @@ fn build_slab(rng: &mut StdRng, metal: Element, anion: Option<Element>) -> Atomi
     let templates: &[&[(Element, Vec3)]] = &[
         &[(Element::O, [0.0, 0.0, 0.0])],
         &[(Element::H, [0.0, 0.0, 0.0])],
-        &[(Element::C, [0.0, 0.0, 0.0]), (Element::O, [0.0, 0.0, 1.15])],
-        &[(Element::O, [0.0, 0.0, 0.0]), (Element::H, [0.9, 0.0, 0.35])],
+        &[
+            (Element::C, [0.0, 0.0, 0.0]),
+            (Element::O, [0.0, 0.0, 1.15]),
+        ],
+        &[
+            (Element::O, [0.0, 0.0, 0.0]),
+            (Element::H, [0.9, 0.0, 0.35]),
+        ],
         &[
             (Element::C, [0.0, 0.0, 0.0]),
             (Element::H, [0.95, 0.0, 0.45]),
@@ -376,7 +410,11 @@ fn build_bulk(rng: &mut StdRng) -> AtomicStructure {
     let a = cations[rng.gen_range(0..cations.len())];
     // Half of MPTrj-like structures are binary (often oxides).
     let b = if rng.gen_bool(0.5) {
-        Some(if rng.gen_bool(0.6) { Element::O } else { cations[rng.gen_range(0..cations.len())] })
+        Some(if rng.gen_bool(0.6) {
+            Element::O
+        } else {
+            cations[rng.gen_range(0..cations.len())]
+        })
     } else {
         None
     };
@@ -510,7 +548,10 @@ mod tests {
         // With the same underlying potential, the OC2022 shift (−0.5/atom)
         // should push its per-atom energies below OC2020's (−0.3/atom)
         // when averaged over many samples of the same slab family.
-        let cfg = GeneratorConfig { label_noise: 0.0, ..Default::default() };
+        let cfg = GeneratorConfig {
+            label_noise: 0.0,
+            ..Default::default()
+        };
         let mean_epa = |kind: SourceKind| {
             let samples = kind.generate(12, 6, &cfg);
             samples.iter().map(|s| s.energy_per_atom()).sum::<f64>() / 12.0
@@ -519,7 +560,10 @@ mod tests {
         let ani = mean_epa(SourceKind::Ani1x);
         let qm7 = mean_epa(SourceKind::Qm7x);
         // The QM7-X family carries a +0.15 shift and similar geometry.
-        assert!(qm7 > ani - 0.5, "expected qm7x shifted upward: {qm7} vs {ani}");
+        assert!(
+            qm7 > ani - 0.5,
+            "expected qm7x shifted upward: {qm7} vs {ani}"
+        );
     }
 
     #[test]

@@ -74,8 +74,8 @@ impl GraphBatch {
             node_offset += g.n_nodes();
         }
 
-        let node_feats = Tensor::from_vec((n_nodes, NODE_FEAT_DIM), feats)
-            .expect("node feature buffer length");
+        let node_feats =
+            Tensor::from_vec((n_nodes, NODE_FEAT_DIM), feats).expect("node feature buffer length");
         let edge_vectors =
             Tensor::from_vec((n_edges, 3), edge_vecs).expect("edge vector buffer length");
 
@@ -138,7 +138,11 @@ impl GraphBatch {
     /// A `[n_graphs × 1]` tensor of `1 / node_count` per graph, for mean
     /// pooling node sums into graph means.
     pub fn inv_node_counts(&self) -> Tensor {
-        let data: Vec<f32> = self.node_counts.iter().map(|&c| 1.0 / c.max(1) as f32).collect();
+        let data: Vec<f32> = self
+            .node_counts
+            .iter()
+            .map(|&c| 1.0 / c.max(1) as f32)
+            .collect();
         Tensor::from_vec((self.n_graphs, 1), data).expect("inv node count length")
     }
 }
@@ -182,7 +186,11 @@ mod tests {
         let b = GraphBatch::from_graphs(&[&g1, &g2]);
         for k in 0..b.n_edges() {
             let (s, d) = (b.src()[k], b.dst()[k]);
-            assert_eq!(b.node_graph()[s], b.node_graph()[d], "edge {k} crosses graphs");
+            assert_eq!(
+                b.node_graph()[s],
+                b.node_graph()[d],
+                "edge {k} crosses graphs"
+            );
         }
     }
 

@@ -240,8 +240,14 @@ mod tests {
     fn physical_data_in_plausible_range() {
         for &e in &Element::ALL {
             assert!(e.mass() > 0.9 && e.mass() < 250.0, "{e} mass");
-            assert!(e.covalent_radius() > 0.2 && e.covalent_radius() < 2.0, "{e} radius");
-            assert!(e.electronegativity() > 0.5 && e.electronegativity() < 4.5, "{e} EN");
+            assert!(
+                e.covalent_radius() > 0.2 && e.covalent_radius() < 2.0,
+                "{e} radius"
+            );
+            assert!(
+                e.electronegativity() > 0.5 && e.electronegativity() < 4.5,
+                "{e} EN"
+            );
         }
     }
 

@@ -60,7 +60,12 @@ impl MolGraph {
             .iter()
             .map(|&(i, j)| structure.displacement(j, i)) // pos[i] − pos[j]
             .collect();
-        MolGraph { species: structure.species().to_vec(), src, dst, edge_vectors }
+        MolGraph {
+            species: structure.species().to_vec(),
+            src,
+            dst,
+            edge_vectors,
+        }
     }
 
     /// Constructs a graph from raw parts (used by deserialization and
@@ -83,7 +88,12 @@ impl MolGraph {
             src.iter().chain(dst.iter()).all(|&i| i < n),
             "edge references node out of range"
         );
-        MolGraph { species, src, dst, edge_vectors }
+        MolGraph {
+            species,
+            src,
+            dst,
+            edge_vectors,
+        }
     }
 
     /// Number of atoms (nodes).

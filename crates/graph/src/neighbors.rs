@@ -231,7 +231,10 @@ impl NeighborList {
 }
 
 fn validate_cutoff(structure: &AtomicStructure, cutoff: f64) {
-    assert!(cutoff.is_finite() && cutoff > 0.0, "cutoff must be positive, got {cutoff}");
+    assert!(
+        cutoff.is_finite() && cutoff > 0.0,
+        "cutoff must be positive, got {cutoff}"
+    );
     if let Some(cell) = structure.cell() {
         let min_l = cell.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(
@@ -303,7 +306,10 @@ mod tests {
         let s = random_molecule(60, 4.0, 2);
         let nl = NeighborList::build(&s, 2.0);
         for &(i, j) in nl.edges() {
-            assert!(nl.edges().binary_search(&(j, i)).is_ok(), "missing reverse of ({i},{j})");
+            assert!(
+                nl.edges().binary_search(&(j, i)).is_ok(),
+                "missing reverse of ({i},{j})"
+            );
         }
     }
 

@@ -79,7 +79,11 @@ impl AtomicStructure {
                 positions: positions.len(),
             });
         }
-        Ok(AtomicStructure { species, positions, cell: None })
+        Ok(AtomicStructure {
+            species,
+            positions,
+            cell: None,
+        })
     }
 
     /// Creates a periodic structure in an orthorhombic cell of the given
@@ -182,7 +186,10 @@ impl AtomicStructure {
     ///
     /// Panics if the structure is periodic.
     pub fn rotate(&mut self, m: &Mat3) {
-        assert!(!self.is_periodic(), "cannot rotate a periodic orthorhombic structure");
+        assert!(
+            !self.is_periodic(),
+            "cannot rotate a periodic orthorhombic structure"
+        );
         for p in &mut self.positions {
             *p = vec3::matvec(m, *p);
         }
@@ -255,12 +262,10 @@ mod tests {
     #[test]
     fn construction_validation() {
         assert!(AtomicStructure::new(vec![Element::H], vec![]).is_err());
-        assert!(AtomicStructure::new_periodic(
-            vec![Element::H],
-            vec![[0.0; 3]],
-            [5.0, -1.0, 5.0]
-        )
-        .is_err());
+        assert!(
+            AtomicStructure::new_periodic(vec![Element::H], vec![[0.0; 3]], [5.0, -1.0, 5.0])
+                .is_err()
+        );
     }
 
     #[test]
@@ -308,12 +313,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "periodic")]
     fn rotate_periodic_panics() {
-        let mut s = AtomicStructure::new_periodic(
-            vec![Element::Cu],
-            vec![[0.0; 3]],
-            [10.0, 10.0, 10.0],
-        )
-        .unwrap();
+        let mut s =
+            AtomicStructure::new_periodic(vec![Element::Cu], vec![[0.0; 3]], [10.0, 10.0, 10.0])
+                .unwrap();
         s.rotate(&rotation_about([0.0, 0.0, 1.0], 0.5));
     }
 

@@ -80,9 +80,21 @@ pub fn rotation_about(axis: Vec3, angle: f64) -> Mat3 {
     let (s, c) = angle.sin_cos();
     let t = 1.0 - c;
     [
-        [c + u[0] * u[0] * t, u[0] * u[1] * t - u[2] * s, u[0] * u[2] * t + u[1] * s],
-        [u[1] * u[0] * t + u[2] * s, c + u[1] * u[1] * t, u[1] * u[2] * t - u[0] * s],
-        [u[2] * u[0] * t - u[1] * s, u[2] * u[1] * t + u[0] * s, c + u[2] * u[2] * t],
+        [
+            c + u[0] * u[0] * t,
+            u[0] * u[1] * t - u[2] * s,
+            u[0] * u[2] * t + u[1] * s,
+        ],
+        [
+            u[1] * u[0] * t + u[2] * s,
+            c + u[1] * u[1] * t,
+            u[1] * u[2] * t - u[0] * s,
+        ],
+        [
+            u[2] * u[0] * t - u[1] * s,
+            u[2] * u[1] * t + u[0] * s,
+            c + u[2] * u[2] * t,
+        ],
     ]
 }
 

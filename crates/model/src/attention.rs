@@ -46,7 +46,13 @@ pub fn segment_softmax(
     }
     let max_per_edge: Vec<f32> = seg
         .iter()
-        .map(|&s| if seg_max[s].is_finite() { seg_max[s] } else { 0.0 })
+        .map(|&s| {
+            if seg_max[s].is_finite() {
+                seg_max[s]
+            } else {
+                0.0
+            }
+        })
         .collect();
     let max_const =
         tape.constant(Tensor::from_vec((n_edges, 1), max_per_edge).expect("edge max column"));
@@ -93,7 +99,7 @@ impl GatConfig {
         let h = self.hidden_dim;
         let f = self.node_feat_dim;
         let mut total = f * h + h; // embed
-        // Per layer: value transform W (h→h), score MLP [2h+1 → h → 1].
+                                   // Per layer: value transform W (h→h), score MLP [2h+1 → h → 1].
         let per_layer = (h * h + h) + Mlp::count_params(&[2 * h + 1, h, 1]);
         total += per_layer * self.n_layers;
         // Heads: energy [h → h → 1], force [2h+1 → h → 1].
@@ -125,7 +131,11 @@ impl GatConfig {
                 hi = mid;
             }
         }
-        let best = if target.abs_diff(count(lo)) <= target.abs_diff(count(hi)) { lo } else { hi };
+        let best = if target.abs_diff(count(lo)) <= target.abs_diff(count(hi)) {
+            lo
+        } else {
+            hi
+        };
         GatConfig::new(best.max(2), n_layers)
     }
 }
@@ -195,7 +205,10 @@ impl Gat {
         let embed = Linear::new(
             &mut params,
             "embed",
-            LinearSpec { in_dim: config.node_feat_dim, out_dim: h },
+            LinearSpec {
+                in_dim: config.node_feat_dim,
+                out_dim: h,
+            },
             1.0,
             &mut rng,
         );
@@ -207,7 +220,10 @@ impl Gat {
             let value = Linear::new(
                 &mut params,
                 &format!("layer{l}.value"),
-                LinearSpec { in_dim: h, out_dim: h },
+                LinearSpec {
+                    in_dim: h,
+                    out_dim: h,
+                },
                 1.0,
                 &mut rng,
             );
@@ -245,8 +261,20 @@ impl Gat {
         );
         segment_ranges.push((start, params.len()));
 
-        debug_assert_eq!(params.n_scalars(), config.param_count(), "param count formula drift");
-        Gat { config, params, embed, layers, energy_head, force_head, segment_ranges }
+        debug_assert_eq!(
+            params.n_scalars(),
+            config.param_count(),
+            "param count formula drift"
+        );
+        Gat {
+            config,
+            params,
+            embed,
+            layers,
+            energy_head,
+            force_head,
+            segment_ranges,
+        }
     }
 
     /// The configuration this model was built from.
@@ -316,7 +344,11 @@ impl GnnModel for Gat {
             let weighted = tape.mul_col(vj, attn);
             let agg = tape.scatter_add_rows(weighted, Arc::clone(batch.src()), n);
             let out = tape.silu(agg);
-            let h_next = if self.config.residual { tape.add(h, out) } else { out };
+            let h_next = if self.config.residual {
+                tape.add(h, out)
+            } else {
+                out
+            };
             vec![h_next]
         } else {
             let h = state[0];
@@ -326,8 +358,7 @@ impl GnnModel for Gat {
             let (m_in, rel) = self.edge_inputs(tape, batch, h);
             let w = self.force_head.forward(tape, pvars, offset, m_in);
             let weighted = tape.mul_col(rel, w);
-            let forces =
-                tape.scatter_add_rows(weighted, Arc::clone(batch.src()), batch.n_nodes());
+            let forces = tape.scatter_add_rows(weighted, Arc::clone(batch.src()), batch.n_nodes());
             vec![energy, forces]
         }
     }
@@ -338,7 +369,11 @@ impl GnnModel for Gat {
             self.config.hidden_dim,
             self.config.n_layers,
             self.n_params(),
-            if self.config.residual { ", residual" } else { "" }
+            if self.config.residual {
+                ", residual"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -373,9 +408,7 @@ mod tests {
     #[test]
     fn segment_softmax_sums_to_one_per_segment() {
         let mut tape = Tape::new();
-        let scores = tape.param(
-            Tensor::from_vec((5, 1), vec![1.0, -2.0, 0.5, 3.0, 3.0]).unwrap(),
-        );
+        let scores = tape.param(Tensor::from_vec((5, 1), vec![1.0, -2.0, 0.5, 3.0, 3.0]).unwrap());
         let seg = Arc::new(vec![0usize, 0, 1, 1, 1]);
         let soft = segment_softmax(&mut tape, scores, &seg, 2);
         let v = tape.value(soft);
@@ -391,8 +424,7 @@ mod tests {
     #[test]
     fn segment_softmax_stable_for_large_scores() {
         let mut tape = Tape::new();
-        let scores =
-            tape.param(Tensor::from_vec((3, 1), vec![1000.0, 999.0, -1000.0]).unwrap());
+        let scores = tape.param(Tensor::from_vec((3, 1), vec![1000.0, 999.0, -1000.0]).unwrap());
         let seg = Arc::new(vec![0usize, 0, 0]);
         let soft = segment_softmax(&mut tape, scores, &seg, 1);
         let v = tape.value(soft);
@@ -475,13 +507,20 @@ mod tests {
             let b = GraphBatch::from_graphs(&[&g]);
             let mut tape = Tape::new();
             let (_, out) = model.bind_and_forward(&mut tape, &b);
-            (tape.value(out.energy).clone(), tape.value(out.forces).clone())
+            (
+                tape.value(out.energy).clone(),
+                tape.value(out.forces).clone(),
+            )
         };
         let (e1, f1) = run(&s);
         let (e2, f2) = run(&r);
         assert!(e1.allclose(&e2, 1e-4), "GAT energy changed under rotation");
         for a in 0..6 {
-            let v = [f1.get(a, 0) as f64, f1.get(a, 1) as f64, f1.get(a, 2) as f64];
+            let v = [
+                f1.get(a, 0) as f64,
+                f1.get(a, 1) as f64,
+                f1.get(a, 2) as f64,
+            ];
             let rv = matvec(&rot, v);
             for (k, &rvk) in rv.iter().enumerate() {
                 assert!((rvk as f32 - f2.get(a, k)).abs() < 1e-4, "atom {a}");

@@ -123,7 +123,10 @@ pub fn params_from_bytes(data: &[u8]) -> Result<ParamSet, CheckpointError> {
         let shape = Shape::new(dims);
         need(&buf, shape.numel() * 4)?;
         let data: Vec<f32> = (0..shape.numel()).map(|_| buf.get_f32()).collect();
-        params.push(name, Tensor::from_vec(shape, data).expect("validated length"));
+        params.push(
+            name,
+            Tensor::from_vec(shape, data).expect("validated length"),
+        );
     }
     Ok(params)
 }
@@ -290,17 +293,29 @@ mod tests {
         bad.push("a.bias", Tensor::zeros(4usize));
         bad.push("scalarish", Tensor::scalar(0.0));
         let err = load_params_into(&mut bad, &bytes).unwrap_err();
-        assert!(matches!(err, CheckpointError::Mismatch { index: 0, .. }), "{err}");
+        assert!(
+            matches!(err, CheckpointError::Mismatch { index: 0, .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn corrupt_inputs_rejected() {
         let p = random_params();
         let bytes = params_to_bytes(&p);
-        assert_eq!(params_from_bytes(b"nope0000").unwrap_err(), CheckpointError::BadMagic);
-        assert_eq!(params_from_bytes(b"no").unwrap_err(), CheckpointError::Truncated);
+        assert_eq!(
+            params_from_bytes(b"nope0000").unwrap_err(),
+            CheckpointError::BadMagic
+        );
+        assert_eq!(
+            params_from_bytes(b"no").unwrap_err(),
+            CheckpointError::Truncated
+        );
         let cut = &bytes[..bytes.len() / 2];
-        assert_eq!(params_from_bytes(cut).unwrap_err(), CheckpointError::Truncated);
+        assert_eq!(
+            params_from_bytes(cut).unwrap_err(),
+            CheckpointError::Truncated
+        );
         let mut wrong_version = bytes.to_vec();
         wrong_version[4..8].copy_from_slice(&99u32.to_be_bytes());
         assert_eq!(
@@ -331,7 +346,10 @@ mod tests {
             let (_, out) = m.bind_and_forward(&mut tape, &batch);
             tape.value(out.energy).clone()
         };
-        assert!(run(&model).allclose(&run(&loaded), 0.0), "predictions drifted");
+        assert!(
+            run(&model).allclose(&run(&loaded), 0.0),
+            "predictions drifted"
+        );
     }
 
     #[test]
@@ -342,7 +360,10 @@ mod tests {
         let path = dir.join("model.mgnn");
         save_egnn(&model, &path).unwrap();
         let loaded = load_egnn(&path).unwrap();
-        assert!(model.params().flatten().allclose(&loaded.params().flatten(), 0.0));
+        assert!(model
+            .params()
+            .flatten()
+            .allclose(&loaded.params().flatten(), 0.0));
         std::fs::remove_file(&path).ok();
     }
 

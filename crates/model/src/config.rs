@@ -174,7 +174,11 @@ impl EgnnConfig {
                 hi = mid;
             }
         }
-        let best = if target.abs_diff(count(lo)) <= target.abs_diff(count(hi)) { lo } else { hi };
+        let best = if target.abs_diff(count(lo)) <= target.abs_diff(count(hi)) {
+            lo
+        } else {
+            hi
+        };
         EgnnConfig::new(best.max(2), n_layers)
     }
 
@@ -194,7 +198,11 @@ impl EgnnConfig {
             self.n_layers,
             if self.residual { ", residual" } else { "" },
             if self.edge_gate { ", gated" } else { "" },
-            if self.update_coords { "" } else { ", frozen-coords" },
+            if self.update_coords {
+                ""
+            } else {
+                ", frozen-coords"
+            },
             if self.n_rbf > 0 { ", rbf" } else { "" },
             if self.layer_norm { ", layernorm" } else { "" },
         )

@@ -140,7 +140,13 @@ impl Egnn {
             let norm = config
                 .layer_norm
                 .then(|| LayerNorm::new(&mut params, &format!("layer{l}.norm"), h));
-            layers.push(EgnnLayer { phi_e, phi_x, phi_h, gate, norm });
+            layers.push(EgnnLayer {
+                phi_e,
+                phi_x,
+                phi_h,
+                gate,
+                norm,
+            });
             segment_ranges.push((start, params.len()));
         }
 
@@ -165,9 +171,21 @@ impl Egnn {
         );
         segment_ranges.push((start, params.len()));
 
-        debug_assert_eq!(params.n_scalars(), config.param_count(), "param count formula drift");
+        debug_assert_eq!(
+            params.n_scalars(),
+            config.param_count(),
+            "param count formula drift"
+        );
 
-        Egnn { config, params, embed, layers, energy_head, force_head, segment_ranges }
+        Egnn {
+            config,
+            params,
+            embed,
+            layers,
+            energy_head,
+            force_head,
+            segment_ranges,
+        }
     }
 
     /// The configuration this model was built from.
@@ -238,7 +256,10 @@ impl Egnn {
         for &s in batch.src().iter() {
             deg[s] += 1.0;
         }
-        let inv: Vec<f32> = deg.iter().map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 }).collect();
+        let inv: Vec<f32> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 })
+            .collect();
         Tensor::from_vec((batch.n_nodes(), 1), inv).expect("inv degree length")
     }
 
@@ -325,7 +346,11 @@ impl Egnn {
         let agg = tape.scatter_add_rows(m, Arc::clone(batch.src()), n);
         let h_in = tape.concat_cols(&[h, agg]);
         let out = layer.phi_h.forward(tape, pvars, offset, h_in);
-        let mut h_next = if self.config.residual { tape.add(h, out) } else { out };
+        let mut h_next = if self.config.residual {
+            tape.add(h, out)
+        } else {
+            out
+        };
         if let Some(norm) = &layer.norm {
             h_next = norm.forward(tape, pvars, offset, h_next);
         }
@@ -386,8 +411,7 @@ impl GnnModel for Egnn {
             let (m_in, rel) = self.edge_inputs(tape, batch, h, d, rel0);
             let w = self.force_head.forward(tape, pvars, offset, m_in);
             let weighted = tape.mul_col(rel, w);
-            let forces =
-                tape.scatter_add_rows(weighted, Arc::clone(batch.src()), batch.n_nodes());
+            let forces = tape.scatter_add_rows(weighted, Arc::clone(batch.src()), batch.n_nodes());
             vec![energy, forces]
         }
     }
@@ -423,8 +447,10 @@ mod tests {
     }
 
     fn batch_of(structures: &[AtomicStructure]) -> GraphBatch {
-        let graphs: Vec<MolGraph> =
-            structures.iter().map(|s| MolGraph::from_structure(s, 3.0)).collect();
+        let graphs: Vec<MolGraph> = structures
+            .iter()
+            .map(|s| MolGraph::from_structure(s, 3.0))
+            .collect();
         let refs: Vec<&MolGraph> = graphs.iter().collect();
         GraphBatch::from_graphs(&refs)
     }
@@ -432,7 +458,10 @@ mod tests {
     fn run(model: &Egnn, batch: &GraphBatch) -> (Tensor, Tensor) {
         let mut tape = Tape::new();
         let (_, out) = model.bind_and_forward(&mut tape, batch);
-        (tape.value(out.energy).clone(), tape.value(out.forces).clone())
+        (
+            tape.value(out.energy).clone(),
+            tape.value(out.forces).clone(),
+        )
     }
 
     #[test]
@@ -455,7 +484,12 @@ mod tests {
             EgnnConfig::new(10, 1).with_residual(true),
             EgnnConfig::new(9, 2).with_layer_norm(true),
         ] {
-            assert_eq!(Egnn::new(cfg).n_params(), cfg.param_count(), "{}", cfg.summary());
+            assert_eq!(
+                Egnn::new(cfg).n_params(),
+                cfg.param_count(),
+                "{}",
+                cfg.summary()
+            );
         }
     }
 
@@ -563,8 +597,7 @@ mod tests {
         // differences, where loss = mean(E²) + mean(F²).
         let model = Egnn::new(EgnnConfig::new(4, 2).with_seed(11));
         let b = batch_of(&[random_structure(4, 8)]);
-        let inputs: Vec<Tensor> =
-            model.params().iter().map(|e| e.tensor.clone()).collect();
+        let inputs: Vec<Tensor> = model.params().iter().map(|e| e.tensor.clone()).collect();
         gradcheck::check_grad(
             &inputs,
             move |tape, vars| {
@@ -595,9 +628,7 @@ mod tests {
             let mut ev = batch.edge_vectors().clone();
             {
                 let data = ev.data_mut();
-                for (e, (&src, &dst)) in
-                    batch.src().iter().zip(batch.dst().iter()).enumerate()
-                {
+                for (e, (&src, &dst)) in batch.src().iter().zip(batch.dst().iter()).enumerate() {
                     if src == atom {
                         data[e * 3 + axis] += eps;
                     }
@@ -655,10 +686,17 @@ mod tests {
         assert!(e1.allclose(&e2, 1e-3));
         for axis in 0..3 {
             let net: f32 = (0..s.len()).map(|a| f1.get(a, axis)).sum();
-            assert!(net.abs() < 1e-4, "net conservative force {net} on axis {axis}");
+            assert!(
+                net.abs() < 1e-4,
+                "net conservative force {net} on axis {axis}"
+            );
         }
         for a in 0..s.len() {
-            let v = [f1.get(a, 0) as f64, f1.get(a, 1) as f64, f1.get(a, 2) as f64];
+            let v = [
+                f1.get(a, 0) as f64,
+                f1.get(a, 1) as f64,
+                f1.get(a, 2) as f64,
+            ];
             let rv = matvec(&rot, v);
             for (k, &rvk) in rv.iter().enumerate() {
                 assert!((rvk as f32 - f2.get(a, k)).abs() < 1e-3, "atom {a}");
@@ -691,7 +729,10 @@ mod tests {
         t.rotate(&rot);
         let (e1, _) = run(&model, &batch_of(&[s]));
         let (e2, _) = run(&model, &batch_of(&[t]));
-        assert!(e1.allclose(&e2, 1e-3), "RBF variant broke rotation invariance");
+        assert!(
+            e1.allclose(&e2, 1e-3),
+            "RBF variant broke rotation invariance"
+        );
     }
 
     #[test]
@@ -701,7 +742,9 @@ mod tests {
             EgnnConfig::new(6, 2).with_residual(true),
             EgnnConfig::new(6, 2).with_update_coords(false),
             EgnnConfig::new(6, 2).with_rbf(8),
-            EgnnConfig::new(6, 2).with_layer_norm(true).with_residual(true),
+            EgnnConfig::new(6, 2)
+                .with_layer_norm(true)
+                .with_residual(true),
         ] {
             let model = Egnn::new(cfg);
             let b = batch_of(&[random_structure(5, 9)]);

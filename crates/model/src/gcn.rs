@@ -101,7 +101,10 @@ impl Gcn {
         let embed = Linear::new(
             &mut params,
             "embed",
-            LinearSpec { in_dim: config.node_feat_dim, out_dim: h },
+            LinearSpec {
+                in_dim: config.node_feat_dim,
+                out_dim: h,
+            },
             1.0,
             &mut rng,
         );
@@ -113,7 +116,10 @@ impl Gcn {
             convs.push(Linear::new(
                 &mut params,
                 &format!("conv{l}"),
-                LinearSpec { in_dim: h, out_dim: h },
+                LinearSpec {
+                    in_dim: h,
+                    out_dim: h,
+                },
                 1.0,
                 &mut rng,
             ));
@@ -133,14 +139,29 @@ impl Gcn {
         let force_head = Linear::new(
             &mut params,
             "force_head",
-            LinearSpec { in_dim: h, out_dim: 3 },
+            LinearSpec {
+                in_dim: h,
+                out_dim: 3,
+            },
             0.1,
             &mut rng,
         );
         segment_ranges.push((start, params.len()));
 
-        debug_assert_eq!(params.n_scalars(), config.param_count(), "param count formula drift");
-        Gcn { config, params, embed, convs, energy_head, force_head, segment_ranges }
+        debug_assert_eq!(
+            params.n_scalars(),
+            config.param_count(),
+            "param count formula drift"
+        );
+        Gcn {
+            config,
+            params,
+            embed,
+            convs,
+            energy_head,
+            force_head,
+            segment_ranges,
+        }
     }
 
     /// The configuration this model was built from.

@@ -74,7 +74,11 @@ impl Linear {
         let bias = Tensor::zeros(spec.out_dim);
         let weight_idx = params.push(format!("{name}.weight"), weight);
         let bias_idx = params.push(format!("{name}.bias"), bias);
-        Linear { weight_idx, bias_idx, spec }
+        Linear {
+            weight_idx,
+            bias_idx,
+            spec,
+        }
     }
 
     /// The layer's shape spec.
@@ -119,26 +123,46 @@ impl Mlp {
         final_gain: f32,
         rng: &mut StdRng,
     ) -> Self {
-        assert!(widths.len() >= 2, "MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "MLP needs at least input and output widths"
+        );
         let mut layers = Vec::with_capacity(widths.len() - 1);
         for l in 0..widths.len() - 1 {
-            let gain = if l == widths.len() - 2 { final_gain } else { 1.0 };
+            let gain = if l == widths.len() - 2 {
+                final_gain
+            } else {
+                1.0
+            };
             layers.push(Linear::new(
                 params,
                 &format!("{name}.{l}"),
-                LinearSpec { in_dim: widths[l], out_dim: widths[l + 1] },
+                LinearSpec {
+                    in_dim: widths[l],
+                    out_dim: widths[l + 1],
+                },
                 gain,
                 rng,
             ));
         }
-        Mlp { layers, hidden_act, final_act }
+        Mlp {
+            layers,
+            hidden_act,
+            final_act,
+        }
     }
 
     /// Scalar parameter count of an MLP with these widths.
     pub fn count_params(widths: &[usize]) -> usize {
         widths
             .windows(2)
-            .map(|w| LinearSpec { in_dim: w[0], out_dim: w[1] }.n_params())
+            .map(|w| {
+                LinearSpec {
+                    in_dim: w[0],
+                    out_dim: w[1],
+                }
+                .n_params()
+            })
             .sum()
     }
 
@@ -178,7 +202,11 @@ impl LayerNorm {
     pub fn new(params: &mut ParamSet, name: &str, dim: usize) -> Self {
         let gamma_idx = params.push(format!("{name}.gamma"), Tensor::ones(dim));
         let beta_idx = params.push(format!("{name}.beta"), Tensor::zeros(dim));
-        LayerNorm { gamma_idx, beta_idx, dim }
+        LayerNorm {
+            gamma_idx,
+            beta_idx,
+            dim,
+        }
     }
 
     /// Scalar parameter count (`2·dim`).
@@ -225,7 +253,10 @@ mod tests {
 
     #[test]
     fn linear_shapes_and_count() {
-        let spec = LinearSpec { in_dim: 4, out_dim: 3 };
+        let spec = LinearSpec {
+            in_dim: 4,
+            out_dim: 3,
+        };
         assert_eq!(spec.n_params(), 15);
         let mut params = ParamSet::new();
         let mut rng = init_rng(1);
@@ -317,7 +348,10 @@ mod tests {
         // Last weight matrix is entry index 2*1 (weights at even indices).
         let first_w = params.tensor(0).max_abs();
         let last_w = params.tensor(2).max_abs();
-        assert!(last_w < first_w * 0.1, "final gain not applied: {first_w} vs {last_w}");
+        assert!(
+            last_w < first_w * 0.1,
+            "final gain not applied: {first_w} vs {last_w}"
+        );
     }
 
     #[test]

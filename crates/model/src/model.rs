@@ -66,7 +66,10 @@ pub trait GnnModel {
             state = self.segment_forward(tape, seg, &pvars[start..end], batch, &state);
         }
         assert_eq!(state.len(), 2, "final segment must return [energy, forces]");
-        ModelOutput { energy: state[0], forces: state[1] }
+        ModelOutput {
+            energy: state[0],
+            forces: state[1],
+        }
     }
 
     /// Convenience: bind all parameters and run the forward pass.

@@ -43,7 +43,10 @@ impl ParamSet {
 
     /// Appends a parameter; returns its index.
     pub fn push(&mut self, name: impl Into<String>, tensor: Tensor) -> usize {
-        self.entries.push(ParamEntry { name: name.into(), tensor });
+        self.entries.push(ParamEntry {
+            name: name.into(),
+            tensor,
+        });
         self.entries.len() - 1
     }
 
@@ -99,13 +102,19 @@ impl ParamSet {
     /// Binds every parameter onto `tape` (as gradient-requiring leaves), in
     /// order.
     pub fn bind(&self, tape: &mut Tape) -> Vec<Var> {
-        self.entries.iter().map(|e| tape.param(e.tensor.clone())).collect()
+        self.entries
+            .iter()
+            .map(|e| tape.param(e.tensor.clone()))
+            .collect()
     }
 
     /// Binds every parameter onto `tape` as **constants** (no gradients) —
     /// the inference/evaluation path, which skips all backward bookkeeping.
     pub fn bind_frozen(&self, tape: &mut Tape) -> Vec<Var> {
-        self.entries.iter().map(|e| tape.constant(e.tensor.clone())).collect()
+        self.entries
+            .iter()
+            .map(|e| tape.constant(e.tensor.clone()))
+            .collect()
     }
 
     /// Binds the half-open index range `[start, end)` onto `tape`.
@@ -114,7 +123,10 @@ impl ParamSet {
     ///
     /// Panics if the range is out of bounds.
     pub fn bind_range(&self, tape: &mut Tape, start: usize, end: usize) -> Vec<Var> {
-        self.entries[start..end].iter().map(|e| tape.param(e.tensor.clone())).collect()
+        self.entries[start..end]
+            .iter()
+            .map(|e| tape.param(e.tensor.clone()))
+            .collect()
     }
 
     /// Concatenates all parameters into one flat vector (the layout used by
@@ -134,12 +146,18 @@ impl ParamSet {
     ///
     /// Panics if `flat` has the wrong total length.
     pub fn unflatten_from(&mut self, flat: &Tensor) {
-        assert_eq!(flat.numel(), self.n_scalars(), "flat vector length mismatch");
+        assert_eq!(
+            flat.numel(),
+            self.n_scalars(),
+            "flat vector length mismatch"
+        );
         let src = flat.data();
         let mut offset = 0;
         for e in &mut self.entries {
             let n = e.tensor.numel();
-            e.tensor.data_mut().copy_from_slice(&src[offset..offset + n]);
+            e.tensor
+                .data_mut()
+                .copy_from_slice(&src[offset..offset + n]);
             offset += n;
         }
     }
@@ -152,7 +170,9 @@ impl ParamSet {
 
 impl FromIterator<ParamEntry> for ParamSet {
     fn from_iter<I: IntoIterator<Item = ParamEntry>>(iter: I) -> Self {
-        ParamSet { entries: iter.into_iter().collect() }
+        ParamSet {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -162,7 +182,10 @@ mod tests {
 
     fn sample() -> ParamSet {
         let mut p = ParamSet::new();
-        p.push("a", Tensor::from_vec((2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap());
+        p.push(
+            "a",
+            Tensor::from_vec((2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap(),
+        );
         p.push("b", Tensor::from_vec(3usize, vec![5.0, 6.0, 7.0]).unwrap());
         p
     }
@@ -216,7 +239,10 @@ mod tests {
     #[test]
     fn norm_sq_matches_manual() {
         let p = sample();
-        let expect: f32 = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0].iter().map(|x| x * x).sum();
+        let expect: f32 = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+            .iter()
+            .map(|x| x * x)
+            .sum();
         assert!((p.norm_sq() - expect).abs() < 1e-6);
     }
 }

@@ -232,7 +232,10 @@ impl ReferencePotential {
 /// Smooth cosine cutoff `fc(r)` and its derivative: 1 at r=0, 0 at r=rc.
 fn cosine_cutoff(r: f64, rc: f64) -> (f64, f64) {
     let x = std::f64::consts::PI * r / rc;
-    (0.5 * (x.cos() + 1.0), -0.5 * std::f64::consts::PI / rc * x.sin())
+    (
+        0.5 * (x.cos() + 1.0),
+        -0.5 * std::f64::consts::PI / rc * x.sin(),
+    )
 }
 
 fn rebuild(template: &AtomicStructure, positions: Vec<Vec3>) -> AtomicStructure {
@@ -286,11 +289,9 @@ mod tests {
         let pot = ReferencePotential::default();
         let r0 = 2.0 * Element::C.covalent_radius();
         let e_at = |r: f64| {
-            let s = AtomicStructure::new(
-                vec![Element::C, Element::C],
-                vec![[0.0; 3], [r, 0.0, 0.0]],
-            )
-            .unwrap();
+            let s =
+                AtomicStructure::new(vec![Element::C, Element::C], vec![[0.0; 3], [r, 0.0, 0.0]])
+                    .unwrap();
             pot.energy(&s)
         };
         let mut best_r = 0.0;
@@ -305,7 +306,10 @@ mod tests {
             r += 0.01;
         }
         assert!(best_e < 0.0);
-        assert!((best_r - r0).abs() < 0.25 * r0, "minimum at {best_r}, r0 {r0}");
+        assert!(
+            (best_r - r0).abs() < 0.25 * r0,
+            "minimum at {best_r}, r0 {r0}"
+        );
     }
 
     #[test]
@@ -399,13 +403,15 @@ mod tests {
         // evidence the embedding term is genuinely many-body.
         let pot = ReferencePotential::default();
         let p = [[0.0, 0.0, 0.0], [1.5, 0.0, 0.0], [0.75, 1.3, 0.0]];
-        let e3 =
-            pot.energy(&AtomicStructure::new(vec![Element::C; 3], p.to_vec()).unwrap());
+        let e3 = pot.energy(&AtomicStructure::new(vec![Element::C; 3], p.to_vec()).unwrap());
         let pair = |a: Vec3, b: Vec3| {
             pot.energy(&AtomicStructure::new(vec![Element::C; 2], vec![a, b]).unwrap())
         };
         let e_pairs = pair(p[0], p[1]) + pair(p[0], p[2]) + pair(p[1], p[2]);
-        assert!((e3 - e_pairs).abs() > 1e-3, "potential looks pairwise: {e3} vs {e_pairs}");
+        assert!(
+            (e3 - e_pairs).abs() > 1e-3,
+            "potential looks pairwise: {e3} vs {e_pairs}"
+        );
     }
 
     #[test]
@@ -430,6 +436,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "cutoff")]
     fn invalid_cutoff_panics() {
-        let _ = ReferencePotential::new(PotentialParams { cutoff: -1.0, ..Default::default() });
+        let _ = ReferencePotential::new(PotentialParams {
+            cutoff: -1.0,
+            ..Default::default()
+        });
     }
 }

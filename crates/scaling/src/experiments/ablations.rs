@@ -32,40 +32,45 @@ pub struct AblationResult {
 pub fn run_ablations(cfg: &ExperimentConfig) -> Vec<AblationResult> {
     let gen = cfg.generator();
     let n_graphs = cfg.units.aggregate_graphs();
-    cfg.progress(&format!("ablations: generating aggregate of {n_graphs} graphs"));
+    cfg.progress(&format!(
+        "ablations: generating aggregate of {n_graphs} graphs"
+    ));
     let aggregate = Dataset::generate_aggregate(n_graphs, cfg.seed, &gen);
     let (train, test) = aggregate.split_test(cfg.test_fraction, cfg.seed ^ 0xBEEF);
     let normalizer = Normalizer::fit(&train);
     let steps_per_epoch = train.len().div_ceil(cfg.batch_size);
 
     let mut results = Vec::new();
-    let mut run = |group: &str,
-                   variant: &str,
-                   model: &mut dyn DynTrainable,
-                   schedule: Option<LrSchedule>| {
-        let mut tc = cfg.train_config(steps_per_epoch);
-        if let Some(s) = schedule {
-            tc.schedule = s;
-        }
-        let trainer = Trainer::new(tc);
-        let metrics = model.fit_and_eval(&trainer, &train, &test, &normalizer, cfg.batch_size);
-        cfg.progress(&format!(
-            "ablation {group}/{variant}: test loss {:.4}, force MAE {:.4}",
-            metrics.0, metrics.1
-        ));
-        results.push(AblationResult {
-            group: group.to_string(),
-            variant: variant.to_string(),
-            test_loss: metrics.0,
-            force_mae: metrics.1,
-            actual_params: metrics.2,
-        });
-    };
+    let mut run =
+        |group: &str, variant: &str, model: &mut dyn DynTrainable, schedule: Option<LrSchedule>| {
+            let mut tc = cfg.train_config(steps_per_epoch);
+            if let Some(s) = schedule {
+                tc.schedule = s;
+            }
+            let trainer = Trainer::new(tc);
+            let metrics = model.fit_and_eval(&trainer, &train, &test, &normalizer, cfg.batch_size);
+            cfg.progress(&format!(
+                "ablation {group}/{variant}: test loss {:.4}, force MAE {:.4}",
+                metrics.0, metrics.1
+            ));
+            results.push(AblationResult {
+                group: group.to_string(),
+                variant: variant.to_string(),
+                test_loss: metrics.0,
+                force_mae: metrics.1,
+                actual_params: metrics.2,
+            });
+        };
 
     // Residual feature updates at depth 6 (over-smoothing mitigation).
-    let base6 = EgnnConfig::new(EgnnConfig::with_target_params(2_000, 3).hidden_dim, 6)
-        .with_seed(cfg.seed);
-    run("residual@depth6", "off", &mut EgnnModel(Egnn::new(base6)), None);
+    let base6 =
+        EgnnConfig::new(EgnnConfig::with_target_params(2_000, 3).hidden_dim, 6).with_seed(cfg.seed);
+    run(
+        "residual@depth6",
+        "off",
+        &mut EgnnModel(Egnn::new(base6)),
+        None,
+    );
     run(
         "residual@depth6",
         "on",
@@ -90,14 +95,29 @@ pub fn run_ablations(cfg: &ExperimentConfig) -> Vec<AblationResult> {
     // Edge gating at the medium width.
     let med = EgnnConfig::with_target_params(5_000, 3).with_seed(cfg.seed);
     run("edge-gate", "off", &mut EgnnModel(Egnn::new(med)), None);
-    run("edge-gate", "on", &mut EgnnModel(Egnn::new(med.with_edge_gate(true))), None);
+    run(
+        "edge-gate",
+        "on",
+        &mut EgnnModel(Egnn::new(med.with_edge_gate(true))),
+        None,
+    );
 
     // RBF distance featurization vs raw ‖r‖².
     run("rbf", "raw-dist2", &mut EgnnModel(Egnn::new(med)), None);
-    run("rbf", "gaussian-16", &mut EgnnModel(Egnn::new(med.with_rbf(16))), None);
+    run(
+        "rbf",
+        "gaussian-16",
+        &mut EgnnModel(Egnn::new(med.with_rbf(16))),
+        None,
+    );
 
     // LLM-style schedule vs constant LR.
-    run("lr-schedule", "warmup-cosine", &mut EgnnModel(Egnn::new(med)), None);
+    run(
+        "lr-schedule",
+        "warmup-cosine",
+        &mut EgnnModel(Egnn::new(med)),
+        None,
+    );
     run(
         "lr-schedule",
         "constant",
@@ -127,7 +147,12 @@ pub fn run_ablations(cfg: &ExperimentConfig) -> Vec<AblationResult> {
 
     // Multi-fidelity label handling: shared vs per-source normalization
     // (after the `run` closure's last use so `results` is free again).
-    run("normalization", "shared", &mut EgnnModel(Egnn::new(med)), None);
+    run(
+        "normalization",
+        "shared",
+        &mut EgnnModel(Egnn::new(med)),
+        None,
+    );
     #[allow(clippy::drop_non_drop)] // ends the closure's &mut borrow of `results`
     drop(run);
 
@@ -137,7 +162,13 @@ pub fn run_ablations(cfg: &ExperimentConfig) -> Vec<AblationResult> {
         let trainer = Trainer::new(cfg.train_config(steps_per_epoch));
         let mut m = Egnn::new(med);
         let _ = trainer.fit(&mut m, &train, None, &normalizer);
-        let direct = evaluate(&m, &test, &normalizer, &trainer.config().loss, cfg.batch_size);
+        let direct = evaluate(
+            &m,
+            &test,
+            &normalizer,
+            &trainer.config().loss,
+            cfg.batch_size,
+        );
         let conservative_mae = conservative_force_mae(&m, &test, &normalizer);
         cfg.progress(&format!(
             "ablation force-mode: direct {:.4} vs conservative {:.4} eV/Å",
@@ -163,7 +194,13 @@ pub fn run_ablations(cfg: &ExperimentConfig) -> Vec<AblationResult> {
         let trainer = Trainer::new(cfg.train_config(steps_per_epoch));
         let mut m = Egnn::new(EgnnConfig::with_target_params(5_000, 3).with_seed(cfg.seed));
         let _ = trainer.fit(&mut m, &train, None, &per_source);
-        let metrics = evaluate(&m, &test, &per_source, &trainer.config().loss, cfg.batch_size);
+        let metrics = evaluate(
+            &m,
+            &test,
+            &per_source,
+            &trainer.config().loss,
+            cfg.batch_size,
+        );
         cfg.progress(&format!(
             "ablation normalization/per-source: test loss {:.4}, force MAE {:.4}",
             metrics.loss, metrics.force_mae
@@ -238,7 +275,13 @@ impl DynTrainable for EgnnModel {
         batch_size: usize,
     ) -> (f64, f64, usize) {
         let _ = trainer.fit(&mut self.0, train, None, normalizer);
-        let m = evaluate(&self.0, test, normalizer, &trainer.config().loss, batch_size);
+        let m = evaluate(
+            &self.0,
+            test,
+            normalizer,
+            &trainer.config().loss,
+            batch_size,
+        );
         (m.loss, m.force_mae, self.0.params().n_scalars())
     }
 }
@@ -253,7 +296,13 @@ impl DynTrainable for GcnModel {
         batch_size: usize,
     ) -> (f64, f64, usize) {
         let _ = trainer.fit(&mut self.0, train, None, normalizer);
-        let m = evaluate(&self.0, test, normalizer, &trainer.config().loss, batch_size);
+        let m = evaluate(
+            &self.0,
+            test,
+            normalizer,
+            &trainer.config().loss,
+            batch_size,
+        );
         (m.loss, m.force_mae, self.0.params().n_scalars())
     }
 }
@@ -268,7 +317,13 @@ impl DynTrainable for GatModel {
         batch_size: usize,
     ) -> (f64, f64, usize) {
         let _ = trainer.fit(&mut self.0, train, None, normalizer);
-        let m = evaluate(&self.0, test, normalizer, &trainer.config().loss, batch_size);
+        let m = evaluate(
+            &self.0,
+            test,
+            normalizer,
+            &trainer.config().loss,
+            batch_size,
+        );
         (m.loss, m.force_mae, self.0.params().n_scalars())
     }
 }
@@ -280,7 +335,10 @@ mod tests {
     #[test]
     fn ablation_suite_runs_and_groups() {
         let cfg = ExperimentConfig {
-            units: crate::UnitMap { graphs_per_tb: 40.0, ..Default::default() },
+            units: crate::UnitMap {
+                graphs_per_tb: 40.0,
+                ..Default::default()
+            },
             epochs: 1,
             verbose: false,
             ..ExperimentConfig::quick()

@@ -52,7 +52,10 @@ impl ExperimentConfig {
     /// A CI-sized configuration (tens of seconds).
     pub fn quick() -> Self {
         ExperimentConfig {
-            units: UnitMap { graphs_per_tb: 250.0, ..UnitMap::default() },
+            units: UnitMap {
+                graphs_per_tb: 250.0,
+                ..UnitMap::default()
+            },
             epochs: 2,
             batch_size: 8,
             base_lr: 3e-3,
@@ -124,7 +127,11 @@ mod tests {
         let cfg = ExperimentConfig::quick();
         let tc = cfg.train_config(10);
         match tc.schedule {
-            matgnn_train::LrSchedule::WarmupCosine { total_steps, warmup_steps, .. } => {
+            matgnn_train::LrSchedule::WarmupCosine {
+                total_steps,
+                warmup_steps,
+                ..
+            } => {
                 assert_eq!(total_steps, cfg.epochs * 10);
                 assert!(warmup_steps >= 1);
             }

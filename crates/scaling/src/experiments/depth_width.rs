@@ -12,7 +12,7 @@ use matgnn_data::{Dataset, Normalizer};
 use matgnn_model::{Egnn, EgnnConfig};
 use matgnn_train::{evaluate, Trainer};
 
-use crate::{ExperimentConfig, format_params};
+use crate::{format_params, ExperimentConfig};
 
 /// Which axis a point belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,7 +48,9 @@ pub const DEPTH_WIDTH_TB: f64 = 0.4;
 pub fn run_depth_width(cfg: &ExperimentConfig) -> Vec<DepthWidthPoint> {
     let gen = cfg.generator();
     let n_graphs = cfg.units.aggregate_graphs();
-    cfg.progress(&format!("depth/width: generating aggregate of {n_graphs} graphs"));
+    cfg.progress(&format!(
+        "depth/width: generating aggregate of {n_graphs} graphs"
+    ));
     let aggregate = Dataset::generate_aggregate(n_graphs, cfg.seed, &gen);
     let (train_full, test) = aggregate.split_test(cfg.test_fraction, cfg.seed ^ 0xBEEF);
     let normalizer = Normalizer::fit(&train_full);
@@ -67,8 +69,13 @@ pub fn run_depth_width(cfg: &ExperimentConfig) -> Vec<DepthWidthPoint> {
         let mut model = Egnn::new(model_cfg.with_seed(cfg.seed));
         let trainer = Trainer::new(cfg.train_config(steps_per_epoch));
         let _ = trainer.fit(&mut model, &subset, None, &normalizer);
-        let metrics =
-            evaluate(&model, &test, &normalizer, &trainer.config().loss, cfg.batch_size);
+        let metrics = evaluate(
+            &model,
+            &test,
+            &normalizer,
+            &trainer.config().loss,
+            cfg.batch_size,
+        );
         let point = DepthWidthPoint {
             kind,
             depth: model_cfg.n_layers,
@@ -89,10 +96,16 @@ pub fn run_depth_width(cfg: &ExperimentConfig) -> Vec<DepthWidthPoint> {
 
     let mut points = Vec::new();
     for &target in &width_targets {
-        points.push(train_one(EgnnConfig::with_target_params(target, 3), SweepKind::Width));
+        points.push(train_one(
+            EgnnConfig::with_target_params(target, 3),
+            SweepKind::Width,
+        ));
     }
     for &depth in &depth_values {
-        points.push(train_one(EgnnConfig::new(fixed_width, depth), SweepKind::Depth));
+        points.push(train_one(
+            EgnnConfig::new(fixed_width, depth),
+            SweepKind::Depth,
+        ));
     }
     points
 }
@@ -104,7 +117,10 @@ mod tests {
     #[test]
     fn sweep_points_cover_both_kinds() {
         let cfg = ExperimentConfig {
-            units: crate::UnitMap { graphs_per_tb: 50.0, ..Default::default() },
+            units: crate::UnitMap {
+                graphs_per_tb: 50.0,
+                ..Default::default()
+            },
             epochs: 1,
             verbose: false,
             ..ExperimentConfig::quick()
@@ -117,8 +133,10 @@ mod tests {
         assert!(points.iter().any(|p| p.kind == SweepKind::Depth));
         assert!(points.iter().all(|p| p.test_loss.is_finite()));
         // Depth sweep grows parameters with depth.
-        let depth_points: Vec<&DepthWidthPoint> =
-            points.iter().filter(|p| p.kind == SweepKind::Depth).collect();
+        let depth_points: Vec<&DepthWidthPoint> = points
+            .iter()
+            .filter(|p| p.kind == SweepKind::Depth)
+            .collect();
         for w in depth_points.windows(2) {
             assert!(w[1].actual_params > w[0].actual_params);
         }

@@ -98,8 +98,11 @@ impl ScalingGrid {
     /// Power-law fit of test loss vs **actual** parameter count at a fixed
     /// dataset size.
     pub fn fit_model_scaling(&self, tb: f64) -> Option<PowerLawFit> {
-        let pts: Vec<&GridPoint> =
-            self.points.iter().filter(|p| (p.tb - tb).abs() < 1e-9).collect();
+        let pts: Vec<&GridPoint> = self
+            .points
+            .iter()
+            .filter(|p| (p.tb - tb).abs() < 1e-9)
+            .collect();
         let xs: Vec<f64> = pts.iter().map(|p| p.actual_params as f64).collect();
         let ys: Vec<f64> = pts.iter().map(|p| p.test_loss).collect();
         fit_power_law(&xs, &ys)
@@ -114,8 +117,7 @@ impl ScalingGrid {
             .points
             .iter()
             .filter(|p| {
-                p.actual_params == actual_params
-                    && p.tb > matgnn_data::BIASED_TB_THRESHOLD + 1e-9
+                p.actual_params == actual_params && p.tb > matgnn_data::BIASED_TB_THRESHOLD + 1e-9
             })
             .collect();
         let xs: Vec<f64> = pts.iter().map(|p| p.tb).collect();
@@ -143,8 +145,7 @@ pub fn run_scaling_grid(cfg: &ExperimentConfig) -> ScalingGrid {
         let steps_per_epoch = subset.len().div_ceil(cfg.batch_size);
         for &size in &cfg.model_sizes {
             let t0 = Instant::now();
-            let model_cfg =
-                EgnnConfig::with_target_params(size, cfg.n_layers).with_seed(cfg.seed);
+            let model_cfg = EgnnConfig::with_target_params(size, cfg.n_layers).with_seed(cfg.seed);
             let mut model = Egnn::new(model_cfg);
             let trainer = Trainer::new(cfg.train_config(steps_per_epoch));
             let report = trainer.fit(&mut model, &subset, None, &normalizer);
@@ -160,7 +161,11 @@ pub fn run_scaling_grid(cfg: &ExperimentConfig) -> ScalingGrid {
                 actual_params: size,
                 paper_params: cfg.units.paper_params(actual as f64),
                 tb,
-                train_loss: report.epochs.last().map(|e| e.train_loss).unwrap_or(f64::NAN),
+                train_loss: report
+                    .epochs
+                    .last()
+                    .map(|e| e.train_loss)
+                    .unwrap_or(f64::NAN),
                 test_loss: metrics.loss,
                 energy_mae: metrics.energy_mae,
                 force_mae: metrics.force_mae,
@@ -177,7 +182,11 @@ pub fn run_scaling_grid(cfg: &ExperimentConfig) -> ScalingGrid {
         }
     }
 
-    ScalingGrid { points, model_sizes: cfg.model_sizes.clone(), tb_points: cfg.tb_points.clone() }
+    ScalingGrid {
+        points,
+        model_sizes: cfg.model_sizes.clone(),
+        tb_points: cfg.tb_points.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -186,7 +195,10 @@ mod tests {
 
     fn tiny_config() -> ExperimentConfig {
         ExperimentConfig {
-            units: crate::UnitMap { graphs_per_tb: 60.0, ..Default::default() },
+            units: crate::UnitMap {
+                graphs_per_tb: 60.0,
+                ..Default::default()
+            },
             epochs: 2,
             model_sizes: vec![300, 3_000],
             tb_points: vec![0.4, 1.2],
@@ -199,7 +211,10 @@ mod tests {
     fn grid_trains_all_points_and_views_align() {
         let grid = run_scaling_grid(&tiny_config());
         assert_eq!(grid.points.len(), 4);
-        assert!(grid.points.iter().all(|p| p.test_loss.is_finite() && p.test_loss > 0.0));
+        assert!(grid
+            .points
+            .iter()
+            .all(|p| p.test_loss.is_finite() && p.test_loss > 0.0));
 
         let by_tb = grid.series_by_tb();
         assert_eq!(by_tb.len(), 2);

@@ -13,9 +13,9 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use matgnn_data::{collate, Dataset, Normalizer, Sample};
+use matgnn_dist::{train_ddp, CostModel, DdpConfig};
 use matgnn_model::{Egnn, EgnnConfig, GnnModel};
 use matgnn_train::{vanilla_step, LossConfig};
-use matgnn_dist::{train_ddp, CostModel, DdpConfig};
 
 use crate::ExperimentConfig;
 
@@ -58,7 +58,10 @@ pub fn run_strong_scaling(cfg: &ExperimentConfig, worlds: &[usize]) -> Vec<Stron
         let _ = vanilla_step(&model, &batch, &targets, &loss_cfg, None);
     }
     let t_compute = t0.elapsed().as_secs_f64() / reps as f64;
-    cfg.progress(&format!("strong scaling: per-step compute {:.3}s", t_compute));
+    cfg.progress(&format!(
+        "strong scaling: per-step compute {:.3}s",
+        t_compute
+    ));
 
     worlds
         .iter()
@@ -70,7 +73,11 @@ pub fn run_strong_scaling(cfg: &ExperimentConfig, worlds: &[usize]) -> Vec<Stron
             } else {
                 0
             };
-            let t_comm = if world > 1 { cost.seconds(comm_bytes) } else { 0.0 };
+            let t_comm = if world > 1 {
+                cost.seconds(comm_bytes)
+            } else {
+                0.0
+            };
             let step_time = t_compute + t_comm;
             let modeled = world as f64 * per_rank_batch as f64 / step_time;
             let base = per_rank_batch as f64 / t_compute;
@@ -116,7 +123,10 @@ mod tests {
     #[test]
     fn modeled_scaling_is_near_linear_for_small_worlds() {
         let cfg = ExperimentConfig {
-            units: crate::UnitMap { graphs_per_tb: 200.0, ..Default::default() },
+            units: crate::UnitMap {
+                graphs_per_tb: 200.0,
+                ..Default::default()
+            },
             model_sizes: vec![2_000],
             verbose: false,
             ..ExperimentConfig::quick()
@@ -127,7 +137,11 @@ mod tests {
         assert!(points[1].modeled_graphs_per_s > points[0].modeled_graphs_per_s);
         assert!(points[2].modeled_graphs_per_s > points[1].modeled_graphs_per_s);
         // …with near-linear efficiency (fast interconnect, small model).
-        assert!(points[2].modeled_efficiency > 0.8, "{}", points[2].modeled_efficiency);
+        assert!(
+            points[2].modeled_efficiency > 0.8,
+            "{}",
+            points[2].modeled_efficiency
+        );
         // 1-rank efficiency is exactly 1.
         assert!((points[0].modeled_efficiency - 1.0).abs() < 1e-9);
     }

@@ -35,7 +35,9 @@ pub struct TransferResult {
 pub fn run_transfer(cfg: &ExperimentConfig) -> Vec<TransferResult> {
     let gen = cfg.generator();
     let n_graphs = cfg.units.aggregate_graphs();
-    cfg.progress(&format!("transfer: generating pretraining aggregate of {n_graphs} graphs"));
+    cfg.progress(&format!(
+        "transfer: generating pretraining aggregate of {n_graphs} graphs"
+    ));
     let aggregate = Dataset::generate_aggregate(n_graphs, cfg.seed, &gen);
     let (pretrain, _) = aggregate.split_test(cfg.test_fraction, cfg.seed ^ 0xBEEF);
     let normalizer = Normalizer::fit(&pretrain);
@@ -43,16 +45,10 @@ pub fn run_transfer(cfg: &ExperimentConfig) -> Vec<TransferResult> {
     // Downstream task: fresh MPTrj-like data the pretraining never saw.
     let target_train_n = (n_graphs / 24).max(8); // deliberately small
     let target_test_n = (n_graphs / 8).max(24);
-    let target_train = Dataset::from_samples(SourceKind::MpTrj.generate(
-        target_train_n,
-        cfg.seed ^ 0xF1DE,
-        &gen,
-    ));
-    let target_test = Dataset::from_samples(SourceKind::MpTrj.generate(
-        target_test_n,
-        cfg.seed ^ 0x7E57,
-        &gen,
-    ));
+    let target_train =
+        Dataset::from_samples(SourceKind::MpTrj.generate(target_train_n, cfg.seed ^ 0xF1DE, &gen));
+    let target_test =
+        Dataset::from_samples(SourceKind::MpTrj.generate(target_test_n, cfg.seed ^ 0x7E57, &gen));
     cfg.progress(&format!(
         "transfer: target task has {target_train_n} fine-tune graphs, {target_test_n} test graphs"
     ));
@@ -64,7 +60,10 @@ pub fn run_transfer(cfg: &ExperimentConfig) -> Vec<TransferResult> {
     // Pretrain the foundational model on the aggregate.
     let steps_pre = pretrain.len().div_ceil(cfg.batch_size);
     let mut foundation = Egnn::new(model_cfg);
-    cfg.progress(&format!("transfer: pretraining {} on the aggregate", foundation.describe()));
+    cfg.progress(&format!(
+        "transfer: pretraining {} on the aggregate",
+        foundation.describe()
+    ));
     let _ = Trainer::new(cfg.train_config(steps_pre)).fit(
         &mut foundation,
         &pretrain,
@@ -73,8 +72,7 @@ pub fn run_transfer(cfg: &ExperimentConfig) -> Vec<TransferResult> {
     );
 
     let loss_cfg = cfg.train_config(1).loss;
-    let eval =
-        |m: &Egnn| evaluate(m, &target_test, &normalizer, &loss_cfg, cfg.batch_size);
+    let eval = |m: &Egnn| evaluate(m, &target_test, &normalizer, &loss_cfg, cfg.batch_size);
 
     // Arm 1: zero-shot.
     let zs = eval(&foundation);
@@ -137,7 +135,10 @@ mod tests {
     #[test]
     fn transfer_arms_run_and_fine_tune_beats_zero_shot() {
         let cfg = ExperimentConfig {
-            units: crate::UnitMap { graphs_per_tb: 80.0, ..Default::default() },
+            units: crate::UnitMap {
+                graphs_per_tb: 80.0,
+                ..Default::default()
+            },
             epochs: 2,
             verbose: false,
             ..ExperimentConfig::quick()

@@ -35,10 +35,15 @@ pub const VARIANCE_TB: f64 = 0.4;
 /// Re-trains each configured model size under `n_seeds` different seeds
 /// on the same 0.4 TB subset and fixed test set.
 pub fn run_seed_variance(cfg: &ExperimentConfig, n_seeds: usize) -> Vec<VariancePoint> {
-    assert!(n_seeds >= 2, "need at least two seeds for a variance estimate");
+    assert!(
+        n_seeds >= 2,
+        "need at least two seeds for a variance estimate"
+    );
     let gen = cfg.generator();
     let n_graphs = cfg.units.aggregate_graphs();
-    cfg.progress(&format!("variance: generating aggregate of {n_graphs} graphs"));
+    cfg.progress(&format!(
+        "variance: generating aggregate of {n_graphs} graphs"
+    ));
     let aggregate = Dataset::generate_aggregate(n_graphs, cfg.seed, &gen);
     let (train_full, test) = aggregate.split_test(cfg.test_fraction, cfg.seed ^ 0xBEEF);
     let normalizer = Normalizer::fit(&train_full);
@@ -52,15 +57,20 @@ pub fn run_seed_variance(cfg: &ExperimentConfig, n_seeds: usize) -> Vec<Variance
             let mut paper_params = size as f64;
             for s in 0..n_seeds {
                 let seed = cfg.seed ^ (s as u64 + 1).wrapping_mul(0x517C_C1B7);
-                let model_cfg =
-                    EgnnConfig::with_target_params(size, cfg.n_layers).with_seed(seed);
+                let model_cfg = EgnnConfig::with_target_params(size, cfg.n_layers).with_seed(seed);
                 let mut model = Egnn::new(model_cfg);
                 paper_params = cfg.units.paper_params(model.n_params() as f64);
                 let mut tc = cfg.train_config(steps_per_epoch);
                 tc.seed = seed;
                 let trainer = Trainer::new(tc);
                 let _ = trainer.fit(&mut model, &subset, None, &normalizer);
-                let m = evaluate(&model, &test, &normalizer, &trainer.config().loss, cfg.batch_size);
+                let m = evaluate(
+                    &model,
+                    &test,
+                    &normalizer,
+                    &trainer.config().loss,
+                    cfg.batch_size,
+                );
                 cfg.progress(&format!(
                     "variance: {size} params, seed {s}: test loss {:.4}",
                     m.loss
@@ -70,7 +80,13 @@ pub fn run_seed_variance(cfg: &ExperimentConfig, n_seeds: usize) -> Vec<Variance
             let mean = losses.iter().sum::<f64>() / losses.len() as f64;
             let var = losses.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>()
                 / (losses.len() - 1) as f64;
-            VariancePoint { actual_params: size, paper_params, losses, mean, std: var.sqrt() }
+            VariancePoint {
+                actual_params: size,
+                paper_params,
+                losses,
+                mean,
+                std: var.sqrt(),
+            }
         })
         .collect()
 }
@@ -82,7 +98,10 @@ mod tests {
     #[test]
     fn variance_points_well_formed() {
         let cfg = ExperimentConfig {
-            units: crate::UnitMap { graphs_per_tb: 60.0, ..Default::default() },
+            units: crate::UnitMap {
+                graphs_per_tb: 60.0,
+                ..Default::default()
+            },
             epochs: 1,
             model_sizes: vec![300, 2_000],
             verbose: false,
@@ -102,7 +121,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two seeds")]
     fn one_seed_rejected() {
-        let cfg = ExperimentConfig { verbose: false, ..ExperimentConfig::quick() };
+        let cfg = ExperimentConfig {
+            verbose: false,
+            ..ExperimentConfig::quick()
+        };
         let _ = run_seed_variance(&cfg, 1);
     }
 }

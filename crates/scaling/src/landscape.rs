@@ -29,16 +29,76 @@ pub fn landscape() -> Vec<LandscapeEntry> {
     const GB: f64 = 1e9;
     const TB: f64 = 1e12;
     vec![
-        LandscapeEntry { name: "SchNet", year: 2017, params: 1.7e6, data_bytes: 400.0 * MB, this_work: false },
-        LandscapeEntry { name: "DimeNet++", year: 2020, params: 1.8e6, data_bytes: 40.0 * GB, this_work: false },
-        LandscapeEntry { name: "PaiNN", year: 2021, params: 5.9e6, data_bytes: 1.0 * GB, this_work: false },
-        LandscapeEntry { name: "M3GNet", year: 2022, params: 2.3e5, data_bytes: 6.0 * GB, this_work: false },
-        LandscapeEntry { name: "CHGNet", year: 2023, params: 4.0e5, data_bytes: 17.0 * GB, this_work: false },
-        LandscapeEntry { name: "GemNet-OC", year: 2022, params: 3.9e7, data_bytes: 700.0 * GB, this_work: false },
-        LandscapeEntry { name: "MACE-MP-0", year: 2023, params: 4.7e6, data_bytes: 17.0 * GB, this_work: false },
-        LandscapeEntry { name: "EquiformerV2", year: 2023, params: 1.53e8, data_bytes: 1.1 * TB, this_work: false },
-        LandscapeEntry { name: "HydraGNN-GFM", year: 2024, params: 6.0e7, data_bytes: 1.0 * TB, this_work: false },
-        LandscapeEntry { name: "This work (foundational EGNN)", year: 2025, params: 2.0e9, data_bytes: 1.2 * TB, this_work: true },
+        LandscapeEntry {
+            name: "SchNet",
+            year: 2017,
+            params: 1.7e6,
+            data_bytes: 400.0 * MB,
+            this_work: false,
+        },
+        LandscapeEntry {
+            name: "DimeNet++",
+            year: 2020,
+            params: 1.8e6,
+            data_bytes: 40.0 * GB,
+            this_work: false,
+        },
+        LandscapeEntry {
+            name: "PaiNN",
+            year: 2021,
+            params: 5.9e6,
+            data_bytes: 1.0 * GB,
+            this_work: false,
+        },
+        LandscapeEntry {
+            name: "M3GNet",
+            year: 2022,
+            params: 2.3e5,
+            data_bytes: 6.0 * GB,
+            this_work: false,
+        },
+        LandscapeEntry {
+            name: "CHGNet",
+            year: 2023,
+            params: 4.0e5,
+            data_bytes: 17.0 * GB,
+            this_work: false,
+        },
+        LandscapeEntry {
+            name: "GemNet-OC",
+            year: 2022,
+            params: 3.9e7,
+            data_bytes: 700.0 * GB,
+            this_work: false,
+        },
+        LandscapeEntry {
+            name: "MACE-MP-0",
+            year: 2023,
+            params: 4.7e6,
+            data_bytes: 17.0 * GB,
+            this_work: false,
+        },
+        LandscapeEntry {
+            name: "EquiformerV2",
+            year: 2023,
+            params: 1.53e8,
+            data_bytes: 1.1 * TB,
+            this_work: false,
+        },
+        LandscapeEntry {
+            name: "HydraGNN-GFM",
+            year: 2024,
+            params: 6.0e7,
+            data_bytes: 1.0 * TB,
+            this_work: false,
+        },
+        LandscapeEntry {
+            name: "This work (foundational EGNN)",
+            year: 2025,
+            params: 2.0e9,
+            data_bytes: 1.2 * TB,
+            this_work: true,
+        },
     ]
 }
 
@@ -82,7 +142,10 @@ mod tests {
     #[test]
     fn this_work_dominates_both_axes() {
         let entries = landscape();
-        let ours = entries.iter().find(|e| e.this_work).expect("this-work entry");
+        let ours = entries
+            .iter()
+            .find(|e| e.this_work)
+            .expect("this-work entry");
         for e in entries.iter().filter(|e| !e.this_work) {
             assert!(ours.params > e.params, "{} has more params", e.name);
             assert!(ours.data_bytes >= e.data_bytes, "{} has more data", e.name);

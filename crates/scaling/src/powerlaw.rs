@@ -29,7 +29,10 @@ impl PowerLawFit {
 
     /// Formats as `L(x) = a·x^e + c` with the signed exponent `e = −α`.
     pub fn equation(&self) -> String {
-        format!("L(x) = {:.4}·x^({:.3}) + {:.4}", self.a, -self.alpha, self.c)
+        format!(
+            "L(x) = {:.4}·x^({:.3}) + {:.4}",
+            self.a, -self.alpha, self.c
+        )
     }
 }
 
@@ -62,7 +65,10 @@ fn fit_with_floor(xs: &[f64], ys: &[f64], c: f64) -> Option<(f64, f64)> {
 }
 
 fn sse(xs: &[f64], ys: &[f64], fit: &PowerLawFit) -> f64 {
-    xs.iter().zip(ys.iter()).map(|(&x, &y)| (y - fit.predict(x)).powi(2)).sum()
+    xs.iter()
+        .zip(ys.iter())
+        .map(|(&x, &y)| (y - fit.predict(x)).powi(2))
+        .sum()
 }
 
 /// Fits `L(x) = a·x^(−α) + c` to data points.
@@ -97,7 +103,12 @@ pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> Option<PowerLawFit> {
                 continue;
             }
             if let Some((a, alpha)) = fit_with_floor(xs, ys, c) {
-                let fit = PowerLawFit { a, alpha, c, r2: 0.0 };
+                let fit = PowerLawFit {
+                    a,
+                    alpha,
+                    c,
+                    r2: 0.0,
+                };
                 let e = sse(xs, ys, &fit);
                 if e < best_sse {
                     best_sse = e;
@@ -115,7 +126,11 @@ pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> Option<PowerLawFit> {
     // R² on raw values.
     let mean = ys.iter().sum::<f64>() / ys.len() as f64;
     let ss_tot: f64 = ys.iter().map(|&y| (y - mean).powi(2)).sum();
-    fit.r2 = if ss_tot > 0.0 { 1.0 - best_sse / ss_tot } else { 1.0 };
+    fit.r2 = if ss_tot > 0.0 {
+        1.0 - best_sse / ss_tot
+    } else {
+        1.0
+    };
     Some(fit)
 }
 
@@ -160,7 +175,12 @@ mod tests {
 
     #[test]
     fn predict_interpolates() {
-        let fit = PowerLawFit { a: 2.0, alpha: 0.5, c: 1.0, r2: 1.0 };
+        let fit = PowerLawFit {
+            a: 2.0,
+            alpha: 0.5,
+            c: 1.0,
+            r2: 1.0,
+        };
         assert!((fit.predict(4.0) - 2.0).abs() < 1e-12); // 2/2 + 1
         assert!(fit.equation().contains("x^(-0.500)"));
     }

@@ -116,7 +116,10 @@ mod tests {
             assert!(paper > prev, "not monotone at {actual}");
             prev = paper;
             let back = u.actual_params(paper);
-            assert!((back / actual - 1.0).abs() < 1e-9, "{actual} → {paper} → {back}");
+            assert!(
+                (back / actual - 1.0).abs() < 1e-9,
+                "{actual} → {paper} → {back}"
+            );
         }
     }
 

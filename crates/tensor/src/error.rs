@@ -43,7 +43,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match shape element count {expected}")
+                write!(
+                    f,
+                    "buffer length {actual} does not match shape element count {expected}"
+                )
             }
             TensorError::ShapeMismatch { op, lhs, rhs } => {
                 write!(f, "shape mismatch in {op}: {lhs} vs {rhs}")
@@ -64,7 +67,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
         assert!(e.to_string().contains("6"));
         let e = TensorError::ShapeMismatch {
             op: "matmul",

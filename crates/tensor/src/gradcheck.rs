@@ -56,7 +56,11 @@ where
     let mut grads = tape.backward(loss);
     vars.iter()
         .zip(inputs.iter())
-        .map(|(&v, t)| grads.take(v).unwrap_or_else(|| Tensor::zeros(t.shape().clone())))
+        .map(|(&v, t)| {
+            grads
+                .take(v)
+                .unwrap_or_else(|| Tensor::zeros(t.shape().clone()))
+        })
         .collect()
 }
 

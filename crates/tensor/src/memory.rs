@@ -106,7 +106,13 @@ impl fmt::Display for MemoryBreakdown {
         let total = self.total();
         writeln!(f, "total: {}", format_bytes(total))?;
         for (cat, b) in self.entries() {
-            writeln!(f, "  {:<18} {:>12}  ({:5.2}%)", cat.label(), format_bytes(b), 100.0 * self.fraction(cat))?;
+            writeln!(
+                f,
+                "  {:<18} {:>12}  ({:5.2}%)",
+                cat.label(),
+                format_bytes(b),
+                100.0 * self.fraction(cat)
+            )?;
         }
         Ok(())
     }
@@ -178,7 +184,11 @@ impl MemoryTracker {
     pub fn free(&self, cat: MemoryCategory, bytes: u64) {
         let mut inner = self.inner.lock();
         let slot = &mut inner.current.bytes[cat.index()];
-        debug_assert!(*slot >= bytes, "memory tracker underflow in {}", cat.label());
+        debug_assert!(
+            *slot >= bytes,
+            "memory tracker underflow in {}",
+            cat.label()
+        );
         *slot = slot.saturating_sub(bytes);
     }
 
@@ -203,7 +213,10 @@ impl MemoryTracker {
     pub fn snapshot(&self, label: impl Into<String>) {
         let mut inner = self.inner.lock();
         let breakdown = inner.current;
-        inner.snapshots.push(MemorySnapshot { label: label.into(), breakdown });
+        inner.snapshots.push(MemorySnapshot {
+            label: label.into(),
+            breakdown,
+        });
     }
 
     /// All snapshots recorded so far, in order.

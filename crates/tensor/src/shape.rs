@@ -45,7 +45,9 @@ impl Shape {
 
     /// A rank-2 shape of `rows × cols`.
     pub fn matrix(rows: usize, cols: usize) -> Self {
-        Shape { dims: vec![rows, cols] }
+        Shape {
+            dims: vec![rows, cols],
+        }
     }
 
     /// Number of dimensions.

@@ -41,7 +41,9 @@ impl Var {
 #[derive(Debug, Clone)]
 enum Op {
     /// External value; `requires_grad` distinguishes parameters from data.
-    Leaf { requires_grad: bool },
+    Leaf {
+        requires_grad: bool,
+    },
     Add(Var, Var),
     Sub(Var, Var),
     Mul(Var, Var),
@@ -129,7 +131,10 @@ impl Tape {
     /// Creates an empty tape that reports activation/gradient bytes to
     /// `tracker`.
     pub fn with_tracker(tracker: MemoryTracker) -> Self {
-        Tape { nodes: Vec::new(), tracker: Some(tracker) }
+        Tape {
+            nodes: Vec::new(),
+            tracker: Some(tracker),
+        }
     }
 
     /// Number of recorded nodes.
@@ -175,7 +180,12 @@ impl Tape {
             }
         }
         let id = self.nodes.len();
-        self.nodes.push(Node { op, value, needs_grad, tracked_bytes });
+        self.nodes.push(Node {
+            op,
+            value,
+            needs_grad,
+            tracked_bytes,
+        });
         Var { id }
     }
 
@@ -190,12 +200,24 @@ impl Tape {
     /// Records an external value that does **not** require gradients
     /// (inputs, targets, constant coefficients).
     pub fn constant(&mut self, value: Tensor) -> Var {
-        self.push(Op::Leaf { requires_grad: false }, value, false)
+        self.push(
+            Op::Leaf {
+                requires_grad: false,
+            },
+            value,
+            false,
+        )
     }
 
     /// Records an external value that requires gradients (a parameter).
     pub fn param(&mut self, value: Tensor) -> Var {
-        self.push(Op::Leaf { requires_grad: true }, value, true)
+        self.push(
+            Op::Leaf {
+                requires_grad: true,
+            },
+            value,
+            true,
+        )
     }
 
     // ------------------------------------------------------------------
@@ -456,7 +478,9 @@ impl Tape {
         }
 
         for id in (0..=start).rev() {
-            let Some(out_grad) = grads[id].take() else { continue };
+            let Some(out_grad) = grads[id].take() else {
+                continue;
+            };
             if !self.nodes[id].needs_grad {
                 continue;
             }
@@ -483,7 +507,12 @@ impl Tape {
                 self.nodes[id].value = Tensor::default();
             }
             // Leaf gradients stay in `grads` for the caller.
-            if matches!(self.nodes[id].op, Op::Leaf { requires_grad: true }) {
+            if matches!(
+                self.nodes[id].op,
+                Op::Leaf {
+                    requires_grad: true
+                }
+            ) {
                 grads[id] = Some(out_grad);
             }
         }
@@ -733,7 +762,8 @@ mod tests {
         let mut tape = Tape::new();
         let w = tape.param(Tensor::from_vec((2, 1), vec![0.5, -0.5]).unwrap());
         let b = tape.param(Tensor::from_vec(1usize, vec![0.1]).unwrap());
-        let x = tape.constant(Tensor::from_vec((3, 2), vec![1.0, 2.0, 0.0, 1.0, -1.0, 0.5]).unwrap());
+        let x =
+            tape.constant(Tensor::from_vec((3, 2), vec![1.0, 2.0, 0.0, 1.0, -1.0, 0.5]).unwrap());
         let y = tape.constant(Tensor::from_vec((3, 1), vec![1.0, 0.0, -1.0]).unwrap());
         let pred = tape.matmul(x, w);
         let pred = tape.add_row(pred, b);

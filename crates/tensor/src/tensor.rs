@@ -41,7 +41,10 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: Arc::new(vec![value; n]) }
+        Tensor {
+            shape,
+            data: Arc::new(vec![value; n]),
+        }
     }
 
     /// Creates a zero-filled tensor.
@@ -56,7 +59,10 @@ impl Tensor {
 
     /// Creates a rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: Arc::new(vec![value]) }
+        Tensor {
+            shape: Shape::scalar(),
+            data: Arc::new(vec![value]),
+        }
     }
 
     /// Creates a tensor from a flat row-major buffer.
@@ -68,23 +74,37 @@ impl Tensor {
     pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self, TensorError> {
         let shape = shape.into();
         if shape.numel() != data.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.numel(), actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
         }
-        Ok(Tensor { shape, data: Arc::new(data) })
+        Ok(Tensor {
+            shape,
+            data: Arc::new(data),
+        })
     }
 
     /// Creates a tensor by evaluating `f(flat_index)` at every element.
     pub fn from_fn(shape: impl Into<Shape>, f: impl FnMut(usize) -> f32) -> Self {
         let shape = shape.into();
         let data = (0..shape.numel()).map(f).collect();
-        Tensor { shape, data: Arc::new(data) }
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
     }
 
     /// Creates a tensor with i.i.d. samples from `U[-scale, scale)`.
     pub fn rand_uniform<R: Rng + ?Sized>(shape: impl Into<Shape>, scale: f32, rng: &mut R) -> Self {
         let shape = shape.into();
-        let data = (0..shape.numel()).map(|_| rng.gen_range(-scale..scale)).collect();
-        Tensor { shape, data: Arc::new(data) }
+        let data = (0..shape.numel())
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
     }
 
     /// Creates a tensor with i.i.d. standard-normal samples scaled by `std`.
@@ -105,7 +125,10 @@ impl Tensor {
                 data.push(r * theta.sin() * std);
             }
         }
-        Tensor { shape, data: Arc::new(data) }
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -153,9 +176,18 @@ impl Tensor {
     ///
     /// Panics if out of bounds or if the tensor is not rank 2.
     pub fn get(&self, row: usize, col: usize) -> f32 {
-        assert_eq!(self.shape.rank(), 2, "get(r,c) requires rank-2, got {}", self.shape);
+        assert_eq!(
+            self.shape.rank(),
+            2,
+            "get(r,c) requires rank-2, got {}",
+            self.shape
+        );
         let c = self.shape.dim(1);
-        assert!(row < self.shape.dim(0) && col < c, "index ({row},{col}) out of {}", self.shape);
+        assert!(
+            row < self.shape.dim(0) && col < c,
+            "index ({row},{col}) out of {}",
+            self.shape
+        );
         self.data[row * c + col]
     }
 
@@ -165,7 +197,11 @@ impl Tensor {
     ///
     /// Panics if the tensor holds more than one element.
     pub fn item(&self) -> f32 {
-        assert!(self.shape.is_scalar_like(), "item() on non-scalar {}", self.shape);
+        assert!(
+            self.shape.is_scalar_like(),
+            "item() on non-scalar {}",
+            self.shape
+        );
         self.data[0]
     }
 
@@ -182,9 +218,15 @@ impl Tensor {
     pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Self, TensorError> {
         let shape = shape.into();
         if shape.numel() != self.numel() {
-            return Err(TensorError::LengthMismatch { expected: shape.numel(), actual: self.numel() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.numel(),
+                actual: self.numel(),
+            });
         }
-        Ok(Tensor { shape, data: Arc::clone(&self.data) })
+        Ok(Tensor {
+            shape,
+            data: Arc::clone(&self.data),
+        })
     }
 
     /// Whether every element is finite.
@@ -195,27 +237,47 @@ impl Tensor {
     /// Whether `self` and `other` agree element-wise within `tol`.
     pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
         self.shape == other.shape
-            && self.data.iter().zip(other.data.iter()).all(|(a, b)| (a - b).abs() <= tol)
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
     }
 
     // ------------------------------------------------------------------
     // Elementwise
     // ------------------------------------------------------------------
 
-    fn zip_same_shape(&self, other: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    fn zip_same_shape(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Tensor {
         assert_eq!(
             self.shape, other.shape,
             "shape mismatch in {op}: {} vs {}",
             self.shape, other.shape
         );
-        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-        Tensor { shape: self.shape.clone(), data: Arc::new(data) }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::new(data),
+        }
     }
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         let data = self.data.iter().map(|&a| f(a)).collect();
-        Tensor { shape: self.shape.clone(), data: Arc::new(data) }
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::new(data),
+        }
     }
 
     /// Elementwise sum. Panics on shape mismatch.
@@ -312,7 +374,10 @@ impl Tensor {
                 data[r * c + j] += row.data[j];
             }
         }
-        Tensor { shape: self.shape.clone(), data: Arc::new(data) }
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::new(data),
+        }
     }
 
     /// Adds `col[r]` to every element of row `r`, broadcasting a
@@ -323,7 +388,13 @@ impl Tensor {
     /// Panics if `col.numel() != self.rows()`.
     pub fn add_col(&self, col: &Tensor) -> Tensor {
         let c = self.cols();
-        assert_eq!(col.numel(), self.rows(), "add_col: {} vs rows {}", col.shape, self.rows());
+        assert_eq!(
+            col.numel(),
+            self.rows(),
+            "add_col: {} vs rows {}",
+            col.shape,
+            self.rows()
+        );
         let mut data = self.to_vec();
         for r in 0..self.rows() {
             let v = col.data[r];
@@ -331,7 +402,10 @@ impl Tensor {
                 *x += v;
             }
         }
-        Tensor { shape: self.shape.clone(), data: Arc::new(data) }
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::new(data),
+        }
     }
 
     /// Multiplies every row element-wise by a length-`cols` row vector.
@@ -348,7 +422,10 @@ impl Tensor {
                 *x *= row.data[j];
             }
         }
-        Tensor { shape: self.shape.clone(), data: Arc::new(data) }
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::new(data),
+        }
     }
 
     /// Multiplies row `r` of a matrix by `col[r]`, broadcasting a
@@ -359,7 +436,13 @@ impl Tensor {
     /// Panics if `col.numel() != self.rows()`.
     pub fn mul_col(&self, col: &Tensor) -> Tensor {
         let c = self.cols();
-        assert_eq!(col.numel(), self.rows(), "mul_col: {} vs rows {}", col.shape, self.rows());
+        assert_eq!(
+            col.numel(),
+            self.rows(),
+            "mul_col: {} vs rows {}",
+            col.shape,
+            self.rows()
+        );
         let mut data = self.to_vec();
         for r in 0..self.rows() {
             let s = col.data[r];
@@ -367,7 +450,10 @@ impl Tensor {
                 data[r * c + j] *= s;
             }
         }
-        Tensor { shape: self.shape.clone(), data: Arc::new(data) }
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::new(data),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -393,7 +479,9 @@ impl Tensor {
         let b = &other.data;
         let mut out = vec![0.0f32; n * m];
 
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
         // Only parallelize when each worker gets meaningful work
         // (≥ ~1 MFLOP per row block) and more than one core exists.
         const PAR_FLOP_THRESHOLD: usize = 4_000_000;
@@ -410,7 +498,10 @@ impl Tensor {
         } else {
             matmul_rows(a, b, &mut out, 0, k, m);
         }
-        Tensor { shape: Shape::matrix(n, m), data: Arc::new(out) }
+        Tensor {
+            shape: Shape::matrix(n, m),
+            data: Arc::new(out),
+        }
     }
 
     /// `selfᵀ × other` for `[k,n]ᵀ × [k,m]`, without materialising the
@@ -418,7 +509,11 @@ impl Tensor {
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
         let (k, n) = (self.rows(), self.cols());
         let (k2, m) = (other.rows(), other.cols());
-        assert_eq!(k, k2, "matmul_tn inner dim: {} vs {}", self.shape, other.shape);
+        assert_eq!(
+            k, k2,
+            "matmul_tn inner dim: {} vs {}",
+            self.shape, other.shape
+        );
         let a = &self.data;
         let b = &other.data;
         let mut out = vec![0.0f32; n * m];
@@ -435,7 +530,10 @@ impl Tensor {
                 }
             }
         }
-        Tensor { shape: Shape::matrix(n, m), data: Arc::new(out) }
+        Tensor {
+            shape: Shape::matrix(n, m),
+            data: Arc::new(out),
+        }
     }
 
     /// `self × otherᵀ` for `[n,k] × [m,k]ᵀ`, without materialising the
@@ -443,7 +541,11 @@ impl Tensor {
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
         let (n, k) = (self.rows(), self.cols());
         let (m, k2) = (other.rows(), other.cols());
-        assert_eq!(k, k2, "matmul_nt inner dim: {} vs {}", self.shape, other.shape);
+        assert_eq!(
+            k, k2,
+            "matmul_nt inner dim: {} vs {}",
+            self.shape, other.shape
+        );
         let a = &self.data;
         let b = &other.data;
         let mut out = vec![0.0f32; n * m];
@@ -458,7 +560,10 @@ impl Tensor {
                 out[i * m + j] = acc;
             }
         }
-        Tensor { shape: Shape::matrix(n, m), data: Arc::new(out) }
+        Tensor {
+            shape: Shape::matrix(n, m),
+            data: Arc::new(out),
+        }
     }
 
     /// Matrix transpose of a rank-2 tensor.
@@ -471,7 +576,10 @@ impl Tensor {
                 out[j * n + i] = self.data[i * m + j];
             }
         }
-        Tensor { shape: Shape::matrix(m, n), data: Arc::new(out) }
+        Tensor {
+            shape: Shape::matrix(m, n),
+            data: Arc::new(out),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -512,7 +620,10 @@ impl Tensor {
                 out[j] += self.data[i * m + j];
             }
         }
-        Tensor { shape: Shape::vector(m), data: Arc::new(out) }
+        Tensor {
+            shape: Shape::vector(m),
+            data: Arc::new(out),
+        }
     }
 
     /// Row sums: `[n,m] → [n,1]`.
@@ -523,7 +634,10 @@ impl Tensor {
         for i in 0..n {
             out[i] = self.data[i * m..(i + 1) * m].iter().sum();
         }
-        Tensor { shape: Shape::matrix(n, 1), data: Arc::new(out) }
+        Tensor {
+            shape: Shape::matrix(n, 1),
+            data: Arc::new(out),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -542,7 +656,10 @@ impl Tensor {
             assert!(i < n, "gather_rows index {i} out of {n}");
             out.extend_from_slice(&self.data[i * m..(i + 1) * m]);
         }
-        Tensor { shape: Shape::matrix(idx.len(), m), data: Arc::new(out) }
+        Tensor {
+            shape: Shape::matrix(idx.len(), m),
+            data: Arc::new(out),
+        }
     }
 
     /// Scatter-add rows into `n_out` rows: `out[idx[i]] += self[i]`.
@@ -555,7 +672,12 @@ impl Tensor {
     /// Panics if `idx.len() != self.rows()` or any index `>= n_out`.
     pub fn scatter_add_rows(&self, idx: &[usize], n_out: usize) -> Tensor {
         let (n, m) = (self.rows(), self.cols());
-        assert_eq!(idx.len(), n, "scatter_add_rows: {} indices for {n} rows", idx.len());
+        assert_eq!(
+            idx.len(),
+            n,
+            "scatter_add_rows: {} indices for {n} rows",
+            idx.len()
+        );
         let mut out = vec![0.0f32; n_out * m];
         for (i, &t) in idx.iter().enumerate() {
             assert!(t < n_out, "scatter_add_rows target {t} out of {n_out}");
@@ -565,7 +687,10 @@ impl Tensor {
                 *d += s;
             }
         }
-        Tensor { shape: Shape::matrix(n_out, m), data: Arc::new(out) }
+        Tensor {
+            shape: Shape::matrix(n_out, m),
+            data: Arc::new(out),
+        }
     }
 
     /// Concatenates matrices with equal row counts along the column axis.
@@ -587,7 +712,10 @@ impl Tensor {
                 out.extend_from_slice(&p.data[r * m..(r + 1) * m]);
             }
         }
-        Tensor { shape: Shape::matrix(n, total), data: Arc::new(out) }
+        Tensor {
+            shape: Shape::matrix(n, total),
+            data: Arc::new(out),
+        }
     }
 
     /// Extracts columns `[start, end)` of a matrix.
@@ -597,13 +725,19 @@ impl Tensor {
     /// Panics if `start > end` or `end > self.cols()`.
     pub fn slice_cols(&self, start: usize, end: usize) -> Tensor {
         let (n, m) = (self.rows(), self.cols());
-        assert!(start <= end && end <= m, "slice_cols {start}..{end} out of {m}");
+        assert!(
+            start <= end && end <= m,
+            "slice_cols {start}..{end} out of {m}"
+        );
         let w = end - start;
         let mut out = Vec::with_capacity(n * w);
         for r in 0..n {
             out.extend_from_slice(&self.data[r * m + start..r * m + end]);
         }
-        Tensor { shape: Shape::matrix(n, w), data: Arc::new(out) }
+        Tensor {
+            shape: Shape::matrix(n, w),
+            data: Arc::new(out),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -616,7 +750,11 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
-        assert_eq!(self.shape, other.shape, "axpy: {} vs {}", self.shape, other.shape);
+        assert_eq!(
+            self.shape, other.shape,
+            "axpy: {} vs {}",
+            self.shape, other.shape
+        );
         let dst = Arc::make_mut(&mut self.data);
         for (d, &s) in dst.iter_mut().zip(other.data.iter()) {
             *d += alpha * s;
@@ -629,7 +767,11 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn lerp_from(&mut self, beta: f32, other: &Tensor) {
-        assert_eq!(self.shape, other.shape, "lerp_from: {} vs {}", self.shape, other.shape);
+        assert_eq!(
+            self.shape, other.shape,
+            "lerp_from: {} vs {}",
+            self.shape, other.shape
+        );
         let dst = Arc::make_mut(&mut self.data);
         for (d, &s) in dst.iter_mut().zip(other.data.iter()) {
             *d = beta * *d + (1.0 - beta) * s;
@@ -642,7 +784,11 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn zip_assign(&mut self, other: &Tensor, f: impl Fn(f32, f32) -> f32) {
-        assert_eq!(self.shape, other.shape, "zip_assign: {} vs {}", self.shape, other.shape);
+        assert_eq!(
+            self.shape, other.shape,
+            "zip_assign: {} vs {}",
+            self.shape, other.shape
+        );
         let dst = Arc::make_mut(&mut self.data);
         for (d, &s) in dst.iter_mut().zip(other.data.iter()) {
             *d = f(*d, s);
@@ -678,7 +824,12 @@ impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{} ", self.shape)?;
         const MAX: usize = 8;
-        let shown: Vec<String> = self.data.iter().take(MAX).map(|v| format!("{v:.4}")).collect();
+        let shown: Vec<String> = self
+            .data
+            .iter()
+            .take(MAX)
+            .map(|v| format!("{v:.4}"))
+            .collect();
         write!(f, "[{}", shown.join(", "))?;
         if self.numel() > MAX {
             write!(f, ", … {} more", self.numel() - MAX)?;
@@ -717,7 +868,10 @@ mod tests {
     fn from_vec_length_mismatch() {
         assert!(matches!(
             Tensor::from_vec((2, 2), vec![1.0]),
-            Err(TensorError::LengthMismatch { expected: 4, actual: 1 })
+            Err(TensorError::LengthMismatch {
+                expected: 4,
+                actual: 1
+            })
         ));
     }
 
@@ -758,7 +912,10 @@ mod tests {
     fn broadcast_add_row_mul_col() {
         let a = t2(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
         let bias = Tensor::from_vec(3, vec![10.0, 20.0, 30.0]).unwrap();
-        assert_eq!(a.add_row(&bias).data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        assert_eq!(
+            a.add_row(&bias).data(),
+            &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]
+        );
         let col = Tensor::from_vec((2, 1), vec![2.0, -1.0]).unwrap();
         assert_eq!(a.mul_col(&col).data(), &[2.0, 4.0, 6.0, -4.0, -5.0, -6.0]);
     }

@@ -212,7 +212,9 @@ proptest! {
 /// Deterministic pseudo-random tensor so proptest shrinking stays stable.
 fn deterministic(rows: usize, cols: usize, seed: u64) -> Tensor {
     Tensor::from_fn((rows, cols), |i| {
-        let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed * 31 + 17);
+        let x = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(seed * 31 + 17);
         ((x >> 33) as f32 / (u32::MAX >> 2) as f32) - 1.0
     })
 }

@@ -39,7 +39,11 @@ pub struct LossConfig {
 
 impl Default for LossConfig {
     fn default() -> Self {
-        LossConfig { energy_weight: 1.0, force_weight: 1.0, kind: LossKind::Mse }
+        LossConfig {
+            energy_weight: 1.0,
+            force_weight: 1.0,
+            kind: LossKind::Mse,
+        }
     }
 }
 
@@ -134,7 +138,10 @@ mod tests {
         let extensive = targets.energy.mul(&counts);
         let e = tape.param(extensive);
         let f = tape.param(targets.forces.clone());
-        let out = ModelOutput { energy: e, forces: f };
+        let out = ModelOutput {
+            energy: e,
+            forces: f,
+        };
         let loss = LossConfig::default().compute(&mut tape, out, &batch, &targets);
         assert!(tape.value(loss).item().abs() < 1e-10);
     }
@@ -148,8 +155,14 @@ mod tests {
             let loss = cfg.compute(&mut tape, out, &batch, &targets);
             tape.value(loss).item()
         };
-        let mse = eval(LossConfig { kind: LossKind::Mse, ..Default::default() });
-        let huber = eval(LossConfig { kind: LossKind::Huber { delta: 0.1 }, ..Default::default() });
+        let mse = eval(LossConfig {
+            kind: LossKind::Mse,
+            ..Default::default()
+        });
+        let huber = eval(LossConfig {
+            kind: LossKind::Huber { delta: 0.1 },
+            ..Default::default()
+        });
         // An untrained model has large errors; Huber grows linearly there.
         assert!(huber < mse, "huber {huber} !< mse {mse}");
     }
@@ -165,8 +178,14 @@ mod tests {
         let extensive = targets.energy.add_scalar(0.5).mul(&counts);
         let e = tape.param(extensive);
         let f = tape.param(targets.forces.add_scalar(-0.25));
-        let out = ModelOutput { energy: e, forces: f };
-        let cfg = LossConfig { kind: LossKind::Mae, ..Default::default() };
+        let out = ModelOutput {
+            energy: e,
+            forces: f,
+        };
+        let cfg = LossConfig {
+            kind: LossKind::Mae,
+            ..Default::default()
+        };
         let loss = cfg.compute(&mut tape, out, &batch, &targets);
         // MAE = 0.5 (energy term) + 0.25 (force term).
         assert!((tape.value(loss).item() - 0.75).abs() < 1e-4);
@@ -180,8 +199,14 @@ mod tests {
         let counts = Tensor::from_vec((batch.n_graphs(), 1), counts).unwrap();
         let e = tape.param(targets.energy.mul(&counts));
         let f = tape.param(targets.forces.clone());
-        let out = ModelOutput { energy: e, forces: f };
-        let cfg = LossConfig { kind: LossKind::Mae, ..Default::default() };
+        let out = ModelOutput {
+            energy: e,
+            forces: f,
+        };
+        let cfg = LossConfig {
+            kind: LossKind::Mae,
+            ..Default::default()
+        };
         let loss = cfg.compute(&mut tape, out, &batch, &targets);
         let grads = tape.backward(loss);
         assert!(grads.get(e).expect("grad").is_finite());
@@ -194,8 +219,12 @@ mod tests {
         let eval = |ew: f32, fw: f32| {
             let mut tape = Tape::new();
             let (_, out) = model.bind_and_forward(&mut tape, &batch);
-            let loss = LossConfig { energy_weight: ew, force_weight: fw, kind: LossKind::Mse }
-                .compute(&mut tape, out, &batch, &targets);
+            let loss = LossConfig {
+                energy_weight: ew,
+                force_weight: fw,
+                kind: LossKind::Mse,
+            }
+            .compute(&mut tape, out, &batch, &targets);
             tape.value(loss).item()
         };
         let both = eval(1.0, 1.0);
@@ -209,10 +238,17 @@ mod tests {
         let (batch, targets, model) = setup();
         let mut tape = Tape::new();
         let (pvars, out) = model.bind_and_forward(&mut tape, &batch);
-        let loss = LossConfig { kind: LossKind::Huber { delta: 0.5 }, ..Default::default() }
-            .compute(&mut tape, out, &batch, &targets);
+        let loss = LossConfig {
+            kind: LossKind::Huber { delta: 0.5 },
+            ..Default::default()
+        }
+        .compute(&mut tape, out, &batch, &targets);
         let grads = tape.backward(loss);
         let n_with_grad = pvars.iter().filter(|&&v| grads.get(v).is_some()).count();
-        assert_eq!(n_with_grad, pvars.len(), "some parameters received no gradient");
+        assert_eq!(
+            n_with_grad,
+            pvars.len(),
+            "some parameters received no gradient"
+        );
     }
 }

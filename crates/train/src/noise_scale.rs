@@ -87,14 +87,17 @@ fn mean_grad_norm_sq<M: GnnModel + ?Sized>(
     let mut count = 0usize;
     let mut shuffle = seed;
     while count < n {
-        for (batch, targets) in
-            BatchIterator::new(dataset, batch_size, Some(shuffle), *normalizer)
+        for (batch, targets) in BatchIterator::new(dataset, batch_size, Some(shuffle), *normalizer)
         {
             if batch.n_graphs() < batch_size {
                 continue; // keep the estimator's B exact
             }
             let outcome = vanilla_step(model, &batch, &targets, loss_cfg, None);
-            total += outcome.grads.iter().map(|g| g.norm_sq() as f64).sum::<f64>();
+            total += outcome
+                .grads
+                .iter()
+                .map(|g| g.norm_sq() as f64)
+                .sum::<f64>();
             count += 1;
             if count >= n {
                 break;
@@ -129,8 +132,15 @@ pub fn estimate_noise_scale<M: GnnModel + ?Sized>(
         "dataset of {} graphs cannot form a batch of {b_big}",
         dataset.len()
     );
-    let gsq_small =
-        mean_grad_norm_sq(model, dataset, normalizer, loss_cfg, b_small, n_estimates, seed);
+    let gsq_small = mean_grad_norm_sq(
+        model,
+        dataset,
+        normalizer,
+        loss_cfg,
+        b_small,
+        n_estimates,
+        seed,
+    );
     let gsq_big = mean_grad_norm_sq(
         model,
         dataset,
@@ -143,8 +153,19 @@ pub fn estimate_noise_scale<M: GnnModel + ?Sized>(
     let (bs, bb) = (b_small as f64, b_big as f64);
     let g2 = (bb * gsq_big - bs * gsq_small) / (bb - bs);
     let trace_sigma = (gsq_small - gsq_big) / (1.0 / bs - 1.0 / bb);
-    let b_simple = if g2 > 0.0 { (trace_sigma / g2).max(0.0) } else { f64::INFINITY };
-    NoiseScaleEstimate { g2, trace_sigma, b_simple, b_small, b_big, n_estimates }
+    let b_simple = if g2 > 0.0 {
+        (trace_sigma / g2).max(0.0)
+    } else {
+        f64::INFINITY
+    };
+    NoiseScaleEstimate {
+        g2,
+        trace_sigma,
+        b_simple,
+        b_small,
+        b_big,
+        n_estimates,
+    }
 }
 
 #[cfg(test)]
@@ -162,23 +183,13 @@ mod tests {
     #[test]
     fn estimate_is_finite_and_consistent() {
         let (ds, norm, model) = setup();
-        let est = estimate_noise_scale(
-            &model,
-            &ds,
-            &norm,
-            &LossConfig::default(),
-            2,
-            16,
-            6,
-            1,
-        );
+        let est = estimate_noise_scale(&model, &ds, &norm, &LossConfig::default(), 2, 16, 6, 1);
         assert!(est.trace_sigma.is_finite());
         assert!(est.g2.is_finite());
         assert!(est.b_simple >= 0.0, "noise scale {}", est.b_simple);
         // Self-consistency: the model E‖G_B‖² = g2 + trΣ/B must reproduce
         // a *third* batch size's measured norm reasonably well.
-        let measured_mid =
-            mean_grad_norm_sq(&model, &ds, &norm, &LossConfig::default(), 8, 6, 2);
+        let measured_mid = mean_grad_norm_sq(&model, &ds, &norm, &LossConfig::default(), 8, 6, 2);
         let predicted_mid = est.g2 + est.trace_sigma / 8.0;
         assert!(
             (measured_mid - predicted_mid).abs() < 0.7 * measured_mid.abs().max(1e-9),
@@ -217,7 +228,6 @@ mod tests {
     #[should_panic(expected = "b_small < b_big")]
     fn invalid_batch_sizes_rejected() {
         let (ds, norm, model) = setup();
-        let _ =
-            estimate_noise_scale(&model, &ds, &norm, &LossConfig::default(), 8, 8, 1, 0);
+        let _ = estimate_noise_scale(&model, &ds, &norm, &LossConfig::default(), 8, 8, 1, 0);
     }
 }

@@ -13,9 +13,7 @@ use std::time::{Duration, Instant};
 use matgnn_data::Targets;
 use matgnn_graph::GraphBatch;
 use matgnn_model::GnnModel;
-use matgnn_tensor::{
-    MemoryBreakdown, MemoryCategory, MemorySnapshot, MemoryTracker,
-};
+use matgnn_tensor::{MemoryBreakdown, MemoryCategory, MemorySnapshot, MemoryTracker};
 
 use crate::{train_step, Adam, AdamHyper, LossConfig, Optimizer};
 
@@ -65,7 +63,14 @@ pub fn profile_step<M: GnnModel>(
     tracker.snapshot("steady state (weights + optimizer)");
 
     let start = Instant::now();
-    let outcome = train_step(model, batch, targets, loss_cfg, checkpointed, Some(&tracker));
+    let outcome = train_step(
+        model,
+        batch,
+        targets,
+        loss_cfg,
+        checkpointed,
+        Some(&tracker),
+    );
     // Materialized parameter gradients persist until the optimizer step.
     let grad_bytes: u64 = outcome.grads.iter().map(|g| g.bytes() as u64).sum();
     tracker.alloc(MemoryCategory::Gradients, grad_bytes);
@@ -142,8 +147,7 @@ mod tests {
     fn checkpointing_cuts_peak() {
         let mut model = Egnn::new(EgnnConfig::new(16, 5));
         let (batch, targets) = setup();
-        let vanilla =
-            profile_step(&mut model, &batch, &targets, &LossConfig::default(), false);
+        let vanilla = profile_step(&mut model, &batch, &targets, &LossConfig::default(), false);
         let ckpt = profile_step(&mut model, &batch, &targets, &LossConfig::default(), true);
         assert!(
             (ckpt.peak_total as f64) < 0.8 * vanilla.peak_total as f64,
@@ -173,8 +177,14 @@ mod tests {
     fn timed_profile_averages() {
         let mut model = Egnn::new(EgnnConfig::new(8, 2));
         let (batch, targets) = setup();
-        let p =
-            profile_step_timed(&mut model, &batch, &targets, &LossConfig::default(), false, 2);
+        let p = profile_step_timed(
+            &mut model,
+            &batch,
+            &targets,
+            &LossConfig::default(),
+            false,
+            2,
+        );
         assert!(p.wall > Duration::ZERO);
     }
 }

@@ -5,8 +5,7 @@
 use serde::{Deserialize, Serialize};
 
 /// A learning-rate schedule as a multiplier over the base LR.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum LrSchedule {
     /// Constant multiplier of 1.
     #[default]
@@ -28,15 +27,18 @@ impl LrSchedule {
     pub fn factor(&self, step: usize) -> f32 {
         match *self {
             LrSchedule::Constant => 1.0,
-            LrSchedule::WarmupCosine { warmup_steps, total_steps, min_factor } => {
+            LrSchedule::WarmupCosine {
+                warmup_steps,
+                total_steps,
+                min_factor,
+            } => {
                 if warmup_steps > 0 && step < warmup_steps {
                     return (step + 1) as f32 / warmup_steps as f32;
                 }
                 if total_steps <= warmup_steps || step >= total_steps {
                     return min_factor;
                 }
-                let progress =
-                    (step - warmup_steps) as f32 / (total_steps - warmup_steps) as f32;
+                let progress = (step - warmup_steps) as f32 / (total_steps - warmup_steps) as f32;
                 let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
                 min_factor + (1.0 - min_factor) * cos
             }
@@ -48,7 +50,6 @@ impl LrSchedule {
         base_lr * self.factor(step)
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -63,7 +64,11 @@ mod tests {
 
     #[test]
     fn warmup_ramps_linearly() {
-        let s = LrSchedule::WarmupCosine { warmup_steps: 10, total_steps: 100, min_factor: 0.0 };
+        let s = LrSchedule::WarmupCosine {
+            warmup_steps: 10,
+            total_steps: 100,
+            min_factor: 0.0,
+        };
         assert!((s.factor(0) - 0.1).abs() < 1e-6);
         assert!((s.factor(4) - 0.5).abs() < 1e-6);
         assert!((s.factor(9) - 1.0).abs() < 1e-6);
@@ -71,7 +76,11 @@ mod tests {
 
     #[test]
     fn cosine_decays_to_min() {
-        let s = LrSchedule::WarmupCosine { warmup_steps: 10, total_steps: 110, min_factor: 0.1 };
+        let s = LrSchedule::WarmupCosine {
+            warmup_steps: 10,
+            total_steps: 110,
+            min_factor: 0.1,
+        };
         // Just after warmup: near 1.
         assert!(s.factor(10) > 0.99);
         // Midway: near the midpoint of [min, 1].
@@ -84,7 +93,11 @@ mod tests {
 
     #[test]
     fn monotone_decay_after_warmup() {
-        let s = LrSchedule::WarmupCosine { warmup_steps: 5, total_steps: 50, min_factor: 0.0 };
+        let s = LrSchedule::WarmupCosine {
+            warmup_steps: 5,
+            total_steps: 50,
+            min_factor: 0.0,
+        };
         let mut prev = f32::INFINITY;
         for step in 5..50 {
             let f = s.factor(step);
@@ -95,13 +108,21 @@ mod tests {
 
     #[test]
     fn zero_warmup_supported() {
-        let s = LrSchedule::WarmupCosine { warmup_steps: 0, total_steps: 10, min_factor: 0.0 };
+        let s = LrSchedule::WarmupCosine {
+            warmup_steps: 0,
+            total_steps: 10,
+            min_factor: 0.0,
+        };
         assert!(s.factor(0) > 0.9);
     }
 
     #[test]
     fn lr_scales_base() {
-        let s = LrSchedule::WarmupCosine { warmup_steps: 2, total_steps: 10, min_factor: 0.5 };
+        let s = LrSchedule::WarmupCosine {
+            warmup_steps: 2,
+            total_steps: 10,
+            min_factor: 0.5,
+        };
         assert!((s.lr(0.02, 0) - 0.01).abs() < 1e-7);
     }
 }

@@ -37,7 +37,9 @@ fn collect_param_grads(params: &ParamSet, pvars: &[Var], grads: &mut Gradients) 
         .iter()
         .zip(params.iter())
         .map(|(&v, e)| {
-            grads.take(v).unwrap_or_else(|| Tensor::zeros(e.tensor.shape().clone()))
+            grads
+                .take(v)
+                .unwrap_or_else(|| Tensor::zeros(e.tensor.shape().clone()))
         })
         .collect()
 }
@@ -63,7 +65,10 @@ pub fn vanilla_step<M: GnnModel + ?Sized>(
         t.snapshot("after backward");
     }
     let g = collect_param_grads(model.params(), &pvars, &mut grads);
-    StepOutcome { loss: loss_val, grads: g }
+    StepOutcome {
+        loss: loss_val,
+        grads: g,
+    }
 }
 
 /// Runs forward + backward with activation checkpointing over the model's
@@ -91,8 +96,10 @@ pub fn checkpointed_step<M: GnnModel + ?Sized>(
         let mut tape = new_tape(tracker);
         let (start, end) = model.segment_param_range(seg);
         let pvars = params.bind_range(&mut tape, start, end);
-        let state_vars: Vec<Var> =
-            boundaries[seg].iter().map(|t| tape.constant(t.clone())).collect();
+        let state_vars: Vec<Var> = boundaries[seg]
+            .iter()
+            .map(|t| tape.constant(t.clone()))
+            .collect();
         let out_vars = model.segment_forward(&mut tape, seg, &pvars, batch, &state_vars);
         let out_vals: Vec<Tensor> = out_vars.iter().map(|&v| tape.value(v).clone()).collect();
         // Retained boundary tensors are the activations checkpointing pays
@@ -118,32 +125,54 @@ pub fn checkpointed_step<M: GnnModel + ?Sized>(
         let pvars = params.bind_range(&mut tape, start, end);
         // Bind the segment's input state as parameters so gradients flow
         // out of the segment and can seed the next (earlier) one.
-        let state_vars: Vec<Var> =
-            boundaries[seg].iter().map(|t| tape.param(t.clone())).collect();
+        let state_vars: Vec<Var> = boundaries[seg]
+            .iter()
+            .map(|t| tape.param(t.clone()))
+            .collect();
         let out_vars = model.segment_forward(&mut tape, seg, &pvars, batch, &state_vars);
 
         let mut grads = if seg == n_seg - 1 {
-            assert_eq!(out_vars.len(), 2, "final segment must return [energy, forces]");
-            let out = ModelOutput { energy: out_vars[0], forces: out_vars[1] };
+            assert_eq!(
+                out_vars.len(),
+                2,
+                "final segment must return [energy, forces]"
+            );
+            let out = ModelOutput {
+                energy: out_vars[0],
+                forces: out_vars[1],
+            };
             let loss = loss_cfg.compute(&mut tape, out, batch, targets);
             loss_val = tape.value(loss).item() as f64;
             tape.backward(loss)
         } else {
-            assert_eq!(out_vars.len(), state_seeds.len(), "segment state arity changed");
-            let seeds: Vec<(Var, Tensor)> =
-                out_vars.iter().copied().zip(state_seeds.drain(..)).collect();
+            assert_eq!(
+                out_vars.len(),
+                state_seeds.len(),
+                "segment state arity changed"
+            );
+            let seeds: Vec<(Var, Tensor)> = out_vars
+                .iter()
+                .copied()
+                .zip(state_seeds.drain(..))
+                .collect();
             tape.backward_seeded(&seeds)
         };
 
         for (k, &v) in pvars.iter().enumerate() {
-            param_grads[start + k] = Some(grads.take(v).unwrap_or_else(|| {
-                Tensor::zeros(params.tensor(start + k).shape().clone())
-            }));
+            param_grads[start + k] = Some(
+                grads
+                    .take(v)
+                    .unwrap_or_else(|| Tensor::zeros(params.tensor(start + k).shape().clone())),
+            );
         }
         state_seeds = state_vars
             .iter()
             .zip(boundaries[seg].iter())
-            .map(|(&v, t)| grads.take(v).unwrap_or_else(|| Tensor::zeros(t.shape().clone())))
+            .map(|(&v, t)| {
+                grads
+                    .take(v)
+                    .unwrap_or_else(|| Tensor::zeros(t.shape().clone()))
+            })
             .collect();
 
         // The downstream boundary (this segment's output) is no longer
@@ -165,7 +194,10 @@ pub fn checkpointed_step<M: GnnModel + ?Sized>(
         .enumerate()
         .map(|(i, g)| g.unwrap_or_else(|| Tensor::zeros(params.tensor(i).shape().clone())))
         .collect();
-    StepOutcome { loss: loss_val, grads }
+    StepOutcome {
+        loss: loss_val,
+        grads,
+    }
 }
 
 /// Dispatches to the vanilla or checkpointed step.
@@ -204,7 +236,12 @@ mod tests {
         let cfg = LossConfig::default();
         let a = vanilla_step(&model, &batch, &targets, &cfg, None);
         let b = checkpointed_step(&model, &batch, &targets, &cfg, None);
-        assert!((a.loss - b.loss).abs() < 1e-6 * (1.0 + a.loss.abs()), "{} vs {}", a.loss, b.loss);
+        assert!(
+            (a.loss - b.loss).abs() < 1e-6 * (1.0 + a.loss.abs()),
+            "{} vs {}",
+            a.loss,
+            b.loss
+        );
         assert_eq!(a.grads.len(), b.grads.len());
         for (i, (ga, gb)) in a.grads.iter().zip(b.grads.iter()).enumerate() {
             let tol = 1e-4 * (1.0 + ga.max_abs());
@@ -272,7 +309,11 @@ mod tests {
                 Some(&tracker),
             );
             let cur = tracker.current();
-            assert_eq!(cur.get(MemoryCategory::Activations), 0, "ckpt={checkpointed}");
+            assert_eq!(
+                cur.get(MemoryCategory::Activations),
+                0,
+                "ckpt={checkpointed}"
+            );
             assert_eq!(cur.get(MemoryCategory::Gradients), 0, "ckpt={checkpointed}");
         }
     }

@@ -56,8 +56,12 @@ fn main() {
     let norm = Normalizer::fit(&train);
     let mut model = Egnn::new(EgnnConfig::with_target_params(15_000, 3).with_seed(7));
     println!("training {} on {} graphs…", model.describe(), train.len());
-    let report = Trainer::new(TrainConfig { epochs: 6, batch_size: 8, ..Default::default() })
-        .fit(&mut model, &train, Some(&test), &norm);
+    let report = Trainer::new(TrainConfig {
+        epochs: 6,
+        batch_size: 8,
+        ..Default::default()
+    })
+    .fit(&mut model, &train, Some(&test), &norm);
     println!(
         "trained: test loss {:.4} ({} steps, {:.1}s)",
         report.final_loss(),
@@ -71,8 +75,10 @@ fn main() {
     candidates.extend(SourceKind::Oc2022.generate(12, 9999, &gen));
     println!("\nscreening {} candidate surfaces", candidates.len());
 
-    let predicted: Vec<f64> =
-        candidates.iter().map(|s| predict_energy_per_atom(&model, &norm, s)).collect();
+    let predicted: Vec<f64> = candidates
+        .iter()
+        .map(|s| predict_energy_per_atom(&model, &norm, s))
+        .collect();
     let reference: Vec<f64> = candidates.iter().map(|s| s.energy_per_atom()).collect();
 
     // Rank the candidates by predicted stability (lowest energy first).

@@ -20,7 +20,12 @@ fn main() {
 
     // ---- Plain DDP training ------------------------------------------
     let mut replica = model.clone();
-    let cfg = DdpConfig { world: 4, epochs: 3, batch_size: 4, ..Default::default() };
+    let cfg = DdpConfig {
+        world: 4,
+        epochs: 3,
+        batch_size: 4,
+        ..Default::default()
+    };
     let report = train_ddp(&mut replica, &ds, &norm, &cfg);
     println!("DDP training, {} steps:", report.steps);
     for (epoch, loss) in report.epoch_loss.iter().enumerate() {
@@ -37,7 +42,12 @@ fn main() {
 
     // ---- The Sec. V memory-technique matrix --------------------------
     println!("memory techniques (one epoch each, rank-0 peaks):");
-    let base = DdpConfig { world: 4, epochs: 1, batch_size: 4, ..Default::default() };
+    let base = DdpConfig {
+        world: 4,
+        epochs: 1,
+        batch_size: 4,
+        ..Default::default()
+    };
     let profiles = run_memory_settings(&model, &ds, &norm, &base);
     let base_peak = profiles[0].peak_total as f64;
     let base_time = profiles[0].step_wall.as_secs_f64();

@@ -28,9 +28,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_rbf(12)
             .with_seed(31),
     );
-    println!("pretraining {} on {} graphs…", foundation.describe(), pretrain.len());
-    let report = Trainer::new(TrainConfig { epochs: 5, batch_size: 8, ..Default::default() })
-        .fit(&mut foundation, &pretrain, Some(&val), &norm);
+    println!(
+        "pretraining {} on {} graphs…",
+        foundation.describe(),
+        pretrain.len()
+    );
+    let report = Trainer::new(TrainConfig {
+        epochs: 5,
+        batch_size: 8,
+        ..Default::default()
+    })
+    .fit(&mut foundation, &pretrain, Some(&val), &norm);
     println!(
         "pretrained: val loss {:.4} after {} steps ({:.1}s)",
         report.final_loss(),
@@ -58,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let loss_cfg = LossConfig::default();
 
     let zero_shot = evaluate(&downstream, &target_test, &norm, &loss_cfg, 8);
-    println!("\nzero-shot on the target task:  loss {:.4}", zero_shot.loss);
+    println!(
+        "\nzero-shot on the target task:  loss {:.4}",
+        zero_shot.loss
+    );
 
     let ft_cfg = TrainConfig {
         epochs: 6,
@@ -73,7 +84,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "fine-tuned ({} epochs{}):       loss {:.4}",
         ft_report.epochs.len(),
-        if ft_report.early_stopped { ", early-stopped" } else { "" },
+        if ft_report.early_stopped {
+            ", early-stopped"
+        } else {
+            ""
+        },
         fine_tuned.loss
     );
 
@@ -86,7 +101,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sc_report =
         Trainer::new(ft_cfg).fit(&mut scratch, &target_train, Some(&target_test), &norm);
     let from_scratch = sc_report.final_eval.expect("test set supplied");
-    println!("from scratch (same budget):    loss {:.4}", from_scratch.loss);
+    println!(
+        "from scratch (same budget):    loss {:.4}",
+        from_scratch.loss
+    );
 
     println!(
         "\nfoundation-model advantage: {:.1}× lower loss than from-scratch",

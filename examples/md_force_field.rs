@@ -36,7 +36,12 @@ fn predict_forces(model: &Egnn, norm: &Normalizer, s: &AtomicStructure, cutoff: 
 /// Predicts **energy-conserving** forces `F = −∂E/∂x` by differentiating
 /// the learned energy surface — the property long MD runs want, at the
 /// cost of a backward pass per step.
-fn predict_conservative(model: &Egnn, norm: &Normalizer, s: &AtomicStructure, cutoff: f64) -> Vec<Vec3> {
+fn predict_conservative(
+    model: &Egnn,
+    norm: &Normalizer,
+    s: &AtomicStructure,
+    cutoff: f64,
+) -> Vec<Vec3> {
     let graph = MolGraph::from_structure(s, cutoff);
     let batch = GraphBatch::from_graphs(&[&graph]);
     let (_, f) = model.conservative_forces(&batch);
@@ -69,7 +74,10 @@ fn verlet_step(
         let acc = vec3::scale(forces[a], ACC / masses[a]);
         positions[a] = vec3::add(
             positions[a],
-            vec3::add(vec3::scale(velocities[a], dt), vec3::scale(acc, 0.5 * dt * dt)),
+            vec3::add(
+                vec3::scale(velocities[a], dt),
+                vec3::scale(acc, 0.5 * dt * dt),
+            ),
         );
     }
     *s = AtomicStructure::new(s.species().to_vec(), positions).expect("valid geometry");
@@ -99,12 +107,19 @@ fn main() {
     let report = Trainer::new(TrainConfig {
         epochs: 8,
         batch_size: 8,
-        loss: LossConfig { energy_weight: 0.2, force_weight: 1.0, kind: LossKind::Mse },
+        loss: LossConfig {
+            energy_weight: 0.2,
+            force_weight: 1.0,
+            kind: LossKind::Mse,
+        },
         ..Default::default()
     })
     .fit(&mut model, &train, Some(&test), &norm);
     let m = report.final_eval.expect("test set");
-    println!("force MAE after training: {:.4} eV/Å (test loss {:.4})\n", m.force_mae, m.loss);
+    println!(
+        "force MAE after training: {:.4} eV/Å (test loss {:.4})\n",
+        m.force_mae, m.loss
+    );
 
     // A fresh molecule to simulate: methane, unseen by training.
     let molecule = AtomicStructure::new(
@@ -136,12 +151,20 @@ fn main() {
 
     let mut force_err_acc = 0.0;
     for step in 0..steps {
-        f_model = verlet_step(&mut s_model, &mut v_model, &f_model, |s| {
-            predict_forces(&model, &norm, s, cutoff)
-        }, dt);
-        f_ref = verlet_step(&mut s_ref, &mut v_ref, &f_ref, |s| {
-            potential.energy_forces(s).1
-        }, dt);
+        f_model = verlet_step(
+            &mut s_model,
+            &mut v_model,
+            &f_model,
+            |s| predict_forces(&model, &norm, s, cutoff),
+            dt,
+        );
+        f_ref = verlet_step(
+            &mut s_ref,
+            &mut v_ref,
+            &f_ref,
+            |s| potential.energy_forces(s).1,
+            dt,
+        );
 
         // Instantaneous force agreement on the reference geometry.
         let f_pred_on_ref = predict_forces(&model, &norm, &s_ref, cutoff);
@@ -186,8 +209,14 @@ fn main() {
             / truth.len() as f64
     };
     println!("\nforce-prediction modes on the final geometry:");
-    println!("  direct head (trained on forces):      mean |ΔF| {:.4} eV/Å", mae(&direct));
-    println!("  conservative −∂E/∂x (energy-derived): mean |ΔF| {:.4} eV/Å", mae(&conservative));
+    println!(
+        "  direct head (trained on forces):      mean |ΔF| {:.4} eV/Å",
+        mae(&direct)
+    );
+    println!(
+        "  conservative −∂E/∂x (energy-derived): mean |ΔF| {:.4} eV/Å",
+        mae(&conservative)
+    );
     println!("(conservative forces integrate to the learned energy surface by construction)");
     println!("(the paper's motivation: accurate forces ⇒ usable MD without DFT every step)");
 }

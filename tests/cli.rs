@@ -25,7 +25,11 @@ fn full_pipeline_generate_train_info_evaluate() {
         .arg(&data)
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(data.exists());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("wrote 40 graphs"), "{stdout}");
@@ -37,13 +41,21 @@ fn full_pipeline_generate_train_info_evaluate() {
         .arg(&model)
         .output()
         .expect("run train");
-    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("epoch  0"), "{stdout}");
     assert!(stdout.contains("saved model"), "{stdout}");
 
-    let out = cli().args(["info", "--model"]).arg(&model).output().expect("run info");
+    let out = cli()
+        .args(["info", "--model"])
+        .arg(&model)
+        .output()
+        .expect("run info");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("parameters:"), "{stdout}");
@@ -56,7 +68,11 @@ fn full_pipeline_generate_train_info_evaluate() {
         .arg(&data)
         .output()
         .expect("run evaluate");
-    assert!(out.status.success(), "evaluate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "evaluate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("evaluation on 40 graphs"), "{stdout}");
 
@@ -73,7 +89,10 @@ fn unknown_command_fails_with_message() {
 
 #[test]
 fn missing_required_flag_fails() {
-    let out = cli().args(["generate", "--graphs", "5"]).output().expect("run");
+    let out = cli()
+        .args(["generate", "--graphs", "5"])
+        .output()
+        .expect("run");
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("--out"), "{stderr}");
@@ -93,7 +112,13 @@ fn help_prints_usage() {
 #[test]
 fn evaluate_missing_model_file_errors() {
     let out = cli()
-        .args(["evaluate", "--model", "/nonexistent/model.mgnn", "--graphs", "4"])
+        .args([
+            "evaluate",
+            "--model",
+            "/nonexistent/model.mgnn",
+            "--graphs",
+            "4",
+        ])
         .output()
         .expect("run");
     assert!(!out.status.success());

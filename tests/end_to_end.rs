@@ -16,8 +16,12 @@ fn training_beats_untrained_baseline() {
     let loss_cfg = LossConfig::default();
     let mut model = Egnn::new(EgnnConfig::with_target_params(5_000, 3).with_seed(2));
     let before = evaluate(&model, &test, &norm, &loss_cfg, 8);
-    let report = Trainer::new(TrainConfig { epochs: 5, batch_size: 8, ..Default::default() })
-        .fit(&mut model, &train, Some(&test), &norm);
+    let report = Trainer::new(TrainConfig {
+        epochs: 5,
+        batch_size: 8,
+        ..Default::default()
+    })
+    .fit(&mut model, &train, Some(&test), &norm);
     let after = report.final_eval.expect("test set");
     assert!(
         after.loss < 0.5 * before.loss,
@@ -43,9 +47,13 @@ fn store_roundtrip_preserves_training_behaviour() {
 
     let run = |ds: &Dataset| {
         let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(3));
-        Trainer::new(TrainConfig { epochs: 1, batch_size: 8, ..Default::default() })
-            .fit(&mut model, ds, None, &norm)
-            .epochs[0]
+        Trainer::new(TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            ..Default::default()
+        })
+        .fit(&mut model, ds, None, &norm)
+        .epochs[0]
             .train_loss
     };
     let a = run(&train);
@@ -83,7 +91,11 @@ fn gcn_baseline_worse_at_forces_than_egnn() {
     // equivariant forces beat an invariant-feature force head.
     let (train, test, norm) = pipeline_data();
     let loss_cfg = LossConfig::default();
-    let tc = TrainConfig { epochs: 5, batch_size: 8, ..Default::default() };
+    let tc = TrainConfig {
+        epochs: 5,
+        batch_size: 8,
+        ..Default::default()
+    };
 
     let mut egnn = Egnn::new(EgnnConfig::with_target_params(5_000, 3));
     let _ = Trainer::new(tc).fit(&mut egnn, &train, None, &norm);
@@ -108,12 +120,19 @@ fn rbf_layernorm_variant_trains_end_to_end() {
     let (train, test, norm) = pipeline_data();
     let run = |cfg: EgnnConfig| {
         let mut model = Egnn::new(cfg.with_seed(12));
-        Trainer::new(TrainConfig { epochs: 4, batch_size: 8, ..Default::default() })
-            .fit(&mut model, &train, Some(&test), &norm)
-            .final_loss()
+        Trainer::new(TrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            ..Default::default()
+        })
+        .fit(&mut model, &train, Some(&test), &norm)
+        .final_loss()
     };
     let plain = run(EgnnConfig::new(10, 3));
-    let featured = run(EgnnConfig::new(10, 3).with_rbf(8).with_layer_norm(true).with_residual(true));
+    let featured = run(EgnnConfig::new(10, 3)
+        .with_rbf(8)
+        .with_layer_norm(true)
+        .with_residual(true));
     assert!(featured.is_finite() && plain.is_finite());
     assert!(
         featured < plain * 1.3,
@@ -126,8 +145,12 @@ fn checkpoint_roundtrip_preserves_trained_quality() {
     // Train → save → load in a fresh model → identical evaluation.
     let (train, test, norm) = pipeline_data();
     let mut model = Egnn::new(EgnnConfig::with_target_params(5_000, 3).with_seed(13));
-    let _ = Trainer::new(TrainConfig { epochs: 3, batch_size: 8, ..Default::default() })
-        .fit(&mut model, &train, None, &norm);
+    let _ = Trainer::new(TrainConfig {
+        epochs: 3,
+        batch_size: 8,
+        ..Default::default()
+    })
+    .fit(&mut model, &train, None, &norm);
     let before = evaluate(&model, &test, &norm, &LossConfig::default(), 8);
 
     let bytes = egnn_to_bytes(&model);
@@ -148,9 +171,13 @@ fn dirstore_feeds_training_identically() {
 
     let run = |ds: &Dataset| {
         let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(14));
-        Trainer::new(TrainConfig { epochs: 1, batch_size: 8, ..Default::default() })
-            .fit(&mut model, ds, None, &norm)
-            .epochs[0]
+        Trainer::new(TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            ..Default::default()
+        })
+        .fit(&mut model, ds, None, &norm)
+        .epochs[0]
             .train_loss
     };
     let a = run(&train);
@@ -195,8 +222,12 @@ fn biased_subset_generalizes_worse_than_stratified() {
 
     let run = |ds: &Dataset| {
         let mut model = Egnn::new(EgnnConfig::new(10, 3).with_seed(6));
-        Trainer::new(TrainConfig { epochs: 4, batch_size: 8, ..Default::default() })
-            .fit(&mut model, ds, None, &norm);
+        Trainer::new(TrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            ..Default::default()
+        })
+        .fit(&mut model, ds, None, &norm);
         evaluate(&model, &test, &norm, &LossConfig::default(), 8).loss
     };
     let biased_loss = run(&biased);

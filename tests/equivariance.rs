@@ -10,8 +10,12 @@ fn trained_model() -> (Egnn, Normalizer) {
     let ds = Dataset::generate_aggregate(60, 13, &gen);
     let norm = Normalizer::fit(&ds);
     let mut model = Egnn::new(EgnnConfig::new(10, 3).with_seed(13));
-    let _ = Trainer::new(TrainConfig { epochs: 2, batch_size: 8, ..Default::default() })
-        .fit(&mut model, &ds, None, &norm);
+    let _ = Trainer::new(TrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        ..Default::default()
+    })
+    .fit(&mut model, &ds, None, &norm);
     (model, norm)
 }
 
@@ -53,7 +57,10 @@ fn trained_model_remains_rotation_equivariant() {
 
     let (e1, f1) = predict(&model, &s);
     let (e2, f2) = predict(&model, &r);
-    assert!((e1 - e2).abs() < 1e-3 * (1.0 + e1.abs()), "energy changed: {e1} vs {e2}");
+    assert!(
+        (e1 - e2).abs() < 1e-3 * (1.0 + e1.abs()),
+        "energy changed: {e1} vs {e2}"
+    );
     for (a, f) in f1.iter().enumerate() {
         let rf = matvec(&rot, *f);
         for k in 0..3 {
@@ -97,7 +104,10 @@ fn labels_share_the_models_symmetries() {
     for (a, f) in f1.iter().enumerate() {
         let rf = matvec(&rot, *f);
         for k in 0..3 {
-            assert!((rf[k] - f2[a][k]).abs() < 1e-8, "label forces not covariant at atom {a}");
+            assert!(
+                (rf[k] - f2[a][k]).abs() < 1e-8,
+                "label forces not covariant at atom {a}"
+            );
         }
     }
 }

@@ -3,17 +3,12 @@
 
 use proptest::prelude::*;
 
-use matgnn::prelude::*;
 use matgnn::graph::vec3;
+use matgnn::prelude::*;
 
 fn arb_positions(n: usize) -> impl Strategy<Value = Vec<[f64; 3]>> {
     prop::collection::vec(
-        (
-            -5.0f64..5.0,
-            -5.0f64..5.0,
-            -5.0f64..5.0,
-        )
-            .prop_map(|(x, y, z)| [x, y, z]),
+        (-5.0f64..5.0, -5.0f64..5.0, -5.0f64..5.0).prop_map(|(x, y, z)| [x, y, z]),
         n..=n,
     )
 }
@@ -25,8 +20,10 @@ fn arb_molecule() -> impl Strategy<Value = AtomicStructure> {
             arb_positions(n),
         )
             .prop_map(|(species_idx, positions)| {
-                let species =
-                    species_idx.iter().map(|&i| Element::from_index(i).expect("index")).collect();
+                let species = species_idx
+                    .iter()
+                    .map(|&i| Element::from_index(i).expect("index"))
+                    .collect();
                 AtomicStructure::new(species, positions).expect("valid")
             })
     })

@@ -6,7 +6,10 @@ use matgnn::scaling::{self, format_params, ExperimentConfig};
 
 fn tiny_config() -> ExperimentConfig {
     ExperimentConfig {
-        units: UnitMap { graphs_per_tb: 80.0, ..Default::default() },
+        units: UnitMap {
+            graphs_per_tb: 80.0,
+            ..Default::default()
+        },
         epochs: 2,
         model_sizes: vec![250, 2_500, 20_000],
         tb_points: vec![0.1, 0.4, 1.2],
@@ -88,7 +91,10 @@ fn unit_map_round_trips_through_experiment_sizes() {
         let back = cfg.units.actual_params(paper);
         assert!((back / size as f64 - 1.0).abs() < 1e-9);
         // Paper axis stays inside the paper's range.
-        assert!((1e4..=3e9).contains(&paper), "paper {paper} for actual {size}");
+        assert!(
+            (1e4..=3e9).contains(&paper),
+            "paper {paper} for actual {size}"
+        );
     }
 }
 
