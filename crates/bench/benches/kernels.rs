@@ -23,19 +23,40 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_matmul_variants(c: &mut Criterion) {
+    // The transposed variants carry the backward pass (∂W = aᵀ·g is
+    // matmul_tn, ∂a = g·Wᵀ is matmul_nt), so they get their own group at a
+    // hot-path-shaped size.
+    let mut group = c.benchmark_group("matmul_variants");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(4);
+    let n = 256usize;
+    let a = Tensor::randn((n, n), 1.0, &mut rng);
+    let b = Tensor::randn((n, n), 1.0, &mut rng);
+    group.bench_function("matmul_tn_256", |bch| {
+        bch.iter(|| black_box(a.matmul_tn(&b)))
+    });
+    group.bench_function("matmul_nt_256", |bch| {
+        bch.iter(|| black_box(a.matmul_nt(&b)))
+    });
+    group.finish();
+}
+
 fn bench_gather_scatter(c: &mut Criterion) {
+    // EGNN-shaped traffic: the synthetic structures average ≈30 edges per
+    // node at the training cutoff, so message passing moves 30·n_nodes rows.
     let mut group = c.benchmark_group("gather_scatter");
     group.sample_size(20);
     let mut rng = StdRng::seed_from_u64(2);
     let nodes = 2_000usize;
-    let edges = 20_000usize;
+    let edges = 30 * nodes;
     let feats = Tensor::randn((nodes, 64), 1.0, &mut rng);
     let idx: Vec<usize> = (0..edges).map(|_| rng.gen_range(0..nodes)).collect();
-    group.bench_function("gather_rows_20k_edges", |b| {
+    group.bench_function("gather_rows_60k_edges", |b| {
         b.iter(|| black_box(feats.gather_rows(&idx)))
     });
     let msgs = Tensor::randn((edges, 64), 1.0, &mut rng);
-    group.bench_function("scatter_add_20k_edges", |b| {
+    group.bench_function("scatter_add_60k_edges", |b| {
         b.iter(|| black_box(msgs.scatter_add_rows(&idx, nodes)))
     });
     group.finish();
@@ -73,6 +94,7 @@ fn bench_neighbor_list(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul,
+    bench_matmul_variants,
     bench_gather_scatter,
     bench_neighbor_list
 );

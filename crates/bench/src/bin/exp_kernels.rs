@@ -1,0 +1,205 @@
+//! Kernel suite benchmark — times every pooled kernel in the training hot
+//! path at pool-of-1 versus the configured pool size (honoring
+//! `MATGNN_THREADS`), verifies the outputs are **bitwise identical** across
+//! pool sizes, and writes the results to `BENCH_kernels.json`.
+//!
+//! ```sh
+//! MATGNN_THREADS=8 cargo run --release -p matgnn-bench --bin exp_kernels -- [--quick|--full]
+//! ```
+//!
+//! Exits non-zero if any kernel's output differs between pool sizes, so CI
+//! can use it as a determinism smoke test as well as a perf report.
+
+use matgnn::prelude::*;
+use matgnn::tensor::pool;
+use matgnn::train::{train_step, AdamHyper};
+use matgnn_bench::{banner, csv_row, RunMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+struct Row {
+    name: &'static str,
+    serial_ms: f64,
+    pooled_ms: f64,
+    equal: bool,
+}
+
+/// Best-of-`reps` wall milliseconds for `run` under a forced pool size,
+/// plus the output bits for cross-size comparison.
+fn time_leg(threads: usize, reps: usize, run: &dyn Fn() -> Vec<u32>) -> (f64, Vec<u32>) {
+    pool::set_thread_override(threads);
+    let mut best = f64::INFINITY;
+    let mut out = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = run();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    pool::set_thread_override(0);
+    (best, out)
+}
+
+fn bench(
+    rows: &mut Vec<Row>,
+    name: &'static str,
+    reps: usize,
+    threads: usize,
+    run: &dyn Fn() -> Vec<u32>,
+) {
+    let (serial_ms, serial_out) = time_leg(1, reps, run);
+    let (pooled_ms, pooled_out) = time_leg(threads, reps, run);
+    let equal = serial_out == pooled_out;
+    let speedup = serial_ms / pooled_ms;
+    println!(
+        "{name:<24} serial {serial_ms:>9.3} ms   pool({threads}) {pooled_ms:>9.3} ms   \
+         speedup {speedup:>5.2}x   bitwise {}",
+        if equal { "OK" } else { "DIVERGED" }
+    );
+    csv_row(&[
+        name.to_string(),
+        format!("{serial_ms:.3}"),
+        format!("{pooled_ms:.3}"),
+        format!("{speedup:.2}"),
+        equal.to_string(),
+    ]);
+    rows.push(Row {
+        name,
+        serial_ms,
+        pooled_ms,
+        equal,
+    });
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
+
+fn write_json(path: &str, mode: RunMode, threads: usize, rows: &[Row]) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"mode\": \"{}\",\n", mode.label()));
+    s.push_str("  \"threads_serial\": 1,\n");
+    s.push_str(&format!("  \"threads_pooled\": {threads},\n"));
+    s.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"serial_ms\": {:.3}, \"pooled_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"bitwise_equal\": {}}}{}\n",
+            r.name,
+            r.serial_ms,
+            r.pooled_ms,
+            r.serial_ms / r.pooled_ms,
+            r.equal,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let mode = RunMode::from_args();
+    banner(
+        "Kernel suite: pool-of-1 vs configured pool, bitwise-checked",
+        mode,
+    );
+
+    let threads = pool::configured_threads().max(2);
+    let (reps, nm, nt, sum_rows, map_n, nodes, edges, dim, adam_n, hidden, graphs) = match mode {
+        RunMode::Quick => (
+            3, 512, 1024, 2048, 2_000_000, 2_000, 60_000, 128, 1_000_000, 96, 8,
+        ),
+        RunMode::Full => (
+            5, 768, 2048, 8192, 8_000_000, 5_000, 150_000, 128, 4_000_000, 192, 16,
+        ),
+    };
+    println!(
+        "pool: {} worker(s) configured ({} available; set MATGNN_THREADS to override)\n",
+        threads,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    println!("csv header: kernel,serial_ms,pooled_ms,speedup,bitwise_equal");
+
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut rows = Vec::new();
+
+    // — dense matmul family, nm³ —
+    let a = Tensor::randn((nm, nm), 1.0, &mut rng);
+    let b = Tensor::randn((nm, nm), 1.0, &mut rng);
+    bench(&mut rows, "matmul", reps, threads, &|| bits(&a.matmul(&b)));
+    bench(&mut rows, "matmul_tn", reps, threads, &|| {
+        bits(&a.matmul_tn(&b))
+    });
+    bench(&mut rows, "matmul_nt", reps, threads, &|| {
+        bits(&a.matmul_nt(&b))
+    });
+
+    // — transpose and reductions —
+    let sq = Tensor::randn((nt, nt), 1.0, &mut rng);
+    bench(&mut rows, "transpose", reps, threads, &|| {
+        bits(&sq.transpose())
+    });
+    let tall = Tensor::randn((sum_rows, 512), 1.0, &mut rng);
+    bench(&mut rows, "sum_axis0", reps, threads, &|| {
+        bits(&tall.sum_axis0())
+    });
+
+    // — elementwise map (silu-shaped) —
+    let flat = Tensor::randn((map_n / 512, 512), 1.0, &mut rng);
+    bench(&mut rows, "map_silu", reps, threads, &|| {
+        bits(&flat.map(|x| x / (1.0 + (-x).exp())))
+    });
+
+    // — message-passing gather/scatter, EGNN-shaped (n_edges ≈ 30·n_nodes) —
+    let feats = Tensor::randn((nodes, dim), 1.0, &mut rng);
+    let idx: Vec<usize> = (0..edges).map(|_| rng.gen_range(0..nodes)).collect();
+    bench(&mut rows, "gather_rows", reps, threads, &|| {
+        bits(&feats.gather_rows(&idx))
+    });
+    let msgs = Tensor::randn((edges, dim), 1.0, &mut rng);
+    bench(&mut rows, "scatter_add_rows", reps, threads, &|| {
+        bits(&msgs.scatter_add_rows(&idx, nodes))
+    });
+
+    // — optimizer update (clone cost is identical on both legs) —
+    let p0: Vec<f32> = (0..adam_n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let g0: Vec<f32> = (0..adam_n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let hyper = AdamHyper::default();
+    bench(&mut rows, "adam_update", reps, threads, &|| {
+        let mut p = p0.clone();
+        let mut m = vec![0.0f32; adam_n];
+        let mut v = vec![0.0f32; adam_n];
+        matgnn::train::adam_update(&mut p, &g0, &mut m, &mut v, 1, 1e-3, &hyper);
+        p.iter().map(|x| x.to_bits()).collect()
+    });
+
+    // — fused train step: forward + loss + backward on a real EGNN batch —
+    let ds = Dataset::generate_aggregate(graphs, 7, &GeneratorConfig::default());
+    let norm = Normalizer::fit(&ds);
+    let sample_refs: Vec<&Sample> = ds.samples().iter().collect();
+    let (batch, targets) = collate(&sample_refs, &norm);
+    let model = Egnn::new(EgnnConfig::new(hidden, 3));
+    let loss_cfg = LossConfig::default();
+    bench(&mut rows, "train_step", reps, threads, &|| {
+        let out = train_step(&model, &batch, &targets, &loss_cfg, false, None);
+        let mut bits_out: Vec<u32> = Vec::new();
+        let lb = out.loss.to_bits();
+        bits_out.push((lb >> 32) as u32);
+        bits_out.push(lb as u32);
+        for g in &out.grads {
+            bits_out.extend(g.data().iter().map(|x| x.to_bits()));
+        }
+        bits_out
+    });
+
+    let path = "BENCH_kernels.json";
+    write_json(path, mode, threads, &rows).expect("write BENCH_kernels.json");
+    println!("\nwrote {path}");
+
+    if rows.iter().any(|r| !r.equal) {
+        eprintln!("ERROR: at least one kernel diverged bitwise across pool sizes");
+        std::process::exit(1);
+    }
+}

@@ -39,6 +39,7 @@ pub struct GraphBatch {
     node_graph: Arc<Vec<usize>>,
     node_feats: Tensor,
     edge_vectors: Tensor,
+    inv_src_degree: Tensor,
 }
 
 impl GraphBatch {
@@ -79,6 +80,19 @@ impl GraphBatch {
         let edge_vectors =
             Tensor::from_vec((n_edges, 3), edge_vecs).expect("edge vector buffer length");
 
+        // Precompute 1/out-degree once per batch: the EGNN coordinate
+        // channel needs it in every layer of every forward pass.
+        let mut deg = vec![0.0f32; n_nodes];
+        for &s in &src {
+            deg[s] += 1.0;
+        }
+        for d in &mut deg {
+            if *d > 0.0 {
+                *d = 1.0 / *d;
+            }
+        }
+        let inv_src_degree = Tensor::from_vec((n_nodes, 1), deg).expect("inv degree length");
+
         GraphBatch {
             n_graphs: graphs.len(),
             node_counts,
@@ -87,6 +101,7 @@ impl GraphBatch {
             node_graph: Arc::new(node_graph),
             node_feats,
             edge_vectors,
+            inv_src_degree,
         }
     }
 
@@ -133,6 +148,13 @@ impl GraphBatch {
     /// Edge relative vectors `[n_edges × 3]`.
     pub fn edge_vectors(&self) -> &Tensor {
         &self.edge_vectors
+    }
+
+    /// A `[n_nodes × 1]` tensor of `1 / out-degree` per node (0 for
+    /// isolated atoms), precomputed at batch build time for the EGNN
+    /// coordinate channel's mean aggregation.
+    pub fn inv_src_degree(&self) -> &Tensor {
+        &self.inv_src_degree
     }
 
     /// A `[n_graphs × 1]` tensor of `1 / node_count` per graph, for mean
@@ -211,6 +233,20 @@ mod tests {
         let b = GraphBatch::from_graphs(&[&g1, &g2]);
         let inv = b.inv_node_counts();
         assert_eq!(inv.data(), &[0.5, 0.25]);
+    }
+
+    #[test]
+    fn inv_src_degree_matches_edge_counts() {
+        let g1 = chain(3, 1.0); // degrees 1, 2, 1
+        let g2 = chain(2, 1.0); // degrees 1, 1
+        let b = GraphBatch::from_graphs(&[&g1, &g2]);
+        assert_eq!(b.inv_src_degree().data(), &[1.0, 0.5, 1.0, 1.0, 1.0]);
+        // Isolated atoms (no edges within cutoff) get 0, not 1/0.
+        let s = AtomicStructure::new(vec![Element::C; 2], vec![[0.0, 0.0, 0.0], [10.0, 0.0, 0.0]])
+            .unwrap();
+        let far = MolGraph::from_structure(&s, 1.0);
+        let b = GraphBatch::from_graphs(&[&far]);
+        assert_eq!(b.inv_src_degree().data(), &[0.0, 0.0]);
     }
 
     #[test]

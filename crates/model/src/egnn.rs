@@ -250,19 +250,6 @@ impl Egnn {
         tape.add(rel0, delta)
     }
 
-    /// `[n_nodes × 1]` constant of `1/deg` per node (0 for isolated atoms).
-    fn inv_degree(batch: &GraphBatch) -> Tensor {
-        let mut deg = vec![0.0f32; batch.n_nodes()];
-        for &s in batch.src().iter() {
-            deg[s] += 1.0;
-        }
-        let inv: Vec<f32> = deg
-            .iter()
-            .map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 })
-            .collect();
-        Tensor::from_vec((batch.n_nodes(), 1), inv).expect("inv degree length")
-    }
-
     /// Edge message inputs `[h_src ‖ h_dst ‖ dist features]` and the rel
     /// vectors. The distance feature is raw `‖r‖²` or, with `n_rbf > 0`,
     /// a Gaussian radial-basis expansion of `‖r‖`.
@@ -336,7 +323,8 @@ impl Egnn {
                 let w = phi_x.forward(tape, pvars, offset, m);
                 let weighted = tape.mul_col(rel, w);
                 let upd = tape.scatter_add_rows(weighted, Arc::clone(batch.src()), n);
-                let inv_deg = tape.constant(Self::inv_degree(batch));
+                // Precomputed at batch build time (was rebuilt per layer).
+                let inv_deg = tape.constant(batch.inv_src_degree().clone());
                 let upd = tape.mul_col(upd, inv_deg);
                 tape.add(d, upd)
             }

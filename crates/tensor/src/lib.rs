@@ -13,8 +13,9 @@
 //! 2. **Faithful memory semantics** — activations, transient gradients and
 //!    optimizer state are tracked exactly as a framework would hold them,
 //!    because the paper's Fig. 6 / Table II are *memory* results.
-//! 3. **Sufficient speed on one CPU core** — simple cache-friendly kernels;
-//!    no BLAS dependency.
+//! 3. **Fast without a BLAS dependency** — cache-blocked kernels routed
+//!    through a persistent worker [`pool`], bitwise deterministic for any
+//!    thread count (see `DESIGN.md`, "Threading model & determinism").
 //!
 //! ## Example: a differentiable computation
 //!
@@ -36,6 +37,7 @@
 mod error;
 pub mod gradcheck;
 mod memory;
+pub mod pool;
 mod shape;
 mod tape;
 mod tensor;

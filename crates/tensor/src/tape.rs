@@ -715,12 +715,25 @@ impl Tape {
             Op::SliceCols(a, start, end) => {
                 let (n, m) = (self.shape(*a).rows(), self.shape(*a).cols());
                 let mut d = Tensor::zeros((n, m));
-                {
+                if n * m > 0 {
                     let dd = d.data_mut();
                     let gd = g.data();
                     let w = end - start;
-                    for r in 0..n {
-                        dd[r * m + start..r * m + end].copy_from_slice(&gd[r * w..(r + 1) * w]);
+                    // Pure per-row copy into disjoint chunks, so the
+                    // parallel split cannot change results; small grads
+                    // stay serial to skip pool dispatch.
+                    let (start, end) = (*start, *end);
+                    let copy = |off: usize, chunk: &mut [f32]| {
+                        let r0 = off / m;
+                        for (local, drow) in chunk.chunks_mut(m).enumerate() {
+                            let r = r0 + local;
+                            drow[start..end].copy_from_slice(&gd[r * w..(r + 1) * w]);
+                        }
+                    };
+                    if n * m >= (1 << 16) && crate::pool::num_threads() > 1 {
+                        crate::pool::for_each_chunk_mut(dd, m, copy);
+                    } else {
+                        copy(0, dd);
                     }
                 }
                 self.accumulate(grads, grad_bytes, *a, d);

@@ -11,7 +11,25 @@ use std::sync::Arc;
 
 use rand::Rng;
 
-use crate::{Shape, TensorError};
+use crate::{pool, Shape, TensorError};
+
+/// FLOP count (2·n·k·m) below which the matmul variants stay serial: pool
+/// dispatch and cache-block bookkeeping cost more than they save.
+const MATMUL_PAR_FLOPS: usize = 4_000_000;
+
+/// Element count below which elementwise / copy / scatter kernels stay
+/// serial for the same reason.
+const ELEM_PAR_MIN: usize = 1 << 16;
+
+/// Whether `cost` work units justify fanning out to the worker pool.
+///
+/// Both operands are pure functions of tensor shape and pool size, so the
+/// serial/parallel decision — like the chunk split itself — is
+/// deterministic, and every kernel below is written to produce bitwise
+/// identical output either way.
+fn use_pool(cost: usize, threshold: usize) -> bool {
+    cost >= threshold && pool::num_threads() > 1
+}
 
 /// A dense, row-major `f32` tensor with cheaply clonable storage.
 ///
@@ -252,31 +270,65 @@ impl Tensor {
         &self,
         other: &Tensor,
         op: &'static str,
-        f: impl Fn(f32, f32) -> f32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
     ) -> Tensor {
         assert_eq!(
             self.shape, other.shape,
             "shape mismatch in {op}: {} vs {}",
             self.shape, other.shape
         );
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        if !use_pool(self.numel(), ELEM_PAR_MIN) {
+            let data = self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Tensor {
+                shape: self.shape.clone(),
+                data: Arc::new(data),
+            };
+        }
+        let mut out = vec![0.0f32; self.numel()];
+        let (lhs, rhs) = (&self.data[..], &other.data[..]);
+        pool::for_each_chunk_mut(&mut out, 1, |start, chunk| {
+            let n = chunk.len();
+            for ((o, &a), &b) in chunk
+                .iter_mut()
+                .zip(&lhs[start..start + n])
+                .zip(&rhs[start..start + n])
+            {
+                *o = f(a, b);
+            }
+        });
         Tensor {
             shape: self.shape.clone(),
-            data: Arc::new(data),
+            data: Arc::new(out),
         }
     }
 
-    /// Applies `f` to every element, producing a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        let data = self.data.iter().map(|&a| f(a)).collect();
+    /// Applies `f` to every element, producing a new tensor. Large tensors
+    /// are split across the worker [`pool`] (each output element is still
+    /// exactly `f` of its input, so results are thread-count invariant).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        if !use_pool(self.numel(), ELEM_PAR_MIN) {
+            let data = self.data.iter().map(|&a| f(a)).collect();
+            return Tensor {
+                shape: self.shape.clone(),
+                data: Arc::new(data),
+            };
+        }
+        let mut out = vec![0.0f32; self.numel()];
+        let src = &self.data[..];
+        pool::for_each_chunk_mut(&mut out, 1, |start, chunk| {
+            let s = &src[start..start + chunk.len()];
+            for (o, &a) in chunk.iter_mut().zip(s) {
+                *o = f(a);
+            }
+        });
         Tensor {
             shape: self.shape.clone(),
-            data: Arc::new(data),
+            data: Arc::new(out),
         }
     }
 
@@ -369,14 +421,36 @@ impl Tensor {
         let c = self.cols();
         assert_eq!(row.numel(), c, "add_row: bias {} vs cols {c}", row.shape);
         let mut data = self.to_vec();
-        for r in 0..self.rows() {
-            for j in 0..c {
-                data[r * c + j] += row.data[j];
+        let bias = &row.data[..];
+        self.for_each_row_chunk(&mut data, c, |_, rows| {
+            for rrow in rows.chunks_mut(c) {
+                for (x, &b) in rrow.iter_mut().zip(bias) {
+                    *x += b;
+                }
             }
-        }
+        });
         Tensor {
             shape: self.shape.clone(),
             data: Arc::new(data),
+        }
+    }
+
+    /// Runs `body(first_row, rows)` over granule-`c` chunks of `data`,
+    /// through the pool when the tensor is large enough. Shared plumbing
+    /// for the row/col broadcast family.
+    fn for_each_row_chunk(
+        &self,
+        data: &mut [f32],
+        c: usize,
+        body: impl Fn(usize, &mut [f32]) + Sync,
+    ) {
+        if data.is_empty() || c == 0 {
+            return;
+        }
+        if use_pool(data.len(), ELEM_PAR_MIN) {
+            pool::for_each_chunk_mut(data, c, |start, chunk| body(start / c, chunk));
+        } else {
+            body(0, data);
         }
     }
 
@@ -396,12 +470,15 @@ impl Tensor {
             self.rows()
         );
         let mut data = self.to_vec();
-        for r in 0..self.rows() {
-            let v = col.data[r];
-            for x in &mut data[r * c..(r + 1) * c] {
-                *x += v;
+        let colv = &col.data[..];
+        self.for_each_row_chunk(&mut data, c, |r0, rows| {
+            for (local, rrow) in rows.chunks_mut(c).enumerate() {
+                let v = colv[r0 + local];
+                for x in rrow {
+                    *x += v;
+                }
             }
-        }
+        });
         Tensor {
             shape: self.shape.clone(),
             data: Arc::new(data),
@@ -417,11 +494,14 @@ impl Tensor {
         let c = self.cols();
         assert_eq!(row.numel(), c, "mul_row: {} vs cols {c}", row.shape);
         let mut data = self.to_vec();
-        for r in 0..self.rows() {
-            for (j, x) in data[r * c..(r + 1) * c].iter_mut().enumerate() {
-                *x *= row.data[j];
+        let scalev = &row.data[..];
+        self.for_each_row_chunk(&mut data, c, |_, rows| {
+            for rrow in rows.chunks_mut(c) {
+                for (x, &s) in rrow.iter_mut().zip(scalev) {
+                    *x *= s;
+                }
             }
-        }
+        });
         Tensor {
             shape: self.shape.clone(),
             data: Arc::new(data),
@@ -444,12 +524,15 @@ impl Tensor {
             self.rows()
         );
         let mut data = self.to_vec();
-        for r in 0..self.rows() {
-            let s = col.data[r];
-            for j in 0..c {
-                data[r * c + j] *= s;
+        let colv = &col.data[..];
+        self.for_each_row_chunk(&mut data, c, |r0, rows| {
+            for (local, rrow) in rows.chunks_mut(c).enumerate() {
+                let s = colv[r0 + local];
+                for x in rrow {
+                    *x *= s;
+                }
             }
-        }
+        });
         Tensor {
             shape: self.shape.clone(),
             data: Arc::new(data),
@@ -462,11 +545,10 @@ impl Tensor {
 
     /// Matrix product `self × other` for `[n,k] × [k,m]`.
     ///
-    /// Large products are split across threads by row blocks (the block
-    /// count adapts to [`available_parallelism`]); small products run
-    /// serially to avoid spawn overhead.
-    ///
-    /// [`available_parallelism`]: std::thread::available_parallelism
+    /// Runs the cache-blocked [`matmul_rows`] microkernel; large products
+    /// are split by row blocks across the persistent worker [`pool`]
+    /// (bitwise identical to the serial path — see the pool docs), small
+    /// ones run serially to avoid dispatch overhead.
     ///
     /// # Panics
     ///
@@ -475,28 +557,17 @@ impl Tensor {
         let (n, k) = (self.rows(), self.cols());
         let (k2, m) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul inner dim: {} vs {}", self.shape, other.shape);
-        let a = &self.data;
-        let b = &other.data;
+        let a = &self.data[..];
+        let b = &other.data[..];
         let mut out = vec![0.0f32; n * m];
-
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        // Only parallelize when each worker gets meaningful work
-        // (≥ ~1 MFLOP per row block) and more than one core exists.
-        const PAR_FLOP_THRESHOLD: usize = 4_000_000;
-        if threads > 1 && 2 * n * k * m >= PAR_FLOP_THRESHOLD && n >= 2 * threads {
-            let rows_per = n.div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (block, chunk) in out.chunks_mut(rows_per * m).enumerate() {
-                    let start = block * rows_per;
-                    scope.spawn(move || {
-                        matmul_rows(a, b, chunk, start, k, m);
-                    });
-                }
-            });
-        } else {
-            matmul_rows(a, b, &mut out, 0, k, m);
+        if !out.is_empty() {
+            if use_pool(2 * n * k * m, MATMUL_PAR_FLOPS) {
+                pool::for_each_chunk_mut(&mut out, m, |start, chunk| {
+                    matmul_rows(a, b, chunk, start / m, k, m);
+                });
+            } else {
+                matmul_rows(a, b, &mut out, 0, k, m);
+            }
         }
         Tensor {
             shape: Shape::matrix(n, m),
@@ -504,36 +575,21 @@ impl Tensor {
         }
     }
 
-    /// `selfᵀ × other` for `[k,n]ᵀ × [k,m]`, without materialising the
-    /// transpose (used by matmul backward).
+    /// `selfᵀ × other` for `[k,n]ᵀ × [k,m]` (used by matmul backward).
+    ///
+    /// Packs `selfᵀ` once (a parallel [`transpose`](Tensor::transpose))
+    /// so both operands of the blocked kernel are unit-stride; per-element
+    /// accumulation stays in ascending-`k` order, so the result is bitwise
+    /// identical to the direct column-strided loop.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
-        let (k, n) = (self.rows(), self.cols());
-        let (k2, m) = (other.rows(), other.cols());
+        let k = self.rows();
+        let k2 = other.rows();
         assert_eq!(
             k, k2,
             "matmul_tn inner dim: {} vs {}",
             self.shape, other.shape
         );
-        let a = &self.data;
-        let b = &other.data;
-        let mut out = vec![0.0f32; n * m];
-        for kk in 0..k {
-            let arow = &a[kk * n..(kk + 1) * n];
-            let brow = &b[kk * m..(kk + 1) * m];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * m..(i + 1) * m];
-                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                    *o += av * bv;
-                }
-            }
-        }
-        Tensor {
-            shape: Shape::matrix(n, m),
-            data: Arc::new(out),
-        }
+        self.transpose().matmul(other)
     }
 
     /// `self × otherᵀ` for `[n,k] × [m,k]ᵀ`, without materialising the
@@ -546,18 +602,16 @@ impl Tensor {
             "matmul_nt inner dim: {} vs {}",
             self.shape, other.shape
         );
-        let a = &self.data;
-        let b = &other.data;
+        let a = &self.data[..];
+        let b = &other.data[..];
         let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            let arow = &a[i * k..(i + 1) * k];
-            for j in 0..m {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow.iter()) {
-                    acc += av * bv;
-                }
-                out[i * m + j] = acc;
+        if !out.is_empty() {
+            if use_pool(2 * n * k * m, MATMUL_PAR_FLOPS) {
+                pool::for_each_chunk_mut(&mut out, m, |start, chunk| {
+                    matmul_nt_rows(a, b, chunk, start / m, k, m);
+                });
+            } else {
+                matmul_nt_rows(a, b, &mut out, 0, k, m);
             }
         }
         Tensor {
@@ -566,14 +620,25 @@ impl Tensor {
         }
     }
 
-    /// Matrix transpose of a rank-2 tensor.
-    #[allow(clippy::needless_range_loop)] // index symmetry is the algorithm
+    /// Matrix transpose of a rank-2 tensor (parallel over output rows for
+    /// large tensors; a pure permutation, so trivially deterministic).
     pub fn transpose(&self) -> Tensor {
         let (n, m) = (self.rows(), self.cols());
         let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            for j in 0..m {
-                out[j * n + i] = self.data[i * m + j];
+        let src = &self.data[..];
+        let write = |start: usize, chunk: &mut [f32]| {
+            for (local, orow) in chunk.chunks_mut(n).enumerate() {
+                let j = start / n + local;
+                for (i, o) in orow.iter_mut().enumerate() {
+                    *o = src[i * m + j];
+                }
+            }
+        };
+        if !out.is_empty() {
+            if use_pool(n * m, ELEM_PAR_MIN) {
+                pool::for_each_chunk_mut(&mut out, n, write);
+            } else {
+                write(0, &mut out);
             }
         }
         Tensor {
@@ -587,6 +652,11 @@ impl Tensor {
     // ------------------------------------------------------------------
 
     /// Sum of all elements.
+    ///
+    /// Deliberately serial: splitting a scalar reduction across threads
+    /// would re-associate the floating-point sum and break the bitwise
+    /// determinism guarantee (same for [`mean_all`](Tensor::mean_all),
+    /// [`max_abs`](Tensor::max_abs) and [`norm_sq`](Tensor::norm_sq)).
     pub fn sum_all(&self) -> f32 {
         self.data.iter().sum()
     }
@@ -611,13 +681,28 @@ impl Tensor {
     }
 
     /// Column sums: `[n,m] → [m]`.
-    #[allow(clippy::needless_range_loop)] // explicit indices mirror the math
+    ///
+    /// Parallel over column ranges: each worker owns a disjoint set of
+    /// output columns and scans rows in ascending order, so every output
+    /// element accumulates in exactly the serial order.
     pub fn sum_axis0(&self) -> Tensor {
         let (n, m) = (self.rows(), self.cols());
         let mut out = vec![0.0f32; m];
-        for i in 0..n {
-            for j in 0..m {
-                out[j] += self.data[i * m + j];
+        let src = &self.data[..];
+        let reduce = |c0: usize, cols: &mut [f32]| {
+            let w = cols.len();
+            for i in 0..n {
+                let row = &src[i * m + c0..i * m + c0 + w];
+                for (o, &v) in cols.iter_mut().zip(row) {
+                    *o += v;
+                }
+            }
+        };
+        if !out.is_empty() {
+            if use_pool(n * m, ELEM_PAR_MIN) {
+                pool::for_each_chunk_mut(&mut out, 1, reduce);
+            } else {
+                reduce(0, &mut out);
             }
         }
         Tensor {
@@ -626,13 +711,24 @@ impl Tensor {
         }
     }
 
-    /// Row sums: `[n,m] → [n,1]`.
-    #[allow(clippy::needless_range_loop)] // explicit indices mirror the math
+    /// Row sums: `[n,m] → [n,1]` (parallel over rows; each row is one
+    /// serial sum, so per-element order is unchanged).
     pub fn sum_axis1(&self) -> Tensor {
         let (n, m) = (self.rows(), self.cols());
         let mut out = vec![0.0f32; n];
-        for i in 0..n {
-            out[i] = self.data[i * m..(i + 1) * m].iter().sum();
+        let src = &self.data[..];
+        let reduce = |r0: usize, rows: &mut [f32]| {
+            for (local, o) in rows.iter_mut().enumerate() {
+                let i = r0 + local;
+                *o = src[i * m..(i + 1) * m].iter().sum();
+            }
+        };
+        if !out.is_empty() {
+            if use_pool(n * m, ELEM_PAR_MIN) {
+                pool::for_each_chunk_mut(&mut out, 1, reduce);
+            } else {
+                reduce(0, &mut out);
+            }
         }
         Tensor {
             shape: Shape::matrix(n, 1),
@@ -651,10 +747,25 @@ impl Tensor {
     /// Panics if any index is out of bounds.
     pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
         let (n, m) = (self.rows(), self.cols());
-        let mut out = Vec::with_capacity(idx.len() * m);
+        // Validate up front so index panics surface on the caller thread
+        // and the copy loop below is branch-free.
         for &i in idx {
             assert!(i < n, "gather_rows index {i} out of {n}");
-            out.extend_from_slice(&self.data[i * m..(i + 1) * m]);
+        }
+        let mut out = vec![0.0f32; idx.len() * m];
+        let src = &self.data[..];
+        let copy = |start: usize, chunk: &mut [f32]| {
+            for (local, orow) in chunk.chunks_mut(m).enumerate() {
+                let i = idx[start / m + local];
+                orow.copy_from_slice(&src[i * m..(i + 1) * m]);
+            }
+        };
+        if !out.is_empty() {
+            if use_pool(out.len(), ELEM_PAR_MIN) {
+                pool::for_each_chunk_mut(&mut out, m, copy);
+            } else {
+                copy(0, &mut out);
+            }
         }
         Tensor {
             shape: Shape::matrix(idx.len(), m),
@@ -665,7 +776,10 @@ impl Tensor {
     /// Scatter-add rows into `n_out` rows: `out[idx[i]] += self[i]`.
     ///
     /// This is the segment-sum primitive used for message aggregation and
-    /// graph pooling.
+    /// graph pooling. Parallelised by **output** row ranges: every worker
+    /// scans the full index list but only accumulates the rows it owns, in
+    /// ascending source order — so each output element sees exactly the
+    /// serial addition order and results are thread-count invariant.
     ///
     /// # Panics
     ///
@@ -678,13 +792,29 @@ impl Tensor {
             "scatter_add_rows: {} indices for {n} rows",
             idx.len()
         );
-        let mut out = vec![0.0f32; n_out * m];
-        for (i, &t) in idx.iter().enumerate() {
+        for &t in idx {
             assert!(t < n_out, "scatter_add_rows target {t} out of {n_out}");
-            let src = &self.data[i * m..(i + 1) * m];
-            let dst = &mut out[t * m..(t + 1) * m];
-            for (d, &s) in dst.iter_mut().zip(src.iter()) {
-                *d += s;
+        }
+        let mut out = vec![0.0f32; n_out * m];
+        let src = &self.data[..];
+        let add = |start: usize, chunk: &mut [f32]| {
+            let r0 = start / m;
+            let r1 = r0 + chunk.len() / m;
+            for (i, &t) in idx.iter().enumerate() {
+                if t >= r0 && t < r1 {
+                    let srow = &src[i * m..(i + 1) * m];
+                    let drow = &mut chunk[(t - r0) * m..(t - r0 + 1) * m];
+                    for (d, &s) in drow.iter_mut().zip(srow) {
+                        *d += s;
+                    }
+                }
+            }
+        };
+        if !out.is_empty() {
+            if use_pool(n * m, ELEM_PAR_MIN) {
+                pool::for_each_chunk_mut(&mut out, m, add);
+            } else {
+                add(0, &mut out);
             }
         }
         Tensor {
@@ -755,9 +885,36 @@ impl Tensor {
             "axpy: {} vs {}",
             self.shape, other.shape
         );
-        let dst = Arc::make_mut(&mut self.data);
-        for (d, &s) in dst.iter_mut().zip(other.data.iter()) {
-            *d += alpha * s;
+        let dst = Arc::make_mut(&mut self.data).as_mut_slice();
+        let src = &other.data[..];
+        if use_pool(dst.len(), ELEM_PAR_MIN) {
+            pool::for_each_chunk_mut(dst, 1, |start, chunk| {
+                let s = &src[start..start + chunk.len()];
+                for (d, &s) in chunk.iter_mut().zip(s) {
+                    *d += alpha * s;
+                }
+            });
+        } else {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += alpha * s;
+            }
+        }
+    }
+
+    /// In-place `self *= alpha` (gradient-accumulation averaging and
+    /// global-norm clipping).
+    pub fn scale_in_place(&mut self, alpha: f32) {
+        let dst = Arc::make_mut(&mut self.data).as_mut_slice();
+        if use_pool(dst.len(), ELEM_PAR_MIN) {
+            pool::for_each_chunk_mut(dst, 1, |_, chunk| {
+                for d in chunk {
+                    *d *= alpha;
+                }
+            });
+        } else {
+            for d in dst {
+                *d *= alpha;
+            }
         }
     }
 
@@ -772,9 +929,19 @@ impl Tensor {
             "lerp_from: {} vs {}",
             self.shape, other.shape
         );
-        let dst = Arc::make_mut(&mut self.data);
-        for (d, &s) in dst.iter_mut().zip(other.data.iter()) {
-            *d = beta * *d + (1.0 - beta) * s;
+        let dst = Arc::make_mut(&mut self.data).as_mut_slice();
+        let src = &other.data[..];
+        if use_pool(dst.len(), ELEM_PAR_MIN) {
+            pool::for_each_chunk_mut(dst, 1, |start, chunk| {
+                let s = &src[start..start + chunk.len()];
+                for (d, &s) in chunk.iter_mut().zip(s) {
+                    *d = beta * *d + (1.0 - beta) * s;
+                }
+            });
+        } else {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = beta * *d + (1.0 - beta) * s;
+            }
         }
     }
 
@@ -783,39 +950,140 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn zip_assign(&mut self, other: &Tensor, f: impl Fn(f32, f32) -> f32) {
+    pub fn zip_assign(&mut self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) {
         assert_eq!(
             self.shape, other.shape,
             "zip_assign: {} vs {}",
             self.shape, other.shape
         );
-        let dst = Arc::make_mut(&mut self.data);
-        for (d, &s) in dst.iter_mut().zip(other.data.iter()) {
-            *d = f(*d, s);
+        let dst = Arc::make_mut(&mut self.data).as_mut_slice();
+        let src = &other.data[..];
+        if use_pool(dst.len(), ELEM_PAR_MIN) {
+            pool::for_each_chunk_mut(dst, 1, |start, chunk| {
+                let s = &src[start..start + chunk.len()];
+                for (d, &s) in chunk.iter_mut().zip(s) {
+                    *d = f(*d, s);
+                }
+            });
+        } else {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = f(*d, s);
+            }
         }
     }
 
     /// Sets every element to `value`.
     pub fn fill(&mut self, value: f32) {
-        let dst = Arc::make_mut(&mut self.data);
-        dst.iter_mut().for_each(|d| *d = value);
+        let dst = Arc::make_mut(&mut self.data).as_mut_slice();
+        if use_pool(dst.len(), ELEM_PAR_MIN) {
+            pool::for_each_chunk_mut(dst, 1, |_, chunk| chunk.fill(value));
+        } else {
+            dst.fill(value);
+        }
     }
 }
 
-/// Computes rows `[row_offset, row_offset + chunk_rows)` of `a × b` into
-/// `out` (i-k-j order: unit-stride on both `b` and `out`).
+/// `k`-block size of the matmul microkernel: one `KC × m` panel of `b`
+/// (≤ 256 KiB at m = 256) stays hot in L2 across an `MR`-row tile.
+const KC: usize = 256;
+
+/// Row-tile height: each pass over a `b` row updates `MR` output rows from
+/// registers, quartering `b` traffic versus the naive i-k-j loop.
+const MR: usize = 4;
+
+/// Computes rows `[row_offset, row_offset + out.len()/m)` of `a × b` into
+/// `out` with a cache-blocked i-k-j kernel (unit-stride on `b` and `out`).
+///
+/// Blocking reorders which *elements* are touched when, but every output
+/// element still accumulates its `k` products in ascending-`k` order into
+/// a single accumulator — bitwise identical to the naive loop, which is
+/// what keeps results invariant across block shapes and thread counts.
 fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row_offset: usize, k: usize, m: usize) {
+    let rows = out.len() / m;
+    let mut i0 = 0;
+    while i0 < rows {
+        let tile = MR.min(rows - i0);
+        let mut k0 = 0;
+        while k0 < k {
+            let kb = KC.min(k - k0);
+            if tile == MR {
+                let (o0, rest) = out[i0 * m..(i0 + MR) * m].split_at_mut(m);
+                let (o1, rest) = rest.split_at_mut(m);
+                let (o2, o3) = rest.split_at_mut(m);
+                let ai = (row_offset + i0) * k;
+                for kk in 0..kb {
+                    let av0 = a[ai + k0 + kk];
+                    let av1 = a[ai + k + k0 + kk];
+                    let av2 = a[ai + 2 * k + k0 + kk];
+                    let av3 = a[ai + 3 * k + k0 + kk];
+                    let brow = &b[(k0 + kk) * m..(k0 + kk + 1) * m];
+                    for ((((x0, x1), x2), x3), &bv) in o0
+                        .iter_mut()
+                        .zip(o1.iter_mut())
+                        .zip(o2.iter_mut())
+                        .zip(o3.iter_mut())
+                        .zip(brow)
+                    {
+                        *x0 += av0 * bv;
+                        *x1 += av1 * bv;
+                        *x2 += av2 * bv;
+                        *x3 += av3 * bv;
+                    }
+                }
+            } else {
+                for di in 0..tile {
+                    let i = row_offset + i0 + di;
+                    let arow = &a[i * k + k0..i * k + k0 + kb];
+                    let orow = &mut out[(i0 + di) * m..(i0 + di + 1) * m];
+                    for (kk, &av) in arow.iter().enumerate() {
+                        let brow = &b[(k0 + kk) * m..(k0 + kk + 1) * m];
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+            k0 += kb;
+        }
+        i0 += tile;
+    }
+}
+
+/// Computes rows `[row_offset, row_offset + out.len()/m)` of `a × bᵀ` into
+/// `out`. Columns are processed four at a time so each pass over an `a`
+/// row feeds four dot-product accumulators; each output element is still
+/// one ascending-`k` dot product, bitwise identical to the naive loop.
+fn matmul_nt_rows(a: &[f32], b: &[f32], out: &mut [f32], row_offset: usize, k: usize, m: usize) {
     for (local, orow) in out.chunks_mut(m).enumerate() {
         let i = row_offset + local;
         let arow = &a[i * k..(i + 1) * k];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+        let mut j = 0;
+        while j + 4 <= m {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for ((((&av, &v0), &v1), &v2), &v3) in arow.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+                s0 += av * v0;
+                s1 += av * v1;
+                s2 += av * v2;
+                s3 += av * v3;
             }
-            let brow = &b[kk * m..(kk + 1) * m];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
+            orow[j] = s0;
+            orow[j + 1] = s1;
+            orow[j + 2] = s2;
+            orow[j + 3] = s3;
+            j += 4;
+        }
+        while j < m {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
             }
+            orow[j] = acc;
+            j += 1;
         }
     }
 }

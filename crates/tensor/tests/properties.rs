@@ -74,7 +74,7 @@ proptest! {
         let y = deterministic(n, c, seed ^ 8);
         let lhs: f32 = x.scatter_add_rows(&idx, n).mul(&y).sum_all();
         let rhs: f32 = x.mul(&y.gather_rows(&idx)).sum_all();
-        prop_assert!((lhs - rhs).abs() < 1e-4 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+        prop_assert!((lhs - rhs).abs() < 1e-4 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //! in `matgnn-dist` reuses [`adam_update`] on per-rank shards.
 
 use matgnn_model::ParamSet;
-use matgnn_tensor::{MemoryCategory, MemoryTracker, Tensor};
+use matgnn_tensor::{pool, MemoryCategory, MemoryTracker, Tensor};
+
+/// Element count below which [`adam_update`] stays serial (pool dispatch
+/// costs more than the update for small parameters).
+const ADAM_PAR_MIN: usize = 1 << 16;
 
 /// Adam hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,7 +41,10 @@ impl Default for AdamHyper {
 /// One Adam step on a flat slice: updates `param` in place from `grad`,
 /// maintaining moments `m` / `v` at timestep `t` (1-based).
 ///
-/// Exposed so ZeRO sharding can update only the slice a rank owns.
+/// Exposed so ZeRO sharding can update only the slice a rank owns. Large
+/// parameters are split across the worker pool by element range; the
+/// update is purely elementwise, so the result is bitwise identical to
+/// the serial loop at any thread count.
 ///
 /// # Panics
 ///
@@ -55,19 +62,42 @@ pub fn adam_update(
     assert_eq!(param.len(), grad.len());
     assert_eq!(param.len(), m.len());
     assert_eq!(param.len(), v.len());
-    let bc1 = 1.0 - hyper.beta1.powi(t as i32);
-    let bc2 = 1.0 - hyper.beta2.powi(t as i32);
-    for i in 0..param.len() {
-        let g = grad[i];
-        m[i] = hyper.beta1 * m[i] + (1.0 - hyper.beta1) * g;
-        v[i] = hyper.beta2 * v[i] + (1.0 - hyper.beta2) * g * g;
-        let m_hat = m[i] / bc1;
-        let v_hat = v[i] / bc2;
-        let mut p = param[i];
-        if hyper.weight_decay > 0.0 {
-            p -= lr * hyper.weight_decay * p;
+    let n = param.len();
+    let kernel = |param: &mut [f32], grad: &[f32], m: &mut [f32], v: &mut [f32]| {
+        let bc1 = 1.0 - hyper.beta1.powi(t as i32);
+        let bc2 = 1.0 - hyper.beta2.powi(t as i32);
+        for i in 0..param.len() {
+            let g = grad[i];
+            m[i] = hyper.beta1 * m[i] + (1.0 - hyper.beta1) * g;
+            v[i] = hyper.beta2 * v[i] + (1.0 - hyper.beta2) * g * g;
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
+            let mut p = param[i];
+            if hyper.weight_decay > 0.0 {
+                p -= lr * hyper.weight_decay * p;
+            }
+            param[i] = p - lr * m_hat / (v_hat.sqrt() + hyper.eps);
         }
-        param[i] = p - lr * m_hat / (v_hat.sqrt() + hyper.eps);
+    };
+    if n >= ADAM_PAR_MIN && pool::num_threads() > 1 {
+        let pp = pool::SendPtr::new(param);
+        let mp = pool::SendPtr::new(m);
+        let vp = pool::SendPtr::new(v);
+        pool::parallel_ranges(n, 1, |r| {
+            // SAFETY: `parallel_ranges` hands out disjoint ranges, applied
+            // identically to all three buffers, and the borrows outlive
+            // the (blocking) call.
+            unsafe {
+                kernel(
+                    pp.slice(r.clone()),
+                    &grad[r.clone()],
+                    mp.slice(r.clone()),
+                    vp.slice(r),
+                )
+            };
+        });
+    } else {
+        kernel(param, grad, m, v);
     }
 }
 
@@ -285,8 +315,7 @@ pub fn clip_grad_norm(grads: &mut [Tensor], max_norm: f32) -> f32 {
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for g in grads.iter_mut() {
-            let data = g.data_mut();
-            data.iter_mut().for_each(|x| *x *= scale);
+            g.scale_in_place(scale);
         }
     }
     norm

@@ -245,7 +245,7 @@ impl Trainer {
                 if *micro > 1 {
                     let inv = 1.0 / *micro as f32;
                     for g in &mut grads {
-                        g.data_mut().iter_mut().for_each(|x| *x *= inv);
+                        g.scale_in_place(inv);
                     }
                 }
                 if let Some(max_norm) = cfg.grad_clip {
