@@ -21,10 +21,10 @@ pub struct Targets {
 impl Targets {
     /// Builds targets for `samples` under `normalizer`.
     pub fn from_samples(samples: &[&Sample], normalizer: &Normalizer) -> Self {
-        let energy: Vec<f32> = samples
-            .iter()
-            .map(|s| normalizer.normalize_energy_for(s.energy, s.n_nodes(), s.source) as f32)
-            .collect();
+        let mut energy = Vec::with_capacity(samples.len());
+        for s in samples {
+            energy.push(normalizer.normalize_energy_for(s.energy, s.n_nodes(), s.source) as f32);
+        }
         let n_nodes: usize = samples.iter().map(|s| s.n_nodes()).sum();
         let mut forces = Vec::with_capacity(n_nodes * 3);
         for s in samples {

@@ -40,6 +40,7 @@ pub struct GraphBatch {
     node_feats: Tensor,
     edge_vectors: Tensor,
     inv_src_degree: Tensor,
+    inv_node_counts: Tensor,
 }
 
 impl GraphBatch {
@@ -93,6 +94,14 @@ impl GraphBatch {
         }
         let inv_src_degree = Tensor::from_vec((n_nodes, 1), deg).expect("inv degree length");
 
+        // Likewise 1/node-count, used by mean pooling on every forward.
+        let mut inv_counts = Vec::with_capacity(graphs.len());
+        for &c in &node_counts {
+            inv_counts.push(1.0 / c.max(1) as f32);
+        }
+        let inv_node_counts =
+            Tensor::from_vec((graphs.len(), 1), inv_counts).expect("inv node count length");
+
         GraphBatch {
             n_graphs: graphs.len(),
             node_counts,
@@ -102,6 +111,7 @@ impl GraphBatch {
             node_feats,
             edge_vectors,
             inv_src_degree,
+            inv_node_counts,
         }
     }
 
@@ -158,14 +168,10 @@ impl GraphBatch {
     }
 
     /// A `[n_graphs × 1]` tensor of `1 / node_count` per graph, for mean
-    /// pooling node sums into graph means.
+    /// pooling node sums into graph means. Precomputed at batch build time;
+    /// the clone shares the underlying buffer.
     pub fn inv_node_counts(&self) -> Tensor {
-        let data: Vec<f32> = self
-            .node_counts
-            .iter()
-            .map(|&c| 1.0 / c.max(1) as f32)
-            .collect();
-        Tensor::from_vec((self.n_graphs, 1), data).expect("inv node count length")
+        self.inv_node_counts.clone()
     }
 }
 

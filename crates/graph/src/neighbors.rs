@@ -4,7 +4,11 @@
 //! O(N) cell-list search (the production path). Property tests assert they
 //! agree on random structures, both molecular and periodic.
 
+use std::sync::Mutex;
+
 use serde::{Deserialize, Serialize};
+
+use matgnn_tensor::pool;
 
 use crate::vec3;
 use crate::AtomicStructure;
@@ -50,14 +54,14 @@ impl NeighborList {
         validate_cutoff(structure, cutoff);
         let n = structure.len();
         if n < 32 {
-            return Self::build_brute_force(structure, cutoff);
+            return Self::brute_force_impl(structure, cutoff);
         }
         match structure.cell() {
             Some(cell) => {
                 let cells_per_dim: [usize; 3] =
                     [0, 1, 2].map(|k| (cell[k] / cutoff).floor() as usize);
                 if cells_per_dim.iter().any(|&c| c < 3) {
-                    Self::build_brute_force(structure, cutoff)
+                    Self::brute_force_impl(structure, cutoff)
                 } else {
                     Self::build_cell_list_periodic(structure, cutoff, cell, cells_per_dim)
                 }
@@ -74,6 +78,12 @@ impl NeighborList {
     /// Same conditions as [`NeighborList::build`].
     pub fn build_brute_force(structure: &AtomicStructure, cutoff: f64) -> Self {
         validate_cutoff(structure, cutoff);
+        Self::brute_force_impl(structure, cutoff)
+    }
+
+    /// Brute-force body, shared with the fallback in [`NeighborList::build`]
+    /// so the cutoff is only validated once per public entry point.
+    fn brute_force_impl(structure: &AtomicStructure, cutoff: f64) -> Self {
         let n = structure.len();
         let c2 = cutoff * cutoff;
         let mut edges = Vec::new();
@@ -88,6 +98,45 @@ impl NeighborList {
         }
         edges.sort_unstable();
         NeighborList { edges }
+    }
+
+    /// Runs `scan(i, out)` for every atom index, in parallel over the worker
+    /// pool, and returns the per-atom edge runs concatenated in atom order.
+    ///
+    /// The concatenation makes the output independent of how the pool split
+    /// the index range, so cell-list builds stay bitwise identical to their
+    /// serial form for any `MATGNN_THREADS`.
+    fn scan_atoms(
+        n: usize,
+        per_atom_cap: usize,
+        scan: impl Fn(usize, &mut Vec<(usize, usize)>) + Sync,
+    ) -> Vec<(usize, usize)> {
+        type EdgeRun = (usize, Vec<(usize, usize)>);
+        let runs: Mutex<Vec<EdgeRun>> = Mutex::new(Vec::new());
+        // Granule 1: atoms are the natural work unit and any granule must
+        // divide the atom count exactly.
+        pool::parallel_ranges(n, 1, |r| {
+            let mut local = Vec::with_capacity(per_atom_cap * r.len());
+            for i in r.clone() {
+                scan(i, &mut local);
+            }
+            runs.lock().unwrap().push((r.start, local));
+        });
+        let mut runs = runs.into_inner().unwrap();
+        runs.sort_unstable_by_key(|&(start, _)| start);
+        let mut edges = Vec::with_capacity(per_atom_cap * n);
+        for (_, mut run) in runs {
+            edges.append(&mut run);
+        }
+        edges
+    }
+
+    /// Expected directed neighbors per atom for a uniform density, padded by
+    /// a 1.5× safety factor so the edge `Vec` rarely regrows.
+    fn neighbors_per_atom(n: usize, volume: f64, cutoff: f64) -> usize {
+        let density = n as f64 / volume.max(f64::MIN_POSITIVE);
+        let sphere = 4.0 / 3.0 * std::f64::consts::PI * cutoff.powi(3);
+        ((density * sphere * 1.5) as usize).max(4)
     }
 
     fn build_cell_list_open(structure: &AtomicStructure, cutoff: f64) -> Self {
@@ -117,8 +166,10 @@ impl NeighborList {
             bins[flat(cell_of(p))].push(i);
         }
         let c2 = cutoff * cutoff;
-        let mut edges = Vec::new();
-        for (i, p) in pos.iter().enumerate() {
+        let volume: f64 = (0..3).map(|k| (hi[k] - lo[k]).max(cutoff)).product();
+        let per_atom = Self::neighbors_per_atom(pos.len(), volume, cutoff);
+        let mut edges = Self::scan_atoms(pos.len(), per_atom, |i, out| {
+            let p = &pos[i];
             let c = cell_of(p);
             for dx in -1i64..=1 {
                 for dy in -1i64..=1 {
@@ -137,13 +188,13 @@ impl NeighborList {
                         }
                         for &j in &bins[flat([nx as usize, ny as usize, nz as usize])] {
                             if j != i && vec3::norm_sq(vec3::sub(pos[j], *p)) <= c2 {
-                                edges.push((i, j));
+                                out.push((i, j));
                             }
                         }
                     }
                 }
             }
-        }
+        });
         edges.sort_unstable();
         NeighborList { edges }
     }
@@ -177,8 +228,10 @@ impl NeighborList {
             bins[flat(cell_of(p))].push(i);
         }
         let c2 = cutoff * cutoff;
-        let mut edges = Vec::new();
-        for (i, p) in pos.iter().enumerate() {
+        let volume = cell[0] * cell[1] * cell[2];
+        let per_atom = Self::neighbors_per_atom(pos.len(), volume, cutoff);
+        let mut edges = Self::scan_atoms(pos.len(), per_atom, |i, out| {
+            let p = &pos[i];
             let c = cell_of(p);
             for dx in -1i64..=1 {
                 for dy in -1i64..=1 {
@@ -197,13 +250,13 @@ impl NeighborList {
                                 d[k] -= (d[k] / cell[k]).round() * cell[k];
                             }
                             if vec3::norm_sq(d) <= c2 {
-                                edges.push((i, j));
+                                out.push((i, j));
                             }
                         }
                     }
                 }
             }
-        }
+        });
         edges.sort_unstable();
         edges.dedup();
         NeighborList { edges }
@@ -226,7 +279,13 @@ impl NeighborList {
 
     /// Splits the edges into parallel `src` / `dst` index arrays.
     pub fn to_src_dst(&self) -> (Vec<usize>, Vec<usize>) {
-        self.edges.iter().copied().unzip()
+        let mut src = Vec::with_capacity(self.edges.len());
+        let mut dst = Vec::with_capacity(self.edges.len());
+        for &(i, j) in &self.edges {
+            src.push(i);
+            dst.push(j);
+        }
+        (src, dst)
     }
 }
 
@@ -331,6 +390,39 @@ mod tests {
             let b = NeighborList::build_brute_force(&s, 3.0);
             assert_eq!(a, b, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn cell_list_matches_brute_force_under_pool_of_4() {
+        // The parallel scan must reproduce the serial build bit for bit:
+        // per-atom runs are concatenated in atom order before the sort.
+        pool::set_thread_override(4);
+        for seed in 0..5 {
+            let open = random_molecule(200, 7.0, seed);
+            let a = NeighborList::build(&open, 1.8);
+            pool::set_thread_override(1);
+            let serial = NeighborList::build(&open, 1.8);
+            pool::set_thread_override(4);
+            assert_eq!(a, serial, "open seed {seed}: parallel != serial");
+            assert_eq!(
+                a,
+                NeighborList::build_brute_force(&open, 1.8),
+                "open seed {seed}"
+            );
+
+            let per = random_periodic(220, 12.0, seed);
+            let a = NeighborList::build(&per, 3.0);
+            pool::set_thread_override(1);
+            let serial = NeighborList::build(&per, 3.0);
+            pool::set_thread_override(4);
+            assert_eq!(a, serial, "periodic seed {seed}: parallel != serial");
+            assert_eq!(
+                a,
+                NeighborList::build_brute_force(&per, 3.0),
+                "periodic seed {seed}"
+            );
+        }
+        pool::set_thread_override(0);
     }
 
     #[test]

@@ -65,7 +65,13 @@ pub struct Egnn {
     force_head: Mlp,
     /// Param-index range per segment: `[embed, layer0.., heads]`.
     segment_ranges: Vec<(usize, usize)>,
+    /// RBF broadcast row (`[1 × K]` of ones) and negated centers, built
+    /// once here instead of per `rbf_expand` call (`None` iff `n_rbf == 0`).
+    rbf_consts: Option<(Tensor, Tensor)>,
 }
+
+/// Upper end of the Gaussian RBF center grid, in Å.
+const RBF_RMAX: f32 = 3.5;
 
 impl Egnn {
     /// Builds and initializes the model described by `config`.
@@ -177,6 +183,16 @@ impl Egnn {
             "param count formula drift"
         );
 
+        let rbf_consts = (config.n_rbf > 0).then(|| {
+            let k = config.n_rbf;
+            let delta = RBF_RMAX / (k.max(2) - 1) as f32;
+            let neg_mu: Vec<f32> = (0..k).map(|i| -(i as f32) * delta).collect();
+            (
+                Tensor::ones((1, k)),
+                Tensor::from_vec(k, neg_mu).expect("centers"),
+            )
+        });
+
         Egnn {
             config,
             params,
@@ -185,6 +201,7 @@ impl Egnn {
             energy_head,
             force_head,
             segment_ranges,
+            rbf_consts,
         }
     }
 
@@ -278,18 +295,18 @@ impl Egnn {
     /// Gaussian RBF expansion `exp(−γ(‖r‖ − μ_k)²)` with centers spread
     /// over `[0, RBF_RMAX]`.
     fn rbf_expand(&self, tape: &mut Tape, dist2: Var) -> Var {
-        const RBF_RMAX: f32 = 3.5;
         let k = self.config.n_rbf;
         let delta = RBF_RMAX / (k.max(2) - 1) as f32;
         let gamma = 1.0 / (2.0 * delta * delta);
         // ‖r‖ from ‖r‖² (tiny shift keeps the sqrt adjoint bounded).
         let shifted = tape.add_scalar(dist2, 1e-8);
         let dist = tape.sqrt(shifted);
-        // Broadcast to [E, K] and subtract the centers.
-        let ones_row = tape.constant(Tensor::ones((1, k)));
+        // Broadcast to [E, K] and subtract the centers; the clones share
+        // the model-lifetime buffers built in `new`.
+        let (ones, mu) = self.rbf_consts.as_ref().expect("n_rbf > 0");
+        let ones_row = tape.constant(ones.clone());
         let d_mat = tape.matmul(dist, ones_row);
-        let neg_mu: Vec<f32> = (0..k).map(|i| -(i as f32) * delta).collect();
-        let neg_mu = tape.constant(Tensor::from_vec(k, neg_mu).expect("centers"));
+        let neg_mu = tape.constant(mu.clone());
         let centered = tape.add_row(d_mat, neg_mu);
         let sq = tape.square(centered);
         let scaled = tape.scale(sq, -gamma);

@@ -38,6 +38,7 @@ mod error;
 pub mod gradcheck;
 mod memory;
 pub mod pool;
+pub mod recycler;
 mod shape;
 mod tape;
 mod tensor;

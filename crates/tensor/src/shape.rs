@@ -2,11 +2,17 @@
 //!
 //! `matgnn` tensors are row-major and at most 2-dimensional in practice
 //! (node×feature, edge×feature, coordinate blocks), but [`Shape`] supports
-//! arbitrary rank so reductions and reshapes stay general.
+//! rank up to [`MAX_RANK`] so reductions and reshapes stay general. The
+//! dimensions live inline in a fixed array — shapes are built on every
+//! tensor op in the training hot loop, and a heap-backed `Vec<usize>`
+//! there would be allocator traffic the buffer recycler can't absorb.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+
+/// Maximum supported tensor rank.
+pub const MAX_RANK: usize = 4;
 
 /// The dimensions of a [`Tensor`](crate::Tensor), row-major.
 ///
@@ -20,44 +26,69 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.rank(), 2);
 /// assert_eq!(s.dim(0), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Shape {
-    dims: Vec<usize>,
+    /// Dimensions, zero-padded past `rank` so derived equality/hashing
+    /// see a canonical form.
+    dims: [usize; MAX_RANK],
+    rank: u8,
 }
 
 impl Shape {
     /// Creates a shape from explicit dimensions.
     ///
     /// A zero-length `dims` denotes a scalar (rank 0, one element).
-    pub fn new(dims: Vec<usize>) -> Self {
-        Shape { dims }
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_RANK`] dimensions are given.
+    pub fn new(dims: impl AsRef<[usize]>) -> Self {
+        let src = dims.as_ref();
+        assert!(
+            src.len() <= MAX_RANK,
+            "shape rank {} exceeds MAX_RANK {MAX_RANK}",
+            src.len()
+        );
+        let mut out = [0usize; MAX_RANK];
+        out[..src.len()].copy_from_slice(src);
+        Shape {
+            dims: out,
+            rank: src.len() as u8,
+        }
     }
 
     /// A scalar shape: rank 0, exactly one element.
     pub fn scalar() -> Self {
-        Shape { dims: Vec::new() }
+        Shape {
+            dims: [0; MAX_RANK],
+            rank: 0,
+        }
     }
 
     /// A rank-1 shape of length `n`.
     pub fn vector(n: usize) -> Self {
-        Shape { dims: vec![n] }
+        Shape {
+            dims: [n, 0, 0, 0],
+            rank: 1,
+        }
     }
 
     /// A rank-2 shape of `rows × cols`.
     pub fn matrix(rows: usize, cols: usize) -> Self {
         Shape {
-            dims: vec![rows, cols],
+            dims: [rows, cols, 0, 0],
+            rank: 2,
         }
     }
 
     /// Number of dimensions.
     pub fn rank(&self) -> usize {
-        self.dims.len()
+        self.rank as usize
     }
 
     /// Total number of elements.
     pub fn numel(&self) -> usize {
-        self.dims.iter().product()
+        self.dims().iter().product()
     }
 
     /// Size of dimension `i`.
@@ -66,12 +97,13 @@ impl Shape {
     ///
     /// Panics if `i >= self.rank()`.
     pub fn dim(&self, i: usize) -> usize {
+        assert!(i < self.rank(), "dim {i} out of rank {}", self.rank());
         self.dims[i]
     }
 
     /// All dimensions as a slice.
     pub fn dims(&self) -> &[usize] {
-        &self.dims
+        &self.dims[..self.rank as usize]
     }
 
     /// Number of rows for a matrix; length for a vector; 1 for a scalar.
@@ -86,7 +118,7 @@ impl Shape {
     pub fn cols(&self) -> usize {
         match self.rank() {
             0 | 1 => 1,
-            _ => self.dims[1..].iter().product(),
+            _ => self.dims()[1..].iter().product(),
         }
     }
 
@@ -104,7 +136,7 @@ impl From<Vec<usize>> for Shape {
 
 impl From<&[usize]> for Shape {
     fn from(dims: &[usize]) -> Self {
-        Shape::new(dims.to_vec())
+        Shape::new(dims)
     }
 }
 
@@ -120,10 +152,16 @@ impl From<usize> for Shape {
     }
 }
 
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{self}")
+    }
+}
+
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, d) in self.dims.iter().enumerate() {
+        for (i, d) in self.dims().iter().enumerate() {
             if i > 0 {
                 write!(f, "×")?;
             }
@@ -182,5 +220,20 @@ mod tests {
     #[test]
     fn empty_dim_numel_zero() {
         assert_eq!(Shape::matrix(0, 5).numel(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_RANK")]
+    fn over_max_rank_panics() {
+        let _ = Shape::new([1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn padding_is_canonical_for_equality_and_hashing() {
+        // Equal shapes built by different constructors must compare and
+        // hash identically (dims past `rank` stay zeroed).
+        assert_eq!(Shape::new([3, 7]), Shape::matrix(3, 7));
+        assert_eq!(Shape::new(Vec::<usize>::new()), Shape::scalar());
+        assert_ne!(Shape::vector(0), Shape::scalar());
     }
 }

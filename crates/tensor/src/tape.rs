@@ -17,9 +17,15 @@
 //!   global peak lands at the start of the backward pass, exactly as the
 //!   paper observes (Sec. V-A).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::{MemoryCategory, MemoryTracker, Shape, Tensor};
+
+/// Process-wide high-water mark of tape lengths, used to pre-size the node
+/// list of later tapes: in steady-state training every step records the
+/// same graph, so after one warm-up step `push` never reallocates.
+static NODE_HINT: AtomicUsize = AtomicUsize::new(0);
 
 /// A handle to a value recorded on a [`Tape`].
 ///
@@ -99,6 +105,17 @@ impl Gradients {
     }
 }
 
+impl Drop for Gradients {
+    /// Gradients the caller never took go back to the buffer recycler, so
+    /// dropping the result of [`Tape::backward`] after consuming the
+    /// parameter grads keeps the steady state allocation-free.
+    fn drop(&mut self) {
+        for g in self.grads.drain(..).flatten() {
+            g.recycle();
+        }
+    }
+}
+
 /// A reverse-mode autodiff tape.
 ///
 /// # Examples
@@ -125,14 +142,17 @@ pub struct Tape {
 impl Tape {
     /// Creates an empty tape with no memory tracking.
     pub fn new() -> Self {
-        Tape::default()
+        Tape {
+            nodes: Vec::with_capacity(NODE_HINT.load(Ordering::Relaxed)),
+            tracker: None,
+        }
     }
 
     /// Creates an empty tape that reports activation/gradient bytes to
     /// `tracker`.
     pub fn with_tracker(tracker: MemoryTracker) -> Self {
         Tape {
-            nodes: Vec::new(),
+            nodes: Vec::with_capacity(NODE_HINT.load(Ordering::Relaxed)),
             tracker: Some(tracker),
         }
     }
@@ -482,6 +502,7 @@ impl Tape {
                 continue;
             };
             if !self.nodes[id].needs_grad {
+                out_grad.recycle();
                 continue;
             }
             let op = self.nodes[id].op.clone();
@@ -496,7 +517,8 @@ impl Tape {
             }
             // Release this node's forward value: every consumer (higher id)
             // has already run its backward, and this node's own adjoint rule
-            // has just used it.
+            // has just used it. The buffer goes straight back to the
+            // recycler so the next step's forward pass reuses it.
             if !matches!(self.nodes[id].op, Op::Leaf { .. }) {
                 if let Some(t) = &self.tracker {
                     if self.nodes[id].tracked_bytes > 0 {
@@ -504,9 +526,10 @@ impl Tape {
                     }
                 }
                 self.nodes[id].tracked_bytes = 0;
-                self.nodes[id].value = Tensor::default();
+                std::mem::replace(&mut self.nodes[id].value, Tensor::released()).recycle();
             }
-            // Leaf gradients stay in `grads` for the caller.
+            // Leaf gradients stay in `grads` for the caller; any other
+            // consumed adjoint is returned to the recycler.
             if matches!(
                 self.nodes[id].op,
                 Op::Leaf {
@@ -514,6 +537,8 @@ impl Tape {
                 }
             ) {
                 grads[id] = Some(out_grad);
+            } else {
+                out_grad.recycle();
             }
         }
         Gradients { grads }
@@ -530,7 +555,12 @@ impl Tape {
             return;
         }
         match &mut grads[var.id] {
-            Some(existing) => existing.axpy(1.0, &delta),
+            Some(existing) => {
+                // In-place accumulation via the pooled axpy; the delta's
+                // buffer is immediately available for reuse.
+                existing.axpy(1.0, &delta);
+                delta.recycle();
+            }
             slot @ None => {
                 let bytes = delta.bytes() as u64;
                 // Intermediate gradients count as transient gradient bytes;
@@ -744,11 +774,18 @@ impl Tape {
 
 impl Drop for Tape {
     fn drop(&mut self) {
+        NODE_HINT.fetch_max(self.nodes.len(), Ordering::Relaxed);
         if let Some(t) = &self.tracker {
             let remaining = self.activation_bytes();
             if remaining > 0 {
                 t.free(MemoryCategory::Activations, remaining);
             }
+        }
+        // Forward values that backward did not already release (forward-only
+        // tapes, values above the loss) go back to the recycler. Leaves are
+        // shared with their external owners, so `recycle` skips them.
+        for node in self.nodes.drain(..) {
+            node.value.recycle();
         }
     }
 }
@@ -1022,6 +1059,63 @@ mod tests {
         };
         assert!(g1.allclose(&ref_g1, 1e-5));
         assert!(g2.allclose(&ref_g2, 1e-5));
+    }
+
+    /// A small fan-out graph whose backward exercises in-place adjoint
+    /// accumulation, value release, and adjoint recycling; returns the
+    /// parameter gradient bits.
+    fn fanout_grad_bits() -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut tape = Tape::new();
+        let w = tape.param(Tensor::randn((6, 6), 0.8, &mut rng));
+        let x = tape.constant(Tensor::randn((9, 6), 0.8, &mut rng));
+        let h = tape.matmul(x, w);
+        let a = tape.silu(h);
+        let b = tape.tanh(h); // fan-out: h feeds two consumers
+        let s = tape.add(a, b);
+        let q = tape.square(s);
+        let loss = tape.mean_all(q);
+        let grads = tape.backward(loss);
+        grads
+            .get(w)
+            .unwrap()
+            .data()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect()
+    }
+
+    #[test]
+    fn gradcheck_through_in_place_backward_with_recycler_on() {
+        crate::recycler::set_enabled_override(Some(true));
+        let mut rng = StdRng::seed_from_u64(23);
+        let x = Tensor::randn((4, 5), 0.7, &mut rng);
+        // Run twice so the second pass reads recycled buffers throughout.
+        for _ in 0..2 {
+            check_grad(
+                std::slice::from_ref(&x),
+                |tape, vars| {
+                    let a = tape.silu(vars[0]);
+                    let b = tape.add(a, vars[0]); // fan-out accumulation
+                    let c = tape.square(b);
+                    tape.mean_all(c)
+                },
+                2e-2,
+            );
+        }
+        crate::recycler::set_enabled_override(None);
+    }
+
+    #[test]
+    fn backward_is_bitwise_identical_recycler_on_vs_off() {
+        crate::recycler::set_enabled_override(Some(false));
+        let fresh = fanout_grad_bits();
+        crate::recycler::set_enabled_override(Some(true));
+        let warm1 = fanout_grad_bits(); // populates the free list
+        let warm2 = fanout_grad_bits(); // runs on recycled buffers
+        crate::recycler::set_enabled_override(None);
+        assert_eq!(fresh, warm1);
+        assert_eq!(fresh, warm2);
     }
 
     #[test]

@@ -7,11 +7,11 @@
 //! backward rules.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use rand::Rng;
 
-use crate::{pool, Shape, TensorError};
+use crate::{pool, recycler, Shape, TensorError};
 
 /// FLOP count (2·n·k·m) below which the matmul variants stay serial: pool
 /// dispatch and cache-block bookkeeping cost more than they save.
@@ -29,6 +29,35 @@ const ELEM_PAR_MIN: usize = 1 << 16;
 /// identical output either way.
 fn use_pool(cost: usize, threshold: usize) -> bool {
     cost >= threshold && pool::num_threads() > 1
+}
+
+/// Expect-message for buffers that just came out of [`recycler::acquire`],
+/// which only ever hands out uniquely-owned handles.
+const UNIQUE: &str = "acquired buffer is uniquely owned";
+
+/// A uniquely-owned, zero-filled buffer of `n` elements, recycled when
+/// possible. `resize` on the cleared buffer writes every element, so the
+/// result is bit-identical to `vec![0.0; n]`.
+fn zeroed(n: usize) -> Arc<Vec<f32>> {
+    let mut data = recycler::acquire(n);
+    Arc::get_mut(&mut data).expect(UNIQUE).resize(n, 0.0);
+    data
+}
+
+/// A uniquely-owned copy of `src`'s elements, recycled when possible.
+fn copied(src: &Tensor) -> Arc<Vec<f32>> {
+    let mut data = recycler::acquire(src.numel());
+    Arc::get_mut(&mut data)
+        .expect(UNIQUE)
+        .extend_from_slice(src.data());
+    data
+}
+
+/// The shared empty buffer installed in place of released tape values —
+/// cloning an `Arc` keeps the steady state allocation-free.
+fn empty_buf() -> Arc<Vec<f32>> {
+    static EMPTY: OnceLock<Arc<Vec<f32>>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
 }
 
 /// A dense, row-major `f32` tensor with cheaply clonable storage.
@@ -55,14 +84,23 @@ impl Tensor {
     // Constructors
     // ------------------------------------------------------------------
 
+    /// Builds a tensor by letting `fill` write a recycled (or fresh)
+    /// buffer up from empty to exactly `shape.numel()` elements. Every
+    /// serial constructor below funnels through here so it draws from the
+    /// buffer recycler.
+    fn build(shape: Shape, fill: impl FnOnce(&mut Vec<f32>)) -> Self {
+        let n = shape.numel();
+        let mut data = recycler::acquire(n);
+        fill(Arc::get_mut(&mut data).expect(UNIQUE));
+        debug_assert_eq!(data.len(), n, "constructor fill length mismatch");
+        Tensor { shape, data }
+    }
+
     /// Creates a tensor of the given shape filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor {
-            shape,
-            data: Arc::new(vec![value; n]),
-        }
+        Tensor::build(shape, |v| v.resize(n, value))
     }
 
     /// Creates a zero-filled tensor.
@@ -77,10 +115,7 @@ impl Tensor {
 
     /// Creates a rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
-        Tensor {
-            shape: Shape::scalar(),
-            data: Arc::new(vec![value]),
-        }
+        Tensor::build(Shape::scalar(), |v| v.push(value))
     }
 
     /// Creates a tensor from a flat row-major buffer.
@@ -106,23 +141,17 @@ impl Tensor {
     /// Creates a tensor by evaluating `f(flat_index)` at every element.
     pub fn from_fn(shape: impl Into<Shape>, f: impl FnMut(usize) -> f32) -> Self {
         let shape = shape.into();
-        let data = (0..shape.numel()).map(f).collect();
-        Tensor {
-            shape,
-            data: Arc::new(data),
-        }
+        let n = shape.numel();
+        Tensor::build(shape, |v| v.extend((0..n).map(f)))
     }
 
     /// Creates a tensor with i.i.d. samples from `U[-scale, scale)`.
     pub fn rand_uniform<R: Rng + ?Sized>(shape: impl Into<Shape>, scale: f32, rng: &mut R) -> Self {
         let shape = shape.into();
-        let data = (0..shape.numel())
-            .map(|_| rng.gen_range(-scale..scale))
-            .collect();
-        Tensor {
-            shape,
-            data: Arc::new(data),
-        }
+        let n = shape.numel();
+        Tensor::build(shape, |v| {
+            v.extend((0..n).map(|_| rng.gen_range(-scale..scale)));
+        })
     }
 
     /// Creates a tensor with i.i.d. standard-normal samples scaled by `std`.
@@ -132,21 +161,18 @@ impl Tensor {
     pub fn randn<R: Rng + ?Sized>(shape: impl Into<Shape>, std: f32, rng: &mut R) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        let mut data = Vec::with_capacity(n);
-        while data.len() < n {
-            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-            let u2: f32 = rng.gen_range(0.0..1.0);
-            let r = (-2.0 * u1.ln()).sqrt();
-            let theta = 2.0 * std::f32::consts::PI * u2;
-            data.push(r * theta.cos() * std);
-            if data.len() < n {
-                data.push(r * theta.sin() * std);
+        Tensor::build(shape, |data| {
+            while data.len() < n {
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = 2.0 * std::f32::consts::PI * u2;
+                data.push(r * theta.cos() * std);
+                if data.len() < n {
+                    data.push(r * theta.sin() * std);
+                }
             }
-        }
-        Tensor {
-            shape,
-            data: Arc::new(data),
-        }
+        })
     }
 
     // ------------------------------------------------------------------
@@ -278,20 +304,19 @@ impl Tensor {
             self.shape, other.shape
         );
         if !use_pool(self.numel(), ELEM_PAR_MIN) {
-            let data = self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect();
-            return Tensor {
-                shape: self.shape.clone(),
-                data: Arc::new(data),
-            };
+            return Tensor::build(self.shape.clone(), |v| {
+                v.extend(
+                    self.data
+                        .iter()
+                        .zip(other.data.iter())
+                        .map(|(&a, &b)| f(a, b)),
+                );
+            });
         }
-        let mut out = vec![0.0f32; self.numel()];
+        let mut data = zeroed(self.numel());
+        let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
         let (lhs, rhs) = (&self.data[..], &other.data[..]);
-        pool::for_each_chunk_mut(&mut out, 1, |start, chunk| {
+        pool::for_each_chunk_mut(out, 1, |start, chunk| {
             let n = chunk.len();
             for ((o, &a), &b) in chunk
                 .iter_mut()
@@ -303,7 +328,7 @@ impl Tensor {
         });
         Tensor {
             shape: self.shape.clone(),
-            data: Arc::new(out),
+            data,
         }
     }
 
@@ -312,15 +337,14 @@ impl Tensor {
     /// exactly `f` of its input, so results are thread-count invariant).
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         if !use_pool(self.numel(), ELEM_PAR_MIN) {
-            let data = self.data.iter().map(|&a| f(a)).collect();
-            return Tensor {
-                shape: self.shape.clone(),
-                data: Arc::new(data),
-            };
+            return Tensor::build(self.shape.clone(), |v| {
+                v.extend(self.data.iter().map(|&a| f(a)));
+            });
         }
-        let mut out = vec![0.0f32; self.numel()];
+        let mut data = zeroed(self.numel());
+        let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
         let src = &self.data[..];
-        pool::for_each_chunk_mut(&mut out, 1, |start, chunk| {
+        pool::for_each_chunk_mut(out, 1, |start, chunk| {
             let s = &src[start..start + chunk.len()];
             for (o, &a) in chunk.iter_mut().zip(s) {
                 *o = f(a);
@@ -328,7 +352,7 @@ impl Tensor {
         });
         Tensor {
             shape: self.shape.clone(),
-            data: Arc::new(out),
+            data,
         }
     }
 
@@ -420,9 +444,10 @@ impl Tensor {
     pub fn add_row(&self, row: &Tensor) -> Tensor {
         let c = self.cols();
         assert_eq!(row.numel(), c, "add_row: bias {} vs cols {c}", row.shape);
-        let mut data = self.to_vec();
+        let mut data = copied(self);
+        let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
         let bias = &row.data[..];
-        self.for_each_row_chunk(&mut data, c, |_, rows| {
+        self.for_each_row_chunk(out, c, |_, rows| {
             for rrow in rows.chunks_mut(c) {
                 for (x, &b) in rrow.iter_mut().zip(bias) {
                     *x += b;
@@ -431,7 +456,7 @@ impl Tensor {
         });
         Tensor {
             shape: self.shape.clone(),
-            data: Arc::new(data),
+            data,
         }
     }
 
@@ -469,9 +494,10 @@ impl Tensor {
             col.shape,
             self.rows()
         );
-        let mut data = self.to_vec();
+        let mut data = copied(self);
+        let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
         let colv = &col.data[..];
-        self.for_each_row_chunk(&mut data, c, |r0, rows| {
+        self.for_each_row_chunk(out, c, |r0, rows| {
             for (local, rrow) in rows.chunks_mut(c).enumerate() {
                 let v = colv[r0 + local];
                 for x in rrow {
@@ -481,7 +507,7 @@ impl Tensor {
         });
         Tensor {
             shape: self.shape.clone(),
-            data: Arc::new(data),
+            data,
         }
     }
 
@@ -493,9 +519,10 @@ impl Tensor {
     pub fn mul_row(&self, row: &Tensor) -> Tensor {
         let c = self.cols();
         assert_eq!(row.numel(), c, "mul_row: {} vs cols {c}", row.shape);
-        let mut data = self.to_vec();
+        let mut data = copied(self);
+        let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
         let scalev = &row.data[..];
-        self.for_each_row_chunk(&mut data, c, |_, rows| {
+        self.for_each_row_chunk(out, c, |_, rows| {
             for rrow in rows.chunks_mut(c) {
                 for (x, &s) in rrow.iter_mut().zip(scalev) {
                     *x *= s;
@@ -504,7 +531,7 @@ impl Tensor {
         });
         Tensor {
             shape: self.shape.clone(),
-            data: Arc::new(data),
+            data,
         }
     }
 
@@ -523,9 +550,10 @@ impl Tensor {
             col.shape,
             self.rows()
         );
-        let mut data = self.to_vec();
+        let mut data = copied(self);
+        let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
         let colv = &col.data[..];
-        self.for_each_row_chunk(&mut data, c, |r0, rows| {
+        self.for_each_row_chunk(out, c, |r0, rows| {
             for (local, rrow) in rows.chunks_mut(c).enumerate() {
                 let s = colv[r0 + local];
                 for x in rrow {
@@ -535,7 +563,7 @@ impl Tensor {
         });
         Tensor {
             shape: self.shape.clone(),
-            data: Arc::new(data),
+            data,
         }
     }
 
@@ -559,19 +587,20 @@ impl Tensor {
         assert_eq!(k, k2, "matmul inner dim: {} vs {}", self.shape, other.shape);
         let a = &self.data[..];
         let b = &other.data[..];
-        let mut out = vec![0.0f32; n * m];
+        let mut data = zeroed(n * m);
+        let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
         if !out.is_empty() {
             if use_pool(2 * n * k * m, MATMUL_PAR_FLOPS) {
-                pool::for_each_chunk_mut(&mut out, m, |start, chunk| {
+                pool::for_each_chunk_mut(out, m, |start, chunk| {
                     matmul_rows(a, b, chunk, start / m, k, m);
                 });
             } else {
-                matmul_rows(a, b, &mut out, 0, k, m);
+                matmul_rows(a, b, out, 0, k, m);
             }
         }
         Tensor {
             shape: Shape::matrix(n, m),
-            data: Arc::new(out),
+            data,
         }
     }
 
@@ -604,19 +633,20 @@ impl Tensor {
         );
         let a = &self.data[..];
         let b = &other.data[..];
-        let mut out = vec![0.0f32; n * m];
+        let mut data = zeroed(n * m);
+        let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
         if !out.is_empty() {
             if use_pool(2 * n * k * m, MATMUL_PAR_FLOPS) {
-                pool::for_each_chunk_mut(&mut out, m, |start, chunk| {
+                pool::for_each_chunk_mut(out, m, |start, chunk| {
                     matmul_nt_rows(a, b, chunk, start / m, k, m);
                 });
             } else {
-                matmul_nt_rows(a, b, &mut out, 0, k, m);
+                matmul_nt_rows(a, b, out, 0, k, m);
             }
         }
         Tensor {
             shape: Shape::matrix(n, m),
-            data: Arc::new(out),
+            data,
         }
     }
 
@@ -624,7 +654,8 @@ impl Tensor {
     /// large tensors; a pure permutation, so trivially deterministic).
     pub fn transpose(&self) -> Tensor {
         let (n, m) = (self.rows(), self.cols());
-        let mut out = vec![0.0f32; n * m];
+        let mut data = zeroed(n * m);
+        let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
         let src = &self.data[..];
         let write = |start: usize, chunk: &mut [f32]| {
             for (local, orow) in chunk.chunks_mut(n).enumerate() {
@@ -636,14 +667,14 @@ impl Tensor {
         };
         if !out.is_empty() {
             if use_pool(n * m, ELEM_PAR_MIN) {
-                pool::for_each_chunk_mut(&mut out, n, write);
+                pool::for_each_chunk_mut(out, n, write);
             } else {
-                write(0, &mut out);
+                write(0, out);
             }
         }
         Tensor {
             shape: Shape::matrix(m, n),
-            data: Arc::new(out),
+            data,
         }
     }
 
@@ -687,7 +718,8 @@ impl Tensor {
     /// element accumulates in exactly the serial order.
     pub fn sum_axis0(&self) -> Tensor {
         let (n, m) = (self.rows(), self.cols());
-        let mut out = vec![0.0f32; m];
+        let mut data = zeroed(m);
+        let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
         let src = &self.data[..];
         let reduce = |c0: usize, cols: &mut [f32]| {
             let w = cols.len();
@@ -700,14 +732,14 @@ impl Tensor {
         };
         if !out.is_empty() {
             if use_pool(n * m, ELEM_PAR_MIN) {
-                pool::for_each_chunk_mut(&mut out, 1, reduce);
+                pool::for_each_chunk_mut(out, 1, reduce);
             } else {
-                reduce(0, &mut out);
+                reduce(0, out);
             }
         }
         Tensor {
             shape: Shape::vector(m),
-            data: Arc::new(out),
+            data,
         }
     }
 
@@ -715,7 +747,8 @@ impl Tensor {
     /// serial sum, so per-element order is unchanged).
     pub fn sum_axis1(&self) -> Tensor {
         let (n, m) = (self.rows(), self.cols());
-        let mut out = vec![0.0f32; n];
+        let mut data = zeroed(n);
+        let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
         let src = &self.data[..];
         let reduce = |r0: usize, rows: &mut [f32]| {
             for (local, o) in rows.iter_mut().enumerate() {
@@ -725,14 +758,14 @@ impl Tensor {
         };
         if !out.is_empty() {
             if use_pool(n * m, ELEM_PAR_MIN) {
-                pool::for_each_chunk_mut(&mut out, 1, reduce);
+                pool::for_each_chunk_mut(out, 1, reduce);
             } else {
-                reduce(0, &mut out);
+                reduce(0, out);
             }
         }
         Tensor {
             shape: Shape::matrix(n, 1),
-            data: Arc::new(out),
+            data,
         }
     }
 
@@ -752,7 +785,8 @@ impl Tensor {
         for &i in idx {
             assert!(i < n, "gather_rows index {i} out of {n}");
         }
-        let mut out = vec![0.0f32; idx.len() * m];
+        let mut data = zeroed(idx.len() * m);
+        let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
         let src = &self.data[..];
         let copy = |start: usize, chunk: &mut [f32]| {
             for (local, orow) in chunk.chunks_mut(m).enumerate() {
@@ -762,14 +796,14 @@ impl Tensor {
         };
         if !out.is_empty() {
             if use_pool(out.len(), ELEM_PAR_MIN) {
-                pool::for_each_chunk_mut(&mut out, m, copy);
+                pool::for_each_chunk_mut(out, m, copy);
             } else {
-                copy(0, &mut out);
+                copy(0, out);
             }
         }
         Tensor {
             shape: Shape::matrix(idx.len(), m),
-            data: Arc::new(out),
+            data,
         }
     }
 
@@ -795,7 +829,8 @@ impl Tensor {
         for &t in idx {
             assert!(t < n_out, "scatter_add_rows target {t} out of {n_out}");
         }
-        let mut out = vec![0.0f32; n_out * m];
+        let mut data = zeroed(n_out * m);
+        let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
         let src = &self.data[..];
         let add = |start: usize, chunk: &mut [f32]| {
             let r0 = start / m;
@@ -812,14 +847,14 @@ impl Tensor {
         };
         if !out.is_empty() {
             if use_pool(n * m, ELEM_PAR_MIN) {
-                pool::for_each_chunk_mut(&mut out, m, add);
+                pool::for_each_chunk_mut(out, m, add);
             } else {
-                add(0, &mut out);
+                add(0, out);
             }
         }
         Tensor {
             shape: Shape::matrix(n_out, m),
-            data: Arc::new(out),
+            data,
         }
     }
 
@@ -835,17 +870,14 @@ impl Tensor {
             assert_eq!(p.rows(), n, "concat_cols row mismatch: {} vs {n}", p.rows());
         }
         let total: usize = parts.iter().map(|p| p.cols()).sum();
-        let mut out = Vec::with_capacity(n * total);
-        for r in 0..n {
-            for p in parts {
-                let m = p.cols();
-                out.extend_from_slice(&p.data[r * m..(r + 1) * m]);
+        Tensor::build(Shape::matrix(n, total), |out| {
+            for r in 0..n {
+                for p in parts {
+                    let m = p.cols();
+                    out.extend_from_slice(&p.data[r * m..(r + 1) * m]);
+                }
             }
-        }
-        Tensor {
-            shape: Shape::matrix(n, total),
-            data: Arc::new(out),
-        }
+        })
     }
 
     /// Extracts columns `[start, end)` of a matrix.
@@ -860,14 +892,11 @@ impl Tensor {
             "slice_cols {start}..{end} out of {m}"
         );
         let w = end - start;
-        let mut out = Vec::with_capacity(n * w);
-        for r in 0..n {
-            out.extend_from_slice(&self.data[r * m + start..r * m + end]);
-        }
-        Tensor {
-            shape: Shape::matrix(n, w),
-            data: Arc::new(out),
-        }
+        Tensor::build(Shape::matrix(n, w), |out| {
+            for r in 0..n {
+                out.extend_from_slice(&self.data[r * m + start..r * m + end]);
+            }
+        })
     }
 
     // ------------------------------------------------------------------
@@ -979,6 +1008,42 @@ impl Tensor {
             pool::for_each_chunk_mut(dst, 1, |_, chunk| chunk.fill(value));
         } else {
             dst.fill(value);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Buffer recycling
+    // ------------------------------------------------------------------
+
+    /// Hands this tensor's buffer back to the process-wide
+    /// [`recycler`](crate::recycler) so the next same-sized construction
+    /// reuses the allocation. Since [`Drop`] already does this for every
+    /// uniquely-owned tensor, calling it is documentation of an ownership
+    /// hand-off, never a requirement.
+    pub fn recycle(self) {
+        drop(self);
+    }
+
+    /// The placeholder installed where a tape node's forward value used to
+    /// live after backward released it. Shares one static empty buffer, so
+    /// releasing N node values costs zero allocations.
+    pub(crate) fn released() -> Tensor {
+        Tensor {
+            shape: Shape::vector(0),
+            data: empty_buf(),
+        }
+    }
+}
+
+impl Drop for Tensor {
+    /// Returns the buffer to the [`recycler`](crate::recycler) when this
+    /// was the last owner. Catching *every* last-owner drop here — not
+    /// just explicit [`Tensor::recycle`] calls — is what lets backward-rule
+    /// temporaries (transposes, adjoint products) stay in the pool instead
+    /// of leaking one allocation per op per step.
+    fn drop(&mut self) {
+        if recycler::enabled() && Arc::get_mut(&mut self.data).is_some() {
+            recycler::release(std::mem::replace(&mut self.data, empty_buf()));
         }
     }
 }
@@ -1318,5 +1383,33 @@ mod tests {
         let b = a.reshape(6usize).unwrap();
         assert_eq!(b.shape().rank(), 1);
         assert!(a.reshape((4, 2)).is_err());
+    }
+
+    #[test]
+    fn recycled_construction_is_bitwise_identical() {
+        crate::recycler::set_enabled_override(Some(true));
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Tensor::randn((37, 19), 1.0, &mut rng);
+        let b = Tensor::randn((19, 23), 1.0, &mut rng);
+        let fresh = a.matmul(&b);
+        // Pump buffers through the recycler, then recompute: a recycled
+        // output buffer must produce the exact same bits.
+        for _ in 0..4 {
+            a.matmul(&b).recycle();
+        }
+        let reused = a.matmul(&b);
+        assert_eq!(fresh, reused);
+        crate::recycler::set_enabled_override(None);
+    }
+
+    #[test]
+    fn recycle_is_refused_while_shared() {
+        crate::recycler::set_enabled_override(Some(true));
+        let t = Tensor::full((9, 9), 3.0);
+        let keep = t.clone();
+        t.recycle(); // shared with `keep`: rejected, data stays live
+        assert_eq!(keep.data(), &[3.0; 81]);
+        keep.recycle(); // now unique: accepted
+        crate::recycler::set_enabled_override(None);
     }
 }

@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 use matgnn_data::Targets;
 use matgnn_graph::GraphBatch;
 use matgnn_model::GnnModel;
+use matgnn_tensor::recycler::{self, RecyclerStats};
 use matgnn_tensor::{MemoryBreakdown, MemoryCategory, MemorySnapshot, MemoryTracker};
 
 use crate::{train_step, Adam, AdamHyper, LossConfig, Optimizer};
@@ -30,6 +31,9 @@ pub struct StepProfile {
     pub wall: Duration,
     /// The step's loss value.
     pub loss: f64,
+    /// Buffer-recycler activity during the step (hit/miss/bytes-reused
+    /// deltas; all zero when `MATGNN_RECYCLER=off`).
+    pub recycler: RecyclerStats,
 }
 
 impl StepProfile {
@@ -56,6 +60,7 @@ pub fn profile_step<M: GnnModel>(
     checkpointed: bool,
 ) -> StepProfile {
     let tracker = MemoryTracker::new();
+    let recycler_before = recycler::stats();
     // Persistent buffers a framework holds for the whole run:
     let weight_bytes = model.params().bytes();
     tracker.alloc(MemoryCategory::Weights, weight_bytes);
@@ -78,6 +83,10 @@ pub fn profile_step<M: GnnModel>(
     optimizer.step(model.params_mut(), &outcome.grads, 1e-3);
     tracker.free(MemoryCategory::Gradients, grad_bytes);
     tracker.snapshot("after optimizer step");
+    // The update consumed the gradients; return their buffers.
+    for g in outcome.grads {
+        g.recycle();
+    }
     let wall = start.elapsed();
 
     let profile = StepProfile {
@@ -86,6 +95,7 @@ pub fn profile_step<M: GnnModel>(
         snapshots: tracker.snapshots(),
         wall,
         loss: outcome.loss,
+        recycler: recycler::stats().delta_since(&recycler_before),
     };
     drop(optimizer); // frees optimizer-state accounting
     tracker.free(MemoryCategory::Weights, weight_bytes);

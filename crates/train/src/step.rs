@@ -176,14 +176,18 @@ pub fn checkpointed_step<M: GnnModel + ?Sized>(
             .collect();
 
         // The downstream boundary (this segment's output) is no longer
-        // needed; release its retained-activation accounting.
+        // needed; release its retained-activation accounting and hand the
+        // buffers to the recycler (this loop iteration's tape dropped the
+        // last competing reference when the previous iteration ended).
         if let Some(t) = tracker {
             if boundary_bytes[seg + 1] > 0 {
                 t.free(MemoryCategory::Activations, boundary_bytes[seg + 1]);
                 boundary_bytes[seg + 1] = 0;
             }
         }
-        boundaries[seg + 1].clear();
+        for b in boundaries[seg + 1].drain(..) {
+            b.recycle();
+        }
     }
     if let Some(t) = tracker {
         t.snapshot("after backward (checkpointed)");

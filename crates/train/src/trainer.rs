@@ -253,6 +253,11 @@ impl Trainer {
                 }
                 let lr = cfg.schedule.lr(cfg.base_lr, *step);
                 optimizer.step(model.params_mut(), &grads, lr);
+                // The gradients are fully consumed by the update; hand
+                // their buffers back so the next backward pass reuses them.
+                for g in grads {
+                    g.recycle();
+                }
                 *step += 1;
                 *micro = 0;
             };
@@ -267,8 +272,9 @@ impl Trainer {
                 match &mut accum_buf {
                     None => accum_buf = Some(outcome.grads),
                     Some(buf) => {
-                        for (b, g) in buf.iter_mut().zip(outcome.grads.iter()) {
-                            b.axpy(1.0, g);
+                        for (b, g) in buf.iter_mut().zip(outcome.grads) {
+                            b.axpy(1.0, &g);
+                            g.recycle();
                         }
                     }
                 }
