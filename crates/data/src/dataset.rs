@@ -10,6 +10,8 @@
 //! distribution-mismatch mechanism the paper conjectures for the
 //! 0.1→0.2 TB loss cliff in Fig. 4.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -29,6 +31,12 @@ pub const BIASED_ORDERED_SHARE: f64 = 0.6;
 
 /// An in-memory collection of labelled samples.
 ///
+/// Samples are held behind an [`Arc`], so `Dataset::clone` is O(1) and the
+/// clone shares storage — this is what lets the prefetching loader hand a
+/// dataset to a background thread without copying it (see
+/// [`PrefetchIterator`](crate::PrefetchIterator)). Datasets are immutable
+/// after construction; every "mutation" builds a new sample vector.
+///
 /// # Examples
 ///
 /// ```
@@ -41,13 +49,15 @@ pub const BIASED_ORDERED_SHARE: f64 = 0.6;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Dataset {
-    samples: Vec<Sample>,
+    samples: Arc<Vec<Sample>>,
 }
 
 impl Dataset {
     /// Creates a dataset from explicit samples.
     pub fn from_samples(samples: Vec<Sample>) -> Self {
-        Dataset { samples }
+        Dataset {
+            samples: Arc::new(samples),
+        }
     }
 
     /// Generates an aggregate of `n_graphs` samples whose per-source
@@ -67,7 +77,7 @@ impl Dataset {
             allocated += count;
             samples.extend(kind.generate(count, seed, cfg));
         }
-        Dataset { samples }
+        Dataset::from_samples(samples)
     }
 
     /// Number of samples.
@@ -119,7 +129,7 @@ impl Dataset {
                 }
             }
         }
-        (Dataset { samples: train }, Dataset { samples: test })
+        (Dataset::from_samples(train), Dataset::from_samples(test))
     }
 
     /// Takes the subset corresponding to `tb` paper-terabytes out of this
@@ -162,7 +172,7 @@ impl Dataset {
             let mut rest: Vec<&Sample> = ordered.into_iter().skip(n_biased).collect();
             rest.shuffle(&mut rng);
             samples.extend(rest.into_iter().take(n_take - n_biased).cloned());
-            Dataset { samples }
+            Dataset::from_samples(samples)
         } else {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut out = Vec::with_capacity(n_take);
@@ -178,7 +188,7 @@ impl Dataset {
             }
             // Rounding may under/overshoot by a few samples; trim or pad.
             out.truncate(n_take);
-            Dataset { samples: out }
+            Dataset::from_samples(out)
         }
     }
 
@@ -207,9 +217,10 @@ impl Dataset {
     }
 
     /// Merges two datasets.
-    pub fn concat(mut self, other: Dataset) -> Dataset {
-        self.samples.extend(other.samples);
-        self
+    pub fn concat(self, other: Dataset) -> Dataset {
+        let mut samples = Arc::try_unwrap(self.samples).unwrap_or_else(|a| (*a).clone());
+        samples.extend(other.samples.iter().cloned());
+        Dataset::from_samples(samples)
     }
 
     /// Regenerate convenience: an aggregate already split into train/test.

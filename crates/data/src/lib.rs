@@ -25,6 +25,7 @@
 mod dataset;
 mod dirstore;
 mod loader;
+mod prefetch;
 mod sample;
 mod sources;
 mod store;
@@ -34,7 +35,8 @@ pub use dataset::{
     FULL_TB,
 };
 pub use dirstore::{DirStore, DirStoreError};
-pub use loader::{collate, BatchIterator, Targets};
+pub use loader::{collate, BatchIterator, PrefetchIterator, Targets};
+pub use prefetch::{Feed, Prefetcher};
 pub use sample::Sample;
 pub use sources::{GeneratorConfig, SourceKind, GRAPH_CUTOFF};
 pub use store::{DecodeError, DistributedStore, Shard, StoreError, StoreStats};

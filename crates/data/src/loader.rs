@@ -7,7 +7,7 @@ use rand::SeedableRng;
 use matgnn_graph::{GraphBatch, MolGraph};
 use matgnn_tensor::Tensor;
 
-use crate::{Dataset, Normalizer, Sample};
+use crate::{Dataset, Normalizer, Prefetcher, Sample};
 
 /// Normalized training targets aligned with a [`GraphBatch`].
 #[derive(Debug, Clone)]
@@ -120,6 +120,96 @@ impl Iterator for BatchIterator<'_> {
     }
 }
 
+/// A [`BatchIterator`] whose collation runs ahead of the consumer on a
+/// background thread.
+///
+/// Batch `k+1` (up to `k+depth`) collates while the trainer computes on
+/// batch `k`. The producer executes the *identical* code path —
+/// [`BatchIterator`] with the same shuffle seed and normalizer — so the
+/// yielded sequence is bitwise-equal to the synchronous iterator for any
+/// depth; only the wall-clock placement of the collation work changes.
+/// Dropping the iterator mid-epoch stops and joins the producer; a
+/// producer panic re-raises on the consumer thread.
+///
+/// # Examples
+///
+/// ```
+/// use matgnn_data::{BatchIterator, Dataset, GeneratorConfig, Normalizer, PrefetchIterator};
+///
+/// let ds = Dataset::generate_aggregate(20, 3, &GeneratorConfig::default());
+/// let norm = Normalizer::fit(&ds);
+/// let sync: Vec<_> = BatchIterator::new(&ds, 8, Some(1), norm).collect();
+/// let pre: Vec<_> = PrefetchIterator::new(&ds, 8, Some(1), norm, 2).collect();
+/// assert_eq!(sync.len(), pre.len());
+/// ```
+#[derive(Debug)]
+pub struct PrefetchIterator {
+    inner: Prefetcher<(GraphBatch, Targets)>,
+    n_batches: usize,
+}
+
+impl PrefetchIterator {
+    /// Prefetching equivalent of [`BatchIterator::new`]; `depth` is the
+    /// number of batches buffered ahead of the consumer (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` or `depth` is zero.
+    pub fn new(
+        dataset: &Dataset,
+        batch_size: usize,
+        shuffle_seed: Option<u64>,
+        normalizer: Normalizer,
+        depth: usize,
+    ) -> Self {
+        Self::with_skip(dataset, batch_size, shuffle_seed, normalizer, depth, 0)
+    }
+
+    /// Like [`PrefetchIterator::new`] but skipping the first `skip`
+    /// batches — the mid-epoch resume path, equivalent to
+    /// `BatchIterator::new(..).skip(skip)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` or `depth` is zero.
+    pub fn with_skip(
+        dataset: &Dataset,
+        batch_size: usize,
+        shuffle_seed: Option<u64>,
+        normalizer: Normalizer,
+        depth: usize,
+        skip: usize,
+    ) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let total = dataset.len().div_ceil(batch_size);
+        let ds = dataset.clone(); // O(1): shared Arc storage
+        let inner = Prefetcher::spawn(depth, move |feed| {
+            for item in BatchIterator::new(&ds, batch_size, shuffle_seed, normalizer).skip(skip) {
+                if !feed.send(item) {
+                    return;
+                }
+            }
+        });
+        PrefetchIterator {
+            inner,
+            n_batches: total.saturating_sub(skip),
+        }
+    }
+
+    /// Number of batches this iterator will yield.
+    pub fn n_batches(&self) -> usize {
+        self.n_batches
+    }
+}
+
+impl Iterator for PrefetchIterator {
+    type Item = (GraphBatch, Targets);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +279,63 @@ mod tests {
         let ds = dataset();
         let norm = Normalizer::fit(&ds);
         let _ = BatchIterator::new(&ds, 0, None, norm);
+    }
+
+    fn batch_bits(batches: &[(GraphBatch, Targets)]) -> Vec<u32> {
+        let mut bits = Vec::new();
+        for (b, t) in batches {
+            bits.extend(b.node_feats().data().iter().map(|x| x.to_bits()));
+            bits.extend(b.edge_vectors().data().iter().map(|x| x.to_bits()));
+            bits.extend(t.energy.data().iter().map(|x| x.to_bits()));
+            bits.extend(t.forces.data().iter().map(|x| x.to_bits()));
+        }
+        bits
+    }
+
+    #[test]
+    fn prefetch_is_bitwise_identical_to_sync_for_any_depth() {
+        let ds = dataset();
+        let norm = Normalizer::fit(&ds);
+        let sync: Vec<_> = BatchIterator::new(&ds, 6, Some(9), norm).collect();
+        for depth in [1, 2, 4] {
+            let pre: Vec<_> = PrefetchIterator::new(&ds, 6, Some(9), norm, depth).collect();
+            assert_eq!(batch_bits(&sync), batch_bits(&pre), "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn prefetch_with_skip_matches_sync_skip() {
+        let ds = dataset();
+        let norm = Normalizer::fit(&ds);
+        let sync: Vec<_> = BatchIterator::new(&ds, 6, Some(9), norm).skip(2).collect();
+        let pre: Vec<_> = PrefetchIterator::with_skip(&ds, 6, Some(9), norm, 2, 2).collect();
+        assert_eq!(batch_bits(&sync), batch_bits(&pre));
+    }
+
+    #[test]
+    fn prefetch_n_batches_matches_iteration() {
+        let ds = dataset();
+        let norm = Normalizer::fit(&ds);
+        let it = PrefetchIterator::new(&ds, 7, None, norm, 1);
+        assert_eq!(it.n_batches(), it.count());
+        let it = PrefetchIterator::with_skip(&ds, 7, None, norm, 1, 1);
+        assert_eq!(it.n_batches(), it.count());
+    }
+
+    #[test]
+    fn prefetch_early_drop_shuts_down_cleanly() {
+        let ds = dataset();
+        let norm = Normalizer::fit(&ds);
+        let mut it = PrefetchIterator::new(&ds, 2, Some(3), norm, 4);
+        let _ = it.next();
+        drop(it); // must join the producer without hanging or panicking
+    }
+
+    #[test]
+    #[should_panic(expected = "prefetch depth")]
+    fn zero_prefetch_depth_panics() {
+        let ds = dataset();
+        let norm = Normalizer::fit(&ds);
+        let _ = PrefetchIterator::new(&ds, 4, None, norm, 0);
     }
 }

@@ -23,8 +23,11 @@
 //! into a fresh, smaller group (ranks are renumbered by ascending old
 //! rank, traffic statistics carry over).
 
+use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+use matgnn_tensor::recycler;
 
 /// Default per-collective rendezvous timeout.
 pub const DEFAULT_COMM_TIMEOUT: Duration = Duration::from_secs(30);
@@ -47,6 +50,17 @@ pub enum CommError {
     /// The group was poisoned by an earlier failure; no further
     /// collectives can run on it.
     Poisoned,
+    /// A peer contributed a vector of a different length than this rank.
+    /// The group is poisoned as a side effect: shape disagreement means
+    /// the replicas have diverged and no later collective can be trusted.
+    LengthMismatch {
+        /// Rank that detected the mismatch.
+        rank: usize,
+        /// Length this rank contributed.
+        expected: usize,
+        /// Length the offending peer contributed.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -57,6 +71,14 @@ impl std::fmt::Display for CommError {
             }
             CommError::RankFailed(r) => write!(f, "rank {r} failed"),
             CommError::Poisoned => write!(f, "communicator group is poisoned"),
+            CommError::LengthMismatch {
+                rank,
+                expected,
+                got,
+            } => write!(
+                f,
+                "rank {rank} expected a contribution of {expected} elements, got {got}"
+            ),
         }
     }
 }
@@ -99,6 +121,28 @@ pub struct CommStats {
     pub collectives: u64,
     /// Modeled interconnect time in seconds.
     pub modeled_seconds: f64,
+    /// Portion of `modeled_seconds` that was hidden behind compute by
+    /// backward-overlapped communication (credited via
+    /// [`Communicator::credit_overlap`]). Always `<= modeled_seconds`.
+    pub overlapped_seconds: f64,
+}
+
+impl CommStats {
+    /// Modeled interconnect time that was *not* hidden behind compute —
+    /// the part a step actually waits for.
+    pub fn exposed_seconds(&self) -> f64 {
+        (self.modeled_seconds - self.overlapped_seconds).max(0.0)
+    }
+
+    /// Accumulates another rank-local reading (e.g. a [`BucketComm`]'s
+    /// traffic) into this one.
+    pub fn absorb(&mut self, other: CommStats) {
+        self.bytes_moved += other.bytes_moved;
+        self.collectives += other.collectives;
+        self.modeled_seconds += other.modeled_seconds;
+        self.overlapped_seconds =
+            (self.overlapped_seconds + other.overlapped_seconds).min(self.modeled_seconds);
+    }
 }
 
 /// Shared rendezvous state: a generation-counting barrier plus staging
@@ -113,13 +157,28 @@ struct GroupState {
     failed: Vec<bool>,
     /// Sticky failure flag — once set the group never recovers.
     poisoned: bool,
-    /// Staging slots for collective payloads, one per rank.
-    slots: Vec<Option<Vec<f32>>>,
+    /// Staging slots for collective payloads, one per rank. Buffers come
+    /// from (and return to) the tensor crate's recycler so steady-state
+    /// collectives allocate nothing.
+    slots: Vec<Option<Arc<Vec<f32>>>>,
+    /// In-flight bucketed sessions keyed by bucket id (see
+    /// [`BucketComm`]). Unlike `slots`, several buckets can be in flight
+    /// at once because each rank's comm thread drains them at its own
+    /// pace.
+    buckets: HashMap<u64, BucketSlot>,
     /// Old ranks registered for a survivor split.
     split_members: Vec<usize>,
     /// Hand-off of rebuilt communicators, indexed like the sorted
     /// `split_members`.
     split_handoff: Vec<Option<Communicator>>,
+}
+
+/// One in-flight bucketed collective: per-rank contributions plus a
+/// count of ranks that have finished consuming them. The last consumer
+/// removes the slot and recycles the buffers.
+struct BucketSlot {
+    contributions: Vec<Option<Arc<Vec<f32>>>>,
+    readers_done: usize,
 }
 
 struct Inner {
@@ -180,6 +239,21 @@ pub fn shard_range(len: usize, world: usize, rank: usize) -> (usize, usize) {
     (start, end)
 }
 
+/// Ranks other than `rank`, ascending — the deterministic accumulation
+/// order every reduction in this module (flat or bucketed) follows.
+fn other_ranks(rank: usize, world: usize) -> impl Iterator<Item = usize> {
+    (0..world).filter(move |&r| r != rank)
+}
+
+/// Copies `data` into a recycler-backed staging buffer.
+fn staged_copy(data: &[f32]) -> Arc<Vec<f32>> {
+    let mut buf = recycler::acquire(data.len());
+    Arc::get_mut(&mut buf)
+        .expect("freshly acquired staging buffer is uniquely owned")
+        .extend_from_slice(data);
+    buf
+}
+
 impl Communicator {
     /// Creates one communicator per rank, all connected, with the
     /// [`DEFAULT_COMM_TIMEOUT`] rendezvous timeout.
@@ -211,6 +285,7 @@ impl Communicator {
                 failed: vec![false; world],
                 poisoned: false,
                 slots: vec![None; world],
+                buckets: HashMap::new(),
                 split_members: Vec::new(),
                 split_handoff: Vec::new(),
             }),
@@ -247,6 +322,42 @@ impl Communicator {
     /// [`split_survivors`](Self::split_survivors)).
     pub fn stats(&self) -> CommStats {
         self.stats
+    }
+
+    /// The cost model pricing this group's traffic.
+    pub fn cost_model(&self) -> CostModel {
+        self.inner.cost
+    }
+
+    /// Credits `secs` of this rank's modeled interconnect time as hidden
+    /// behind compute (backward-overlapped communication). Clamped so
+    /// `overlapped_seconds` never exceeds `modeled_seconds`.
+    pub fn credit_overlap(&mut self, secs: f64) {
+        self.stats.overlapped_seconds =
+            (self.stats.overlapped_seconds + secs.max(0.0)).min(self.stats.modeled_seconds);
+    }
+
+    /// Folds a detached reading (e.g. a finished [`BucketComm`]'s stats)
+    /// into this rank's statistics.
+    pub fn absorb(&mut self, other: CommStats) {
+        self.stats.absorb(other);
+    }
+
+    /// A second, independent handle for this rank used by its gradient
+    /// communication thread. Bucketed collectives issued through it
+    /// ([`BucketComm::all_reduce_mean_bucket`],
+    /// [`BucketComm::reduce_sum_bucket`]) rendezvous per bucket id rather
+    /// than through the group's generation barrier, so several buckets
+    /// can be in flight at once while backward is still producing more.
+    /// The handle shares the group's failure flags: a dead rank poisons
+    /// both paths at once, and either path's timeout poisons the other.
+    pub fn bucket_handle(&self) -> BucketComm {
+        BucketComm {
+            rank: self.rank,
+            inner: Arc::clone(&self.inner),
+            stats: CommStats::default(),
+            defunct: false,
+        }
     }
 
     /// Declares this rank dead and poisons the group: every peer blocked
@@ -331,7 +442,11 @@ impl Communicator {
         self.stats.modeled_seconds += self.inner.cost.seconds(bytes);
     }
 
-    fn publish(&mut self, data: Vec<f32>) -> Result<(), CommError> {
+    /// Copies `data` into this rank's staging slot and syncs. The staging
+    /// buffer is recycler-backed, so steady-state collectives allocate
+    /// nothing: `finish` returns every slot to the pool.
+    fn publish_slice(&mut self, data: &[f32]) -> Result<(), CommError> {
+        let buf = staged_copy(data);
         let inner = Arc::clone(&self.inner);
         {
             let mut st = inner.lock();
@@ -339,7 +454,7 @@ impl Communicator {
                 self.defunct = true;
                 return Err(err);
             }
-            st.slots[self.rank] = Some(data);
+            st.slots[self.rank] = Some(buf);
         }
         self.sync()
     }
@@ -348,31 +463,52 @@ impl Communicator {
         self.sync()?;
         if self.rank == 0 {
             let mut slots_guard = self.inner.lock();
-            slots_guard.slots.iter_mut().for_each(|s| *s = None);
+            let freed: Vec<_> = slots_guard
+                .slots
+                .iter_mut()
+                .filter_map(Option::take)
+                .collect();
+            drop(slots_guard);
+            // Recycle outside the group lock; every reader is past its
+            // accumulation (the sync above), so the handles are unique.
+            freed.into_iter().for_each(recycler::release);
         }
         self.sync()
+    }
+
+    /// Poisons the group because a peer's contribution length disagrees
+    /// with ours, and reports which peer.
+    fn length_mismatch(&mut self, st: &mut GroupState, expected: usize, got: usize) -> CommError {
+        st.poisoned = true;
+        self.inner.cv.notify_all();
+        self.defunct = true;
+        CommError::LengthMismatch {
+            rank: self.rank,
+            expected,
+            got,
+        }
     }
 
     /// In-place all-reduce (sum): after the call every rank holds the
     /// element-wise sum of all ranks' vectors.
     ///
-    /// # Panics
-    ///
-    /// Panics if ranks pass vectors of different lengths.
+    /// Returns [`CommError::LengthMismatch`] (and poisons the group) if a
+    /// peer contributed a vector of a different length.
     pub fn all_reduce_sum(&mut self, data: &mut [f32]) -> Result<(), CommError> {
         let w = self.world();
         if w == 1 {
             return Ok(());
         }
-        self.publish(data.to_vec())?;
+        self.publish_slice(data)?;
         {
-            let st = self.inner.lock();
-            for (r, slot) in st.slots.iter().enumerate() {
-                if r == self.rank {
-                    continue;
+            let inner = Arc::clone(&self.inner);
+            let mut st = inner.lock();
+            for r in other_ranks(self.rank, w) {
+                let got = st.slots[r].as_ref().expect("missing contribution").len();
+                if got != data.len() {
+                    return Err(self.length_mismatch(&mut st, data.len(), got));
                 }
-                let other = slot.as_ref().expect("missing contribution");
-                assert_eq!(other.len(), data.len(), "all_reduce length mismatch");
+                let other = st.slots[r].as_ref().expect("missing contribution");
                 for (d, &o) in data.iter_mut().zip(other.iter()) {
                     *d += o;
                 }
@@ -385,32 +521,69 @@ impl Communicator {
         Ok(())
     }
 
-    /// In-place all-reduce (mean).
+    /// In-place all-reduce (mean), with the `1/world` scale fused into
+    /// the final accumulation pass: the last peer's contribution is
+    /// applied as `(d + o) * inv` instead of a separate whole-vector
+    /// scale, saving one pass over the data. The floating-point operation
+    /// sequence per element is identical to sum-then-scale, so results
+    /// are bitwise unchanged; traffic accounting is that of a single
+    /// all-reduce.
     pub fn all_reduce_mean(&mut self, data: &mut [f32]) -> Result<(), CommError> {
-        self.all_reduce_sum(data)?;
-        let inv = 1.0 / self.world() as f32;
-        data.iter_mut().for_each(|x| *x *= inv);
+        let w = self.world();
+        if w == 1 {
+            return Ok(());
+        }
+        self.publish_slice(data)?;
+        {
+            let inner = Arc::clone(&self.inner);
+            let mut st = inner.lock();
+            let inv = 1.0 / w as f32;
+            let last = if self.rank == w - 1 { w - 2 } else { w - 1 };
+            for r in other_ranks(self.rank, w) {
+                let got = st.slots[r].as_ref().expect("missing contribution").len();
+                if got != data.len() {
+                    return Err(self.length_mismatch(&mut st, data.len(), got));
+                }
+                let other = st.slots[r].as_ref().expect("missing contribution");
+                if r == last {
+                    for (d, &o) in data.iter_mut().zip(other.iter()) {
+                        *d = (*d + o) * inv;
+                    }
+                } else {
+                    for (d, &o) in data.iter_mut().zip(other.iter()) {
+                        *d += o;
+                    }
+                }
+            }
+        }
+        self.finish()?;
+        let payload = (data.len() * 4) as u64;
+        self.account(payload * 2 * (w as u64 - 1) / w as u64);
         Ok(())
     }
 
     /// Reduce-scatter (sum): every rank contributes the full vector and
     /// receives only its own [`shard_range`] of the element-wise sum.
+    ///
+    /// Returns [`CommError::LengthMismatch`] (and poisons the group) if a
+    /// peer contributed a vector of a different length.
     pub fn reduce_scatter_sum(&mut self, data: &[f32]) -> Result<Vec<f32>, CommError> {
         let w = self.world();
         let (start, end) = shard_range(data.len(), w, self.rank);
         if w == 1 {
             return Ok(data[start..end].to_vec());
         }
-        self.publish(data.to_vec())?;
+        self.publish_slice(data)?;
         let mut shard = data[start..end].to_vec();
         {
-            let st = self.inner.lock();
-            for (r, slot) in st.slots.iter().enumerate() {
-                if r == self.rank {
-                    continue;
+            let inner = Arc::clone(&self.inner);
+            let mut st = inner.lock();
+            for r in other_ranks(self.rank, w) {
+                let got = st.slots[r].as_ref().expect("missing contribution").len();
+                if got != data.len() {
+                    return Err(self.length_mismatch(&mut st, data.len(), got));
                 }
-                let other = slot.as_ref().expect("missing contribution");
-                assert_eq!(other.len(), data.len(), "reduce_scatter length mismatch");
+                let other = st.slots[r].as_ref().expect("missing contribution");
                 for (d, &o) in shard.iter_mut().zip(other[start..end].iter()) {
                     *d += o;
                 }
@@ -435,7 +608,7 @@ impl Communicator {
         if w == 1 {
             return Ok(shard.to_vec());
         }
-        self.publish(shard.to_vec())?;
+        self.publish_slice(shard)?;
         let mut out = vec![0.0f32; total_len];
         {
             let st = self.inner.lock();
@@ -459,14 +632,15 @@ impl Communicator {
             return Ok(());
         }
         if self.rank == root {
-            self.publish(data.clone())?;
+            self.publish_slice(data)?;
         } else {
             self.sync()?;
         }
-        {
+        if self.rank != root {
             let st = self.inner.lock();
             let src = st.slots[root].as_ref().expect("missing root data");
-            *data = src.clone();
+            data.clear();
+            data.extend_from_slice(src);
         }
         self.finish()?;
         let payload = (data.len() * 4) as u64;
@@ -569,6 +743,265 @@ impl Drop for Communicator {
 impl std::fmt::Debug for Communicator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Communicator")
+            .field("rank", &self.rank)
+            .field("world", &self.world())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// A rank's handle for backward-overlapped bucketed collectives,
+/// obtained from [`Communicator::bucket_handle`] and typically owned by
+/// a dedicated communication thread.
+///
+/// Each call names a **bucket id**; ranks rendezvous per id instead of
+/// through the group-wide generation barrier, so a fast rank can retire
+/// bucket `k` and stage `k+1` while a slow rank is still consuming `k` —
+/// several sessions in flight at once. As with NCCL, every rank must
+/// issue the same bucket ids **in the same order** (backward order is
+/// deterministic and identical across replicas, so DDP satisfies this for
+/// free); ids must also be globally unique across the life of the group
+/// (DDP uses `step * n_buckets + index`). Accumulation order per element
+/// is own contribution first, then peers ascending — identical to the
+/// flat collectives, which is what keeps overlap bitwise-invisible.
+///
+/// Failure handling mirrors [`Communicator`]: timeouts and length
+/// mismatches poison the shared group, a panic unwinding past this handle
+/// poisons it too, and traffic is tallied locally — fold it back with
+/// [`Communicator::absorb`] when the comm thread joins.
+pub struct BucketComm {
+    rank: usize,
+    inner: Arc<Inner>,
+    stats: CommStats,
+    defunct: bool,
+}
+
+impl BucketComm {
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn world(&self) -> usize {
+        self.inner.world
+    }
+
+    /// Traffic accumulated through this handle.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    fn failure(&self, st: &GroupState) -> Option<CommError> {
+        if let Some(r) = st.failed.iter().position(|&f| f) {
+            return Some(CommError::RankFailed(r));
+        }
+        if st.poisoned {
+            return Some(CommError::Poisoned);
+        }
+        None
+    }
+
+    fn account(&mut self, bytes: u64) {
+        self.stats.bytes_moved += bytes;
+        self.stats.collectives += 1;
+        self.stats.modeled_seconds += self.inner.cost.seconds(bytes);
+    }
+
+    /// Stages this rank's contribution for bucket `id` and blocks until
+    /// every rank's contribution is present. On success the returned
+    /// guard's state holds a fully populated [`BucketSlot`] for `id`.
+    fn stage_and_await<'a>(
+        &mut self,
+        inner: &'a Inner,
+        id: u64,
+        data: &[f32],
+    ) -> Result<MutexGuard<'a, GroupState>, CommError> {
+        let world = inner.world;
+        let buf = staged_copy(data);
+        let mut st = inner.lock();
+        if let Some(err) = self.failure(&st) {
+            self.defunct = true;
+            return Err(err);
+        }
+        let slot = st.buckets.entry(id).or_insert_with(|| BucketSlot {
+            contributions: vec![None; world],
+            readers_done: 0,
+        });
+        debug_assert!(
+            slot.contributions[self.rank].is_none(),
+            "bucket id {id} reused before its previous session drained"
+        );
+        slot.contributions[self.rank] = Some(buf);
+        inner.cv.notify_all();
+        let start = Instant::now();
+        loop {
+            let complete = st
+                .buckets
+                .get(&id)
+                .is_some_and(|s| s.contributions.iter().all(Option::is_some));
+            if complete {
+                return Ok(st);
+            }
+            if let Some(err) = self.failure(&st) {
+                self.defunct = true;
+                return Err(err);
+            }
+            let remaining = inner.timeout.saturating_sub(start.elapsed());
+            let (guard, timed_out) = inner
+                .cv
+                .wait_timeout(st, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+            if timed_out.timed_out()
+                && !st
+                    .buckets
+                    .get(&id)
+                    .is_some_and(|s| s.contributions.iter().all(Option::is_some))
+            {
+                st.poisoned = true;
+                inner.cv.notify_all();
+                self.defunct = true;
+                return Err(CommError::Timeout {
+                    rank: self.rank,
+                    waited: start.elapsed(),
+                });
+            }
+        }
+    }
+
+    /// Marks this rank done with bucket `id`; the last rank to finish
+    /// removes the session and recycles its staging buffers.
+    fn retire(&self, st: &mut GroupState, id: u64) {
+        let world = self.inner.world;
+        let slot = st.buckets.get_mut(&id).expect("bucket session vanished");
+        slot.readers_done += 1;
+        if slot.readers_done == world {
+            let slot = st.buckets.remove(&id).expect("bucket session vanished");
+            slot.contributions
+                .into_iter()
+                .flatten()
+                .for_each(recycler::release);
+            self.inner.cv.notify_all();
+        }
+    }
+
+    /// In-place all-reduce (mean) over bucket `id`, with the `1/world`
+    /// scale fused into the final accumulation pass exactly as in
+    /// [`Communicator::all_reduce_mean`] — results are bitwise identical
+    /// to the flat collective over the same elements.
+    pub fn all_reduce_mean_bucket(&mut self, id: u64, data: &mut [f32]) -> Result<(), CommError> {
+        let w = self.world();
+        if w == 1 {
+            return Ok(());
+        }
+        let inner = Arc::clone(&self.inner);
+        let mut st = self.stage_and_await(&inner, id, data)?;
+        let inv = 1.0 / w as f32;
+        let last = if self.rank == w - 1 { w - 2 } else { w - 1 };
+        for r in other_ranks(self.rank, w) {
+            let slot = st.buckets.get(&id).expect("bucket session vanished");
+            let got = slot.contributions[r]
+                .as_ref()
+                .expect("missing contribution")
+                .len();
+            if got != data.len() {
+                return Err(self.length_mismatch(&mut st, data.len(), got));
+            }
+            let slot = st.buckets.get(&id).expect("bucket session vanished");
+            let other = slot.contributions[r]
+                .as_ref()
+                .expect("missing contribution");
+            if r == last {
+                for (d, &o) in data.iter_mut().zip(other.iter()) {
+                    *d = (*d + o) * inv;
+                }
+            } else {
+                for (d, &o) in data.iter_mut().zip(other.iter()) {
+                    *d += o;
+                }
+            }
+        }
+        self.retire(&mut st, id);
+        drop(st);
+        let payload = (data.len() * 4) as u64;
+        self.account(payload * 2 * (w as u64 - 1) / w as u64);
+        Ok(())
+    }
+
+    /// Reduce (sum) bucket `id` to `root`: every rank contributes, only
+    /// `root`'s `data` is overwritten with the element-wise sum (own
+    /// contribution first, then peers ascending). Non-root buffers are
+    /// left untouched. Per-rank traffic is `(w−1)/w` of the payload, the
+    /// ring-reduce cost.
+    pub fn reduce_sum_bucket(
+        &mut self,
+        id: u64,
+        data: &mut [f32],
+        root: usize,
+    ) -> Result<(), CommError> {
+        let w = self.world();
+        if w == 1 {
+            return Ok(());
+        }
+        let inner = Arc::clone(&self.inner);
+        let mut st = self.stage_and_await(&inner, id, data)?;
+        if self.rank == root {
+            for r in other_ranks(self.rank, w) {
+                let slot = st.buckets.get(&id).expect("bucket session vanished");
+                let got = slot.contributions[r]
+                    .as_ref()
+                    .expect("missing contribution")
+                    .len();
+                if got != data.len() {
+                    return Err(self.length_mismatch(&mut st, data.len(), got));
+                }
+                let slot = st.buckets.get(&id).expect("bucket session vanished");
+                let other = slot.contributions[r]
+                    .as_ref()
+                    .expect("missing contribution");
+                for (d, &o) in data.iter_mut().zip(other.iter()) {
+                    *d += o;
+                }
+            }
+        }
+        self.retire(&mut st, id);
+        drop(st);
+        let payload = (data.len() * 4) as u64;
+        self.account(payload * (w as u64 - 1) / w as u64);
+        Ok(())
+    }
+
+    /// Poisons the group because a peer's contribution length disagrees
+    /// with ours (mirrors [`Communicator`]'s handling).
+    fn length_mismatch(&mut self, st: &mut GroupState, expected: usize, got: usize) -> CommError {
+        st.poisoned = true;
+        self.inner.cv.notify_all();
+        self.defunct = true;
+        CommError::LengthMismatch {
+            rank: self.rank,
+            expected,
+            got,
+        }
+    }
+}
+
+impl Drop for BucketComm {
+    fn drop(&mut self) {
+        // Same contract as `Communicator`: a comm thread that dies by
+        // panic must not leave peers blocked on its buckets.
+        if std::thread::panicking() && !self.defunct {
+            let mut st = self.inner.lock();
+            st.failed[self.rank] = true;
+            st.poisoned = true;
+            self.inner.cv.notify_all();
+        }
+    }
+}
+
+impl std::fmt::Debug for BucketComm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BucketComm")
             .field("rank", &self.rank)
             .field("world", &self.world())
             .field("stats", &self.stats)
@@ -736,6 +1169,161 @@ mod tests {
         for v in results {
             assert_eq!(v, first);
         }
+    }
+
+    #[test]
+    fn fused_mean_matches_sum_then_scale_bitwise() {
+        for world in [2, 3, 4, 5] {
+            let results = run_world(world, |mut comm| {
+                let data: Vec<f32> = (0..37)
+                    .map(|i| ((i * 37 + comm.rank() * 101) as f32).sin() * 3.7)
+                    .collect();
+                let mut fused = data.clone();
+                comm.all_reduce_mean(&mut fused).unwrap();
+                let mut manual = data;
+                comm.all_reduce_sum(&mut manual).unwrap();
+                let inv = 1.0 / comm.world() as f32;
+                manual.iter_mut().for_each(|x| *x *= inv);
+                (fused, manual)
+            });
+            for (fused, manual) in results {
+                let fb: Vec<u32> = fused.iter().map(|x| x.to_bits()).collect();
+                let mb: Vec<u32> = manual.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(fb, mb, "fused mean diverged at world {world}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucketed_all_reduce_matches_flat_bitwise() {
+        // Split one vector into uneven buckets, reduce each through the
+        // bucket path on a comm thread pace of its own, and compare with
+        // the flat all-reduce over the whole vector.
+        let results = run_world(4, |mut comm| {
+            let data: Vec<f32> = (0..25)
+                .map(|i| ((i + 3 * comm.rank()) as f32).cos() * 1.3)
+                .collect();
+            let mut flat = data.clone();
+            comm.all_reduce_mean(&mut flat).unwrap();
+            let mut bucketed = data;
+            let mut handle = comm.bucket_handle();
+            let bounds = [0usize, 7, 16, 25];
+            for b in 0..bounds.len() - 1 {
+                handle
+                    .all_reduce_mean_bucket(b as u64, &mut bucketed[bounds[b]..bounds[b + 1]])
+                    .unwrap();
+            }
+            comm.absorb(handle.stats());
+            (flat, bucketed, comm.stats())
+        });
+        for (flat, bucketed, stats) in results {
+            let fb: Vec<u32> = flat.iter().map(|x| x.to_bits()).collect();
+            let bb: Vec<u32> = bucketed.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(fb, bb, "bucketed all-reduce diverged from flat");
+            // One flat collective plus three bucket collectives; both
+            // paths move 2·(w−1)/w of a 100-byte payload → 150 each.
+            assert_eq!(stats.collectives, 4);
+            assert_eq!(stats.bytes_moved, 300);
+        }
+    }
+
+    #[test]
+    fn bucket_sessions_tolerate_uneven_pacing() {
+        // Ranks issue the same bucket sequence at very different speeds;
+        // per-id rendezvous (rather than a generation barrier) pairs the
+        // sessions up correctly even when several are in flight.
+        let results = run_world(3, |comm| {
+            let mut handle = comm.bucket_handle();
+            let mut out = Vec::new();
+            for id in 0..6u64 {
+                if comm.rank() == 1 {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                let mut v = vec![(comm.rank() as f32) + id as f32; 2];
+                handle.all_reduce_mean_bucket(id, &mut v).unwrap();
+                out.push(v[0]);
+            }
+            out
+        });
+        for out in results {
+            let expect: Vec<f32> = (0..6).map(|id| 1.0 + id as f32).collect(); // mean of r+id
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn reduce_sum_bucket_delivers_to_root_only() {
+        let results = run_world(3, |comm| {
+            let mut handle = comm.bucket_handle();
+            let mut v = vec![(comm.rank() + 1) as f32; 4];
+            handle.reduce_sum_bucket(7, &mut v, 1).unwrap();
+            v
+        });
+        assert_eq!(results[0], vec![1.0; 4]); // untouched
+        assert_eq!(results[1], vec![6.0; 4]); // 1+2+3
+        assert_eq!(results[2], vec![3.0; 4]); // untouched
+    }
+
+    #[test]
+    fn length_mismatch_is_typed_and_poisons_group() {
+        let comms =
+            Communicator::create_with_timeout(2, CostModel::default(), Duration::from_secs(10));
+        let results = thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for mut comm in comms {
+                handles.push(scope.spawn(move || {
+                    let mut v = vec![0.5f32; 3 + comm.rank()]; // rank 1 is longer
+                    let first = comm.all_reduce_sum(&mut v);
+                    let mut later = vec![0.0f32; 3];
+                    let second = comm.all_reduce_sum(&mut later);
+                    (first, second)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        let mismatches = results
+            .iter()
+            .filter(|(first, _)| {
+                matches!(
+                    first,
+                    Err(CommError::LengthMismatch { .. }) | Err(CommError::Poisoned)
+                )
+            })
+            .count();
+        assert_eq!(mismatches, 2, "both ranks must fail: {results:?}");
+        assert!(
+            results
+                .iter()
+                .any(|(first, _)| matches!(first, Err(CommError::LengthMismatch { .. }))),
+            "at least one rank must report the typed mismatch: {results:?}"
+        );
+        // The group is poisoned: later collectives fail fast.
+        for (_, second) in results {
+            assert!(second.is_err(), "poisoned group must reject later calls");
+        }
+    }
+
+    #[test]
+    fn collectives_recycle_staging_buffers() {
+        recycler::set_enabled_override(Some(true));
+        let results = run_world(2, |mut comm| {
+            // Warm the pool, then measure a steady-state collective.
+            let mut v = vec![1.0f32; 256];
+            comm.all_reduce_sum(&mut v).unwrap();
+            let before = recycler::stats();
+            let mut w = vec![2.0f32; 256];
+            comm.all_reduce_sum(&mut w).unwrap();
+            recycler::stats().delta_since(&before)
+        });
+        recycler::set_enabled_override(None);
+        let total_hits: u64 = results.iter().map(|d| d.hits).sum();
+        assert!(
+            total_hits >= 2,
+            "steady-state staging buffers must come from the pool: {results:?}"
+        );
     }
 
     // ---------------- failure-path tests ----------------

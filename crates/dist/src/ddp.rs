@@ -23,23 +23,32 @@
 //! 4-rank checkpoint restores cleanly into a 3-rank group.
 
 use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use matgnn_data::{collate, Dataset, Normalizer, Sample};
+use matgnn_data::{collate, Dataset, Normalizer, Prefetcher, Sample, Targets};
+use matgnn_graph::GraphBatch;
 use matgnn_model::GnnModel;
 use matgnn_tensor::{MemoryBreakdown, MemoryCategory, MemoryTracker, Tensor};
 use matgnn_train::{
-    clip_grad_norm, latest_in, train_step, Adam, AdamHyper, AdamState, LossConfig, LrSchedule,
-    Optimizer, TrainCheckpoint,
+    clip_grad_norm, latest_in, train_step, train_step_with_sink, Adam, AdamHyper, AdamState,
+    LossConfig, LrSchedule, Optimizer, TrainCheckpoint,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::{CommError, CommStats, Communicator, CostModel, FaultKind, FaultPlan, ZeroAdam};
+use crate::{
+    shard_range, CommError, CommStats, Communicator, CostModel, FaultKind, FaultPlan, ZeroAdam,
+};
 
 /// Base of the bounded exponential backoff between recovery attempts.
 const BACKOFF_BASE: Duration = Duration::from_millis(10);
+
+/// Default gradient-bucket size (floats) for the backward-overlapped
+/// all-reduce when [`DdpConfig::bucket_size`] is unset.
+const DEFAULT_OVERLAP_BUCKET_FLOATS: usize = 8192;
 
 /// Configuration of a DDP run.
 #[derive(Debug, Clone)]
@@ -69,12 +78,31 @@ pub struct DdpConfig {
     /// Interconnect cost model for modeled communication time.
     pub cost: CostModel,
     /// Gradient bucketing: all-reduce in chunks of at most this many
-    /// floats (`None` = one collective for the whole gradient). Real DDP
-    /// buckets gradients to overlap communication with the tail of the
-    /// backward pass; here bucketing trades per-collective latency against
-    /// staging-buffer size, and the result is bit-identical either way
-    /// (tested).
+    /// floats (`None` = one collective for the whole gradient; with
+    /// [`overlap_comm`](Self::overlap_comm) unset `None` also defaults the
+    /// overlapped bucket size). With `overlap_comm` the buckets are what
+    /// gets handed to the communication thread as backward finalizes
+    /// them, exactly as real DDP overlaps the all-reduce with the tail of
+    /// the backward pass; without it they are reduced sequentially and
+    /// only trade per-collective latency against staging-buffer size. The
+    /// result is bit-identical in every combination (tested).
     pub bucket_size: Option<usize>,
+    /// Batches to decode ahead of the training loop on a background
+    /// producer thread per rank (0 = fetch synchronously). Any depth is
+    /// bitwise-identical to the synchronous path; injected transient I/O
+    /// faults are retried inside the producer with the same backoff.
+    pub prefetch_depth: usize,
+    /// Overlap gradient reduction with the backward pass: buckets are
+    /// handed to a per-rank communication thread the moment backward
+    /// finalizes their gradients, and the optimizer step waits only for
+    /// the remainder. Requires [`grad_clip`](Self::grad_clip) to be
+    /// `None` (pre-reduction global-norm clipping needs every gradient
+    /// before the first collective could start) and a world of at least
+    /// two; otherwise the step silently runs unoverlapped. Results are
+    /// bitwise identical either way — overlap moves work in wall time,
+    /// never reorders arithmetic. Hidden time is credited to
+    /// [`CommStats::overlapped_seconds`].
+    pub overlap_comm: bool,
     /// Rendezvous timeout for every collective.
     pub comm_timeout: Duration,
     /// Where to write [`TrainCheckpoint`]s (`None` disables durability —
@@ -109,6 +137,8 @@ impl Default for DdpConfig {
             zero: false,
             cost: CostModel::default(),
             bucket_size: None,
+            prefetch_depth: 0,
+            overlap_comm: false,
             comm_timeout: crate::DEFAULT_COMM_TIMEOUT,
             checkpoint_dir: None,
             checkpoint_every: 1,
@@ -211,6 +241,249 @@ fn epoch_order(len: usize, seed: u64, epoch: u64) -> Vec<usize> {
     order
 }
 
+/// One gradient bucket of the overlapped all-reduce: the params packed
+/// into it (index + float offset) and its total float count.
+struct BucketSpec {
+    params: Vec<(usize, usize)>,
+    floats: usize,
+}
+
+/// How the overlapped pipeline carves the gradient into comm units.
+enum OverlapPlan {
+    /// Replicated Adam: greedy reverse-order buckets, all-reduced (mean).
+    Buckets {
+        buckets: Vec<BucketSpec>,
+        /// param index → (bucket index, float offset in the bucket).
+        locate: Vec<(usize, usize)>,
+    },
+    /// ZeRO-1: one bucket per rank's [`shard_range`] of the flat
+    /// gradient, reduce-summed to the shard owner.
+    Shards {
+        /// param index → float offset in the flat gradient.
+        param_offsets: Vec<usize>,
+        n_params: usize,
+    },
+}
+
+/// Packs params into buckets of at most `cap` floats, walking in
+/// **reverse** param order: backward finalizes later-used params first,
+/// so reverse-order buckets tend to complete (and ship) while earlier
+/// layers are still differentiating. Order is a heuristic only —
+/// submission is forced in-order, so a misprediction costs overlap, not
+/// correctness.
+fn plan_buckets(sizes: &[usize], cap: usize) -> (Vec<BucketSpec>, Vec<(usize, usize)>) {
+    let cap = cap.max(1);
+    let mut buckets: Vec<BucketSpec> = Vec::new();
+    let mut cur = BucketSpec {
+        params: Vec::new(),
+        floats: 0,
+    };
+    for p in (0..sizes.len()).rev() {
+        if cur.floats > 0 && cur.floats + sizes[p] > cap {
+            buckets.push(std::mem::replace(
+                &mut cur,
+                BucketSpec {
+                    params: Vec::new(),
+                    floats: 0,
+                },
+            ));
+        }
+        cur.params.push((p, cur.floats));
+        cur.floats += sizes[p];
+    }
+    if !cur.params.is_empty() {
+        buckets.push(cur);
+    }
+    let mut locate = vec![(0usize, 0usize); sizes.len()];
+    for (b, spec) in buckets.iter().enumerate() {
+        for &(p, off) in &spec.params {
+            locate[p] = (b, off);
+        }
+    }
+    (buckets, locate)
+}
+
+/// A reduction job handed to the communication thread.
+struct BucketJob {
+    id: u64,
+    /// `None` → all-reduce (mean); `Some(r)` → reduce (sum) to rank `r`.
+    root: Option<usize>,
+    buf: Vec<f32>,
+}
+
+struct BucketResult {
+    buf: Vec<f32>,
+    err: Option<CommError>,
+}
+
+/// Per-rank overlapped-reduction pipeline: a dedicated communication
+/// thread owning a [`crate::BucketComm`], fed bucket jobs as backward
+/// finalizes them. Lives for one `run_until_done` call (re-created after
+/// an elastic re-form so it tracks the current group) and is torn down
+/// with [`finish`](Self::finish), which folds the comm thread's traffic
+/// and the accumulated overlap credit back into the rank's
+/// [`Communicator`].
+struct OverlapPipeline {
+    jobs: Option<mpsc::Sender<BucketJob>>,
+    results: mpsc::Receiver<BucketResult>,
+    handle: Option<std::thread::JoinHandle<CommStats>>,
+    plan: Arc<OverlapPlan>,
+    /// Recycled bucket buffers (zero steady-state allocation).
+    spare: Vec<Vec<f32>>,
+    next_id: u64,
+    inflight: usize,
+    cost: CostModel,
+    world: usize,
+    /// Modeled comm seconds hidden behind backward, applied at `finish`.
+    overlap_credit: f64,
+}
+
+impl OverlapPipeline {
+    /// Builds the pipeline for `comm`'s group, or `None` when overlap is
+    /// inactive (flag unset, gradient clipping on, or world of one).
+    fn create(comm: &Communicator, cfg: &DdpConfig, sizes: &[usize]) -> Option<OverlapPipeline> {
+        if !cfg.overlap_comm || cfg.grad_clip.is_some() || comm.world() < 2 {
+            return None;
+        }
+        let plan = if cfg.zero {
+            let mut param_offsets = Vec::with_capacity(sizes.len());
+            let mut acc = 0usize;
+            for &s in sizes {
+                param_offsets.push(acc);
+                acc += s;
+            }
+            OverlapPlan::Shards {
+                param_offsets,
+                n_params: acc,
+            }
+        } else {
+            let cap = cfg.bucket_size.unwrap_or(DEFAULT_OVERLAP_BUCKET_FLOATS);
+            let (buckets, locate) = plan_buckets(sizes, cap);
+            OverlapPlan::Buckets { buckets, locate }
+        };
+        let mut bc = comm.bucket_handle();
+        let (jobs_tx, jobs_rx) = mpsc::channel::<BucketJob>();
+        let (results_tx, results_rx) = mpsc::channel::<BucketResult>();
+        let handle = std::thread::Builder::new()
+            .name("matgnn-grad-comm".into())
+            .spawn(move || {
+                for mut job in jobs_rx {
+                    let err = match job.root {
+                        None => bc.all_reduce_mean_bucket(job.id, &mut job.buf).err(),
+                        Some(r) => bc.reduce_sum_bucket(job.id, &mut job.buf, r).err(),
+                    };
+                    if results_tx.send(BucketResult { buf: job.buf, err }).is_err() {
+                        break;
+                    }
+                }
+                bc.stats()
+            })
+            .expect("spawn gradient communication thread");
+        Some(OverlapPipeline {
+            jobs: Some(jobs_tx),
+            results: results_rx,
+            handle: Some(handle),
+            plan: Arc::new(plan),
+            spare: Vec::new(),
+            next_id: 0,
+            inflight: 0,
+            cost: comm.cost_model(),
+            world: comm.world(),
+            overlap_credit: 0.0,
+        })
+    }
+
+    /// A recycled buffer resized to `n` floats (contents arbitrary — the
+    /// caller overwrites every element).
+    fn take_buf(&mut self, n: usize) -> Vec<f32> {
+        let mut buf = self.spare.pop().unwrap_or_default();
+        buf.resize(n, 0.0);
+        buf
+    }
+
+    /// Hands a bucket to the communication thread. Every rank must submit
+    /// the same sequence of buckets (enforced by in-order submission at
+    /// the call sites).
+    fn submit(&mut self, root: Option<usize>, buf: Vec<f32>) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.inflight += 1;
+        // A send can only fail if the worker died; the matching recv in
+        // `collect` reports that as `Poisoned`.
+        if let Some(jobs) = &self.jobs {
+            let _ = jobs.send(BucketJob { id, root, buf });
+        }
+    }
+
+    /// Waits for every in-flight bucket, returning the reduced buffers in
+    /// submission order. Any bucket failure (or a dead worker) surfaces
+    /// as the first error after all results are drained.
+    fn collect(&mut self) -> Result<Vec<Vec<f32>>, CommError> {
+        let n = std::mem::take(&mut self.inflight);
+        let mut bufs = Vec::with_capacity(n);
+        let mut first_err = None;
+        for _ in 0..n {
+            match self.results.recv() {
+                Ok(res) => {
+                    if first_err.is_none() {
+                        first_err = res.err;
+                    }
+                    bufs.push(res.buf);
+                }
+                Err(_) => return Err(first_err.unwrap_or(CommError::Poisoned)),
+            }
+        }
+        match first_err {
+            Some(err) => Err(err),
+            None => Ok(bufs),
+        }
+    }
+
+    /// Credits the modeled link time of this step's buckets that fits
+    /// before `t_bwd_end` (the end of backward) as overlapped. The link
+    /// is modeled as serial: bucket `b` starts at
+    /// `max(handoff_b, finish_{b-1})` and takes its ring-traffic time
+    /// from the group cost model — the same accounting its collective
+    /// recorded, so the credit can never exceed the modeled total.
+    fn credit_step(
+        &mut self,
+        handoffs: &[Instant],
+        floats: &[usize],
+        reduce_to_root: bool,
+        t_bwd_end: Instant,
+    ) {
+        let Some(&t0) = handoffs.first() else { return };
+        let w = self.world as u64;
+        let bwd = t_bwd_end.saturating_duration_since(t0).as_secs_f64();
+        let mut link_free = 0.0f64;
+        for (h, &f) in handoffs.iter().zip(floats) {
+            let payload = (f * 4) as u64;
+            let transferred = if reduce_to_root {
+                payload * (w - 1) / w
+            } else {
+                payload * 2 * (w - 1) / w
+            };
+            let modeled = self.cost.seconds(transferred);
+            let start = h.saturating_duration_since(t0).as_secs_f64().max(link_free);
+            let finish = start + modeled;
+            self.overlap_credit += (bwd.min(finish) - start).max(0.0);
+            link_free = finish;
+        }
+    }
+
+    /// Shuts the communication thread down and folds its traffic plus the
+    /// accumulated overlap credit into `comm`'s statistics.
+    fn finish(mut self, comm: &mut Communicator) {
+        drop(self.jobs.take());
+        if let Some(handle) = self.handle.take() {
+            if let Ok(stats) = handle.join() {
+                comm.absorb(stats);
+            }
+        }
+        comm.credit_overlap(self.overlap_credit);
+    }
+}
+
 /// Mutable per-rank training state — everything the recovery path must
 /// rebuild from a checkpoint (or from scratch).
 struct RankState<M> {
@@ -306,6 +579,158 @@ fn restore_state<M: GnnModel + Clone>(
     st.epoch_loss.truncate(ckpt.epoch as usize);
 }
 
+/// One training step with backward-overlapped gradient reduction: the
+/// early-gradient sink copies each finalized gradient into its bucket and
+/// hands completed buckets (in plan order) to the communication thread
+/// while backward keeps running; the optimizer step then waits only for
+/// whatever communication is still in flight. Arithmetic is bitwise
+/// identical to the unoverlapped step — same per-element accumulation
+/// order, same Adam update — only the wall-clock placement of the
+/// collectives moves.
+#[allow(clippy::too_many_arguments)]
+fn overlapped_step<M: GnnModel + Clone>(
+    st: &mut RankState<M>,
+    comm: &mut Communicator,
+    cfg: &DdpConfig,
+    batch: &GraphBatch,
+    targets: &Targets,
+    tracker: &MemoryTracker,
+    lr: f32,
+    pipe: &mut OverlapPipeline,
+) -> Result<f64, CommError> {
+    let plan = Arc::clone(&pipe.plan);
+    let n_scalars = st.replica.params().n_scalars();
+    let flat_bytes = (n_scalars * 4) as u64;
+    match &*plan {
+        OverlapPlan::Buckets { buckets, locate } => {
+            let n_buckets = buckets.len();
+            let mut bufs: Vec<Vec<f32>> = buckets.iter().map(|b| pipe.take_buf(b.floats)).collect();
+            let mut remaining: Vec<usize> = buckets.iter().map(|b| b.params.len()).collect();
+            let mut handoffs = Vec::with_capacity(n_buckets);
+            let mut next_submit = 0usize;
+            let loss = {
+                let mut sink = |p: usize, g: Tensor| {
+                    let (b, off) = locate[p];
+                    bufs[b][off..off + g.numel()].copy_from_slice(g.data());
+                    remaining[b] -= 1;
+                    while next_submit < n_buckets && remaining[next_submit] == 0 {
+                        let buf = std::mem::take(&mut bufs[next_submit]);
+                        pipe.submit(None, buf);
+                        handoffs.push(Instant::now());
+                        next_submit += 1;
+                    }
+                };
+                train_step_with_sink(
+                    &st.replica,
+                    batch,
+                    targets,
+                    &cfg.loss,
+                    cfg.checkpointing,
+                    Some(tracker),
+                    &mut sink,
+                )
+            };
+            let t_bwd_end = Instant::now();
+            debug_assert_eq!(next_submit, n_buckets, "backward left buckets unsubmitted");
+            tracker.alloc(MemoryCategory::Gradients, flat_bytes);
+            let step_result: Result<(), CommError> = (|| {
+                let reduced = pipe.collect()?;
+                let floats: Vec<usize> = buckets.iter().map(|b| b.floats).collect();
+                pipe.credit_step(&handoffs, &floats, false, t_bwd_end);
+                let params = st.replica.params();
+                let grads: Vec<Tensor> = (0..params.len())
+                    .map(|p| {
+                        let (b, off) = locate[p];
+                        let t = params.tensor(p);
+                        Tensor::from_vec(
+                            t.shape().clone(),
+                            reduced[b][off..off + t.numel()].to_vec(),
+                        )
+                        .expect("bucket gradient shape")
+                    })
+                    .collect();
+                st.full_adam
+                    .as_mut()
+                    .expect("full adam")
+                    .step(st.replica.params_mut(), &grads, lr);
+                pipe.spare.extend(reduced);
+                Ok(())
+            })();
+            tracker.free(MemoryCategory::Gradients, flat_bytes);
+            step_result?;
+            Ok(loss)
+        }
+        OverlapPlan::Shards {
+            param_offsets,
+            n_params,
+        } => {
+            let world = comm.world();
+            let my_rank = comm.rank();
+            let ranges: Vec<(usize, usize)> = (0..world)
+                .map(|r| shard_range(*n_params, world, r))
+                .collect();
+            let mut flat = pipe.take_buf(*n_params);
+            let mut remaining: Vec<usize> = ranges.iter().map(|&(s, e)| e - s).collect();
+            let mut handoffs = Vec::with_capacity(world);
+            let mut next_submit = 0usize;
+            let loss = {
+                let mut sink = |p: usize, g: Tensor| {
+                    let off = param_offsets[p];
+                    let n = g.numel();
+                    flat[off..off + n].copy_from_slice(g.data());
+                    for (s, &(s0, s1)) in ranges.iter().enumerate() {
+                        let overlap = (off + n).min(s1).saturating_sub(off.max(s0));
+                        if overlap > 0 {
+                            remaining[s] -= overlap;
+                        }
+                    }
+                    while next_submit < world && remaining[next_submit] == 0 {
+                        let (s0, s1) = ranges[next_submit];
+                        let mut buf = pipe.take_buf(s1 - s0);
+                        buf.copy_from_slice(&flat[s0..s1]);
+                        pipe.submit(Some(next_submit), buf);
+                        handoffs.push(Instant::now());
+                        next_submit += 1;
+                    }
+                };
+                train_step_with_sink(
+                    &st.replica,
+                    batch,
+                    targets,
+                    &cfg.loss,
+                    cfg.checkpointing,
+                    Some(tracker),
+                    &mut sink,
+                )
+            };
+            let t_bwd_end = Instant::now();
+            debug_assert_eq!(next_submit, world, "backward left shards unsubmitted");
+            tracker.alloc(MemoryCategory::Gradients, flat_bytes);
+            let step_result: Result<(), CommError> = (|| {
+                let mut reduced = pipe.collect()?;
+                let floats: Vec<usize> = ranges.iter().map(|&(s, e)| e - s).collect();
+                pipe.credit_step(&handoffs, &floats, true, t_bwd_end);
+                // Only the owner's buffer holds a reduction; hand it to
+                // the decomposed ZeRO step (scale + Adam + all-gather).
+                let own = std::mem::take(&mut reduced[my_rank]);
+                let mut params = st.replica.params().flatten().to_vec();
+                st.zero_adam
+                    .as_mut()
+                    .expect("zero adam")
+                    .step_with_reduced_shard(comm, &mut params, own, lr)?;
+                let flat_t = Tensor::from_vec(params.len(), params).expect("flat params");
+                st.replica.params_mut().unflatten_from(&flat_t);
+                pipe.spare.extend(reduced);
+                Ok(())
+            })();
+            tracker.free(MemoryCategory::Gradients, flat_bytes);
+            pipe.spare.push(flat);
+            step_result?;
+            Ok(loss)
+        }
+    }
+}
+
 /// Runs the remaining epochs/steps until training completes or a fault
 /// interrupts it. On `Err`, `st` holds the state reached so far and the
 /// caller owns recovery.
@@ -319,6 +744,7 @@ fn run_until_done<M: GnnModel + Clone>(
     tracker: &MemoryTracker,
     launch_rank: usize,
     io_retries: &mut usize,
+    mut pipeline: Option<&mut OverlapPipeline>,
 ) -> Result<(), RankExit> {
     while (st.epoch as usize) < cfg.epochs {
         let order = epoch_order(train.len(), cfg.seed, st.epoch);
@@ -330,6 +756,41 @@ fn run_until_done<M: GnnModel + Clone>(
             train.len(),
             world * cfg.batch_size
         );
+        // Decode this rank's remaining batches of the epoch ahead of the
+        // training loop. The producer replays the exact synchronous fetch
+        // — same order slice, same injected-I/O retry (`FaultPlan::check`
+        // is pure) — merely earlier in wall time, so any depth is bitwise
+        // identical. Kill/delay faults stay on the training thread, where
+        // step boundaries are.
+        let mut prefetcher = (cfg.prefetch_depth > 0).then(|| {
+            let ds = train.clone(); // O(1): samples are Arc-shared
+            let norm = *normalizer;
+            let order = order.clone();
+            let plan = cfg.fault_plan.clone();
+            let batch_size = cfg.batch_size;
+            let rank = comm.rank();
+            let start_step = st.step_in_epoch as usize;
+            let gs0 = st.global_step;
+            Prefetcher::spawn(cfg.prefetch_depth, move |feed| {
+                for step in start_step..steps_per_epoch {
+                    let gs = gs0 + (step - start_step) as u64;
+                    let mut retries = 0usize;
+                    if matches!(plan.check(launch_rank, gs), Some(FaultKind::IoError)) {
+                        retries += 1;
+                        std::thread::sleep(BACKOFF_BASE);
+                    }
+                    let base = step * world * batch_size + rank * batch_size;
+                    let samples: Vec<&Sample> = order[base..base + batch_size]
+                        .iter()
+                        .map(|&i| ds.sample(i))
+                        .collect();
+                    let (batch, targets) = collate(&samples, &norm);
+                    if !feed.send((batch, targets, retries)) {
+                        return;
+                    }
+                }
+            })
+        });
         while (st.step_in_epoch as usize) < steps_per_epoch {
             // Injected faults fire at step boundaries, keyed by launch
             // rank so a plan means the same thing after re-forms.
@@ -342,74 +803,89 @@ fn run_until_done<M: GnnModel + Clone>(
                 Some(FaultKind::IoError) | None => {} // I/O handled at fetch below
             }
 
-            let step = st.step_in_epoch as usize;
-            let base = step * world * cfg.batch_size + comm.rank() * cfg.batch_size;
-            // Shard fetch with bounded-backoff retry of transient I/O
-            // errors; the injector fails the first read attempt the way
-            // a flaky shard-store read would.
-            let mut attempt = 0usize;
-            let samples: Vec<&Sample> = loop {
-                if attempt == 0
-                    && matches!(
-                        cfg.fault_plan.check(launch_rank, st.global_step),
-                        Some(FaultKind::IoError)
-                    )
-                {
-                    attempt += 1;
-                    *io_retries += 1;
-                    std::thread::sleep(BACKOFF_BASE);
-                    continue;
+            let (batch, targets) = match prefetcher.as_mut() {
+                Some(p) => {
+                    let (batch, targets, retries) =
+                        p.next().expect("prefetch producer ended early");
+                    *io_retries += retries;
+                    (batch, targets)
                 }
-                break order[base..base + cfg.batch_size]
-                    .iter()
-                    .map(|&i| train.sample(i))
-                    .collect();
+                None => {
+                    let step = st.step_in_epoch as usize;
+                    let base = step * world * cfg.batch_size + comm.rank() * cfg.batch_size;
+                    // Shard fetch with bounded-backoff retry of transient
+                    // I/O errors; the injector fails the first read
+                    // attempt the way a flaky shard-store read would.
+                    let mut attempt = 0usize;
+                    let samples: Vec<&Sample> = loop {
+                        if attempt == 0
+                            && matches!(
+                                cfg.fault_plan.check(launch_rank, st.global_step),
+                                Some(FaultKind::IoError)
+                            )
+                        {
+                            attempt += 1;
+                            *io_retries += 1;
+                            std::thread::sleep(BACKOFF_BASE);
+                            continue;
+                        }
+                        break order[base..base + cfg.batch_size]
+                            .iter()
+                            .map(|&i| train.sample(i))
+                            .collect();
+                    };
+                    collate(&samples, normalizer)
+                }
             };
-            let (batch, targets) = collate(&samples, normalizer);
-            let mut outcome = train_step(
-                &st.replica,
-                &batch,
-                &targets,
-                &cfg.loss,
-                cfg.checkpointing,
-                Some(tracker),
-            );
-            if let Some(max_norm) = cfg.grad_clip {
-                let _ = clip_grad_norm(&mut outcome.grads, max_norm);
-            }
             let lr = cfg.schedule.lr(cfg.base_lr, st.global_step as usize);
 
-            let mut flat = flatten_tensors(&outcome.grads);
-            let flat_bytes = (flat.len() * 4) as u64;
-            tracker.alloc(MemoryCategory::Gradients, flat_bytes);
-            let step_result: Result<(), CommError> = (|| {
-                if let Some(zero) = st.zero_adam.as_mut() {
-                    let mut params = st.replica.params().flatten().to_vec();
-                    zero.step(comm, &mut params, &flat, lr)?;
-                    let flat_t = Tensor::from_vec(params.len(), params).expect("flat params");
-                    st.replica.params_mut().unflatten_from(&flat_t);
-                } else {
-                    match cfg.bucket_size {
-                        Some(bucket) if bucket > 0 => {
-                            for chunk in flat.chunks_mut(bucket) {
-                                comm.all_reduce_mean(chunk)?;
-                            }
-                        }
-                        _ => comm.all_reduce_mean(&mut flat)?,
-                    }
-                    let grads = unflatten_like(&flat, &outcome.grads);
-                    st.full_adam.as_mut().expect("full adam").step(
-                        st.replica.params_mut(),
-                        &grads,
-                        lr,
-                    );
+            let loss = if let Some(pipe) = pipeline.as_deref_mut() {
+                overlapped_step(st, comm, cfg, &batch, &targets, tracker, lr, pipe)?
+            } else {
+                let mut outcome = train_step(
+                    &st.replica,
+                    &batch,
+                    &targets,
+                    &cfg.loss,
+                    cfg.checkpointing,
+                    Some(tracker),
+                );
+                if let Some(max_norm) = cfg.grad_clip {
+                    let _ = clip_grad_norm(&mut outcome.grads, max_norm);
                 }
-                Ok(())
-            })();
-            tracker.free(MemoryCategory::Gradients, flat_bytes);
-            step_result?;
+                let mut flat = flatten_tensors(&outcome.grads);
+                let flat_bytes = (flat.len() * 4) as u64;
+                tracker.alloc(MemoryCategory::Gradients, flat_bytes);
+                let step_result: Result<(), CommError> = (|| {
+                    if let Some(zero) = st.zero_adam.as_mut() {
+                        let mut params = st.replica.params().flatten().to_vec();
+                        zero.step(comm, &mut params, &flat, lr)?;
+                        let flat_t = Tensor::from_vec(params.len(), params).expect("flat params");
+                        st.replica.params_mut().unflatten_from(&flat_t);
+                    } else {
+                        match cfg.bucket_size {
+                            Some(bucket) if bucket > 0 => {
+                                for chunk in flat.chunks_mut(bucket) {
+                                    comm.all_reduce_mean(chunk)?;
+                                }
+                            }
+                            _ => comm.all_reduce_mean(&mut flat)?,
+                        }
+                        let grads = unflatten_like(&flat, &outcome.grads);
+                        st.full_adam.as_mut().expect("full adam").step(
+                            st.replica.params_mut(),
+                            &grads,
+                            lr,
+                        );
+                    }
+                    Ok(())
+                })();
+                tracker.free(MemoryCategory::Gradients, flat_bytes);
+                step_result?;
+                outcome.loss
+            };
 
-            st.loss_acc += outcome.loss;
+            st.loss_acc += loss;
             st.loss_count += 1;
             st.step_in_epoch += 1;
             st.global_step += 1;
@@ -490,6 +966,10 @@ where
     let comms = Communicator::create_with_timeout(world, cfg.cost, cfg.comm_timeout);
     let proto = model.clone();
     let n_params = proto.params().n_scalars();
+    let param_sizes: Vec<usize> = (0..proto.params().len())
+        .map(|p| proto.params().tensor(p).numel())
+        .collect();
+    let param_sizes = &param_sizes;
 
     struct RankOutcome<M> {
         stats: RankStats,
@@ -538,6 +1018,11 @@ where
                 let mut last_world;
                 loop {
                     let c = comm.as_mut().expect("live communicator");
+                    // The overlapped-reduction pipeline is bound to the
+                    // current group, so it is rebuilt after every elastic
+                    // re-form and drained (stats folded back) on every
+                    // exit, clean or not.
+                    let mut pipeline = OverlapPipeline::create(c, cfg, param_sizes);
                     let res = run_until_done(
                         &mut st,
                         c,
@@ -547,7 +1032,11 @@ where
                         &tracker,
                         launch_rank,
                         &mut io_retries,
+                        pipeline.as_mut(),
                     );
+                    if let Some(p) = pipeline.take() {
+                        p.finish(c);
+                    }
                     last_stats = c.stats();
                     last_world = c.world();
                     match res {
@@ -836,6 +1325,125 @@ mod tests {
         // Bucketing means more collectives for the same bytes.
         assert!(bucketed_comm.collectives > flat_comm.collectives);
         assert!(bucketed_comm.modeled_seconds > flat_comm.modeled_seconds);
+    }
+
+    #[test]
+    fn bucket_plan_covers_every_param_once() {
+        let sizes = [100, 7, 8192, 1, 40, 40];
+        let (buckets, locate) = plan_buckets(&sizes, 128);
+        let mut seen = vec![false; sizes.len()];
+        for (b, spec) in buckets.iter().enumerate() {
+            let mut floats = 0;
+            for &(p, off) in &spec.params {
+                assert!(!seen[p], "param {p} planned twice");
+                seen[p] = true;
+                assert_eq!(locate[p], (b, off));
+                floats += sizes[p];
+            }
+            assert_eq!(floats, spec.floats);
+        }
+        assert!(seen.iter().all(|&s| s), "params missing from plan");
+        // Reverse walk: the first bucket holds the last params.
+        assert_eq!(buckets[0].params[0].0, sizes.len() - 1);
+        // An oversized param gets a bucket of its own.
+        assert!(buckets
+            .iter()
+            .any(|b| b.floats == 8192 && b.params.len() == 1));
+    }
+
+    #[test]
+    fn overlap_is_bitwise_identical_to_sync() {
+        // Overlap moves collectives in wall time, never in arithmetic:
+        // full-Adam and ZeRO variants must match the unoverlapped run
+        // bit for bit, and the overlapped run must record hidden comm.
+        let (ds, norm) = data();
+        let run = |overlap: bool, zero: bool| {
+            let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(13));
+            let cfg = DdpConfig {
+                world: 4,
+                epochs: 2,
+                batch_size: 2,
+                grad_clip: None,
+                bucket_size: Some(500),
+                overlap_comm: overlap,
+                zero,
+                ..Default::default()
+            };
+            let report = train_ddp(&mut model, &ds, &norm, &cfg);
+            (model.params().flatten(), report)
+        };
+        for zero in [false, true] {
+            let (sync_params, sync_report) = run(false, zero);
+            let (ov_params, ov_report) = run(true, zero);
+            assert!(
+                sync_params.allclose(&ov_params, 0.0),
+                "overlap changed results (zero={zero})"
+            );
+            assert_eq!(sync_report.epoch_loss, ov_report.epoch_loss);
+            let ov = &ov_report.ranks[0].comm;
+            assert!(
+                ov.overlapped_seconds > 0.0,
+                "no communication was hidden (zero={zero})"
+            );
+            assert!(ov.overlapped_seconds <= ov.modeled_seconds);
+            assert!(ov.exposed_seconds() < ov.modeled_seconds);
+            assert_eq!(sync_report.ranks[0].comm.overlapped_seconds, 0.0);
+            // Memory accounting is unchanged: same logical allocations at
+            // the same points in the step.
+            assert_eq!(
+                sync_report.ranks[0].peak_total, ov_report.ranks[0].peak_total,
+                "overlap changed the tracked peak (zero={zero})"
+            );
+        }
+    }
+
+    #[test]
+    fn prefetch_is_bitwise_identical_to_sync_fetch() {
+        let (ds, norm) = data();
+        let run = |depth: usize| {
+            let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(17));
+            let cfg = DdpConfig {
+                world: 2,
+                epochs: 2,
+                batch_size: 4,
+                prefetch_depth: depth,
+                ..Default::default()
+            };
+            let report = train_ddp(&mut model, &ds, &norm, &cfg);
+            (model.params().flatten(), report.epoch_loss)
+        };
+        let (sync_params, sync_loss) = run(0);
+        for depth in [1, 3] {
+            let (p, l) = run(depth);
+            assert!(
+                sync_params.allclose(&p, 0.0),
+                "prefetch depth {depth} changed results"
+            );
+            assert_eq!(sync_loss, l);
+        }
+    }
+
+    #[test]
+    fn injected_io_error_is_retried_inside_the_prefetcher() {
+        let (ds, norm) = data();
+        let run = |plan: FaultPlan| {
+            let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(9));
+            let cfg = DdpConfig {
+                world: 2,
+                epochs: 1,
+                batch_size: 4,
+                prefetch_depth: 2,
+                fault_plan: plan,
+                ..Default::default()
+            };
+            let report = train_ddp(&mut model, &ds, &norm, &cfg);
+            (model.params().flatten(), report)
+        };
+        let (clean, _) = run(FaultPlan::none());
+        let (faulted, report) = run(FaultPlan::parse("io@rank1,step1").unwrap());
+        assert!(clean.allclose(&faulted, 0.0), "io retry changed results");
+        assert_eq!(report.ranks[1].io_retries, 1);
+        assert_eq!(report.recoveries, 0);
     }
 
     #[test]

@@ -33,7 +33,7 @@ mod table2;
 mod zero;
 
 pub use collective::{
-    shard_range, CommError, CommStats, Communicator, CostModel, DEFAULT_COMM_TIMEOUT,
+    shard_range, BucketComm, CommError, CommStats, Communicator, CostModel, DEFAULT_COMM_TIMEOUT,
 };
 pub use ddp::{flatten_tensors, train_ddp, unflatten_like, DdpConfig, DdpReport, RankStats};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanParseError};

@@ -70,6 +70,12 @@ pub struct SettingProfile {
     pub step_wall: Duration,
     /// Modeled interconnect seconds per step on rank 0.
     pub modeled_comm_per_step: f64,
+    /// Modeled interconnect seconds per step that were *not* hidden
+    /// behind backward compute on rank 0. Equals
+    /// `modeled_comm_per_step` when `overlap_comm` is off; with
+    /// backward-overlapped collectives this is the residual cost a real
+    /// interconnect would expose on the critical path.
+    pub exposed_comm_per_step: f64,
 }
 
 /// Runs all three settings on the same model/data/batch configuration and
@@ -100,6 +106,7 @@ where
                 peak: rank0.peak,
                 step_wall: report.mean_step_wall(),
                 modeled_comm_per_step: rank0.comm.modeled_seconds / report.steps.max(1) as f64,
+                exposed_comm_per_step: rank0.comm.exposed_seconds() / report.steps.max(1) as f64,
             }
         })
         .collect()
@@ -162,6 +169,10 @@ mod tests {
         // ZeRO must move more modeled traffic than plain AC (extra
         // gather of parameters).
         assert!(profiles[2].modeled_comm_per_step >= profiles[1].modeled_comm_per_step);
+        // Without overlap_comm, nothing is hidden: exposed == modeled.
+        for p in &profiles {
+            assert_eq!(p.exposed_comm_per_step, p.modeled_comm_per_step);
+        }
         let table = format_table2(&profiles);
         assert!(table.contains("Vanilla"));
         assert!(table.contains("100%"));

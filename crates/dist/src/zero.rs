@@ -92,11 +92,41 @@ impl ZeroAdam {
         flat_grads: &[f32],
         lr: f32,
     ) -> Result<(), CommError> {
-        assert_eq!(flat_params.len(), self.n_params, "param length changed");
         assert_eq!(flat_grads.len(), self.n_params, "grad length changed");
-
         // (1) Each rank receives the summed gradient of its shard.
-        let mut shard_grad = comm.reduce_scatter_sum(flat_grads)?;
+        let shard_grad = comm.reduce_scatter_sum(flat_grads)?;
+        self.step_with_reduced_shard(comm, flat_params, shard_grad, lr)
+    }
+
+    /// The tail of [`step`](Self::step) for callers that have already
+    /// reduced this rank's shard gradient themselves — the
+    /// backward-overlapped DDP path delivers the **summed** (not yet
+    /// averaged) shard via per-bucket reduce-to-owner while backward is
+    /// still running, then finishes the step here. Scales by `1/world`,
+    /// applies [`adam_update`] to the owned shard, and all-gathers the
+    /// full parameter vector; every rank must call collectively.
+    ///
+    /// The element order of `shard_grad`'s accumulation must match
+    /// [`Communicator::reduce_scatter_sum`] (own contribution first, then
+    /// peers ascending) for results to stay bitwise identical to the
+    /// unoverlapped path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths disagree with construction.
+    pub fn step_with_reduced_shard(
+        &mut self,
+        comm: &mut Communicator,
+        flat_params: &mut Vec<f32>,
+        mut shard_grad: Vec<f32>,
+        lr: f32,
+    ) -> Result<(), CommError> {
+        assert_eq!(flat_params.len(), self.n_params, "param length changed");
+        assert_eq!(
+            shard_grad.len(),
+            self.end - self.start,
+            "shard length changed"
+        );
         let inv = 1.0 / comm.world() as f32;
         shard_grad.iter_mut().for_each(|g| *g *= inv);
         if let Some(t) = &self.tracker {

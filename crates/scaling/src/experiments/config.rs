@@ -92,6 +92,7 @@ impl ExperimentConfig {
             checkpointing: false,
             grad_accum_steps: 1,
             early_stop_patience: None,
+            prefetch_depth: 0,
         }
     }
 

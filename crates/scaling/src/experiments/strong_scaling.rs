@@ -28,6 +28,10 @@ pub struct StrongScalingPoint {
     pub modeled_graphs_per_s: f64,
     /// Modeled parallel efficiency vs the 1-rank point.
     pub modeled_efficiency: f64,
+    /// Modeled throughput under perfect backward/all-reduce overlap:
+    /// the step costs `max(t_compute, t_comm)` instead of their sum.
+    /// An upper bound on what `overlap_comm` buys at this world size.
+    pub modeled_graphs_per_s_overlap: f64,
     /// Measured wall-clock throughput (time-sliced on one core; expected
     /// flat — reported for transparency).
     pub measured_graphs_per_s: f64,
@@ -82,6 +86,8 @@ pub fn run_strong_scaling(cfg: &ExperimentConfig, worlds: &[usize]) -> Vec<Stron
             let modeled = world as f64 * per_rank_batch as f64 / step_time;
             let base = per_rank_batch as f64 / t_compute;
             let modeled_efficiency = modeled / (world as f64 * base);
+            let step_overlap = t_compute.max(t_comm);
+            let modeled_overlap = world as f64 * per_rank_batch as f64 / step_overlap;
 
             // Measured (time-sliced) throughput over a few DDP steps.
             let mut replica = model.clone();
@@ -103,6 +109,7 @@ pub fn run_strong_scaling(cfg: &ExperimentConfig, worlds: &[usize]) -> Vec<Stron
                 world,
                 modeled_graphs_per_s: modeled,
                 modeled_efficiency,
+                modeled_graphs_per_s_overlap: modeled_overlap,
                 measured_graphs_per_s: measured,
             };
             cfg.progress(&format!(
@@ -144,5 +151,12 @@ mod tests {
         );
         // 1-rank efficiency is exactly 1.
         assert!((points[0].modeled_efficiency - 1.0).abs() < 1e-9);
+        // Perfect overlap bounds the serial model from above and never
+        // beats ideal linear scaling off the 1-rank compute time.
+        for p in &points {
+            assert!(p.modeled_graphs_per_s_overlap >= p.modeled_graphs_per_s);
+            let ideal = p.world as f64 * points[0].modeled_graphs_per_s;
+            assert!(p.modeled_graphs_per_s_overlap <= ideal * (1.0 + 1e-9));
+        }
     }
 }

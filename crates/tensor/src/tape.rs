@@ -78,6 +78,44 @@ enum Op {
     SliceCols(Var, usize, usize),
 }
 
+impl Op {
+    /// Visits every operand [`Var`] of this op (none for leaves).
+    fn for_each_operand(&self, mut f: impl FnMut(Var)) {
+        match self {
+            Op::Leaf { .. } => {}
+            Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::Matmul(a, b)
+            | Op::AddRow(a, b)
+            | Op::AddCol(a, b)
+            | Op::MulCol(a, b)
+            | Op::MulRow(a, b) => {
+                f(*a);
+                f(*b);
+            }
+            Op::Scale(a, _)
+            | Op::AddScalar(a)
+            | Op::Neg(a)
+            | Op::Relu(a)
+            | Op::Silu(a)
+            | Op::Tanh(a)
+            | Op::Sigmoid(a)
+            | Op::Square(a)
+            | Op::Sqrt(a)
+            | Op::Exp(a)
+            | Op::Recip(a)
+            | Op::SumAll(a)
+            | Op::MeanAll(a)
+            | Op::SumAxis1(a)
+            | Op::GatherRows(a, _)
+            | Op::ScatterAddRows(a, _, _)
+            | Op::SliceCols(a, _, _) => f(*a),
+            Op::ConcatCols(parts) => parts.iter().copied().for_each(f),
+        }
+    }
+}
+
 struct Node {
     op: Op,
     value: Tensor,
@@ -115,6 +153,11 @@ impl Drop for Gradients {
         }
     }
 }
+
+/// Leaf-sink hook for [`Tape::backward_with_leaf_sink`]: the parameter
+/// leaves to watch, plus the callback receiving `(leaf_pos, gradient)`
+/// as each leaf's gradient finalizes during the backward walk.
+type LeafSinkHook<'a> = (&'a [Var], &'a mut dyn FnMut(usize, Tensor));
 
 /// A reverse-mode autodiff tape.
 ///
@@ -478,6 +521,66 @@ impl Tape {
     /// Panics if `seeds` is empty or a seed's shape does not match its
     /// variable's value shape.
     pub fn backward_seeded(&mut self, seeds: &[(Var, Tensor)]) -> Gradients {
+        self.backward_impl(seeds, None)
+    }
+
+    /// [`backward`](Tape::backward) with an **early-gradient sink**: as the
+    /// reverse walk passes each listed leaf's *lowest-id consumer*, that
+    /// leaf's adjoint can no longer change (all remaining nodes have
+    /// smaller ids, and a leaf's gradient only accumulates from its
+    /// consumers), so it is finalized and handed to `sink(pos, grad)`
+    /// immediately — while the rest of backward is still running. This is
+    /// the bucket-completion hook that lets DDP overlap gradient all-reduce
+    /// with the tail of backward.
+    ///
+    /// `pos` is the index of the leaf inside `leaves`. Every listed leaf is
+    /// emitted exactly once; a leaf the walk never reaches gets a zero
+    /// gradient (matching what [`Gradients`] callers substitute for `None`).
+    /// Emitted leaves are absent from the returned [`Gradients`]. The
+    /// gradient *values* are bitwise-identical to [`backward`](Tape::backward) —
+    /// the hook changes when a gradient becomes visible, never its math.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not scalar-like or a listed leaf is not a
+    /// `requires_grad` leaf (a parameter).
+    pub fn backward_with_leaf_sink(
+        &mut self,
+        loss: Var,
+        leaves: &[Var],
+        sink: &mut dyn FnMut(usize, Tensor),
+    ) -> Gradients {
+        assert!(
+            self.nodes[loss.id].value.shape().is_scalar_like(),
+            "backward from non-scalar {}",
+            self.nodes[loss.id].value.shape()
+        );
+        let seed = Tensor::full(self.nodes[loss.id].value.shape().clone(), 1.0);
+        self.backward_impl(&[(loss, seed)], Some((leaves, sink)))
+    }
+
+    /// Seeded variant of [`backward_with_leaf_sink`](Tape::backward_with_leaf_sink)
+    /// (see [`backward_seeded`](Tape::backward_seeded) for seeding
+    /// semantics) — the activation-checkpointing path of the overlap hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty, a seed shape mismatches, or a listed
+    /// leaf is not a parameter leaf.
+    pub fn backward_seeded_with_leaf_sink(
+        &mut self,
+        seeds: &[(Var, Tensor)],
+        leaves: &[Var],
+        sink: &mut dyn FnMut(usize, Tensor),
+    ) -> Gradients {
+        self.backward_impl(seeds, Some((leaves, sink)))
+    }
+
+    fn backward_impl(
+        &mut self,
+        seeds: &[(Var, Tensor)],
+        mut hook: Option<LeafSinkHook<'_>>,
+    ) -> Gradients {
         assert!(!seeds.is_empty(), "backward_seeded with no seeds");
         let n = self.nodes.len();
         let mut grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
@@ -497,51 +600,105 @@ impl Tape {
             start = start.max(var.id);
         }
 
-        for id in (0..=start).rev() {
-            let Some(out_grad) = grads[id].take() else {
-                continue;
-            };
-            if !self.nodes[id].needs_grad {
-                out_grad.recycle();
-                continue;
-            }
-            let op = self.nodes[id].op.clone();
-            self.apply_backward(id, &op, &out_grad, &mut grads, &mut grad_bytes);
-            // The adjoint of this node has been fully consumed; release its
-            // byte accounting (leaves keep their gradients for the caller).
-            if let Some(t) = &self.tracker {
-                if grad_bytes[id] > 0 {
-                    t.free(MemoryCategory::Gradients, grad_bytes[id]);
-                    grad_bytes[id] = 0;
-                }
-            }
-            // Release this node's forward value: every consumer (higher id)
-            // has already run its backward, and this node's own adjoint rule
-            // has just used it. The buffer goes straight back to the
-            // recycler so the next step's forward pass reuses it.
-            if !matches!(self.nodes[id].op, Op::Leaf { .. }) {
-                if let Some(t) = &self.tracker {
-                    if self.nodes[id].tracked_bytes > 0 {
-                        t.free(MemoryCategory::Activations, self.nodes[id].tracked_bytes);
+        // Fire schedule for the leaf sink: `(fire_id, leaf_pos)` pairs,
+        // where `fire_id` is the leaf's lowest-id consumer. Scanning nodes
+        // in ascending id order finds each operand's first (= minimum)
+        // consumer in one pass. Leaves nothing consumes keep
+        // `usize::MAX` and fire on the walk's first iteration — their
+        // gradient is zero and can never change. The schedule is sorted
+        // ascending and drained from the back as the walk descends, so
+        // emission order is deterministic: descending fire id, ties by
+        // descending position in `leaves`.
+        let mut schedule: Vec<(usize, usize)> = Vec::new();
+        if let Some((leaves, _)) = &hook {
+            let mut min_consumer: Vec<usize> = vec![usize::MAX; n];
+            for (id, node) in self.nodes.iter().enumerate() {
+                node.op.for_each_operand(|v| {
+                    if min_consumer[v.id] == usize::MAX {
+                        min_consumer[v.id] = id;
                     }
-                }
-                self.nodes[id].tracked_bytes = 0;
-                std::mem::replace(&mut self.nodes[id].value, Tensor::released()).recycle();
+                });
             }
-            // Leaf gradients stay in `grads` for the caller; any other
-            // consumed adjoint is returned to the recycler.
-            if matches!(
-                self.nodes[id].op,
-                Op::Leaf {
-                    requires_grad: true
+            for (pos, leaf) in leaves.iter().enumerate() {
+                assert!(
+                    matches!(
+                        self.nodes[leaf.id].op,
+                        Op::Leaf {
+                            requires_grad: true
+                        }
+                    ),
+                    "leaf sink entry {pos} (node {}) is not a parameter leaf",
+                    leaf.id
+                );
+                schedule.push((min_consumer[leaf.id], pos));
+            }
+            schedule.sort_unstable();
+        }
+
+        for id in (0..=start).rev() {
+            self.backward_node(id, &mut grads, &mut grad_bytes);
+            // Any leaf whose lowest-id consumer has now run is final: hand
+            // it to the sink while the remaining backward continues.
+            if let Some((leaves, sink)) = hook.as_mut() {
+                while schedule.last().is_some_and(|&(fire, _)| fire >= id) {
+                    let (_, pos) = schedule.pop().expect("non-empty schedule");
+                    let leaf = leaves[pos];
+                    let g = grads[leaf.id].take().unwrap_or_else(|| {
+                        Tensor::zeros(self.nodes[leaf.id].value.shape().clone())
+                    });
+                    sink(pos, g);
                 }
-            ) {
-                grads[id] = Some(out_grad);
-            } else {
-                out_grad.recycle();
             }
         }
         Gradients { grads }
+    }
+
+    /// One reverse-walk step: consume node `id`'s adjoint (if any), apply
+    /// its backward rule, release its forward value, and keep parameter
+    /// leaf gradients for the caller.
+    fn backward_node(&mut self, id: usize, grads: &mut [Option<Tensor>], grad_bytes: &mut [u64]) {
+        let Some(out_grad) = grads[id].take() else {
+            return;
+        };
+        if !self.nodes[id].needs_grad {
+            out_grad.recycle();
+            return;
+        }
+        let op = self.nodes[id].op.clone();
+        self.apply_backward(id, &op, &out_grad, grads, grad_bytes);
+        // The adjoint of this node has been fully consumed; release its
+        // byte accounting (leaves keep their gradients for the caller).
+        if let Some(t) = &self.tracker {
+            if grad_bytes[id] > 0 {
+                t.free(MemoryCategory::Gradients, grad_bytes[id]);
+                grad_bytes[id] = 0;
+            }
+        }
+        // Release this node's forward value: every consumer (higher id)
+        // has already run its backward, and this node's own adjoint rule
+        // has just used it. The buffer goes straight back to the
+        // recycler so the next step's forward pass reuses it.
+        if !matches!(self.nodes[id].op, Op::Leaf { .. }) {
+            if let Some(t) = &self.tracker {
+                if self.nodes[id].tracked_bytes > 0 {
+                    t.free(MemoryCategory::Activations, self.nodes[id].tracked_bytes);
+                }
+            }
+            self.nodes[id].tracked_bytes = 0;
+            std::mem::replace(&mut self.nodes[id].value, Tensor::released()).recycle();
+        }
+        // Leaf gradients stay in `grads` for the caller; any other
+        // consumed adjoint is returned to the recycler.
+        if matches!(
+            self.nodes[id].op,
+            Op::Leaf {
+                requires_grad: true
+            }
+        ) {
+            grads[id] = Some(out_grad);
+        } else {
+            out_grad.recycle();
+        }
     }
 
     fn accumulate(
@@ -1116,6 +1273,101 @@ mod tests {
         crate::recycler::set_enabled_override(None);
         assert_eq!(fresh, warm1);
         assert_eq!(fresh, warm2);
+    }
+
+    /// Two-layer MLP with both weights as params; returns `(tape, [w1, w2], loss)`.
+    fn two_param_graph() -> (Tape, [Var; 2], Var) {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut tape = Tape::new();
+        let w1 = tape.param(Tensor::randn((3, 4), 0.7, &mut rng));
+        let w2 = tape.param(Tensor::randn((4, 1), 0.7, &mut rng));
+        let x = tape.constant(Tensor::randn((5, 3), 0.7, &mut rng));
+        let h = tape.matmul(x, w1);
+        let h = tape.silu(h);
+        let y = tape.matmul(h, w2);
+        let loss = tape.mean_all(y);
+        (tape, [w1, w2], loss)
+    }
+
+    #[test]
+    fn leaf_sink_matches_backward_bitwise() {
+        let (mut tape, [w1, w2], loss) = two_param_graph();
+        let grads = tape.backward(loss);
+        let reference: Vec<Vec<u32>> = [w1, w2]
+            .iter()
+            .map(|&w| {
+                grads
+                    .get(w)
+                    .unwrap()
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
+            })
+            .collect();
+
+        let (mut tape, [w1, w2], loss) = two_param_graph();
+        let mut emitted: Vec<Option<Tensor>> = vec![None, None];
+        let mut sink = |pos: usize, g: Tensor| {
+            assert!(emitted[pos].is_none(), "leaf {pos} emitted twice");
+            emitted[pos] = Some(g);
+        };
+        let rest = tape.backward_with_leaf_sink(loss, &[w1, w2], &mut sink);
+        // Fired leaves are gone from the returned Gradients…
+        assert!(rest.get(w1).is_none() && rest.get(w2).is_none());
+        // …and every leaf arrived through the sink, bitwise-equal.
+        for (pos, bits) in reference.iter().enumerate() {
+            let got: Vec<u32> = emitted[pos]
+                .as_ref()
+                .unwrap()
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(&got, bits, "leaf {pos}");
+        }
+    }
+
+    #[test]
+    fn leaf_sink_fires_later_consumers_first() {
+        // w2's lowest consumer (the second matmul) has a higher id than
+        // w1's (the first matmul), so w2 must fire before w1 — that early
+        // fire is exactly the overlap window DDP exploits.
+        let (mut tape, [w1, w2], loss) = two_param_graph();
+        let mut order = Vec::new();
+        let mut sink = |pos: usize, g: Tensor| {
+            order.push(pos);
+            g.recycle();
+        };
+        let _ = tape.backward_with_leaf_sink(loss, &[w1, w2], &mut sink);
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn leaf_sink_emits_zeros_for_disconnected_params() {
+        let mut tape = Tape::new();
+        let used = tape.param(Tensor::scalar(2.0));
+        let unused = tape.param(Tensor::ones((2, 2)));
+        let y = tape.square(used);
+        let loss = tape.sum_all(y);
+        let mut emitted: Vec<Option<Tensor>> = vec![None, None];
+        let mut sink = |pos: usize, g: Tensor| emitted[pos] = Some(g);
+        let _ = tape.backward_with_leaf_sink(loss, &[used, unused], &mut sink);
+        assert_eq!(emitted[0].as_ref().unwrap().item(), 4.0);
+        let z = emitted[1].as_ref().unwrap();
+        assert_eq!(z.shape(), &Shape::from((2usize, 2usize)));
+        assert!(z.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a parameter leaf")]
+    fn leaf_sink_rejects_non_leaves() {
+        let mut tape = Tape::new();
+        let x = tape.param(Tensor::scalar(1.0));
+        let y = tape.square(x);
+        let loss = tape.sum_all(y);
+        let mut sink = |_: usize, g: Tensor| g.recycle();
+        let _ = tape.backward_with_leaf_sink(loss, &[y], &mut sink);
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub use noise_scale::{estimate_noise_scale, NoiseScaleEstimate};
 pub use optimizer::{adam_update, clip_grad_norm, Adam, AdamHyper, AdamState, Optimizer, Sgd};
 pub use profile::{profile_step, profile_step_timed, StepProfile};
 pub use schedule::LrSchedule;
-pub use step::{checkpointed_step, train_step, vanilla_step, StepOutcome};
+pub use step::{
+    checkpointed_step, checkpointed_step_with_sink, train_step, train_step_with_sink, vanilla_step,
+    vanilla_step_with_sink, StepOutcome,
+};
 pub use trainer::{
     evaluate, evaluate_per_source, EpochStats, EvalMetrics, TrainConfig, TrainReport, Trainer,
 };

@@ -52,6 +52,33 @@ pub fn vanilla_step<M: GnnModel + ?Sized>(
     loss_cfg: &LossConfig,
     tracker: Option<&MemoryTracker>,
 ) -> StepOutcome {
+    vanilla_impl(model, batch, targets, loss_cfg, tracker, None)
+}
+
+/// [`vanilla_step`] with an early-gradient sink: each parameter's gradient
+/// is handed to `sink(param_index, grad)` the moment backward finalizes it
+/// (see [`Tape::backward_with_leaf_sink`]) instead of being collected into
+/// a [`StepOutcome`]. Gradient values are bitwise-identical to
+/// [`vanilla_step`]; only the hand-off point moves. Returns the loss.
+pub fn vanilla_step_with_sink<M: GnnModel + ?Sized>(
+    model: &M,
+    batch: &GraphBatch,
+    targets: &Targets,
+    loss_cfg: &LossConfig,
+    tracker: Option<&MemoryTracker>,
+    sink: &mut dyn FnMut(usize, Tensor),
+) -> f64 {
+    vanilla_impl(model, batch, targets, loss_cfg, tracker, Some(sink)).loss
+}
+
+fn vanilla_impl<M: GnnModel + ?Sized>(
+    model: &M,
+    batch: &GraphBatch,
+    targets: &Targets,
+    loss_cfg: &LossConfig,
+    tracker: Option<&MemoryTracker>,
+    sink: Option<&mut dyn FnMut(usize, Tensor)>,
+) -> StepOutcome {
     let mut tape = new_tape(tracker);
     let pvars = model.params().bind(&mut tape);
     let out = model.forward(&mut tape, &pvars, batch);
@@ -60,11 +87,19 @@ pub fn vanilla_step<M: GnnModel + ?Sized>(
     if let Some(t) = tracker {
         t.snapshot("after forward");
     }
-    let mut grads = tape.backward(loss);
+    let g = match sink {
+        Some(s) => {
+            let _ = tape.backward_with_leaf_sink(loss, &pvars, s);
+            Vec::new()
+        }
+        None => {
+            let mut grads = tape.backward(loss);
+            collect_param_grads(model.params(), &pvars, &mut grads)
+        }
+    };
     if let Some(t) = tracker {
         t.snapshot("after backward");
     }
-    let g = collect_param_grads(model.params(), &pvars, &mut grads);
     StepOutcome {
         loss: loss_val,
         grads: g,
@@ -83,6 +118,33 @@ pub fn checkpointed_step<M: GnnModel + ?Sized>(
     targets: &Targets,
     loss_cfg: &LossConfig,
     tracker: Option<&MemoryTracker>,
+) -> StepOutcome {
+    checkpointed_impl(model, batch, targets, loss_cfg, tracker, None)
+}
+
+/// [`checkpointed_step`] with an early-gradient sink (see
+/// [`vanilla_step_with_sink`]): parameters are emitted per recomputed
+/// segment — last segment's parameters first — so gradient communication
+/// can start while earlier segments are still being recomputed. Returns
+/// the loss.
+pub fn checkpointed_step_with_sink<M: GnnModel + ?Sized>(
+    model: &M,
+    batch: &GraphBatch,
+    targets: &Targets,
+    loss_cfg: &LossConfig,
+    tracker: Option<&MemoryTracker>,
+    sink: &mut dyn FnMut(usize, Tensor),
+) -> f64 {
+    checkpointed_impl(model, batch, targets, loss_cfg, tracker, Some(sink)).loss
+}
+
+fn checkpointed_impl<M: GnnModel + ?Sized>(
+    model: &M,
+    batch: &GraphBatch,
+    targets: &Targets,
+    loss_cfg: &LossConfig,
+    tracker: Option<&MemoryTracker>,
+    mut sink: Option<&mut dyn FnMut(usize, Tensor)>,
 ) -> StepOutcome {
     let n_seg = model.n_segments();
     let params = model.params();
@@ -143,7 +205,13 @@ pub fn checkpointed_step<M: GnnModel + ?Sized>(
             };
             let loss = loss_cfg.compute(&mut tape, out, batch, targets);
             loss_val = tape.value(loss).item() as f64;
-            tape.backward(loss)
+            match &mut sink {
+                Some(s) => {
+                    let mut seg_sink = |k: usize, g: Tensor| s(start + k, g);
+                    tape.backward_with_leaf_sink(loss, &pvars, &mut seg_sink)
+                }
+                None => tape.backward(loss),
+            }
         } else {
             assert_eq!(
                 out_vars.len(),
@@ -155,15 +223,22 @@ pub fn checkpointed_step<M: GnnModel + ?Sized>(
                 .copied()
                 .zip(state_seeds.drain(..))
                 .collect();
-            tape.backward_seeded(&seeds)
+            match &mut sink {
+                Some(s) => {
+                    let mut seg_sink = |k: usize, g: Tensor| s(start + k, g);
+                    tape.backward_seeded_with_leaf_sink(&seeds, &pvars, &mut seg_sink)
+                }
+                None => tape.backward_seeded(&seeds),
+            }
         };
 
-        for (k, &v) in pvars.iter().enumerate() {
-            param_grads[start + k] = Some(
-                grads
-                    .take(v)
-                    .unwrap_or_else(|| Tensor::zeros(params.tensor(start + k).shape().clone())),
-            );
+        if sink.is_none() {
+            for (k, &v) in pvars.iter().enumerate() {
+                param_grads[start + k] =
+                    Some(grads.take(v).unwrap_or_else(|| {
+                        Tensor::zeros(params.tensor(start + k).shape().clone())
+                    }));
+            }
         }
         state_seeds = state_vars
             .iter()
@@ -193,11 +268,15 @@ pub fn checkpointed_step<M: GnnModel + ?Sized>(
         t.snapshot("after backward (checkpointed)");
     }
 
-    let grads = param_grads
-        .into_iter()
-        .enumerate()
-        .map(|(i, g)| g.unwrap_or_else(|| Tensor::zeros(params.tensor(i).shape().clone())))
-        .collect();
+    let grads = if sink.is_some() {
+        Vec::new()
+    } else {
+        param_grads
+            .into_iter()
+            .enumerate()
+            .map(|(i, g)| g.unwrap_or_else(|| Tensor::zeros(params.tensor(i).shape().clone())))
+            .collect()
+    };
     StepOutcome {
         loss: loss_val,
         grads,
@@ -217,6 +296,24 @@ pub fn train_step<M: GnnModel + ?Sized>(
         checkpointed_step(model, batch, targets, loss_cfg, tracker)
     } else {
         vanilla_step(model, batch, targets, loss_cfg, tracker)
+    }
+}
+
+/// Dispatches to the vanilla or checkpointed sink-based step; returns the
+/// loss, delivering every parameter gradient through `sink` exactly once.
+pub fn train_step_with_sink<M: GnnModel + ?Sized>(
+    model: &M,
+    batch: &GraphBatch,
+    targets: &Targets,
+    loss_cfg: &LossConfig,
+    checkpointed: bool,
+    tracker: Option<&MemoryTracker>,
+    sink: &mut dyn FnMut(usize, Tensor),
+) -> f64 {
+    if checkpointed {
+        checkpointed_step_with_sink(model, batch, targets, loss_cfg, tracker, sink)
+    } else {
+        vanilla_step_with_sink(model, batch, targets, loss_cfg, tracker, sink)
     }
 }
 
@@ -296,6 +393,78 @@ mod tests {
         let nonzero = out.grads.iter().filter(|g| g.max_abs() > 0.0).count();
         assert_eq!(nonzero, out.grads.len(), "dead parameters in one step");
         assert!(out.grads.iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn sink_step_is_bitwise_identical_to_collected_step() {
+        let model = Egnn::new(EgnnConfig::new(8, 3).with_seed(5));
+        let (batch, targets) = setup(5);
+        let cfg = LossConfig::default();
+        for checkpointed in [false, true] {
+            let reference = train_step(&model, &batch, &targets, &cfg, checkpointed, None);
+            let n = reference.grads.len();
+            let mut emitted: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+            let mut sink = |p: usize, g: Tensor| {
+                assert!(emitted[p].is_none(), "param {p} emitted twice");
+                emitted[p] = Some(g);
+            };
+            let loss = train_step_with_sink(
+                &model,
+                &batch,
+                &targets,
+                &cfg,
+                checkpointed,
+                None,
+                &mut sink,
+            );
+            assert_eq!(
+                loss.to_bits(),
+                reference.loss.to_bits(),
+                "ckpt={checkpointed}"
+            );
+            for (p, (want, got)) in reference.grads.iter().zip(emitted.iter()).enumerate() {
+                let got = got
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("param {p} never emitted"));
+                let a: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, b, "param {p} grads diverged (ckpt={checkpointed})");
+            }
+        }
+    }
+
+    #[test]
+    fn sink_step_tracker_peak_matches_collected_step() {
+        let model = Egnn::new(EgnnConfig::new(8, 3).with_seed(5));
+        let (batch, targets) = setup(5);
+        let cfg = LossConfig::default();
+        for checkpointed in [false, true] {
+            let tracker_a = MemoryTracker::new();
+            let _ = train_step(
+                &model,
+                &batch,
+                &targets,
+                &cfg,
+                checkpointed,
+                Some(&tracker_a),
+            );
+            let tracker_b = MemoryTracker::new();
+            let mut sink = |_: usize, g: Tensor| g.recycle();
+            let _ = train_step_with_sink(
+                &model,
+                &batch,
+                &targets,
+                &cfg,
+                checkpointed,
+                Some(&tracker_b),
+                &mut sink,
+            );
+            assert_eq!(
+                tracker_a.peak_total(),
+                tracker_b.peak_total(),
+                "ckpt={checkpointed}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Bitwise determinism of the prefetching pipeline: any prefetch depth
+//! must reproduce the synchronous trajectory exactly — same epoch losses,
+//! same final parameters — because the producer thread runs the identical
+//! batch iterator, merely ahead of time.
+
+use matgnn_data::{Dataset, GeneratorConfig, Normalizer};
+use matgnn_model::{Egnn, EgnnConfig, GnnModel};
+use matgnn_train::{TrainConfig, Trainer};
+
+fn trajectory(prefetch_depth: usize) -> Vec<u64> {
+    let (train, test) = Dataset::generate_split(30, 0.2, 23, &GeneratorConfig::default());
+    let norm = Normalizer::fit(&train);
+    let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(4));
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 8,
+        seed: 5,
+        prefetch_depth,
+        ..Default::default()
+    };
+    let report = Trainer::new(cfg).fit(&mut model, &train, Some(&test), &norm);
+    let mut bits: Vec<u64> = report
+        .epochs
+        .iter()
+        .map(|e| e.train_loss.to_bits())
+        .collect();
+    bits.extend(
+        report
+            .epochs
+            .iter()
+            .filter_map(|e| e.test_loss)
+            .map(f64::to_bits),
+    );
+    bits.extend(
+        model
+            .params()
+            .flatten()
+            .data()
+            .iter()
+            .map(|x| u64::from(x.to_bits())),
+    );
+    bits
+}
+
+#[test]
+fn prefetch_depths_produce_identical_trajectories() {
+    let sync = trajectory(0);
+    for depth in [1, 4] {
+        assert_eq!(sync, trajectory(depth), "prefetch depth {depth} diverged");
+    }
+}

@@ -163,6 +163,60 @@ fn zero_sharded_run_survives_a_kill() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A kill mid-run with the latency-hiding pipeline fully enabled
+/// (backward-overlapped all-reduce + async batch prefetching): the
+/// dedicated comm threads and producer threads must not deadlock the
+/// recovery, survivors re-form, and the chaotic trajectory stays
+/// bitwise-identical to the same fault handled by the synchronous path.
+#[test]
+fn overlapped_pipeline_survives_a_kill_and_matches_sync_chaos() {
+    let (ds, norm) = data();
+    let run = |tag: &str, overlap: bool, prefetch: usize| {
+        let dir = chaos_dir(tag);
+        let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(19));
+        let cfg = DdpConfig {
+            world: 4,
+            epochs: 2,
+            batch_size: 2,
+            seed: 37,
+            grad_clip: None, // overlap requires unclipped gradients
+            overlap_comm: overlap,
+            prefetch_depth: prefetch,
+            comm_timeout: Duration::from_millis(500),
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 1,
+            fault_plan: "kill@rank1,step3".parse().unwrap(),
+            ..Default::default()
+        };
+        let report = train_ddp(&mut model, &ds, &norm, &cfg);
+        let _ = std::fs::remove_dir_all(&dir);
+        (report, model.params().flatten())
+    };
+    let (sync_report, sync_params) = run("overlap_sync", false, 0);
+    let (ov_report, ov_params) = run("overlap_chaos", true, 2);
+
+    assert_eq!(ov_report.failed_ranks, vec![1]);
+    assert_eq!(ov_report.final_world, 3);
+    assert_eq!(ov_report.recoveries, 1);
+    assert_eq!(ov_report.epoch_loss.len(), 2);
+    for (epoch, (a, b)) in sync_report
+        .epoch_loss
+        .iter()
+        .zip(&ov_report.epoch_loss)
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "epoch {epoch} loss differs between sync and overlapped chaos: {a} vs {b}"
+        );
+    }
+    assert!(
+        sync_params.allclose(&ov_params, 0.0),
+        "overlapped chaos run diverged from the synchronous chaos run"
+    );
+}
+
 /// Without a checkpoint directory a kill still terminates cleanly: the
 /// survivors re-form and restart from scratch rather than hanging.
 #[test]
