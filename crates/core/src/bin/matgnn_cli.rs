@@ -30,18 +30,39 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `--telemetry DIR` wins over the MATGNN_TELEMETRY env var.
+    let telemetry_init = match opts.get("telemetry") {
+        Some(dir) => match matgnn::telemetry::init(dir) {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!("error: initialising telemetry in {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => matgnn::telemetry::init_from_env(),
+    };
+    if telemetry_init && cmd == "train" {
+        // Single-process training: the whole run is rank 0.
+        matgnn::telemetry::set_rank(0);
+    }
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&opts),
         "train" => cmd_train(&opts),
         "ddp" => cmd_ddp(&opts),
         "evaluate" => cmd_evaluate(&opts),
         "info" => cmd_info(&opts),
+        "telemetry-validate" => cmd_telemetry_validate(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
     };
+    if telemetry_init {
+        if let Some(dir) = matgnn::telemetry::shutdown() {
+            println!("telemetry written to {}", dir.display());
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -82,7 +103,15 @@ USAGE:
       Evaluate a saved model on a dataset.
 
   matgnn-cli info --model FILE
-      Print a saved model's configuration and parameter count."
+      Print a saved model's configuration and parameter count.
+
+  matgnn-cli telemetry-validate --dir DIR
+      Validate every line of the per-rank JSONL event logs in DIR and
+      check the Chrome trace (trace.json) parses.
+
+Telemetry: `train` and `ddp` accept --telemetry DIR (or the
+MATGNN_TELEMETRY env var) to write per-rank JSONL event logs plus a
+chrome://tracing / Perfetto trace.json into DIR."
     );
 }
 
@@ -343,6 +372,44 @@ fn cmd_evaluate(opts: &Opts) -> Result<(), String> {
         m.energy_mae,
         m.force_mae
     );
+    Ok(())
+}
+
+fn cmd_telemetry_validate(opts: &Opts) -> Result<(), String> {
+    let dir = opts.get("dir").ok_or("--dir DIR is required")?;
+    let mut logs = 0usize;
+    let mut lines = 0usize;
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {dir}: {e}"))?;
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            name.starts_with("events-") && name.ends_with(".jsonl")
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no events-*.jsonl files in {dir}"));
+    }
+    for path in &paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        for (i, line) in text.lines().enumerate() {
+            matgnn::telemetry::json::validate_event_line(line)
+                .map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+            lines += 1;
+        }
+        logs += 1;
+    }
+    let trace_path = std::path::Path::new(dir).join("trace.json");
+    if trace_path.exists() {
+        let text = std::fs::read_to_string(&trace_path)
+            .map_err(|e| format!("reading {}: {e}", trace_path.display()))?;
+        matgnn::telemetry::json::parse(&text)
+            .map_err(|e| format!("{}: {e}", trace_path.display()))?;
+        println!("trace.json OK");
+    }
+    println!("validated {lines} events across {logs} log file(s)");
     Ok(())
 }
 

@@ -41,6 +41,7 @@ pub use matgnn_graph as graph;
 pub use matgnn_model as model;
 pub use matgnn_potential as potential;
 pub use matgnn_scaling as scaling;
+pub use matgnn_telemetry as telemetry;
 pub use matgnn_tensor as tensor;
 pub use matgnn_train as train;
 

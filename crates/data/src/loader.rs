@@ -43,6 +43,7 @@ impl Targets {
 
 /// Builds the `(GraphBatch, Targets)` pair for a set of samples.
 pub fn collate(samples: &[&Sample], normalizer: &Normalizer) -> (GraphBatch, Targets) {
+    let _span = matgnn_telemetry::span("data.graph_build");
     let graphs: Vec<&MolGraph> = samples.iter().map(|s| &s.graph).collect();
     let batch = GraphBatch::from_graphs(&graphs);
     let targets = Targets::from_samples(samples, normalizer);

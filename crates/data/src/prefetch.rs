@@ -80,11 +80,18 @@ impl<T: Send + 'static> Prefetcher<T> {
     {
         assert!(depth > 0, "prefetch depth must be positive");
         let (tx, rx) = std::sync::mpsc::sync_channel(depth);
+        // Propagate the spawner's telemetry rank so producer-side spans
+        // (collation, shard reads) attribute to the rank they feed.
+        let rank = matgnn_telemetry::rank_raw();
         let handle = std::thread::Builder::new()
             .name("matgnn-prefetch".into())
             .spawn(move || {
+                matgnn_telemetry::set_rank_raw(rank);
                 let feed = Feed { tx };
-                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(&feed))) {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                    let _span = matgnn_telemetry::span("prefetch.producer");
+                    body(&feed)
+                })) {
                     // Jump the queue bound: the consumer must learn about
                     // the panic even if the buffer is full, so retry after
                     // draining pressure has made room. `Disconnected` means

@@ -1,0 +1,64 @@
+//! Cross-thread span attribution from the prefetch producer: spans
+//! emitted on the producer thread (including the built-in
+//! `prefetch.producer` span and collation's `data.graph_build`) must
+//! land in the spawning rank's event log. Own integration-test binary:
+//! telemetry state is process-global.
+
+use matgnn_data::{Dataset, GeneratorConfig, Normalizer, PrefetchIterator, Prefetcher};
+use matgnn_telemetry as telemetry;
+use telemetry::json::{self, Json};
+
+#[test]
+fn prefetch_producer_adopts_spawner_rank() {
+    let dir = std::env::temp_dir().join(format!(
+        "matgnn-prefetch-telemetry-{pid}",
+        pid = std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    telemetry::init(&dir).unwrap();
+    telemetry::set_rank(2);
+
+    // Bare engine: a producer-side span must attribute to rank 2.
+    let mut pf = Prefetcher::spawn(1, |feed| {
+        let _s = telemetry::span("produce_item");
+        feed.send(42u32);
+    });
+    assert_eq!(pf.next(), Some(42));
+    assert_eq!(pf.next(), None);
+    drop(pf);
+
+    // Full loader path: collation runs on the producer thread too.
+    let ds = Dataset::generate_aggregate(12, 3, &GeneratorConfig::default());
+    let norm = Normalizer::fit(&ds);
+    let n = PrefetchIterator::new(&ds, 4, Some(1), norm, 2).count();
+    assert_eq!(n, 3);
+
+    telemetry::clear_rank();
+    telemetry::shutdown();
+
+    let lines = std::fs::read_to_string(dir.join("events-rank2.jsonl")).unwrap();
+    let names: Vec<String> = lines
+        .lines()
+        .map(|l| {
+            json::validate_event_line(l).unwrap_or_else(|e| panic!("{e}: {l}"));
+            json::parse(l).unwrap()
+        })
+        .filter_map(|v| v.get("name").and_then(Json::as_str).map(str::to_string))
+        .collect();
+    assert!(
+        names.iter().any(|n| n == "produce_item"),
+        "producer span missing from rank-2 log: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "prefetch.producer"),
+        "built-in producer span missing: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "data.graph_build"),
+        "collation span missing from producer thread: {names:?}"
+    );
+    assert!(
+        !dir.join("events-unranked.jsonl").exists(),
+        "no event should have escaped rank attribution"
+    );
+}

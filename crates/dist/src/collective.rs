@@ -143,6 +143,20 @@ impl CommStats {
         self.overlapped_seconds =
             (self.overlapped_seconds + other.overlapped_seconds).min(self.modeled_seconds);
     }
+
+    /// Publishes this reading into the telemetry metrics registry under
+    /// `{prefix}.*`: bytes moved, collective count, and the modeled /
+    /// overlapped / exposed interconnect-time split.
+    pub fn publish_telemetry(&self, prefix: &str) {
+        matgnn_telemetry::counter_set(format!("{prefix}.bytes_moved"), self.bytes_moved);
+        matgnn_telemetry::counter_set(format!("{prefix}.collectives"), self.collectives);
+        matgnn_telemetry::gauge_set(format!("{prefix}.modeled_seconds"), self.modeled_seconds);
+        matgnn_telemetry::gauge_set(
+            format!("{prefix}.overlapped_seconds"),
+            self.overlapped_seconds,
+        );
+        matgnn_telemetry::gauge_set(format!("{prefix}.exposed_seconds"), self.exposed_seconds());
+    }
 }
 
 /// Shared rendezvous state: a generation-counting barrier plus staging
@@ -387,6 +401,7 @@ impl Communicator {
     /// Generation barrier with timeout and failure detection. On timeout
     /// the group is poisoned before returning, so peers unwind too.
     fn sync(&mut self) -> Result<(), CommError> {
+        let _span = matgnn_telemetry::span("comm.rendezvous");
         let inner = Arc::clone(&self.inner);
         let mut st = inner.lock();
         if let Some(err) = self.failure(&st) {
@@ -499,6 +514,7 @@ impl Communicator {
         if w == 1 {
             return Ok(());
         }
+        let _span = matgnn_telemetry::span("comm.all_reduce");
         self.publish_slice(data)?;
         {
             let inner = Arc::clone(&self.inner);
@@ -533,6 +549,7 @@ impl Communicator {
         if w == 1 {
             return Ok(());
         }
+        let _span = matgnn_telemetry::span("comm.all_reduce");
         self.publish_slice(data)?;
         {
             let inner = Arc::clone(&self.inner);
@@ -573,6 +590,7 @@ impl Communicator {
         if w == 1 {
             return Ok(data[start..end].to_vec());
         }
+        let _span = matgnn_telemetry::span("comm.reduce_scatter");
         self.publish_slice(data)?;
         let mut shard = data[start..end].to_vec();
         {
@@ -608,6 +626,7 @@ impl Communicator {
         if w == 1 {
             return Ok(shard.to_vec());
         }
+        let _span = matgnn_telemetry::span("comm.all_gather");
         self.publish_slice(shard)?;
         let mut out = vec![0.0f32; total_len];
         {
@@ -631,6 +650,7 @@ impl Communicator {
         if w == 1 {
             return Ok(());
         }
+        let _span = matgnn_telemetry::span("comm.broadcast");
         if self.rank == root {
             self.publish_slice(data)?;
         } else {
@@ -817,6 +837,7 @@ impl BucketComm {
         id: u64,
         data: &[f32],
     ) -> Result<MutexGuard<'a, GroupState>, CommError> {
+        let _span = matgnn_telemetry::span("comm.rendezvous");
         let world = inner.world;
         let buf = staged_copy(data);
         let mut st = inner.lock();
@@ -895,6 +916,7 @@ impl BucketComm {
         if w == 1 {
             return Ok(());
         }
+        let _span = matgnn_telemetry::span("comm.bucket_reduce");
         let inner = Arc::clone(&self.inner);
         let mut st = self.stage_and_await(&inner, id, data)?;
         let inv = 1.0 / w as f32;
@@ -944,6 +966,7 @@ impl BucketComm {
         if w == 1 {
             return Ok(());
         }
+        let _span = matgnn_telemetry::span("comm.bucket_reduce");
         let inner = Arc::clone(&self.inner);
         let mut st = self.stage_and_await(&inner, id, data)?;
         if self.rank == root {

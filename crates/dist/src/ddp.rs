@@ -364,9 +364,14 @@ impl OverlapPipeline {
         let mut bc = comm.bucket_handle();
         let (jobs_tx, jobs_rx) = mpsc::channel::<BucketJob>();
         let (results_tx, results_rx) = mpsc::channel::<BucketResult>();
+        // The comm thread works on this rank's behalf: tag its telemetry
+        // events with the spawning rank so traces attribute bucket
+        // reductions to the right process lane.
+        let telemetry_rank = matgnn_telemetry::rank_raw();
         let handle = std::thread::Builder::new()
             .name("matgnn-grad-comm".into())
             .spawn(move || {
+                matgnn_telemetry::set_rank_raw(telemetry_rank);
                 for mut job in jobs_rx {
                     let err = match job.root {
                         None => bc.all_reduce_mean_bucket(job.id, &mut job.buf).err(),
@@ -405,6 +410,7 @@ impl OverlapPipeline {
     /// the same sequence of buckets (enforced by in-order submission at
     /// the call sites).
     fn submit(&mut self, root: Option<usize>, buf: Vec<f32>) {
+        let _span = matgnn_telemetry::span("comm.bucket_submit");
         let id = self.next_id;
         self.next_id += 1;
         self.inflight += 1;
@@ -419,6 +425,7 @@ impl OverlapPipeline {
     /// submission order. Any bucket failure (or a dead worker) surfaces
     /// as the first error after all results are drained.
     fn collect(&mut self) -> Result<Vec<Vec<f32>>, CommError> {
+        let _span = matgnn_telemetry::span("comm.wait");
         let n = std::mem::take(&mut self.inflight);
         let mut bufs = Vec::with_capacity(n);
         let mut first_err = None;
@@ -649,10 +656,14 @@ fn overlapped_step<M: GnnModel + Clone>(
                         .expect("bucket gradient shape")
                     })
                     .collect();
-                st.full_adam
-                    .as_mut()
-                    .expect("full adam")
-                    .step(st.replica.params_mut(), &grads, lr);
+                {
+                    let _span = matgnn_telemetry::span("optimizer");
+                    st.full_adam.as_mut().expect("full adam").step(
+                        st.replica.params_mut(),
+                        &grads,
+                        lr,
+                    );
+                }
                 pipe.spare.extend(reduced);
                 Ok(())
             })();
@@ -714,10 +725,13 @@ fn overlapped_step<M: GnnModel + Clone>(
                 // the decomposed ZeRO step (scale + Adam + all-gather).
                 let own = std::mem::take(&mut reduced[my_rank]);
                 let mut params = st.replica.params().flatten().to_vec();
-                st.zero_adam
-                    .as_mut()
-                    .expect("zero adam")
-                    .step_with_reduced_shard(comm, &mut params, own, lr)?;
+                {
+                    let _span = matgnn_telemetry::span("optimizer");
+                    st.zero_adam
+                        .as_mut()
+                        .expect("zero adam")
+                        .step_with_reduced_shard(comm, &mut params, own, lr)?;
+                }
                 let flat_t = Tensor::from_vec(params.len(), params).expect("flat params");
                 st.replica.params_mut().unflatten_from(&flat_t);
                 pipe.spare.extend(reduced);
@@ -792,6 +806,7 @@ fn run_until_done<M: GnnModel + Clone>(
             })
         });
         while (st.step_in_epoch as usize) < steps_per_epoch {
+            matgnn_telemetry::set_step(st.global_step);
             // Injected faults fire at step boundaries, keyed by launch
             // rank so a plan means the same thing after re-forms.
             match cfg.fault_plan.check(launch_rank, st.global_step) {
@@ -803,6 +818,7 @@ fn run_until_done<M: GnnModel + Clone>(
                 Some(FaultKind::IoError) | None => {} // I/O handled at fetch below
             }
 
+            let data_span = matgnn_telemetry::span("data.load");
             let (batch, targets) = match prefetcher.as_mut() {
                 Some(p) => {
                     let (batch, targets, retries) =
@@ -837,6 +853,8 @@ fn run_until_done<M: GnnModel + Clone>(
                     collate(&samples, normalizer)
                 }
             };
+            drop(data_span);
+            let _step_span = matgnn_telemetry::span("step");
             let lr = cfg.schedule.lr(cfg.base_lr, st.global_step as usize);
 
             let loss = if let Some(pipe) = pipeline.as_deref_mut() {
@@ -858,6 +876,7 @@ fn run_until_done<M: GnnModel + Clone>(
                 tracker.alloc(MemoryCategory::Gradients, flat_bytes);
                 let step_result: Result<(), CommError> = (|| {
                     if let Some(zero) = st.zero_adam.as_mut() {
+                        let _span = matgnn_telemetry::span("optimizer");
                         let mut params = st.replica.params().flatten().to_vec();
                         zero.step(comm, &mut params, &flat, lr)?;
                         let flat_t = Tensor::from_vec(params.len(), params).expect("flat params");
@@ -871,6 +890,7 @@ fn run_until_done<M: GnnModel + Clone>(
                             }
                             _ => comm.all_reduce_mean(&mut flat)?,
                         }
+                        let _span = matgnn_telemetry::span("optimizer");
                         let grads = unflatten_like(&flat, &outcome.grads);
                         st.full_adam.as_mut().expect("full adam").step(
                             st.replica.params_mut(),
@@ -894,6 +914,7 @@ fn run_until_done<M: GnnModel + Clone>(
                 if cfg.checkpoint_every > 0
                     && st.global_step.is_multiple_of(cfg.checkpoint_every as u64)
                 {
+                    let _span = matgnn_telemetry::span("checkpoint.save");
                     // World-independent optimizer state: gather ZeRO
                     // shards (a collective — every rank participates).
                     let adam_state = if let Some(zero) = st.zero_adam.as_ref() {
@@ -986,6 +1007,7 @@ where
             let train = &train;
             handles.push(scope.spawn(move || {
                 let launch_rank = comm.rank();
+                matgnn_telemetry::set_rank(launch_rank);
                 let tracker = MemoryTracker::new();
                 tracker.alloc(MemoryCategory::Weights, proto.params().bytes());
                 let mut st = fresh_state(proto, cfg, launch_rank, cfg.world, n_params, &tracker);
@@ -1100,6 +1122,24 @@ where
                 let epoch_loss = std::mem::take(&mut st.epoch_loss);
                 let replica = st.replica.clone();
                 drop(st); // frees optimizer-state tracker bytes
+
+                // Fold this rank's end-of-run readings into the shared
+                // metrics registry (rank-prefixed: all ranks live in one
+                // process) and emit one metrics event per rank.
+                matgnn_telemetry::clear_step();
+                tracker.publish_telemetry(&format!("ddp.rank{launch_rank}.memory"));
+                last_stats.publish_telemetry(&format!("ddp.rank{launch_rank}.comm"));
+                matgnn_telemetry::gauge_set(
+                    format!("ddp.rank{launch_rank}.wall_us"),
+                    wall.as_micros() as f64,
+                );
+                matgnn_telemetry::counter_set(format!("ddp.rank{launch_rank}.steps"), steps);
+                if matgnn_telemetry::enabled() {
+                    matgnn_tensor::recycler::publish_telemetry();
+                    matgnn_tensor::pool::publish_telemetry();
+                    matgnn_telemetry::flush_metrics();
+                }
+                matgnn_telemetry::clear_rank();
 
                 RankOutcome {
                     stats: RankStats {

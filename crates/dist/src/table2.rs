@@ -39,6 +39,15 @@ impl MemorySetting {
         }
     }
 
+    /// Metric-name slug for the telemetry registry (`table2.<slug>.*`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            MemorySetting::Vanilla => "vanilla",
+            MemorySetting::ActivationCheckpointing => "ckpt",
+            MemorySetting::ZeroOptimizer => "zero",
+        }
+    }
+
     fn apply(self, cfg: &mut DdpConfig) {
         match self {
             MemorySetting::Vanilla => {
@@ -78,6 +87,31 @@ pub struct SettingProfile {
     pub exposed_comm_per_step: f64,
 }
 
+impl SettingProfile {
+    /// Publishes this row into the telemetry metrics registry under
+    /// `table2.<slug>.*`, the same channel the bench tables and JSONL
+    /// metric events read from.
+    pub fn publish_telemetry(&self) {
+        let slug = self.setting.slug();
+        matgnn_telemetry::gauge_set(
+            format!("table2.{slug}.peak.total_bytes"),
+            self.peak_total as f64,
+        );
+        matgnn_telemetry::gauge_set(
+            format!("table2.{slug}.step_wall_us"),
+            self.step_wall.as_micros() as f64,
+        );
+        matgnn_telemetry::gauge_set(
+            format!("table2.{slug}.comm.modeled_seconds_per_step"),
+            self.modeled_comm_per_step,
+        );
+        matgnn_telemetry::gauge_set(
+            format!("table2.{slug}.comm.exposed_seconds_per_step"),
+            self.exposed_comm_per_step,
+        );
+    }
+}
+
 /// Runs all three settings on the same model/data/batch configuration and
 /// returns their profiles in Table II order.
 ///
@@ -100,14 +134,16 @@ where
             let mut replica = model.clone();
             let report = train_ddp(&mut replica, train, normalizer, &cfg);
             let rank0 = &report.ranks[0];
-            SettingProfile {
+            let profile = SettingProfile {
                 setting,
                 peak_total: rank0.peak_total,
                 peak: rank0.peak,
                 step_wall: report.mean_step_wall(),
                 modeled_comm_per_step: rank0.comm.modeled_seconds / report.steps.max(1) as f64,
                 exposed_comm_per_step: rank0.comm.exposed_seconds() / report.steps.max(1) as f64,
-            }
+            };
+            profile.publish_telemetry();
+            profile
         })
         .collect()
 }

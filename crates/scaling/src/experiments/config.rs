@@ -96,9 +96,13 @@ impl ExperimentConfig {
         }
     }
 
-    /// Emits a progress line when verbose.
+    /// Emits a progress line: always recorded as a structured telemetry
+    /// event (a no-op until telemetry is initialised); mirrored to stderr
+    /// only when verbose and no telemetry sink is active, so experiment
+    /// runs with `--telemetry` keep a clean terminal.
     pub fn progress(&self, msg: &str) {
-        if self.verbose {
+        matgnn_telemetry::log_event("experiment.progress", msg);
+        if self.verbose && !matgnn_telemetry::enabled() {
             eprintln!("[matgnn] {msg}");
         }
     }

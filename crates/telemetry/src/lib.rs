@@ -1,0 +1,134 @@
+//! Unified telemetry: hierarchical spans, a process-wide metrics registry,
+//! per-rank JSONL event logs, and a `chrome://tracing`-compatible trace
+//! exporter.
+//!
+//! The layer is strictly observational: enabling it must not change a
+//! single bit of any training trajectory. Every hook therefore reads
+//! wall-clock time and writes to side channels only — no telemetry call
+//! feeds back into model math, RNG state, scheduling, or allocation
+//! of tensors.
+//!
+//! # Span model
+//!
+//! [`span`] returns an RAII guard; dropping it closes the interval and
+//! emits one event. Guards nest on a thread-local depth counter, so the
+//! JSONL log and the Chrome trace reconstruct the full tree even across
+//! panics (drops run during unwinding, so the stack unwinds cleanly).
+//! When telemetry is disabled the guard is inert: no clock read, no
+//! allocation, no lock — a single relaxed atomic load.
+//!
+//! # Cross-thread attribution
+//!
+//! Events are tagged with the emitting thread's *telemetry rank*
+//! ([`set_rank`]), the current step ([`set_step`]), and a small
+//! process-unique thread id. Helper threads (pool workers, prefetch
+//! producers, the DDP comm thread) adopt the rank of the logical actor
+//! they serve via [`set_rank_raw`]/[`rank_raw`] or the scoped
+//! [`RankScope`], so a flame timeline groups work under the rank that
+//! asked for it, not the OS thread that happened to run it.
+//!
+//! # Sinks
+//!
+//! With an output directory ([`init`] or `MATGNN_TELEMETRY`), each rank
+//! gets `events-rank{N}.jsonl` (unranked threads share
+//! `events-unranked.jsonl`); one line per span close / metric flush /
+//! log event, flushed per line so a fault-injected crash loses at most
+//! the line being written. [`shutdown`] additionally writes
+//! `trace.json`, loadable in Perfetto or `chrome://tracing`.
+
+mod metrics;
+mod sink;
+mod span;
+
+pub mod json;
+
+pub use metrics::{
+    counter_add, counter_set, flush_metrics, gauge_set, histogram_record, reset_metrics, snapshot,
+    MetricValue,
+};
+pub use sink::{active_dir, init, init_from_env, log_event, shutdown};
+pub use span::{span, RankScope, Span};
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Environment variable checked by [`init_from_env`]: when set to a
+/// directory path, telemetry is enabled with that directory as the sink.
+pub const ENV_VAR: &str = "MATGNN_TELEMETRY";
+
+/// Schema version stamped on every JSONL line as `"v"`.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Rank tag used for threads that never called [`set_rank`].
+pub const UNRANKED: i64 = -1;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether telemetry is currently recording. A single relaxed load —
+/// this is the fast path every disabled-mode hook takes.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static RANK: Cell<i64> = const { Cell::new(UNRANKED) };
+    static STEP: Cell<i64> = const { Cell::new(-1) };
+    static TID: Cell<u64> = const { Cell::new(0) };
+    pub(crate) static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Tags every subsequent event from this thread with `rank`.
+pub fn set_rank(rank: usize) {
+    RANK.with(|r| r.set(rank as i64));
+}
+
+/// Clears this thread's rank tag back to [`UNRANKED`].
+pub fn clear_rank() {
+    RANK.with(|r| r.set(UNRANKED));
+}
+
+/// Raw rank tag of the current thread ([`UNRANKED`] if never set). Use
+/// with [`set_rank_raw`] to propagate attribution into helper threads.
+pub fn rank_raw() -> i64 {
+    RANK.with(|r| r.get())
+}
+
+/// Restores a rank tag captured with [`rank_raw`] (helper-thread
+/// attribution: capture on the spawning thread, set in the new thread).
+pub fn set_rank_raw(rank: i64) {
+    RANK.with(|r| r.set(rank));
+}
+
+/// Tags every subsequent event from this thread with training step `step`.
+pub fn set_step(step: u64) {
+    STEP.with(|s| s.set(step as i64));
+}
+
+/// Clears this thread's step tag (events show `"step":-1`).
+pub fn clear_step() {
+    STEP.with(|s| s.set(-1));
+}
+
+pub(crate) fn step_raw() -> i64 {
+    STEP.with(|s| s.get())
+}
+
+/// Small process-unique id of the current thread, assigned on first use.
+pub(crate) fn tid() -> u64 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            return v;
+        }
+        let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        t.set(v);
+        v
+    })
+}

@@ -1,0 +1,176 @@
+//! Process-wide metrics registry: named counters, gauges, and
+//! histograms behind one [`snapshot`] API with deterministic ordering.
+//!
+//! The registry is always live (it does not require an active sink), so
+//! callers like `StepProfile` and `table2` can build reports from
+//! [`snapshot`] without enabling file output. It is updated at step or
+//! report granularity — never from per-element hot loops — so a plain
+//! `Mutex<BTreeMap>` is plenty, and the `BTreeMap` makes snapshot
+//! ordering deterministic by construction.
+//!
+//! Naming convention: dot-separated lowercase paths,
+//! `<subsystem>.<thing>[.<aspect>]` — e.g. `recycler.hits`,
+//! `comm.bytes_moved`, `train.loss`, `memory.peak.activations_mib`.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+/// One registered metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic (or externally-absorbed) event count.
+    Counter(u64),
+    /// Last-write-wins instantaneous value.
+    Gauge(f64),
+    /// Streaming summary of recorded samples.
+    Histogram {
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    },
+}
+
+impl MetricValue {
+    /// Collapses the metric to one number for the JSONL metrics flush
+    /// (histograms report their mean; full moments stay in [`snapshot`]).
+    pub fn scalar(&self) -> f64 {
+        match self {
+            MetricValue::Counter(v) => *v as f64,
+            MetricValue::Gauge(v) => *v,
+            MetricValue::Histogram { count, sum, .. } => {
+                if *count == 0 {
+                    0.0
+                } else {
+                    sum / *count as f64
+                }
+            }
+        }
+    }
+}
+
+type Registry = BTreeMap<Cow<'static, str>, MetricValue>;
+
+static REGISTRY: Mutex<Registry> = Mutex::new(BTreeMap::new());
+
+fn registry() -> MutexGuard<'static, Registry> {
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Adds `delta` to the named counter (creating it at zero).
+pub fn counter_add(name: impl Into<Cow<'static, str>>, delta: u64) {
+    let mut reg = registry();
+    match reg.entry(name.into()).or_insert(MetricValue::Counter(0)) {
+        MetricValue::Counter(v) => *v = v.saturating_add(delta),
+        other => *other = MetricValue::Counter(delta),
+    }
+}
+
+/// Sets the named counter to an absolute value — used to absorb
+/// externally-maintained atomics (recycler stats, comm byte counts)
+/// into the registry at flush points.
+pub fn counter_set(name: impl Into<Cow<'static, str>>, value: u64) {
+    registry().insert(name.into(), MetricValue::Counter(value));
+}
+
+/// Sets the named gauge.
+pub fn gauge_set(name: impl Into<Cow<'static, str>>, value: f64) {
+    registry().insert(name.into(), MetricValue::Gauge(value));
+}
+
+/// Records one sample into the named histogram.
+pub fn histogram_record(name: impl Into<Cow<'static, str>>, value: f64) {
+    let mut reg = registry();
+    let entry = reg.entry(name.into()).or_insert(MetricValue::Histogram {
+        count: 0,
+        sum: 0.0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+    });
+    match entry {
+        MetricValue::Histogram {
+            count,
+            sum,
+            min,
+            max,
+        } => {
+            *count += 1;
+            *sum += value;
+            *min = min.min(value);
+            *max = max.max(value);
+        }
+        other => {
+            *other = MetricValue::Histogram {
+                count: 1,
+                sum: value,
+                min: value,
+                max: value,
+            }
+        }
+    }
+}
+
+/// All registered metrics in deterministic (lexicographic) order.
+pub fn snapshot() -> Vec<(String, MetricValue)> {
+    registry()
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
+}
+
+/// Clears the registry (test isolation and fresh runs).
+pub fn reset_metrics() {
+    registry().clear();
+}
+
+/// Emits one `"type":"metrics"` JSONL event holding a scalarised
+/// snapshot of the whole registry, tagged with the caller's rank/step.
+/// No-op when telemetry is disabled (the registry itself stays live).
+pub fn flush_metrics() {
+    if !crate::enabled() {
+        return;
+    }
+    let values: Vec<(String, f64)> = registry()
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.scalar()))
+        .collect();
+    crate::sink::record_metrics_flush(&values);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; run these assertions in one test
+    // body (Rust runs tests in parallel threads within one process).
+    #[test]
+    fn registry_roundtrip_and_ordering() {
+        reset_metrics();
+        counter_add("z.count", 2);
+        counter_add("z.count", 3);
+        gauge_set("a.gauge", 1.5);
+        histogram_record("m.hist", 2.0);
+        histogram_record("m.hist", 4.0);
+        counter_set("b.absolute", 7);
+
+        let snap = snapshot();
+        let names: Vec<&str> = snap.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["a.gauge", "b.absolute", "m.hist", "z.count"]);
+        assert_eq!(snap[3].1, MetricValue::Counter(5));
+        assert_eq!(snap[1].1, MetricValue::Counter(7));
+        assert_eq!(snap[0].1, MetricValue::Gauge(1.5));
+        assert_eq!(
+            snap[2].1,
+            MetricValue::Histogram {
+                count: 2,
+                sum: 6.0,
+                min: 2.0,
+                max: 4.0
+            }
+        );
+        assert_eq!(snap[2].1.scalar(), 3.0);
+        reset_metrics();
+        assert!(snapshot().is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! RAII span guards over a thread-local depth counter.
+
+use crate::{sink, DEPTH};
+
+/// Opens a named span. The returned guard closes it (and emits one
+/// event) when dropped; nesting follows guard scope. When telemetry is
+/// disabled this costs one relaxed atomic load and returns an inert
+/// guard — no clock read, no allocation.
+///
+/// `name` is `&'static str` on purpose: span names are a fixed,
+/// low-cardinality vocabulary (`"forward"`, `"comm.reduce"`, …), and a
+/// static name keeps the disabled path allocation-free by construction.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span {
+            name,
+            start_us: 0,
+            armed: false,
+        };
+    }
+    span_armed(name)
+}
+
+#[cold]
+fn span_armed(name: &'static str) -> Span {
+    DEPTH.with(|d| d.set(d.get() + 1));
+    Span {
+        name,
+        start_us: sink::now_us(),
+        armed: true,
+    }
+}
+
+/// Guard for an open span; see [`span`].
+#[must_use = "a span closes when the guard drops; binding it to `_` closes it immediately"]
+pub struct Span {
+    name: &'static str,
+    start_us: u64,
+    armed: bool,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // Depth is restored even when unwinding a panic: drops run
+        // during unwind, and each guard undoes exactly its own
+        // increment, so the counter cannot drift.
+        let depth = DEPTH.with(|d| {
+            let v = d.get().saturating_sub(1);
+            d.set(v);
+            v
+        });
+        let end_us = sink::now_us();
+        sink::record_span(
+            self.name,
+            self.start_us,
+            end_us.saturating_sub(self.start_us),
+            depth,
+        );
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("name", &self.name)
+            .field("armed", &self.armed)
+            .finish()
+    }
+}
+
+/// Scoped rank adoption for helper threads: tags events emitted while
+/// the guard lives with `rank`, restoring the previous tag on drop.
+/// Used by pool workers running chunks submitted from a rank thread.
+#[must_use = "the adopted rank reverts when the guard drops"]
+pub struct RankScope {
+    prev: i64,
+}
+
+impl RankScope {
+    /// Adopts `rank` (a value captured via [`crate::rank_raw`]) for the
+    /// current thread until the guard drops.
+    pub fn adopt(rank: i64) -> Self {
+        let prev = crate::rank_raw();
+        crate::set_rank_raw(rank);
+        RankScope { prev }
+    }
+}
+
+impl Drop for RankScope {
+    fn drop(&mut self) {
+        crate::set_rank_raw(self.prev);
+    }
+}

@@ -1,0 +1,63 @@
+//! Disabled-mode overhead contract: opening and dropping spans while
+//! telemetry is off performs **zero heap allocations** and never reads
+//! the clock. This lives in its own integration-test binary so the
+//! counting allocator observes a process where telemetry is never
+//! enabled and no other test's allocations interleave.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_spans_allocate_nothing() {
+    assert!(!matgnn_telemetry::enabled());
+    // Touch the thread-locals once outside the measured window (their
+    // lazy init is a one-time cost, not per-span overhead).
+    {
+        let _warmup = matgnn_telemetry::span("warmup");
+    }
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..10_000 {
+        let _root = matgnn_telemetry::span("step");
+        let _leaf = matgnn_telemetry::span("forward");
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "disabled span guards must not allocate");
+}
+
+#[test]
+fn disabled_rank_and_step_tags_allocate_nothing() {
+    assert!(!matgnn_telemetry::enabled());
+    matgnn_telemetry::set_rank(0);
+    matgnn_telemetry::set_step(0);
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for step in 0..10_000u64 {
+        matgnn_telemetry::set_step(step);
+        let captured = matgnn_telemetry::rank_raw();
+        let _scope = matgnn_telemetry::RankScope::adopt(captured);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "disabled tag updates must not allocate");
+    matgnn_telemetry::clear_step();
+    matgnn_telemetry::clear_rank();
+}

@@ -1,0 +1,329 @@
+//! Integration tests for the enabled telemetry path: sink files, span
+//! nesting, unwind safety, cross-thread attribution, and the JSONL
+//! schema. These live in their own integration-test binary (one
+//! process) because telemetry state is process-global.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use matgnn_telemetry as telemetry;
+use telemetry::json::{self, Json};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "matgnn-telemetry-test-{pid}-{seq}-{tag}",
+        pid = std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn read_lines(path: &PathBuf) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .unwrap_or_default()
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// One process-global test: telemetry enable/disable is global state,
+/// so the scenarios run sequentially in a single test body.
+#[test]
+fn telemetry_end_to_end() {
+    span_tree_nesting_and_schema();
+    unwind_restores_depth_and_logs_spans();
+    cross_thread_rank_attribution();
+    metrics_and_log_events_validate();
+    golden_line_shapes();
+    trace_json_is_valid_and_loadable();
+}
+
+fn span_tree_nesting_and_schema() {
+    let dir = scratch_dir("nesting");
+    telemetry::init(&dir).unwrap();
+    telemetry::set_rank(0);
+    telemetry::set_step(7);
+    {
+        let _step = telemetry::span("step");
+        {
+            let _fwd = telemetry::span("forward");
+            let _inner = telemetry::span("message_passing");
+        }
+        let _bwd = telemetry::span("backward");
+    }
+    telemetry::clear_step();
+    telemetry::clear_rank();
+    telemetry::shutdown();
+
+    let lines = read_lines(&dir.join("events-rank0.jsonl"));
+    assert_eq!(lines.len(), 4, "one line per closed span: {lines:?}");
+    for line in &lines {
+        json::validate_event_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+    }
+    // Spans close innermost-first; depth is 0-based from the root.
+    let parsed: Vec<Json> = lines.iter().map(|l| json::parse(l).unwrap()).collect();
+    let name_depth: Vec<(String, f64)> = parsed
+        .iter()
+        .map(|v| {
+            (
+                v.get("name").unwrap().as_str().unwrap().to_string(),
+                v.get("depth").unwrap().as_num().unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(
+        name_depth,
+        vec![
+            ("message_passing".to_string(), 2.0),
+            ("forward".to_string(), 1.0),
+            ("backward".to_string(), 1.0),
+            ("step".to_string(), 0.0),
+        ]
+    );
+    // Every event carries the step tag set by the trainer.
+    for v in &parsed {
+        assert_eq!(v.get("step").unwrap().as_num(), Some(7.0));
+        assert_eq!(v.get("rank").unwrap().as_num(), Some(0.0));
+    }
+    // Parent spans fully contain their children in time.
+    let by_name = |n: &str| {
+        parsed
+            .iter()
+            .find(|v| v.get("name").unwrap().as_str() == Some(n))
+            .unwrap()
+    };
+    let interval = |v: &Json| {
+        let ts = v.get("ts_us").unwrap().as_num().unwrap();
+        let dur = v.get("dur_us").unwrap().as_num().unwrap();
+        (ts, ts + dur)
+    };
+    let (step_lo, step_hi) = interval(by_name("step"));
+    for child in ["forward", "backward", "message_passing"] {
+        let (lo, hi) = interval(by_name(child));
+        assert!(
+            step_lo <= lo && hi <= step_hi,
+            "{child} [{lo},{hi}] outside step [{step_lo},{step_hi}]"
+        );
+    }
+}
+
+fn unwind_restores_depth_and_logs_spans() {
+    let dir = scratch_dir("unwind");
+    telemetry::init(&dir).unwrap();
+    telemetry::set_rank(1);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _outer = telemetry::span("outer");
+        let _inner = telemetry::span("inner");
+        panic!("injected fault");
+    }));
+    assert!(result.is_err());
+    // Depth drained back to zero during unwind: a fresh span records
+    // at depth 0 and the sink is still writable.
+    {
+        let _after = telemetry::span("after_panic");
+    }
+    telemetry::clear_rank();
+    telemetry::shutdown();
+
+    let lines = read_lines(&dir.join("events-rank1.jsonl"));
+    let parsed: Vec<Json> = lines.iter().map(|l| json::parse(l).unwrap()).collect();
+    let depth_of = |n: &str| {
+        parsed
+            .iter()
+            .find(|v| v.get("name").unwrap().as_str() == Some(n))
+            .unwrap_or_else(|| panic!("missing span {n} in {lines:?}"))
+            .get("depth")
+            .unwrap()
+            .as_num()
+            .unwrap()
+    };
+    // Both panicked-through spans still closed (guards drop on unwind)…
+    assert_eq!(depth_of("inner"), 1.0);
+    assert_eq!(depth_of("outer"), 0.0);
+    // …and the counter was restored, not leaked.
+    assert_eq!(depth_of("after_panic"), 0.0);
+}
+
+fn cross_thread_rank_attribution() {
+    let dir = scratch_dir("xthread");
+    telemetry::init(&dir).unwrap();
+    telemetry::set_rank(3);
+
+    // Helper-thread propagation: capture on the spawner, adopt in the
+    // helper — the pattern used by the prefetch producer and pool.
+    let captured = telemetry::rank_raw();
+    std::thread::spawn(move || {
+        let _scope = telemetry::RankScope::adopt(captured);
+        let _s = telemetry::span("helper_work");
+    })
+    .join()
+    .unwrap();
+
+    // A thread with no rank lands in the unranked file.
+    std::thread::spawn(|| {
+        let _s = telemetry::span("orphan_work");
+    })
+    .join()
+    .unwrap();
+
+    telemetry::clear_rank();
+    telemetry::shutdown();
+
+    let ranked = read_lines(&dir.join("events-rank3.jsonl"));
+    assert!(
+        ranked.iter().any(|l| l.contains("\"helper_work\"")),
+        "helper span not attributed to rank 3: {ranked:?}"
+    );
+    let unranked = read_lines(&dir.join("events-unranked.jsonl"));
+    assert!(
+        unranked.iter().any(|l| l.contains("\"orphan_work\"")),
+        "orphan span missing from unranked file: {unranked:?}"
+    );
+}
+
+fn metrics_and_log_events_validate() {
+    let dir = scratch_dir("metrics");
+    telemetry::init(&dir).unwrap();
+    telemetry::reset_metrics();
+    telemetry::set_rank(0);
+    telemetry::counter_add("test.counter", 41);
+    telemetry::counter_add("test.counter", 1);
+    telemetry::gauge_set("test.gauge", 2.25);
+    telemetry::histogram_record("test.hist", 1.0);
+    telemetry::histogram_record("test.hist", 3.0);
+    telemetry::flush_metrics();
+    telemetry::log_event("unit.test", "hello \"quoted\" world\n");
+    telemetry::clear_rank();
+    telemetry::shutdown();
+    telemetry::reset_metrics();
+
+    let lines = read_lines(&dir.join("events-rank0.jsonl"));
+    assert_eq!(lines.len(), 2);
+    for line in &lines {
+        json::validate_event_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+    }
+    let metrics = json::parse(&lines[0]).unwrap();
+    let values = metrics.get("values").unwrap();
+    assert_eq!(values.get("test.counter").unwrap().as_num(), Some(42.0));
+    assert_eq!(values.get("test.gauge").unwrap().as_num(), Some(2.25));
+    assert_eq!(values.get("test.hist").unwrap().as_num(), Some(2.0)); // mean
+    let log = json::parse(&lines[1]).unwrap();
+    assert_eq!(
+        log.get("msg").unwrap().as_str(),
+        Some("hello \"quoted\" world\n")
+    );
+}
+
+/// Golden-file shape test: the exact field layout of each event type is
+/// a compatibility contract for external consumers (the CI validator,
+/// Perfetto conversion scripts). Timestamps vary run to run, so the
+/// golden form replaces numeric values with `#` before comparing.
+fn golden_line_shapes() {
+    let dir = scratch_dir("golden");
+    telemetry::init(&dir).unwrap();
+    telemetry::reset_metrics();
+    telemetry::set_rank(0);
+    telemetry::set_step(3);
+    {
+        let _s = telemetry::span("golden_span");
+    }
+    telemetry::gauge_set("golden.gauge", 1.0);
+    telemetry::flush_metrics();
+    telemetry::log_event("golden.kind", "golden message");
+    telemetry::clear_step();
+    telemetry::clear_rank();
+    telemetry::shutdown();
+    telemetry::reset_metrics();
+
+    let lines = read_lines(&dir.join("events-rank0.jsonl"));
+    let normalized: Vec<String> = lines
+        .iter()
+        .map(|l| {
+            let mut out = String::new();
+            let mut in_num = false;
+            let mut in_str = false;
+            let mut escaped = false;
+            for c in l.chars() {
+                if in_str {
+                    out.push(c);
+                    if escaped {
+                        escaped = false;
+                    } else if c == '\\' {
+                        escaped = true;
+                    } else if c == '"' {
+                        in_str = false;
+                    }
+                    continue;
+                }
+                if c == '"' {
+                    out.push(c);
+                    in_str = true;
+                    in_num = false;
+                    continue;
+                }
+                let numeric = c.is_ascii_digit() || c == '.' || c == '-';
+                match (numeric, in_num) {
+                    (true, false) => {
+                        out.push('#');
+                        in_num = true;
+                    }
+                    (true, true) => {}
+                    (false, _) => {
+                        out.push(c);
+                        in_num = false;
+                    }
+                }
+            }
+            out
+        })
+        .collect();
+    let golden = vec![
+        r##"{"type":"span","v":#,"ts_us":#,"rank":#,"step":#,"tid":#,"name":"golden_span","dur_us":#,"depth":#}"##,
+        r##"{"type":"metrics","v":#,"ts_us":#,"rank":#,"step":#,"tid":#,"values":{"golden.gauge":#}}"##,
+        r##"{"type":"log","v":#,"ts_us":#,"rank":#,"step":#,"tid":#,"kind":"golden.kind","msg":"golden message"}"##,
+    ];
+    assert_eq!(
+        normalized, golden,
+        "JSONL schema drifted — update the schema version and consumers together"
+    );
+}
+
+fn trace_json_is_valid_and_loadable() {
+    let dir = scratch_dir("trace");
+    telemetry::init(&dir).unwrap();
+    telemetry::set_rank(0);
+    {
+        let _a = telemetry::span("outer");
+        let _b = telemetry::span("inner");
+    }
+    telemetry::clear_rank();
+    telemetry::shutdown();
+
+    let text = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+    let doc = json::parse(&text).unwrap();
+    let Some(Json::Arr(events)) = doc.get("traceEvents").cloned() else {
+        panic!("trace.json missing traceEvents array");
+    };
+    let complete: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .collect();
+    assert_eq!(complete.len(), 2);
+    for ev in &complete {
+        for field in ["ts", "dur", "pid", "tid"] {
+            assert!(
+                ev.get(field).and_then(Json::as_num).is_some(),
+                "trace event missing {field}: {ev:?}"
+            );
+        }
+    }
+    // Metadata names the rank's process track.
+    assert!(events.iter().any(|e| {
+        e.get("ph").and_then(Json::as_str) == Some("M")
+            && e.get("name").and_then(Json::as_str) == Some("process_name")
+    }));
+}

@@ -235,6 +235,23 @@ impl MemoryTracker {
     pub fn reset(&self) {
         *self.inner.lock() = Inner::default();
     }
+
+    /// Publishes the tracker's peak statistics into the process-wide
+    /// telemetry metrics registry as gauges under `{prefix}.peak.*`.
+    pub fn publish_telemetry(&self, prefix: &str) {
+        let inner = self.inner.lock();
+        matgnn_telemetry::gauge_set(
+            format!("{prefix}.peak.total_bytes"),
+            inner.peak_total as f64,
+        );
+        for cat in MemoryCategory::ALL {
+            let slug = cat.label().replace(' ', "_");
+            matgnn_telemetry::gauge_set(
+                format!("{prefix}.peak.{slug}_bytes"),
+                inner.at_peak.get(cat) as f64,
+            );
+        }
+    }
 }
 
 /// Formats a byte count with a binary-prefix unit (e.g. `3.2 MiB`).

@@ -95,6 +95,20 @@ pub fn set_thread_override(n: usize) {
     THREAD_OVERRIDE.store(n.min(MAX_THREADS), Ordering::Relaxed);
 }
 
+/// Lifetime totals of pool activity, absorbed into the telemetry
+/// registry by [`publish_telemetry`]. Relaxed atomics: these are
+/// counters for reporting, not synchronization.
+static JOBS_SUBMITTED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static CHUNKS_SUBMITTED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Publishes the pool's task counts and resolved size into the
+/// process-wide telemetry metrics registry (`pool.*`).
+pub fn publish_telemetry() {
+    matgnn_telemetry::counter_set("pool.jobs", JOBS_SUBMITTED.load(Ordering::Relaxed));
+    matgnn_telemetry::counter_set("pool.chunks", CHUNKS_SUBMITTED.load(Ordering::Relaxed));
+    matgnn_telemetry::gauge_set("pool.threads", num_threads() as f64);
+}
+
 // ----------------------------------------------------------------------
 // Pool internals
 // ----------------------------------------------------------------------
@@ -114,6 +128,10 @@ struct ActiveJob {
     done: Arc<AtomicUsize>,
     /// First panic payload raised by a chunk, if any.
     panic: Arc<Mutex<Option<Box<dyn Any + Send>>>>,
+    /// Telemetry rank of the submitting thread; workers adopt it while
+    /// draining this job so their spans attribute to the logical rank
+    /// that asked for the work (the pool is shared across DDP ranks).
+    rank: i64,
 }
 
 // SAFETY: the raw fn pointer targets a `Sync` closure that the submitting
@@ -192,6 +210,9 @@ fn worker_loop(shared: Arc<Shared>) {
 
 /// Claims and runs chunk tickets until the job is exhausted.
 fn drain_chunks(shared: &Shared, job: &ActiveJob) {
+    // Attribute any spans emitted inside chunks to the submitting rank
+    // (a no-op for the submitter itself, which already carries it).
+    let _rank = matgnn_telemetry::RankScope::adopt(job.rank);
     // SAFETY: the submitter keeps the closure alive until `done` reaches
     // `n_chunks`, which cannot happen before every claimed ticket (ours
     // included) has finished executing.
@@ -224,12 +245,15 @@ fn run_on_pool(n_chunks: usize, threads: usize, f: &(dyn Fn(usize) + Sync)) {
     // i.e. until no worker can touch `f` again.
     let f: *const (dyn Fn(usize) + Sync + 'static) =
         unsafe { std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), _>(f) };
+    JOBS_SUBMITTED.fetch_add(1, Ordering::Relaxed);
+    CHUNKS_SUBMITTED.fetch_add(n_chunks as u64, Ordering::Relaxed);
     let job = ActiveJob {
         f,
         n_chunks,
         next: Arc::new(AtomicUsize::new(0)),
         done: Arc::new(AtomicUsize::new(0)),
         panic: Arc::new(Mutex::new(None)),
+        rank: matgnn_telemetry::rank_raw(),
     };
     {
         let mut slot = lock(&pool.shared.slot);

@@ -232,6 +232,18 @@ pub fn stats() -> RecyclerStats {
     }
 }
 
+/// Publishes the recycler counters into the process-wide telemetry
+/// metrics registry (`recycler.*`).
+pub fn publish_telemetry() {
+    let s = stats();
+    matgnn_telemetry::counter_set("recycler.hits", s.hits);
+    matgnn_telemetry::counter_set("recycler.misses", s.misses);
+    matgnn_telemetry::counter_set("recycler.released", s.released);
+    matgnn_telemetry::counter_set("recycler.rejected", s.rejected);
+    matgnn_telemetry::counter_set("recycler.poisoned", s.poisoned);
+    matgnn_telemetry::counter_set("recycler.bytes_reused", s.bytes_reused);
+}
+
 /// Number of buffers currently sitting on the free list.
 pub fn pooled_buffers() -> usize {
     buckets()

@@ -46,6 +46,28 @@ impl StepProfile {
     pub fn optimizer_fraction(&self) -> f64 {
         self.peak.fraction(MemoryCategory::OptimizerState)
     }
+
+    /// Publishes the profile into the process-wide telemetry metrics
+    /// registry under `{prefix}.*` — the shared reporting channel the
+    /// bench tables and JSONL metric flushes read from.
+    pub fn publish_telemetry(&self, prefix: &str) {
+        matgnn_telemetry::gauge_set(format!("{prefix}.peak.total_bytes"), self.peak_total as f64);
+        for cat in MemoryCategory::ALL {
+            let slug = cat.label().replace(' ', "_");
+            matgnn_telemetry::gauge_set(
+                format!("{prefix}.peak.{slug}_bytes"),
+                self.peak.get(cat) as f64,
+            );
+        }
+        matgnn_telemetry::gauge_set(format!("{prefix}.wall_us"), self.wall.as_micros() as f64);
+        matgnn_telemetry::gauge_set(format!("{prefix}.loss"), self.loss);
+        matgnn_telemetry::counter_set(format!("{prefix}.recycler.hits"), self.recycler.hits);
+        matgnn_telemetry::counter_set(format!("{prefix}.recycler.misses"), self.recycler.misses);
+        matgnn_telemetry::counter_set(
+            format!("{prefix}.recycler.bytes_reused"),
+            self.recycler.bytes_reused,
+        );
+    }
 }
 
 /// Runs one fully-profiled training step (forward, backward, Adam update)
@@ -67,6 +89,7 @@ pub fn profile_step<M: GnnModel>(
     let mut optimizer = Adam::new(model.params(), AdamHyper::default(), Some(tracker.clone()));
     tracker.snapshot("steady state (weights + optimizer)");
 
+    let profile_span = matgnn_telemetry::span("profile.step");
     let start = Instant::now();
     let outcome = train_step(
         model,
@@ -88,6 +111,7 @@ pub fn profile_step<M: GnnModel>(
         g.recycle();
     }
     let wall = start.elapsed();
+    drop(profile_span);
 
     let profile = StepProfile {
         peak_total: tracker.peak_total(),
@@ -97,6 +121,11 @@ pub fn profile_step<M: GnnModel>(
         loss: outcome.loss,
         recycler: recycler::stats().delta_since(&recycler_before),
     };
+    profile.publish_telemetry(if checkpointed {
+        "profile.ckpt"
+    } else {
+        "profile.vanilla"
+    });
     drop(optimizer); // frees optimizer-state accounting
     tracker.free(MemoryCategory::Weights, weight_bytes);
     profile

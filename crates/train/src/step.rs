@@ -80,21 +80,32 @@ fn vanilla_impl<M: GnnModel + ?Sized>(
     sink: Option<&mut dyn FnMut(usize, Tensor)>,
 ) -> StepOutcome {
     let mut tape = new_tape(tracker);
-    let pvars = model.params().bind(&mut tape);
-    let out = model.forward(&mut tape, &pvars, batch);
-    let loss = loss_cfg.compute(&mut tape, out, batch, targets);
-    let loss_val = tape.value(loss).item() as f64;
+    let (pvars, out) = {
+        let _span = matgnn_telemetry::span("forward");
+        let pvars = model.params().bind(&mut tape);
+        let out = model.forward(&mut tape, &pvars, batch);
+        (pvars, out)
+    };
+    let (loss, loss_val) = {
+        let _span = matgnn_telemetry::span("loss");
+        let loss = loss_cfg.compute(&mut tape, out, batch, targets);
+        let loss_val = tape.value(loss).item() as f64;
+        (loss, loss_val)
+    };
     if let Some(t) = tracker {
         t.snapshot("after forward");
     }
-    let g = match sink {
-        Some(s) => {
-            let _ = tape.backward_with_leaf_sink(loss, &pvars, s);
-            Vec::new()
-        }
-        None => {
-            let mut grads = tape.backward(loss);
-            collect_param_grads(model.params(), &pvars, &mut grads)
+    let g = {
+        let _span = matgnn_telemetry::span("backward");
+        match sink {
+            Some(s) => {
+                let _ = tape.backward_with_leaf_sink(loss, &pvars, s);
+                Vec::new()
+            }
+            None => {
+                let mut grads = tape.backward(loss);
+                collect_param_grads(model.params(), &pvars, &mut grads)
+            }
         }
     };
     if let Some(t) = tracker {
@@ -151,6 +162,7 @@ fn checkpointed_impl<M: GnnModel + ?Sized>(
 
     // ---- Forward: store only boundary states -------------------------
     // boundaries[k] = input state of segment k; boundaries[n_seg] = output.
+    let fwd_span = matgnn_telemetry::span("forward");
     let mut boundaries: Vec<Vec<Tensor>> = Vec::with_capacity(n_seg + 1);
     boundaries.push(Vec::new());
     let mut boundary_bytes: Vec<u64> = vec![0; n_seg + 1];
@@ -176,8 +188,10 @@ fn checkpointed_impl<M: GnnModel + ?Sized>(
     if let Some(t) = tracker {
         t.snapshot("after forward (checkpointed)");
     }
+    drop(fwd_span);
 
     // ---- Backward: recompute segment-by-segment in reverse -----------
+    let bwd_span = matgnn_telemetry::span("backward");
     let mut param_grads: Vec<Option<Tensor>> = (0..params.len()).map(|_| None).collect();
     let mut state_seeds: Vec<Tensor> = Vec::new();
     let mut loss_val = 0.0f64;
@@ -203,7 +217,10 @@ fn checkpointed_impl<M: GnnModel + ?Sized>(
                 energy: out_vars[0],
                 forces: out_vars[1],
             };
-            let loss = loss_cfg.compute(&mut tape, out, batch, targets);
+            let loss = {
+                let _span = matgnn_telemetry::span("loss");
+                loss_cfg.compute(&mut tape, out, batch, targets)
+            };
             loss_val = tape.value(loss).item() as f64;
             match &mut sink {
                 Some(s) => {
@@ -267,6 +284,7 @@ fn checkpointed_impl<M: GnnModel + ?Sized>(
     if let Some(t) = tracker {
         t.snapshot("after backward (checkpointed)");
     }
+    drop(bwd_span);
 
     let grads = if sink.is_some() {
         Vec::new()

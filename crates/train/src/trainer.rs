@@ -249,6 +249,7 @@ impl Trainer {
                          optimizer: &mut Adam,
                          step: &mut usize| {
                 let Some(mut grads) = buf.take() else { return };
+                let _span = matgnn_telemetry::span("optimizer");
                 if *micro > 1 {
                     let inv = 1.0 / *micro as f32;
                     for g in &mut grads {
@@ -267,6 +268,15 @@ impl Trainer {
                 }
                 *step += 1;
                 *micro = 0;
+                matgnn_telemetry::gauge_set("train.lr", lr as f64);
+                matgnn_telemetry::counter_add("train.steps", 1);
+                if matgnn_telemetry::enabled() {
+                    // Absorb the stat islands and emit one step-tagged
+                    // metrics line per optimizer step.
+                    matgnn_tensor::recycler::publish_telemetry();
+                    matgnn_tensor::pool::publish_telemetry();
+                    matgnn_telemetry::flush_metrics();
+                }
             };
             // Depth 0 loads synchronously on this thread; otherwise a
             // background producer runs the identical iterator ahead of the
@@ -287,9 +297,18 @@ impl Trainer {
                         .skip(skip_batches),
                 )
             };
-            for (batch, targets) in batches {
+            let mut batches = batches;
+            loop {
+                matgnn_telemetry::set_step(step as u64);
+                let item = {
+                    let _span = matgnn_telemetry::span("data.load");
+                    batches.next()
+                };
+                let Some((batch, targets)) = item else { break };
+                let _step_span = matgnn_telemetry::span("step");
                 let outcome =
                     train_step(model, &batch, &targets, &cfg.loss, cfg.checkpointing, None);
+                matgnn_telemetry::gauge_set("train.loss", outcome.loss);
                 epoch_loss += outcome.loss;
                 n_batches += 1;
                 match &mut accum_buf {
@@ -328,8 +347,10 @@ impl Trainer {
             flush(&mut accum_buf, &mut micro, model, &mut optimizer, &mut step);
 
             let train_loss = epoch_loss / n_batches.max(1) as f64;
-            let test_loss =
-                test.map(|t| evaluate(model, t, normalizer, &cfg.loss, cfg.batch_size).loss);
+            let test_loss = test.map(|t| {
+                let _span = matgnn_telemetry::span("evaluate");
+                evaluate(model, t, normalizer, &cfg.loss, cfg.batch_size).loss
+            });
             epochs.push(EpochStats {
                 epoch,
                 train_loss,
@@ -368,6 +389,7 @@ impl Trainer {
             }
         }
 
+        matgnn_telemetry::clear_step();
         let final_eval = test.map(|t| evaluate(model, t, normalizer, &cfg.loss, cfg.batch_size));
         TrainReport {
             epochs,

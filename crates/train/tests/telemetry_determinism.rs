@@ -1,0 +1,80 @@
+//! Bitwise guard: enabling telemetry must not change a single bit of a
+//! training trajectory — the same discipline the pool/recycler/prefetch
+//! suites enforce. Own integration-test binary: telemetry enable state
+//! is process-global.
+
+use matgnn_data::{Dataset, GeneratorConfig, Normalizer};
+use matgnn_model::{Egnn, EgnnConfig, GnnModel};
+use matgnn_train::{TrainConfig, Trainer};
+
+fn run_training() -> (Vec<u64>, Vec<u32>) {
+    let (train, test) = Dataset::generate_split(24, 0.25, 13, &GeneratorConfig::default());
+    let norm = Normalizer::fit(&train);
+    let mut model = Egnn::new(EgnnConfig::new(8, 3).with_seed(7));
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 6,
+        seed: 5,
+        checkpointing: true,
+        prefetch_depth: 2,
+        ..Default::default()
+    };
+    let report = Trainer::new(cfg).fit(&mut model, &train, Some(&test), &norm);
+    let losses: Vec<u64> = report
+        .epochs
+        .iter()
+        .flat_map(|e| {
+            [
+                e.train_loss.to_bits(),
+                e.test_loss.unwrap_or(f64::NAN).to_bits(),
+            ]
+        })
+        .collect();
+    let params: Vec<u32> = model
+        .params()
+        .flatten()
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    (losses, params)
+}
+
+#[test]
+fn telemetry_on_and_off_trajectories_are_bitwise_identical() {
+    let off = run_training();
+
+    let dir = std::env::temp_dir().join(format!(
+        "matgnn-train-telemetry-bitwise-{pid}",
+        pid = std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    matgnn_telemetry::init(&dir).unwrap();
+    matgnn_telemetry::set_rank(0);
+    let on = run_training();
+    matgnn_telemetry::clear_rank();
+    matgnn_telemetry::shutdown();
+
+    assert_eq!(off.0, on.0, "per-epoch losses diverged under telemetry");
+    assert_eq!(off.1, on.1, "final parameters diverged under telemetry");
+
+    // While we are here: the enabled run actually produced events for
+    // every expected training phase.
+    let log = std::fs::read_to_string(dir.join("events-rank0.jsonl")).unwrap();
+    for phase in [
+        "\"data.load\"",
+        "\"step\"",
+        "\"forward\"",
+        "\"loss\"",
+        "\"backward\"",
+        "\"optimizer\"",
+        "\"evaluate\"",
+        "\"prefetch.producer\"",
+        "\"data.graph_build\"",
+    ] {
+        assert!(log.contains(phase), "missing {phase} span in event log");
+    }
+    for line in log.lines() {
+        matgnn_telemetry::json::validate_event_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+    }
+}

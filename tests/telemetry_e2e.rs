@@ -1,0 +1,151 @@
+//! End-to-end telemetry acceptance for the simulated multi-rank runtime:
+//! a 2-rank DDP run with telemetry enabled must (a) be bitwise identical
+//! to the same run with telemetry off, (b) emit one JSONL event log per
+//! rank in which every line validates against the schema and every
+//! training phase (data, forward, backward, optimizer, comm) appears,
+//! (c) produce per-step span trees covering ≥95% of step wall time, and
+//! (d) write a Chrome trace that parses.
+//!
+//! Own test binary: the telemetry enable state is process-global.
+
+use matgnn::prelude::*;
+use matgnn::telemetry;
+
+fn ddp_config() -> DdpConfig {
+    DdpConfig {
+        world: 2,
+        epochs: 2,
+        batch_size: 4,
+        seed: 11,
+        grad_clip: None,
+        overlap_comm: true,
+        prefetch_depth: 2,
+        ..Default::default()
+    }
+}
+
+fn run_ddp() -> (Vec<u64>, Vec<u32>) {
+    let ds = Dataset::generate_aggregate(32, 51, &GeneratorConfig::default());
+    let norm = Normalizer::fit(&ds);
+    let mut model = Egnn::new(EgnnConfig::new(16, 4).with_seed(3));
+    let report = train_ddp(&mut model, &ds, &norm, &ddp_config());
+    let losses: Vec<u64> = report.epoch_loss.iter().map(|l| l.to_bits()).collect();
+    let params: Vec<u32> = model
+        .params()
+        .flatten()
+        .data()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    (losses, params)
+}
+
+/// One span event pulled out of a JSONL log.
+struct SpanEvent {
+    name: String,
+    ts_us: f64,
+    dur_us: f64,
+    depth: f64,
+    tid: f64,
+}
+
+fn read_spans(path: &std::path::Path) -> Vec<SpanEvent> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let mut spans = Vec::new();
+    for line in text.lines() {
+        telemetry::json::validate_event_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        let v = telemetry::json::parse(line).expect("validated line parses");
+        if v.get("type").and_then(|t| t.as_str()) != Some("span") {
+            continue;
+        }
+        let num = |k: &str| v.get(k).and_then(|x| x.as_num()).expect("numeric field");
+        spans.push(SpanEvent {
+            name: v
+                .get("name")
+                .and_then(|n| n.as_str())
+                .expect("span name")
+                .to_string(),
+            ts_us: num("ts_us"),
+            dur_us: num("dur_us"),
+            depth: num("depth"),
+            tid: num("tid"),
+        });
+    }
+    spans
+}
+
+/// Fraction of the summed `step` span time covered by direct children
+/// (same thread, one level deeper, inside the step's interval).
+fn step_coverage(spans: &[SpanEvent]) -> f64 {
+    let steps: Vec<&SpanEvent> = spans.iter().filter(|s| s.name == "step").collect();
+    assert!(!steps.is_empty(), "no step spans recorded");
+    let mut total = 0.0;
+    let mut covered = 0.0;
+    for step in &steps {
+        total += step.dur_us;
+        covered += spans
+            .iter()
+            .filter(|s| {
+                s.tid == step.tid
+                    && s.depth == step.depth + 1.0
+                    && s.ts_us >= step.ts_us
+                    && s.ts_us + s.dur_us <= step.ts_us + step.dur_us + 1.0
+            })
+            .map(|s| s.dur_us)
+            .sum::<f64>();
+    }
+    covered / total.max(1.0)
+}
+
+#[test]
+fn ddp_telemetry_is_bitwise_invisible_and_logs_cover_steps() {
+    let off = run_ddp();
+
+    let dir = std::env::temp_dir().join(format!(
+        "matgnn-telemetry-e2e-{pid}",
+        pid = std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    telemetry::init(&dir).unwrap();
+    let on = run_ddp();
+    telemetry::shutdown();
+
+    assert_eq!(off.0, on.0, "epoch losses diverged under telemetry");
+    assert_eq!(off.1, on.1, "final parameters diverged under telemetry");
+
+    // One event log per rank, every line schema-valid.
+    for rank in 0..2 {
+        let spans = read_spans(&dir.join(format!("events-rank{rank}.jsonl")));
+        let names: std::collections::HashSet<&str> =
+            spans.iter().map(|s| s.name.as_str()).collect();
+        for phase in ["data.load", "step", "forward", "backward", "optimizer"] {
+            assert!(names.contains(phase), "rank {rank} missing {phase} span");
+        }
+        assert!(
+            names.iter().any(|n| n.starts_with("comm.")),
+            "rank {rank} has no communication spans"
+        );
+        let coverage = step_coverage(&spans);
+        assert!(
+            coverage >= 0.95,
+            "rank {rank} span tree covers only {:.1}% of step wall time",
+            100.0 * coverage
+        );
+    }
+
+    // The Chrome trace parses and carries the step lanes for Perfetto.
+    let trace = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+    let v = telemetry::json::parse(&trace).expect("trace.json parses");
+    let events = v.get("traceEvents").expect("traceEvents key");
+    let text = trace.as_str();
+    assert!(text.contains("\"step\""), "trace has no step events");
+    assert!(text.contains("process_name"), "trace has no process names");
+    // Spot-check shape: the array is non-trivial.
+    match events {
+        telemetry::json::Json::Arr(items) => assert!(items.len() > 10),
+        other => panic!("traceEvents is not an array: {other:?}"),
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
