@@ -84,20 +84,34 @@ USAGE:
   matgnn-cli train [--data FILE | --graphs N] [--params P] [--layers L]
                    [--epochs E] [--batch B] [--seed S] [--checkpointing]
                    [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
-                   [--save FILE]
+                   [--keep-checkpoints N] [--supervise] [--anomaly-window N]
+                   [--max-rollbacks N] [--save FILE]
       Train an EGNN (defaults: 10k params, 3 layers, 6 epochs, batch 8).
       With --checkpoint-dir, durable training checkpoints are written
       every N optimizer steps (and each epoch); --resume restarts from
-      the newest intact one with a bitwise-identical loss curve.
+      the newest intact one with a bitwise-identical loss curve;
+      --keep-checkpoints prunes all but the N newest (the supervisor's
+      rollback anchor is never pruned).
 
   matgnn-cli ddp [--data FILE | --graphs N] [--world W] [--params P]
                  [--layers L] [--epochs E] [--batch B] [--seed S] [--zero]
                  [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
-                 [--fault-plan SPEC]
+                 [--keep-checkpoints N] [--fault-plan SPEC] [--supervise]
+                 [--anomaly-window N] [--max-rollbacks N]
+                 [--progress-deadline-ms MS]
       Simulated multi-rank DDP training with fault tolerance. SPEC is a
-      `;`-separated fault list, e.g. `kill@rank1,step3;delay@rank2,step5,50ms`
-      (kinds: kill, delay, io). Survivors of a killed rank re-form a
-      smaller world and resume from the last checkpoint.
+      `;`-separated fault list, e.g. `kill@rank1,step3;nan@rank2,step5`
+      (kinds: kill, delay, io, hang, nan, spike). Survivors of a killed
+      rank re-form a smaller world and resume from the last checkpoint.
+
+Supervision: --supervise closes the detect→decide→recover loop — a
+NaN/Inf loss or parameter, or a loss spiking past the rolling-median
+threshold, rolls every rank back to the last good checkpoint and retries
+(at most --max-rollbacks times, with LR backoff on consecutive
+rollbacks). --anomaly-window sets the rolling-median window.
+--progress-deadline-ms arms a per-rank hang watchdog that cuts a rank
+making no step progress for that long (e.g. a `hang@` fault) and lets
+the survivors regroup.
 
   matgnn-cli evaluate --model FILE [--data FILE | --graphs N] [--seed S]
       Evaluate a saved model on a dataset.
@@ -126,7 +140,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             return Err(format!("expected --flag, got `{key}`"));
         };
         // Boolean flags take no value.
-        if matches!(name, "checkpointing" | "resume" | "zero") {
+        if matches!(name, "checkpointing" | "resume" | "zero" | "supervise") {
             opts.insert(name.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -156,6 +170,26 @@ fn get_u64(opts: &Opts, name: &str, default: u64) -> Result<u64, String> {
             .map_err(|_| format!("--{name} must be an integer, got `{v}`")),
         None => Ok(default),
     }
+}
+
+/// Builds the supervisor configuration from `--supervise`,
+/// `--anomaly-window`, and `--max-rollbacks`; the tuning flags without
+/// `--supervise` are an error rather than a silent no-op.
+fn supervision_opts(opts: &Opts) -> Result<Option<SupervisorConfig>, String> {
+    if !opts.contains_key("supervise") {
+        for flag in ["anomaly-window", "max-rollbacks"] {
+            if opts.contains_key(flag) {
+                return Err(format!("--{flag} requires --supervise"));
+            }
+        }
+        return Ok(None);
+    }
+    let defaults = SupervisorConfig::default();
+    Ok(Some(SupervisorConfig {
+        anomaly_window: get_usize(opts, "anomaly-window", defaults.anomaly_window)?,
+        max_rollbacks: get_usize(opts, "max-rollbacks", defaults.max_rollbacks as usize)? as u32,
+        ..defaults
+    }))
 }
 
 fn load_or_generate(opts: &Opts) -> Result<Dataset, String> {
@@ -249,7 +283,24 @@ fn cmd_train(opts: &Opts) -> Result<(), String> {
     } else if opts.contains_key("resume") {
         return Err("--resume requires --checkpoint-dir".into());
     }
+    trainer = trainer.keep_checkpoints(get_usize(opts, "keep-checkpoints", 0)?);
+    if let Some(sup) = supervision_opts(opts)? {
+        trainer = trainer.with_supervision(sup);
+        println!(
+            "supervised: anomaly window {}, up to {} rollbacks",
+            sup.anomaly_window, sup.max_rollbacks
+        );
+    }
     let report = trainer.fit(&mut model, &train, Some(&test), &norm);
+    if report.rollbacks > 0 || report.health != RunHealth::Healthy {
+        println!(
+            "supervisor: {} rollback(s), final health {:?}",
+            report.rollbacks, report.health
+        );
+    }
+    if report.health == RunHealth::Failed {
+        return Err("supervised run failed: rollback budget exhausted".into());
+    }
     for e in &report.epochs {
         println!(
             "  epoch {:>2}: train {:.4}, test {:.4}",
@@ -316,6 +367,16 @@ fn cmd_ddp(opts: &Opts) -> Result<(), String> {
         println!("warning: kill faults without --checkpoint-dir restart training from scratch");
     }
 
+    let supervise = supervision_opts(opts)?;
+    let progress_deadline = match opts.get("progress-deadline-ms") {
+        Some(v) => {
+            let ms: u64 = v
+                .parse()
+                .map_err(|_| format!("--progress-deadline-ms must be an integer, got `{v}`"))?;
+            Some(std::time::Duration::from_millis(ms))
+        }
+        None => None,
+    };
     let ddp_cfg = DdpConfig {
         world,
         epochs,
@@ -324,8 +385,11 @@ fn cmd_ddp(opts: &Opts) -> Result<(), String> {
         zero: opts.contains_key("zero"),
         checkpoint_dir,
         checkpoint_every: get_usize(opts, "checkpoint-every", 1)?,
+        keep_checkpoints: get_usize(opts, "keep-checkpoints", 0)?,
         resume: opts.contains_key("resume"),
         fault_plan,
+        supervise,
+        progress_deadline,
         ..Default::default()
     };
     println!(
@@ -342,6 +406,12 @@ fn cmd_ddp(opts: &Opts) -> Result<(), String> {
         println!(
             "ranks {:?} died; {} recovery cycle(s); finished with world {}",
             report.failed_ranks, report.recoveries, report.final_world
+        );
+    }
+    if report.rollbacks > 0 {
+        println!(
+            "supervisor: {} rollback(s) to the last good checkpoint",
+            report.rollbacks
         );
     }
     println!(

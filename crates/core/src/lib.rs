@@ -53,7 +53,7 @@ pub mod prelude {
     };
     pub use matgnn_dist::{
         run_memory_settings, train_ddp, CommError, Communicator, CostModel, DdpConfig, DdpReport,
-        FaultKind, FaultPlan, MemorySetting, ZeroAdam,
+        FailureHandle, FaultKind, FaultPlan, Heartbeat, MemorySetting, Watchdog, ZeroAdam,
     };
     pub use matgnn_graph::{AtomicStructure, Element, GraphBatch, MolGraph, NeighborList};
     pub use matgnn_model::checkpoint::{egnn_from_bytes, egnn_to_bytes, load_egnn, save_egnn};
@@ -66,7 +66,7 @@ pub mod prelude {
     };
     pub use matgnn_tensor::{MemoryCategory, MemoryTracker, Shape, Tape, Tensor, Var};
     pub use matgnn_train::{
-        evaluate, latest_in, LossConfig, LossKind, LrSchedule, TrainCheckpoint, TrainConfig,
-        TrainReport, Trainer,
+        evaluate, latest_in, LossConfig, LossKind, LrSchedule, RunHealth, SupervisorConfig,
+        TrainCheckpoint, TrainConfig, TrainReport, Trainer,
     };
 }

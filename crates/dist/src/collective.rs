@@ -29,6 +29,8 @@ use std::time::{Duration, Instant};
 
 use matgnn_tensor::recycler;
 
+use crate::supervisor::{Heartbeat, ParkGuard};
+
 /// Default per-collective rendezvous timeout.
 pub const DEFAULT_COMM_TIMEOUT: Duration = Duration::from_secs(30);
 
@@ -242,6 +244,38 @@ pub struct Communicator {
     /// `Drop` during a panic does not re-poison and `split_survivors`
     /// knows the handle is already detached.
     defunct: bool,
+    /// Optional hang-supervision pulse: blocking waits park it so the
+    /// watchdog distinguishes "waiting on peers" from "stalled".
+    heartbeat: Option<Arc<Heartbeat>>,
+}
+
+/// A detached handle that can declare `rank` dead and poison its group
+/// from another thread (the hang watchdog), without borrowing the rank's
+/// [`Communicator`]. Mirrors [`Communicator::mark_failed`].
+#[derive(Clone)]
+pub struct FailureHandle {
+    rank: usize,
+    inner: Arc<Inner>,
+}
+
+impl FailureHandle {
+    /// Declares the owning rank dead and poisons the group: peers blocked
+    /// in collectives wake with [`CommError::RankFailed`] and unwind into
+    /// elastic recovery, excluding this rank from the survivor set.
+    pub fn poison(&self) {
+        let mut st = self.inner.lock();
+        st.failed[self.rank] = true;
+        st.poisoned = true;
+        self.inner.cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for FailureHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailureHandle")
+            .field("rank", &self.rank)
+            .finish()
+    }
 }
 
 /// The contiguous shard `[start, end)` of a length-`len` vector owned by
@@ -255,10 +289,6 @@ pub fn shard_range(len: usize, world: usize, rank: usize) -> (usize, usize) {
 
 /// Ranks other than `rank`, ascending — the deterministic accumulation
 /// order every reduction in this module (flat or bucketed) follows.
-fn other_ranks(rank: usize, world: usize) -> impl Iterator<Item = usize> {
-    (0..world).filter(move |&r| r != rank)
-}
-
 /// Copies `data` into a recycler-backed staging buffer.
 fn staged_copy(data: &[f32]) -> Arc<Vec<f32>> {
     let mut buf = recycler::acquire(data.len());
@@ -313,6 +343,7 @@ impl Communicator {
                 inner: Arc::clone(&inner),
                 stats: CommStats::default(),
                 defunct: false,
+                heartbeat: None,
             })
             .collect()
     }
@@ -330,6 +361,35 @@ impl Communicator {
     /// The group's per-collective rendezvous timeout.
     pub fn timeout(&self) -> Duration {
         self.inner.timeout
+    }
+
+    /// Attaches (or detaches) this rank's hang-supervision heartbeat.
+    /// Blocking waits in this handle — and in [`BucketComm`] handles
+    /// created *after* the attach — park it so the watchdog knows the
+    /// rank is waiting on peers rather than stalled.
+    pub fn set_heartbeat(&mut self, hb: Option<Arc<Heartbeat>>) {
+        self.heartbeat = hb;
+    }
+
+    /// The attached heartbeat, if any.
+    pub fn heartbeat(&self) -> Option<&Arc<Heartbeat>> {
+        self.heartbeat.as_ref()
+    }
+
+    /// A detached handle the hang watchdog uses to declare this rank dead
+    /// from its own thread.
+    pub fn failure_handle(&self) -> FailureHandle {
+        FailureHandle {
+            rank: self.rank,
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Whether the group has been poisoned (by a failure, timeout, or
+    /// watchdog escalation). A hung rank polls this to learn that its own
+    /// watchdog gave up on it.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.lock().poisoned
     }
 
     /// Traffic accumulated by this rank (carried across
@@ -371,6 +431,7 @@ impl Communicator {
             inner: Arc::clone(&self.inner),
             stats: CommStats::default(),
             defunct: false,
+            heartbeat: self.heartbeat.clone(),
         }
     }
 
@@ -402,6 +463,9 @@ impl Communicator {
     /// the group is poisoned before returning, so peers unwind too.
     fn sync(&mut self) -> Result<(), CommError> {
         let _span = matgnn_telemetry::span("comm.rendezvous");
+        // Waiting on peers is not a stall: keep the hang watchdog quiet
+        // for the duration (the rendezvous timeout polices this wait).
+        let _park = self.heartbeat.clone().map(ParkGuard::new);
         let inner = Arc::clone(&self.inner);
         let mut st = inner.lock();
         if let Some(err) = self.failure(&st) {
@@ -507,6 +571,12 @@ impl Communicator {
     /// In-place all-reduce (sum): after the call every rank holds the
     /// element-wise sum of all ranks' vectors.
     ///
+    /// Every rank accumulates the staged contributions in canonical rank
+    /// order (0, 1, …, w−1), so the result is **bitwise identical on
+    /// every rank** — the same guarantee real NCCL gives, and what lets a
+    /// rank-0 checkpoint restore any rank's replica exactly (the
+    /// supervisor's rollback path depends on this).
+    ///
     /// Returns [`CommError::LengthMismatch`] (and poisons the group) if a
     /// peer contributed a vector of a different length.
     pub fn all_reduce_sum(&mut self, data: &mut [f32]) -> Result<(), CommError> {
@@ -519,14 +589,18 @@ impl Communicator {
         {
             let inner = Arc::clone(&self.inner);
             let mut st = inner.lock();
-            for r in other_ranks(self.rank, w) {
+            for r in 0..w {
                 let got = st.slots[r].as_ref().expect("missing contribution").len();
                 if got != data.len() {
                     return Err(self.length_mismatch(&mut st, data.len(), got));
                 }
                 let other = st.slots[r].as_ref().expect("missing contribution");
-                for (d, &o) in data.iter_mut().zip(other.iter()) {
-                    *d += o;
+                if r == 0 {
+                    data.copy_from_slice(other);
+                } else {
+                    for (d, &o) in data.iter_mut().zip(other.iter()) {
+                        *d += o;
+                    }
                 }
             }
         }
@@ -538,12 +612,15 @@ impl Communicator {
     }
 
     /// In-place all-reduce (mean), with the `1/world` scale fused into
-    /// the final accumulation pass: the last peer's contribution is
-    /// applied as `(d + o) * inv` instead of a separate whole-vector
-    /// scale, saving one pass over the data. The floating-point operation
-    /// sequence per element is identical to sum-then-scale, so results
-    /// are bitwise unchanged; traffic accounting is that of a single
-    /// all-reduce.
+    /// the final accumulation pass: the last contribution is applied as
+    /// `(d + o) * inv` instead of a separate whole-vector scale, saving
+    /// one pass over the data. The floating-point operation sequence per
+    /// element is identical to sum-then-scale, so results are bitwise
+    /// unchanged; traffic accounting is that of a single all-reduce.
+    ///
+    /// Accumulation runs in canonical rank order on every rank (see
+    /// [`all_reduce_sum`](Self::all_reduce_sum)), so all ranks receive
+    /// bitwise-identical means.
     pub fn all_reduce_mean(&mut self, data: &mut [f32]) -> Result<(), CommError> {
         let w = self.world();
         if w == 1 {
@@ -555,14 +632,15 @@ impl Communicator {
             let inner = Arc::clone(&self.inner);
             let mut st = inner.lock();
             let inv = 1.0 / w as f32;
-            let last = if self.rank == w - 1 { w - 2 } else { w - 1 };
-            for r in other_ranks(self.rank, w) {
+            for r in 0..w {
                 let got = st.slots[r].as_ref().expect("missing contribution").len();
                 if got != data.len() {
                     return Err(self.length_mismatch(&mut st, data.len(), got));
                 }
                 let other = st.slots[r].as_ref().expect("missing contribution");
-                if r == last {
+                if r == 0 {
+                    data.copy_from_slice(other);
+                } else if r == w - 1 {
                     for (d, &o) in data.iter_mut().zip(other.iter()) {
                         *d = (*d + o) * inv;
                     }
@@ -582,6 +660,10 @@ impl Communicator {
     /// Reduce-scatter (sum): every rank contributes the full vector and
     /// receives only its own [`shard_range`] of the element-wise sum.
     ///
+    /// Shards are accumulated in canonical rank order (see
+    /// [`all_reduce_sum`](Self::all_reduce_sum)), so a reduce-scatter
+    /// followed by an all-gather is bitwise identical to one all-reduce.
+    ///
     /// Returns [`CommError::LengthMismatch`] (and poisons the group) if a
     /// peer contributed a vector of a different length.
     pub fn reduce_scatter_sum(&mut self, data: &[f32]) -> Result<Vec<f32>, CommError> {
@@ -592,18 +674,22 @@ impl Communicator {
         }
         let _span = matgnn_telemetry::span("comm.reduce_scatter");
         self.publish_slice(data)?;
-        let mut shard = data[start..end].to_vec();
+        let mut shard = vec![0.0f32; end - start];
         {
             let inner = Arc::clone(&self.inner);
             let mut st = inner.lock();
-            for r in other_ranks(self.rank, w) {
+            for r in 0..w {
                 let got = st.slots[r].as_ref().expect("missing contribution").len();
                 if got != data.len() {
                     return Err(self.length_mismatch(&mut st, data.len(), got));
                 }
                 let other = st.slots[r].as_ref().expect("missing contribution");
-                for (d, &o) in shard.iter_mut().zip(other[start..end].iter()) {
-                    *d += o;
+                if r == 0 {
+                    shard.copy_from_slice(&other[start..end]);
+                } else {
+                    for (d, &o) in shard.iter_mut().zip(other[start..end].iter()) {
+                        *d += o;
+                    }
                 }
             }
         }
@@ -680,6 +766,8 @@ impl Communicator {
     /// Returns [`CommError::Timeout`] if the surviving set does not
     /// assemble within `grace`.
     pub fn split_survivors(mut self, grace: Duration) -> Result<Communicator, CommError> {
+        // The regroup wait is bounded by `grace`, not by step progress.
+        let _park = self.heartbeat.clone().map(ParkGuard::new);
         let inner = Arc::clone(&self.inner);
         // This handle is leaving the old group for good: never re-poison
         // it from `Drop`, even if the caller panics later.
@@ -794,6 +882,9 @@ pub struct BucketComm {
     inner: Arc<Inner>,
     stats: CommStats,
     defunct: bool,
+    /// Shared with the owning rank's [`Communicator`] (see
+    /// [`Communicator::set_heartbeat`]): bucket waits park it too.
+    heartbeat: Option<Arc<Heartbeat>>,
 }
 
 impl BucketComm {
@@ -838,6 +929,7 @@ impl BucketComm {
         data: &[f32],
     ) -> Result<MutexGuard<'a, GroupState>, CommError> {
         let _span = matgnn_telemetry::span("comm.rendezvous");
+        let _park = self.heartbeat.clone().map(ParkGuard::new);
         let world = inner.world;
         let buf = staged_copy(data);
         let mut st = inner.lock();
@@ -920,8 +1012,7 @@ impl BucketComm {
         let inner = Arc::clone(&self.inner);
         let mut st = self.stage_and_await(&inner, id, data)?;
         let inv = 1.0 / w as f32;
-        let last = if self.rank == w - 1 { w - 2 } else { w - 1 };
-        for r in other_ranks(self.rank, w) {
+        for r in 0..w {
             let slot = st.buckets.get(&id).expect("bucket session vanished");
             let got = slot.contributions[r]
                 .as_ref()
@@ -934,7 +1025,9 @@ impl BucketComm {
             let other = slot.contributions[r]
                 .as_ref()
                 .expect("missing contribution");
-            if r == last {
+            if r == 0 {
+                data.copy_from_slice(other);
+            } else if r == w - 1 {
                 for (d, &o) in data.iter_mut().zip(other.iter()) {
                     *d = (*d + o) * inv;
                 }
@@ -952,9 +1045,10 @@ impl BucketComm {
     }
 
     /// Reduce (sum) bucket `id` to `root`: every rank contributes, only
-    /// `root`'s `data` is overwritten with the element-wise sum (own
-    /// contribution first, then peers ascending). Non-root buffers are
-    /// left untouched. Per-rank traffic is `(w−1)/w` of the payload, the
+    /// `root`'s `data` is overwritten with the element-wise sum,
+    /// accumulated in canonical rank order — bitwise the same sum every
+    /// other reduction collective computes. Non-root buffers are left
+    /// untouched. Per-rank traffic is `(w−1)/w` of the payload, the
     /// ring-reduce cost.
     pub fn reduce_sum_bucket(
         &mut self,
@@ -970,7 +1064,7 @@ impl BucketComm {
         let inner = Arc::clone(&self.inner);
         let mut st = self.stage_and_await(&inner, id, data)?;
         if self.rank == root {
-            for r in other_ranks(self.rank, w) {
+            for r in 0..w {
                 let slot = st.buckets.get(&id).expect("bucket session vanished");
                 let got = slot.contributions[r]
                     .as_ref()
@@ -983,8 +1077,12 @@ impl BucketComm {
                 let other = slot.contributions[r]
                     .as_ref()
                     .expect("missing contribution");
-                for (d, &o) in data.iter_mut().zip(other.iter()) {
-                    *d += o;
+                if r == 0 {
+                    data.copy_from_slice(other);
+                } else {
+                    for (d, &o) in data.iter_mut().zip(other.iter()) {
+                        *d += o;
+                    }
                 }
             }
         }

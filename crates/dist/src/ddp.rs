@@ -22,6 +22,7 @@
 //! world-size-independent layout (ZeRO moments are gathered first), so a
 //! 4-rank checkpoint restores cleanly into a 3-rank group.
 
+use std::collections::HashSet;
 use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -32,13 +33,15 @@ use matgnn_graph::GraphBatch;
 use matgnn_model::GnnModel;
 use matgnn_tensor::{MemoryBreakdown, MemoryCategory, MemoryTracker, Tensor};
 use matgnn_train::{
-    clip_grad_norm, latest_in, train_step, train_step_with_sink, Adam, AdamHyper, AdamState,
-    LossConfig, LrSchedule, Optimizer, TrainCheckpoint,
+    clip_grad_norm, latest_in, params_finite, prune_checkpoints, train_step, train_step_with_sink,
+    Adam, AdamHyper, AdamState, AnomalyDetector, LossConfig, LrSchedule, Optimizer, RollbackBudget,
+    SupervisorConfig, TrainCheckpoint, Verdict,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::supervisor::{Heartbeat, ParkGuard, Watchdog};
 use crate::{
     shard_range, CommError, CommStats, Communicator, CostModel, FaultKind, FaultPlan, ZeroAdam,
 };
@@ -119,6 +122,20 @@ pub struct DdpConfig {
     /// How many times a surviving rank will recover (re-form + reload)
     /// before giving up.
     pub max_recoveries: usize,
+    /// Numerical-anomaly supervision: per-step loss/parameter checks, a
+    /// rank-consensus verdict, and rollback to the last good checkpoint
+    /// (`None` disables — anomalies then propagate unchecked, as before).
+    pub supervise: Option<SupervisorConfig>,
+    /// Keep only the newest this-many `step-*.ckpt` files, pruning older
+    /// ones after each save (0 keeps everything). The supervisor's
+    /// rollback anchor is never pruned.
+    pub keep_checkpoints: usize,
+    /// Hang-watchdog progress deadline: a rank that is neither inside a
+    /// collective nor beating its heartbeat for this long is declared
+    /// dead (group poisoned → elastic recovery). Distinct from
+    /// [`comm_timeout`](Self::comm_timeout), which polices time spent
+    /// *inside* a collective. `None` disables the watchdog.
+    pub progress_deadline: Option<Duration>,
 }
 
 impl Default for DdpConfig {
@@ -145,6 +162,9 @@ impl Default for DdpConfig {
             resume: false,
             fault_plan: FaultPlan::none(),
             max_recoveries: 3,
+            supervise: None,
+            keep_checkpoints: 0,
+            progress_deadline: None,
         }
     }
 }
@@ -162,12 +182,18 @@ pub struct RankStats {
     pub comm: CommStats,
     /// Rank wall time.
     pub wall: Duration,
-    /// Whether this rank died (injected kill) before finishing.
+    /// Whether this rank died (injected kill, or hang caught by the
+    /// watchdog) before finishing.
     pub killed: bool,
     /// Recovery cycles (re-form + checkpoint reload) this rank ran.
     pub recoveries: usize,
     /// Transient shard-fetch I/O errors this rank retried through.
     pub io_retries: usize,
+    /// Supervisor rollbacks (anomaly → checkpoint restore) this rank ran.
+    pub rollbacks: usize,
+    /// Whether this rank's hang watchdog fired (it stalled past the
+    /// progress deadline and was cut from the group).
+    pub watchdog_fired: bool,
 }
 
 /// Outcome of [`train_ddp`].
@@ -188,6 +214,9 @@ pub struct DdpReport {
     pub final_world: usize,
     /// Launch ranks that died during the run.
     pub failed_ranks: Vec<usize>,
+    /// Supervisor rollbacks the run took (max over ranks; the verdict is
+    /// consensus, so surviving ranks agree).
+    pub rollbacks: usize,
 }
 
 impl DdpReport {
@@ -509,15 +538,79 @@ struct RankState<M> {
 enum RankExit {
     /// Injected kill: the rank poisoned the group and died.
     Killed,
+    /// Injected hang: the rank stalled until its own watchdog poisoned
+    /// the group, then died. Peers recover elastically without it.
+    Hung,
     /// A collective failed; the caller decides whether to recover. The
     /// error is kept for debuggability (`Debug`-printed on give-up paths
     /// in tests) even though the recovery path treats all causes alike.
     Comm(#[allow(dead_code)] CommError),
+    /// The supervisor's consensus verdict flagged a numerical anomaly;
+    /// every rank takes this exit on the same step and the caller rolls
+    /// back to the last good checkpoint. The group is *not* poisoned.
+    Anomaly,
 }
 
 impl From<CommError> for RankExit {
     fn from(e: CommError) -> Self {
         RankExit::Comm(e)
+    }
+}
+
+/// Per-rank supervision state, threaded through [`run_until_done`] so it
+/// survives rollbacks (the detector must remember which steps it has
+/// already judged, and the budget must keep counting across retries).
+struct Supervision {
+    detector: AnomalyDetector,
+    budget: RollbackBudget,
+    /// Step of the checkpoint the last rollback restored — pinned against
+    /// pruning until the run ends.
+    anchor: Option<u64>,
+    /// Steps whose spike verdict already forced one rollback. Replay is
+    /// bitwise-deterministic and the loss reading precedes the optimizer
+    /// update, so a spike that recurs on re-execution is the run's true
+    /// trajectory, not transient corruption — it is accepted the second
+    /// time instead of burning the budget in a rollback livelock.
+    /// (NaN/Inf stays anomalous on every encounter: the backed-off LR
+    /// changes the *following* update, so those retries can converge.)
+    spike_rollbacks: HashSet<u64>,
+    /// `(global_step, this rank's loss accumulator)` at the last
+    /// checkpoint boundary. Checkpoints store rank 0's local loss
+    /// bookkeeping; restoring that on every rank would skew the
+    /// rank-averaged epoch loss, so a rollback restores each rank's own
+    /// shadowed accumulator instead.
+    loss_shadow: Option<(u64, f64)>,
+}
+
+impl Supervision {
+    fn new(cfg: &SupervisorConfig) -> Supervision {
+        Supervision {
+            detector: AnomalyDetector::new(cfg),
+            budget: RollbackBudget::new(*cfg),
+            anchor: None,
+            spike_rollbacks: HashSet::new(),
+            loss_shadow: None,
+        }
+    }
+}
+
+/// What the fault injector plants into the current step's numerics.
+#[derive(Clone, Copy, PartialEq)]
+enum Inject {
+    /// Poison the first gradient value with NaN before reduction.
+    NanGrad,
+    /// Scale the local loss (post-step, pre-supervision) by this factor.
+    Spike(u32),
+}
+
+/// Applies a [`Inject::Spike`] to a step's local loss (identity for any
+/// other injection). The gradients are untouched — the spike simulates a
+/// corrupted *reading*, and the supervisor must catch it from the loss
+/// stream alone.
+fn apply_spike(loss: f64, inject: Option<Inject>) -> f64 {
+    match inject {
+        Some(Inject::Spike(factor)) => loss * factor as f64,
+        _ => loss,
     }
 }
 
@@ -604,7 +697,12 @@ fn overlapped_step<M: GnnModel + Clone>(
     tracker: &MemoryTracker,
     lr: f32,
     pipe: &mut OverlapPipeline,
+    inject: Option<Inject>,
 ) -> Result<f64, CommError> {
+    // Fault injection: NaN goes into the first gradient backward hands to
+    // the sink (before any reduction ships), exactly mirroring the
+    // unoverlapped path's poisoned flat[0].
+    let mut poison_next_grad = inject == Some(Inject::NanGrad);
     let plan = Arc::clone(&pipe.plan);
     let n_scalars = st.replica.params().n_scalars();
     let flat_bytes = (n_scalars * 4) as u64;
@@ -619,6 +717,9 @@ fn overlapped_step<M: GnnModel + Clone>(
                 let mut sink = |p: usize, g: Tensor| {
                     let (b, off) = locate[p];
                     bufs[b][off..off + g.numel()].copy_from_slice(g.data());
+                    if std::mem::take(&mut poison_next_grad) {
+                        bufs[b][off] = f32::NAN;
+                    }
                     remaining[b] -= 1;
                     while next_submit < n_buckets && remaining[next_submit] == 0 {
                         let buf = std::mem::take(&mut bufs[next_submit]);
@@ -669,7 +770,7 @@ fn overlapped_step<M: GnnModel + Clone>(
             })();
             tracker.free(MemoryCategory::Gradients, flat_bytes);
             step_result?;
-            Ok(loss)
+            Ok(apply_spike(loss, inject))
         }
         OverlapPlan::Shards {
             param_offsets,
@@ -689,6 +790,9 @@ fn overlapped_step<M: GnnModel + Clone>(
                     let off = param_offsets[p];
                     let n = g.numel();
                     flat[off..off + n].copy_from_slice(g.data());
+                    if std::mem::take(&mut poison_next_grad) {
+                        flat[off] = f32::NAN;
+                    }
                     for (s, &(s0, s1)) in ranges.iter().enumerate() {
                         let overlap = (off + n).min(s1).saturating_sub(off.max(s0));
                         if overlap > 0 {
@@ -740,7 +844,7 @@ fn overlapped_step<M: GnnModel + Clone>(
             tracker.free(MemoryCategory::Gradients, flat_bytes);
             pipe.spare.push(flat);
             step_result?;
-            Ok(loss)
+            Ok(apply_spike(loss, inject))
         }
     }
 }
@@ -759,6 +863,8 @@ fn run_until_done<M: GnnModel + Clone>(
     launch_rank: usize,
     io_retries: &mut usize,
     mut pipeline: Option<&mut OverlapPipeline>,
+    mut sup: Option<&mut Supervision>,
+    injected: &mut HashSet<u64>,
 ) -> Result<(), RankExit> {
     while (st.epoch as usize) < cfg.epochs {
         let order = epoch_order(train.len(), cfg.seed, st.epoch);
@@ -807,14 +913,47 @@ fn run_until_done<M: GnnModel + Clone>(
         });
         while (st.step_in_epoch as usize) < steps_per_epoch {
             matgnn_telemetry::set_step(st.global_step);
+            // Step progress: restart the hang watchdog's staleness clock.
+            if let Some(hb) = comm.heartbeat() {
+                hb.beat();
+            }
             // Injected faults fire at step boundaries, keyed by launch
             // rank so a plan means the same thing after re-forms.
+            let mut inject = None;
             match cfg.fault_plan.check(launch_rank, st.global_step) {
                 Some(FaultKind::Kill) => {
                     comm.mark_failed();
                     return Err(RankExit::Killed);
                 }
                 Some(FaultKind::Delay(d)) => std::thread::sleep(d),
+                Some(FaultKind::Hang) => {
+                    // Stop making progress without declaring anything:
+                    // exactly what a wedged rank looks like from outside.
+                    // The rank's own watchdog must notice the stale
+                    // heartbeat, poison the group, and cut this rank out;
+                    // only then does the thread fold.
+                    loop {
+                        if comm.is_poisoned() {
+                            return Err(RankExit::Hung);
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+                // Numerical faults fire once per (rank, step): after the
+                // supervisor rolls the run back, the retry executes the
+                // same step clean — a transient corruption, which is what
+                // makes the recovered trajectory bitwise-comparable to an
+                // undisturbed run.
+                Some(FaultKind::NanGrad) => {
+                    if injected.insert(st.global_step) {
+                        inject = Some(Inject::NanGrad);
+                    }
+                }
+                Some(FaultKind::SpikeLoss(factor)) => {
+                    if injected.insert(st.global_step) {
+                        inject = Some(Inject::Spike(factor));
+                    }
+                }
                 Some(FaultKind::IoError) | None => {} // I/O handled at fetch below
             }
 
@@ -855,10 +994,14 @@ fn run_until_done<M: GnnModel + Clone>(
             };
             drop(data_span);
             let _step_span = matgnn_telemetry::span("step");
-            let lr = cfg.schedule.lr(cfg.base_lr, st.global_step as usize);
+            // Retries after repeated consecutive rollbacks run with the
+            // LR backed off (1.0 on the first retry, so a transient
+            // anomaly recovers bitwise-identically to a clean run).
+            let lr_factor = sup.as_deref().map_or(1.0, |s| s.budget.retry_lr_factor());
+            let lr = cfg.schedule.lr(cfg.base_lr, st.global_step as usize) * lr_factor;
 
             let loss = if let Some(pipe) = pipeline.as_deref_mut() {
-                overlapped_step(st, comm, cfg, &batch, &targets, tracker, lr, pipe)?
+                overlapped_step(st, comm, cfg, &batch, &targets, tracker, lr, pipe, inject)?
             } else {
                 let mut outcome = train_step(
                     &st.replica,
@@ -872,6 +1015,13 @@ fn run_until_done<M: GnnModel + Clone>(
                     let _ = clip_grad_norm(&mut outcome.grads, max_norm);
                 }
                 let mut flat = flatten_tensors(&outcome.grads);
+                if inject == Some(Inject::NanGrad) {
+                    // Poison one local gradient value pre-reduction: the
+                    // all-reduce spreads the NaN to every replica's
+                    // parameters, which is what the supervisor's
+                    // post-step finiteness probe is built to catch.
+                    flat[0] = f32::NAN;
+                }
                 let flat_bytes = (flat.len() * 4) as u64;
                 tracker.alloc(MemoryCategory::Gradients, flat_bytes);
                 let step_result: Result<(), CommError> = (|| {
@@ -902,8 +1052,44 @@ fn run_until_done<M: GnnModel + Clone>(
                 })();
                 tracker.free(MemoryCategory::Gradients, flat_bytes);
                 step_result?;
-                outcome.loss
+                apply_spike(outcome.loss, inject)
             };
+
+            // Detect → decide: judge the local loss and post-step
+            // parameters, then reach a group-wide verdict through a
+            // 1-element sum all-reduce (any rank's flag trips every
+            // rank), so the rollback decision is collective and
+            // deterministic. Runs before the step is committed — an
+            // anomalous step must leave no trace in the loss accumulator
+            // or the checkpoint stream.
+            if let Some(s) = sup.as_deref_mut() {
+                let verdict = s.detector.observe(st.global_step, loss);
+                let flat_params = st.replica.params().flatten();
+                // A spiked step gets exactly one rollback; recurring
+                // identically on replay, it is accepted as genuine.
+                let spike = verdict == Verdict::Spike && s.spike_rollbacks.insert(st.global_step);
+                let anomalous = verdict == Verdict::NonFinite
+                    || spike
+                    || !params_finite(flat_params.data());
+                if anomalous {
+                    matgnn_telemetry::health_event(
+                        "supervisor.anomaly",
+                        &format!(
+                            "step {}: verdict {:?}, loss {loss}, params_finite {}",
+                            st.global_step,
+                            verdict,
+                            params_finite(flat_params.data()),
+                        ),
+                    );
+                    matgnn_telemetry::counter_add("supervisor.anomaly", 1);
+                }
+                let mut flag = [if anomalous { 1.0f32 } else { 0.0 }];
+                comm.all_reduce_sum(&mut flag)?;
+                if flag[0] > 0.0 {
+                    return Err(RankExit::Anomaly);
+                }
+                s.budget.record_healthy_step();
+            }
 
             st.loss_acc += loss;
             st.loss_count += 1;
@@ -938,6 +1124,19 @@ fn run_until_done<M: GnnModel + Clone>(
                         // Best-effort durability: training proceeds even
                         // if one checkpoint write fails.
                         let _ = ckpt.save(dir.join(TrainCheckpoint::file_name(st.global_step)));
+                        if cfg.keep_checkpoints > 0 {
+                            // Retention: drop the oldest checkpoints past
+                            // the keep depth, but never the supervisor's
+                            // rollback anchor.
+                            let anchor = sup.as_deref().and_then(|s| s.anchor);
+                            prune_checkpoints(dir, cfg.keep_checkpoints, anchor);
+                        }
+                    }
+                    // The checkpoint carries rank 0's loss bookkeeping;
+                    // shadow this rank's own accumulator so a rollback
+                    // restores it instead.
+                    if let Some(s) = sup.as_deref_mut() {
+                        s.loss_shadow = Some((st.global_step, st.loss_acc));
                     }
                 }
             }
@@ -1032,10 +1231,29 @@ where
                 let mut io_retries = 0usize;
                 let mut killed = false;
                 let mut survived = true;
+                let mut rollbacks = 0usize;
+                let mut watchdog_fired = false;
+                let mut supervision = cfg.supervise.as_ref().map(Supervision::new);
+                let mut injected: HashSet<u64> = HashSet::new();
                 // `split_survivors` consumes the communicator, so hold it
                 // in an Option and keep the last traffic snapshot in case
                 // re-forming fails and the communicator is lost.
                 let mut comm = Some(comm);
+                // Hang supervision: this rank beats the heartbeat at every
+                // step boundary; a dedicated watchdog thread poisons the
+                // group if the beat goes stale outside a collective.
+                let heartbeat = cfg.progress_deadline.map(|_| Heartbeat::new());
+                let mut watchdog = None;
+                if let (Some(hb), Some(deadline)) = (&heartbeat, cfg.progress_deadline) {
+                    let c = comm.as_mut().expect("live communicator");
+                    c.set_heartbeat(Some(Arc::clone(hb)));
+                    watchdog = Some(Watchdog::spawn(
+                        format!("rank{launch_rank}"),
+                        Arc::clone(hb),
+                        deadline,
+                        c.failure_handle(),
+                    ));
+                }
                 let mut last_stats;
                 let mut last_world;
                 loop {
@@ -1055,6 +1273,8 @@ where
                         launch_rank,
                         &mut io_retries,
                         pipeline.as_mut(),
+                        supervision.as_mut(),
+                        &mut injected,
                     );
                     if let Some(p) = pipeline.take() {
                         p.finish(c);
@@ -1068,12 +1288,104 @@ where
                             survived = false;
                             break;
                         }
+                        Err(RankExit::Hung) => {
+                            // The watchdog already poisoned the group and
+                            // flagged this rank dead; peers regroup
+                            // without it.
+                            killed = true;
+                            survived = false;
+                            break;
+                        }
+                        Err(RankExit::Anomaly) => {
+                            // Consensus anomaly: every rank reaches this
+                            // arm on the same step with the same budget
+                            // counts, so the decide/recover path below is
+                            // deterministic across the group. The group
+                            // itself is healthy — no re-form needed.
+                            let s = supervision
+                                .as_mut()
+                                .expect("anomaly exit only in supervised mode");
+                            s.budget.record_anomaly();
+                            if s.budget.failed() {
+                                matgnn_telemetry::health_event(
+                                    "supervisor.failed",
+                                    &format!(
+                                        "rollback budget exhausted after {} rollbacks; \
+                                         abandoning the run",
+                                        s.budget.total_rollbacks() - 1
+                                    ),
+                                );
+                                survived = false;
+                                break;
+                            }
+                            rollbacks += 1;
+                            let c = comm.as_ref().expect("live communicator");
+                            // Roll back: newest durable checkpoint, or the
+                            // initial state when durability is off.
+                            match cfg.checkpoint_dir.as_ref().and_then(latest_in) {
+                                Some((_, ckpt)) => {
+                                    s.anchor = Some(ckpt.global_step);
+                                    matgnn_telemetry::health_event(
+                                        "supervisor.rollback",
+                                        &format!(
+                                            "restored step {} checkpoint (rollback {} of {})",
+                                            ckpt.global_step,
+                                            s.budget.total_rollbacks(),
+                                            cfg.supervise
+                                                .as_ref()
+                                                .map_or(0, |sc| sc.max_rollbacks),
+                                        ),
+                                    );
+                                    restore_state(
+                                        &mut st,
+                                        &ckpt,
+                                        cfg,
+                                        c.rank(),
+                                        c.world(),
+                                        n_params,
+                                        &tracker,
+                                    );
+                                    // The checkpoint held rank 0's loss
+                                    // accumulator; use this rank's own
+                                    // shadow from the same boundary so the
+                                    // rank-averaged epoch loss stays
+                                    // bitwise-identical to a clean run.
+                                    if let Some((step, acc)) = s.loss_shadow {
+                                        if step == ckpt.global_step {
+                                            st.loss_acc = acc;
+                                        }
+                                    }
+                                }
+                                None => {
+                                    matgnn_telemetry::health_event(
+                                        "supervisor.rollback",
+                                        "no checkpoint directory; restarted from initial state",
+                                    );
+                                    st = fresh_state(
+                                        proto,
+                                        cfg,
+                                        c.rank(),
+                                        c.world(),
+                                        n_params,
+                                        &tracker,
+                                    );
+                                }
+                            }
+                            matgnn_telemetry::counter_add("supervisor.rollback", 1);
+                            s.budget.record_rolled_back();
+                        }
                         Err(RankExit::Comm(_)) => {
                             recoveries += 1;
                             if recoveries > cfg.max_recoveries {
                                 survived = false;
                                 break;
                             }
+                            // Recovery waits on peers (backoff, then the
+                            // survivor rendezvous): park the heartbeat so
+                            // a survivor's own watchdog cannot mistake
+                            // the wait for a stall and poison the group
+                            // it is trying to re-form.
+                            let _park = heartbeat.clone().map(ParkGuard::new);
                             // Bounded exponential backoff before re-forming.
                             std::thread::sleep(
                                 BACKOFF_BASE * (1 << (recoveries - 1).min(4)) as u32,
@@ -1086,7 +1398,26 @@ where
                                     break;
                                 }
                             }
-                            let c = comm.as_ref().expect("re-formed communicator");
+                            let c = comm.as_mut().expect("re-formed communicator");
+                            // Re-arm hang supervision for the new group:
+                            // the heartbeat carries over, the watchdog is
+                            // rebuilt around the new group's failure
+                            // handle.
+                            if let (Some(hb), Some(deadline)) =
+                                (&heartbeat, cfg.progress_deadline)
+                            {
+                                hb.beat();
+                                c.set_heartbeat(Some(Arc::clone(hb)));
+                                if let Some(dog) = watchdog.take() {
+                                    watchdog_fired |= dog.stop();
+                                }
+                                watchdog = Some(Watchdog::spawn(
+                                    format!("rank{launch_rank}"),
+                                    Arc::clone(hb),
+                                    deadline,
+                                    c.failure_handle(),
+                                ));
+                            }
                             // Reload the newest durable state; without a
                             // checkpoint dir, training restarts cleanly.
                             match cfg.checkpoint_dir.as_ref().and_then(latest_in) {
@@ -1113,6 +1444,12 @@ where
                         }
                     }
                 }
+                if let Some(dog) = watchdog.take() {
+                    watchdog_fired |= dog.stop();
+                }
+                if let Some(hb) = &heartbeat {
+                    hb.mark_done();
+                }
                 let wall = start.elapsed();
                 if let Some(c) = &comm {
                     last_stats = c.stats();
@@ -1134,6 +1471,12 @@ where
                     wall.as_micros() as f64,
                 );
                 matgnn_telemetry::counter_set(format!("ddp.rank{launch_rank}.steps"), steps);
+                if cfg.supervise.is_some() {
+                    matgnn_telemetry::counter_set(
+                        format!("supervisor.rank{launch_rank}.rollbacks"),
+                        rollbacks as u64,
+                    );
+                }
                 if matgnn_telemetry::enabled() {
                     matgnn_tensor::recycler::publish_telemetry();
                     matgnn_tensor::pool::publish_telemetry();
@@ -1151,6 +1494,8 @@ where
                         killed,
                         recoveries,
                         io_retries,
+                        rollbacks,
+                        watchdog_fired,
                     },
                     epoch_loss,
                     final_world: last_world,
@@ -1189,6 +1534,11 @@ where
         .filter(|o| o.stats.killed)
         .map(|o| o.stats.rank)
         .collect();
+    let rollbacks = outcomes
+        .iter()
+        .map(|o| o.stats.rollbacks)
+        .max()
+        .unwrap_or(0);
     let mut ranks = Vec::with_capacity(world);
     let mut final_model = None;
     for o in outcomes {
@@ -1209,6 +1559,7 @@ where
         recoveries,
         final_world,
         failed_ranks,
+        rollbacks,
     }
 }
 

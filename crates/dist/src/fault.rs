@@ -13,11 +13,16 @@
 //! kill@rank1,step3             kill rank 1 at global step 3
 //! delay@rank2,step5,50ms       rank 2 stalls 50 ms before step 5
 //! io@rank0,step2               rank 0's shard fetch fails once at step 2
+//! hang@rank1,step3             rank 1 stops making progress at step 3
+//! nan@rank1,step3              rank 1's local gradient gets a NaN at step 3
+//! spike@rank1,step3,100        rank 1's local loss is scaled 100x at step 3
 //! ```
 //!
 //! Durations accept `ms` or `s` suffixes. Steps are *global* optimizer
 //! steps (monotonic across epochs and across checkpoint resume), so a
 //! plan means the same thing whether or not the run was interrupted.
+//! At most one event may target a given `(rank, step)` pair — duplicates
+//! are a parse error, since only the first would ever fire.
 
 use std::fmt;
 use std::str::FromStr;
@@ -34,6 +39,18 @@ pub enum FaultKind {
     /// The rank's next shard fetch fails with a transient I/O error
     /// (retried with backoff by the training loop).
     IoError,
+    /// The rank stops making progress indefinitely (a hard hang): it
+    /// neither reaches the next collective nor dies, until the
+    /// supervisor's watchdog poisons the group and elastic recovery
+    /// regroups the survivors.
+    Hang,
+    /// A NaN is written into the rank's local gradient just before
+    /// gradient reduction, poisoning the globally averaged update.
+    NanGrad,
+    /// The rank's local loss is scaled by the given integer factor,
+    /// producing a spike the anomaly detector should flag. (Integer so
+    /// the event stays `Eq`/hashable and replays exactly.)
+    SpikeLoss(u32),
 }
 
 /// One scheduled fault.
@@ -150,12 +167,33 @@ impl FaultPlan {
                     FaultKind::Delay(parse_duration(dur)?)
                 }
                 "io" => FaultKind::IoError,
+                "hang" => FaultKind::Hang,
+                "nan" => FaultKind::NanGrad,
+                "spike" => {
+                    let factor = fields
+                        .get(2)
+                        .and_then(|f| f.parse::<u32>().ok())
+                        .ok_or_else(|| {
+                            FaultPlanParseError(format!(
+                                "spike needs an integer factor in {part:?}"
+                            ))
+                        })?;
+                    FaultKind::SpikeLoss(factor)
+                }
                 other => {
                     return Err(FaultPlanParseError(format!(
-                        "unknown fault kind {other:?} (want kill, delay, or io)"
+                        "unknown fault kind {other:?} (want kill, delay, io, hang, nan, or spike)"
                     )))
                 }
             };
+            if events
+                .iter()
+                .any(|e: &FaultEvent| e.rank == rank && e.step == step)
+            {
+                return Err(FaultPlanParseError(format!(
+                    "duplicate event for rank{rank},step{step} in {part:?}"
+                )));
+            }
             events.push(FaultEvent { rank, step, kind });
         }
         Ok(FaultPlan { events })
@@ -200,6 +238,11 @@ impl fmt::Display for FaultPlan {
                     write!(f, "delay@rank{},step{},{}ms", e.rank, e.step, d.as_millis())?
                 }
                 FaultKind::IoError => write!(f, "io@rank{},step{}", e.rank, e.step)?,
+                FaultKind::Hang => write!(f, "hang@rank{},step{}", e.rank, e.step)?,
+                FaultKind::NanGrad => write!(f, "nan@rank{},step{}", e.rank, e.step)?,
+                FaultKind::SpikeLoss(factor) => {
+                    write!(f, "spike@rank{},step{},{}", e.rank, e.step, factor)?
+                }
             }
         }
         Ok(())
@@ -267,9 +310,59 @@ mod tests {
             "delay@rank1,step2",
             "delay@rank1,step2,fast",
             "kill rank1 step3",
+            "spike@rank1,step2",
+            "spike@rank1,step2,2.5",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn supervisor_kinds_roundtrip() {
+        let text = "hang@rank1,step3;nan@rank2,step5;spike@rank0,step2,100";
+        let plan = FaultPlan::parse(text).expect("valid plan");
+        assert_eq!(
+            plan.events(),
+            &[
+                FaultEvent {
+                    rank: 1,
+                    step: 3,
+                    kind: FaultKind::Hang
+                },
+                FaultEvent {
+                    rank: 2,
+                    step: 5,
+                    kind: FaultKind::NanGrad
+                },
+                FaultEvent {
+                    rank: 0,
+                    step: 2,
+                    kind: FaultKind::SpikeLoss(100)
+                },
+            ]
+        );
+        assert_eq!(plan.to_string(), text);
+        assert_eq!(plan.to_string().parse::<FaultPlan>().unwrap(), plan);
+    }
+
+    #[test]
+    fn duplicate_rank_step_is_an_error() {
+        // Same (rank, step) twice — even with different kinds — is
+        // rejected: only the first would ever fire via `check`.
+        for bad in [
+            "kill@rank1,step3;kill@rank1,step3",
+            "nan@rank1,step3;spike@rank1,step3,10",
+            "hang@rank0,step1; delay@rank0,step1,5ms",
+        ] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(
+                err.to_string().contains("duplicate"),
+                "{bad:?} should report a duplicate, got: {err}"
+            );
+        }
+        // Same rank at different steps (and vice versa) stays legal.
+        assert!(FaultPlan::parse("nan@rank1,step3;nan@rank1,step4").is_ok());
+        assert!(FaultPlan::parse("nan@rank1,step3;nan@rank2,step3").is_ok());
     }
 
     #[test]

@@ -29,13 +29,16 @@
 mod collective;
 mod ddp;
 mod fault;
+mod supervisor;
 mod table2;
 mod zero;
 
 pub use collective::{
-    shard_range, BucketComm, CommError, CommStats, Communicator, CostModel, DEFAULT_COMM_TIMEOUT,
+    shard_range, BucketComm, CommError, CommStats, Communicator, CostModel, FailureHandle,
+    DEFAULT_COMM_TIMEOUT,
 };
 pub use ddp::{flatten_tensors, train_ddp, unflatten_like, DdpConfig, DdpReport, RankStats};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanParseError};
+pub use supervisor::{Heartbeat, Watchdog};
 pub use table2::{format_table2, run_memory_settings, MemorySetting, SettingProfile};
 pub use zero::ZeroAdam;

@@ -1,0 +1,213 @@
+//! Chaos tests of the run supervisor: injected numerical anomalies roll
+//! the group back to the last good checkpoint with a bitwise-identical
+//! post-rollback trajectory, and a hung rank is caught by its progress
+//! watchdog and cut from the group long before the collective timeout
+//! (let alone the test harness timeout) would.
+//!
+//! Telemetry is process-global, so the scenarios run sequentially inside
+//! one test body (the same pattern as the telemetry integration tests)
+//! and share one sink directory whose health stream is asserted at the
+//! end.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use matgnn_data::{Dataset, GeneratorConfig, Normalizer};
+use matgnn_dist::{train_ddp, DdpConfig, FaultPlan};
+use matgnn_model::{Egnn, EgnnConfig, GnnModel};
+use matgnn_train::SupervisorConfig;
+
+fn chaos_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("matgnn_supchaos_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn data() -> (Dataset, Normalizer) {
+    let ds = Dataset::generate_aggregate(64, 5, &GeneratorConfig::default());
+    let norm = Normalizer::fit(&ds);
+    (ds, norm)
+}
+
+fn base_cfg(dir: &PathBuf) -> DdpConfig {
+    DdpConfig {
+        world: 4,
+        epochs: 2,
+        batch_size: 2,
+        seed: 13,
+        comm_timeout: Duration::from_secs(5),
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 1,
+        ..Default::default()
+    }
+}
+
+/// One supervised 4-rank run with the given fault plan; returns the
+/// report and final parameters.
+fn run_supervised(
+    tag: &str,
+    plan: FaultPlan,
+    supervise: Option<SupervisorConfig>,
+) -> (matgnn_dist::DdpReport, matgnn_tensor::Tensor) {
+    let (ds, norm) = data();
+    let dir = chaos_dir(tag);
+    let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(3));
+    let cfg = DdpConfig {
+        fault_plan: plan,
+        supervise,
+        ..base_cfg(&dir)
+    };
+    let report = train_ddp(&mut model, &ds, &norm, &cfg);
+    let _ = std::fs::remove_dir_all(&dir);
+    (report, model.params().flatten())
+}
+
+#[test]
+fn supervisor_chaos() {
+    let telemetry_dir = chaos_dir("telemetry");
+    matgnn_telemetry::init(&telemetry_dir).unwrap();
+
+    nan_rollback_is_bitwise_identical_to_a_clean_run();
+    spiked_loss_rolls_back_too();
+    hung_rank_is_cut_by_the_watchdog_and_survivors_regroup();
+
+    matgnn_telemetry::shutdown();
+    health_stream_recorded_the_interventions(&telemetry_dir);
+    let _ = std::fs::remove_dir_all(&telemetry_dir);
+}
+
+/// The acceptance scenario: rank 1's gradient turns NaN at global step 3
+/// of a supervised 4-rank run. All ranks reach the anomaly verdict by
+/// consensus, roll back to the step-2 checkpoint, and retry — and because
+/// the fault is transient, the retried trajectory (and the final
+/// parameters) are bitwise-identical to a run that never saw the fault.
+fn nan_rollback_is_bitwise_identical_to_a_clean_run() {
+    let (clean_report, clean_params) = run_supervised("nan_clean", FaultPlan::none(), None);
+    let (report, params) = run_supervised(
+        "nan_chaos",
+        "nan@rank1,step3".parse().unwrap(),
+        // Per-rank losses at batch size 2 are noisy; a high spike
+        // threshold keeps this scenario about the NaN probe alone, so
+        // the rollback count stays exact.
+        Some(SupervisorConfig {
+            spike_threshold: 100.0,
+            ..Default::default()
+        }),
+    );
+
+    assert_eq!(report.rollbacks, 1, "exactly one supervised rollback");
+    assert_eq!(report.recoveries, 0, "rollback must not re-form the group");
+    assert_eq!(report.final_world, 4, "no rank should die");
+    assert!(report.failed_ranks.is_empty());
+    assert_eq!(report.epoch_loss.len(), clean_report.epoch_loss.len());
+    for (epoch, (a, b)) in report
+        .epoch_loss
+        .iter()
+        .zip(&clean_report.epoch_loss)
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "epoch {epoch} loss differs between NaN-chaos run and clean run: {a} vs {b}"
+        );
+    }
+    assert!(
+        clean_params.allclose(&params, 0.0),
+        "post-rollback parameters diverged from the uninjected run"
+    );
+}
+
+/// A spiked (finite but huge) loss reading is also rolled back, through
+/// the rolling-median detector rather than the NaN probe.
+fn spiked_loss_rolls_back_too() {
+    let (clean_report, clean_params) = run_supervised("spike_clean", FaultPlan::none(), None);
+    let (report, params) = run_supervised(
+        "spike_chaos",
+        "spike@rank2,step6,1000000".parse().unwrap(),
+        // Window of 4: full before the step-6 injection fires. The 10^6
+        // injected factor dwarfs the 100x threshold, which in turn is
+        // out of reach of natural batch-to-batch loss noise.
+        Some(SupervisorConfig {
+            anomaly_window: 4,
+            spike_threshold: 100.0,
+            ..Default::default()
+        }),
+    );
+
+    assert_eq!(report.rollbacks, 1);
+    assert_eq!(report.final_world, 4);
+    for (a, b) in report.epoch_loss.iter().zip(&clean_report.epoch_loss) {
+        assert_eq!(a.to_bits(), b.to_bits(), "spike rollback perturbed the run");
+    }
+    assert!(clean_params.allclose(&params, 0.0));
+}
+
+/// A rank wedged outside any collective beats its heartbeat no more; its
+/// own watchdog fires at the progress deadline, poisons the group, and
+/// the three survivors re-form and finish from the last checkpoint —
+/// orders of magnitude sooner than the 5 s collective timeout compounded
+/// over the remaining steps would allow.
+fn hung_rank_is_cut_by_the_watchdog_and_survivors_regroup() {
+    let (ds, norm) = data();
+    let dir = chaos_dir("hang");
+    let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(3));
+    let cfg = DdpConfig {
+        fault_plan: "hang@rank1,step3".parse().unwrap(),
+        progress_deadline: Some(Duration::from_millis(250)),
+        ..base_cfg(&dir)
+    };
+    let start = Instant::now();
+    let report = train_ddp(&mut model, &ds, &norm, &cfg);
+    let elapsed = start.elapsed();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(report.failed_ranks, vec![1], "rank 1 should have been cut");
+    assert_eq!(report.final_world, 3, "survivors re-form with world 3");
+    assert_eq!(report.recoveries, 1, "one elastic recovery cycle");
+    assert!(report.ranks[1].killed, "the hung rank counts as dead");
+    assert!(
+        report.ranks[1].watchdog_fired,
+        "the hang must be caught by the hung rank's own watchdog"
+    );
+    assert!(!report.ranks[0].watchdog_fired, "peers were parked, not stalled");
+    assert_eq!(report.epoch_loss.len(), 2);
+    assert!(report.epoch_loss.iter().all(|l| l.is_finite()));
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "hang recovery took {elapsed:?}; the watchdog did not shortcut the timeout"
+    );
+}
+
+/// The health JSONL stream must carry the supervisor's story: anomaly
+/// verdicts, the rollbacks, and the watchdog escalation.
+fn health_stream_recorded_the_interventions(dir: &PathBuf) {
+    let mut health = String::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "jsonl") {
+            health.push_str(&std::fs::read_to_string(&path).unwrap_or_default());
+        }
+    }
+    for kind in [
+        "supervisor.anomaly",
+        "supervisor.rollback",
+        "supervisor.watchdog",
+    ] {
+        assert!(
+            health.contains(kind),
+            "health stream is missing {kind:?} events"
+        );
+    }
+    // Every health line must validate against the v2 schema.
+    let mut checked = 0;
+    for line in health.lines() {
+        if line.contains("\"type\":\"health\"") {
+            matgnn_telemetry::json::validate_event_line(line)
+                .unwrap_or_else(|e| panic!("{e}: {line}"));
+            checked += 1;
+        }
+    }
+    assert!(checked >= 3, "expected at least 3 health lines, got {checked}");
+}

@@ -234,9 +234,11 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Validates one JSONL event line against the telemetry schema
-/// (version [`crate::SCHEMA_VERSION`]). Returns a description of the
-/// first violation, if any.
+/// Validates one JSONL event line against the telemetry schema.
+/// Accepts the current version ([`crate::SCHEMA_VERSION`]) and the
+/// previous v1 — v2 only *added* the `health` record type, so v1 logs
+/// remain valid (and may not contain `health` lines). Returns a
+/// description of the first violation, if any.
 pub fn validate_event_line(line: &str) -> Result<(), String> {
     let value = parse(line)?;
     let Json::Obj(_) = &value else {
@@ -246,7 +248,7 @@ pub fn validate_event_line(line: &str) -> Result<(), String> {
         .get("v")
         .and_then(Json::as_num)
         .ok_or("missing numeric field \"v\"")?;
-    if version != crate::SCHEMA_VERSION as f64 {
+    if version != 1.0 && version != crate::SCHEMA_VERSION as f64 {
         return Err(format!("unknown schema version {version}"));
     }
     for field in ["ts_us", "rank", "step", "tid"] {
@@ -291,6 +293,17 @@ pub fn validate_event_line(line: &str) -> Result<(), String> {
                     .get(field)
                     .and_then(Json::as_str)
                     .ok_or_else(|| format!("log event missing string field {field:?}"))?;
+            }
+        }
+        "health" => {
+            if version < 2.0 {
+                return Err("health events require schema v2".into());
+            }
+            for field in ["kind", "detail"] {
+                value
+                    .get(field)
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("health event missing string field {field:?}"))?;
             }
         }
         other => return Err(format!("unknown event type {other:?}")),

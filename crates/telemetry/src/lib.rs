@@ -46,7 +46,7 @@ pub use metrics::{
     counter_add, counter_set, flush_metrics, gauge_set, histogram_record, reset_metrics, snapshot,
     MetricValue,
 };
-pub use sink::{active_dir, init, init_from_env, log_event, shutdown};
+pub use sink::{active_dir, health_event, init, init_from_env, log_event, shutdown};
 pub use span::{span, RankScope, Span};
 
 use std::cell::Cell;
@@ -56,8 +56,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 /// directory path, telemetry is enabled with that directory as the sink.
 pub const ENV_VAR: &str = "MATGNN_TELEMETRY";
 
-/// Schema version stamped on every JSONL line as `"v"`.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Schema version stamped on every JSONL line as `"v"`. v2 added the
+/// `health` record type (supervisor anomaly / rollback / watchdog
+/// events); the validator still accepts v1 logs, which simply never
+/// contain `health` lines.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Rank tag used for threads that never called [`set_rank`].
 pub const UNRANKED: i64 = -1;

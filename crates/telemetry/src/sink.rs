@@ -204,6 +204,35 @@ pub fn log_event(kind: &str, msg: &str) {
     write_line(collector, rank, &line);
 }
 
+/// Emits a supervisor health event (`"type":"health"`, schema v2):
+/// anomaly detections, checkpoint rollbacks, watchdog escalations.
+/// Structurally a log event under a dedicated type so health incidents
+/// can be filtered without parsing free-form log kinds. No-op when
+/// telemetry is disabled.
+pub fn health_event(kind: &str, detail: &str) {
+    if !crate::enabled() {
+        return;
+    }
+    let rank = crate::rank_raw();
+    let step = crate::step_raw();
+    let tid = crate::tid();
+    let mut line = String::with_capacity(96 + detail.len());
+    line.push_str("{\"type\":\"health\",");
+    push_common_fields(&mut line, now_us(), rank, step, tid);
+    line.push_str(",\"kind\":");
+    json::escape_str_into(&mut line, kind);
+    line.push_str(",\"detail\":");
+    json::escape_str_into(&mut line, detail);
+    line.push('}');
+
+    let mut guard = collector();
+    let Some(collector) = guard.as_mut() else {
+        return;
+    };
+    note_thread_name(collector, tid);
+    write_line(collector, rank, &line);
+}
+
 /// Emits a metrics-flush event containing the given name/value pairs.
 /// Called by `metrics::flush_metrics` with a registry snapshot.
 pub(crate) fn record_metrics_flush(values: &[(String, f64)]) {

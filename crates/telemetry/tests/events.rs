@@ -39,6 +39,7 @@ fn telemetry_end_to_end() {
     cross_thread_rank_attribution();
     metrics_and_log_events_validate();
     golden_line_shapes();
+    health_events_and_schema_v2_compat();
     trace_json_is_valid_and_loadable();
 }
 
@@ -218,6 +219,47 @@ fn metrics_and_log_events_validate() {
     );
 }
 
+/// Replaces every numeric value outside string literals with `#`, so a
+/// golden comparison is insensitive to timestamps and ids.
+fn normalize_numbers(l: &str) -> String {
+    let mut out = String::new();
+    let mut in_num = false;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in l.chars() {
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        if c == '"' {
+            out.push(c);
+            in_str = true;
+            in_num = false;
+            continue;
+        }
+        let numeric = c.is_ascii_digit() || c == '.' || c == '-';
+        match (numeric, in_num) {
+            (true, false) => {
+                out.push('#');
+                in_num = true;
+            }
+            (true, true) => {}
+            (false, _) => {
+                out.push(c);
+                in_num = false;
+            }
+        }
+    }
+    out
+}
+
 /// Golden-file shape test: the exact field layout of each event type is
 /// a compatibility contract for external consumers (the CI validator,
 /// Perfetto conversion scripts). Timestamps vary run to run, so the
@@ -240,47 +282,7 @@ fn golden_line_shapes() {
     telemetry::reset_metrics();
 
     let lines = read_lines(&dir.join("events-rank0.jsonl"));
-    let normalized: Vec<String> = lines
-        .iter()
-        .map(|l| {
-            let mut out = String::new();
-            let mut in_num = false;
-            let mut in_str = false;
-            let mut escaped = false;
-            for c in l.chars() {
-                if in_str {
-                    out.push(c);
-                    if escaped {
-                        escaped = false;
-                    } else if c == '\\' {
-                        escaped = true;
-                    } else if c == '"' {
-                        in_str = false;
-                    }
-                    continue;
-                }
-                if c == '"' {
-                    out.push(c);
-                    in_str = true;
-                    in_num = false;
-                    continue;
-                }
-                let numeric = c.is_ascii_digit() || c == '.' || c == '-';
-                match (numeric, in_num) {
-                    (true, false) => {
-                        out.push('#');
-                        in_num = true;
-                    }
-                    (true, true) => {}
-                    (false, _) => {
-                        out.push(c);
-                        in_num = false;
-                    }
-                }
-            }
-            out
-        })
-        .collect();
+    let normalized: Vec<String> = lines.iter().map(|l| normalize_numbers(l)).collect();
     let golden = vec![
         r##"{"type":"span","v":#,"ts_us":#,"rank":#,"step":#,"tid":#,"name":"golden_span","dur_us":#,"depth":#}"##,
         r##"{"type":"metrics","v":#,"ts_us":#,"rank":#,"step":#,"tid":#,"values":{"golden.gauge":#}}"##,
@@ -289,6 +291,60 @@ fn golden_line_shapes() {
     assert_eq!(
         normalized, golden,
         "JSONL schema drifted — update the schema version and consumers together"
+    );
+}
+
+/// Schema v2's `health` record type: golden shape, validator
+/// acceptance, and backward compatibility with v1 logs (which predate
+/// the type and must still validate).
+fn health_events_and_schema_v2_compat() {
+    let dir = scratch_dir("health");
+    telemetry::init(&dir).unwrap();
+    telemetry::set_rank(2);
+    telemetry::set_step(5);
+    telemetry::health_event("supervisor.anomaly", "loss spike 312.5 vs median 1.2");
+    telemetry::health_event("supervisor.rollback", "restored step 4 checkpoint");
+    telemetry::clear_step();
+    telemetry::clear_rank();
+    telemetry::shutdown();
+
+    let lines = read_lines(&dir.join("events-rank2.jsonl"));
+    assert_eq!(lines.len(), 2, "one line per health event: {lines:?}");
+    for line in &lines {
+        json::validate_event_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+    }
+    let golden = vec![
+        r##"{"type":"health","v":#,"ts_us":#,"rank":#,"step":#,"tid":#,"kind":"supervisor.anomaly","detail":"loss spike 312.5 vs median 1.2"}"##,
+        r##"{"type":"health","v":#,"ts_us":#,"rank":#,"step":#,"tid":#,"kind":"supervisor.rollback","detail":"restored step 4 checkpoint"}"##,
+    ];
+    let normalized: Vec<String> = lines.iter().map(|l| normalize_numbers(l)).collect();
+    assert_eq!(
+        normalized, golden,
+        "health-event schema drifted — update the schema version and consumers together"
+    );
+    let parsed = json::parse(&lines[0]).unwrap();
+    assert_eq!(
+        parsed.get("v").unwrap().as_num(),
+        Some(telemetry::SCHEMA_VERSION as f64)
+    );
+    assert_eq!(parsed.get("rank").unwrap().as_num(), Some(2.0));
+
+    // v1 logs (no health lines) still validate; v1 lines claiming the
+    // health type do not — the type arrived with v2.
+    let v1_log = r##"{"type":"log","v":1,"ts_us":10,"rank":0,"step":1,"tid":1,"kind":"k","msg":"m"}"##;
+    json::validate_event_line(v1_log).expect("v1 log line must stay valid");
+    let v1_span =
+        r##"{"type":"span","v":1,"ts_us":10,"rank":0,"step":1,"tid":1,"name":"s","dur_us":3,"depth":0}"##;
+    json::validate_event_line(v1_span).expect("v1 span line must stay valid");
+    let v1_health = r##"{"type":"health","v":1,"ts_us":10,"rank":0,"step":1,"tid":1,"kind":"k","detail":"d"}"##;
+    assert!(
+        json::validate_event_line(v1_health).is_err(),
+        "health events must be rejected under schema v1"
+    );
+    let v3 = r##"{"type":"log","v":3,"ts_us":10,"rank":0,"step":1,"tid":1,"kind":"k","msg":"m"}"##;
+    assert!(
+        json::validate_event_line(v3).is_err(),
+        "future schema versions must be rejected"
     );
 }
 

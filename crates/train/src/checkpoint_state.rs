@@ -381,6 +381,45 @@ pub fn latest_in(dir: impl AsRef<Path>) -> Option<(PathBuf, TrainCheckpoint)> {
     None
 }
 
+/// Deletes the oldest `step-*.ckpt` files in `dir` until at most `keep`
+/// remain. `anchor_step` — the supervisor's rollback anchor — is never
+/// pruned even when it is among the oldest (and does not count against
+/// `keep`, so retention cannot silently shrink below the requested
+/// depth while an anchor is pinned). `keep == 0` disables pruning.
+///// Deletion failures are ignored: pruning is best-effort hygiene and
+/// must never fail a training run.
+pub fn prune_checkpoints(dir: impl AsRef<Path>, keep: usize, anchor_step: Option<u64>) {
+    if keep == 0 {
+        return;
+    }
+    let Ok(entries) = fs::read_dir(dir.as_ref()) else {
+        return;
+    };
+    let mut steps: Vec<(u64, PathBuf)> = entries
+        .flatten()
+        .filter_map(|entry| {
+            let path = entry.path();
+            let name = path.file_name()?.to_str()?;
+            let step = name
+                .strip_prefix("step-")?
+                .strip_suffix(".ckpt")?
+                .parse::<u64>()
+                .ok()?;
+            Some((step, path))
+        })
+        .filter(|(step, _)| anchor_step != Some(*step))
+        .collect();
+    if steps.len() <= keep {
+        return;
+    }
+    // Oldest first; everything before the newest `keep` goes.
+    steps.sort_by_key(|(step, _)| *step);
+    let excess = steps.len() - keep;
+    for (_, path) in steps.into_iter().take(excess) {
+        let _ = fs::remove_file(path);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,5 +554,54 @@ mod tests {
     #[test]
     fn latest_in_missing_dir_is_none() {
         assert!(latest_in("/nonexistent/matgnn-ckpts").is_none());
+    }
+
+    #[test]
+    fn pruning_keeps_newest_and_pins_the_anchor() {
+        let dir = std::env::temp_dir().join(format!("matgnn_prune_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let mut ckpt = sample_checkpoint();
+        for step in [1u64, 2, 3, 5, 8] {
+            ckpt.global_step = step;
+            ckpt.save(dir.join(TrainCheckpoint::file_name(step))).unwrap();
+        }
+        let present = |dir: &std::path::Path| -> Vec<u64> {
+            let mut steps: Vec<u64> = fs::read_dir(dir)
+                .unwrap()
+                .flatten()
+                .filter_map(|e| {
+                    e.path()
+                        .file_name()?
+                        .to_str()?
+                        .strip_prefix("step-")?
+                        .strip_suffix(".ckpt")?
+                        .parse()
+                        .ok()
+                })
+                .collect();
+            steps.sort_unstable();
+            steps
+        };
+
+        // keep == 0 disables pruning entirely.
+        prune_checkpoints(&dir, 0, None);
+        assert_eq!(present(&dir), vec![1, 2, 3, 5, 8]);
+
+        // Anchor step 2 is exempt: it survives even though it is among
+        // the oldest, and it does not count against keep=2.
+        prune_checkpoints(&dir, 2, Some(2));
+        assert_eq!(present(&dir), vec![2, 5, 8]);
+
+        // Without an anchor, only the newest `keep` remain.
+        prune_checkpoints(&dir, 1, None);
+        assert_eq!(present(&dir), vec![8]);
+
+        // Already at or below the target: a no-op.
+        prune_checkpoints(&dir, 4, None);
+        assert_eq!(present(&dir), vec![8]);
+
+        // Missing directory: best-effort silence, not a panic.
+        prune_checkpoints(dir.join("nope"), 3, Some(1));
+        fs::remove_dir_all(&dir).ok();
     }
 }

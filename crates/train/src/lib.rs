@@ -28,9 +28,12 @@ mod optimizer;
 pub mod profile;
 mod schedule;
 mod step;
+mod supervisor;
 mod trainer;
 
-pub use checkpoint_state::{crc32, latest_in, TrainCheckpoint, TrainCheckpointError};
+pub use checkpoint_state::{
+    crc32, latest_in, prune_checkpoints, TrainCheckpoint, TrainCheckpointError,
+};
 pub use loss::{LossConfig, LossKind};
 pub use noise_scale::{estimate_noise_scale, NoiseScaleEstimate};
 pub use optimizer::{adam_update, clip_grad_norm, Adam, AdamHyper, AdamState, Optimizer, Sgd};
@@ -39,6 +42,9 @@ pub use schedule::LrSchedule;
 pub use step::{
     checkpointed_step, checkpointed_step_with_sink, train_step, train_step_with_sink, vanilla_step,
     vanilla_step_with_sink, StepOutcome,
+};
+pub use supervisor::{
+    params_finite, AnomalyDetector, RollbackBudget, RunHealth, SupervisorConfig, Verdict,
 };
 pub use trainer::{
     evaluate, evaluate_per_source, EpochStats, EvalMetrics, TrainConfig, TrainReport, Trainer,

@@ -49,6 +49,14 @@ impl LrSchedule {
     pub fn lr(&self, base_lr: f32, step: usize) -> f32 {
         base_lr * self.factor(step)
     }
+
+    /// Supervisor retry multiplier after `consecutive` consecutive
+    /// rollbacks: `1.0` for the first retry (a transient anomaly replays
+    /// bitwise-identically), then `backoff^(n-1)` — geometric decay that
+    /// composes multiplicatively with the schedule's own factor.
+    pub fn backoff_factor(backoff: f32, consecutive: u32) -> f32 {
+        backoff.powi(consecutive.saturating_sub(1) as i32)
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +122,17 @@ mod tests {
             min_factor: 0.0,
         };
         assert!(s.factor(0) > 0.9);
+    }
+
+    #[test]
+    fn backoff_is_flat_then_geometric() {
+        // 0 or 1 consecutive rollbacks: full LR (bitwise-transparent
+        // first retry); each further consecutive rollback halves it.
+        assert_eq!(LrSchedule::backoff_factor(0.5, 0), 1.0);
+        assert_eq!(LrSchedule::backoff_factor(0.5, 1), 1.0);
+        assert_eq!(LrSchedule::backoff_factor(0.5, 2), 0.5);
+        assert_eq!(LrSchedule::backoff_factor(0.5, 3), 0.25);
+        assert!((LrSchedule::backoff_factor(0.1, 3) - 0.01).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! Training-run supervision: numerical anomaly detection and the
+//! rollback state machine that turns a detected anomaly into automatic
+//! recovery instead of a dead or silently-diverged run.
+//!
+//! The supervisor closes a detect→decide→recover loop around the
+//! training step:
+//!
+//! 1. **Detect** — after each optimizer step the loss is checked for
+//!    NaN/Inf and for spikes against a rolling median of recent healthy
+//!    losses ([`AnomalyDetector`]). Post-step parameters are checked for
+//!    non-finite values, which catches a NaN that entered through the
+//!    *gradient* (a NaN gradient makes the Adam update non-finite on the
+//!    same step on every rank, since replicas are identical).
+//! 2. **Decide** — in the distributed runner every rank contributes its
+//!    local verdict to a 1-element sum all-reduce; any non-zero flag
+//!    means *all* ranks roll back, so the decision is collective and
+//!    deterministic (same inputs → same verdict on every rank).
+//! 3. **Recover** — roll back to the last good checkpoint, re-run with
+//!    the anomaly source gone (transient) or with the learning rate
+//!    backed off (repeated), and give up after a bounded retry budget
+//!    ([`RunHealth::Failed`]).
+//!
+//! States move `Healthy → Anomalous → RolledBack → Degraded → Failed`
+//! (see DESIGN.md §7.6); [`RollbackBudget`] is the bookkeeping that
+//! drives those transitions.
+
+/// Configuration of the anomaly detector and rollback budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Window of recent healthy losses the rolling median is taken over.
+    pub anomaly_window: usize,
+    /// A loss is a spike when it exceeds `median * spike_threshold`
+    /// (checked only once the window is full).
+    pub spike_threshold: f64,
+    /// Total rollbacks allowed before the run is declared failed.
+    pub max_rollbacks: u32,
+    /// LR multiplier applied per *consecutive* rollback beyond the
+    /// first retry (the first retry runs at full LR so a transient
+    /// fault recovers bitwise-identically to an undisturbed run).
+    pub lr_backoff: f32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            anomaly_window: 8,
+            spike_threshold: 10.0,
+            max_rollbacks: 3,
+            lr_backoff: 0.5,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// The LR multiplier for a retry after `consecutive` consecutive
+    /// rollbacks of the same step: `1.0` for the first retry (bitwise
+    /// transparency for transient faults), then `lr_backoff^(n-1)`.
+    pub fn retry_lr_factor(&self, consecutive: u32) -> f32 {
+        crate::LrSchedule::backoff_factor(self.lr_backoff, consecutive)
+    }
+}
+
+/// What the detector concluded about one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The step looks numerically sound.
+    Healthy,
+    /// Loss or parameters are NaN/Inf.
+    NonFinite,
+    /// Loss exceeded the rolling-median spike threshold.
+    Spike,
+}
+
+impl Verdict {
+    /// Whether the step must be rolled back.
+    pub fn is_anomalous(self) -> bool {
+        !matches!(self, Verdict::Healthy)
+    }
+}
+
+/// Rolling-median spike detector over recent healthy losses.
+///
+/// Observations are keyed by global step and only accepted in strictly
+/// increasing order, so re-executing steps after a rollback does not
+/// double-count them; anomalous losses are never admitted into the
+/// window (a spike must not drag the median up to meet it).
+#[derive(Debug, Clone)]
+pub struct AnomalyDetector {
+    window: usize,
+    spike_threshold: f64,
+    recent: Vec<f64>,
+    highest_step: Option<u64>,
+}
+
+impl AnomalyDetector {
+    /// A detector with the given window and spike threshold.
+    pub fn new(cfg: &SupervisorConfig) -> Self {
+        AnomalyDetector {
+            window: cfg.anomaly_window.max(1),
+            spike_threshold: cfg.spike_threshold,
+            recent: Vec::new(),
+            highest_step: None,
+        }
+    }
+
+    /// Judges the loss of `global_step` and, when healthy, admits it
+    /// into the rolling window. Steps at or below the highest step seen
+    /// are judged but not re-admitted (rollback re-execution).
+    pub fn observe(&mut self, global_step: u64, loss: f64) -> Verdict {
+        let verdict = self.judge(loss);
+        if verdict == Verdict::Healthy && self.highest_step.is_none_or(|h| global_step > h) {
+            self.highest_step = Some(global_step);
+            if self.recent.len() == self.window {
+                self.recent.remove(0);
+            }
+            self.recent.push(loss);
+        }
+        verdict
+    }
+
+    /// The verdict for a loss value without recording it.
+    pub fn judge(&self, loss: f64) -> Verdict {
+        if !loss.is_finite() {
+            return Verdict::NonFinite;
+        }
+        if self.recent.len() == self.window {
+            let median = self.rolling_median();
+            // Guard the degenerate all-zero window: any positive loss
+            // would be an infinite ratio.
+            let floor = median.abs().max(1e-12);
+            if loss > floor * self.spike_threshold {
+                return Verdict::Spike;
+            }
+        }
+        Verdict::Healthy
+    }
+
+    /// Median of the current window (0 when empty).
+    pub fn rolling_median(&self) -> f64 {
+        if self.recent.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.recent.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            0.5 * (sorted[mid - 1] + sorted[mid])
+        }
+    }
+
+    /// Number of healthy losses currently in the window.
+    pub fn len(&self) -> usize {
+        self.recent.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.recent.is_empty()
+    }
+}
+
+/// Overall health of a supervised run (DESIGN.md §7.6 state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunHealth {
+    /// No anomaly outstanding.
+    Healthy,
+    /// An anomaly was detected this step; rollback is pending.
+    Anomalous,
+    /// Rolled back at least once; retrying at full LR.
+    RolledBack,
+    /// Repeated rollbacks of the same region; retrying with LR backed
+    /// off.
+    Degraded,
+    /// The retry budget is exhausted; the run is abandoned.
+    Failed,
+}
+
+/// Retry bookkeeping: total and consecutive rollback counts, and the
+/// health-state transitions they imply.
+#[derive(Debug, Clone)]
+pub struct RollbackBudget {
+    cfg: SupervisorConfig,
+    total: u32,
+    consecutive: u32,
+    health: RunHealth,
+}
+
+impl RollbackBudget {
+    /// A fresh budget in the [`RunHealth::Healthy`] state.
+    pub fn new(cfg: SupervisorConfig) -> Self {
+        RollbackBudget {
+            cfg,
+            total: 0,
+            consecutive: 0,
+            health: RunHealth::Healthy,
+        }
+    }
+
+    /// Records an anomaly verdict. Returns the new health state:
+    /// [`RunHealth::Failed`] once the total budget is exhausted,
+    /// otherwise `Anomalous` (a rollback should follow).
+    pub fn record_anomaly(&mut self) -> RunHealth {
+        self.total += 1;
+        self.consecutive += 1;
+        self.health = if self.total > self.cfg.max_rollbacks {
+            RunHealth::Failed
+        } else {
+            RunHealth::Anomalous
+        };
+        self.health
+    }
+
+    /// Records that the rollback completed and the run is retrying.
+    pub fn record_rolled_back(&mut self) -> RunHealth {
+        if self.health != RunHealth::Failed {
+            self.health = if self.consecutive > 1 {
+                RunHealth::Degraded
+            } else {
+                RunHealth::RolledBack
+            };
+        }
+        self.health
+    }
+
+    /// Records a healthy supervised step: consecutive-rollback streak
+    /// resets and the run returns to [`RunHealth::Healthy`].
+    pub fn record_healthy_step(&mut self) -> RunHealth {
+        self.consecutive = 0;
+        if self.health != RunHealth::Failed {
+            self.health = RunHealth::Healthy;
+        }
+        self.health
+    }
+
+    /// The LR multiplier retries should run at (1.0 on the first retry,
+    /// backed off on repeated consecutive rollbacks).
+    pub fn retry_lr_factor(&self) -> f32 {
+        self.cfg.retry_lr_factor(self.consecutive)
+    }
+
+    /// Total rollbacks so far.
+    pub fn total_rollbacks(&self) -> u32 {
+        self.total
+    }
+
+    /// Consecutive rollbacks without an intervening healthy step.
+    pub fn consecutive_rollbacks(&self) -> u32 {
+        self.consecutive
+    }
+
+    /// Current health state.
+    pub fn health(&self) -> RunHealth {
+        self.health
+    }
+
+    /// Whether the run has exhausted its budget.
+    pub fn failed(&self) -> bool {
+        self.health == RunHealth::Failed
+    }
+}
+
+/// Whether every parameter value in `params` is finite. The post-step
+/// NaN-gradient probe: replicas are identical after the optimizer step,
+/// so every rank computes the same answer without communicating.
+pub fn params_finite<'a>(params: impl IntoIterator<Item = &'a f32>) -> bool {
+    params.into_iter().all(|p| p.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SupervisorConfig {
+        SupervisorConfig {
+            anomaly_window: 4,
+            spike_threshold: 10.0,
+            max_rollbacks: 2,
+            lr_backoff: 0.5,
+        }
+    }
+
+    #[test]
+    fn nan_and_inf_are_nonfinite() {
+        let mut det = AnomalyDetector::new(&cfg());
+        assert_eq!(det.observe(0, f64::NAN), Verdict::NonFinite);
+        assert_eq!(det.observe(0, f64::INFINITY), Verdict::NonFinite);
+        assert_eq!(det.observe(0, 1.0), Verdict::Healthy);
+    }
+
+    #[test]
+    fn spike_needs_a_full_window() {
+        let mut det = AnomalyDetector::new(&cfg());
+        // Window not yet full: even a huge loss is not judged a spike.
+        assert_eq!(det.observe(0, 1.0), Verdict::Healthy);
+        assert_eq!(det.observe(1, 1000.0), Verdict::Healthy);
+        let mut det = AnomalyDetector::new(&cfg());
+        for step in 0..4 {
+            assert_eq!(det.observe(step, 1.0 + step as f64 * 0.01), Verdict::Healthy);
+        }
+        // Window full, median ≈ 1: 10x the median is flagged.
+        assert_eq!(det.observe(4, 50.0), Verdict::Spike);
+        // The spike was not admitted — a normal loss stays healthy.
+        assert_eq!(det.observe(5, 1.05), Verdict::Healthy);
+    }
+
+    #[test]
+    fn rollback_reexecution_does_not_double_count() {
+        let mut det = AnomalyDetector::new(&cfg());
+        for step in 0..3 {
+            det.observe(step, 1.0);
+        }
+        assert_eq!(det.len(), 3);
+        // Re-observing old steps (post-rollback replay) judges but does
+        // not grow the window.
+        det.observe(1, 1.0);
+        det.observe(2, 1.0);
+        assert_eq!(det.len(), 3);
+        det.observe(3, 1.0);
+        assert_eq!(det.len(), 4);
+    }
+
+    #[test]
+    fn rolling_median_is_the_median() {
+        let mut det = AnomalyDetector::new(&cfg());
+        for (step, loss) in [3.0, 1.0, 2.0, 100.0].iter().enumerate() {
+            det.observe(step as u64, *loss);
+        }
+        assert_eq!(det.rolling_median(), 2.5);
+    }
+
+    #[test]
+    fn budget_walks_the_state_machine() {
+        let mut b = RollbackBudget::new(cfg());
+        assert_eq!(b.health(), RunHealth::Healthy);
+        assert!((b.retry_lr_factor() - 1.0).abs() < 1e-9);
+
+        // First anomaly: rollback at full LR.
+        assert_eq!(b.record_anomaly(), RunHealth::Anomalous);
+        assert_eq!(b.record_rolled_back(), RunHealth::RolledBack);
+        assert!((b.retry_lr_factor() - 1.0).abs() < 1e-9);
+
+        // Second consecutive anomaly: degraded, LR backed off.
+        assert_eq!(b.record_anomaly(), RunHealth::Anomalous);
+        assert_eq!(b.record_rolled_back(), RunHealth::Degraded);
+        assert!((b.retry_lr_factor() - 0.5).abs() < 1e-9);
+
+        // A healthy step clears the streak.
+        assert_eq!(b.record_healthy_step(), RunHealth::Healthy);
+        assert_eq!(b.consecutive_rollbacks(), 0);
+        assert_eq!(b.total_rollbacks(), 2);
+
+        // Third anomaly exceeds max_rollbacks=2: failed, terminally.
+        assert_eq!(b.record_anomaly(), RunHealth::Failed);
+        assert!(b.failed());
+        assert_eq!(b.record_rolled_back(), RunHealth::Failed);
+        assert_eq!(b.record_healthy_step(), RunHealth::Failed);
+    }
+
+    #[test]
+    fn params_finite_detects_poison() {
+        assert!(params_finite(&[1.0f32, -2.0, 0.0]));
+        assert!(!params_finite(&[1.0f32, f32::NAN]));
+        assert!(!params_finite(&[f32::INFINITY]));
+    }
+}

@@ -14,8 +14,9 @@ use matgnn_model::GnnModel;
 use matgnn_tensor::Tape;
 
 use crate::{
-    clip_grad_norm, latest_in, train_step, Adam, AdamHyper, LossConfig, LrSchedule, Optimizer,
-    TrainCheckpoint,
+    clip_grad_norm, latest_in, params_finite, prune_checkpoints, train_step, Adam, AdamHyper,
+    AnomalyDetector, LossConfig, LrSchedule, Optimizer, RollbackBudget, RunHealth,
+    SupervisorConfig, TrainCheckpoint, Verdict,
 };
 
 /// Configuration of a training run.
@@ -107,6 +108,13 @@ pub struct TrainReport {
     pub wall: Duration,
     /// Whether early stopping ended the run before `epochs`.
     pub early_stopped: bool,
+    /// Final supervision verdict: [`RunHealth::Healthy`] for
+    /// unsupervised runs and supervised runs that finished (recovered
+    /// or not), [`RunHealth::Failed`] when the rollback budget was
+    /// exhausted and the run was abandoned.
+    pub health: RunHealth,
+    /// Total supervised rollbacks performed over the run.
+    pub rollbacks: u32,
 }
 
 impl TrainReport {
@@ -142,6 +150,31 @@ pub struct Trainer {
     checkpoint_dir: Option<PathBuf>,
     checkpoint_every: usize,
     resume: bool,
+    supervise: Option<SupervisorConfig>,
+    keep_checkpoints: usize,
+}
+
+/// Cross-attempt supervision state threaded through supervised
+/// [`Trainer::fit`] retries.
+struct TrainerSupervision {
+    detector: AnomalyDetector,
+    budget: RollbackBudget,
+    /// Global step of the checkpoint the last rollback restored; pinned
+    /// against retention pruning so the rollback target stays on disk.
+    anchor: Option<u64>,
+    /// Steps whose spike verdict already forced one rollback: replay is
+    /// bitwise-deterministic and the loss precedes the update, so a
+    /// spike that recurs identically is the true trajectory and gets
+    /// accepted instead of burning the budget in a rollback livelock.
+    spike_rollbacks: std::collections::HashSet<u64>,
+}
+
+/// How one supervised training attempt ended.
+enum FitExit {
+    /// Ran to completion (or early-stopped).
+    Completed,
+    /// Aborted on an anomalous step; the supervisor should roll back.
+    Anomaly,
 }
 
 impl Trainer {
@@ -152,6 +185,8 @@ impl Trainer {
             checkpoint_dir: None,
             checkpoint_every: 0,
             resume: false,
+            supervise: None,
+            keep_checkpoints: 0,
         }
     }
 
@@ -181,8 +216,35 @@ impl Trainer {
         self
     }
 
+    /// Enables run supervision: after every optimizer step the loss and
+    /// post-step parameters are checked for NaN/Inf and loss spikes
+    /// (see [`AnomalyDetector`]); an anomalous step is rolled back to
+    /// the newest checkpoint (or the parameters `fit` was entered with,
+    /// when no checkpoint exists yet) and retried — at full LR first,
+    /// then with the LR backed off on repeated consecutive rollbacks —
+    /// until `cfg.max_rollbacks` is exhausted and the run is declared
+    /// [`RunHealth::Failed`].
+    pub fn with_supervision(mut self, cfg: SupervisorConfig) -> Self {
+        self.supervise = Some(cfg);
+        self
+    }
+
+    /// Caps the checkpoint directory at the `n` newest checkpoints
+    /// (0 = keep everything). The supervised rollback anchor is never
+    /// pruned. See [`prune_checkpoints`].
+    pub fn keep_checkpoints(mut self, n: usize) -> Self {
+        self.keep_checkpoints = n;
+        self
+    }
+
     /// Trains `model` on `train`, optionally evaluating on `test` after
     /// every epoch.
+    ///
+    /// With [`with_supervision`](Self::with_supervision) this wraps the
+    /// attempt in the detect→decide→recover loop; a report from a run
+    /// that rolled back covers only the final (post-rollback) attempt's
+    /// epochs, mirroring how a resumed run reports only the epochs it
+    /// executed.
     ///
     /// # Panics
     ///
@@ -194,9 +256,93 @@ impl Trainer {
         test: Option<&Dataset>,
         normalizer: &Normalizer,
     ) -> TrainReport {
+        let Some(sup_cfg) = self.supervise else {
+            return self.fit_once(model, train, test, normalizer, None).0;
+        };
+        // The rollback target before any checkpoint exists: the
+        // parameters at entry (Adam state is implicitly fresh — each
+        // attempt recreates the optimizer).
+        let initial = model.params().flatten();
+        let mut sup = TrainerSupervision {
+            detector: AnomalyDetector::new(&sup_cfg),
+            budget: RollbackBudget::new(sup_cfg),
+            anchor: None,
+            spike_rollbacks: std::collections::HashSet::new(),
+        };
+        let mut attempt = self.clone();
+        loop {
+            let (mut report, exit) =
+                attempt.fit_once(model, train, test, normalizer, Some(&mut sup));
+            report.rollbacks = sup.budget.total_rollbacks();
+            match exit {
+                FitExit::Completed => return report,
+                FitExit::Anomaly => {
+                    let health = sup.budget.record_anomaly();
+                    if health == RunHealth::Failed {
+                        matgnn_telemetry::health_event(
+                            "supervisor.failed",
+                            &format!(
+                                "rollback budget exhausted after {} rollbacks; abandoning the run",
+                                sup.budget.total_rollbacks().saturating_sub(1)
+                            ),
+                        );
+                        report.health = RunHealth::Failed;
+                        report.rollbacks = sup.budget.total_rollbacks().saturating_sub(1);
+                        return report;
+                    }
+                    match attempt.checkpoint_dir.as_deref().and_then(latest_in) {
+                        Some((_, ckpt)) => {
+                            sup.anchor = Some(ckpt.global_step);
+                            // `fit_once` restores the newest checkpoint
+                            // itself on the retry.
+                            attempt.resume = true;
+                            matgnn_telemetry::health_event(
+                                "supervisor.rollback",
+                                &format!(
+                                    "restored step {} checkpoint (rollback {} of {})",
+                                    ckpt.global_step,
+                                    sup.budget.total_rollbacks(),
+                                    sup_cfg.max_rollbacks
+                                ),
+                            );
+                        }
+                        None => {
+                            model.params_mut().unflatten_from(&initial);
+                            attempt.resume = false;
+                            matgnn_telemetry::health_event(
+                                "supervisor.rollback",
+                                &format!(
+                                    "no checkpoint on disk; restarted from initial state \
+                                     (rollback {} of {})",
+                                    sup.budget.total_rollbacks(),
+                                    sup_cfg.max_rollbacks
+                                ),
+                            );
+                        }
+                    }
+                    matgnn_telemetry::counter_add("supervisor.rollback", 1);
+                    sup.budget.record_rolled_back();
+                }
+            }
+        }
+    }
+
+    /// One training attempt (the whole run, when unsupervised).
+    fn fit_once<M: GnnModel>(
+        &self,
+        model: &mut M,
+        train: &Dataset,
+        test: Option<&Dataset>,
+        normalizer: &Normalizer,
+        mut sup: Option<&mut TrainerSupervision>,
+    ) -> (TrainReport, FitExit) {
         assert!(!train.is_empty(), "cannot train on an empty dataset");
         let cfg = &self.config;
         let accum = cfg.grad_accum_steps.max(1);
+        // Retry attempts after repeated consecutive rollbacks run the
+        // whole attempt at a backed-off LR; the first retry's factor is
+        // 1.0 so a transient anomaly recovers bitwise-identically.
+        let lr_factor = sup.as_deref().map_or(1.0, |s| s.budget.retry_lr_factor());
         let start = Instant::now();
         let mut optimizer = Adam::new(model.params(), cfg.adam, None);
         let mut epochs = Vec::with_capacity(cfg.epochs);
@@ -259,7 +405,7 @@ impl Trainer {
                 if let Some(max_norm) = cfg.grad_clip {
                     let _ = clip_grad_norm(&mut grads, max_norm);
                 }
-                let lr = cfg.schedule.lr(cfg.base_lr, *step);
+                let lr = cfg.schedule.lr(cfg.base_lr, *step) * lr_factor;
                 optimizer.step(model.params_mut(), &grads, lr);
                 // The gradients are fully consumed by the update; hand
                 // their buffers back so the next backward pass reuses them.
@@ -323,6 +469,45 @@ impl Trainer {
                 micro += 1;
                 if micro == accum {
                     flush(&mut accum_buf, &mut micro, model, &mut optimizer, &mut step);
+                    // Detect → decide: post-step numerical health. An
+                    // anomalous step aborts the attempt *before* it can
+                    // be checkpointed, so the newest checkpoint on disk
+                    // is always a healthy rollback target.
+                    if let Some(s) = sup.as_deref_mut() {
+                        let verdict = s.detector.observe(step as u64, outcome.loss);
+                        // A spiked step gets exactly one rollback;
+                        // recurring identically on replay, it is
+                        // accepted as genuine.
+                        let spike = verdict == Verdict::Spike
+                            && s.spike_rollbacks.insert(step as u64);
+                        let anomalous = verdict == Verdict::NonFinite
+                            || spike
+                            || !params_finite(model.params().flatten().data());
+                        if anomalous {
+                            matgnn_telemetry::health_event(
+                                "supervisor.anomaly",
+                                &format!(
+                                    "step {step}: verdict {verdict:?}, loss {}",
+                                    outcome.loss
+                                ),
+                            );
+                            matgnn_telemetry::counter_add("supervisor.anomaly", 1);
+                            matgnn_telemetry::clear_step();
+                            return (
+                                TrainReport {
+                                    epochs,
+                                    final_eval: None,
+                                    steps: step - steps_at_entry,
+                                    wall: start.elapsed(),
+                                    early_stopped: false,
+                                    health: RunHealth::Anomalous,
+                                    rollbacks: s.budget.total_rollbacks(),
+                                },
+                                FitExit::Anomaly,
+                            );
+                        }
+                        s.budget.record_healthy_step();
+                    }
                     // Periodic checkpoints land on optimizer-step
                     // boundaries, where no accumulation is in flight.
                     if let Some(dir) = &self.checkpoint_dir {
@@ -339,6 +524,13 @@ impl Trainer {
                                 &optimizer,
                                 normalizer,
                             );
+                            if self.keep_checkpoints > 0 {
+                                prune_checkpoints(
+                                    dir,
+                                    self.keep_checkpoints,
+                                    sup.as_deref().and_then(|s| s.anchor),
+                                );
+                            }
                         }
                     }
                 }
@@ -373,6 +565,13 @@ impl Trainer {
                     &optimizer,
                     normalizer,
                 );
+                if self.keep_checkpoints > 0 {
+                    prune_checkpoints(
+                        dir,
+                        self.keep_checkpoints,
+                        sup.as_deref().and_then(|s| s.anchor),
+                    );
+                }
             }
 
             if let (Some(patience), Some(tl)) = (cfg.early_stop_patience, test_loss) {
@@ -391,13 +590,18 @@ impl Trainer {
 
         matgnn_telemetry::clear_step();
         let final_eval = test.map(|t| evaluate(model, t, normalizer, &cfg.loss, cfg.batch_size));
-        TrainReport {
-            epochs,
-            final_eval,
-            steps: step - steps_at_entry,
-            wall: start.elapsed(),
-            early_stopped,
-        }
+        (
+            TrainReport {
+                epochs,
+                final_eval,
+                steps: step - steps_at_entry,
+                wall: start.elapsed(),
+                early_stopped,
+                health: RunHealth::Healthy,
+                rollbacks: sup.as_deref().map_or(0, |s| s.budget.total_rollbacks()),
+            },
+            FitExit::Completed,
+        )
     }
 }
 
@@ -826,6 +1030,95 @@ mod tests {
         );
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&crash_dir);
+    }
+
+    #[test]
+    fn supervision_is_transparent_on_a_healthy_run() {
+        let (train, _, norm) = small_data();
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            seed: 13,
+            ..Default::default()
+        };
+        let mut plain = Egnn::new(EgnnConfig::new(8, 2).with_seed(7));
+        let plain_report = Trainer::new(cfg).fit(&mut plain, &train, None, &norm);
+        let mut watched = Egnn::new(EgnnConfig::new(8, 2).with_seed(7));
+        let report = Trainer::new(cfg)
+            .with_supervision(SupervisorConfig::default())
+            .fit(&mut watched, &train, None, &norm);
+
+        assert_eq!(report.health, RunHealth::Healthy);
+        assert_eq!(report.rollbacks, 0);
+        for (a, b) in report.epochs.iter().zip(&plain_report.epochs) {
+            assert_eq!(
+                a.train_loss.to_bits(),
+                b.train_loss.to_bits(),
+                "supervision perturbed epoch {}",
+                a.epoch
+            );
+        }
+        assert!(
+            plain
+                .params()
+                .flatten()
+                .allclose(&watched.params().flatten(), 0.0),
+            "supervision perturbed the parameters"
+        );
+    }
+
+    #[test]
+    fn supervised_divergence_rolls_back_then_fails() {
+        let (train, _, norm) = small_data();
+        let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(5));
+        let snapshot = model.params().flatten();
+        // An absurd LR blows the parameters up on the first optimizer
+        // step; with no checkpoint directory each rollback restores the
+        // entry snapshot, and the same divergence recurs until the
+        // budget is spent.
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            base_lr: 1e12,
+            grad_clip: None,
+            ..Default::default()
+        };
+        let report = Trainer::new(cfg)
+            .with_supervision(SupervisorConfig {
+                anomaly_window: 1,
+                max_rollbacks: 2,
+                ..Default::default()
+            })
+            .fit(&mut model, &train, None, &norm);
+
+        assert_eq!(report.health, RunHealth::Failed);
+        assert_eq!(report.rollbacks, 2, "budget allows exactly 2 rollbacks");
+        // The abandoned model holds the last (anomalous) attempt's
+        // parameters, not the snapshot — the caller decides what to do.
+        let _ = snapshot;
+    }
+
+    #[test]
+    fn trainer_prunes_checkpoints_to_the_cap() {
+        let (train, _, norm) = small_data();
+        let dir = ckpt_dir("retention");
+        let mut model = Egnn::new(EgnnConfig::new(8, 2).with_seed(3));
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            ..Default::default()
+        };
+        let _ = Trainer::new(cfg)
+            .with_checkpointing(&dir, 1)
+            .keep_checkpoints(2)
+            .fit(&mut model, &train, None, &norm);
+
+        let n_files = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(n_files, 2, "retention left {n_files} checkpoints");
+        let (_, newest) = latest_in(&dir).expect("newest checkpoint");
+        // 24 train graphs / batch 8 = 3 steps per epoch, 2 epochs.
+        assert_eq!(newest.global_step, 6);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
