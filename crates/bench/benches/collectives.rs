@@ -34,7 +34,9 @@ fn bench_all_reduce(c: &mut Criterion) {
     for &world in &[2usize, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(world), &world, |b, &w| {
             b.iter(|| {
-                run_collective(w, 100_000, |comm, data| comm.all_reduce_sum(data));
+                run_collective(w, 100_000, |comm, data| {
+                    comm.all_reduce_sum(data).expect("all_reduce");
+                });
             })
         });
     }
@@ -49,8 +51,8 @@ fn bench_zero_pattern(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(world), &world, |b, &w| {
             b.iter(|| {
                 run_collective(w, 100_000, |comm, data| {
-                    let shard = comm.reduce_scatter_sum(data);
-                    let gathered = comm.all_gather(&shard, data.len());
+                    let shard = comm.reduce_scatter_sum(data).expect("reduce_scatter");
+                    let gathered = comm.all_gather(&shard, data.len()).expect("all_gather");
                     data.copy_from_slice(&gathered);
                 });
             })

@@ -69,7 +69,8 @@ fn bench_optimizer_variants(c: &mut Criterion) {
                     handles.push(scope.spawn(move || {
                         let mut zero = ZeroAdam::new(n, comm.rank(), 4, AdamHyper::default(), None);
                         let mut params = vec![0.5f32; n];
-                        zero.step(&mut comm, &mut params, &grads, 1e-3);
+                        zero.step(&mut comm, &mut params, &grads, 1e-3)
+                            .expect("zero step");
                         black_box(params[0])
                     }));
                 }

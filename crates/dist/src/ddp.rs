@@ -1068,9 +1068,8 @@ fn run_until_done<M: GnnModel + Clone>(
                 // A spiked step gets exactly one rollback; recurring
                 // identically on replay, it is accepted as genuine.
                 let spike = verdict == Verdict::Spike && s.spike_rollbacks.insert(st.global_step);
-                let anomalous = verdict == Verdict::NonFinite
-                    || spike
-                    || !params_finite(flat_params.data());
+                let anomalous =
+                    verdict == Verdict::NonFinite || spike || !params_finite(flat_params.data());
                 if anomalous {
                     matgnn_telemetry::health_event(
                         "supervisor.anomaly",
@@ -1331,9 +1330,7 @@ where
                                             "restored step {} checkpoint (rollback {} of {})",
                                             ckpt.global_step,
                                             s.budget.total_rollbacks(),
-                                            cfg.supervise
-                                                .as_ref()
-                                                .map_or(0, |sc| sc.max_rollbacks),
+                                            cfg.supervise.as_ref().map_or(0, |sc| sc.max_rollbacks),
                                         ),
                                     );
                                     restore_state(
@@ -1403,8 +1400,7 @@ where
                             // the heartbeat carries over, the watchdog is
                             // rebuilt around the new group's failure
                             // handle.
-                            if let (Some(hb), Some(deadline)) =
-                                (&heartbeat, cfg.progress_deadline)
+                            if let (Some(hb), Some(deadline)) = (&heartbeat, cfg.progress_deadline)
                             {
                                 hb.beat();
                                 c.set_heartbeat(Some(Arc::clone(hb)));
@@ -1480,6 +1476,7 @@ where
                 if matgnn_telemetry::enabled() {
                     matgnn_tensor::recycler::publish_telemetry();
                     matgnn_tensor::pool::publish_telemetry();
+                    matgnn_tensor::simd::publish_telemetry();
                     matgnn_telemetry::flush_metrics();
                 }
                 matgnn_telemetry::clear_rank();

@@ -9,7 +9,7 @@
 //! and share one sink directory whose health stream is asserted at the
 //! end.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use matgnn_data::{Dataset, GeneratorConfig, Normalizer};
@@ -30,14 +30,14 @@ fn data() -> (Dataset, Normalizer) {
     (ds, norm)
 }
 
-fn base_cfg(dir: &PathBuf) -> DdpConfig {
+fn base_cfg(dir: &Path) -> DdpConfig {
     DdpConfig {
         world: 4,
         epochs: 2,
         batch_size: 2,
         seed: 13,
         comm_timeout: Duration::from_secs(5),
-        checkpoint_dir: Some(dir.clone()),
+        checkpoint_dir: Some(dir.to_path_buf()),
         checkpoint_every: 1,
         ..Default::default()
     }
@@ -171,7 +171,10 @@ fn hung_rank_is_cut_by_the_watchdog_and_survivors_regroup() {
         report.ranks[1].watchdog_fired,
         "the hang must be caught by the hung rank's own watchdog"
     );
-    assert!(!report.ranks[0].watchdog_fired, "peers were parked, not stalled");
+    assert!(
+        !report.ranks[0].watchdog_fired,
+        "peers were parked, not stalled"
+    );
     assert_eq!(report.epoch_loss.len(), 2);
     assert!(report.epoch_loss.iter().all(|l| l.is_finite()));
     assert!(
@@ -182,7 +185,7 @@ fn hung_rank_is_cut_by_the_watchdog_and_survivors_regroup() {
 
 /// The health JSONL stream must carry the supervisor's story: anomaly
 /// verdicts, the rollbacks, and the watchdog escalation.
-fn health_stream_recorded_the_interventions(dir: &PathBuf) {
+fn health_stream_recorded_the_interventions(dir: &Path) {
     let mut health = String::new();
     for entry in std::fs::read_dir(dir).unwrap() {
         let path = entry.unwrap().path();
@@ -209,5 +212,8 @@ fn health_stream_recorded_the_interventions(dir: &PathBuf) {
             checked += 1;
         }
     }
-    assert!(checked >= 3, "expected at least 3 health lines, got {checked}");
+    assert!(
+        checked >= 3,
+        "expected at least 3 health lines, got {checked}"
+    );
 }

@@ -331,12 +331,13 @@ fn health_events_and_schema_v2_compat() {
 
     // v1 logs (no health lines) still validate; v1 lines claiming the
     // health type do not — the type arrived with v2.
-    let v1_log = r##"{"type":"log","v":1,"ts_us":10,"rank":0,"step":1,"tid":1,"kind":"k","msg":"m"}"##;
+    let v1_log =
+        r##"{"type":"log","v":1,"ts_us":10,"rank":0,"step":1,"tid":1,"kind":"k","msg":"m"}"##;
     json::validate_event_line(v1_log).expect("v1 log line must stay valid");
-    let v1_span =
-        r##"{"type":"span","v":1,"ts_us":10,"rank":0,"step":1,"tid":1,"name":"s","dur_us":3,"depth":0}"##;
+    let v1_span = r##"{"type":"span","v":1,"ts_us":10,"rank":0,"step":1,"tid":1,"name":"s","dur_us":3,"depth":0}"##;
     json::validate_event_line(v1_span).expect("v1 span line must stay valid");
-    let v1_health = r##"{"type":"health","v":1,"ts_us":10,"rank":0,"step":1,"tid":1,"kind":"k","detail":"d"}"##;
+    let v1_health =
+        r##"{"type":"health","v":1,"ts_us":10,"rank":0,"step":1,"tid":1,"kind":"k","detail":"d"}"##;
     assert!(
         json::validate_event_line(v1_health).is_err(),
         "health events must be rejected under schema v1"

@@ -40,6 +40,7 @@ mod memory;
 pub mod pool;
 pub mod recycler;
 mod shape;
+pub mod simd;
 mod tape;
 mod tensor;
 

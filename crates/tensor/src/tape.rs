@@ -828,10 +828,9 @@ impl Tape {
                 self.accumulate(grads, grad_bytes, *a, g.mul(&mask));
             }
             Op::Silu(a) => {
-                let d = self.value(*a).map(|x| {
-                    let s = 1.0 / (1.0 + (-x).exp());
-                    s * (1.0 + x * (1.0 - s))
-                });
+                // d/dx silu = s(1 + x(1 − s)) with s = sigmoid(x), via the
+                // vectorized SiluGrad kernel.
+                let d = self.value(*a).silu_grad();
                 self.accumulate(grads, grad_bytes, *a, g.mul(&d));
             }
             Op::Tanh(a) => {

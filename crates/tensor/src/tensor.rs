@@ -11,7 +11,7 @@ use std::sync::{Arc, OnceLock};
 
 use rand::Rng;
 
-use crate::{pool, recycler, Shape, TensorError};
+use crate::{pool, recycler, simd, Shape, TensorError};
 
 /// FLOP count (2·n·k·m) below which the matmul variants stay serial: pool
 /// dispatch and cache-block bookkeeping cost more than they save.
@@ -20,6 +20,21 @@ const MATMUL_PAR_FLOPS: usize = 4_000_000;
 /// Element count below which elementwise / copy / scatter kernels stay
 /// serial for the same reason.
 const ELEM_PAR_MIN: usize = 1 << 16;
+
+/// Element count below which the axis reductions stay serial. Reductions
+/// read each input element exactly once and write far fewer, so they are
+/// memory-bound with no reuse — pool dispatch only pays for itself on much
+/// larger inputs than for the elementwise kernels (a 1M-element `sum_axis0`
+/// *regressed* to 0.56× under the pool before this gate was raised).
+const SUM_PAR_MIN: usize = 1 << 21;
+
+/// Element count below which `scatter_add_rows` stays serial. Scatter is
+/// parallelised by *output* row ranges, so every worker re-scans the full
+/// index list and skips the rows it does not own — duplicated work that
+/// grows with pool size while the per-worker useful work shrinks. With the
+/// adds themselves vectorised, the duplicated scan dominates until inputs
+/// are much larger than the elementwise threshold.
+const SCATTER_PAR_MIN: usize = 1 << 23;
 
 /// Whether `cost` work units justify fanning out to the worker pool.
 ///
@@ -292,40 +307,50 @@ impl Tensor {
     // Elementwise
     // ------------------------------------------------------------------
 
-    fn zip_same_shape(
-        &self,
-        other: &Tensor,
-        op: &'static str,
-        f: impl Fn(f32, f32) -> f32 + Sync,
-    ) -> Tensor {
+    /// Shared plumbing for `add`/`sub`/`mul`/`div`: dispatches the
+    /// [`simd`] binary kernel, layered under the pool for large tensors.
+    /// The kernel is elementwise, so results are pool-size invariant; the
+    /// four ops are single IEEE operations per lane, so they are also
+    /// bitwise identical across SIMD tiers.
+    fn binary_op(&self, other: &Tensor, name: &'static str, op: simd::BinaryOp) -> Tensor {
         assert_eq!(
             self.shape, other.shape,
-            "shape mismatch in {op}: {} vs {}",
+            "shape mismatch in {name}: {} vs {}",
             self.shape, other.shape
         );
-        if !use_pool(self.numel(), ELEM_PAR_MIN) {
-            return Tensor::build(self.shape.clone(), |v| {
-                v.extend(
-                    self.data
-                        .iter()
-                        .zip(other.data.iter())
-                        .map(|(&a, &b)| f(a, b)),
-                );
-            });
-        }
         let mut data = zeroed(self.numel());
         let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
         let (lhs, rhs) = (&self.data[..], &other.data[..]);
-        pool::for_each_chunk_mut(out, 1, |start, chunk| {
-            let n = chunk.len();
-            for ((o, &a), &b) in chunk
-                .iter_mut()
-                .zip(&lhs[start..start + n])
-                .zip(&rhs[start..start + n])
-            {
-                *o = f(a, b);
-            }
-        });
+        if use_pool(out.len(), ELEM_PAR_MIN) {
+            pool::for_each_chunk_mut(out, 1, |start, chunk| {
+                let n = chunk.len();
+                simd::binary(op, &lhs[start..start + n], &rhs[start..start + n], chunk);
+            });
+        } else {
+            simd::binary(op, lhs, rhs, out);
+        }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// Shared plumbing for the named unary ops: dispatches the [`simd`]
+    /// unary kernel, layered under the pool for large tensors. Elementwise
+    /// (pool-size invariant within a tier); the `exp`-family ops differ
+    /// from the scalar tier by ≈1 ulp on AVX2, everything else is bitwise
+    /// identical across tiers.
+    fn unary_op(&self, op: simd::UnaryOp) -> Tensor {
+        let mut data = zeroed(self.numel());
+        let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
+        let src = &self.data[..];
+        if use_pool(out.len(), ELEM_PAR_MIN) {
+            pool::for_each_chunk_mut(out, 1, |start, chunk| {
+                simd::unary(op, &src[start..start + chunk.len()], chunk);
+            });
+        } else {
+            simd::unary(op, src, out);
+        }
         Tensor {
             shape: self.shape.clone(),
             data,
@@ -358,67 +383,74 @@ impl Tensor {
 
     /// Elementwise sum. Panics on shape mismatch.
     pub fn add(&self, other: &Tensor) -> Tensor {
-        self.zip_same_shape(other, "add", |a, b| a + b)
+        self.binary_op(other, "add", simd::BinaryOp::Add)
     }
 
     /// Elementwise difference. Panics on shape mismatch.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        self.zip_same_shape(other, "sub", |a, b| a - b)
+        self.binary_op(other, "sub", simd::BinaryOp::Sub)
     }
 
     /// Elementwise (Hadamard) product. Panics on shape mismatch.
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        self.zip_same_shape(other, "mul", |a, b| a * b)
+        self.binary_op(other, "mul", simd::BinaryOp::Mul)
     }
 
     /// Elementwise quotient. Panics on shape mismatch.
     pub fn div(&self, other: &Tensor) -> Tensor {
-        self.zip_same_shape(other, "div", |a, b| a / b)
+        self.binary_op(other, "div", simd::BinaryOp::Div)
     }
 
     /// Multiplies every element by `alpha`.
     pub fn scale(&self, alpha: f32) -> Tensor {
-        self.map(|a| a * alpha)
+        self.unary_op(simd::UnaryOp::Scale(alpha))
     }
 
     /// Adds `alpha` to every element.
     pub fn add_scalar(&self, alpha: f32) -> Tensor {
-        self.map(|a| a + alpha)
+        self.unary_op(simd::UnaryOp::AddScalar(alpha))
     }
 
     /// Elementwise negation.
     pub fn neg(&self) -> Tensor {
-        self.map(|a| -a)
+        self.unary_op(simd::UnaryOp::Neg)
     }
 
     /// Elementwise square.
     pub fn square(&self) -> Tensor {
-        self.map(|a| a * a)
+        self.unary_op(simd::UnaryOp::Square)
     }
 
     /// Elementwise square root.
     pub fn sqrt(&self) -> Tensor {
-        self.map(f32::sqrt)
+        self.unary_op(simd::UnaryOp::Sqrt)
     }
 
     /// Elementwise absolute value.
     pub fn abs(&self) -> Tensor {
-        self.map(f32::abs)
+        self.unary_op(simd::UnaryOp::Abs)
     }
 
     /// Elementwise exponential.
     pub fn exp(&self) -> Tensor {
-        self.map(f32::exp)
+        self.unary_op(simd::UnaryOp::Exp)
     }
 
     /// Rectified linear unit.
     pub fn relu(&self) -> Tensor {
-        self.map(|a| a.max(0.0))
+        self.unary_op(simd::UnaryOp::Relu)
     }
 
     /// Sigmoid-weighted linear unit `x * sigmoid(x)` (a.k.a. swish).
     pub fn silu(&self) -> Tensor {
-        self.map(|a| a / (1.0 + (-a).exp()))
+        self.unary_op(simd::UnaryOp::Silu)
+    }
+
+    /// Derivative of [`silu`](Tensor::silu) at every element:
+    /// `s(1 + x(1 − s))` with `s = sigmoid(x)` (used by the tape's
+    /// backward rule).
+    pub(crate) fn silu_grad(&self) -> Tensor {
+        self.unary_op(simd::UnaryOp::SiluGrad)
     }
 
     /// Hyperbolic tangent.
@@ -428,7 +460,7 @@ impl Tensor {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Tensor {
-        self.map(|a| 1.0 / (1.0 + (-a).exp()))
+        self.unary_op(simd::UnaryOp::Sigmoid)
     }
 
     // ------------------------------------------------------------------
@@ -573,10 +605,12 @@ impl Tensor {
 
     /// Matrix product `self × other` for `[n,k] × [k,m]`.
     ///
-    /// Runs the cache-blocked [`matmul_rows`] microkernel; large products
-    /// are split by row blocks across the persistent worker [`pool`]
-    /// (bitwise identical to the serial path — see the pool docs), small
-    /// ones run serially to avoid dispatch overhead.
+    /// Runs the cache-blocked [`simd::matmul_rows`] microkernel (FMA
+    /// register tiles on the AVX2 tier, the portable blocked loop on the
+    /// scalar tier); large products are split by row blocks across the
+    /// persistent worker [`pool`] (bitwise identical to the serial path —
+    /// see the pool docs), small ones run serially to avoid dispatch
+    /// overhead.
     ///
     /// # Panics
     ///
@@ -592,10 +626,10 @@ impl Tensor {
         if !out.is_empty() {
             if use_pool(2 * n * k * m, MATMUL_PAR_FLOPS) {
                 pool::for_each_chunk_mut(out, m, |start, chunk| {
-                    matmul_rows(a, b, chunk, start / m, k, m);
+                    simd::matmul_rows(a, b, chunk, start / m, k, m);
                 });
             } else {
-                matmul_rows(a, b, out, 0, k, m);
+                simd::matmul_rows(a, b, out, 0, k, m);
             }
         }
         Tensor {
@@ -621,33 +655,24 @@ impl Tensor {
         self.transpose().matmul(other)
     }
 
-    /// `self × otherᵀ` for `[n,k] × [m,k]ᵀ`, without materialising the
-    /// transpose (used by matmul backward).
+    /// `self × otherᵀ` for `[n,k] × [m,k]ᵀ` (used by matmul backward).
+    ///
+    /// Packs `otherᵀ` once (a parallel [`transpose`](Tensor::transpose))
+    /// so the shared blocked microkernel runs unit-stride on both
+    /// operands. The old dedicated kernel walked `other` with stride `k`
+    /// dot products and ran 2.3× slower than `matmul` on the same FLOPs;
+    /// the packed panel closes that gap on both tiers. Per-element
+    /// accumulation stays in ascending-`k` order, so scalar-tier results
+    /// are bitwise identical to the direct strided loop.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
-        let (n, k) = (self.rows(), self.cols());
-        let (m, k2) = (other.rows(), other.cols());
+        let k = self.cols();
+        let k2 = other.cols();
         assert_eq!(
             k, k2,
             "matmul_nt inner dim: {} vs {}",
             self.shape, other.shape
         );
-        let a = &self.data[..];
-        let b = &other.data[..];
-        let mut data = zeroed(n * m);
-        let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
-        if !out.is_empty() {
-            if use_pool(2 * n * k * m, MATMUL_PAR_FLOPS) {
-                pool::for_each_chunk_mut(out, m, |start, chunk| {
-                    matmul_nt_rows(a, b, chunk, start / m, k, m);
-                });
-            } else {
-                matmul_nt_rows(a, b, out, 0, k, m);
-            }
-        }
-        Tensor {
-            shape: Shape::matrix(n, m),
-            data,
-        }
+        self.matmul(&other.transpose())
     }
 
     /// Matrix transpose of a rank-2 tensor (parallel over output rows for
@@ -713,28 +738,23 @@ impl Tensor {
 
     /// Column sums: `[n,m] → [m]`.
     ///
-    /// Parallel over column ranges: each worker owns a disjoint set of
-    /// output columns and scans rows in ascending order, so every output
-    /// element accumulates in exactly the serial order.
+    /// Parallel over column ranges above [`SUM_PAR_MIN`] elements: each
+    /// worker owns a disjoint set of output columns and scans rows in
+    /// ascending order, so every output element accumulates in exactly the
+    /// serial order (and lane-wise adds make the AVX2 tier bitwise
+    /// identical to scalar, too).
     pub fn sum_axis0(&self) -> Tensor {
         let (n, m) = (self.rows(), self.cols());
         let mut data = zeroed(m);
         let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
         let src = &self.data[..];
-        let reduce = |c0: usize, cols: &mut [f32]| {
-            let w = cols.len();
-            for i in 0..n {
-                let row = &src[i * m + c0..i * m + c0 + w];
-                for (o, &v) in cols.iter_mut().zip(row) {
-                    *o += v;
-                }
-            }
-        };
         if !out.is_empty() {
-            if use_pool(n * m, ELEM_PAR_MIN) {
-                pool::for_each_chunk_mut(out, 1, reduce);
+            if use_pool(n * m, SUM_PAR_MIN) {
+                pool::for_each_chunk_mut(out, 1, |c0, cols| {
+                    simd::sum_axis0_cols(src, n, m, c0, cols);
+                });
             } else {
-                reduce(0, out);
+                simd::sum_axis0_cols(src, n, m, 0, out);
             }
         }
         Tensor {
@@ -743,24 +763,21 @@ impl Tensor {
         }
     }
 
-    /// Row sums: `[n,m] → [n,1]` (parallel over rows; each row is one
-    /// serial sum, so per-element order is unchanged).
+    /// Row sums: `[n,m] → [n,1]` (parallel over rows above
+    /// [`SUM_PAR_MIN`] elements; rows never straddle a chunk, so the
+    /// per-row reduction order is pool-size invariant).
     pub fn sum_axis1(&self) -> Tensor {
         let (n, m) = (self.rows(), self.cols());
         let mut data = zeroed(n);
         let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
         let src = &self.data[..];
-        let reduce = |r0: usize, rows: &mut [f32]| {
-            for (local, o) in rows.iter_mut().enumerate() {
-                let i = r0 + local;
-                *o = src[i * m..(i + 1) * m].iter().sum();
-            }
-        };
         if !out.is_empty() {
-            if use_pool(n * m, ELEM_PAR_MIN) {
-                pool::for_each_chunk_mut(out, 1, reduce);
+            if use_pool(n * m, SUM_PAR_MIN) {
+                pool::for_each_chunk_mut(out, 1, |r0, rows| {
+                    simd::sum_axis1_rows(src, m, r0, rows);
+                });
             } else {
-                reduce(0, out);
+                simd::sum_axis1_rows(src, m, 0, out);
             }
         }
         Tensor {
@@ -789,10 +806,8 @@ impl Tensor {
         let out = Arc::get_mut(&mut data).expect(UNIQUE).as_mut_slice();
         let src = &self.data[..];
         let copy = |start: usize, chunk: &mut [f32]| {
-            for (local, orow) in chunk.chunks_mut(m).enumerate() {
-                let i = idx[start / m + local];
-                orow.copy_from_slice(&src[i * m..(i + 1) * m]);
-            }
+            let r0 = start / m;
+            simd::gather_rows(src, &idx[r0..r0 + chunk.len() / m], chunk, m);
         };
         if !out.is_empty() {
             if use_pool(out.len(), ELEM_PAR_MIN) {
@@ -835,18 +850,10 @@ impl Tensor {
         let add = |start: usize, chunk: &mut [f32]| {
             let r0 = start / m;
             let r1 = r0 + chunk.len() / m;
-            for (i, &t) in idx.iter().enumerate() {
-                if t >= r0 && t < r1 {
-                    let srow = &src[i * m..(i + 1) * m];
-                    let drow = &mut chunk[(t - r0) * m..(t - r0 + 1) * m];
-                    for (d, &s) in drow.iter_mut().zip(srow) {
-                        *d += s;
-                    }
-                }
-            }
+            simd::scatter_add_rows(src, idx, chunk, r0, r1, m);
         };
         if !out.is_empty() {
-            if use_pool(n * m, ELEM_PAR_MIN) {
+            if use_pool(n * m, SCATTER_PAR_MIN) {
                 pool::for_each_chunk_mut(out, m, add);
             } else {
                 add(0, out);
@@ -918,15 +925,10 @@ impl Tensor {
         let src = &other.data[..];
         if use_pool(dst.len(), ELEM_PAR_MIN) {
             pool::for_each_chunk_mut(dst, 1, |start, chunk| {
-                let s = &src[start..start + chunk.len()];
-                for (d, &s) in chunk.iter_mut().zip(s) {
-                    *d += alpha * s;
-                }
+                simd::axpy(chunk, alpha, &src[start..start + chunk.len()]);
             });
         } else {
-            for (d, &s) in dst.iter_mut().zip(src) {
-                *d += alpha * s;
-            }
+            simd::axpy(dst, alpha, src);
         }
     }
 
@@ -936,14 +938,10 @@ impl Tensor {
         let dst = Arc::make_mut(&mut self.data).as_mut_slice();
         if use_pool(dst.len(), ELEM_PAR_MIN) {
             pool::for_each_chunk_mut(dst, 1, |_, chunk| {
-                for d in chunk {
-                    *d *= alpha;
-                }
+                simd::scale_in_place(chunk, alpha);
             });
         } else {
-            for d in dst {
-                *d *= alpha;
-            }
+            simd::scale_in_place(dst, alpha);
         }
     }
 
@@ -962,15 +960,10 @@ impl Tensor {
         let src = &other.data[..];
         if use_pool(dst.len(), ELEM_PAR_MIN) {
             pool::for_each_chunk_mut(dst, 1, |start, chunk| {
-                let s = &src[start..start + chunk.len()];
-                for (d, &s) in chunk.iter_mut().zip(s) {
-                    *d = beta * *d + (1.0 - beta) * s;
-                }
+                simd::lerp(chunk, beta, &src[start..start + chunk.len()]);
             });
         } else {
-            for (d, &s) in dst.iter_mut().zip(src) {
-                *d = beta * *d + (1.0 - beta) * s;
-            }
+            simd::lerp(dst, beta, src);
         }
     }
 
@@ -1005,9 +998,9 @@ impl Tensor {
     pub fn fill(&mut self, value: f32) {
         let dst = Arc::make_mut(&mut self.data).as_mut_slice();
         if use_pool(dst.len(), ELEM_PAR_MIN) {
-            pool::for_each_chunk_mut(dst, 1, |_, chunk| chunk.fill(value));
+            pool::for_each_chunk_mut(dst, 1, |_, chunk| simd::fill(chunk, value));
         } else {
-            dst.fill(value);
+            simd::fill(dst, value);
         }
     }
 
@@ -1044,111 +1037,6 @@ impl Drop for Tensor {
     fn drop(&mut self) {
         if recycler::enabled() && Arc::get_mut(&mut self.data).is_some() {
             recycler::release(std::mem::replace(&mut self.data, empty_buf()));
-        }
-    }
-}
-
-/// `k`-block size of the matmul microkernel: one `KC × m` panel of `b`
-/// (≤ 256 KiB at m = 256) stays hot in L2 across an `MR`-row tile.
-const KC: usize = 256;
-
-/// Row-tile height: each pass over a `b` row updates `MR` output rows from
-/// registers, quartering `b` traffic versus the naive i-k-j loop.
-const MR: usize = 4;
-
-/// Computes rows `[row_offset, row_offset + out.len()/m)` of `a × b` into
-/// `out` with a cache-blocked i-k-j kernel (unit-stride on `b` and `out`).
-///
-/// Blocking reorders which *elements* are touched when, but every output
-/// element still accumulates its `k` products in ascending-`k` order into
-/// a single accumulator — bitwise identical to the naive loop, which is
-/// what keeps results invariant across block shapes and thread counts.
-fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], row_offset: usize, k: usize, m: usize) {
-    let rows = out.len() / m;
-    let mut i0 = 0;
-    while i0 < rows {
-        let tile = MR.min(rows - i0);
-        let mut k0 = 0;
-        while k0 < k {
-            let kb = KC.min(k - k0);
-            if tile == MR {
-                let (o0, rest) = out[i0 * m..(i0 + MR) * m].split_at_mut(m);
-                let (o1, rest) = rest.split_at_mut(m);
-                let (o2, o3) = rest.split_at_mut(m);
-                let ai = (row_offset + i0) * k;
-                for kk in 0..kb {
-                    let av0 = a[ai + k0 + kk];
-                    let av1 = a[ai + k + k0 + kk];
-                    let av2 = a[ai + 2 * k + k0 + kk];
-                    let av3 = a[ai + 3 * k + k0 + kk];
-                    let brow = &b[(k0 + kk) * m..(k0 + kk + 1) * m];
-                    for ((((x0, x1), x2), x3), &bv) in o0
-                        .iter_mut()
-                        .zip(o1.iter_mut())
-                        .zip(o2.iter_mut())
-                        .zip(o3.iter_mut())
-                        .zip(brow)
-                    {
-                        *x0 += av0 * bv;
-                        *x1 += av1 * bv;
-                        *x2 += av2 * bv;
-                        *x3 += av3 * bv;
-                    }
-                }
-            } else {
-                for di in 0..tile {
-                    let i = row_offset + i0 + di;
-                    let arow = &a[i * k + k0..i * k + k0 + kb];
-                    let orow = &mut out[(i0 + di) * m..(i0 + di + 1) * m];
-                    for (kk, &av) in arow.iter().enumerate() {
-                        let brow = &b[(k0 + kk) * m..(k0 + kk + 1) * m];
-                        for (o, &bv) in orow.iter_mut().zip(brow) {
-                            *o += av * bv;
-                        }
-                    }
-                }
-            }
-            k0 += kb;
-        }
-        i0 += tile;
-    }
-}
-
-/// Computes rows `[row_offset, row_offset + out.len()/m)` of `a × bᵀ` into
-/// `out`. Columns are processed four at a time so each pass over an `a`
-/// row feeds four dot-product accumulators; each output element is still
-/// one ascending-`k` dot product, bitwise identical to the naive loop.
-fn matmul_nt_rows(a: &[f32], b: &[f32], out: &mut [f32], row_offset: usize, k: usize, m: usize) {
-    for (local, orow) in out.chunks_mut(m).enumerate() {
-        let i = row_offset + local;
-        let arow = &a[i * k..(i + 1) * k];
-        let mut j = 0;
-        while j + 4 <= m {
-            let b0 = &b[j * k..(j + 1) * k];
-            let b1 = &b[(j + 1) * k..(j + 2) * k];
-            let b2 = &b[(j + 2) * k..(j + 3) * k];
-            let b3 = &b[(j + 3) * k..(j + 4) * k];
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-            for ((((&av, &v0), &v1), &v2), &v3) in arow.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
-                s0 += av * v0;
-                s1 += av * v1;
-                s2 += av * v2;
-                s3 += av * v3;
-            }
-            orow[j] = s0;
-            orow[j + 1] = s1;
-            orow[j + 2] = s2;
-            orow[j + 3] = s3;
-            j += 4;
-        }
-        while j < m {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
-            }
-            orow[j] = acc;
-            j += 1;
         }
     }
 }

@@ -563,7 +563,8 @@ mod tests {
         let mut ckpt = sample_checkpoint();
         for step in [1u64, 2, 3, 5, 8] {
             ckpt.global_step = step;
-            ckpt.save(dir.join(TrainCheckpoint::file_name(step))).unwrap();
+            ckpt.save(dir.join(TrainCheckpoint::file_name(step)))
+                .unwrap();
         }
         let present = |dir: &std::path::Path| -> Vec<u64> {
             let mut steps: Vec<u64> = fs::read_dir(dir)

@@ -8,7 +8,7 @@
 //! in `matgnn-dist` reuses [`adam_update`] on per-rank shards.
 
 use matgnn_model::ParamSet;
-use matgnn_tensor::{pool, MemoryCategory, MemoryTracker, Tensor};
+use matgnn_tensor::{pool, simd, MemoryCategory, MemoryTracker, Tensor};
 
 /// Element count below which [`adam_update`] stays serial (pool dispatch
 /// costs more than the update for small parameters).
@@ -42,9 +42,11 @@ impl Default for AdamHyper {
 /// maintaining moments `m` / `v` at timestep `t` (1-based).
 ///
 /// Exposed so ZeRO sharding can update only the slice a rank owns. Large
-/// parameters are split across the worker pool by element range; the
-/// update is purely elementwise, so the result is bitwise identical to
-/// the serial loop at any thread count.
+/// parameters are split across the worker pool by element range, and the
+/// update itself runs in the fused [`simd::adam_slice`] kernel (FMA on the
+/// AVX2 tier, the legacy loop verbatim on the scalar tier). It is purely
+/// elementwise, so within a tier the result is bitwise identical to the
+/// serial path at any thread count.
 ///
 /// # Panics
 ///
@@ -63,21 +65,14 @@ pub fn adam_update(
     assert_eq!(param.len(), m.len());
     assert_eq!(param.len(), v.len());
     let n = param.len();
-    let kernel = |param: &mut [f32], grad: &[f32], m: &mut [f32], v: &mut [f32]| {
-        let bc1 = 1.0 - hyper.beta1.powi(t as i32);
-        let bc2 = 1.0 - hyper.beta2.powi(t as i32);
-        for i in 0..param.len() {
-            let g = grad[i];
-            m[i] = hyper.beta1 * m[i] + (1.0 - hyper.beta1) * g;
-            v[i] = hyper.beta2 * v[i] + (1.0 - hyper.beta2) * g * g;
-            let m_hat = m[i] / bc1;
-            let v_hat = v[i] / bc2;
-            let mut p = param[i];
-            if hyper.weight_decay > 0.0 {
-                p -= lr * hyper.weight_decay * p;
-            }
-            param[i] = p - lr * m_hat / (v_hat.sqrt() + hyper.eps);
-        }
+    let args = simd::AdamSliceArgs {
+        beta1: hyper.beta1,
+        beta2: hyper.beta2,
+        bc1: 1.0 - hyper.beta1.powi(t as i32),
+        bc2: 1.0 - hyper.beta2.powi(t as i32),
+        lr,
+        eps: hyper.eps,
+        weight_decay: hyper.weight_decay,
     };
     if n >= ADAM_PAR_MIN && pool::num_threads() > 1 {
         let pp = pool::SendPtr::new(param);
@@ -88,16 +83,17 @@ pub fn adam_update(
             // identically to all three buffers, and the borrows outlive
             // the (blocking) call.
             unsafe {
-                kernel(
+                simd::adam_slice(
                     pp.slice(r.clone()),
                     &grad[r.clone()],
                     mp.slice(r.clone()),
                     vp.slice(r),
+                    &args,
                 )
             };
         });
     } else {
-        kernel(param, grad, m, v);
+        simd::adam_slice(param, grad, m, v, &args);
     }
 }
 

@@ -297,7 +297,10 @@ mod tests {
         assert_eq!(det.observe(1, 1000.0), Verdict::Healthy);
         let mut det = AnomalyDetector::new(&cfg());
         for step in 0..4 {
-            assert_eq!(det.observe(step, 1.0 + step as f64 * 0.01), Verdict::Healthy);
+            assert_eq!(
+                det.observe(step, 1.0 + step as f64 * 0.01),
+                Verdict::Healthy
+            );
         }
         // Window full, median ≈ 1: 10x the median is flagged.
         assert_eq!(det.observe(4, 50.0), Verdict::Spike);

@@ -421,6 +421,7 @@ impl Trainer {
                     // metrics line per optimizer step.
                     matgnn_tensor::recycler::publish_telemetry();
                     matgnn_tensor::pool::publish_telemetry();
+                    matgnn_tensor::simd::publish_telemetry();
                     matgnn_telemetry::flush_metrics();
                 }
             };
@@ -478,18 +479,15 @@ impl Trainer {
                         // A spiked step gets exactly one rollback;
                         // recurring identically on replay, it is
                         // accepted as genuine.
-                        let spike = verdict == Verdict::Spike
-                            && s.spike_rollbacks.insert(step as u64);
+                        let spike =
+                            verdict == Verdict::Spike && s.spike_rollbacks.insert(step as u64);
                         let anomalous = verdict == Verdict::NonFinite
                             || spike
                             || !params_finite(model.params().flatten().data());
                         if anomalous {
                             matgnn_telemetry::health_event(
                                 "supervisor.anomaly",
-                                &format!(
-                                    "step {step}: verdict {verdict:?}, loss {}",
-                                    outcome.loss
-                                ),
+                                &format!("step {step}: verdict {verdict:?}, loss {}", outcome.loss),
                             );
                             matgnn_telemetry::counter_add("supervisor.anomaly", 1);
                             matgnn_telemetry::clear_step();
