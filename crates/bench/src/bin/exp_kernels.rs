@@ -153,6 +153,12 @@ fn write_json(path: &str, mode: RunMode, threads: usize, rows: &[Row]) -> std::i
     ));
     s.push_str("  \"threads_serial\": 1,\n");
     s.push_str(&format!("  \"threads_pooled\": {threads},\n"));
+    // Machine-readable scheduling context: pooled speedups are only
+    // meaningful when the pool fits the machine, so downstream tooling
+    // must read `oversubscribed` before judging the `speedup` column.
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    s.push_str(&format!("  \"threads_available\": {avail},\n"));
+    s.push_str(&format!("  \"oversubscribed\": {},\n", threads > avail));
     s.push_str("  \"kernels\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(

@@ -50,6 +50,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&opts),
         "ddp" => cmd_ddp(&opts),
         "evaluate" => cmd_evaluate(&opts),
+        "serve" => cmd_serve(&opts),
         "info" => cmd_info(&opts),
         "telemetry-validate" => cmd_telemetry_validate(&opts),
         "help" | "--help" | "-h" => {
@@ -115,6 +116,15 @@ the survivors regroup.
 
   matgnn-cli evaluate --model FILE [--data FILE | --graphs N] [--seed S]
       Evaluate a saved model on a dataset.
+
+  matgnn-cli serve [--model FILE] [--params P] [--layers L] [--seed S]
+                   [--requests N] [--graphs N] [--workers W]
+                   [--max-atoms A] [--max-graphs G] [--max-wait-ms MS]
+                   [--queue-capacity Q]
+      In-process serving demo: freeze a model into the tape-free
+      inference engine, start the dynamic batcher, drive N synthetic
+      requests through it, and print batch-fill and latency statistics
+      (p50/p99). Without --model a fresh seeded EGNN is served.
 
   matgnn-cli info --model FILE
       Print a saved model's configuration and parameter count.
@@ -480,6 +490,96 @@ fn cmd_telemetry_validate(opts: &Opts) -> Result<(), String> {
         println!("trace.json OK");
     }
     println!("validated {lines} events across {logs} log file(s)");
+    Ok(())
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    use matgnn::telemetry as tel;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let model = match opts.get("model") {
+        Some(path) => {
+            let m = load_egnn(path).map_err(|e| format!("loading {path}: {e}"))?;
+            println!("loaded {}", m.config().summary());
+            m
+        }
+        None => {
+            let params = get_usize(opts, "params", 10_000)?;
+            let layers = get_usize(opts, "layers", 3)?;
+            let seed = get_u64(opts, "seed", 0)?;
+            let cfg = EgnnConfig::with_target_params(params, layers).with_seed(seed);
+            println!("serving a fresh {}", cfg.summary());
+            Egnn::new(cfg)
+        }
+    };
+    // Model-unit serving: the demo has no fitted normalizer on hand.
+    let engine = Arc::new(InferenceEngine::from_model(&model, Normalizer::default()));
+
+    let defaults = BatcherConfig::default();
+    let cfg = BatcherConfig {
+        max_atoms: get_usize(opts, "max-atoms", defaults.max_atoms)?,
+        max_graphs: get_usize(opts, "max-graphs", defaults.max_graphs)?,
+        max_wait: Duration::from_millis(get_u64(
+            opts,
+            "max-wait-ms",
+            defaults.max_wait.as_millis() as u64,
+        )?),
+        queue_capacity: get_usize(opts, "queue-capacity", defaults.queue_capacity)?,
+        workers: get_usize(opts, "workers", defaults.workers)?,
+    };
+    let requests = get_usize(opts, "requests", 200)?;
+    let pool_n = get_usize(opts, "graphs", 48)?;
+    let seed = get_u64(opts, "seed", 0)?;
+    println!(
+        "batcher: {} worker(s), max {} atoms / {} graphs per batch, {}ms window",
+        cfg.workers,
+        cfg.max_atoms,
+        cfg.max_graphs,
+        cfg.max_wait.as_millis()
+    );
+
+    let ds = Dataset::generate_aggregate(pool_n, seed, &GeneratorConfig::default());
+    tel::reset_metrics();
+    let batcher = DynamicBatcher::start(engine, cfg);
+    let started = std::time::Instant::now();
+    let mut tickets = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let graph = ds.samples()[i % ds.len()].graph.clone();
+        tickets.push(
+            batcher
+                .submit(graph)
+                .map_err(|e| format!("submitting request {i}: {e}"))?,
+        );
+    }
+    let mut served = 0usize;
+    let mut atoms = 0usize;
+    for t in tickets {
+        let p = t
+            .wait()
+            .map_err(|e| format!("waiting for prediction: {e}"))?;
+        served += 1;
+        atoms += p.forces.len();
+    }
+    let wall = started.elapsed();
+    batcher.shutdown();
+
+    let q = |name: &str, q: f64| tel::histogram_quantile(name, q).unwrap_or(f64::NAN);
+    println!(
+        "served {served} requests ({atoms} atoms) in {:.2}s — {:.0} req/s",
+        wall.as_secs_f64(),
+        served as f64 / wall.as_secs_f64()
+    );
+    println!(
+        "latency  p50 {:.2} ms, p99 {:.2} ms",
+        q("serve.latency_ms", 0.5),
+        q("serve.latency_ms", 0.99)
+    );
+    println!(
+        "batching p50 {:.0} graphs / {:.0} atoms per batch",
+        q("serve.batch.graphs", 0.5),
+        q("serve.batch.atoms", 0.5)
+    );
     Ok(())
 }
 

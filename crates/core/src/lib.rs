@@ -41,6 +41,7 @@ pub use matgnn_graph as graph;
 pub use matgnn_model as model;
 pub use matgnn_potential as potential;
 pub use matgnn_scaling as scaling;
+pub use matgnn_serve as serve;
 pub use matgnn_telemetry as telemetry;
 pub use matgnn_tensor as tensor;
 pub use matgnn_train as train;
@@ -55,15 +56,19 @@ pub mod prelude {
         run_memory_settings, train_ddp, CommError, Communicator, CostModel, DdpConfig, DdpReport,
         FailureHandle, FaultKind, FaultPlan, Heartbeat, MemorySetting, Watchdog, ZeroAdam,
     };
-    pub use matgnn_graph::{AtomicStructure, Element, GraphBatch, MolGraph, NeighborList};
+    pub use matgnn_graph::{
+        pack_batches, AtomicStructure, Element, GraphBatch, MolGraph, NeighborList, PackPolicy,
+    };
     pub use matgnn_model::checkpoint::{egnn_from_bytes, egnn_to_bytes, load_egnn, save_egnn};
     pub use matgnn_model::{
-        Egnn, EgnnConfig, Gat, GatConfig, Gcn, GcnConfig, GnnModel, ModelOutput, ParamSet,
+        Egnn, EgnnConfig, FrozenEgnn, Gat, GatConfig, Gcn, GcnConfig, GnnModel, ModelOutput,
+        ParamSet,
     };
     pub use matgnn_potential::{PotentialParams, ReferencePotential};
     pub use matgnn_scaling::{
         fit_power_law, run_scaling_grid, ExperimentConfig, PowerLawFit, UnitMap,
     };
+    pub use matgnn_serve::{BatcherConfig, DynamicBatcher, InferenceEngine};
     pub use matgnn_tensor::{MemoryCategory, MemoryTracker, Shape, Tape, Tensor, Var};
     pub use matgnn_train::{
         evaluate, latest_in, LossConfig, LossKind, LrSchedule, RunHealth, SupervisorConfig,

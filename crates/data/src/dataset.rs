@@ -560,13 +560,36 @@ mod tests {
             per_source.energy_std,
             shared.energy_std
         );
-        // Offsets reflect the built-in shift ordering: OC2022 (−0.5/atom)
-        // sits below OC2020 (−0.3/atom).
-        let idx = |k: SourceKind| SourceKind::ALL.iter().position(|&x| x == k).unwrap();
-        assert!(
-            per_source.source_offset[idx(SourceKind::Oc2022)]
-                < per_source.source_offset[idx(SourceKind::Oc2020)]
-        );
+        // The fitted offset for each source must equal that source's mean
+        // per-atom energy relative to the global mean. Note we can NOT
+        // assert the offsets are ordered like the injected shifts (OC2022
+        // −0.5 < OC2020 −0.3 eV/atom): each synthetic source also draws a
+        // different structure family, so the structure-dependent base
+        // energy rides on top of the injected shift and can reorder the
+        // observed per-source means.
+        let global_mean: f64 = ds
+            .samples()
+            .iter()
+            .map(|s| s.energy_per_atom())
+            .sum::<f64>()
+            / ds.len() as f64;
+        for (si, kind) in SourceKind::ALL.iter().enumerate() {
+            let vals: Vec<f64> = ds
+                .samples()
+                .iter()
+                .filter(|s| s.source == *kind)
+                .map(|s| s.energy_per_atom())
+                .collect();
+            if vals.is_empty() {
+                continue;
+            }
+            let expect = vals.iter().sum::<f64>() / vals.len() as f64 - global_mean;
+            assert!(
+                (per_source.source_offset[si] - expect).abs() < 1e-9,
+                "{kind:?} offset {} vs per-source mean shift {expect}",
+                per_source.source_offset[si]
+            );
+        }
         // Round trip through the source-aware pair.
         let s = ds.sample(0);
         let z = per_source.normalize_energy_for(s.energy, s.n_nodes(), s.source);

@@ -29,6 +29,7 @@ mod batch;
 mod element;
 mod molgraph;
 mod neighbors;
+mod pack;
 mod structure;
 pub mod vec3;
 
@@ -36,4 +37,5 @@ pub use batch::GraphBatch;
 pub use element::Element;
 pub use molgraph::{MolGraph, NODE_FEAT_DIM};
 pub use neighbors::NeighborList;
+pub use pack::{pack_batches, pack_indices, PackPolicy};
 pub use structure::{AtomicStructure, StructureError};

@@ -1,0 +1,142 @@
+//! Packing variable-size graphs into bounded batches.
+//!
+//! The disjoint-union [`GraphBatch`] places no limit on how many graphs it
+//! absorbs, but downstream consumers do: an inference engine wants batches
+//! big enough to saturate the kernels yet small enough to bound latency
+//! and peak activation memory. [`PackPolicy`] captures those limits and
+//! [`pack_indices`] / [`pack_batches`] apply them in arrival (FIFO) order —
+//! the order a serving queue hands graphs over, so a request is never
+//! delayed behind one that arrived after it.
+
+use crate::{GraphBatch, MolGraph};
+
+/// Size limits for one packed batch.
+///
+/// A batch is closed when admitting the next graph would push it past
+/// `max_atoms` *or* `max_graphs`. A single graph larger than `max_atoms`
+/// still forms its own batch (it has to run somewhere); the policy bounds
+/// packing, it does not reject work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackPolicy {
+    /// Maximum total node (atom) count per batch.
+    pub max_atoms: usize,
+    /// Maximum number of graphs per batch.
+    pub max_graphs: usize,
+}
+
+impl PackPolicy {
+    /// A policy bounded only by atom budget.
+    pub fn by_atoms(max_atoms: usize) -> Self {
+        PackPolicy {
+            max_atoms,
+            max_graphs: usize::MAX,
+        }
+    }
+
+    /// Whether a batch currently holding `graphs` graphs and `atoms` atoms
+    /// can admit another graph of `next_atoms` atoms.
+    pub fn admits(&self, graphs: usize, atoms: usize, next_atoms: usize) -> bool {
+        if graphs == 0 {
+            return true; // a batch always takes at least one graph
+        }
+        graphs < self.max_graphs && atoms + next_atoms <= self.max_atoms
+    }
+}
+
+/// Partitions `sizes` (per-graph atom counts, in arrival order) into
+/// consecutive groups of indices, each respecting `policy`.
+///
+/// Groups are contiguous index ranges — FIFO semantics for a serving
+/// queue: reordering could lower padding waste but would let late-arriving
+/// small graphs overtake earlier large ones.
+pub fn pack_indices(sizes: &[usize], policy: &PackPolicy) -> Vec<Vec<usize>> {
+    let mut groups = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    let mut atoms = 0usize;
+    for (i, &size) in sizes.iter().enumerate() {
+        if !policy.admits(current.len(), atoms, size) {
+            groups.push(std::mem::take(&mut current));
+            atoms = 0;
+        }
+        current.push(i);
+        atoms += size;
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    groups
+}
+
+/// Packs graphs into [`GraphBatch`]es under `policy`, preserving arrival
+/// order across and within batches. Returns the batches and, parallel to
+/// them, the original indices each batch contains.
+pub fn pack_batches(graphs: &[&MolGraph], policy: &PackPolicy) -> Vec<(GraphBatch, Vec<usize>)> {
+    let sizes: Vec<usize> = graphs.iter().map(|g| g.n_nodes()).collect();
+    pack_indices(&sizes, policy)
+        .into_iter()
+        .map(|idx| {
+            let members: Vec<&MolGraph> = idx.iter().map(|&i| graphs[i]).collect();
+            (GraphBatch::from_graphs(&members), idx)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AtomicStructure, Element};
+
+    fn chain(n: usize) -> MolGraph {
+        let species = vec![Element::C; n];
+        let positions = (0..n).map(|i| [i as f64 * 1.2, 0.0, 0.0]).collect();
+        let s = AtomicStructure::new(species, positions).unwrap();
+        MolGraph::from_structure(&s, 1.5)
+    }
+
+    #[test]
+    fn packs_fifo_under_atom_budget() {
+        let sizes = [4, 4, 4, 4, 4];
+        let groups = pack_indices(&sizes, &PackPolicy::by_atoms(10));
+        assert_eq!(groups, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn max_graphs_bounds_batch_width() {
+        let sizes = [1, 1, 1, 1, 1];
+        let policy = PackPolicy {
+            max_atoms: 100,
+            max_graphs: 2,
+        };
+        let groups = pack_indices(&sizes, &policy);
+        assert_eq!(groups, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn oversized_graph_gets_its_own_batch() {
+        let sizes = [3, 50, 3];
+        let groups = pack_indices(&sizes, &PackPolicy::by_atoms(10));
+        assert_eq!(groups, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn empty_input_packs_to_nothing() {
+        assert!(pack_indices(&[], &PackPolicy::by_atoms(8)).is_empty());
+    }
+
+    #[test]
+    fn packed_batches_preserve_structure() {
+        let graphs = [chain(3), chain(5), chain(2), chain(4)];
+        let refs: Vec<&MolGraph> = graphs.iter().collect();
+        let packed = pack_batches(&refs, &PackPolicy::by_atoms(8));
+        // 3+5=8 fits; 2+4=6 fits.
+        assert_eq!(packed.len(), 2);
+        assert_eq!(packed[0].1, vec![0, 1]);
+        assert_eq!(packed[1].1, vec![2, 3]);
+        assert_eq!(packed[0].0.n_nodes(), 8);
+        assert_eq!(packed[0].0.n_graphs(), 2);
+        assert_eq!(packed[1].0.n_nodes(), 6);
+        // Per-graph node counts survive the pack.
+        assert_eq!(packed[0].0.node_counts(), &[3, 5]);
+        assert_eq!(packed[1].0.node_counts(), &[2, 4]);
+    }
+}

@@ -27,6 +27,7 @@ pub mod checkpoint;
 mod config;
 mod egnn;
 mod gcn;
+mod infer;
 pub mod mlp;
 mod model;
 mod params;
@@ -35,5 +36,6 @@ pub use attention::{segment_softmax, Gat, GatConfig};
 pub use config::EgnnConfig;
 pub use egnn::Egnn;
 pub use gcn::{Gcn, GcnConfig};
+pub use infer::{FreezeError, FrozenEgnn};
 pub use model::{GnnModel, ModelOutput};
 pub use params::{ParamEntry, ParamSet};

@@ -194,8 +194,9 @@ pub struct LayerNorm {
 }
 
 impl LayerNorm {
-    /// Numerical floor inside the variance square root.
-    const EPS: f32 = 1e-5;
+    /// Numerical floor inside the variance square root (shared with the
+    /// tape-free frozen forward, which must match it exactly).
+    pub const EPS: f32 = 1e-5;
 
     /// Creates a layer norm over `dim` features, registering `γ = 1` and
     /// `β = 0` into `params`.

@@ -1,0 +1,516 @@
+//! Dynamic batching: a bounded FIFO request queue packed into
+//! [`GraphBatch`]es under a max-atoms / max-wait policy by a worker pool.
+//!
+//! Requests arrive one graph at a time; the kernels are most efficient on
+//! batches. A worker that finds work waits up to
+//! [`max_wait`](BatcherConfig::max_wait) (measured from the *oldest*
+//! queued request, so the window never restarts) for the queue to fill a
+//! batch, then takes the longest prefix admitted by the
+//! [`PackPolicy`](matgnn_graph::PackPolicy) — FIFO order, a request is
+//! never overtaken by a later one. The queue is bounded:
+//! [`submit`](DynamicBatcher::submit) blocks for backpressure,
+//! [`try_submit`](DynamicBatcher::try_submit) refuses instead (the
+//! load-shedding path a saturation bench needs).
+//!
+//! Per-request telemetry flows through the PR-5 layer: span
+//! `serve.batch` around each engine call, gauge `serve.queue_depth`,
+//! histograms `serve.batch.graphs` / `serve.batch.atoms` /
+//! `serve.latency_ms` (the latter feeding p50/p99 via
+//! [`histogram_quantile`](matgnn_telemetry::histogram_quantile)), and
+//! counter `serve.requests`.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use matgnn_graph::{GraphBatch, MolGraph, PackPolicy};
+use matgnn_telemetry as telemetry;
+
+use crate::engine::InferenceEngine;
+
+/// Batching and queueing policy for a [`DynamicBatcher`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatcherConfig {
+    /// Maximum total atoms packed into one batch.
+    pub max_atoms: usize,
+    /// Maximum graphs packed into one batch.
+    pub max_graphs: usize,
+    /// How long a worker waits for the queue to fill a batch, measured
+    /// from the oldest queued request's arrival.
+    pub max_wait: Duration,
+    /// Queue bound: [`submit`](DynamicBatcher::submit) blocks and
+    /// [`try_submit`](DynamicBatcher::try_submit) refuses beyond this.
+    pub queue_capacity: usize,
+    /// Number of serving worker threads.
+    pub workers: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            max_atoms: 512,
+            max_graphs: 64,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 1024,
+            workers: 2,
+        }
+    }
+}
+
+impl BatcherConfig {
+    fn policy(&self) -> PackPolicy {
+        PackPolicy {
+            max_atoms: self.max_atoms,
+            max_graphs: self.max_graphs,
+        }
+    }
+}
+
+/// A served request's result, in physical units.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Total energy (eV).
+    pub energy: f64,
+    /// Per-atom forces (eV/Å).
+    pub forces: Vec<[f64; 3]>,
+    /// Time the request spent queued before its batch started.
+    pub queue_wait: Duration,
+    /// Number of graphs in the batch that served this request.
+    pub batch_graphs: usize,
+    /// Total atoms in the batch that served this request.
+    pub batch_atoms: usize,
+}
+
+/// Serving front-end errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The batcher is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The bounded queue is full (returned by
+    /// [`try_submit`](DynamicBatcher::try_submit) only).
+    QueueFull,
+    /// The serving workers disappeared before answering (shutdown raced
+    /// the request).
+    Disconnected,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ShuttingDown => write!(f, "batcher is shutting down"),
+            ServeError::QueueFull => write!(f, "request queue is full"),
+            ServeError::Disconnected => write!(f, "serving workers dropped the request"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A pending request's claim ticket; redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Prediction>,
+}
+
+impl Ticket {
+    /// Blocks until the prediction is ready.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn poll(&self) -> Option<Prediction> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// One queued request.
+struct Request {
+    graph: MolGraph,
+    enqueued: Instant,
+    tx: mpsc::Sender<Prediction>,
+}
+
+/// State shared between submitters and workers.
+struct Shared {
+    cfg: BatcherConfig,
+    engine: Arc<InferenceEngine>,
+    queue: Mutex<VecDeque<Request>>,
+    /// Signalled when a request is enqueued (workers wait on this).
+    not_empty: Condvar,
+    /// Signalled when queue space frees up (blocking submitters wait).
+    space: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// The dynamic batching front-end. See the [module docs](self).
+pub struct DynamicBatcher {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DynamicBatcher {
+    /// Starts `cfg.workers` serving threads over `engine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.workers` or `cfg.queue_capacity` is zero.
+    pub fn start(engine: Arc<InferenceEngine>, cfg: BatcherConfig) -> Self {
+        assert!(cfg.workers > 0, "batcher needs at least one worker");
+        assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+        let shared = Arc::new(Shared {
+            cfg,
+            engine,
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            space: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        DynamicBatcher { shared, workers }
+    }
+
+    /// Enqueues a graph, blocking while the queue is at capacity
+    /// (backpressure). Returns a [`Ticket`] for the result.
+    pub fn submit(&self, graph: MolGraph) -> Result<Ticket, ServeError> {
+        let mut queue = lock(&self.shared.queue);
+        while queue.len() >= self.shared.cfg.queue_capacity {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return Err(ServeError::ShuttingDown);
+            }
+            queue = self
+                .shared
+                .space
+                .wait_timeout(queue, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        self.enqueue(queue, graph)
+    }
+
+    /// Enqueues a graph, refusing with [`ServeError::QueueFull`] when at
+    /// capacity — the load-shedding variant.
+    pub fn try_submit(&self, graph: MolGraph) -> Result<Ticket, ServeError> {
+        let queue = lock(&self.shared.queue);
+        if queue.len() >= self.shared.cfg.queue_capacity {
+            return Err(ServeError::QueueFull);
+        }
+        self.enqueue(queue, graph)
+    }
+
+    fn enqueue(
+        &self,
+        mut queue: std::sync::MutexGuard<'_, VecDeque<Request>>,
+        graph: MolGraph,
+    ) -> Result<Ticket, ServeError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (tx, rx) = mpsc::channel();
+        queue.push_back(Request {
+            graph,
+            enqueued: Instant::now(),
+            tx,
+        });
+        telemetry::gauge_set("serve.queue_depth", queue.len() as f64);
+        drop(queue);
+        self.shared.not_empty.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Current number of queued (not yet batched) requests.
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.shared.queue).len()
+    }
+
+    /// Stops accepting new requests, drains the queue, and joins the
+    /// workers. Every already-accepted request is served before return.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.not_empty.notify_all();
+        self.shared.space.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for DynamicBatcher {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.not_empty.notify_all();
+        self.shared.space.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn lock<'a>(m: &'a Mutex<VecDeque<Request>>) -> std::sync::MutexGuard<'a, VecDeque<Request>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// How many requests at the front of the queue one batch admits, and
+/// their total atom count.
+fn batch_prefix(queue: &VecDeque<Request>, policy: &PackPolicy) -> (usize, usize) {
+    let mut graphs = 0usize;
+    let mut atoms = 0usize;
+    for req in queue.iter() {
+        let n = req.graph.n_nodes();
+        if !policy.admits(graphs, atoms, n) {
+            break;
+        }
+        graphs += 1;
+        atoms += n;
+    }
+    (graphs, atoms)
+}
+
+fn worker_loop(shared: &Shared) {
+    let policy = shared.cfg.policy();
+    loop {
+        // Phase 1: wait for work (or shutdown with an empty queue).
+        let mut queue = lock(&shared.queue);
+        loop {
+            if !queue.is_empty() {
+                break;
+            }
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            queue = shared
+                .not_empty
+                .wait_timeout(queue, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+
+        // Phase 2: batching window — wait for the queue to fill a batch,
+        // but never past the oldest request's deadline (and not at all
+        // when draining for shutdown). The wait releases the lock, so
+        // another worker may drain the queue out from under us — an empty
+        // wakeup goes back to phase 1.
+        let deadline = queue.front().expect("non-empty").enqueued + shared.cfg.max_wait;
+        loop {
+            if queue.is_empty() {
+                break;
+            }
+            let (graphs, atoms) = batch_prefix(&queue, &policy);
+            let full = graphs >= shared.cfg.max_graphs
+                || atoms >= shared.cfg.max_atoms
+                || graphs < queue.len();
+            if full || shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            queue = shared
+                .not_empty
+                .wait_timeout(queue, deadline - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+
+        // Phase 3: take the admitted prefix (possibly none, if another
+        // worker raced us to it).
+        let (graphs, _) = batch_prefix(&queue, &policy);
+        if graphs == 0 {
+            continue;
+        }
+        let requests: Vec<Request> = queue.drain(..graphs).collect();
+        telemetry::gauge_set("serve.queue_depth", queue.len() as f64);
+        drop(queue);
+        shared.space.notify_all();
+
+        // Phase 4: serve it (lock released — other workers keep going).
+        serve_batch(shared, requests);
+    }
+}
+
+fn serve_batch(shared: &Shared, requests: Vec<Request>) {
+    debug_assert!(!requests.is_empty());
+    let started = Instant::now();
+    let predictions = {
+        let _span = telemetry::span("serve.batch");
+        let graphs: Vec<&MolGraph> = requests.iter().map(|r| &r.graph).collect();
+        let batch = GraphBatch::from_graphs(&graphs);
+        shared.engine.predict(&batch)
+    };
+    let batch_graphs = requests.len();
+    let batch_atoms: usize = requests.iter().map(|r| r.graph.n_nodes()).sum();
+    telemetry::histogram_record("serve.batch.graphs", batch_graphs as f64);
+    telemetry::histogram_record("serve.batch.atoms", batch_atoms as f64);
+    telemetry::counter_add("serve.requests", batch_graphs as u64);
+    for (req, pred) in requests.into_iter().zip(predictions) {
+        telemetry::histogram_record(
+            "serve.latency_ms",
+            req.enqueued.elapsed().as_secs_f64() * 1e3,
+        );
+        // A dropped receiver means the caller gave up; not an error.
+        let _ = req.tx.send(Prediction {
+            energy: pred.energy,
+            forces: pred.forces,
+            queue_wait: started.duration_since(req.enqueued),
+            batch_graphs,
+            batch_atoms,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matgnn_graph::{AtomicStructure, Element};
+    use matgnn_model::{Egnn, EgnnConfig};
+
+    fn chain(n: usize) -> MolGraph {
+        let species = vec![Element::C; n];
+        let positions = (0..n).map(|i| [i as f64 * 1.2, 0.0, 0.0]).collect();
+        let s = AtomicStructure::new(species, positions).unwrap();
+        MolGraph::from_structure(&s, 1.5)
+    }
+
+    fn engine() -> Arc<InferenceEngine> {
+        Arc::new(InferenceEngine::from_model(
+            &Egnn::new(EgnnConfig::new(8, 2)),
+            Default::default(),
+        ))
+    }
+
+    #[test]
+    fn serves_concurrent_requests() {
+        let batcher = DynamicBatcher::start(engine(), BatcherConfig::default());
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|i| batcher.submit(chain(2 + i % 5)).unwrap())
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let p = t.wait().unwrap();
+            assert_eq!(p.forces.len(), 2 + i % 5, "request {i} got wrong graph");
+            assert!(p.energy.is_finite());
+            assert!(p.batch_graphs >= 1);
+        }
+        batcher.shutdown();
+    }
+
+    /// Batched results must be identical to serving each graph alone —
+    /// graphs are disjoint in the batch union.
+    #[test]
+    fn batching_does_not_change_results() {
+        let eng = engine();
+        let solo = {
+            let g = chain(4);
+            let batch = GraphBatch::from_graphs(&[&g]);
+            eng.predict(&batch).remove(0)
+        };
+        // Force batching: many identical graphs, generous window.
+        let cfg = BatcherConfig {
+            max_wait: Duration::from_millis(20),
+            ..BatcherConfig::default()
+        };
+        let batcher = DynamicBatcher::start(Arc::clone(&eng), cfg);
+        let tickets: Vec<Ticket> = (0..8).map(|_| batcher.submit(chain(4)).unwrap()).collect();
+        for t in tickets {
+            let p = t.wait().unwrap();
+            assert_eq!(p.energy, solo.energy, "batching changed the energy");
+            assert_eq!(p.forces, solo.forces, "batching changed the forces");
+        }
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn max_atoms_bounds_batches() {
+        let cfg = BatcherConfig {
+            max_atoms: 8,
+            max_wait: Duration::from_millis(30),
+            workers: 1,
+            ..BatcherConfig::default()
+        };
+        let batcher = DynamicBatcher::start(engine(), cfg);
+        let tickets: Vec<Ticket> = (0..6).map(|_| batcher.submit(chain(4)).unwrap()).collect();
+        for t in tickets {
+            let p = t.wait().unwrap();
+            assert!(
+                p.batch_atoms <= 8,
+                "batch of {} atoms exceeds max_atoms",
+                p.batch_atoms
+            );
+        }
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn try_submit_sheds_load_when_full() {
+        // One worker, tiny queue, and a generous batching window so the
+        // queue backs up deterministically.
+        let cfg = BatcherConfig {
+            queue_capacity: 2,
+            workers: 1,
+            max_wait: Duration::from_millis(200),
+            max_graphs: 1,
+            ..BatcherConfig::default()
+        };
+        let batcher = DynamicBatcher::start(engine(), cfg);
+        let mut accepted = Vec::new();
+        let mut shed = 0;
+        for _ in 0..50 {
+            match batcher.try_submit(chain(3)) {
+                Ok(t) => accepted.push(t),
+                Err(ServeError::QueueFull) => shed += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(shed > 0, "queue never filled");
+        for t in accepted {
+            t.wait().unwrap();
+        }
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        let cfg = BatcherConfig {
+            workers: 1,
+            max_wait: Duration::from_millis(100),
+            ..BatcherConfig::default()
+        };
+        let batcher = DynamicBatcher::start(engine(), cfg);
+        let tickets: Vec<Ticket> = (0..8).map(|_| batcher.submit(chain(3)).unwrap()).collect();
+        batcher.shutdown();
+        for t in tickets {
+            t.wait().expect("accepted request dropped at shutdown");
+        }
+    }
+
+    #[test]
+    fn latency_metrics_flow_to_quantiles() {
+        telemetry::reset_metrics();
+        let batcher = DynamicBatcher::start(engine(), BatcherConfig::default());
+        let tickets: Vec<Ticket> = (0..10).map(|_| batcher.submit(chain(3)).unwrap()).collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        batcher.shutdown();
+        let p50 = telemetry::histogram_quantile("serve.latency_ms", 0.5)
+            .expect("latency histogram empty");
+        assert!(p50 >= 0.0);
+        let snap = telemetry::snapshot();
+        assert!(
+            snap.iter().any(|(k, _)| k == "serve.requests"),
+            "request counter missing"
+        );
+    }
+}

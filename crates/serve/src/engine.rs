@@ -1,0 +1,228 @@
+//! The inference engine: frozen weights + output denormalization.
+
+use std::fmt;
+use std::path::Path;
+
+use matgnn_data::Normalizer;
+use matgnn_graph::GraphBatch;
+use matgnn_model::{Egnn, EgnnConfig, FreezeError, FrozenEgnn};
+use matgnn_tensor::Tensor;
+use matgnn_train::{TrainCheckpoint, TrainCheckpointError};
+
+/// Why an engine could not be constructed from a checkpoint.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The MGTC file could not be read or parsed.
+    Checkpoint(TrainCheckpointError),
+    /// The checkpoint's parameters do not match the supplied config.
+    Freeze(FreezeError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Checkpoint(e) => write!(f, "loading checkpoint: {e}"),
+            EngineError::Freeze(e) => write!(f, "freezing parameters: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<TrainCheckpointError> for EngineError {
+    fn from(e: TrainCheckpointError) -> Self {
+        EngineError::Checkpoint(e)
+    }
+}
+
+impl From<FreezeError> for EngineError {
+    fn from(e: FreezeError) -> Self {
+        EngineError::Freeze(e)
+    }
+}
+
+/// The physical-unit prediction for one graph in a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphPrediction {
+    /// Total energy (eV).
+    pub energy: f64,
+    /// Per-atom force vectors (eV/Å).
+    pub forces: Vec<[f64; 3]>,
+}
+
+/// An immutable inference engine: a [`FrozenEgnn`] plus the training-time
+/// [`Normalizer`], so callers get physical units back out.
+///
+/// The engine is `Sync` and served through `&self` — one instance backs
+/// an entire worker pool. The model-unit path
+/// ([`predict_raw`](InferenceEngine::predict_raw)) performs zero heap
+/// allocations at steady state (warmed recycler, pool of one); the
+/// physical-unit path ([`predict`](InferenceEngine::predict)) allocates
+/// only the per-request response vectors.
+#[derive(Debug, Clone)]
+pub struct InferenceEngine {
+    frozen: FrozenEgnn,
+    normalizer: Normalizer,
+}
+
+impl InferenceEngine {
+    /// Freezes a live model together with the normalizer its training
+    /// data was fitted with (use `Normalizer::default()` for raw
+    /// model-unit serving).
+    pub fn from_model(model: &Egnn, normalizer: Normalizer) -> Self {
+        InferenceEngine {
+            frozen: FrozenEgnn::freeze(model),
+            normalizer,
+        }
+    }
+
+    /// Builds the engine from an in-memory MGTC checkpoint. The MGTC
+    /// format stores parameters and normalizer but not the architecture,
+    /// so callers supply the [`EgnnConfig`] they trained with; every
+    /// parameter is validated against it by name and shape.
+    pub fn from_checkpoint(
+        ckpt: &TrainCheckpoint,
+        config: EgnnConfig,
+    ) -> Result<Self, EngineError> {
+        let frozen = FrozenEgnn::from_params(config, &ckpt.params)?;
+        Ok(InferenceEngine {
+            frozen,
+            normalizer: ckpt.normalizer,
+        })
+    }
+
+    /// Loads an MGTC v1 checkpoint file and freezes it.
+    pub fn load_mgtc(path: impl AsRef<Path>, config: EgnnConfig) -> Result<Self, EngineError> {
+        let ckpt = TrainCheckpoint::load(path)?;
+        Self::from_checkpoint(&ckpt, config)
+    }
+
+    /// The architecture this engine serves.
+    pub fn config(&self) -> &EgnnConfig {
+        self.frozen.config()
+    }
+
+    /// The normalizer applied by [`predict`](InferenceEngine::predict).
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
+    /// Direct access to the frozen forward pass.
+    pub fn frozen(&self) -> &FrozenEgnn {
+        &self.frozen
+    }
+
+    /// Model-unit forward pass: `(normalized per-graph energies
+    /// [n_graphs × 1], normalized forces [n_nodes × 3])`. This is the
+    /// zero-allocation hot path — benchmark and parity-test surface.
+    pub fn predict_raw(&self, batch: &GraphBatch) -> (Tensor, Tensor) {
+        self.frozen.predict(batch)
+    }
+
+    /// Physical-unit forward pass: denormalizes per-graph energies by
+    /// atom count and scales forces back to eV/Å, splitting the batch
+    /// into one [`GraphPrediction`] per member graph.
+    pub fn predict(&self, batch: &GraphBatch) -> Vec<GraphPrediction> {
+        let (energies, forces) = self.predict_raw(batch);
+        let e = energies.data();
+        let f = forces.data();
+        let fs = self.normalizer.force_std;
+        let mut out = Vec::with_capacity(batch.n_graphs());
+        let mut row = 0usize;
+        for (g, &n_atoms) in batch.node_counts().iter().enumerate() {
+            let energy = self.normalizer.denormalize_energy(e[g] as f64, n_atoms);
+            let mut gf = Vec::with_capacity(n_atoms);
+            for _ in 0..n_atoms {
+                gf.push([
+                    f[row * 3] as f64 * fs,
+                    f[row * 3 + 1] as f64 * fs,
+                    f[row * 3 + 2] as f64 * fs,
+                ]);
+                row += 1;
+            }
+            out.push(GraphPrediction { energy, forces: gf });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matgnn_graph::{AtomicStructure, Element, MolGraph};
+    use matgnn_model::{GnnModel, ParamSet};
+    use matgnn_train::AdamState;
+
+    fn tiny_batch() -> GraphBatch {
+        let s = AtomicStructure::new(
+            vec![Element::O, Element::H, Element::H],
+            vec![[0.0, 0.0, 0.0], [0.96, 0.0, 0.0], [-0.24, 0.93, 0.0]],
+        )
+        .unwrap();
+        let g = MolGraph::from_structure(&s, 2.0);
+        GraphBatch::from_graphs(&[&g])
+    }
+
+    fn checkpoint_for(model: &Egnn, normalizer: Normalizer) -> TrainCheckpoint {
+        let params: ParamSet = model.params().iter().cloned().collect();
+        let n = params.n_scalars();
+        TrainCheckpoint {
+            epoch: 1,
+            step_in_epoch: 0,
+            global_step: 10,
+            seed: 7,
+            loss_acc: 0.0,
+            loss_count: 0,
+            params,
+            adam: AdamState {
+                m: vec![0.0; n],
+                v: vec![0.0; n],
+                t: 10,
+            },
+            normalizer,
+        }
+    }
+
+    #[test]
+    fn engine_from_checkpoint_matches_from_model() {
+        let model = Egnn::new(EgnnConfig::new(16, 2).with_seed(3));
+        let norm = Normalizer::default();
+        let direct = InferenceEngine::from_model(&model, norm);
+        let ckpt = checkpoint_for(&model, norm);
+        let loaded = InferenceEngine::from_checkpoint(&ckpt, *model.config()).unwrap();
+        let batch = tiny_batch();
+        let (e1, f1) = direct.predict_raw(&batch);
+        let (e2, f2) = loaded.predict_raw(&batch);
+        assert_eq!(e1, e2);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn wrong_config_is_rejected() {
+        let model = Egnn::new(EgnnConfig::new(16, 2));
+        let ckpt = checkpoint_for(&model, Normalizer::default());
+        let err = InferenceEngine::from_checkpoint(&ckpt, EgnnConfig::new(16, 3));
+        assert!(matches!(err, Err(EngineError::Freeze(_))));
+    }
+
+    #[test]
+    fn physical_units_invert_normalization() {
+        let model = Egnn::new(EgnnConfig::new(12, 2).with_seed(8));
+        let norm = Normalizer {
+            energy_mean: -3.25,
+            energy_std: 0.75,
+            force_std: 2.0,
+            source_offset: [0.0; 5],
+        };
+        let engine = InferenceEngine::from_model(&model, norm);
+        let batch = tiny_batch();
+        let (raw_e, raw_f) = engine.predict_raw(&batch);
+        let preds = engine.predict(&batch);
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[0].forces.len(), 3);
+        let expect_e = norm.denormalize_energy(raw_e.data()[0] as f64, 3);
+        assert!((preds[0].energy - expect_e).abs() < 1e-9);
+        let expect_fx = raw_f.data()[0] as f64 * 2.0;
+        assert!((preds[0].forces[0][0] - expect_fx).abs() < 1e-9);
+    }
+}

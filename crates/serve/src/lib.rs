@@ -1,0 +1,51 @@
+//! # matgnn-serve
+//!
+//! The inference serving stack: an immutable, tape-free
+//! [`InferenceEngine`] that loads MGTC v1 checkpoints into a frozen
+//! forward pass, and a [`DynamicBatcher`] front-end that packs concurrent
+//! variable-size requests into bounded [`GraphBatch`]es under a
+//! max-atoms / max-wait policy and serves them from a worker pool.
+//!
+//! Training optimizes throughput per step; serving optimizes latency
+//! under concurrency. The pieces here connect the training-side
+//! machinery (recycler-backed tensors, SIMD/pool kernels, telemetry) to
+//! that second workload:
+//!
+//! * **Engine** ([`engine`]): frozen EGNN weights + the checkpoint's
+//!   [`Normalizer`](matgnn_data::Normalizer), predicting physical-unit
+//!   energies and forces with zero steady-state heap allocations.
+//! * **Batcher** ([`batcher`]): a bounded FIFO request queue, packing by
+//!   [`PackPolicy`](matgnn_graph::PackPolicy), per-request latency
+//!   metrics (`serve.latency_ms` feeds p50/p99 via
+//!   [`histogram_quantile`](matgnn_telemetry::histogram_quantile)).
+//!
+//! ```
+//! use matgnn_graph::{AtomicStructure, Element, MolGraph};
+//! use matgnn_model::{Egnn, EgnnConfig};
+//! use matgnn_serve::{BatcherConfig, DynamicBatcher, InferenceEngine};
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(InferenceEngine::from_model(
+//!     &Egnn::new(EgnnConfig::new(16, 2)),
+//!     Default::default(),
+//! ));
+//! let batcher = DynamicBatcher::start(engine, BatcherConfig::default());
+//!
+//! let s = AtomicStructure::new(
+//!     vec![Element::O, Element::H, Element::H],
+//!     vec![[0.0, 0.0, 0.0], [0.96, 0.0, 0.0], [-0.24, 0.93, 0.0]],
+//! )?;
+//! let ticket = batcher.submit(MolGraph::from_structure(&s, 2.0))?;
+//! let prediction = ticket.wait()?;
+//! assert_eq!(prediction.forces.len(), 3);
+//! batcher.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod batcher;
+mod engine;
+
+pub use batcher::{BatcherConfig, DynamicBatcher, Prediction, ServeError, Ticket};
+pub use engine::{EngineError, GraphPrediction, InferenceEngine};

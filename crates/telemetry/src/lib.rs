@@ -43,8 +43,8 @@ mod span;
 pub mod json;
 
 pub use metrics::{
-    counter_add, counter_set, flush_metrics, gauge_set, histogram_record, reset_metrics, snapshot,
-    MetricValue,
+    counter_add, counter_set, flush_metrics, gauge_set, histogram_quantile, histogram_record,
+    reset_metrics, snapshot, MetricValue,
 };
 pub use sink::{active_dir, health_event, init, init_from_env, log_event, shutdown};
 pub use span::{span, RankScope, Span};

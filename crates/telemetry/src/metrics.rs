@@ -58,6 +58,113 @@ fn registry() -> MutexGuard<'static, Registry> {
     REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+// ----------------------------------------------------------------------
+// Quantile sketches
+//
+// `MetricValue::Histogram` keeps count/sum/min/max — enough for means,
+// useless for tail latency. Serving SLOs are stated in p50/p99, so each
+// histogram also feeds a log-bucketed quantile sketch: buckets at eight
+// per octave (relative width 2^(1/8) ≈ 9%), counts only, fixed footprint,
+// fully deterministic — no sampling, no randomized mergeables. The sketch
+// registry is parallel to the metric registry so the `MetricValue` enum,
+// snapshot shape, and JSONL flush schema stay exactly as they were.
+// ----------------------------------------------------------------------
+
+/// Log-bucket resolution: buckets per factor-of-two of value.
+const QSKETCH_PER_OCTAVE: f64 = 8.0;
+/// Shift that maps exponent `-20` octaves (values ≈ 1e-6) to bucket 1.
+const QSKETCH_OFFSET: isize = 160;
+/// Bucket 0 holds non-positive values; 1.. hold the log grid (values up
+/// to ≈ 2^44 before clamping into the top bucket).
+const QSKETCH_BUCKETS: usize = 513;
+
+/// Fixed-size log-bucketed sample sketch for one histogram.
+#[derive(Debug, Clone)]
+struct QuantileSketch {
+    counts: Vec<u64>,
+    total: u64,
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    fn new() -> Self {
+        QuantileSketch {
+            counts: vec![0; QSKETCH_BUCKETS],
+            total: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_of(value: f64) -> usize {
+        if value.is_nan() || value <= 0.0 {
+            return 0;
+        }
+        if !value.is_finite() {
+            return QSKETCH_BUCKETS - 1;
+        }
+        let idx = (value.log2() * QSKETCH_PER_OCTAVE).floor() as isize + QSKETCH_OFFSET + 1;
+        idx.clamp(1, QSKETCH_BUCKETS as isize - 1) as usize
+    }
+
+    /// Geometric midpoint of bucket `i`'s value range.
+    fn bucket_value(i: usize) -> f64 {
+        if i == 0 {
+            return 0.0;
+        }
+        2f64.powf(((i as isize - 1 - QSKETCH_OFFSET) as f64 + 0.5) / QSKETCH_PER_OCTAVE)
+    }
+
+    fn record(&mut self, value: f64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.total += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Nearest-rank quantile estimate. `q ≤ 0` / `q ≥ 1` return the
+    /// exactly-tracked min/max; interior quantiles report a bucket
+    /// midpoint clamped into `[min, max]` so small samples cannot escape
+    /// the observed range.
+    fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_value(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+type SketchRegistry = BTreeMap<Cow<'static, str>, QuantileSketch>;
+
+static SKETCHES: Mutex<SketchRegistry> = Mutex::new(BTreeMap::new());
+
+fn sketches() -> MutexGuard<'static, SketchRegistry> {
+    SKETCHES.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Estimated `q`-quantile (`0.0 ..= 1.0`) of the samples recorded into
+/// the named histogram via [`histogram_record`]. Within ≈9% relative
+/// error of the true sample quantile (one log bucket); exact at the
+/// endpoints. `None` until the histogram has at least one sample.
+pub fn histogram_quantile(name: &str, q: f64) -> Option<f64> {
+    sketches().get(name).and_then(|s| s.quantile(q))
+}
+
 /// Adds `delta` to the named counter (creating it at zero).
 pub fn counter_add(name: impl Into<Cow<'static, str>>, delta: u64) {
     let mut reg = registry();
@@ -79,10 +186,16 @@ pub fn gauge_set(name: impl Into<Cow<'static, str>>, value: f64) {
     registry().insert(name.into(), MetricValue::Gauge(value));
 }
 
-/// Records one sample into the named histogram.
+/// Records one sample into the named histogram (and its quantile
+/// sketch — see [`histogram_quantile`]).
 pub fn histogram_record(name: impl Into<Cow<'static, str>>, value: f64) {
+    let name = name.into();
+    sketches()
+        .entry(name.clone())
+        .or_insert_with(QuantileSketch::new)
+        .record(value);
     let mut reg = registry();
-    let entry = reg.entry(name.into()).or_insert(MetricValue::Histogram {
+    let entry = reg.entry(name).or_insert(MetricValue::Histogram {
         count: 0,
         sum: 0.0,
         min: f64::INFINITY,
@@ -119,9 +232,11 @@ pub fn snapshot() -> Vec<(String, MetricValue)> {
         .collect()
 }
 
-/// Clears the registry (test isolation and fresh runs).
+/// Clears the registry and all quantile sketches (test isolation and
+/// fresh runs).
 pub fn reset_metrics() {
     registry().clear();
+    sketches().clear();
 }
 
 /// Emits one `"type":"metrics"` JSONL event holding a scalarised
@@ -172,5 +287,41 @@ mod tests {
         assert_eq!(snap[2].1.scalar(), 3.0);
         reset_metrics();
         assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn histogram_quantiles_track_tail() {
+        // Distinct name: the registry is process-global and tests share it.
+        let name = "qtest.latency";
+        assert_eq!(histogram_quantile(name, 0.5), None);
+        for v in 1..=1000 {
+            histogram_record(name, v as f64);
+        }
+        let p50 = histogram_quantile(name, 0.5).unwrap();
+        let p99 = histogram_quantile(name, 0.99).unwrap();
+        // One log bucket is ≈9% wide; allow 10%.
+        assert!((p50 - 500.0).abs() / 500.0 < 0.10, "p50 = {p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.10, "p99 = {p99}");
+        // Endpoints are exact (clamped to tracked min/max).
+        assert_eq!(histogram_quantile(name, 0.0), Some(1.0));
+        assert_eq!(histogram_quantile(name, 1.0), Some(1000.0));
+    }
+
+    #[test]
+    fn quantile_sketch_handles_degenerate_values() {
+        let name = "qtest.degenerate";
+        histogram_record(name, 0.0);
+        histogram_record(name, -3.0);
+        histogram_record(name, 2.5);
+        // Non-positive samples land in the underflow bucket; the median
+        // of {-3, 0, 2.5} sits there and clamps to the tracked min.
+        let p50 = histogram_quantile(name, 0.5).unwrap();
+        assert!(p50 <= 0.0, "p50 = {p50}");
+        assert_eq!(histogram_quantile(name, 1.0), Some(2.5));
+        // A single-sample histogram reports that sample everywhere.
+        let name = "qtest.single";
+        histogram_record(name, 42.0);
+        let p = histogram_quantile(name, 0.5).unwrap();
+        assert!((p - 42.0).abs() / 42.0 < 0.10, "p50 = {p}");
     }
 }

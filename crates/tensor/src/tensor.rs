@@ -1005,6 +1005,231 @@ impl Tensor {
     }
 
     // ------------------------------------------------------------------
+    // Eval-path in-place ops (inference engine)
+    //
+    // The tape keeps every op's output alive for backward, so the training
+    // path is built from value-producing ops. Inference has no adjoints:
+    // an activation or bias add can overwrite its input, skipping one
+    // recycler round-trip per op. Each method below computes exactly what
+    // its out-of-place namesake computes, element for element, so the
+    // frozen forward stays bitwise comparable to the tape forward
+    // wherever the op sequence matches.
+    // ------------------------------------------------------------------
+
+    /// Shared plumbing for the in-place unary family. The [`simd`] unary
+    /// kernels take disjoint source/destination slices, so the input is
+    /// staged through a small stack scratch block by block; every element
+    /// still goes through the same tier kernel as [`Tensor::unary_op`],
+    /// so results are bitwise identical to the out-of-place op for any
+    /// chunking and pool size.
+    fn unary_in_place(&mut self, op: simd::UnaryOp) {
+        let pooled = use_pool(self.numel(), ELEM_PAR_MIN);
+        let dst = Arc::make_mut(&mut self.data).as_mut_slice();
+        let apply = |chunk: &mut [f32]| {
+            let mut scratch = [0.0f32; 512];
+            for part in chunk.chunks_mut(512) {
+                let staged = &mut scratch[..part.len()];
+                staged.copy_from_slice(part);
+                simd::unary(op, staged, part);
+            }
+        };
+        if pooled {
+            pool::for_each_chunk_mut(dst, 1, |_, chunk| apply(chunk));
+        } else {
+            apply(dst);
+        }
+    }
+
+    /// In-place [`silu`](Tensor::silu).
+    pub fn silu_in_place(&mut self) {
+        self.unary_in_place(simd::UnaryOp::Silu);
+    }
+
+    /// In-place [`sigmoid`](Tensor::sigmoid).
+    pub fn sigmoid_in_place(&mut self) {
+        self.unary_in_place(simd::UnaryOp::Sigmoid);
+    }
+
+    /// In-place [`relu`](Tensor::relu).
+    pub fn relu_in_place(&mut self) {
+        self.unary_in_place(simd::UnaryOp::Relu);
+    }
+
+    /// In-place [`exp`](Tensor::exp).
+    pub fn exp_in_place(&mut self) {
+        self.unary_in_place(simd::UnaryOp::Exp);
+    }
+
+    /// In-place [`sqrt`](Tensor::sqrt).
+    pub fn sqrt_in_place(&mut self) {
+        self.unary_in_place(simd::UnaryOp::Sqrt);
+    }
+
+    /// In-place [`square`](Tensor::square).
+    pub fn square_in_place(&mut self) {
+        self.unary_in_place(simd::UnaryOp::Square);
+    }
+
+    /// In-place [`add_scalar`](Tensor::add_scalar).
+    pub fn add_scalar_in_place(&mut self, alpha: f32) {
+        self.unary_in_place(simd::UnaryOp::AddScalar(alpha));
+    }
+
+    /// In-place [`map`](Tensor::map): applies `f` to every element,
+    /// overwriting the buffer. Matches `map` element for element.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        let pooled = use_pool(self.numel(), ELEM_PAR_MIN);
+        let dst = Arc::make_mut(&mut self.data).as_mut_slice();
+        if pooled {
+            pool::for_each_chunk_mut(dst, 1, |_, chunk| {
+                for x in chunk {
+                    *x = f(*x);
+                }
+            });
+        } else {
+            for x in dst {
+                *x = f(*x);
+            }
+        }
+    }
+
+    /// In-place [`add_row`](Tensor::add_row) (bias addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.numel() != self.cols()`.
+    pub fn add_row_in_place(&mut self, row: &Tensor) {
+        let c = self.cols();
+        assert_eq!(
+            row.numel(),
+            c,
+            "add_row_in_place: bias {} vs cols {c}",
+            row.shape
+        );
+        if self.numel() == 0 || c == 0 {
+            return;
+        }
+        let pooled = use_pool(self.numel(), ELEM_PAR_MIN);
+        let dst = Arc::make_mut(&mut self.data).as_mut_slice();
+        let bias = &row.data[..];
+        let body = |rows: &mut [f32]| {
+            for rrow in rows.chunks_mut(c) {
+                for (x, &b) in rrow.iter_mut().zip(bias) {
+                    *x += b;
+                }
+            }
+        };
+        if pooled {
+            pool::for_each_chunk_mut(dst, c, |_, chunk| body(chunk));
+        } else {
+            body(dst);
+        }
+    }
+
+    /// In-place [`mul_row`](Tensor::mul_row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.numel() != self.cols()`.
+    pub fn mul_row_in_place(&mut self, row: &Tensor) {
+        let c = self.cols();
+        assert_eq!(
+            row.numel(),
+            c,
+            "mul_row_in_place: {} vs cols {c}",
+            row.shape
+        );
+        if self.numel() == 0 || c == 0 {
+            return;
+        }
+        let pooled = use_pool(self.numel(), ELEM_PAR_MIN);
+        let dst = Arc::make_mut(&mut self.data).as_mut_slice();
+        let scalev = &row.data[..];
+        let body = |rows: &mut [f32]| {
+            for rrow in rows.chunks_mut(c) {
+                for (x, &s) in rrow.iter_mut().zip(scalev) {
+                    *x *= s;
+                }
+            }
+        };
+        if pooled {
+            pool::for_each_chunk_mut(dst, c, |_, chunk| body(chunk));
+        } else {
+            body(dst);
+        }
+    }
+
+    /// In-place [`add_col`](Tensor::add_col).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col.numel() != self.rows()`.
+    pub fn add_col_in_place(&mut self, col: &Tensor) {
+        let c = self.cols();
+        assert_eq!(
+            col.numel(),
+            self.rows(),
+            "add_col_in_place: {} vs rows {}",
+            col.shape,
+            self.rows()
+        );
+        if self.numel() == 0 || c == 0 {
+            return;
+        }
+        let pooled = use_pool(self.numel(), ELEM_PAR_MIN);
+        let dst = Arc::make_mut(&mut self.data).as_mut_slice();
+        let colv = &col.data[..];
+        let body = |r0: usize, rows: &mut [f32]| {
+            for (local, rrow) in rows.chunks_mut(c).enumerate() {
+                let v = colv[r0 + local];
+                for x in rrow {
+                    *x += v;
+                }
+            }
+        };
+        if pooled {
+            pool::for_each_chunk_mut(dst, c, |start, chunk| body(start / c, chunk));
+        } else {
+            body(0, dst);
+        }
+    }
+
+    /// In-place [`mul_col`](Tensor::mul_col).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col.numel() != self.rows()`.
+    pub fn mul_col_in_place(&mut self, col: &Tensor) {
+        let c = self.cols();
+        assert_eq!(
+            col.numel(),
+            self.rows(),
+            "mul_col_in_place: {} vs rows {}",
+            col.shape,
+            self.rows()
+        );
+        if self.numel() == 0 || c == 0 {
+            return;
+        }
+        let pooled = use_pool(self.numel(), ELEM_PAR_MIN);
+        let dst = Arc::make_mut(&mut self.data).as_mut_slice();
+        let colv = &col.data[..];
+        let body = |r0: usize, rows: &mut [f32]| {
+            for (local, rrow) in rows.chunks_mut(c).enumerate() {
+                let s = colv[r0 + local];
+                for x in rrow {
+                    *x *= s;
+                }
+            }
+        };
+        if pooled {
+            pool::for_each_chunk_mut(dst, c, |start, chunk| body(start / c, chunk));
+        } else {
+            body(0, dst);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Buffer recycling
     // ------------------------------------------------------------------
 
@@ -1299,5 +1524,81 @@ mod tests {
         assert_eq!(keep.data(), &[3.0; 81]);
         keep.recycle(); // now unique: accepted
         crate::recycler::set_enabled_override(None);
+    }
+
+    /// Every in-place eval-path op must equal its out-of-place namesake
+    /// bit for bit — the frozen inference forward relies on that to stay
+    /// comparable to the tape forward.
+    #[test]
+    fn in_place_ops_match_out_of_place_bitwise() {
+        let mut rng = StdRng::seed_from_u64(33);
+        // Odd sizes exercise the SIMD kernels' scalar tails and the
+        // 512-element scratch-block boundary in `unary_in_place`.
+        let x = Tensor::randn((7, 151), 2.0, &mut rng);
+        let row = Tensor::randn(151usize, 1.0, &mut rng);
+        let col = Tensor::randn(7usize, 1.0, &mut rng);
+
+        type UnaryPair = (fn(&Tensor) -> Tensor, fn(&mut Tensor));
+        let unary: &[UnaryPair] = &[
+            (|t| t.silu(), |t| t.silu_in_place()),
+            (|t| t.sigmoid(), |t| t.sigmoid_in_place()),
+            (|t| t.relu(), |t| t.relu_in_place()),
+            (|t| t.exp(), |t| t.exp_in_place()),
+            (|t| t.square(), |t| t.square_in_place()),
+        ];
+        for (out_of_place, in_place) in unary {
+            let expect = out_of_place(&x);
+            let mut got = x.clone();
+            in_place(&mut got);
+            assert_eq!(expect, got);
+        }
+
+        let expect = x.square().sqrt();
+        let mut got = x.square();
+        got.sqrt_in_place();
+        assert_eq!(expect, got);
+
+        let expect = x.add_scalar(0.37);
+        let mut got = x.clone();
+        got.add_scalar_in_place(0.37);
+        assert_eq!(expect, got);
+
+        let expect = x.map(|v| 1.0 / v);
+        let mut got = x.clone();
+        got.map_in_place(|v| 1.0 / v);
+        assert_eq!(expect, got);
+
+        let expect = x.add_row(&row);
+        let mut got = x.clone();
+        got.add_row_in_place(&row);
+        assert_eq!(expect, got);
+
+        let expect = x.mul_row(&row);
+        let mut got = x.clone();
+        got.mul_row_in_place(&row);
+        assert_eq!(expect, got);
+
+        let expect = x.add_col(&col);
+        let mut got = x.clone();
+        got.add_col_in_place(&col);
+        assert_eq!(expect, got);
+
+        let expect = x.mul_col(&col);
+        let mut got = x.clone();
+        got.mul_col_in_place(&col);
+        assert_eq!(expect, got);
+    }
+
+    /// In-place ops on a shared buffer must copy-on-write, never mutate
+    /// the other owner.
+    #[test]
+    fn in_place_ops_copy_on_write_when_shared() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let original = Tensor::randn((5, 8), 1.0, &mut rng);
+        let snapshot = original.to_vec();
+        let mut aliased = original.clone();
+        aliased.silu_in_place();
+        assert_eq!(original.data(), &snapshot[..], "source tensor mutated");
+        assert_eq!(aliased, original.silu());
     }
 }

@@ -1,51 +1,84 @@
 //! Property-based tests of the tensor kernels and autodiff tape: random
 //! shapes, algebraic identities, adjointness, and gradient checks.
+//!
+//! The vendored proptest shim's `proptest!` macro has a repetition-depth
+//! bug (its config line expands inside the per-fn repetition), so these
+//! tests drive [`Strategy::sample`] directly through [`run_cases`]
+//! instead of going through the macro.
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
+use proptest::{seed_for, TestRng};
 
 use matgnn_tensor::{gradcheck, MemoryCategory, MemoryTracker, Tape, Tensor};
+
+const CASES: u64 = 48;
+
+/// Runs `case_fn` over [`CASES`] deterministically seeded RNGs, mirroring
+/// what the upstream `proptest!` macro would do.
+fn run_cases(name: &str, mut case_fn: impl FnMut(&mut TestRng)) {
+    let base = seed_for(name);
+    for case in 0..CASES {
+        let mut rng = TestRng::new(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        case_fn(&mut rng);
+    }
+}
 
 fn arb_dims() -> impl Strategy<Value = (usize, usize)> {
     (1usize..6, 1usize..6)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+// ---------------- algebraic identities ----------------
 
-    // ---------------- algebraic identities ----------------
-
-    #[test]
-    fn add_commutes_and_sub_inverts((r, c) in arb_dims(), seed in 0u64..50) {
+#[test]
+fn add_commutes_and_sub_inverts() {
+    run_cases("add_commutes_and_sub_inverts", |rng| {
+        let (r, c) = arb_dims().sample(rng);
+        let seed = (0u64..50).sample(rng);
         let a = deterministic(r, c, seed);
         let b = deterministic(r, c, seed ^ 1);
         prop_assert!(a.add(&b).allclose(&b.add(&a), 1e-6));
         prop_assert!(a.add(&b).sub(&b).allclose(&a, 1e-5));
-    }
+    });
+}
 
-    #[test]
-    fn matmul_distributes((n, k) in arb_dims(), (m, _) in arb_dims(), seed in 0u64..50) {
+#[test]
+fn matmul_distributes() {
+    run_cases("matmul_distributes", |rng| {
+        let (n, k) = arb_dims().sample(rng);
+        let (m, _) = arb_dims().sample(rng);
+        let seed = (0u64..50).sample(rng);
         let a = deterministic(n, k, seed);
         let b = deterministic(k, m, seed ^ 2);
         let c = deterministic(k, m, seed ^ 3);
         let left = a.matmul(&b.add(&c));
         let right = a.matmul(&b).add(&a.matmul(&c));
         prop_assert!(left.allclose(&right, 1e-4), "distributivity failed");
-    }
+    });
+}
 
-    #[test]
-    fn matmul_associates((n, k) in arb_dims(), (m, p) in arb_dims(), seed in 0u64..50) {
+#[test]
+fn matmul_associates() {
+    run_cases("matmul_associates", |rng| {
+        let (n, k) = arb_dims().sample(rng);
+        let (m, p) = arb_dims().sample(rng);
+        let seed = (0u64..50).sample(rng);
         let a = deterministic(n, k, seed);
         let b = deterministic(k, m, seed ^ 4);
         let c = deterministic(m, p, seed ^ 5);
         let left = a.matmul(&b).matmul(&c);
         let right = a.matmul(&b.matmul(&c));
         prop_assert!(left.allclose(&right, 1e-3), "associativity failed");
-    }
+    });
+}
 
-    #[test]
-    fn transpose_variants_consistent((n, k) in arb_dims(), (m, _) in arb_dims(), seed in 0u64..50) {
+#[test]
+fn transpose_variants_consistent() {
+    run_cases("transpose_variants_consistent", |rng| {
+        let (n, k) = arb_dims().sample(rng);
+        let (m, _) = arb_dims().sample(rng);
+        let seed = (0u64..50).sample(rng);
         let a = deterministic(n, k, seed);
         let b = deterministic(k, m, seed ^ 6);
         let plain = a.matmul(&b);
@@ -53,20 +86,31 @@ proptest! {
         prop_assert!(a.matmul_nt(&b.transpose()).allclose(&plain, 1e-4));
         prop_assert!(a.transpose().transpose().allclose(&a, 0.0));
         // (AB)ᵀ = BᵀAᵀ
-        prop_assert!(plain.transpose().allclose(&b.transpose().matmul(&a.transpose()), 1e-4));
-    }
+        prop_assert!(plain
+            .transpose()
+            .allclose(&b.transpose().matmul(&a.transpose()), 1e-4));
+    });
+}
 
-    #[test]
-    fn reductions_agree((r, c) in arb_dims(), seed in 0u64..50) {
+#[test]
+fn reductions_agree() {
+    run_cases("reductions_agree", |rng| {
+        let (r, c) = arb_dims().sample(rng);
+        let seed = (0u64..50).sample(rng);
         let a = deterministic(r, c, seed);
         let total = a.sum_all();
         prop_assert!((a.sum_axis0().sum_all() - total).abs() < 1e-4 * (1.0 + total.abs()));
         prop_assert!((a.sum_axis1().sum_all() - total).abs() < 1e-4 * (1.0 + total.abs()));
         prop_assert!((a.mean_all() * a.numel() as f32 - total).abs() < 1e-4 * (1.0 + total.abs()));
-    }
+    });
+}
 
-    #[test]
-    fn gather_scatter_adjoint((n, c) in arb_dims(), seed in 0u64..50, e in 1usize..12) {
+#[test]
+fn gather_scatter_adjoint() {
+    run_cases("gather_scatter_adjoint", |rng| {
+        let (n, c) = arb_dims().sample(rng);
+        let seed = (0u64..50).sample(rng);
+        let e = (1usize..12).sample(rng);
         // <scatter(x, idx), y> == <x, gather(y, idx)> — the defining
         // adjoint property that makes the backward rules correct.
         let idx: Vec<usize> = (0..e).map(|i| (i * 7 + seed as usize) % n).collect();
@@ -74,32 +118,50 @@ proptest! {
         let y = deterministic(n, c, seed ^ 8);
         let lhs: f32 = x.scatter_add_rows(&idx, n).mul(&y).sum_all();
         let rhs: f32 = x.mul(&y.gather_rows(&idx)).sum_all();
-        prop_assert!((lhs - rhs).abs() < 1e-4 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
-    }
+        prop_assert!(
+            (lhs - rhs).abs() < 1e-4 * (1.0 + lhs.abs()),
+            "{} vs {}",
+            lhs,
+            rhs
+        );
+    });
+}
 
-    #[test]
-    fn concat_slice_roundtrip((r, c1) in arb_dims(), c2 in 1usize..6, seed in 0u64..50) {
+#[test]
+fn concat_slice_roundtrip() {
+    run_cases("concat_slice_roundtrip", |rng| {
+        let (r, c1) = arb_dims().sample(rng);
+        let c2 = (1usize..6).sample(rng);
+        let seed = (0u64..50).sample(rng);
         let a = deterministic(r, c1, seed);
         let b = deterministic(r, c2, seed ^ 9);
         let cat = Tensor::concat_cols(&[&a, &b]);
         prop_assert!(cat.slice_cols(0, c1).allclose(&a, 0.0));
         prop_assert!(cat.slice_cols(c1, c1 + c2).allclose(&b, 0.0));
-    }
+    });
+}
 
-    #[test]
-    fn activation_ranges((r, c) in arb_dims(), seed in 0u64..50) {
+#[test]
+fn activation_ranges() {
+    run_cases("activation_ranges", |rng| {
+        let (r, c) = arb_dims().sample(rng);
+        let seed = (0u64..50).sample(rng);
         let a = deterministic(r, c, seed);
         prop_assert!(a.relu().data().iter().all(|&x| x >= 0.0));
         prop_assert!(a.sigmoid().data().iter().all(|&x| (0.0..=1.0).contains(&x)));
         prop_assert!(a.tanh().data().iter().all(|&x| (-1.0..=1.0).contains(&x)));
         // silu(x) ≥ −0.279 (its global minimum).
         prop_assert!(a.silu().data().iter().all(|&x| x >= -0.2785));
-    }
+    });
+}
 
-    // ---------------- tape gradients on random shapes ----------------
+// ---------------- tape gradients on random shapes ----------------
 
-    #[test]
-    fn gradcheck_binary_ops((r, c) in arb_dims(), seed in 0u64..20) {
+#[test]
+fn gradcheck_binary_ops() {
+    run_cases("gradcheck_binary_ops", |rng| {
+        let (r, c) = arb_dims().sample(rng);
+        let seed = (0u64..20).sample(rng);
         let a = deterministic(r, c, seed);
         let b = deterministic(r, c, seed ^ 10).add_scalar(0.1); // avoid /0-ish
         gradcheck::check_grad(
@@ -112,10 +174,15 @@ proptest! {
             },
             3e-2,
         );
-    }
+    });
+}
 
-    #[test]
-    fn gradcheck_matmul_random_shapes((n, k) in arb_dims(), (m, _) in arb_dims(), seed in 0u64..20) {
+#[test]
+fn gradcheck_matmul_random_shapes() {
+    run_cases("gradcheck_matmul_random_shapes", |rng| {
+        let (n, k) = arb_dims().sample(rng);
+        let (m, _) = arb_dims().sample(rng);
+        let seed = (0u64..20).sample(rng);
         let a = deterministic(n, k, seed);
         let b = deterministic(k, m, seed ^ 11);
         gradcheck::check_grad(
@@ -127,10 +194,14 @@ proptest! {
             },
             3e-2,
         );
-    }
+    });
+}
 
-    #[test]
-    fn gradcheck_broadcast_ops((r, c) in arb_dims(), seed in 0u64..20) {
+#[test]
+fn gradcheck_broadcast_ops() {
+    run_cases("gradcheck_broadcast_ops", |rng| {
+        let (r, c) = arb_dims().sample(rng);
+        let seed = (0u64..20).sample(rng);
         let x = deterministic(r, c, seed);
         let bias = deterministic(1, c, seed ^ 12).reshape(c).expect("row");
         let col = deterministic(r, 1, seed ^ 13);
@@ -144,12 +215,21 @@ proptest! {
             },
             3e-2,
         );
-    }
+    });
+}
 
-    #[test]
-    fn gradcheck_gather_concat_slice((n, c) in arb_dims(), seed in 0u64..20, e in 1usize..10) {
+#[test]
+fn gradcheck_gather_concat_slice() {
+    run_cases("gradcheck_gather_concat_slice", |rng| {
+        let (n, c) = arb_dims().sample(rng);
+        let seed = (0u64..20).sample(rng);
+        let e = (1usize..10).sample(rng);
         let x = deterministic(n, c, seed);
-        let idx = Arc::new((0..e).map(|i| (i * 3 + seed as usize) % n).collect::<Vec<_>>());
+        let idx = Arc::new(
+            (0..e)
+                .map(|i| (i * 3 + seed as usize) % n)
+                .collect::<Vec<_>>(),
+        );
         gradcheck::check_grad(
             &[x],
             move |tape, vars| {
@@ -162,12 +242,15 @@ proptest! {
             },
             3e-2,
         );
-    }
+    });
+}
 
-    // ---------------- memory tracker invariants ----------------
+// ---------------- memory tracker invariants ----------------
 
-    #[test]
-    fn tracker_balance_under_random_traffic(ops in prop::collection::vec((0usize..5, 1u64..10_000), 1..60)) {
+#[test]
+fn tracker_balance_under_random_traffic() {
+    run_cases("tracker_balance_under_random_traffic", |rng| {
+        let ops = prop::collection::vec((0usize..5, 1u64..10_000), 1..60).sample(rng);
         let tracker = MemoryTracker::new();
         let mut live: Vec<(MemoryCategory, u64)> = Vec::new();
         let mut running_total = 0u64;
@@ -190,10 +273,14 @@ proptest! {
         prop_assert_eq!(tracker.peak_total(), max_seen);
         // At-peak breakdown sums to the peak.
         prop_assert_eq!(tracker.at_peak().total(), max_seen);
-    }
+    });
+}
 
-    #[test]
-    fn tape_releases_all_tracked_bytes((r, c) in arb_dims(), seed in 0u64..20) {
+#[test]
+fn tape_releases_all_tracked_bytes() {
+    run_cases("tape_releases_all_tracked_bytes", |rng| {
+        let (r, c) = arb_dims().sample(rng);
+        let seed = (0u64..20).sample(rng);
         let tracker = MemoryTracker::new();
         {
             let mut tape = Tape::with_tracker(tracker.clone());
@@ -206,7 +293,7 @@ proptest! {
         }
         prop_assert_eq!(tracker.current().get(MemoryCategory::Activations), 0);
         prop_assert_eq!(tracker.current().get(MemoryCategory::Gradients), 0);
-    }
+    });
 }
 
 /// Deterministic pseudo-random tensor so proptest shrinking stays stable.

@@ -178,7 +178,7 @@ fn gradcheck_passes_on_every_tier() {
         with_tier(tier, || {
             let xc = x.clone();
             gradcheck::check_grad(
-                &[w.clone()],
+                std::slice::from_ref(&w),
                 move |tape, vars| {
                     let c = tape.constant(xc.clone());
                     let h = tape.matmul(c, vars[0]);
