@@ -53,15 +53,18 @@ pub mod prelude {
         SourceKind, Targets,
     };
     pub use matgnn_dist::{
-        run_memory_settings, train_ddp, CommError, Communicator, CostModel, DdpConfig, DdpReport,
-        FailureHandle, FaultKind, FaultPlan, Heartbeat, MemorySetting, Watchdog, ZeroAdam,
+        run_memory_settings, synthetic_slab, train_ddp, train_graphpar, CommError, Communicator,
+        CostModel, DdpConfig, DdpReport, DistHalo, FailureHandle, FaultKind, FaultPlan, FaultSite,
+        GraphParConfig, GraphParReport, Heartbeat, MemorySetting, Watchdog, ZeroAdam,
     };
     pub use matgnn_graph::{
-        pack_batches, AtomicStructure, Element, GraphBatch, MolGraph, NeighborList, PackPolicy,
+        pack_batches, parts_for_rank, AtomicStructure, Element, GraphBatch, MolGraph, NeighborList,
+        PackPolicy, PartDomain, PartitionPlan,
     };
     pub use matgnn_model::checkpoint::{egnn_from_bytes, egnn_to_bytes, load_egnn, save_egnn};
     pub use matgnn_model::{
-        Egnn, EgnnConfig, FrozenEgnn, Gat, GatConfig, Gcn, GcnConfig, GnnModel, ModelOutput,
+        graphpar_step, local_batches, Egnn, EgnnConfig, FrozenEgnn, Gat, GatConfig, Gcn, GcnConfig,
+        GnnModel, GraphParLoss, GraphParOutput, HaloChannel, HaloError, LocalHalo, ModelOutput,
         ParamSet,
     };
     pub use matgnn_potential::{PotentialParams, ReferencePotential};

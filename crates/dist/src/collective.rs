@@ -290,7 +290,7 @@ pub fn shard_range(len: usize, world: usize, rank: usize) -> (usize, usize) {
 /// Ranks other than `rank`, ascending — the deterministic accumulation
 /// order every reduction in this module (flat or bucketed) follows.
 /// Copies `data` into a recycler-backed staging buffer.
-fn staged_copy(data: &[f32]) -> Arc<Vec<f32>> {
+pub(crate) fn staged_copy(data: &[f32]) -> Arc<Vec<f32>> {
     let mut buf = recycler::acquire(data.len());
     Arc::get_mut(&mut buf)
         .expect("freshly acquired staging buffer is uniquely owned")
@@ -524,7 +524,7 @@ impl Communicator {
     /// Copies `data` into this rank's staging slot and syncs. The staging
     /// buffer is recycler-backed, so steady-state collectives allocate
     /// nothing: `finish` returns every slot to the pool.
-    fn publish_slice(&mut self, data: &[f32]) -> Result<(), CommError> {
+    pub(crate) fn publish_slice(&mut self, data: &[f32]) -> Result<(), CommError> {
         let buf = staged_copy(data);
         let inner = Arc::clone(&self.inner);
         {
@@ -538,7 +538,7 @@ impl Communicator {
         self.sync()
     }
 
-    fn finish(&mut self) -> Result<(), CommError> {
+    pub(crate) fn finish(&mut self) -> Result<(), CommError> {
         self.sync()?;
         if self.rank == 0 {
             let mut slots_guard = self.inner.lock();
@@ -553,6 +553,29 @@ impl Communicator {
             freed.into_iter().for_each(recycler::release);
         }
         self.sync()
+    }
+
+    /// Runs `f` over the group's staged slots (between a
+    /// [`publish_slice`](Self::publish_slice) and the matching
+    /// [`finish`](Self::finish)), under the group lock. Fails fast if
+    /// the group is already poisoned. The halo exchange uses this to
+    /// copy peer rows out of the staging buffers.
+    pub(crate) fn read_slots<R>(
+        &mut self,
+        f: impl FnOnce(&[Option<Arc<Vec<f32>>>]) -> R,
+    ) -> Result<R, CommError> {
+        let inner = Arc::clone(&self.inner);
+        let st = inner.lock();
+        if let Some(err) = self.failure(&st) {
+            self.defunct = true;
+            return Err(err);
+        }
+        Ok(f(&st.slots))
+    }
+
+    /// Records `bytes` of interconnect traffic against this rank.
+    pub(crate) fn account_traffic(&mut self, bytes: u64) {
+        self.account(bytes);
     }
 
     /// Poisons the group because a peer's contribution length disagrees

@@ -16,13 +16,17 @@
 //! hang@rank1,step3             rank 1 stops making progress at step 3
 //! nan@rank1,step3              rank 1's local gradient gets a NaN at step 3
 //! spike@rank1,step3,100        rank 1's local loss is scaled 100x at step 3
+//! kill@rank1,step3,halo        kill rank 1 *inside* step 3's halo exchange
 //! ```
 //!
 //! Durations accept `ms` or `s` suffixes. Steps are *global* optimizer
 //! steps (monotonic across epochs and across checkpoint resume), so a
 //! plan means the same thing whether or not the run was interrupted.
-//! At most one event may target a given `(rank, step)` pair — duplicates
-//! are a parse error, since only the first would ever fire.
+//! A trailing `halo` field moves the injection site from the optimizer
+//! step boundary into the step's first halo exchange (graph-parallel
+//! runs only; see [`FaultSite`]). At most one event may target a given
+//! `(rank, step)` pair — duplicates are a parse error, since only the
+//! first would ever fire.
 
 use std::fmt;
 use std::str::FromStr;
@@ -53,6 +57,19 @@ pub enum FaultKind {
     SpikeLoss(u32),
 }
 
+/// Where in the step a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultSite {
+    /// At the optimizer-step boundary (the default, and the only site
+    /// the DDP loop consults).
+    #[default]
+    Step,
+    /// Inside the step's first halo exchange — mid-collective, so peers
+    /// observe the failure through the poisoned group rather than a
+    /// missing rendezvous.
+    Halo,
+}
+
 /// One scheduled fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultEvent {
@@ -62,6 +79,8 @@ pub struct FaultEvent {
     pub step: u64,
     /// What happens.
     pub kind: FaultKind,
+    /// Where within the step it fires.
+    pub site: FaultSite,
 }
 
 /// A deterministic schedule of injected faults.
@@ -132,6 +151,7 @@ impl FaultPlan {
                 rank,
                 step,
                 kind: FaultKind::Kill,
+                site: FaultSite::Step,
             }],
         }
     }
@@ -144,7 +164,13 @@ impl FaultPlan {
             let (kind_str, rest) = part
                 .split_once('@')
                 .ok_or_else(|| FaultPlanParseError(format!("missing '@' in {part:?}")))?;
-            let fields: Vec<&str> = rest.split(',').map(str::trim).collect();
+            let mut fields: Vec<&str> = rest.split(',').map(str::trim).collect();
+            let site = if fields.last() == Some(&"halo") {
+                fields.pop();
+                FaultSite::Halo
+            } else {
+                FaultSite::Step
+            };
             if fields.len() < 2 {
                 return Err(FaultPlanParseError(format!(
                     "need rank<r>,step<s> in {part:?}"
@@ -194,16 +220,28 @@ impl FaultPlan {
                     "duplicate event for rank{rank},step{step} in {part:?}"
                 )));
             }
-            events.push(FaultEvent { rank, step, kind });
+            events.push(FaultEvent {
+                rank,
+                step,
+                kind,
+                site,
+            });
         }
         Ok(FaultPlan { events })
     }
 
-    /// The fault scheduled for `(rank, step)`, if any.
+    /// The step-boundary fault scheduled for `(rank, step)`, if any —
+    /// what the DDP loop consults. Halo-site events are invisible here;
+    /// graph-parallel runs ask for them via [`check_at`](Self::check_at).
     pub fn check(&self, rank: usize, step: u64) -> Option<FaultKind> {
+        self.check_at(rank, step, FaultSite::Step)
+    }
+
+    /// The fault scheduled for `(rank, step)` at the given site, if any.
+    pub fn check_at(&self, rank: usize, step: u64, site: FaultSite) -> Option<FaultKind> {
         self.events
             .iter()
-            .find(|e| e.rank == rank && e.step == step)
+            .find(|e| e.rank == rank && e.step == step && e.site == site)
             .map(|e| e.kind)
     }
 
@@ -244,6 +282,9 @@ impl fmt::Display for FaultPlan {
                     write!(f, "spike@rank{},step{},{}", e.rank, e.step, factor)?
                 }
             }
+            if e.site == FaultSite::Halo {
+                write!(f, ",halo")?;
+            }
         }
         Ok(())
     }
@@ -263,17 +304,20 @@ mod tests {
                 FaultEvent {
                     rank: 1,
                     step: 3,
-                    kind: FaultKind::Kill
+                    kind: FaultKind::Kill,
+                    site: FaultSite::Step,
                 },
                 FaultEvent {
                     rank: 2,
                     step: 5,
-                    kind: FaultKind::Delay(Duration::from_millis(50))
+                    kind: FaultKind::Delay(Duration::from_millis(50)),
+                    site: FaultSite::Step,
                 },
                 FaultEvent {
                     rank: 0,
                     step: 2,
-                    kind: FaultKind::IoError
+                    kind: FaultKind::IoError,
+                    site: FaultSite::Step,
                 },
             ]
         );
@@ -327,17 +371,20 @@ mod tests {
                 FaultEvent {
                     rank: 1,
                     step: 3,
-                    kind: FaultKind::Hang
+                    kind: FaultKind::Hang,
+                    site: FaultSite::Step,
                 },
                 FaultEvent {
                     rank: 2,
                     step: 5,
-                    kind: FaultKind::NanGrad
+                    kind: FaultKind::NanGrad,
+                    site: FaultSite::Step,
                 },
                 FaultEvent {
                     rank: 0,
                     step: 2,
-                    kind: FaultKind::SpikeLoss(100)
+                    kind: FaultKind::SpikeLoss(100),
+                    site: FaultSite::Step,
                 },
             ]
         );
@@ -363,6 +410,33 @@ mod tests {
         // Same rank at different steps (and vice versa) stays legal.
         assert!(FaultPlan::parse("nan@rank1,step3;nan@rank1,step4").is_ok());
         assert!(FaultPlan::parse("nan@rank1,step3;nan@rank2,step3").is_ok());
+    }
+
+    #[test]
+    fn halo_site_roundtrips_and_is_invisible_to_step_checks() {
+        let text = "kill@rank1,step2,halo;hang@rank2,step3,halo;delay@rank0,step1,50ms,halo";
+        let plan = FaultPlan::parse(text).expect("valid plan");
+        assert_eq!(plan.to_string(), text);
+        assert_eq!(text.parse::<FaultPlan>().unwrap(), plan);
+        for e in plan.events() {
+            assert_eq!(e.site, FaultSite::Halo);
+        }
+        // `check` only sees step-boundary events; `check_at` routes by site.
+        assert_eq!(plan.check(1, 2), None);
+        assert_eq!(plan.check_at(1, 2, FaultSite::Halo), Some(FaultKind::Kill));
+        assert_eq!(plan.check_at(1, 2, FaultSite::Step), None);
+        assert_eq!(plan.check_at(2, 3, FaultSite::Halo), Some(FaultKind::Hang));
+        assert_eq!(
+            plan.check_at(0, 1, FaultSite::Halo),
+            Some(FaultKind::Delay(Duration::from_millis(50)))
+        );
+    }
+
+    #[test]
+    fn duplicate_rank_step_rejected_across_sites() {
+        // The one-event-per-(rank, step) rule is site-agnostic.
+        let err = FaultPlan::parse("kill@rank1,step2;hang@rank1,step2,halo").unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "got: {err}");
     }
 
     #[test]

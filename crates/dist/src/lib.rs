@@ -29,6 +29,8 @@
 mod collective;
 mod ddp;
 mod fault;
+mod graphpar_train;
+mod halo;
 mod supervisor;
 mod table2;
 mod zero;
@@ -38,7 +40,9 @@ pub use collective::{
     DEFAULT_COMM_TIMEOUT,
 };
 pub use ddp::{flatten_tensors, train_ddp, unflatten_like, DdpConfig, DdpReport, RankStats};
-pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanParseError};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanParseError, FaultSite};
+pub use graphpar_train::{synthetic_slab, train_graphpar, GraphParConfig, GraphParReport};
+pub use halo::DistHalo;
 pub use supervisor::{Heartbeat, Watchdog};
 pub use table2::{format_table2, run_memory_settings, MemorySetting, SettingProfile};
 pub use zero::ZeroAdam;

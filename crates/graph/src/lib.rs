@@ -30,6 +30,7 @@ mod element;
 mod molgraph;
 mod neighbors;
 mod pack;
+mod partition;
 mod structure;
 pub mod vec3;
 
@@ -38,4 +39,5 @@ pub use element::Element;
 pub use molgraph::{MolGraph, NODE_FEAT_DIM};
 pub use neighbors::NeighborList;
 pub use pack::{pack_batches, pack_indices, PackPolicy};
+pub use partition::{parts_for_rank, PartDomain, PartitionPlan};
 pub use structure::{AtomicStructure, StructureError};

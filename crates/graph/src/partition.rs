@@ -1,0 +1,496 @@
+//! Deterministic spatial domain decomposition for graph parallelism.
+//!
+//! A [`PartitionPlan`] splits one structure's atoms into `n_parts`
+//! **virtual parts** — equal-count slabs along the structure's longest
+//! axis — each with a **ghost halo**: every cutoff-radius neighbor owned
+//! by another part. Ranks execute contiguous runs of parts, so the plan
+//! itself never depends on the world size; this is what makes the
+//! graph-parallel trajectory invariant to the number of ranks (see
+//! DESIGN.md §7.9).
+//!
+//! The plan renumbers atoms by their coordinate along the slab axis
+//! (ties broken by original index), so each part owns a **contiguous
+//! global index range**. That makes owner lookup O(1), halo messages
+//! contiguous row blocks, and the concatenation of per-part outputs in
+//! ascending part order exactly the global node order — the property the
+//! bitwise energy reduction relies on.
+//!
+//! Determinism: the same structure, cutoff, and part count always
+//! produce the same plan; the renumbering permutation depends only on
+//! the structure (not on `n_parts`), so the union of owned atoms — and
+//! every per-atom quantity — is invariant to how many parts (or ranks)
+//! execute it.
+
+use crate::{AtomicStructure, Element, MolGraph, NeighborList};
+
+/// One part's local subdomain: its owned atoms plus the ghost halo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartDomain {
+    part: usize,
+    owned_start: usize,
+    owned_end: usize,
+    /// Global (renumbered) ids of ghost atoms, ascending.
+    ghosts: Vec<usize>,
+    /// Local graph: nodes are `owned ++ ghosts` (each block ascending),
+    /// edges are exactly the global edges whose source is owned, in
+    /// global `(src, dst)` order, re-indexed to local node ids.
+    graph: MolGraph,
+}
+
+impl PartDomain {
+    /// This part's index in the plan.
+    pub fn part(&self) -> usize {
+        self.part
+    }
+
+    /// The half-open global (renumbered) id range this part owns.
+    pub fn owned_range(&self) -> (usize, usize) {
+        (self.owned_start, self.owned_end)
+    }
+
+    /// Number of atoms this part owns.
+    pub fn n_owned(&self) -> usize {
+        self.owned_end - self.owned_start
+    }
+
+    /// Global (renumbered) ids of the ghost atoms, ascending.
+    pub fn ghosts(&self) -> &[usize] {
+        &self.ghosts
+    }
+
+    /// Total local nodes (owned + ghosts).
+    pub fn n_local(&self) -> usize {
+        self.n_owned() + self.ghosts.len()
+    }
+
+    /// Ghost atoms as a fraction of owned atoms (the halo overhead).
+    pub fn ghost_fraction(&self) -> f64 {
+        if self.n_owned() == 0 {
+            0.0
+        } else {
+            self.ghosts.len() as f64 / self.n_owned() as f64
+        }
+    }
+
+    /// The local subgraph (owned nodes first, then ghosts).
+    pub fn graph(&self) -> &MolGraph {
+        &self.graph
+    }
+
+    /// Maps a global (renumbered) id to this part's local node id, if
+    /// the atom is present locally (owned or ghost).
+    pub fn local_index(&self, global: usize) -> Option<usize> {
+        if global >= self.owned_start && global < self.owned_end {
+            return Some(global - self.owned_start);
+        }
+        self.ghosts
+            .binary_search(&global)
+            .ok()
+            .map(|g| self.n_owned() + g)
+    }
+}
+
+/// A deterministic slab decomposition of one structure into virtual
+/// parts with ghost halos.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionPlan {
+    n_parts: usize,
+    cutoff: f64,
+    axis: usize,
+    /// `perm[new] = original` atom index of the spatial renumbering.
+    perm: Vec<usize>,
+    /// Renumbered structure (atoms sorted along `axis`).
+    structure: AtomicStructure,
+    /// `offsets[p]..offsets[p+1]` is part `p`'s owned id range.
+    offsets: Vec<usize>,
+    parts: Vec<PartDomain>,
+    n_edges: usize,
+}
+
+/// The contiguous run of parts rank `rank` of `world` executes, as a
+/// half-open range. Mirrors the ceil-chunk convention of
+/// `matgnn_dist::shard_range` so trailing ranks may be empty.
+pub fn parts_for_rank(n_parts: usize, world: usize, rank: usize) -> (usize, usize) {
+    assert!(world > 0, "world must be positive");
+    assert!(rank < world, "rank {rank} out of range for world {world}");
+    let chunk = n_parts.div_ceil(world);
+    let start = (rank * chunk).min(n_parts);
+    let end = ((rank + 1) * chunk).min(n_parts);
+    (start, end)
+}
+
+impl PartitionPlan {
+    /// Builds the plan: sort atoms along the longest axis, split into
+    /// `n_parts` equal-count slabs, and compute each part's ghost halo
+    /// from the cutoff-radius neighbor list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_parts` is zero or exceeds the atom count, or on the
+    /// same cutoff violations as [`NeighborList::build`].
+    pub fn build(structure: &AtomicStructure, cutoff: f64, n_parts: usize) -> Self {
+        assert!(n_parts > 0, "n_parts must be positive");
+        let n = structure.len();
+        assert!(
+            n_parts <= n.max(1),
+            "cannot split {n} atoms into {n_parts} parts"
+        );
+
+        let axis = slab_axis(structure);
+        // Stable spatial sort: coordinate along the slab axis, original
+        // index as the tie-break. The permutation depends only on the
+        // structure, never on n_parts.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let pos = structure.positions();
+        perm.sort_by(|&a, &b| {
+            pos[a][axis]
+                .partial_cmp(&pos[b][axis])
+                .expect("non-finite coordinate")
+                .then(a.cmp(&b))
+        });
+        let species: Vec<Element> = perm.iter().map(|&i| structure.species()[i]).collect();
+        let positions: Vec<[f64; 3]> = perm.iter().map(|&i| pos[i]).collect();
+        let renumbered = match structure.cell() {
+            Some(cell) => AtomicStructure::new_periodic(species, positions, cell),
+            None => AtomicStructure::new(species, positions),
+        }
+        .expect("renumbering preserves validity");
+
+        // Equal-count slabs via the ceil-chunk convention (matches
+        // shard_range, so part and rank splits compose predictably).
+        let chunk = n.div_ceil(n_parts);
+        let offsets: Vec<usize> = (0..=n_parts).map(|p| (p * chunk).min(n)).collect();
+        let owner = |g: usize| (g / chunk).min(n_parts - 1);
+
+        // One global neighbor list; every part slices the same edge
+        // list, so local edge order is the global order restricted to
+        // owned sources — the property per-row scatter parity needs.
+        let nl = NeighborList::build(&renumbered, cutoff);
+        let global = MolGraph::from_structure_with_neighbors(&renumbered, &nl);
+        let (gsrc, gdst, gvec) = (global.src(), global.dst(), global.edge_vectors());
+
+        let mut parts = Vec::with_capacity(n_parts);
+        for p in 0..n_parts {
+            let (s, e) = (offsets[p], offsets[p + 1]);
+            let mut ghosts: Vec<usize> = Vec::new();
+            let mut edges: Vec<(usize, usize, [f64; 3])> = Vec::new();
+            for k in 0..gsrc.len() {
+                if gsrc[k] >= s && gsrc[k] < e {
+                    edges.push((gsrc[k], gdst[k], gvec[k]));
+                    if gdst[k] < s || gdst[k] >= e {
+                        ghosts.push(gdst[k]);
+                    }
+                }
+            }
+            ghosts.sort_unstable();
+            ghosts.dedup();
+            let n_owned = e - s;
+            let local_of = |g: usize| -> usize {
+                if g >= s && g < e {
+                    g - s
+                } else {
+                    n_owned + ghosts.binary_search(&g).expect("ghost present")
+                }
+            };
+            let local_species: Vec<Element> = (s..e)
+                .chain(ghosts.iter().copied())
+                .map(|g| renumbered.species()[g])
+                .collect();
+            let local_src: Vec<usize> = edges.iter().map(|&(a, _, _)| local_of(a)).collect();
+            let local_dst: Vec<usize> = edges.iter().map(|&(_, b, _)| local_of(b)).collect();
+            let local_vec: Vec<[f64; 3]> = edges.iter().map(|&(_, _, v)| v).collect();
+            let graph = MolGraph::from_parts(local_species, local_src, local_dst, local_vec);
+            debug_assert_eq!(owner(s.min(n.saturating_sub(1))), p.min(n_parts - 1));
+            parts.push(PartDomain {
+                part: p,
+                owned_start: s,
+                owned_end: e,
+                ghosts,
+                graph,
+            });
+        }
+
+        PartitionPlan {
+            n_parts,
+            cutoff,
+            axis,
+            perm,
+            structure: renumbered,
+            offsets,
+            parts,
+            n_edges: global.n_edges(),
+        }
+    }
+
+    /// Number of virtual parts.
+    pub fn n_parts(&self) -> usize {
+        self.n_parts
+    }
+
+    /// Total atoms across all parts.
+    pub fn n_nodes(&self) -> usize {
+        self.structure.len()
+    }
+
+    /// Total directed edges in the global graph.
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// The cutoff radius the halos were built for.
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// The axis (0/1/2) the slabs were cut along.
+    pub fn axis(&self) -> usize {
+        self.axis
+    }
+
+    /// The renumbering permutation: `perm()[new] = original` index.
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// The spatially renumbered structure all global ids refer to.
+    pub fn structure(&self) -> &AtomicStructure {
+        &self.structure
+    }
+
+    /// Owned-range offsets: part `p` owns `offsets()[p]..offsets()[p+1]`.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The part owning a global (renumbered) atom id.
+    pub fn owner_part(&self, global: usize) -> usize {
+        assert!(global < self.n_nodes(), "atom id out of range");
+        let chunk = self.offsets[1] - self.offsets[0];
+        (global / chunk.max(1)).min(self.n_parts - 1)
+    }
+
+    /// The subdomain of part `p`.
+    pub fn part(&self, p: usize) -> &PartDomain {
+        &self.parts[p]
+    }
+
+    /// All subdomains, ascending by part.
+    pub fn parts(&self) -> &[PartDomain] {
+        &self.parts
+    }
+
+    /// The half-open global id range owned by ranks `[r0, r1)` of a
+    /// `world`-rank execution (contiguous because parts are contiguous).
+    pub fn node_range_for_rank(&self, world: usize, rank: usize) -> (usize, usize) {
+        let (p0, p1) = parts_for_rank(self.n_parts, world, rank);
+        (self.offsets[p0], self.offsets[p1])
+    }
+
+    /// Total ghost atoms summed over parts (atoms replicated in halos).
+    pub fn total_ghosts(&self) -> usize {
+        self.parts.iter().map(|p| p.ghosts.len()).sum()
+    }
+}
+
+/// The axis with the largest spatial extent (box length when periodic,
+/// bounding-box extent otherwise); ties break toward the lower axis.
+fn slab_axis(structure: &AtomicStructure) -> usize {
+    let extent: [f64; 3] = match structure.cell() {
+        Some(cell) => cell,
+        None => {
+            let mut lo = [f64::INFINITY; 3];
+            let mut hi = [f64::NEG_INFINITY; 3];
+            for p in structure.positions() {
+                for k in 0..3 {
+                    lo[k] = lo[k].min(p[k]);
+                    hi[k] = hi[k].max(p[k]);
+                }
+            }
+            [hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]]
+        }
+    };
+    let mut axis = 0;
+    for k in 1..3 {
+        if extent[k] > extent[axis] {
+            axis = k;
+        }
+    }
+    axis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A perturbed lattice elongated along x — several cutoff radii
+    /// long, so multi-part splits have genuinely local halos.
+    fn slab_structure(n: usize, seed: u64) -> AtomicStructure {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool = [Element::H, Element::C, Element::N, Element::O];
+        let species = (0..n).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+        let positions = (0..n)
+            .map(|i| {
+                [
+                    (i / 4) as f64 * 1.1 + rng.gen_range(-0.25..0.25),
+                    ((i % 4) / 2) as f64 * 1.2 + rng.gen_range(-0.25..0.25),
+                    (i % 2) as f64 * 1.2 + rng.gen_range(-0.25..0.25),
+                ]
+            })
+            .collect();
+        AtomicStructure::new(species, positions).unwrap()
+    }
+
+    #[test]
+    fn every_atom_owned_by_exactly_one_part() {
+        let s = slab_structure(40, 3);
+        for n_parts in [1, 2, 3, 4, 7] {
+            let plan = PartitionPlan::build(&s, 2.5, n_parts);
+            let mut owned = vec![0usize; s.len()];
+            for part in plan.parts() {
+                let (a, b) = part.owned_range();
+                for (g, count) in owned.iter_mut().enumerate().take(b).skip(a) {
+                    *count += 1;
+                    assert_eq!(plan.owner_part(g), part.part());
+                }
+            }
+            assert!(owned.iter().all(|&c| c == 1), "n_parts={n_parts}");
+            // Offsets tile [0, n] monotonically.
+            assert_eq!(plan.offsets()[0], 0);
+            assert_eq!(*plan.offsets().last().unwrap(), s.len());
+        }
+    }
+
+    #[test]
+    fn ghosts_match_brute_force_cross_part_neighbors() {
+        let s = slab_structure(36, 5);
+        let cutoff = 2.5;
+        let plan = PartitionPlan::build(&s, cutoff, 4);
+        // Brute-force reference on the *renumbered* structure.
+        let nl = NeighborList::build_brute_force(plan.structure(), cutoff);
+        for part in plan.parts() {
+            let (a, b) = part.owned_range();
+            let mut expect: Vec<usize> = nl
+                .edges()
+                .iter()
+                .filter(|&&(i, j)| i >= a && i < b && !(j >= a && j < b))
+                .map(|&(_, j)| j)
+                .collect();
+            expect.sort_unstable();
+            expect.dedup();
+            assert_eq!(part.ghosts(), &expect[..], "part {}", part.part());
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_perm_ignores_part_count() {
+        let s = slab_structure(32, 7);
+        let p1 = PartitionPlan::build(&s, 2.5, 4);
+        let p2 = PartitionPlan::build(&s, 2.5, 4);
+        assert_eq!(p1, p2);
+        // The renumbering is a function of the structure only, so the
+        // owned-atom union (in original ids) is the same for any split.
+        for n_parts in [1, 2, 3, 8] {
+            let q = PartitionPlan::build(&s, 2.5, n_parts);
+            assert_eq!(q.perm(), p1.perm(), "n_parts={n_parts}");
+            let mut originals: Vec<usize> = q
+                .parts()
+                .iter()
+                .flat_map(|part| {
+                    let (a, b) = part.owned_range();
+                    (a..b).map(|g| q.perm()[g])
+                })
+                .collect();
+            originals.sort_unstable();
+            let all: Vec<usize> = (0..s.len()).collect();
+            assert_eq!(originals, all, "n_parts={n_parts}");
+        }
+    }
+
+    #[test]
+    fn local_edges_are_global_owned_src_edges_in_order() {
+        let s = slab_structure(36, 9);
+        let plan = PartitionPlan::build(&s, 2.5, 3);
+        let global = MolGraph::from_structure(plan.structure(), plan.cutoff());
+        for part in plan.parts() {
+            let (a, b) = part.owned_range();
+            let expect: Vec<(usize, usize)> = global
+                .src()
+                .iter()
+                .zip(global.dst())
+                .filter(|&(&i, _)| i >= a && i < b)
+                .map(|(&i, &j)| (i, j))
+                .collect();
+            let n_owned = part.n_owned();
+            let g = part.graph();
+            assert_eq!(g.n_edges(), expect.len());
+            for (k, &(gi, gj)) in expect.iter().enumerate() {
+                assert_eq!(g.src()[k], gi - a, "sources are owned and local");
+                assert_eq!(part.local_index(gj), Some(g.dst()[k]));
+            }
+            // Ghost nodes never source an edge: all their out-edges
+            // live in the owner's part, which is what keeps local
+            // source degrees equal to global ones.
+            assert!(g.src().iter().all(|&l| l < n_owned));
+            for (k, &l) in g.src().iter().enumerate() {
+                let global_deg = global.src().iter().filter(|&&x| x == l + a).count();
+                let local_deg = g.src().iter().filter(|&&x| x == l).count();
+                assert_eq!(global_deg, local_deg, "edge {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_structure_partitions_along_longest_cell_axis() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 48;
+        let species = vec![Element::Cu; n];
+        let positions: Vec<[f64; 3]> = (0..n)
+            .map(|_| {
+                [
+                    rng.gen_range(0.0..18.0),
+                    rng.gen_range(0.0..6.0),
+                    rng.gen_range(0.0..6.0),
+                ]
+            })
+            .collect();
+        let s = AtomicStructure::new_periodic(species, positions, [18.0, 6.0, 6.0]).unwrap();
+        let plan = PartitionPlan::build(&s, 2.0, 4);
+        assert_eq!(plan.axis(), 0);
+        // Minimum-image ghosts across the wrap are still found: the
+        // first and last slabs can ghost each other.
+        let total: usize = plan.total_ghosts();
+        assert!(total > 0, "periodic halos must not be empty");
+    }
+
+    #[test]
+    fn rank_part_runs_tile_the_parts() {
+        for (n_parts, world) in [(4, 2), (4, 4), (5, 2), (3, 4), (8, 3)] {
+            let mut seen = vec![0usize; n_parts];
+            for r in 0..world {
+                let (a, b) = parts_for_rank(n_parts, world, r);
+                for count in seen.iter_mut().take(b).skip(a) {
+                    *count += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "n_parts={n_parts} world={world}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_part_plan_is_the_whole_graph() {
+        let s = slab_structure(20, 13);
+        let plan = PartitionPlan::build(&s, 2.5, 1);
+        let part = plan.part(0);
+        assert_eq!(part.n_owned(), 20);
+        assert!(part.ghosts().is_empty());
+        let global = MolGraph::from_structure(plan.structure(), 2.5);
+        assert_eq!(part.graph().src(), global.src());
+        assert_eq!(part.graph().dst(), global.dst());
+        assert_eq!(part.graph().n_edges(), plan.n_edges());
+    }
+}

@@ -255,6 +255,32 @@ impl Egnn {
         (energies, forces)
     }
 
+    /// The head segment at **node granularity**: per-node energies
+    /// `[n × 1]` (before the per-graph reduction) and per-node force rows
+    /// `[n × 3]`. This is the entry point the graph-parallel engine uses:
+    /// on a partition-local batch the owned rows of both outputs are
+    /// bitwise identical to the same rows of the full-graph heads, while
+    /// the per-graph energy reduction is left to the caller (which must
+    /// sum node energies in global node order to preserve parity).
+    /// `pvars` must bind the heads segment's parameters.
+    pub fn head_forward_nodes(
+        &self,
+        tape: &mut Tape,
+        pvars: &[Var],
+        batch: &GraphBatch,
+        h: Var,
+        d: Var,
+        rel0: Var,
+    ) -> (Var, Var) {
+        let (offset, _) = self.segment_ranges[self.n_segments() - 1];
+        let node_e = self.energy_head.forward(tape, pvars, offset, h);
+        let (m_in, rel) = self.edge_inputs(tape, batch, h, d, rel0);
+        let w = self.force_head.forward(tape, pvars, offset, m_in);
+        let weighted = tape.mul_col(rel, w);
+        let forces = tape.scatter_add_rows(weighted, Arc::clone(batch.src()), batch.n_nodes());
+        (node_e, forces)
+    }
+
     /// Current relative vectors: the base minimum-image vectors plus the
     /// learned displacement delta (if coordinates update).
     fn relative_vectors(&self, tape: &mut Tape, batch: &GraphBatch, d: Var, rel0: Var) -> Var {

@@ -27,6 +27,7 @@ pub mod checkpoint;
 mod config;
 mod egnn;
 mod gcn;
+pub mod graphpar;
 mod infer;
 pub mod mlp;
 mod model;
@@ -36,6 +37,9 @@ pub use attention::{segment_softmax, Gat, GatConfig};
 pub use config::EgnnConfig;
 pub use egnn::Egnn;
 pub use gcn::{Gcn, GcnConfig};
+pub use graphpar::{
+    graphpar_step, local_batches, GraphParLoss, GraphParOutput, HaloChannel, HaloError, LocalHalo,
+};
 pub use infer::{FreezeError, FrozenEgnn};
 pub use model::{GnnModel, ModelOutput};
 pub use params::{ParamEntry, ParamSet};
