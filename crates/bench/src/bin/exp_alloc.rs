@@ -233,15 +233,15 @@ fn main() {
     );
 
     let path = "BENCH_alloc.json";
+    let header = matgnn_bench::bench_json_header(mode);
     let json = format!(
-        "{{\n  \"mode\": \"{}\",\n  \"threads\": {threads},\n  \
+        "{{\n{header}  \"threads\": {threads},\n  \
          \"allocs_per_step_off\": {:.1},\n  \"allocs_per_step_on\": {:.1},\n  \
          \"kib_per_step_off\": {:.1},\n  \"kib_per_step_on\": {:.1},\n  \
          \"ns_per_step_off\": {:.0},\n  \"ns_per_step_on\": {:.0},\n  \
          \"alloc_reduction\": {:.4},\n  \"recycler_hits\": {},\n  \
          \"recycler_misses\": {},\n  \"mib_reused\": {:.1},\n  \
          \"bitwise_equal\": {},\n  \"tracked_peak_equal\": {peak_equal}\n}}\n",
-        mode.label(),
         off.allocs_per_step,
         on.allocs_per_step,
         off.kib_per_step,

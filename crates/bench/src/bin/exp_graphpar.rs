@@ -274,8 +274,9 @@ fn main() {
             )
         })
         .collect();
+    let header = matgnn_bench::bench_json_header(mode);
     let json = format!(
-        "{{\n  \"mode\": \"{}\",\n  \"atoms_per_rank\": {atoms_per_rank},\n  \
+        "{{\n{header}  \"atoms_per_rank\": {atoms_per_rank},\n  \
          \"hidden_dim\": {HIDDEN},\n  \"n_layers\": {LAYERS},\n  \
          \"engine_matches_plain_egnn\": {engine_vs_plain},\n  \
          \"world_size_invariant\": {world_invariant},\n  \
@@ -283,7 +284,6 @@ fn main() {
          \"overlap_bitwise_clean\": {overlap_bits_ok},\n  \
          \"rank_mem_worst_ratio\": {worst_ratio:.4},\n  \
          \"rank_mem_ceiling\": 1.8,\n  \"weak_scaling\": [\n{}\n  ]\n}}\n",
-        mode.label(),
         sweep_json.join(",\n"),
     );
     let path = "BENCH_graphpar.json";

@@ -146,18 +146,14 @@ fn bits(t: &Tensor) -> Vec<u32> {
 fn write_json(path: &str, mode: RunMode, threads: usize, rows: &[Row]) -> std::io::Result<()> {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str(&format!("  \"mode\": \"{}\",\n", mode.label()));
-    s.push_str(&format!(
-        "  \"simd_tier\": \"{}\",\n",
-        simd::active_tier().name()
-    ));
+    // Shared schema header carries the SIMD tier and available threads.
+    s.push_str(&matgnn_bench::bench_json_header(mode));
     s.push_str("  \"threads_serial\": 1,\n");
     s.push_str(&format!("  \"threads_pooled\": {threads},\n"));
     // Machine-readable scheduling context: pooled speedups are only
     // meaningful when the pool fits the machine, so downstream tooling
     // must read `oversubscribed` before judging the `speedup` column.
     let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
-    s.push_str(&format!("  \"threads_available\": {avail},\n"));
     s.push_str(&format!("  \"oversubscribed\": {},\n", threads > avail));
     s.push_str("  \"kernels\": [\n");
     for (i, r) in rows.iter().enumerate() {

@@ -210,15 +210,15 @@ fn main() {
         ));
     }
     rows.truncate(rows.len().saturating_sub(2)); // drop trailing ",\n"
+    let header = matgnn_bench::bench_json_header(mode);
     let json = format!(
-        "{{\n  \"mode\": \"{}\",\n  \"threads\": {threads},\n  \
+        "{{\n{header}  \"threads\": {threads},\n  \
          \"world\": 2,\n  \"n_params\": {n_params},\n  \
          \"link_gb_per_s\": {link_gb_per_s:.6},\n  \"latency_us\": {latency_us},\n  \
          \"modes\": [\n{rows}\n  ],\n  \
          \"step_time_reduction\": {reduction:.4},\n  \
          \"comm_hidden_fraction\": {hidden_frac:.4},\n  \
          \"bitwise_equal\": {bitwise},\n  \"tracked_peak_equal\": {peaks_equal}\n}}\n",
-        mode.label(),
     );
     std::fs::write(path, json).expect("write BENCH_pipeline.json");
     println!("wrote {path}");

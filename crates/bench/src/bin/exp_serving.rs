@@ -346,8 +346,9 @@ fn main() {
         );
     }
     let path = "BENCH_serving.json";
+    let header = matgnn_bench::bench_json_header(mode);
     let json = format!(
-        "{{\n  \"mode\": \"{}\",\n  \"threads_available\": {threads},\n  \
+        "{{\n{header}  \"threads\": {threads},\n  \
          \"tape_fwd_ns\": {tape_ns:.0},\n  \"frozen_fwd_ns\": {frozen_ns:.0},\n  \
          \"speedup\": {speedup:.3},\n  \"speedup_floor\": {SPEEDUP_FLOOR},\n  \
          \"steady_allocs_per_request\": {:.3},\n  \
@@ -358,7 +359,6 @@ fn main() {
          \"capacity_rps\": {capacity:.1},\n  \
          \"slo\": {{\"p99_ms_bound\": {SLO_P99_MS}, \"lowest_load_p99_ms\": {low_p99:.3}, \"pass\": {slo_ok}}},\n  \
          \"levels\": [{levels_json}\n  ]\n}}\n",
-        mode.label(),
         steady_allocs as f64 / steady_iters as f64,
     );
     std::fs::write(path, json).expect("write BENCH_serving.json");

@@ -69,6 +69,29 @@ pub fn banner(title: &str, mode: RunMode) {
     println!("==============================================================");
 }
 
+/// Schema version stamped into every `BENCH_*.json` artifact.
+///
+/// Bump when the shared header shape changes so downstream tooling can
+/// dispatch on it instead of sniffing fields.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Renders the shared header every `BENCH_*.json` writer opens with:
+/// schema version, run mode, and the host context (available threads,
+/// active SIMD tier) needed to interpret timing numbers across machines.
+///
+/// The string is a run of `"key": value,` lines meant to be pasted right
+/// after the opening `{` of the artifact, so each experiment keeps full
+/// control of its own payload fields.
+pub fn bench_json_header(mode: RunMode) -> String {
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    format!(
+        "  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"mode\": \"{}\",\n  \
+         \"host\": {{\"threads_available\": {avail}, \"simd_tier\": \"{}\"}},\n",
+        mode.label(),
+        matgnn::tensor::simd::active_tier().name()
+    )
+}
+
 /// Prints one machine-readable CSV row (prefixed so logs stay greppable).
 pub fn csv_row(fields: &[String]) {
     println!("csv,{}", fields.join(","));
@@ -89,6 +112,17 @@ mod tests {
         let f = RunMode::Full.experiment_config();
         assert!(q.units.graphs_per_tb < f.units.graphs_per_tb);
         assert_eq!(RunMode::Quick.label(), "quick");
+    }
+
+    #[test]
+    fn header_is_valid_json_prefix() {
+        let h = bench_json_header(RunMode::Quick);
+        assert!(h.contains("\"schema_version\": 1"));
+        assert!(h.contains("\"threads_available\""));
+        assert!(h.contains("\"simd_tier\""));
+        // Wrapping the header plus one payload field must parse as JSON.
+        let doc = format!("{{\n{h}  \"ok\": true\n}}\n");
+        matgnn::telemetry::json::parse(&doc).expect("header forms valid JSON");
     }
 
     #[test]

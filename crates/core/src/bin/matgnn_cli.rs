@@ -23,6 +23,11 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::FAILURE;
     };
+    // `ledger` takes an action word before its flags (`ledger fit …`).
+    let (action, rest) = match rest.split_first() {
+        Some((a, tail)) if cmd == "ledger" && !a.starts_with("--") => (Some(a.as_str()), tail),
+        _ => (None, rest),
+    };
     let opts = match parse_opts(rest) {
         Ok(o) => o,
         Err(e) => {
@@ -30,6 +35,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `--ledger FILE` routes run records into the scaling-law ledger
+    // (equivalent to setting MATGNN_LEDGER).
+    if let Some(path) = opts.get("ledger") {
+        if cmd != "ledger" {
+            std::env::set_var(matgnn::telemetry::ledger::ENV_VAR, path);
+        }
+    }
     // `--telemetry DIR` wins over the MATGNN_TELEMETRY env var.
     let telemetry_init = match opts.get("telemetry") {
         Some(dir) => match matgnn::telemetry::init(dir) {
@@ -54,6 +66,8 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&opts),
         "info" => cmd_info(&opts),
         "telemetry-validate" => cmd_telemetry_validate(&opts),
+        "trace" => cmd_trace(&opts),
+        "ledger" => cmd_ledger(action, &opts),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -132,11 +146,30 @@ the survivors regroup.
   matgnn-cli serve [--model FILE] [--params P] [--layers L] [--seed S]
                    [--requests N] [--graphs N] [--workers W]
                    [--max-atoms A] [--max-graphs G] [--max-wait-ms MS]
-                   [--queue-capacity Q]
+                   [--queue-capacity Q] [--slo-ms MS]
+                   [--metrics-addr HOST:PORT] [--metrics-hold-ms MS]
       In-process serving demo: freeze a model into the tape-free
       inference engine, start the dynamic batcher, drive N synthetic
       requests through it, and print batch-fill and latency statistics
       (p50/p99). Without --model a fresh seeded EGNN is served.
+      --metrics-addr raises the live metrics plane: Prometheus text
+      exposition at /metrics (sliding-window p50/p99, queue depth,
+      shed/SLO-breach counters) and worker-pool readiness at /healthz;
+      --metrics-hold-ms keeps it up after the run for scrapers.
+
+  matgnn-cli trace --dir DIR [--merged-trace FILE] [--flame FILE]
+      Cross-rank performance attribution over the per-rank JSONL logs
+      in DIR: per-step/per-phase wall-time breakdown, straggler skew
+      (max−median per step), comm-overlap efficiency, and the critical
+      path. Also writes a merged multi-rank Chrome trace and a
+      collapsed-stack flamegraph file.
+
+  matgnn-cli ledger [list|fit] --ledger FILE
+      Inspect the scaling-law run ledger. `list` prints every recorded
+      run; `fit` fits the paper's power law L(x) = a·x^(−α) + c over
+      the accumulated runs and prints the exponent table for the
+      compute/params/data axes. Training commands append to the ledger
+      with --ledger FILE (or the MATGNN_LEDGER env var).
 
   matgnn-cli info --model FILE
       Print a saved model's configuration and parameter count.
@@ -147,7 +180,9 @@ the survivors regroup.
 
 Telemetry: `train` and `ddp` accept --telemetry DIR (or the
 MATGNN_TELEMETRY env var) to write per-rank JSONL event logs plus a
-chrome://tracing / Perfetto trace.json into DIR."
+chrome://tracing / Perfetto trace.json into DIR. `train`, `ddp`, and
+`graphpar` accept --ledger FILE to append the run's scaling coordinates
+(params, atoms seen, FLOPs, loss curve) to the run ledger."
     );
 }
 
@@ -462,6 +497,15 @@ fn get_f32(opts: &Opts, name: &str, default: f32) -> Result<f32, String> {
     }
 }
 
+fn get_f64(opts: &Opts, name: &str, default: f64) -> Result<f64, String> {
+    match opts.get(name) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} must be a number, got `{v}`")),
+        None => Ok(default),
+    }
+}
+
 fn cmd_graphpar(opts: &Opts) -> Result<(), String> {
     let defaults = GraphParConfig::default();
     let fault_plan = match opts.get("fault-plan") {
@@ -620,6 +664,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         )?),
         queue_capacity: get_usize(opts, "queue-capacity", defaults.queue_capacity)?,
         workers: get_usize(opts, "workers", defaults.workers)?,
+        slo_ms: get_f64(opts, "slo-ms", defaults.slo_ms)?,
     };
     let requests = get_usize(opts, "requests", 200)?;
     let pool_n = get_usize(opts, "graphs", 48)?;
@@ -635,6 +680,21 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let ds = Dataset::generate_aggregate(pool_n, seed, &GeneratorConfig::default());
     tel::reset_metrics();
     let batcher = DynamicBatcher::start(engine, cfg);
+    // `--metrics-addr` raises the live metrics plane next to the
+    // batcher: Prometheus exposition at /metrics, readiness at /healthz.
+    let metrics_server = match opts.get("metrics-addr") {
+        Some(addr) => {
+            let server =
+                matgnn::serve::MetricsServer::start(addr.as_str(), batcher.readiness_probe())
+                    .map_err(|e| format!("binding metrics endpoint {addr}: {e}"))?;
+            println!(
+                "metrics: http://{0}/metrics  (health: http://{0}/healthz)",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        None => None,
+    };
     let started = std::time::Instant::now();
     let mut tickets = Vec::with_capacity(requests);
     for i in 0..requests {
@@ -655,7 +715,17 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         atoms += p.forces.len();
     }
     let wall = started.elapsed();
+    // Keep the pool (and its ready /healthz) alive so external scrapers
+    // can observe the finished run — what the CI smoke job curls.
+    let hold_ms = get_u64(opts, "metrics-hold-ms", 0)?;
+    if hold_ms > 0 {
+        println!("holding {hold_ms} ms for metrics scrapes…");
+        std::thread::sleep(Duration::from_millis(hold_ms));
+    }
     batcher.shutdown();
+    if let Some(server) = metrics_server {
+        server.shutdown();
+    }
 
     let q = |name: &str, q: f64| tel::histogram_quantile(name, q).unwrap_or(f64::NAN);
     println!(
@@ -673,7 +743,122 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         q("serve.batch.graphs", 0.5),
         q("serve.batch.atoms", 0.5)
     );
+    let wq = |p: f64| tel::window_quantile("serve.latency_ms", p).unwrap_or(f64::NAN);
+    let (win_len, _) = tel::window_counts("serve.latency_ms").unwrap_or((0, 0));
+    println!(
+        "window   p50 {:.2} ms, p99 {:.2} ms (exact over last {win_len} requests)",
+        wq(0.5),
+        wq(0.99)
+    );
+    let counter = |name: &str| {
+        tel::snapshot()
+            .iter()
+            .find_map(|(k, v)| (k == name).then(|| v.scalar()))
+            .unwrap_or(0.0)
+    };
+    println!(
+        "slo: {} breach(es) of the {:.0} ms target; {} request(s) shed",
+        counter("serve.slo_breach"),
+        cfg.slo_ms,
+        counter("serve.shed")
+    );
     Ok(())
+}
+
+fn cmd_trace(opts: &Opts) -> Result<(), String> {
+    use matgnn::telemetry::analyze;
+    let dir = opts.get("dir").ok_or("--dir DIR is required")?;
+    let spans = analyze::load_dir(dir)?;
+    let analysis = analyze::analyze(&spans);
+    print!("{}", analyze::render_report(&analysis));
+    let merged_path = opts
+        .get("merged-trace")
+        .cloned()
+        .unwrap_or_else(|| format!("{dir}/trace-merged.json"));
+    std::fs::write(&merged_path, analyze::render_merged_chrome_trace(&spans))
+        .map_err(|e| format!("writing {merged_path}: {e}"))?;
+    let flame_path = opts
+        .get("flame")
+        .cloned()
+        .unwrap_or_else(|| format!("{dir}/flame.folded"));
+    std::fs::write(&flame_path, analyze::render_flamegraph(&spans))
+        .map_err(|e| format!("writing {flame_path}: {e}"))?;
+    println!("\nwrote merged Chrome trace to {merged_path}");
+    println!("wrote collapsed stacks to {flame_path} (flamegraph.pl / inferno ready)");
+    Ok(())
+}
+
+fn cmd_ledger(action: Option<&str>, opts: &Opts) -> Result<(), String> {
+    use matgnn::telemetry::ledger;
+    let path = opts
+        .get("ledger")
+        .cloned()
+        .or_else(|| {
+            std::env::var(ledger::ENV_VAR)
+                .ok()
+                .filter(|v| !v.is_empty())
+        })
+        .ok_or("--ledger FILE is required (or set MATGNN_LEDGER)")?;
+    let runs = ledger::load(&path)?;
+    match action {
+        Some("list") | None => {
+            println!(
+                "{:<9} {:>10} {:>12} {:>12} {:>6} {:>7} {:>9} {:>10}",
+                "kind", "params", "atoms", "flops", "world", "steps", "wall s", "loss"
+            );
+            for r in &runs {
+                println!(
+                    "{:<9} {:>10} {:>12} {:>12.3e} {:>6} {:>7} {:>9.2} {:>10.5}",
+                    r.kind, r.params, r.atoms_seen, r.flops, r.world, r.steps, r.wall_s, r.loss
+                );
+            }
+            println!("{} run(s) in {path}", runs.len());
+            Ok(())
+        }
+        Some("fit") => {
+            let usable: Vec<&ledger::RunRecord> = runs
+                .iter()
+                .filter(|r| r.loss.is_finite() && r.loss > 0.0)
+                .collect();
+            if usable.len() < 3 {
+                return Err(format!(
+                    "power-law fit needs ≥ 3 runs with finite positive loss; \
+                     {path} has {}",
+                    usable.len()
+                ));
+            }
+            println!(
+                "scaling-law fits over {} runs (L(x) = a·x^(−α) + c):",
+                usable.len()
+            );
+            println!(
+                "  {:<11} {:>10} {:>12} {:>10} {:>8}",
+                "axis", "exponent", "amplitude a", "floor c", "R²"
+            );
+            let losses: Vec<f64> = usable.iter().map(|r| r.loss).collect();
+            let axes: [(&str, Vec<f64>); 3] = [
+                ("compute C", usable.iter().map(|r| r.flops).collect()),
+                ("params N", usable.iter().map(|r| r.params as f64).collect()),
+                (
+                    "data D",
+                    usable.iter().map(|r| r.atoms_seen as f64).collect(),
+                ),
+            ];
+            for (name, xs) in axes {
+                match matgnn::scaling::fit_power_law(&xs, &losses) {
+                    Some(fit) => println!(
+                        "  {:<11} {:>10.4} {:>12.4e} {:>10.4} {:>8.3}",
+                        name, -fit.alpha, fit.a, fit.c, fit.r2
+                    ),
+                    None => println!("  {name:<11} fit failed (degenerate spread on this axis)"),
+                }
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "unknown ledger action `{other}` (expected `list` or `fit`)"
+        )),
+    }
 }
 
 fn cmd_info(opts: &Opts) -> Result<(), String> {

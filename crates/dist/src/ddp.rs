@@ -1548,7 +1548,7 @@ where
     }
     *model = final_model.expect("no surviving rank finished training");
 
-    DdpReport {
+    let report = DdpReport {
         epoch_loss,
         ranks,
         steps,
@@ -1557,7 +1557,38 @@ where
         final_world,
         failed_ranks,
         rollbacks,
+    };
+    ledger_append(model, train, world, &report);
+    report
+}
+
+/// Appends the finished run's scaling coordinates to the ledger named
+/// by `MATGNN_LEDGER`, if set — one env lookup at run end, nothing on
+/// the training path.
+fn ledger_append<M: GnnModel>(model: &M, train: &Dataset, world: usize, report: &DdpReport) {
+    use matgnn_telemetry::ledger;
+    if !std::env::var(ledger::ENV_VAR).is_ok_and(|v| !v.is_empty()) {
+        return;
     }
+    let params = model.params().n_scalars() as u64;
+    let atoms_per_epoch: u64 = train.samples().iter().map(|s| s.n_nodes() as u64).sum();
+    let atoms_seen = atoms_per_epoch * report.epoch_loss.len() as u64;
+    let mut rec = ledger::RunRecord::new("ddp", params, atoms_seen, world);
+    rec.steps = report.steps as u64;
+    rec.wall_s = report.wall.as_secs_f64();
+    rec.loss = report.epoch_loss.last().copied().unwrap_or(f64::NAN);
+    rec.curve = report
+        .epoch_loss
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            (
+                ledger::flop_estimate(params, atoms_per_epoch * (i as u64 + 1)),
+                *l,
+            )
+        })
+        .collect();
+    ledger::append_from_env(&rec);
 }
 
 #[cfg(test)]

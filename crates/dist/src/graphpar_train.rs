@@ -164,6 +164,7 @@ enum RankOutcome {
 /// Panics if every rank fails (e.g. the fault plan kills rank 0, which
 /// the driver does not support, or recoveries exceed the budget).
 pub fn train_graphpar(cfg: &GraphParConfig) -> GraphParReport {
+    let start = std::time::Instant::now();
     let comms = Communicator::create_with_timeout(cfg.world, cfg.cost, cfg.comm_timeout);
     let outcomes: Vec<Option<RankOutcome>> = thread::scope(|scope| {
         let handles: Vec<_> = comms
@@ -192,7 +193,39 @@ pub fn train_graphpar(cfg: &GraphParConfig) -> GraphParReport {
         }
     }
     let _ = excused;
-    report.expect("at least one rank must survive the fault plan")
+    let report = report.expect("at least one rank must survive the fault plan");
+    ledger_append(cfg, &report, start.elapsed());
+    report
+}
+
+/// Appends the finished run's scaling coordinates to the ledger named
+/// by `MATGNN_LEDGER`, if set — one env lookup at run end, nothing on
+/// the training path. Atoms seen = the whole slab once per step (the
+/// partitions jointly cover it each step).
+fn ledger_append(cfg: &GraphParConfig, report: &GraphParReport, wall: Duration) {
+    use matgnn_telemetry::ledger;
+    if !std::env::var(ledger::ENV_VAR).is_ok_and(|v| !v.is_empty()) {
+        return;
+    }
+    let params = report.final_params.len() as u64;
+    let atoms_per_step = cfg.n_atoms as u64;
+    let atoms_seen = atoms_per_step * report.losses.len() as u64;
+    let mut rec = ledger::RunRecord::new("graphpar", params, atoms_seen, cfg.world);
+    rec.steps = report.losses.len() as u64;
+    rec.wall_s = wall.as_secs_f64();
+    rec.loss = report.losses.last().copied().unwrap_or(f32::NAN) as f64;
+    rec.curve = report
+        .losses
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            (
+                ledger::flop_estimate(params, atoms_per_step * (i as u64 + 1)),
+                *l as f64,
+            )
+        })
+        .collect();
+    ledger::append_from_env(&rec);
 }
 
 fn run_rank(cfg: &GraphParConfig, comm: Communicator) -> RankOutcome {

@@ -21,7 +21,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -47,6 +47,9 @@ pub struct BatcherConfig {
     pub queue_capacity: usize,
     /// Number of serving worker threads.
     pub workers: usize,
+    /// End-to-end latency SLO in milliseconds; requests served slower
+    /// than this bump the `serve.slo_breach` counter.
+    pub slo_ms: f64,
 }
 
 impl Default for BatcherConfig {
@@ -57,6 +60,7 @@ impl Default for BatcherConfig {
             max_wait: Duration::from_millis(2),
             queue_capacity: 1024,
             workers: 2,
+            slo_ms: 50.0,
         }
     }
 }
@@ -145,6 +149,9 @@ struct Shared {
     /// Signalled when queue space frees up (blocking submitters wait).
     space: Condvar,
     shutdown: AtomicBool,
+    /// Workers currently running their loop — the `/healthz` liveness
+    /// signal. Decremented on any worker exit, panics included.
+    live_workers: AtomicUsize,
 }
 
 /// The dynamic batching front-end. See the [module docs](self).
@@ -169,6 +176,7 @@ impl DynamicBatcher {
             not_empty: Condvar::new(),
             space: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            live_workers: AtomicUsize::new(0),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -205,6 +213,7 @@ impl DynamicBatcher {
     pub fn try_submit(&self, graph: MolGraph) -> Result<Ticket, ServeError> {
         let queue = lock(&self.shared.queue);
         if queue.len() >= self.shared.cfg.queue_capacity {
+            telemetry::counter_add("serve.shed", 1);
             return Err(ServeError::QueueFull);
         }
         self.enqueue(queue, graph)
@@ -233,6 +242,23 @@ impl DynamicBatcher {
     /// Current number of queued (not yet batched) requests.
     pub fn queue_depth(&self) -> usize {
         lock(&self.shared.queue).len()
+    }
+
+    /// Number of worker threads currently alive in their serve loop.
+    pub fn live_workers(&self) -> usize {
+        self.shared.live_workers.load(Ordering::Acquire)
+    }
+
+    /// A `/healthz` readiness probe wired to this batcher: ready while
+    /// at least one worker is alive and shutdown has not begun. The
+    /// probe holds only the shared state, so it outlives the batcher
+    /// handle (and reports unready once the pool is gone).
+    pub fn readiness_probe(&self) -> crate::metrics_http::ReadinessProbe {
+        let shared = Arc::clone(&self.shared);
+        Arc::new(move || {
+            shared.live_workers.load(Ordering::Acquire) > 0
+                && !shared.shutdown.load(Ordering::Acquire)
+        })
     }
 
     /// Stops accepting new requests, drains the queue, and joins the
@@ -278,7 +304,20 @@ fn batch_prefix(queue: &VecDeque<Request>, policy: &PackPolicy) -> (usize, usize
     (graphs, atoms)
 }
 
+/// Decrements the live-worker count when a worker exits — by return or
+/// by panic (drops run during unwinding), so `/healthz` cannot report a
+/// dead pool as ready.
+struct LivenessGuard<'a>(&'a Shared);
+
+impl Drop for LivenessGuard<'_> {
+    fn drop(&mut self) {
+        self.0.live_workers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 fn worker_loop(shared: &Shared) {
+    shared.live_workers.fetch_add(1, Ordering::AcqRel);
+    let _liveness = LivenessGuard(shared);
     let policy = shared.cfg.policy();
     loop {
         // Phase 1: wait for work (or shutdown with an empty queue).
@@ -356,10 +395,14 @@ fn serve_batch(shared: &Shared, requests: Vec<Request>) {
     telemetry::histogram_record("serve.batch.atoms", batch_atoms as f64);
     telemetry::counter_add("serve.requests", batch_graphs as u64);
     for (req, pred) in requests.into_iter().zip(predictions) {
-        telemetry::histogram_record(
-            "serve.latency_ms",
-            req.enqueued.elapsed().as_secs_f64() * 1e3,
-        );
+        let latency_ms = req.enqueued.elapsed().as_secs_f64() * 1e3;
+        telemetry::histogram_record("serve.latency_ms", latency_ms);
+        // Sliding window feeds the live /metrics p50/p99 (exact over
+        // the last WINDOW_DEFAULT_CAP requests).
+        telemetry::window_record("serve.latency_ms", latency_ms);
+        if latency_ms > shared.cfg.slo_ms {
+            telemetry::counter_add("serve.slo_breach", 1);
+        }
         // A dropped receiver means the caller gave up; not an error.
         let _ = req.tx.send(Prediction {
             energy: pred.energy,
@@ -493,6 +536,22 @@ mod tests {
         for t in tickets {
             t.wait().expect("accepted request dropped at shutdown");
         }
+    }
+
+    #[test]
+    fn liveness_tracks_worker_pool() {
+        let cfg = BatcherConfig {
+            workers: 3,
+            ..BatcherConfig::default()
+        };
+        let batcher = DynamicBatcher::start(engine(), cfg);
+        let probe = batcher.readiness_probe();
+        // Serve one request so every worker has certainly started.
+        batcher.submit(chain(3)).unwrap().wait().unwrap();
+        assert_eq!(batcher.live_workers(), 3);
+        assert!(probe(), "pool alive but probe not ready");
+        batcher.shutdown();
+        assert!(!probe(), "probe still ready after shutdown");
     }
 
     #[test]

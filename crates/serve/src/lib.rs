@@ -17,7 +17,13 @@
 //! * **Batcher** ([`batcher`]): a bounded FIFO request queue, packing by
 //!   [`PackPolicy`](matgnn_graph::PackPolicy), per-request latency
 //!   metrics (`serve.latency_ms` feeds p50/p99 via
-//!   [`histogram_quantile`](matgnn_telemetry::histogram_quantile)).
+//!   [`histogram_quantile`](matgnn_telemetry::histogram_quantile)),
+//!   load-shed (`serve.shed`) and SLO-breach (`serve.slo_breach`)
+//!   counters.
+//! * **Metrics plane** ([`metrics_http`]): a dependency-free HTTP
+//!   endpoint serving Prometheus text exposition of the registry
+//!   (`/metrics`, with exact sliding-window p50/p99) and worker-pool
+//!   readiness (`/healthz`).
 //!
 //! ```
 //! use matgnn_graph::{AtomicStructure, Element, MolGraph};
@@ -46,6 +52,8 @@
 
 mod batcher;
 mod engine;
+pub mod metrics_http;
 
 pub use batcher::{BatcherConfig, DynamicBatcher, Prediction, ServeError, Ticket};
 pub use engine::{EngineError, GraphPrediction, InferenceEngine};
+pub use metrics_http::{MetricsServer, ReadinessProbe};

@@ -1,0 +1,256 @@
+//! The live metrics plane: a minimal HTTP/1.1 endpoint over
+//! `std::net::TcpListener` (no dependencies) exposing the telemetry
+//! registry while the serving stack runs.
+//!
+//! Routes:
+//!
+//! - `GET /metrics` — Prometheus text exposition (0.0.4) of the whole
+//!   registry: counters, gauges, histogram summaries with quantile
+//!   labels, and exact sliding-window quantiles (`*_window`). Rendered
+//!   by [`matgnn_telemetry::export::render_prometheus`].
+//! - `GET /metrics.json` — the same registry scalarised as one JSON
+//!   object, for tooling that speaks the telemetry dialect.
+//! - `GET /healthz` — readiness: `200 ok` while the supplied probe
+//!   returns `true` (wired to worker-pool liveness by
+//!   [`DynamicBatcher::readiness_probe`](crate::DynamicBatcher::readiness_probe)),
+//!   `503 unavailable` otherwise.
+//!
+//! The server runs one accept thread; each request is parsed and
+//! answered inline (scrapes are rare — 1–10 Hz — and the render is
+//! microseconds, so a serial loop keeps the code free of pool
+//! machinery). Scrapes never touch the request hot path: they read the
+//! same global registry the batcher already writes.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use matgnn_telemetry as telemetry;
+
+/// Liveness callback for `/healthz`: `true` means ready to serve.
+pub type ReadinessProbe = Arc<dyn Fn() -> bool + Send + Sync>;
+
+/// Handle to a running metrics endpoint; shuts down on [`MetricsServer::shutdown`]
+/// or drop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9099"`; port 0 picks a free port)
+    /// and starts the accept thread. `ready` backs `/healthz`.
+    pub fn start(addr: impl ToSocketAddrs, ready: ReadinessProbe) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Non-blocking accept so the loop can observe the stop flag.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_thread = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("metrics-http".to_string())
+            .spawn(move || accept_loop(&listener, &stop_thread, &ready))
+            .expect("spawn metrics-http thread");
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept thread and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, ready: &ReadinessProbe) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Request handling errors only affect that one scrape.
+                let _ = handle_connection(stream, ready);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Reads the request head (first line is all we route on) with a short
+/// timeout so a stalled client cannot wedge the accept thread.
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<String> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 1024];
+    let mut head = Vec::new();
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(2).any(|w| w == b"\r\n") || head.len() > 8192 {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&head);
+    let first = text.lines().next().unwrap_or("");
+    // "GET /metrics HTTP/1.1" → "/metrics"
+    let mut parts = first.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return Ok(format!("!{method}"));
+    }
+    Ok(path.to_string())
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {len}\r\nConnection: close\r\n\r\n",
+        len = body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())
+}
+
+fn handle_connection(mut stream: TcpStream, ready: &ReadinessProbe) -> std::io::Result<()> {
+    let path = read_request_path(&mut stream)?;
+    match path.as_str() {
+        "/metrics" => {
+            telemetry::counter_add("serve.metrics_scrapes", 1);
+            let body = telemetry::export::render_prometheus();
+            write_response(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/metrics.json" => {
+            telemetry::counter_add("serve.metrics_scrapes", 1);
+            let body = telemetry::export::render_metrics_json();
+            write_response(&mut stream, "200 OK", "application/json", &body)
+        }
+        "/healthz" => {
+            if ready() {
+                write_response(&mut stream, "200 OK", "text/plain", "ok\n")
+            } else {
+                write_response(
+                    &mut stream,
+                    "503 Service Unavailable",
+                    "text/plain",
+                    "unavailable\n",
+                )
+            }
+        }
+        p if p.starts_with('!') => write_response(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only\n",
+        ),
+        _ => write_response(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Minimal HTTP client for tests: one GET, returns (status, body).
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.read_to_string(&mut response).unwrap();
+        let status = response
+            .lines()
+            .next()
+            .unwrap_or("")
+            .trim_start_matches("HTTP/1.1 ")
+            .to_string();
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_metrics_health_and_errors() {
+        let ready_flips = Arc::new(AtomicUsize::new(0));
+        let flips = Arc::clone(&ready_flips);
+        // Ready on the first probe call, unready afterwards — lets one
+        // test cover both /healthz branches.
+        let probe: ReadinessProbe = Arc::new(move || flips.fetch_add(1, Ordering::SeqCst) == 0);
+        let server = MetricsServer::start("127.0.0.1:0", probe).expect("bind");
+        let addr = server.local_addr();
+
+        // The registry is process-global and other tests may reset it
+        // concurrently; use names nothing else touches and retry the
+        // scrape if a racing reset wiped them.
+        let mut ok = false;
+        for _ in 0..20 {
+            telemetry::gauge_set("mhttp.test_gauge", 3.0);
+            telemetry::window_record("mhttp.test_lat", 1.5);
+            let (status, body) = get(addr, "/metrics");
+            assert_eq!(status, "200 OK");
+            if body.contains("matgnn_mhttp_test_gauge 3")
+                && body.contains("matgnn_mhttp_test_lat_window{quantile=\"0.5\"} 1.5")
+            {
+                ok = true;
+                break;
+            }
+        }
+        assert!(ok, "scrape never observed the test metrics");
+
+        let (status, body) = get(addr, "/metrics.json");
+        assert_eq!(status, "200 OK");
+        assert!(body.starts_with('{') && body.trim_end().ends_with('}'));
+
+        let (status, _) = get(addr, "/healthz");
+        assert_eq!(status, "200 OK");
+        let (status, _) = get(addr, "/healthz");
+        assert_eq!(status, "503 Service Unavailable");
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, "404 Not Found");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,766 @@
+//! Cross-rank trace analytics: merges the per-rank JSONL span logs of a
+//! distributed run into one timeline and answers "which rank, which
+//! phase, is the bottleneck?".
+//!
+//! The analysis is built on **interval unions**. Spans nest (`step`
+//! contains `forward` contains `comm.halo.exchange`), so naively summing
+//! durations double-counts; instead every (rank, step, phase) gets the
+//! union of its span intervals, and all derived quantities — phase
+//! breakdowns, straggler skew, overlap efficiency, the critical path —
+//! are measures of those unions:
+//!
+//! - **Phase breakdown**: spans are classified into coarse phases
+//!   ([`Phase`]) by name prefix; a phase's wall time is the union of its
+//!   intervals per rank, summed over ranks.
+//! - **Straggler skew**: per step, each rank's wall time (its `step`
+//!   span when present, else the union of all its spans); skew is
+//!   `max − median` across ranks.
+//! - **Overlap efficiency**: `|comm ∩ compute| / |comm|` per rank/step,
+//!   aggregated — the fraction of communication hidden behind compute
+//!   (forward/backward/optimizer). 1.0 means fully-hidden comm.
+//! - **Critical path**: per step, the slowest rank is the critical
+//!   segment (a barriered step cannot finish before its straggler);
+//!   the path is that sequence, each segment tagged with the phase that
+//!   dominates the slow rank's time.
+//!
+//! Exports: a merged multi-rank Chrome trace (one Perfetto process per
+//! rank) and a collapsed-stack file (`rank0;step;forward 1234` lines)
+//! that standard flamegraph tools render directly.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::json::{self, Json};
+
+// ----------------------------------------------------------------------
+// Records and phases
+// ----------------------------------------------------------------------
+
+/// One parsed `"type":"span"` JSONL record. `ts_us` is the span start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    pub rank: i64,
+    pub step: i64,
+    pub tid: u64,
+    pub name: String,
+    pub ts_us: u64,
+    pub dur_us: u64,
+    pub depth: u32,
+}
+
+impl SpanRecord {
+    /// Exclusive end of the span interval.
+    pub fn end_us(&self) -> u64 {
+        self.ts_us.saturating_add(self.dur_us)
+    }
+}
+
+/// Coarse phase classification of span names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    Forward,
+    Backward,
+    Optimizer,
+    /// Collective communication (`comm.*` except halo).
+    Comm,
+    /// Ghost-atom halo exchange (`comm.halo.*`).
+    Halo,
+    /// Data loading, prefetch, checkpoint IO.
+    Io,
+    /// Serving front-end work (`serve.*`).
+    Serve,
+    Other,
+}
+
+/// Every phase, in report order.
+pub const PHASES: [Phase; 8] = [
+    Phase::Forward,
+    Phase::Backward,
+    Phase::Optimizer,
+    Phase::Comm,
+    Phase::Halo,
+    Phase::Io,
+    Phase::Serve,
+    Phase::Other,
+];
+
+const N_PHASES: usize = PHASES.len();
+
+impl Phase {
+    /// Lowercase label used in reports and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Forward => "forward",
+            Phase::Backward => "backward",
+            Phase::Optimizer => "optimizer",
+            Phase::Comm => "comm",
+            Phase::Halo => "halo",
+            Phase::Io => "io",
+            Phase::Serve => "serve",
+            Phase::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        PHASES.iter().position(|p| *p == self).unwrap()
+    }
+}
+
+/// Classifies a span name into its phase. Container spans (`step`,
+/// `profile.step`) return `None` — they wrap a whole step and would
+/// otherwise swallow every phase into `Other`.
+pub fn phase_of(name: &str) -> Option<Phase> {
+    if name == "step" || name == "profile.step" {
+        return None;
+    }
+    Some(if name.starts_with("comm.halo.") {
+        Phase::Halo
+    } else if name.starts_with("comm.") {
+        Phase::Comm
+    } else if name == "forward" || name == "loss" || name == "evaluate" {
+        Phase::Forward
+    } else if name == "backward" {
+        Phase::Backward
+    } else if name == "optimizer" {
+        Phase::Optimizer
+    } else if name.starts_with("data.")
+        || name.starts_with("prefetch.")
+        || name.starts_with("checkpoint.")
+    {
+        Phase::Io
+    } else if name.starts_with("serve.") {
+        Phase::Serve
+    } else {
+        Phase::Other
+    })
+}
+
+// ----------------------------------------------------------------------
+// Parsing
+// ----------------------------------------------------------------------
+
+/// Parses the span records out of one JSONL document (non-span record
+/// types are skipped; malformed lines are an error with line context).
+pub fn parse_spans(text: &str) -> Result<Vec<SpanRecord>, String> {
+    let mut spans = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if value.get("type").and_then(Json::as_str) != Some("span") {
+            continue;
+        }
+        let num = |field: &str| -> Result<f64, String> {
+            value
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("line {}: span missing numeric {field:?}", i + 1))
+        };
+        spans.push(SpanRecord {
+            rank: num("rank")? as i64,
+            step: num("step")? as i64,
+            tid: num("tid")? as u64,
+            name: value
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("line {}: span missing \"name\"", i + 1))?
+                .to_string(),
+            ts_us: num("ts_us")? as u64,
+            dur_us: num("dur_us")? as u64,
+            depth: num("depth")? as u32,
+        });
+    }
+    Ok(spans)
+}
+
+/// Loads and merges every `events-*.jsonl` file in `dir` into one span
+/// list, sorted by start time (then rank, then depth) — the cross-rank
+/// timeline all analysis runs over.
+pub fn load_dir(dir: impl AsRef<Path>) -> Result<Vec<SpanRecord>, String> {
+    let dir = dir.as_ref();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {dir:?}: {e}"))?;
+    let mut files: Vec<_> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("events-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no events-*.jsonl files in {dir:?}"));
+    }
+    let mut spans = Vec::new();
+    for path in files {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path:?}: {e}"))?;
+        spans.extend(
+            parse_spans(&text)
+                .map_err(|e| format!("{}: {e}", path.file_name().unwrap().to_string_lossy()))?,
+        );
+    }
+    spans.sort_by(|a, b| {
+        (a.ts_us, a.rank, a.depth, std::cmp::Reverse(a.dur_us)).cmp(&(
+            b.ts_us,
+            b.rank,
+            b.depth,
+            std::cmp::Reverse(b.dur_us),
+        ))
+    });
+    Ok(spans)
+}
+
+// ----------------------------------------------------------------------
+// Interval-union machinery
+// ----------------------------------------------------------------------
+
+/// Merges a list of `[start, end)` intervals in place into a sorted,
+/// disjoint union.
+fn merge_intervals(iv: &mut Vec<(u64, u64)>) {
+    iv.sort_unstable();
+    let mut out = 0usize;
+    for i in 0..iv.len() {
+        if out > 0 && iv[i].0 <= iv[out - 1].1 {
+            iv[out - 1].1 = iv[out - 1].1.max(iv[i].1);
+        } else {
+            iv[out] = iv[i];
+            out += 1;
+        }
+    }
+    iv.truncate(out);
+}
+
+fn union_len(iv: &[(u64, u64)]) -> u64 {
+    iv.iter().map(|(s, e)| e - s).sum()
+}
+
+/// Total overlap between two disjoint sorted interval unions.
+fn intersection_len(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j, mut total) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo < hi {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+// ----------------------------------------------------------------------
+// Analysis
+// ----------------------------------------------------------------------
+
+/// Per-step cross-rank statistics.
+#[derive(Debug, Clone)]
+pub struct StepStats {
+    pub step: i64,
+    /// Per-phase wall time: interval union per rank, summed over ranks.
+    /// Indexed parallel to [`PHASES`].
+    pub phase_us: [u64; N_PHASES],
+    /// Each rank's wall time this step (sorted by rank).
+    pub rank_wall_us: Vec<(i64, u64)>,
+    /// Straggler skew: `max − median` of rank wall times.
+    pub skew_us: u64,
+    /// The critical (slowest) rank and its wall time.
+    pub critical_rank: i64,
+    pub critical_wall_us: u64,
+    /// Phase dominating the critical rank's time this step.
+    pub critical_phase: Phase,
+}
+
+/// Whole-trace analysis result.
+#[derive(Debug, Clone)]
+pub struct TraceAnalysis {
+    pub n_spans: usize,
+    /// Distinct ranks seen (sorted; may include `-1` for unranked).
+    pub ranks: Vec<i64>,
+    /// Per-step statistics, sorted by step.
+    pub steps: Vec<StepStats>,
+    /// Per-phase wall totals across the whole trace (union per
+    /// rank/step, summed). Indexed parallel to [`PHASES`].
+    pub phase_totals_us: [u64; N_PHASES],
+    /// Total communication time (comm + halo interval union).
+    pub comm_total_us: u64,
+    /// Communication time overlapped with compute (hidden).
+    pub comm_hidden_us: u64,
+    /// Sum of critical-segment wall times over steps.
+    pub critical_path_us: u64,
+    /// End-to-end trace extent (max end − min start over all spans).
+    pub wall_us: u64,
+}
+
+impl TraceAnalysis {
+    /// `hidden / total` communication time; 1.0 when every comm byte
+    /// moved behind compute, 0.0 when nothing overlapped (or no comm).
+    pub fn overlap_efficiency(&self) -> f64 {
+        if self.comm_total_us == 0 {
+            return 0.0;
+        }
+        self.comm_hidden_us as f64 / self.comm_total_us as f64
+    }
+
+    /// Wall total of one phase across the trace.
+    pub fn phase_total(&self, phase: Phase) -> u64 {
+        self.phase_totals_us[phase.index()]
+    }
+
+    /// Mean straggler skew over steps with ≥ 2 ranks, in microseconds.
+    pub fn mean_skew_us(&self) -> f64 {
+        let multi: Vec<&StepStats> = self
+            .steps
+            .iter()
+            .filter(|s| s.rank_wall_us.len() > 1)
+            .collect();
+        if multi.is_empty() {
+            return 0.0;
+        }
+        multi.iter().map(|s| s.skew_us as f64).sum::<f64>() / multi.len() as f64
+    }
+}
+
+/// Analyzes a merged span list. Spans with `step == -1` are grouped
+/// under a pseudo-step `-1` (warmup / out-of-step work) and excluded
+/// from skew and critical-path statistics.
+pub fn analyze(spans: &[SpanRecord]) -> TraceAnalysis {
+    // (step, rank, phase) -> intervals; (step, rank) -> all intervals +
+    // the rank's `step` container span if present.
+    let mut phase_iv: BTreeMap<(i64, i64, usize), Vec<(u64, u64)>> = BTreeMap::new();
+    let mut rank_iv: BTreeMap<(i64, i64), Vec<(u64, u64)>> = BTreeMap::new();
+    let mut step_span: BTreeMap<(i64, i64), u64> = BTreeMap::new();
+    let mut min_ts = u64::MAX;
+    let mut max_end = 0u64;
+
+    for s in spans {
+        min_ts = min_ts.min(s.ts_us);
+        max_end = max_end.max(s.end_us());
+        let interval = (s.ts_us, s.end_us());
+        rank_iv.entry((s.step, s.rank)).or_default().push(interval);
+        if s.name == "step" {
+            let e = step_span.entry((s.step, s.rank)).or_default();
+            *e = (*e).max(s.dur_us);
+        }
+        if let Some(phase) = phase_of(&s.name) {
+            phase_iv
+                .entry((s.step, s.rank, phase.index()))
+                .or_default()
+                .push(interval);
+        }
+    }
+
+    // Union everything once.
+    for iv in phase_iv.values_mut() {
+        merge_intervals(iv);
+    }
+    for iv in rank_iv.values_mut() {
+        merge_intervals(iv);
+    }
+
+    let mut ranks: Vec<i64> = spans.iter().map(|s| s.rank).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    let mut step_ids: Vec<i64> = spans.iter().map(|s| s.step).collect();
+    step_ids.sort_unstable();
+    step_ids.dedup();
+
+    let mut phase_totals_us = [0u64; N_PHASES];
+    let mut comm_total_us = 0u64;
+    let mut comm_hidden_us = 0u64;
+    let compute_phases = [Phase::Forward, Phase::Backward, Phase::Optimizer];
+    let comm_phases = [Phase::Comm, Phase::Halo];
+
+    // Per (step, rank): overlap of comm-union with compute-union.
+    for step in &step_ids {
+        for rank in &ranks {
+            let mut comm: Vec<(u64, u64)> = Vec::new();
+            for p in comm_phases {
+                if let Some(iv) = phase_iv.get(&(*step, *rank, p.index())) {
+                    comm.extend_from_slice(iv);
+                }
+            }
+            if comm.is_empty() {
+                continue;
+            }
+            merge_intervals(&mut comm);
+            let mut compute: Vec<(u64, u64)> = Vec::new();
+            for p in compute_phases {
+                if let Some(iv) = phase_iv.get(&(*step, *rank, p.index())) {
+                    compute.extend_from_slice(iv);
+                }
+            }
+            merge_intervals(&mut compute);
+            comm_total_us += union_len(&comm);
+            comm_hidden_us += intersection_len(&comm, &compute);
+        }
+    }
+
+    let mut steps = Vec::with_capacity(step_ids.len());
+    let mut critical_path_us = 0u64;
+    for step in step_ids {
+        let mut phase_us = [0u64; N_PHASES];
+        let mut rank_wall_us: Vec<(i64, u64)> = Vec::new();
+        for rank in &ranks {
+            for (pi, total) in phase_us.iter_mut().enumerate() {
+                if let Some(iv) = phase_iv.get(&(step, *rank, pi)) {
+                    *total += union_len(iv);
+                }
+            }
+            // Rank wall: prefer the explicit `step` container span, else
+            // the union of everything the rank did this step.
+            let wall = step_span
+                .get(&(step, *rank))
+                .copied()
+                .or_else(|| rank_iv.get(&(step, *rank)).map(|iv| union_len(iv)));
+            if let Some(wall) = wall {
+                rank_wall_us.push((*rank, wall));
+            }
+        }
+        for (pi, total) in phase_us.iter().enumerate() {
+            phase_totals_us[pi] += total;
+        }
+        if rank_wall_us.is_empty() {
+            continue;
+        }
+        // Straggler skew: max − lower median of the rank walls.
+        let mut walls: Vec<u64> = rank_wall_us.iter().map(|(_, w)| *w).collect();
+        walls.sort_unstable();
+        let median = walls[(walls.len() - 1) / 2];
+        let max = *walls.last().unwrap();
+        let skew_us = max - median;
+        let (critical_rank, critical_wall_us) = rank_wall_us
+            .iter()
+            .copied()
+            .max_by_key(|(r, w)| (*w, std::cmp::Reverse(*r)))
+            .unwrap();
+        // Dominant phase on the critical rank.
+        let critical_phase = PHASES
+            .iter()
+            .copied()
+            .max_by_key(|p| {
+                phase_iv
+                    .get(&(step, critical_rank, p.index()))
+                    .map(|iv| union_len(iv))
+                    .unwrap_or(0)
+            })
+            .unwrap_or(Phase::Other);
+        if step >= 0 {
+            critical_path_us += critical_wall_us;
+        }
+        steps.push(StepStats {
+            step,
+            phase_us,
+            rank_wall_us,
+            skew_us,
+            critical_rank,
+            critical_wall_us,
+            critical_phase,
+        });
+    }
+
+    TraceAnalysis {
+        n_spans: spans.len(),
+        ranks,
+        steps,
+        phase_totals_us,
+        comm_total_us,
+        comm_hidden_us,
+        critical_path_us,
+        wall_us: if min_ts == u64::MAX {
+            0
+        } else {
+            max_end - min_ts
+        },
+    }
+}
+
+// ----------------------------------------------------------------------
+// Reports and exports
+// ----------------------------------------------------------------------
+
+/// Human-readable attribution report (what `matgnn_cli trace` prints).
+pub fn render_report(a: &TraceAnalysis) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace: {} spans, {} ranks, {} steps, wall {:.3} ms\n",
+        a.n_spans,
+        a.ranks.len(),
+        a.steps.iter().filter(|s| s.step >= 0).count(),
+        a.wall_us as f64 / 1e3
+    ));
+    out.push_str("\nphase breakdown (rank-summed wall):\n");
+    let grand: u64 = a.phase_totals_us.iter().sum();
+    for (pi, phase) in PHASES.iter().enumerate() {
+        let us = a.phase_totals_us[pi];
+        if us == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "  {:<10} {:>12.3} ms  {:>5.1}%\n",
+            phase.label(),
+            us as f64 / 1e3,
+            100.0 * us as f64 / grand.max(1) as f64
+        ));
+    }
+    out.push_str(&format!(
+        "\ncomm overlap: {:.3} ms of {:.3} ms hidden behind compute ({:.1}% efficiency)\n",
+        a.comm_hidden_us as f64 / 1e3,
+        a.comm_total_us as f64 / 1e3,
+        100.0 * a.overlap_efficiency()
+    ));
+    out.push_str(&format!(
+        "straggler skew: mean {:.3} ms (max−median per step)\n",
+        a.mean_skew_us() / 1e3
+    ));
+    out.push_str(&format!(
+        "critical path: {:.3} ms over {} stepped segments\n",
+        a.critical_path_us as f64 / 1e3,
+        a.steps.iter().filter(|s| s.step >= 0).count()
+    ));
+    let stepped: Vec<&StepStats> = a.steps.iter().filter(|s| s.step >= 0).collect();
+    if !stepped.is_empty() {
+        out.push_str("\nper-step criticals (step: rank, wall, dominant phase, skew):\n");
+        for s in stepped {
+            out.push_str(&format!(
+                "  step {:>4}: rank {} {:>10.3} ms  {:<10} skew {:>8.3} ms\n",
+                s.step,
+                s.critical_rank,
+                s.critical_wall_us as f64 / 1e3,
+                s.critical_phase.label(),
+                s.skew_us as f64 / 1e3
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the merged span list as a Chrome-trace / Perfetto document —
+/// the multi-rank counterpart of the per-process `trace.json` the sink
+/// writes (one Perfetto process per rank, `pid = rank + 1`).
+pub fn render_merged_chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for ev in spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":");
+        json::escape_str_into(&mut out, &ev.name);
+        out.push_str(&format!(
+            ",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"rank\":{rank},\"step\":{step}}}}}",
+            ts = ev.ts_us,
+            dur = ev.dur_us,
+            pid = ev.rank + 1,
+            tid = ev.tid,
+            rank = ev.rank,
+            step = ev.step,
+        ));
+    }
+    let mut ranks: Vec<i64> = spans.iter().map(|e| e.rank).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    for rank in ranks {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let label = if rank < 0 {
+            "unranked".to_string()
+        } else {
+            format!("rank {rank}")
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":",
+            pid = rank + 1
+        ));
+        json::escape_str_into(&mut out, &label);
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Renders the merged span list as collapsed stacks (`inferno` /
+/// `flamegraph.pl` folded format): one `rank0;step;forward 1234` line
+/// per unique stack, value = self time in microseconds. Stacks are
+/// reconstructed per (rank, thread) from span containment, so the
+/// output is exact for well-nested spans.
+pub fn render_flamegraph(spans: &[SpanRecord]) -> String {
+    // Group by (rank, tid), keeping timeline order within each group.
+    let mut groups: BTreeMap<(i64, u64), Vec<&SpanRecord>> = BTreeMap::new();
+    for s in spans {
+        groups.entry((s.rank, s.tid)).or_default().push(s);
+    }
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for ((rank, _tid), mut group) in groups {
+        // Parents first: earlier start, then outermost (longest) first.
+        group.sort_by(|a, b| {
+            (a.ts_us, std::cmp::Reverse(a.dur_us), a.depth).cmp(&(
+                b.ts_us,
+                std::cmp::Reverse(b.dur_us),
+                b.depth,
+            ))
+        });
+        let root = if rank < 0 {
+            "unranked".to_string()
+        } else {
+            format!("rank{rank}")
+        };
+        // Stack of (span, child time) — pop frames that cannot contain
+        // the next span, charging each popped frame its self time under
+        // the stack path of its remaining ancestors.
+        let mut stack: Vec<(&SpanRecord, u64)> = Vec::new();
+        let pop = |stack: &mut Vec<(&SpanRecord, u64)>, folded: &mut BTreeMap<String, u64>| {
+            let (span, child_us) = stack.pop().unwrap();
+            let self_us = span.dur_us.saturating_sub(child_us);
+            if self_us > 0 {
+                let mut key = root.clone();
+                for (ancestor, _) in stack.iter() {
+                    key.push(';');
+                    key.push_str(&ancestor.name);
+                }
+                key.push(';');
+                key.push_str(&span.name);
+                *folded.entry(key).or_default() += self_us;
+            }
+            if let Some((_, parent_child_us)) = stack.last_mut() {
+                *parent_child_us += span.dur_us;
+            }
+        };
+        for s in group {
+            while let Some((top, _)) = stack.last() {
+                let contains = top.ts_us <= s.ts_us && top.end_us() >= s.end_us();
+                if contains && top.depth < s.depth {
+                    break;
+                }
+                pop(&mut stack, &mut folded);
+            }
+            stack.push((s, 0));
+        }
+        while !stack.is_empty() {
+            pop(&mut stack, &mut folded);
+        }
+    }
+    let mut out = String::new();
+    for (stack, us) in folded {
+        out.push_str(&format!("{stack} {us}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(rank: i64, step: i64, name: &str, ts: u64, dur: u64, depth: u32) -> SpanRecord {
+        SpanRecord {
+            rank,
+            step,
+            tid: (rank + 1) as u64,
+            name: name.to_string(),
+            ts_us: ts,
+            dur_us: dur,
+            depth,
+        }
+    }
+
+    #[test]
+    fn interval_union_dedups_nesting() {
+        let mut iv = vec![(0, 100), (10, 40), (90, 150), (200, 210)];
+        merge_intervals(&mut iv);
+        assert_eq!(iv, vec![(0, 150), (200, 210)]);
+        assert_eq!(union_len(&iv), 160);
+        assert_eq!(intersection_len(&iv, &[(140, 205)]), 15);
+    }
+
+    #[test]
+    fn phase_classification() {
+        assert_eq!(phase_of("forward"), Some(Phase::Forward));
+        assert_eq!(phase_of("comm.halo.exchange"), Some(Phase::Halo));
+        assert_eq!(phase_of("comm.all_reduce"), Some(Phase::Comm));
+        assert_eq!(phase_of("data.load"), Some(Phase::Io));
+        assert_eq!(phase_of("serve.batch"), Some(Phase::Serve));
+        assert_eq!(phase_of("step"), None);
+        assert_eq!(phase_of("mystery"), Some(Phase::Other));
+    }
+
+    #[test]
+    fn known_answer_two_ranks() {
+        // Rank 0: step [0,100), forward [0,60), backward [60,90),
+        //         comm.all_reduce [50,80) — 10us outside fwd? no:
+        //         [50,60) overlaps forward, [60,80) overlaps backward →
+        //         fully hidden (30/30).
+        // Rank 1: step [0,140), forward [0,80), backward [80,120),
+        //         comm.all_reduce [120,140) — not hidden at all.
+        let spans = vec![
+            span(0, 0, "step", 0, 100, 0),
+            span(0, 0, "forward", 0, 60, 1),
+            span(0, 0, "backward", 60, 30, 1),
+            span(0, 0, "comm.all_reduce", 50, 30, 2),
+            span(1, 0, "step", 0, 140, 0),
+            span(1, 0, "forward", 0, 80, 1),
+            span(1, 0, "backward", 80, 40, 1),
+            span(1, 0, "comm.all_reduce", 120, 20, 1),
+        ];
+        let a = analyze(&spans);
+        assert_eq!(a.ranks, vec![0, 1]);
+        assert_eq!(a.comm_total_us, 50);
+        assert_eq!(a.comm_hidden_us, 30);
+        assert!((a.overlap_efficiency() - 0.6).abs() < 1e-12);
+        assert_eq!(a.steps.len(), 1);
+        let s = &a.steps[0];
+        // Walls come from the `step` container spans.
+        assert_eq!(s.rank_wall_us, vec![(0, 100), (1, 140)]);
+        // Two ranks: median (lower) = 100, max = 140 → skew 40.
+        assert_eq!(s.skew_us, 40);
+        assert_eq!(s.critical_rank, 1);
+        assert_eq!(s.critical_wall_us, 140);
+        assert_eq!(s.critical_phase, Phase::Forward);
+        assert_eq!(a.critical_path_us, 140);
+        assert_eq!(a.phase_total(Phase::Forward), 60 + 80);
+        assert_eq!(a.phase_total(Phase::Backward), 30 + 40);
+        assert_eq!(a.phase_total(Phase::Comm), 30 + 20);
+        assert_eq!(a.wall_us, 140);
+        let report = render_report(&a);
+        assert!(report.contains("60.0% efficiency"));
+    }
+
+    #[test]
+    fn flamegraph_collapses_self_time() {
+        let spans = vec![
+            span(0, 0, "step", 0, 100, 0),
+            span(0, 0, "forward", 10, 50, 1),
+            span(0, 0, "comm.all_reduce", 20, 10, 2),
+        ];
+        let fg = render_flamegraph(&spans);
+        // step self = 100−50, forward self = 50−10, comm self = 10.
+        assert!(fg.contains("rank0;step 50\n"), "got:\n{fg}");
+        assert!(fg.contains("rank0;step;forward 40\n"), "got:\n{fg}");
+        assert!(
+            fg.contains("rank0;step;forward;comm.all_reduce 10\n"),
+            "got:\n{fg}"
+        );
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let line = r#"{"type":"span","v":2,"ts_us":5,"rank":1,"step":3,"tid":7,"name":"forward","dur_us":42,"depth":1}
+{"type":"metrics","v":2,"ts_us":6,"rank":1,"step":3,"tid":7,"values":{"a":1}}"#;
+        let spans = parse_spans(line).unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "forward");
+        assert_eq!(spans[0].dur_us, 42);
+        assert_eq!(spans[0].end_us(), 47);
+        let merged = render_merged_chrome_trace(&spans);
+        json::parse(&merged).expect("merged trace is valid JSON");
+    }
+}

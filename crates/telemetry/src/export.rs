@@ -1,0 +1,170 @@
+//! Prometheus text exposition of the metrics registry.
+//!
+//! Renders the process-wide registry ([`crate::snapshot`]) in the
+//! Prometheus text format (version 0.0.4): counters and gauges map
+//! directly, histograms become summaries with `quantile` labels fed by
+//! the cumulative log-bucket sketch, and every sliding window
+//! contributes exact recent-window quantile gauges under a `_window`
+//! suffix. Rendering is read-only and deterministic (the registry is a
+//! `BTreeMap`), so repeated scrapes of an idle process are identical.
+//!
+//! Names are sanitised to the Prometheus grammar (`[a-zA-Z0-9_:]`,
+//! non-digit first) and prefixed `matgnn_`: the registry's
+//! `serve.latency_ms` becomes `matgnn_serve_latency_ms`.
+
+use crate::json;
+use crate::metrics::{
+    histogram_quantile, snapshot, window_counts, window_names, window_quantile, MetricValue,
+};
+
+/// Quantiles exported for every histogram summary and sliding window.
+pub const EXPORT_QUANTILES: [f64; 4] = [0.5, 0.9, 0.99, 1.0];
+
+/// Maps a registry name onto the Prometheus metric-name grammar:
+/// `matgnn_` prefix, dots (and any other illegal byte) to underscores.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("matgnn_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn push_value(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else if v.is_nan() {
+        out.push_str("NaN");
+    } else if v > 0.0 {
+        out.push_str("+Inf");
+    } else {
+        out.push_str("-Inf");
+    }
+}
+
+fn push_sample(out: &mut String, name: &str, labels: &str, v: f64) {
+    out.push_str(name);
+    out.push_str(labels);
+    out.push(' ');
+    push_value(out, v);
+    out.push('\n');
+}
+
+/// Renders the entire registry (plus sliding windows) as a Prometheus
+/// text-format document. Safe to call at any time — the registry is
+/// always live, with or without a telemetry sink.
+pub fn render_prometheus() -> String {
+    let snap = snapshot();
+    let mut out = String::with_capacity(256 + snap.len() * 96);
+    for (name, value) in &snap {
+        let pname = prometheus_name(name);
+        match value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {pname} counter\n"));
+                push_sample(&mut out, &pname, "", *v as f64);
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {pname} gauge\n"));
+                push_sample(&mut out, &pname, "", *v);
+            }
+            MetricValue::Histogram { count, sum, .. } => {
+                out.push_str(&format!("# TYPE {pname} summary\n"));
+                for q in EXPORT_QUANTILES {
+                    if let Some(v) = histogram_quantile(name, q) {
+                        push_sample(&mut out, &pname, &format!("{{quantile=\"{q}\"}}"), v);
+                    }
+                }
+                push_sample(&mut out, &format!("{pname}_sum"), "", *sum);
+                push_sample(&mut out, &format!("{pname}_count"), "", *count as f64);
+            }
+        }
+    }
+    // Recent-window quantiles: exact over the last ≤capacity samples,
+    // the live-dashboard complement of the cumulative summaries above.
+    for name in window_names() {
+        let pname = format!("{}_window", prometheus_name(&name));
+        out.push_str(&format!("# TYPE {pname} gauge\n"));
+        for q in EXPORT_QUANTILES {
+            if let Some(v) = window_quantile(&name, q) {
+                push_sample(&mut out, &pname, &format!("{{quantile=\"{q}\"}}"), v);
+            }
+        }
+        if let Some((len, total)) = window_counts(&name) {
+            push_sample(&mut out, &format!("{pname}_count"), "", len as f64);
+            push_sample(&mut out, &format!("{pname}_total"), "", total as f64);
+        }
+    }
+    out
+}
+
+/// Renders a one-object JSON document of the scalarised registry — the
+/// machine-readable sibling of [`render_prometheus`] for tooling that
+/// already speaks the telemetry JSON dialect.
+pub fn render_metrics_json() -> String {
+    let snap = snapshot();
+    let mut out = String::with_capacity(64 + snap.len() * 32);
+    out.push('{');
+    for (i, (name, value)) in snap.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::escape_str_into(&mut out, name);
+        out.push(':');
+        json::push_f64(&mut out, value.scalar());
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{counter_add, gauge_set, histogram_record, reset_metrics, window_record};
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        reset_metrics();
+        counter_add("exp.requests", 3);
+        gauge_set("exp.queue_depth", 2.0);
+        for v in 1..=100 {
+            histogram_record("exp.latency_ms", v as f64);
+            window_record("exp.latency_ms", v as f64);
+        }
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE matgnn_exp_requests counter"));
+        assert!(text.contains("matgnn_exp_requests 3\n"));
+        assert!(text.contains("# TYPE matgnn_exp_queue_depth gauge"));
+        assert!(text.contains("matgnn_exp_queue_depth 2\n"));
+        assert!(text.contains("# TYPE matgnn_exp_latency_ms summary"));
+        assert!(text.contains("matgnn_exp_latency_ms_count 100\n"));
+        // Window quantiles are exact: p50 of 1..=100 is 50.
+        assert!(text.contains("matgnn_exp_latency_ms_window{quantile=\"0.5\"} 50\n"));
+        assert!(text.contains("matgnn_exp_latency_ms_window_total 100\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(name.starts_with("matgnn_"), "bad name in {line:?}");
+            assert!(
+                value.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&value),
+                "bad value in {line:?}"
+            );
+        }
+        let js = render_metrics_json();
+        crate::json::parse(&js).expect("metrics JSON parses");
+        reset_metrics();
+    }
+
+    #[test]
+    fn sanitises_names() {
+        assert_eq!(prometheus_name("a.b-c/d"), "matgnn_a_b_c_d");
+        assert_eq!(
+            prometheus_name("comm.halo.exchange"),
+            "matgnn_comm_halo_exchange"
+        );
+    }
+}

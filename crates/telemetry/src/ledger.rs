@@ -1,0 +1,240 @@
+//! Scaling-law run ledger: an append-only, versioned JSONL record of
+//! every training run's scale coordinates — parameter count, atoms
+//! (environments) seen, cumulative FLOP estimate, loss checkpoints,
+//! wall time, world size.
+//!
+//! The paper's contribution is loss-vs-compute/params/data curves over
+//! hundreds of runs; the ledger is the durable substrate those curves
+//! are fit from (`matgnn_cli ledger fit`). Trainer, DDP, and graph-
+//! parallel runs append one record at run *end*, gated on the
+//! [`ENV_VAR`] environment variable — one `std::env::var` call per run,
+//! nothing on any hot path, and (like all telemetry) zero effect on the
+//! training trajectory itself.
+//!
+//! The FLOP estimate follows the 6·N·D rule used by LLM scaling
+//! studies (Kaplan et al.), transposed to atomistic GNNs: ≈ 6 FLOPs per
+//! parameter per atom processed (forward ≈ 2·N·D, backward ≈ 2× the
+//! forward). It is a *bookkeeping* estimate — consistent across runs,
+//! which is all a power-law fit needs — not a hardware counter.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::json::{self, Json};
+
+/// Environment variable holding the ledger file path. When set (and
+/// non-empty), run ends append one record.
+pub const ENV_VAR: &str = "MATGNN_LEDGER";
+
+/// Schema version stamped on every ledger line as `"v"`.
+pub const LEDGER_SCHEMA_VERSION: u64 = 1;
+
+/// Estimated training FLOPs for `params` parameters over `atoms`
+/// processed atom-environments: the 6·N·D rule.
+pub fn flop_estimate(params: u64, atoms: u64) -> f64 {
+    6.0 * params as f64 * atoms as f64
+}
+
+/// One run's scaling coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Run flavour: `"train"`, `"ddp"`, or `"graphpar"`.
+    pub kind: String,
+    /// Trainable scalar parameter count N.
+    pub params: u64,
+    /// Total atom-environments processed (the GNN analog of tokens D).
+    pub atoms_seen: u64,
+    /// Cumulative compute estimate C ≈ 6·N·D.
+    pub flops: f64,
+    /// Data-parallel world size.
+    pub world: usize,
+    /// Optimizer steps taken.
+    pub steps: u64,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Final loss.
+    pub loss: f64,
+    /// Loss-curve checkpoints as (cumulative FLOPs, loss) pairs.
+    pub curve: Vec<(f64, f64)>,
+}
+
+impl RunRecord {
+    /// A record with `flops` derived from `params`/`atoms_seen`.
+    pub fn new(kind: &str, params: u64, atoms_seen: u64, world: usize) -> Self {
+        RunRecord {
+            kind: kind.to_string(),
+            params,
+            atoms_seen,
+            flops: flop_estimate(params, atoms_seen),
+            world,
+            steps: 0,
+            wall_s: 0.0,
+            loss: f64::NAN,
+            curve: Vec::new(),
+        }
+    }
+
+    /// Serialises the record as one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut out = String::with_capacity(160 + self.curve.len() * 24);
+        out.push_str(&format!("{{\"v\":{v},\"kind\":", v = LEDGER_SCHEMA_VERSION));
+        json::escape_str_into(&mut out, &self.kind);
+        out.push_str(&format!(
+            ",\"params\":{},\"atoms\":{},\"flops\":",
+            self.params, self.atoms_seen
+        ));
+        json::push_f64(&mut out, self.flops);
+        out.push_str(&format!(
+            ",\"world\":{},\"steps\":{},\"wall_s\":",
+            self.world, self.steps
+        ));
+        json::push_f64(&mut out, self.wall_s);
+        out.push_str(",\"loss\":");
+        json::push_f64(&mut out, self.loss);
+        out.push_str(",\"curve\":[");
+        for (i, (x, l)) in self.curve.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            json::push_f64(&mut out, *x);
+            out.push(',');
+            json::push_f64(&mut out, *l);
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn from_json(value: &Json, line_no: usize) -> Result<Self, String> {
+        let num = |field: &str| -> Result<f64, String> {
+            value
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("line {line_no}: missing numeric {field:?}"))
+        };
+        let v = num("v")?;
+        if v != LEDGER_SCHEMA_VERSION as f64 {
+            return Err(format!("line {line_no}: unknown ledger schema version {v}"));
+        }
+        let mut curve = Vec::new();
+        if let Some(Json::Arr(points)) = value.get("curve") {
+            for p in points {
+                if let Json::Arr(pair) = p {
+                    if let (Some(x), Some(l)) = (
+                        pair.first().and_then(Json::as_num),
+                        pair.get(1).and_then(Json::as_num),
+                    ) {
+                        curve.push((x, l));
+                    }
+                }
+            }
+        }
+        Ok(RunRecord {
+            kind: value
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("line {line_no}: missing string \"kind\""))?
+                .to_string(),
+            params: num("params")? as u64,
+            atoms_seen: num("atoms")? as u64,
+            flops: num("flops")?,
+            world: num("world")? as usize,
+            steps: num("steps")? as u64,
+            wall_s: num("wall_s")?,
+            loss: value.get("loss").and_then(Json::as_num).unwrap_or(f64::NAN),
+            curve,
+        })
+    }
+}
+
+/// Parses a whole ledger document (one record per line).
+pub fn parse_ledger(text: &str) -> Result<Vec<RunRecord>, String> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        records.push(RunRecord::from_json(&value, i + 1)?);
+    }
+    Ok(records)
+}
+
+/// Loads a ledger file.
+pub fn load(path: impl AsRef<Path>) -> Result<Vec<RunRecord>, String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    parse_ledger(&text)
+}
+
+/// Appends one record to the ledger at `path` (created if missing,
+/// parent directories included). One `write_all` of a complete line, so
+/// concurrent appenders interleave at line granularity.
+pub fn append_to(path: impl AsRef<Path>, record: &RunRecord) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let mut line = record.to_line();
+    line.push('\n');
+    file.write_all(line.as_bytes())
+}
+
+/// Appends `record` to the ledger named by [`ENV_VAR`], if set. Returns
+/// whether a record was written. IO errors are swallowed (the ledger,
+/// like all telemetry, must never fail the run it observes); an unset
+/// variable costs one `env::var` call and nothing else.
+pub fn append_from_env(record: &RunRecord) -> bool {
+    match std::env::var(ENV_VAR) {
+        Ok(path) if !path.is_empty() => append_to(&path, record).is_ok(),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_through_jsonl() {
+        let mut rec = RunRecord::new("ddp", 1000, 50_000, 4);
+        rec.steps = 120;
+        rec.wall_s = 3.25;
+        rec.loss = 0.0625;
+        rec.curve = vec![(1e8, 0.5), (3e8, 0.0625)];
+        assert_eq!(rec.flops, 6.0 * 1000.0 * 50_000.0);
+        let line = rec.to_line();
+        let parsed = parse_ledger(&line).unwrap();
+        assert_eq!(parsed, vec![rec]);
+    }
+
+    #[test]
+    fn append_and_load() {
+        let dir = std::env::temp_dir().join(format!("matgnn-ledger-{}", std::process::id()));
+        let path = dir.join("ledger.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let a = RunRecord::new("train", 10, 100, 1);
+        let b = RunRecord::new("graphpar", 20, 200, 2);
+        append_to(&path, &a).unwrap();
+        append_to(&path, &b).unwrap();
+        let records = load(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].kind, "train");
+        assert_eq!(records[1].world, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let err = parse_ledger("{\"v\":99,\"kind\":\"x\"}").unwrap_err();
+        assert!(err.contains("unknown ledger schema version"), "{err}");
+    }
+}

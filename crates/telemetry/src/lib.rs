@@ -40,11 +40,15 @@ mod metrics;
 mod sink;
 mod span;
 
+pub mod analyze;
+pub mod export;
 pub mod json;
+pub mod ledger;
 
 pub use metrics::{
     counter_add, counter_set, flush_metrics, gauge_set, histogram_quantile, histogram_record,
-    reset_metrics, snapshot, MetricValue,
+    reset_metrics, snapshot, window_counts, window_names, window_quantile, window_record,
+    window_record_with_cap, MetricValue, WINDOW_DEFAULT_CAP,
 };
 pub use sink::{active_dir, health_event, init, init_from_env, log_event, shutdown};
 pub use span::{span, RankScope, Span};

@@ -165,6 +165,114 @@ pub fn histogram_quantile(name: &str, q: f64) -> Option<f64> {
     sketches().get(name).and_then(|s| s.quantile(q))
 }
 
+// ----------------------------------------------------------------------
+// Sliding windows
+//
+// The cumulative sketch answers "what was p99 over the whole run" —
+// useless for a live dashboard, where "p99 over the last N requests" is
+// the signal. Each named window is a fixed-capacity ring buffer of raw
+// samples: recording is a single slot write (no allocation once the
+// buffer reached capacity), and quantile queries sort a scratch copy of
+// the current window, so interior quantiles are *exact* over the
+// window — no bucketing error — at report/scrape granularity only.
+// ----------------------------------------------------------------------
+
+/// Default sample capacity of a sliding window (≈ the last 512 requests).
+pub const WINDOW_DEFAULT_CAP: usize = 512;
+
+/// Fixed-capacity ring buffer of recent samples with exact quantiles.
+#[derive(Debug, Clone)]
+pub(crate) struct SlidingWindow {
+    buf: Vec<f64>,
+    cap: usize,
+    /// Next slot to overwrite once `buf` reached `cap`.
+    next: usize,
+    /// Lifetime sample count (≥ `buf.len()`).
+    total: u64,
+}
+
+impl SlidingWindow {
+    fn new(cap: usize) -> Self {
+        SlidingWindow {
+            buf: Vec::new(),
+            cap: cap.max(1),
+            next: 0,
+            total: 0,
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        self.total += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(value);
+        } else {
+            self.buf[self.next] = value;
+            self.next = (self.next + 1) % self.cap;
+        }
+    }
+
+    /// Exact nearest-rank quantile over the samples currently in the
+    /// window: with the window sorted ascending, `q` selects the element
+    /// at rank `⌈q·n⌉` (1-based, clamped) — `q ≤ 0` is the window min
+    /// and `q ≥ 1` the window max.
+    fn quantile(&self, q: f64) -> Option<f64> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let mut sorted = self.buf.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = sorted.len();
+        let rank = if q <= 0.0 {
+            1
+        } else {
+            ((q * n as f64).ceil() as usize).clamp(1, n)
+        };
+        Some(sorted[rank - 1])
+    }
+}
+
+type WindowRegistry = BTreeMap<Cow<'static, str>, SlidingWindow>;
+
+static WINDOWS: Mutex<WindowRegistry> = Mutex::new(BTreeMap::new());
+
+fn windows() -> MutexGuard<'static, WindowRegistry> {
+    WINDOWS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Records one sample into the named sliding window (capacity
+/// [`WINDOW_DEFAULT_CAP`], created on first use). Steady-state cost is
+/// one ring-buffer slot write under the registry lock — no allocation
+/// once the window is full.
+pub fn window_record(name: impl Into<Cow<'static, str>>, value: f64) {
+    window_record_with_cap(name, value, WINDOW_DEFAULT_CAP);
+}
+
+/// [`window_record`] with an explicit capacity, applied when the window
+/// is first created (an existing window keeps its original capacity).
+pub fn window_record_with_cap(name: impl Into<Cow<'static, str>>, value: f64, cap: usize) {
+    windows()
+        .entry(name.into())
+        .or_insert_with(|| SlidingWindow::new(cap))
+        .record(value);
+}
+
+/// Exact `q`-quantile (`0.0 ..= 1.0`) over the samples currently in the
+/// named sliding window. `None` until the window has a sample.
+pub fn window_quantile(name: &str, q: f64) -> Option<f64> {
+    windows().get(name).and_then(|w| w.quantile(q))
+}
+
+/// Number of samples currently held in the named window (≤ its
+/// capacity), and its lifetime sample count.
+pub fn window_counts(name: &str) -> Option<(usize, u64)> {
+    windows().get(name).map(|w| (w.buf.len(), w.total))
+}
+
+/// Names of all registered sliding windows, in deterministic order.
+pub fn window_names() -> Vec<String> {
+    windows().keys().map(|k| k.to_string()).collect()
+}
+
 /// Adds `delta` to the named counter (creating it at zero).
 pub fn counter_add(name: impl Into<Cow<'static, str>>, delta: u64) {
     let mut reg = registry();
@@ -232,11 +340,12 @@ pub fn snapshot() -> Vec<(String, MetricValue)> {
         .collect()
 }
 
-/// Clears the registry and all quantile sketches (test isolation and
-/// fresh runs).
+/// Clears the registry, all quantile sketches, and all sliding windows
+/// (test isolation and fresh runs).
 pub fn reset_metrics() {
     registry().clear();
     sketches().clear();
+    windows().clear();
 }
 
 /// Emits one `"type":"metrics"` JSONL event holding a scalarised
@@ -305,6 +414,22 @@ mod tests {
         // Endpoints are exact (clamped to tracked min/max).
         assert_eq!(histogram_quantile(name, 0.0), Some(1.0));
         assert_eq!(histogram_quantile(name, 1.0), Some(1000.0));
+    }
+
+    #[test]
+    fn sliding_window_is_exact_and_slides() {
+        let name = "wtest.latency";
+        assert_eq!(window_quantile(name, 0.5), None);
+        for v in 1..=10 {
+            window_record_with_cap(name, v as f64, 8);
+        }
+        // Capacity 8: samples 3..=10 remain. Nearest-rank p50 of
+        // {3..10} is the 4th element = 6; min = 3; max = 10.
+        assert_eq!(window_quantile(name, 0.5), Some(6.0));
+        assert_eq!(window_quantile(name, 0.0), Some(3.0));
+        assert_eq!(window_quantile(name, 1.0), Some(10.0));
+        assert_eq!(window_counts(name), Some((8, 10)));
+        assert!(window_names().iter().any(|n| n == name));
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Cross-rank attribution round-trip: four simulated ranks' JSONL span
+//! logs go through the real file loader and the analyzer, and every
+//! aggregate — per-rank step walls, straggler skew, phase unions,
+//! comm-overlap, critical path — is checked against hand arithmetic.
+
+use std::path::PathBuf;
+
+use matgnn_telemetry as telemetry;
+use telemetry::analyze::{analyze, load_dir, render_merged_chrome_trace, Phase};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "matgnn-attribution-test-{pid}-{tag}",
+        pid = std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn line(rank: i64, step: i64, name: &str, ts: u64, dur: u64, depth: u32) -> String {
+    format!(
+        "{{\"type\":\"span\",\"v\":2,\"ts_us\":{ts},\"rank\":{rank},\"step\":{step},\
+         \"tid\":1,\"name\":\"{name}\",\"dur_us\":{dur},\"depth\":{depth}}}\n"
+    )
+}
+
+/// The simulated cluster, with all the arithmetic worked in comments.
+///
+/// Step 0 (per-rank: step wall / forward / backward / comm):
+/// - rank 0: [0,100) / [0,50) / [50,90)  / all_reduce [80,100) → 10us of
+///   20 hidden (overlap with backward [80,90)).
+/// - rank 1: [0,120) / [0,60) / [60,110) / all_reduce [110,120) → 0 of
+///   10 hidden.
+/// - rank 2: [0,90)  / [0,45) / [45,85)  / halo [40,60) → all 20 hidden
+///   ([40,45) under forward, [45,60) under backward).
+/// - rank 3: [0,150) / [0,70) / [70,135) / all_reduce [140,150) → 0 of
+///   10 hidden.
+///
+/// Walls sorted {90,100,120,150}: lower median 100, max 150 → skew 50;
+/// critical rank 3 (forward 70 > backward 65 → dominant forward).
+///
+/// Step 1 (compute only):
+/// - rank 0: [200,280) / [200,240) / [240,275)
+/// - rank 1: [200,300) / [200,250) / [250,295)
+/// - rank 2: [200,270) / [200,235) / [235,265)
+/// - rank 3: [200,290) / [200,245) / [245,285)
+///
+/// Walls sorted {70,80,90,100}: lower median 80, max 100 → skew 20;
+/// critical rank 1 (forward 50 > backward 45 → dominant forward).
+fn write_cluster(dir: &std::path::Path) {
+    let logs: [String; 4] = [
+        [
+            line(0, 0, "step", 0, 100, 0),
+            line(0, 0, "forward", 0, 50, 1),
+            line(0, 0, "backward", 50, 40, 1),
+            line(0, 0, "comm.all_reduce", 80, 20, 2),
+            line(0, 1, "step", 200, 80, 0),
+            line(0, 1, "forward", 200, 40, 1),
+            line(0, 1, "backward", 240, 35, 1),
+        ]
+        .concat(),
+        [
+            line(1, 0, "step", 0, 120, 0),
+            line(1, 0, "forward", 0, 60, 1),
+            line(1, 0, "backward", 60, 50, 1),
+            line(1, 0, "comm.all_reduce", 110, 10, 1),
+            line(1, 1, "step", 200, 100, 0),
+            line(1, 1, "forward", 200, 50, 1),
+            line(1, 1, "backward", 250, 45, 1),
+        ]
+        .concat(),
+        [
+            line(2, 0, "step", 0, 90, 0),
+            line(2, 0, "forward", 0, 45, 1),
+            line(2, 0, "backward", 45, 40, 1),
+            line(2, 0, "comm.halo.exchange", 40, 20, 2),
+            line(2, 1, "step", 200, 70, 0),
+            line(2, 1, "forward", 200, 35, 1),
+            line(2, 1, "backward", 235, 30, 1),
+        ]
+        .concat(),
+        [
+            line(3, 0, "step", 0, 150, 0),
+            line(3, 0, "forward", 0, 70, 1),
+            line(3, 0, "backward", 70, 65, 1),
+            line(3, 0, "comm.all_reduce", 140, 10, 1),
+            line(3, 1, "step", 200, 90, 0),
+            line(3, 1, "forward", 200, 45, 1),
+            line(3, 1, "backward", 245, 40, 1),
+        ]
+        .concat(),
+    ];
+    for (rank, log) in logs.iter().enumerate() {
+        std::fs::write(dir.join(format!("events-rank{rank}.jsonl")), log).expect("write rank log");
+    }
+}
+
+#[test]
+fn four_rank_attribution_round_trip() {
+    let dir = scratch_dir("four-ranks");
+    write_cluster(&dir);
+
+    let spans = load_dir(&dir).expect("load simulated cluster");
+    assert_eq!(spans.len(), 28);
+    let a = analyze(&spans);
+
+    assert_eq!(a.ranks, vec![0, 1, 2, 3]);
+    assert_eq!(a.steps.len(), 2);
+
+    // — per-rank step walls, straight from the `step` container spans —
+    let s0 = &a.steps[0];
+    assert_eq!(s0.rank_wall_us, vec![(0, 100), (1, 120), (2, 90), (3, 150)]);
+    assert_eq!(s0.skew_us, 50, "step 0: max 150 − lower median 100");
+    assert_eq!(s0.critical_rank, 3);
+    assert_eq!(s0.critical_wall_us, 150);
+    assert_eq!(s0.critical_phase, Phase::Forward);
+
+    let s1 = &a.steps[1];
+    assert_eq!(s1.rank_wall_us, vec![(0, 80), (1, 100), (2, 70), (3, 90)]);
+    assert_eq!(s1.skew_us, 20, "step 1: max 100 − lower median 80");
+    assert_eq!(s1.critical_rank, 1);
+    assert_eq!(s1.critical_wall_us, 100);
+    assert_eq!(s1.critical_phase, Phase::Forward);
+
+    // — rank-summed phase unions —
+    assert_eq!(
+        a.phase_total(Phase::Forward),
+        (50 + 60 + 45 + 70) + (40 + 50 + 35 + 45)
+    );
+    assert_eq!(
+        a.phase_total(Phase::Backward),
+        (40 + 50 + 40 + 65) + (35 + 45 + 30 + 40)
+    );
+    assert_eq!(a.phase_total(Phase::Comm), 20 + 10 + 10);
+    assert_eq!(a.phase_total(Phase::Halo), 20);
+
+    // — comm overlap: hidden 10 (rank 0) + 20 (rank 2) of 60 total —
+    assert_eq!(a.comm_total_us, 60);
+    assert_eq!(a.comm_hidden_us, 30);
+    assert!((a.overlap_efficiency() - 0.5).abs() < 1e-12);
+
+    // — cluster-level aggregates —
+    assert!((a.mean_skew_us() - 35.0).abs() < 1e-9, "mean of 50 and 20");
+    assert_eq!(a.critical_path_us, 150 + 100);
+    assert_eq!(a.wall_us, 300, "first span opens at 0, last closes at 300");
+
+    // The merged multi-rank Chrome trace must stay valid JSON.
+    let merged = render_merged_chrome_trace(&spans);
+    telemetry::json::parse(&merged).expect("merged trace parses");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -128,6 +128,40 @@ impl TrainReport {
     }
 }
 
+/// Appends this run's scaling coordinates to the ledger named by
+/// `MATGNN_LEDGER`, if set. One env lookup at run end — nothing on any
+/// training hot path, and (like all telemetry) no effect on the
+/// trajectory. `world` is the data-parallel width the report covers.
+pub(crate) fn ledger_append<M: GnnModel + ?Sized>(
+    kind: &str,
+    model: &M,
+    train: &Dataset,
+    world: usize,
+    report: &TrainReport,
+) {
+    use matgnn_telemetry::ledger;
+    if !std::env::var(ledger::ENV_VAR).is_ok_and(|v| !v.is_empty()) {
+        return;
+    }
+    let params = model.params().n_scalars() as u64;
+    let atoms_per_epoch: u64 = train.samples().iter().map(|s| s.n_nodes() as u64).sum();
+    let atoms_seen = atoms_per_epoch * report.epochs.len() as u64;
+    let mut rec = ledger::RunRecord::new(kind, params, atoms_seen, world);
+    rec.steps = report.steps as u64;
+    rec.wall_s = report.wall.as_secs_f64();
+    rec.loss = report.final_loss();
+    rec.curve = report
+        .epochs
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let flops = ledger::flop_estimate(params, atoms_per_epoch * (i as u64 + 1));
+            (flops, e.test_loss.unwrap_or(e.train_loss))
+        })
+        .collect();
+    ledger::append_from_env(&rec);
+}
+
 /// Drives training of a [`GnnModel`].
 ///
 /// # Examples
@@ -250,6 +284,20 @@ impl Trainer {
     ///
     /// Panics if `train` is empty.
     pub fn fit<M: GnnModel>(
+        &self,
+        model: &mut M,
+        train: &Dataset,
+        test: Option<&Dataset>,
+        normalizer: &Normalizer,
+    ) -> TrainReport {
+        let report = self.fit_supervised(model, train, test, normalizer);
+        ledger_append("train", model, train, 1, &report);
+        report
+    }
+
+    /// [`fit`](Self::fit) without the run-ledger hook: the supervision
+    /// loop around [`fit_once`](Self::fit_once).
+    fn fit_supervised<M: GnnModel>(
         &self,
         model: &mut M,
         train: &Dataset,

@@ -216,3 +216,58 @@ fn egnn_energy_finite_on_random_geometry() {
         prop_assert!(tape.value(out.forces).is_finite());
     });
 }
+
+#[test]
+fn sliding_window_quantiles_match_exact() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    // Window names are process-global; a per-case sequence number keeps
+    // the cases (and any concurrently running test) from colliding.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+
+    run_cases("sliding_window_quantiles_match_exact", |rng| {
+        let name = format!(
+            "prop.window.{}.{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        let n = (1usize..80).sample(rng);
+        let cap = (1usize..16).sample(rng);
+        let values: Vec<f64> = (0..n).map(|_| (-1e3f64..1e3).sample(rng)).collect();
+        for &v in &values {
+            matgnn::telemetry::window_record_with_cap(name.clone(), v, cap);
+        }
+
+        // The window must hold exactly the last `cap` samples.
+        let held = n.min(cap);
+        prop_assert_eq!(
+            matgnn::telemetry::window_counts(&name),
+            Some((held, n as u64))
+        );
+
+        // Reference: exact nearest-rank quantile over the retained tail.
+        let mut tail: Vec<f64> = values[n - held..].to_vec();
+        tail.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let exact = |q: f64| {
+            let rank = if q <= 0.0 {
+                1
+            } else {
+                ((q * held as f64).ceil() as usize).clamp(1, held)
+            };
+            tail[rank - 1]
+        };
+
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0, (0.0f64..1.0).sample(rng)] {
+            let got = matgnn::telemetry::window_quantile(&name, q).expect("non-empty window");
+            prop_assert_eq!(got, exact(q), "q = {}", q);
+        }
+        // Out-of-range q clamps to the window extremes.
+        prop_assert_eq!(
+            matgnn::telemetry::window_quantile(&name, -3.0),
+            Some(tail[0])
+        );
+        prop_assert_eq!(
+            matgnn::telemetry::window_quantile(&name, 7.0),
+            Some(tail[held - 1])
+        );
+    });
+}
